@@ -1,0 +1,58 @@
+package ips
+
+import (
+	"repro/internal/corr"
+	"repro/internal/mips"
+	"repro/internal/xrand"
+)
+
+// This file exposes the exact-search and correlation-detection
+// baselines the paper positions its results against: tree/pruning MIPS
+// (Ram–Gray [43], LEMP-style norm bounds [50]) and the Valiant-style
+// outlier-correlation aggregation ([51]/[29], sans fast matrix
+// multiplication — see DESIGN.md's substitution table).
+
+// MIPSResult is an exact MIPS answer with its work counter.
+type MIPSResult = mips.Result
+
+// NormPrunedMIPS is the descending-norm exact MIPS scanner.
+type NormPrunedMIPS = mips.NormPruned
+
+// NewNormPrunedMIPS preprocesses data for norm-pruned exact search.
+func NewNormPrunedMIPS(data []Vector) (*NormPrunedMIPS, error) {
+	return mips.NewNormPruned(data)
+}
+
+// BallTreeMIPS is the Ram–Gray branch-and-bound exact MIPS tree.
+type BallTreeMIPS = mips.BallTree
+
+// NewBallTreeMIPS builds the tree with the given leaf size.
+func NewBallTreeMIPS(data []Vector, leafSize int) (*BallTreeMIPS, error) {
+	return mips.NewBallTree(data, leafSize)
+}
+
+// CorrelationInstance is a planted ±1 correlation instance (the
+// unsigned {−1,1} join workload of Table 1's permissible column).
+type CorrelationInstance = corr.Instance
+
+// NewCorrelationInstance plants one ρ-correlated pair among random
+// ±1 vectors.
+func NewCorrelationInstance(seed uint64, nP, nQ, d int, rho float64) (*CorrelationInstance, error) {
+	return corr.NewInstance(xrand.New(seed), nP, nQ, d, rho)
+}
+
+// DetectCorrelationNaive scans all pairs (work nP·nQ·d).
+func DetectCorrelationNaive(in *CorrelationInstance) corr.Result {
+	return corr.Naive(in)
+}
+
+// DetectCorrelationAggregate runs the Valiant-style expand-and-
+// aggregate detector with group size g (work ≈ (n/g)²·d + g²·d).
+func DetectCorrelationAggregate(in *CorrelationInstance, g int, seed uint64) (corr.Result, error) {
+	return corr.Aggregate(in, g, xrand.New(seed))
+}
+
+// AggregationSignalFloor returns the smallest planted correlation the
+// aggregation detector can reliably separate from noise at the given
+// instance shape.
+func AggregationSignalFloor(n, d, g int) float64 { return corr.MinSignal(n, d, g) }

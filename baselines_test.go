@@ -1,0 +1,53 @@
+package ips
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+func TestBaselineMIPSFacade(t *testing.T) {
+	rng := xrand.New(1)
+	lf := dataset.NewLatentFactor(rng, 300, 10, 8, 0.8)
+	np, err := NewNormPrunedMIPS(lf.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := NewBallTreeMIPS(lf.Items, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range lf.Users {
+		exact, exactV := BruteMIPS(lf.Items, q, false)
+		if r := np.Query(q); r.Index != exact && r.Value != exactV {
+			t.Fatalf("norm-pruned: %d (%v), want %d (%v)", r.Index, r.Value, exact, exactV)
+		}
+		if r := bt.Query(q); r.Value != exactV {
+			t.Fatalf("ball tree value %v, want %v", r.Value, exactV)
+		}
+	}
+}
+
+func TestCorrelationFacade(t *testing.T) {
+	const n, d, g = 64, 4096, 4
+	rho := 2 * AggregationSignalFloor(n, d, g)
+	in, err := NewCorrelationInstance(2, n, n, d, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := DetectCorrelationNaive(in)
+	if naive.PIdx != in.PIdx || naive.QIdx != in.QIdx {
+		t.Fatal("naive detection failed")
+	}
+	agg, err := DetectCorrelationAggregate(in, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.PIdx != in.PIdx || agg.QIdx != in.QIdx {
+		t.Fatal("aggregate detection failed")
+	}
+	if agg.Work >= naive.Work {
+		t.Fatalf("aggregation did not save work: %d vs %d", agg.Work, naive.Work)
+	}
+}

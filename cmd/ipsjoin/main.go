@@ -1,0 +1,184 @@
+// Command ipsjoin is the general join driver: it generates (or loads) a
+// workload, runs the selected engine on the signed or unsigned (cs, s)
+// join, verifies the Definition 1 guarantee by brute force, and prints
+// a summary with work counters. Workloads can be persisted with -save
+// and replayed with -load for exact reruns.
+//
+// Usage:
+//
+//	ipsjoin [-engine exact|lsh|sketch] [-variant signed|unsigned]
+//	        [-workload planted|latent|binary] [-n 1000] [-nq 100]
+//	        [-d 32] [-s 0.9] [-c 0.5] [-kappa 3] [-seed 1] [-verify]
+//	        [-save PREFIX] [-load PREFIX]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/lsh"
+	"repro/internal/vec"
+	"repro/internal/vecio"
+	"repro/internal/xrand"
+)
+
+func main() {
+	engine := flag.String("engine", "lsh", "exact | lsh | sketch")
+	variant := flag.String("variant", "signed", "signed | unsigned")
+	workload := flag.String("workload", "planted", "planted | latent | binary")
+	n := flag.Int("n", 1000, "|P|")
+	nq := flag.Int("nq", 100, "|Q|")
+	d := flag.Int("d", 32, "dimension")
+	s := flag.Float64("s", 0.9, "promise threshold s")
+	c := flag.Float64("c", 0.5, "approximation factor c")
+	kappa := flag.Float64("kappa", 3, "sketch ℓ_κ parameter")
+	k := flag.Int("k", 8, "LSH hashes per table")
+	l := flag.Int("l", 16, "LSH tables")
+	seed := flag.Uint64("seed", 1, "workload + algorithm seed")
+	verify := flag.Bool("verify", true, "brute-force verify the (cs,s) guarantee")
+	save := flag.String("save", "", "write the workload to PREFIX.p / PREFIX.q")
+	load := flag.String("load", "", "read the workload from PREFIX.p / PREFIX.q")
+	flag.Parse()
+
+	var P, Q []vec.Vector
+	if *load != "" {
+		var err error
+		if P, Q, err = loadWorkload(*load); err != nil {
+			fail(err)
+		}
+		if len(P) == 0 || len(Q) == 0 {
+			fail(fmt.Errorf("loaded workload is empty"))
+		}
+		*d = len(P[0])
+	} else {
+		P, Q = generate(xrand.New(*seed), *workload, *n, *nq, *d, *s)
+	}
+	if *save != "" {
+		if err := saveWorkload(*save, P, Q); err != nil {
+			fail(err)
+		}
+		fmt.Printf("workload saved to %s.p / %s.q\n", *save, *save)
+	}
+
+	sp := core.Spec{S: *s, C: *c}
+	switch *variant {
+	case "signed":
+		sp.Variant = core.Signed
+	case "unsigned":
+		sp.Variant = core.Unsigned
+	default:
+		fail(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	var eng core.Engine
+	switch *engine {
+	case "exact":
+		eng = core.Exact{}
+	case "lsh":
+		eng = core.LSH{
+			NewFamily: func(dim int) (lsh.Family, error) { return lsh.NewHyperplane(dim) },
+			K:         *k, L: *l, Seed: *seed,
+		}
+	case "sketch":
+		eng = core.Sketch{Kappa: *kappa, Copies: 9, Seed: *seed}
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	start := time.Now()
+	res, err := eng.Join(P, Q, sp)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("engine=%s variant=%s workload=%s |P|=%d |Q|=%d d=%d s=%g c=%g\n",
+		eng.Name(), sp.Variant, *workload, len(P), len(Q), *d, sp.S, sp.C)
+	fmt.Printf("matches=%d compared=%d (naive would compare %d) time=%s\n",
+		len(res.Matches), res.Compared, len(P)*len(Q), elapsed.Round(time.Microsecond))
+	if *verify {
+		if err := core.CheckGuarantee(P, Q, res, sp); err != nil {
+			fmt.Printf("guarantee: VIOLATED — %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println("guarantee: OK (Definition 1 verified by brute force)")
+	}
+}
+
+// generate builds the selected synthetic workload.
+func generate(rng *xrand.RNG, workload string, n, nq, d int, s float64) (P, Q []vec.Vector) {
+	switch workload {
+	case "planted":
+		hot := make([]int, 0, nq/4)
+		for i := 0; i < nq; i += 4 {
+			hot = append(hot, i)
+		}
+		P, Q, _ = dataset.Planted(rng, n, nq, d, s*1.05, hot)
+	case "latent":
+		lf := dataset.NewLatentFactor(rng, n, nq, d, 0.5)
+		lf.ScaleItemsToUnitBall()
+		P, Q = lf.Items, lf.Users
+	case "binary":
+		P = dataset.BinarySets(rng, n, d, max(2, d/8), 0.8)
+		Q = dataset.BinarySets(rng, nq, d, max(2, d/8), 0.8)
+	default:
+		fail(fmt.Errorf("unknown workload %q", workload))
+	}
+	return P, Q
+}
+
+// saveWorkload writes P and Q in the vecio binary format.
+func saveWorkload(prefix string, P, Q []vec.Vector) error {
+	for _, part := range []struct {
+		suffix string
+		vs     []vec.Vector
+	}{{".p", P}, {".q", Q}} {
+		f, err := os.Create(prefix + part.suffix)
+		if err != nil {
+			return err
+		}
+		if err := vecio.WriteDense(f, part.vs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadWorkload reads P and Q written by saveWorkload.
+func loadWorkload(prefix string) (P, Q []vec.Vector, err error) {
+	read := func(path string) ([]vec.Vector, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return vecio.ReadDense(f)
+	}
+	if P, err = read(prefix + ".p"); err != nil {
+		return nil, nil, err
+	}
+	if Q, err = read(prefix + ".q"); err != nil {
+		return nil, nil, err
+	}
+	return P, Q, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ipsjoin: %v\n", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

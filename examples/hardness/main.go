@@ -1,0 +1,76 @@
+// Hardness: Theorem 1 in action. The example builds a planted
+// Orthogonal Vectors instance, pushes it through each Lemma 3 gap
+// embedding, and shows that an approximate IPS join on the embedded
+// vectors — with exactly the (cs, s) gap the embedding certifies —
+// recovers the hidden orthogonal pair. This is the reduction that makes
+// subquadratic approximate IPS join OVP-hard.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ips "repro"
+	"repro/internal/bitvec"
+	"repro/internal/ovp"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const d = 16
+	rng := xrand.New(99)
+	inst, hidden := ovp.Planted(rng, 32, 40, d, 0.2, true)
+	fmt.Printf("OVP instance: |P|=%d |Q|=%d d=%d, one hidden orthogonal pair (%d,%d)\n\n",
+		len(inst.P), len(inst.Q), d, hidden.PIdx, hidden.QIdx)
+
+	// Embedding 1: signed (d, 4d−4, 0, 4) into {−1,1}. After embedding,
+	// *any* c > 0 approximation of the signed join must find the pair,
+	// because non-orthogonal pairs land at inner product ≤ 0.
+	e1, err := ips.NewSignedEmbedding(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1 := e1.Params()
+	pair, ok := ovp.SolveViaSignsEmbedding(inst, e1)
+	fmt.Printf("E1 signed {-1,1}:   d2=%-7d cs=%-6.0f s=%-8.0f found=%v pair=(%d,%d)\n",
+		p1.D2, p1.CS, p1.S, ok && pair == hidden, pair.PIdx, pair.QIdx)
+
+	// Embedding 2: the deterministic Chebyshev amplifier — the gap s/cs
+	// grows like e^{q/√d}, which is what rules out c = e^{−o(√log n / log log n)}.
+	for q := 1; q <= 3; q++ {
+		e2, err := ips.NewChebyshevEmbedding(d, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p2 := e2.Params()
+		pair, ok := ovp.SolveViaSignsEmbedding(inst, e2)
+		fmt.Printf("E2 Chebyshev q=%d:   d2=%-7d cs=%-6.0f s=%-8.0f found=%v gap=s/cs=%.3f\n",
+			q, p2.D2, p2.CS, p2.S, ok && pair == hidden, p2.S/p2.CS)
+	}
+
+	// Embedding 3: the {0,1} chopped polynomial — the gap is only
+	// k vs k−1, which is why {0,1} hardness needs c = 1 − o(1).
+	for _, k := range []int{4, 8, d} {
+		e3, err := ips.NewChoppedEmbedding(d, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p3 := e3.Params()
+		pair, ok := ovp.SolveViaBitsEmbedding(inst, e3)
+		fmt.Printf("E3 chopped k=%-2d:    d2=%-7d cs=%-6.0f s=%-8.0f found=%v c=%.4f\n",
+			k, p3.D2, p3.CS, p3.S, ok && pair == hidden, p3.C())
+	}
+
+	// Show the embedded inner products around the hidden pair for E3.
+	e3, _ := ips.NewChoppedEmbedding(d, 4)
+	fq := e3.G(inst.Q[hidden.QIdx])
+	fmt.Printf("\nembedded inner products against the hidden query (E3, k=4, s=%g):\n", e3.Params().S)
+	for pi := 0; pi < 8; pi++ {
+		fp := e3.F(inst.P[pi])
+		marker := ""
+		if pi == hidden.PIdx {
+			marker = "  <-- hidden orthogonal partner"
+		}
+		fmt.Printf("  P[%2d]: f(p)ᵀg(q) = %d%s\n", pi, bitvec.DotBits(fp, fq), marker)
+	}
+}

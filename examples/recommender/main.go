@@ -1,0 +1,81 @@
+// Recommender: the paper's motivating workload (Teflioudi et al.) —
+// latent-factor matrix factorisation where user·item inner products
+// rank recommendations. Item norms vary wildly (popularity), so cosine
+// methods misrank; MIPS is the right problem. The example compares
+// exact top-k retrieval with the §4.1 asymmetric LSH index and the
+// §4.3 sketch structure on quality and work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ips "repro"
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const (
+		items = 5000
+		users = 50
+		rank  = 24
+		topK  = 10
+	)
+	rng := xrand.New(2024)
+	lf := dataset.NewLatentFactor(rng, items, users, rank, 0.6)
+	lf.ScaleItemsToUnitBall() // paper's data domain: the unit ball
+
+	ix, err := ips.NewMIPSIndex(lf.Items, ips.MIPSOptions{K: 10, L: 32, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk, err := ips.NewSketchMIPS(lf.Items, 3, 7, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var lshHits, skHits, total int
+	var lshTime, skTime, exactTime time.Duration
+	for _, u := range lf.Users {
+		t0 := time.Now()
+		exact, _ := ips.BruteMIPS(lf.Items, u, false)
+		exactTime += time.Since(t0)
+
+		t0 = time.Now()
+		top := ix.TopK(u, topK)
+		lshTime += time.Since(t0)
+		for _, m := range top {
+			if m.PIdx == exact {
+				lshHits++
+				break
+			}
+		}
+
+		t0 = time.Now()
+		got, _ := sk.Query(u)
+		skTime += time.Since(t0)
+		if got == exact {
+			skHits++
+		}
+		total++
+	}
+
+	fmt.Printf("latent-factor MIPS: %d items (rank %d), %d users, top-%d\n",
+		items, rank, users, topK)
+	fmt.Printf("%-22s recall@%d=%.2f  avg query %s\n", "exact scan", 1, 1.0,
+		(exactTime / time.Duration(total)).Round(time.Microsecond))
+	fmt.Printf("%-22s recall@%d=%.2f  avg query %s\n", "asymmetric LSH (§4.1)", topK,
+		float64(lshHits)/float64(total), (lshTime / time.Duration(total)).Round(time.Microsecond))
+	fmt.Printf("%-22s recall@%d=%.2f  avg query %s  (unsigned c-MIPS, c=%.3f)\n",
+		"sketch trie (§4.3)", 1, float64(skHits)/float64(total),
+		(skTime / time.Duration(total)).Round(time.Microsecond),
+		ips.SketchJoinGuaranteedC(items, 3))
+	fmt.Println("\nNotes: at this scale the exact scan's constant factors still win on")
+	fmt.Println("wall-clock — the LSH index pays off as n grows (see bench_test.go's")
+	fmt.Println("crossover study). The sketch structure solves the *unsigned* c-MIPS")
+	fmt.Println("with a coarse n^{-1/κ} guarantee; its weak contract on general inputs")
+	fmt.Println("is exactly the regime Theorem 1 proves cannot be improved to a")
+	fmt.Println("constant-factor guarantee in subquadratic time.")
+}

@@ -1,0 +1,172 @@
+package ips
+
+// Cross-module integration tests: each one exercises a full pipeline
+// spanning several internal packages, the way a downstream user would
+// compose them.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/join"
+	"repro/internal/lsh"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/vecio"
+	"repro/internal/xrand"
+)
+
+// TestIntegration_StorePipelineWithALSH runs the database-operator
+// pipeline (Scan → SimJoin → Filter → Limit) over an ALSH search
+// structure and cross-checks every emitted tuple.
+func TestIntegration_StorePipelineWithALSH(t *testing.T) {
+	rng := xrand.New(1)
+	P, Q, _ := dataset.Planted(rng, 150, 20, 16, 0.95, []int{0, 5, 10, 15})
+	itemRecs := make([]store.Record, len(P))
+	for i, p := range P {
+		itemRecs[i] = store.Record{ID: i, Vec: p}
+	}
+	queryRecs := make([]store.Record, len(Q))
+	for i, q := range Q {
+		queryRecs[i] = store.Record{ID: i, Vec: q}
+	}
+	items, err := store.NewRelation("items", itemRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := store.NewRelation("queries", queryRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := &store.Limit{
+		N: 3,
+		Input: &store.Filter{
+			Pred: func(tp store.Tuple) bool { return tp.Value >= 0.9 },
+			Input: &store.SimJoin{
+				Input:   store.NewScan(queries),
+				Right:   items,
+				Spec:    core.Spec{Variant: core.Signed, S: 0.9, C: 0.5},
+				Builder: core.ALSHSearch{K: 6, L: 32, Seed: 2},
+			},
+		},
+	}
+	tuples, err := store.Collect(pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 3 {
+		t.Fatalf("pipeline emitted %d tuples, want 3", len(tuples))
+	}
+	for _, tp := range tuples {
+		if got := vec.Dot(tp.Left.Vec, tp.Right.Vec); got < 0.9 {
+			t.Fatalf("tuple below filter threshold: %v", got)
+		}
+	}
+}
+
+// TestIntegration_SymmetricFamilyJoin runs a signed join where data and
+// query domains coincide, through the §4.2 symmetric family — the
+// scenario the paper's symmetric-LSH section is about.
+func TestIntegration_SymmetricFamilyJoin(t *testing.T) {
+	rng := xrand.New(3)
+	const d = 4
+	// Fixed-point friendly vectors in the unit ball.
+	quantize := func(v vec.Vector) vec.Vector {
+		for i := range v {
+			v[i] = float64(int(v[i]*64)) / 64
+		}
+		return v
+	}
+	P := make([]vec.Vector, 60)
+	for i := range P {
+		P[i] = quantize(vec.Scaled(vec.Vector(rng.UnitVec(d)), 0.4))
+	}
+	Q := make([]vec.Vector, 8)
+	for i := range Q {
+		Q[i] = quantize(vec.Scaled(vec.Vector(rng.UnitVec(d)), 0.4))
+	}
+	// Plant strong partners (distinct from the queries themselves).
+	for qi := 0; qi < len(Q); qi += 2 {
+		planted := vec.Scaled(Q[qi], 0.9)
+		P[qi] = quantize(planted)
+	}
+	fam, err := lsh.NewSymmetricIPS(d, 6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := join.LSHJoiner{Family: fam, K: 2, L: 48, Seed: 4}
+	const s, cs = 0.1, 0.05
+	res, err := j.Signed(P, Q, s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := join.NaiveSigned(P, Q, s)
+	if r := join.Recall(exact, res, s); r < 0.9 {
+		t.Fatalf("symmetric-family join recall %v", r)
+	}
+}
+
+// TestIntegration_SaveLoadDeterminism persists a workload with vecio
+// and verifies the reloaded join is bit-identical.
+func TestIntegration_SaveLoadDeterminism(t *testing.T) {
+	rng := xrand.New(5)
+	P, Q, _ := dataset.Planted(rng, 80, 10, 8, 0.95, []int{1})
+	var bufP, bufQ bytes.Buffer
+	if err := vecio.WriteDense(&bufP, P); err != nil {
+		t.Fatal(err)
+	}
+	if err := vecio.WriteDense(&bufQ, Q); err != nil {
+		t.Fatal(err)
+	}
+	P2, err := vecio.ReadDense(&bufP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Q2, err := vecio.ReadDense(&bufQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{Variant: Signed, S: 0.9, C: 0.5}
+	r1, err := LSHJoin(P, Q, sp, LSHJoinOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LSHJoin(P2, Q2, sp, LSHJoinOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Matches) != len(r2.Matches) || r1.Compared != r2.Compared {
+		t.Fatalf("reloaded join differs: %d/%d vs %d/%d",
+			len(r1.Matches), r1.Compared, len(r2.Matches), r2.Compared)
+	}
+	for i := range r1.Matches {
+		if r1.Matches[i] != r2.Matches[i] {
+			t.Fatalf("match %d differs", i)
+		}
+	}
+}
+
+// TestIntegration_NormRangeOnLatentFactors exercises the norm-banded
+// MIPS index against brute force on the recommender workload.
+func TestIntegration_NormRangeOnLatentFactors(t *testing.T) {
+	rng := xrand.New(7)
+	lf := dataset.NewLatentFactor(rng, 500, 25, 16, 1.0)
+	lf.ScaleItemsToUnitBall()
+	nr, err := lsh.NewNormRangeMIPS(lf.Items, lsh.NormRangeOptions{K: 6, L: 24, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	for _, u := range lf.Users {
+		got, val := nr.Query(u)
+		exact, exactVal := BruteMIPS(lf.Items, u, false)
+		if got == exact || val >= 0.7*exactVal {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(len(lf.Users)); frac < 0.7 {
+		t.Fatalf("norm-range index acceptable on only %v of queries", frac)
+	}
+}

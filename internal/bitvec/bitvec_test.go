@@ -1,0 +1,333 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(r *rand.Rand, n int) *Bits {
+	b := NewBits(n)
+	for i := 0; i < n; i++ {
+		b.SetBit(i, r.Intn(2))
+	}
+	return b
+}
+
+func randSigns(r *rand.Rand, n int) *Signs {
+	s := NewSigns(n)
+	for i := 0; i < n; i++ {
+		s.SetSign(i, 1-2*r.Intn(2))
+	}
+	return s
+}
+
+func naiveDotBits(x, y *Bits) int {
+	d := 0
+	for i := 0; i < x.N; i++ {
+		d += x.Bit(i) * y.Bit(i)
+	}
+	return d
+}
+
+func naiveDotSigns(x, y *Signs) int {
+	d := 0
+	for i := 0; i < x.N; i++ {
+		d += x.Sign(i) * y.Sign(i)
+	}
+	return d
+}
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(70)
+	b.SetBit(0, 1)
+	b.SetBit(69, 1)
+	if b.Bit(0) != 1 || b.Bit(69) != 1 || b.Bit(35) != 0 {
+		t.Fatal("SetBit/Bit roundtrip failed")
+	}
+	if b.OnesCount() != 2 {
+		t.Fatalf("OnesCount = %d", b.OnesCount())
+	}
+	b.SetBit(69, 0)
+	if b.OnesCount() != 1 {
+		t.Fatalf("OnesCount after clear = %d", b.OnesCount())
+	}
+}
+
+func TestBitsFromInts(t *testing.T) {
+	b := BitsFromInts([]int{1, 0, 1, 1})
+	if b.String() != "1011" {
+		t.Fatalf("String = %q", b.String())
+	}
+	got := b.Ints()
+	want := []int{1, 0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ints = %v", got)
+		}
+	}
+	f := b.Floats()
+	if f[0] != 1 || f[1] != 0 {
+		t.Fatalf("Floats = %v", f)
+	}
+}
+
+func TestBitsFromIntsRejectsBadValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BitsFromInts([]int{2})
+}
+
+func TestDotBitsMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(300)
+		x, y := randBits(r, n), randBits(r, n)
+		if DotBits(x, y) != naiveDotBits(x, y) {
+			t.Fatalf("trial %d n=%d: DotBits mismatch", trial, n)
+		}
+	}
+}
+
+func TestSignsBasics(t *testing.T) {
+	s := NewSigns(5)
+	for i := 0; i < 5; i++ {
+		if s.Sign(i) != 1 {
+			t.Fatal("NewSigns must be all +1")
+		}
+	}
+	s.SetSign(3, -1)
+	if s.Sign(3) != -1 {
+		t.Fatal("SetSign(-1) failed")
+	}
+	s.SetSign(3, 1)
+	if s.Sign(3) != 1 {
+		t.Fatal("SetSign(+1) failed")
+	}
+}
+
+func TestSignsFromInts(t *testing.T) {
+	s := SignsFromInts([]int{1, -1, 1})
+	got := s.Ints()
+	if got[0] != 1 || got[1] != -1 || got[2] != 1 {
+		t.Fatalf("Ints = %v", got)
+	}
+	f := s.Floats()
+	if f[1] != -1 {
+		t.Fatalf("Floats = %v", f)
+	}
+}
+
+func TestDotSignsMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(300)
+		x, y := randSigns(r, n), randSigns(r, n)
+		if DotSigns(x, y) != naiveDotSigns(x, y) {
+			t.Fatalf("trial %d n=%d: DotSigns mismatch", trial, n)
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x := randSigns(r, 130)
+	nx := x.Neg()
+	for i := 0; i < x.N; i++ {
+		if nx.Sign(i) != -x.Sign(i) {
+			t.Fatalf("Neg mismatch at %d", i)
+		}
+	}
+	// Tail bits must remain zero so dot kernels stay valid.
+	y := randSigns(r, 130)
+	if DotSigns(nx, y) != -DotSigns(x, y) {
+		t.Fatal("DotSigns(Neg(x), y) != -DotSigns(x, y)")
+	}
+}
+
+func TestConcatBits(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		a, b := randBits(r, 1+r.Intn(100)), randBits(r, 1+r.Intn(100))
+		c := ConcatBits(a, b)
+		if c.N != a.N+b.N {
+			t.Fatalf("Concat length %d", c.N)
+		}
+		for i := 0; i < a.N; i++ {
+			if c.Bit(i) != a.Bit(i) {
+				t.Fatalf("Concat bit %d mismatch", i)
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			if c.Bit(a.N+i) != b.Bit(i) {
+				t.Fatalf("Concat bit %d (second) mismatch", i)
+			}
+		}
+	}
+}
+
+func TestConcatDotAdditivity(t *testing.T) {
+	// Dot(x1⊕x2, y1⊕y2) = Dot(x1,y1) + Dot(x2,y2), for both domains.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n1, n2 := 1+r.Intn(80), 1+r.Intn(80)
+		x1, y1 := randBits(r, n1), randBits(r, n1)
+		x2, y2 := randBits(r, n2), randBits(r, n2)
+		if DotBits(ConcatBits(x1, x2), ConcatBits(y1, y2)) != DotBits(x1, y1)+DotBits(x2, y2) {
+			t.Fatal("bits concat additivity failed")
+		}
+		s1, t1 := randSigns(r, n1), randSigns(r, n1)
+		s2, t2 := randSigns(r, n2), randSigns(r, n2)
+		if DotSigns(ConcatSigns(s1, s2), ConcatSigns(t1, t2)) != DotSigns(s1, t1)+DotSigns(s2, t2) {
+			t.Fatal("signs concat additivity failed")
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	x, y := randBits(r, 37), randBits(r, 37)
+	if DotBits(RepeatBits(x, 5), RepeatBits(y, 5)) != 5*DotBits(x, y) {
+		t.Fatal("RepeatBits dot law failed")
+	}
+	s, u := randSigns(r, 37), randSigns(r, 37)
+	if DotSigns(RepeatSigns(s, 5), RepeatSigns(u, 5)) != 5*DotSigns(s, u) {
+		t.Fatal("RepeatSigns dot law failed")
+	}
+	if RepeatBits(x, 0).N != 0 {
+		t.Fatal("RepeatBits 0 should be empty")
+	}
+}
+
+func TestTensorBitsLaw(t *testing.T) {
+	// Dot(x1⊗x2, y1⊗y2) = Dot(x1,y1)·Dot(x2,y2).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n1, n2 := 1+r.Intn(40), 1+r.Intn(40)
+		x1, y1 := randBits(r, n1), randBits(r, n1)
+		x2, y2 := randBits(r, n2), randBits(r, n2)
+		return DotBits(TensorBits(x1, x2), TensorBits(y1, y2)) ==
+			DotBits(x1, y1)*DotBits(x2, y2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorSignsLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n1, n2 := 1+r.Intn(40), 1+r.Intn(40)
+		x1, y1 := randSigns(r, n1), randSigns(r, n1)
+		x2, y2 := randSigns(r, n2), randSigns(r, n2)
+		return DotSigns(TensorSigns(x1, x2), TensorSigns(y1, y2)) ==
+			DotSigns(x1, y1)*DotSigns(x2, y2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorLayout(t *testing.T) {
+	x := BitsFromInts([]int{1, 0})
+	y := BitsFromInts([]int{1, 1, 0})
+	z := TensorBits(x, y)
+	want := []int{1, 1, 0, 0, 0, 0}
+	got := z.Ints()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TensorBits layout = %v, want %v", got, want)
+		}
+	}
+	sx := SignsFromInts([]int{1, -1})
+	sy := SignsFromInts([]int{1, -1})
+	sz := TensorSigns(sx, sy)
+	swant := []int{1, -1, -1, 1}
+	sgot := sz.Ints()
+	for i := range swant {
+		if sgot[i] != swant[i] {
+			t.Fatalf("TensorSigns layout = %v, want %v", sgot, swant)
+		}
+	}
+}
+
+func TestTensorUnalignedWidths(t *testing.T) {
+	// Exercise the bit-writer across word boundaries with awkward widths.
+	r := rand.New(rand.NewSource(7))
+	for _, n2 := range []int{1, 63, 64, 65, 127, 128, 129} {
+		x1, y1 := randSigns(r, 3), randSigns(r, 3)
+		x2, y2 := randSigns(r, n2), randSigns(r, n2)
+		if DotSigns(TensorSigns(x1, x2), TensorSigns(y1, y2)) !=
+			DotSigns(x1, y1)*DotSigns(x2, y2) {
+			t.Fatalf("tensor law failed at inner width %d", n2)
+		}
+	}
+}
+
+func TestAllOnes(t *testing.T) {
+	a := AllOnes(100)
+	m := AllMinusOnes(100)
+	if DotSigns(a, m) != -100 {
+		t.Fatalf("AllOnes·AllMinusOnes = %d", DotSigns(a, m))
+	}
+	if DotSigns(a, a) != 100 {
+		t.Fatalf("AllOnes·AllOnes = %d", DotSigns(a, a))
+	}
+}
+
+func TestClones(t *testing.T) {
+	b := BitsFromInts([]int{1, 0, 1})
+	c := b.Clone()
+	c.SetBit(1, 1)
+	if b.Bit(1) != 0 {
+		t.Fatal("Bits.Clone must be deep")
+	}
+	s := SignsFromInts([]int{1, -1})
+	u := s.Clone()
+	u.SetSign(0, -1)
+	if s.Sign(0) != 1 {
+		t.Fatal("Signs.Clone must be deep")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBits(3).Bit(3) },
+		func() { NewBits(3).SetBit(-1, 0) },
+		func() { NewSigns(3).Sign(5) },
+		func() { NewSigns(3).SetSign(0, 0) },
+		func() { DotBits(NewBits(2), NewBits(3)) },
+		func() { DotSigns(NewSigns(2), NewSigns(3)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkDotSigns4096(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	x, y := randSigns(r, 4096), randSigns(r, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DotSigns(x, y)
+	}
+}
+
+func BenchmarkTensorSigns64x64(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	x, y := randSigns(r, 64), randSigns(r, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TensorSigns(x, y)
+	}
+}

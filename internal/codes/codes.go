@@ -1,0 +1,234 @@
+// Package codes builds explicit ε-incoherent collections of unit vectors
+// from Reed–Solomon codes, the construction of Nelson, Nguyễn and
+// Woodruff cited by §4.2 of Ahle et al. for the symmetric-LSH reduction.
+//
+// A collection {v_0, …, v_{N−1}} ⊂ R^D of unit vectors is ε-incoherent
+// when |v_iᵀv_j| ≤ ε for all i ≠ j. The RS construction is strongly
+// explicit: v_u is computable from the index u alone, which is exactly
+// what the paper's reduction f(p) = (p, √(1−‖p‖²)·v_p) needs — the
+// auxiliary vector is a deterministic function of the point's bit
+// representation.
+//
+// Construction: fix a prime p and message length K with p^K ≥ N. The
+// index u is written in base p as a degree-<K polynomial over GF(p); its
+// codeword is the evaluation at all p field points. The vector v_u lives
+// in dimension p² (p blocks of size p), with block i holding 1/√p at
+// position c_u(i). Two distinct codewords agree on at most K−1 points,
+// so v_uᵀv_w ≤ (K−1)/p ≤ ε.
+package codes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gf"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// SparseUnit is a unit vector with a single nonzero per block, the
+// natural output shape of the RS construction.
+type SparseUnit struct {
+	// Positions[i] is the index of the nonzero inside block i; the global
+	// coordinate is i·BlockSize + Positions[i].
+	Positions []int
+	// BlockSize is the size of each block (= number of field points).
+	BlockSize int
+	// Scale is the value of every nonzero entry (1/√blocks).
+	Scale float64
+}
+
+// Dim returns the ambient dimension blocks × BlockSize.
+func (s *SparseUnit) Dim() int { return len(s.Positions) * s.BlockSize }
+
+// Dense materialises the vector in R^Dim.
+func (s *SparseUnit) Dense() vec.Vector {
+	out := vec.New(s.Dim())
+	for i, p := range s.Positions {
+		out[i*s.BlockSize+p] = s.Scale
+	}
+	return out
+}
+
+// Dot returns the inner product of two sparse units from the same family.
+func (s *SparseUnit) Dot(t *SparseUnit) float64 {
+	if len(s.Positions) != len(t.Positions) || s.BlockSize != t.BlockSize {
+		panic("codes: Dot across incompatible families")
+	}
+	agree := 0
+	for i, p := range s.Positions {
+		if p == t.Positions[i] {
+			agree++
+		}
+	}
+	return float64(agree) * s.Scale * t.Scale
+}
+
+// Incoherent is an explicit ε-incoherent family of N unit vectors built
+// from a Reed–Solomon code over GF(p).
+type Incoherent struct {
+	Field *gf.Field
+	// K is the message length (codewords are evaluations of degree-<K
+	// polynomials); incoherence is (K−1)/p.
+	K int
+	// N is the number of addressable vectors (≤ p^K).
+	N     uint64
+	scale float64
+}
+
+// NewIncoherent returns a family of at least n unit vectors with
+// pairwise |v_iᵀv_j| ≤ eps. It chooses the prime p and message length K
+// minimising the ambient dimension p². Returns an error for invalid
+// parameters or if the search space is exhausted.
+func NewIncoherent(n uint64, eps float64) (*Incoherent, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("codes: need at least 2 vectors, got %d", n)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("codes: eps %v out of (0,1)", eps)
+	}
+	bestP := uint64(0)
+	bestK := 0
+	for k := 2; k <= 64; k++ {
+		// p must satisfy p ≥ (k−1)/eps (incoherence) and p^k ≥ n (capacity).
+		minP := uint64(math.Ceil(float64(k-1) / eps))
+		if capP := uint64(math.Ceil(math.Pow(float64(n), 1/float64(k)))); capP > minP {
+			minP = capP
+		}
+		if minP < 2 {
+			minP = 2
+		}
+		if minP >= gf.MaxPrime {
+			continue
+		}
+		p := gf.NextPrime(minP)
+		// Guard against pow overflow while verifying capacity.
+		if !powAtLeast(p, k, n) {
+			p = gf.NextPrime(p + 1)
+			if !powAtLeast(p, k, n) {
+				continue
+			}
+		}
+		if float64(k-1)/float64(p) > eps {
+			continue
+		}
+		if bestP == 0 || p < bestP {
+			bestP, bestK = p, k
+		}
+	}
+	if bestP == 0 {
+		return nil, fmt.Errorf("codes: no RS parameters for n=%d eps=%v", n, eps)
+	}
+	f, err := gf.NewField(bestP)
+	if err != nil {
+		return nil, err
+	}
+	return &Incoherent{Field: f, K: bestK, N: n, scale: 1 / math.Sqrt(float64(bestP))}, nil
+}
+
+// powAtLeast reports whether p^k ≥ n without overflowing.
+func powAtLeast(p uint64, k int, n uint64) bool {
+	acc := uint64(1)
+	for i := 0; i < k; i++ {
+		if acc >= (n+p-1)/p+1 || acc > math.MaxUint64/p {
+			return true
+		}
+		acc *= p
+		if acc >= n {
+			return true
+		}
+	}
+	return acc >= n
+}
+
+// Eps returns the certified incoherence bound (K−1)/p.
+func (c *Incoherent) Eps() float64 { return float64(c.K-1) / float64(c.Field.P) }
+
+// Dim returns the ambient dimension p².
+func (c *Incoherent) Dim() int { return int(c.Field.P) * int(c.Field.P) }
+
+// Vector returns the u-th unit vector of the family. Panics if u ≥ N.
+func (c *Incoherent) Vector(u uint64) *SparseUnit {
+	if u >= c.N {
+		panic(fmt.Sprintf("codes: index %d out of range [0,%d)", u, c.N))
+	}
+	// Base-p digits of u are the polynomial coefficients.
+	coeffs := make([]uint64, c.K)
+	for i := 0; i < c.K; i++ {
+		coeffs[i] = u % c.Field.P
+		u /= c.Field.P
+	}
+	p := int(c.Field.P)
+	pos := make([]int, p)
+	for x := 0; x < p; x++ {
+		pos[x] = int(c.Field.EvalPoly(coeffs, uint64(x)))
+	}
+	return &SparseUnit{Positions: pos, BlockSize: p, Scale: c.scale}
+}
+
+// VectorForKey returns the vector indexed by an arbitrary byte string,
+// hashed injectively when the key fits in the family capacity, otherwise
+// via a 64-bit mix (callers needing strict injectivity should size the
+// family to 2^(8·len(key))). This supports §4.2's "compute v_u from the
+// bit representation of u".
+func (c *Incoherent) VectorForKey(key []byte) *SparseUnit {
+	var u uint64
+	fits := len(key) <= 8
+	if fits {
+		for i, b := range key {
+			u |= uint64(b) << (8 * uint(i))
+		}
+	} else {
+		// FNV-1a style mix for long keys.
+		u = 1469598103934665603
+		for _, b := range key {
+			u ^= uint64(b)
+			u *= 1099511628211
+		}
+	}
+	return c.Vector(u % c.N)
+}
+
+// GaussianFamily is the randomized (Johnson–Lindenstrauss) counterpart:
+// n random unit vectors in dimension d, incoherent with high probability
+// when d = Ω(ε⁻²·log n). Used by the Theorem 3 case-3 staircase
+// construction, where the paper invokes the JL lemma.
+type GaussianFamily struct {
+	Vecs []vec.Vector
+}
+
+// NewGaussianFamily draws n iid uniform unit vectors in R^d.
+func NewGaussianFamily(rng *xrand.RNG, n, d int) *GaussianFamily {
+	if n < 0 || d <= 0 {
+		panic(fmt.Sprintf("codes: invalid Gaussian family n=%d d=%d", n, d))
+	}
+	vs := make([]vec.Vector, n)
+	for i := range vs {
+		vs[i] = rng.UnitVec(d)
+	}
+	return &GaussianFamily{Vecs: vs}
+}
+
+// MaxCoherence returns max_{i≠j} |v_iᵀv_j| (O(n²·d); intended for tests
+// and certification, not hot paths).
+func (g *GaussianFamily) MaxCoherence() float64 {
+	var m float64
+	for i := range g.Vecs {
+		for j := i + 1; j < len(g.Vecs); j++ {
+			if a := math.Abs(vec.Dot(g.Vecs[i], g.Vecs[j])); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// JLDim returns the standard dimension bound ⌈c·ε⁻²·ln n⌉ sufficient for
+// n unit vectors to be ε-incoherent with high probability (c = 8 is a
+// comfortable constant for the union bound over n² pairs).
+func JLDim(n int, eps float64) int {
+	if n < 2 || eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("codes: JLDim invalid n=%d eps=%v", n, eps))
+	}
+	return int(math.Ceil(8 * math.Log(float64(n)) / (eps * eps)))
+}

@@ -1,0 +1,180 @@
+package codes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestIncoherentParameters(t *testing.T) {
+	c, err := NewIncoherent(1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Eps() > 0.1 {
+		t.Fatalf("certified eps %v exceeds request", c.Eps())
+	}
+	if c.Dim() <= 0 {
+		t.Fatalf("dim = %d", c.Dim())
+	}
+}
+
+func TestIncoherentUnitNorm(t *testing.T) {
+	c, err := NewIncoherent(100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint64(0); u < 20; u++ {
+		v := c.Vector(u).Dense()
+		if math.Abs(vec.Norm(v)-1) > 1e-9 {
+			t.Fatalf("vector %d has norm %v", u, vec.Norm(v))
+		}
+	}
+}
+
+func TestIncoherencePairwise(t *testing.T) {
+	// Exhaustively verify |v_i·v_j| ≤ ε over a moderate family, using both
+	// the sparse and the dense inner products.
+	c, err := NewIncoherent(200, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := c.Eps()
+	n := uint64(200)
+	sparse := make([]*SparseUnit, n)
+	for u := uint64(0); u < n; u++ {
+		sparse[u] = c.Vector(u)
+	}
+	for i := uint64(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := sparse[i].Dot(sparse[j])
+			if d > eps+1e-12 {
+				t.Fatalf("coherence |v%d·v%d| = %v > eps %v", i, j, d, eps)
+			}
+			if i < 10 && j < 10 {
+				dd := vec.Dot(sparse[i].Dense(), sparse[j].Dense())
+				if math.Abs(dd-d) > 1e-12 {
+					t.Fatalf("sparse/dense dot mismatch: %v vs %v", d, dd)
+				}
+			}
+		}
+	}
+}
+
+func TestVectorDistinctness(t *testing.T) {
+	c, err := NewIncoherent(500, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]uint64{}
+	for u := uint64(0); u < 500; u++ {
+		key := ""
+		for _, p := range c.Vector(u).Positions {
+			key += string(rune(p)) + ","
+		}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("vectors %d and %d identical", prev, u)
+		}
+		seen[key] = u
+	}
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	c, _ := NewIncoherent(10, 0.3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Vector(10)
+}
+
+func TestVectorForKey(t *testing.T) {
+	c, _ := NewIncoherent(1<<16, 0.2)
+	a := c.VectorForKey([]byte{1, 2})
+	b := c.VectorForKey([]byte{1, 2})
+	if a.Dot(b) < 0.999 {
+		t.Fatal("same key must give same vector")
+	}
+	d := c.VectorForKey([]byte{3, 4})
+	if a.Dot(d) > c.Eps()+1e-12 {
+		t.Fatalf("distinct keys insufficiently incoherent: %v", a.Dot(d))
+	}
+	long := c.VectorForKey([]byte("a longer key than eight bytes"))
+	if long == nil || long.Dim() != c.Dim() {
+		t.Fatal("long keys must be supported")
+	}
+}
+
+func TestNewIncoherentValidation(t *testing.T) {
+	if _, err := NewIncoherent(1, 0.1); err == nil {
+		t.Fatal("n=1 must fail")
+	}
+	if _, err := NewIncoherent(10, 0); err == nil {
+		t.Fatal("eps=0 must fail")
+	}
+	if _, err := NewIncoherent(10, 1); err == nil {
+		t.Fatal("eps=1 must fail")
+	}
+}
+
+func TestIncoherentLargeN(t *testing.T) {
+	// 2^40 addressable vectors must still yield sane parameters.
+	c, err := NewIncoherent(1<<40, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Eps() > 0.05 {
+		t.Fatalf("eps = %v", c.Eps())
+	}
+	v := c.Vector(1<<40 - 1)
+	if v.Dim() != c.Dim() {
+		t.Fatal("dimension mismatch at extreme index")
+	}
+}
+
+func TestGaussianFamilyIncoherence(t *testing.T) {
+	rng := xrand.New(42)
+	n, eps := 50, 0.5
+	d := JLDim(n, eps)
+	g := NewGaussianFamily(rng, n, d)
+	if got := g.MaxCoherence(); got > eps {
+		t.Fatalf("Gaussian family coherence %v > %v at JL dimension %d", got, eps, d)
+	}
+	for _, v := range g.Vecs[:5] {
+		if math.Abs(vec.Norm(v)-1) > 1e-9 {
+			t.Fatal("Gaussian family vectors must be unit")
+		}
+	}
+}
+
+func TestJLDimMonotone(t *testing.T) {
+	if JLDim(100, 0.1) <= JLDim(100, 0.2) {
+		t.Fatal("smaller eps needs more dimensions")
+	}
+	if JLDim(1000, 0.1) <= JLDim(10, 0.1) {
+		t.Fatal("more vectors need more dimensions")
+	}
+}
+
+func TestJLDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JLDim(1, 0.1)
+}
+
+func BenchmarkIncoherentVector(b *testing.B) {
+	c, err := NewIncoherent(1<<20, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Vector(uint64(i) % c.N)
+	}
+}

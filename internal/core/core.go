@@ -1,0 +1,182 @@
+// Package core is the problem layer of the reproduction: it encodes the
+// paper's Definition 1 — approximate signed and unsigned (cs, s) IPS
+// join — as checkable specifications, and wires the substrate engines
+// (exact scan, LSH index, linear sketch) behind a common interface with
+// guarantee verification.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/join"
+	"repro/internal/lsh"
+	"repro/internal/vec"
+)
+
+// Variant distinguishes the signed and unsigned problems.
+type Variant int
+
+const (
+	// Signed thresholds the inner product pᵀq.
+	Signed Variant = iota
+	// Unsigned thresholds |pᵀq|.
+	Unsigned
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Signed:
+		return "signed"
+	case Unsigned:
+		return "unsigned"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Spec is a (cs, s) join specification per Definition 1: report, for
+// each q with some pᵀq ≥ S, at least one pair at ≥ C·S.
+type Spec struct {
+	Variant Variant
+	// S is the promise threshold, C ∈ (0, 1] the approximation factor.
+	S, C float64
+}
+
+// Validate checks the specification parameters.
+func (sp Spec) Validate() error {
+	if sp.Variant != Signed && sp.Variant != Unsigned {
+		return fmt.Errorf("core: unknown variant %d", int(sp.Variant))
+	}
+	if sp.S <= 0 {
+		return fmt.Errorf("core: threshold s=%v must be positive", sp.S)
+	}
+	if sp.C <= 0 || sp.C > 1 {
+		return fmt.Errorf("core: approximation c=%v out of (0,1]", sp.C)
+	}
+	return nil
+}
+
+// CS returns the acceptance threshold c·s.
+func (sp Spec) CS() float64 { return sp.C * sp.S }
+
+// Engine is a join algorithm.
+type Engine interface {
+	Name() string
+	Join(P, Q []vec.Vector, sp Spec) (join.Result, error)
+}
+
+// Exact is the brute-force engine; it solves the exact problem (c = 1
+// behaviour) and serves as ground truth.
+type Exact struct{}
+
+// Name implements Engine.
+func (Exact) Name() string { return "exact" }
+
+// Join implements Engine.
+func (Exact) Join(P, Q []vec.Vector, sp Spec) (join.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return join.Result{}, err
+	}
+	if sp.Variant == Signed {
+		return join.NaiveSigned(P, Q, sp.S), nil
+	}
+	return join.NaiveUnsigned(P, Q, sp.S), nil
+}
+
+// LSH is the banding-index engine over a caller-chosen family.
+type LSH struct {
+	// NewFamily builds the hash family for input dimension d.
+	NewFamily func(d int) (lsh.Family, error)
+	K, L      int
+	Seed      uint64
+}
+
+// Name implements Engine.
+func (LSH) Name() string { return "lsh" }
+
+// Join implements Engine.
+func (e LSH) Join(P, Q []vec.Vector, sp Spec) (join.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return join.Result{}, err
+	}
+	if len(P) == 0 || len(Q) == 0 {
+		return join.Result{}, fmt.Errorf("core: empty input")
+	}
+	if e.NewFamily == nil {
+		return join.Result{}, fmt.Errorf("core: LSH engine needs NewFamily")
+	}
+	fam, err := e.NewFamily(len(P[0]))
+	if err != nil {
+		return join.Result{}, err
+	}
+	j := join.LSHJoiner{Family: fam, K: e.K, L: e.L, Seed: e.Seed}
+	if sp.Variant == Signed {
+		return j.Signed(P, Q, sp.S, sp.CS())
+	}
+	return j.Unsigned(P, Q, sp.S, sp.CS())
+}
+
+// Sketch is the §4.3 linear-sketch engine (unsigned only).
+type Sketch struct {
+	Kappa  float64
+	Copies int
+	Seed   uint64
+}
+
+// Name implements Engine.
+func (Sketch) Name() string { return "sketch" }
+
+// Join implements Engine.
+func (e Sketch) Join(P, Q []vec.Vector, sp Spec) (join.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return join.Result{}, err
+	}
+	if sp.Variant != Unsigned {
+		return join.Result{}, fmt.Errorf("core: sketch engine supports unsigned joins only")
+	}
+	j := join.SketchJoiner{Kappa: e.Kappa, Copies: e.Copies, Seed: e.Seed}
+	return j.Unsigned(P, Q, sp.S, sp.CS())
+}
+
+// CheckGuarantee verifies a result against Definition 1 by brute force:
+// every query with a partner at ≥ s must have a reported pair whose
+// true inner product (per the variant) is ≥ c·s, and every reported
+// pair must actually clear c·s. Returns nil when the guarantee holds.
+func CheckGuarantee(P, Q []vec.Vector, res join.Result, sp Spec) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	value := func(p, q vec.Vector) float64 {
+		if sp.Variant == Signed {
+			return vec.Dot(p, q)
+		}
+		return vec.AbsDot(p, q)
+	}
+	reported := make(map[int]join.Match, len(res.Matches))
+	for _, m := range res.Matches {
+		if m.PIdx < 0 || m.PIdx >= len(P) || m.QIdx < 0 || m.QIdx >= len(Q) {
+			return fmt.Errorf("core: match %+v out of range", m)
+		}
+		if v := value(P[m.PIdx], Q[m.QIdx]); v < sp.CS()-1e-12 {
+			return fmt.Errorf("core: reported pair (%d,%d) has value %v < cs %v",
+				m.PIdx, m.QIdx, v, sp.CS())
+		}
+		reported[m.QIdx] = m
+	}
+	for qi, q := range Q {
+		promised := false
+		for _, p := range P {
+			if value(p, q) >= sp.S {
+				promised = true
+				break
+			}
+		}
+		if promised {
+			if _, ok := reported[qi]; !ok {
+				return fmt.Errorf("core: query %d has a partner at >= s=%v but no reported pair",
+					qi, sp.S)
+			}
+		}
+	}
+	return nil
+}

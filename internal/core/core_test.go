@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+	"repro/internal/lsh"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{Variant: Signed, S: 0.5, C: 0.5}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Variant: Variant(9), S: 1, C: 0.5},
+		{Variant: Signed, S: 0, C: 0.5},
+		{Variant: Signed, S: 1, C: 0},
+		{Variant: Signed, S: 1, C: 1.5},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+	if ok.CS() != 0.25 {
+		t.Fatalf("CS = %v", ok.CS())
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Signed.String() != "signed" || Unsigned.String() != "unsigned" {
+		t.Fatal("strings")
+	}
+	if !strings.Contains(Variant(7).String(), "7") {
+		t.Fatal("unknown variant string")
+	}
+}
+
+func TestExactEngineGuarantee(t *testing.T) {
+	rng := xrand.New(1)
+	P, Q, _ := dataset.Planted(rng, 50, 10, 8, 0.9, []int{0, 5})
+	sp := Spec{Variant: Signed, S: 0.8, C: 0.5}
+	res, err := Exact{}.Join(P, Q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGuarantee(P, Q, res, sp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSHEngineGuarantee(t *testing.T) {
+	rng := xrand.New(2)
+	P, Q, _ := dataset.Planted(rng, 100, 10, 16, 0.95, []int{1, 4, 8})
+	sp := Spec{Variant: Signed, S: 0.9, C: 0.5}
+	e := LSH{
+		NewFamily: func(d int) (lsh.Family, error) { return lsh.NewHyperplane(d) },
+		K:         6, L: 32, Seed: 3,
+	}
+	res, err := e.Join(P, Q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGuarantee(P, Q, res, sp); err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared >= int64(len(P)*len(Q)) {
+		t.Fatal("LSH engine did quadratic work")
+	}
+}
+
+func TestSketchEngineUnsignedOnly(t *testing.T) {
+	rng := xrand.New(4)
+	P, Q, _ := dataset.Planted(rng, 64, 4, 8, 0.95, []int{1})
+	e := Sketch{Kappa: 3, Copies: 9, Seed: 5}
+	if _, err := e.Join(P, Q, Spec{Variant: Signed, S: 0.9, C: 0.5}); err == nil {
+		t.Fatal("signed sketch join must fail")
+	}
+	sp := Spec{Variant: Unsigned, S: 0.9, C: 0.25}
+	res, err := e.Join(P, Q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reported pairs must be valid; full recall is probabilistic but the
+	// planted pair is overwhelming here.
+	if err := CheckGuarantee(P, Q, res, sp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckGuaranteeCatchesMissing(t *testing.T) {
+	P := []vec.Vector{{1, 0}}
+	Q := []vec.Vector{{1, 0}}
+	sp := Spec{Variant: Signed, S: 0.5, C: 0.5}
+	if err := CheckGuarantee(P, Q, join.Result{}, sp); err == nil {
+		t.Fatal("missing pair must be caught")
+	}
+}
+
+func TestCheckGuaranteeCatchesBadPair(t *testing.T) {
+	P := []vec.Vector{{1, 0}, {0, 1}}
+	Q := []vec.Vector{{1, 0}}
+	sp := Spec{Variant: Signed, S: 0.5, C: 0.5}
+	// Claiming the orthogonal vector satisfies the query is a lie.
+	res := join.Result{Matches: []join.Match{{QIdx: 0, PIdx: 1, Value: 0.9}}}
+	if err := CheckGuarantee(P, Q, res, sp); err == nil {
+		t.Fatal("bad pair must be caught")
+	}
+	oob := join.Result{Matches: []join.Match{{QIdx: 0, PIdx: 5}}}
+	if err := CheckGuarantee(P, Q, oob, sp); err == nil {
+		t.Fatal("out-of-range pair must be caught")
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if (Exact{}).Name() != "exact" || (LSH{}).Name() != "lsh" || (Sketch{}).Name() != "sketch" {
+		t.Fatal("engine names")
+	}
+}
+
+func TestLSHEngineValidation(t *testing.T) {
+	sp := Spec{Variant: Signed, S: 1, C: 0.5}
+	if _, err := (LSH{}).Join(nil, nil, sp); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	P := []vec.Vector{{1}}
+	if _, err := (LSH{K: 1, L: 1}).Join(P, P, sp); err == nil {
+		t.Fatal("missing NewFamily must fail")
+	}
+}

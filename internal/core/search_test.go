@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func searchWorkload(seed uint64) (P, Q []vec.Vector) {
+	rng := xrand.New(seed)
+	P, Q, _ = dataset.Planted(rng, 200, 20, 16, 0.95, []int{0, 5, 10, 15})
+	return P, Q
+}
+
+func TestExactSearchGuarantee(t *testing.T) {
+	P, Q := searchWorkload(1)
+	s, err := ExactSearch{}.Build(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{Variant: Signed, S: 0.9, C: 0.5}
+	frac, err := CheckSearchGuarantee(P, Q, s, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1 {
+		t.Fatalf("exact search answered %v of promised queries", frac)
+	}
+}
+
+func TestALSHSearchGuarantee(t *testing.T) {
+	P, Q := searchWorkload(2)
+	s, err := ALSHSearch{K: 6, L: 32, Seed: 3}.Build(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{Variant: Signed, S: 0.9, C: 0.5}
+	frac, err := CheckSearchGuarantee(P, Q, s, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.99 {
+		t.Fatalf("ALSH search answered only %v of promised queries", frac)
+	}
+}
+
+func TestALSHSearchUnsignedNegativePartner(t *testing.T) {
+	P, Q := searchWorkload(4)
+	P[42] = vec.Scaled(Q[3].Clone(), -0.97)
+	s, err := ALSHSearch{K: 6, L: 32, Seed: 5}.Build(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{Variant: Unsigned, S: 0.9, C: 0.5}
+	idx, val, ok := s.Search(Q[3], sp)
+	if !ok || idx != 42 {
+		t.Fatalf("unsigned ALSH search = (%d, %v, %v), want planted 42", idx, val, ok)
+	}
+}
+
+func TestSketchSearch(t *testing.T) {
+	P, Q := searchWorkload(6)
+	b := SketchSearch{Kappa: 3, Copies: 9, Seed: 7}
+	s, err := b.Build(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak approximation per the paper: accept c = n^{−1/κ}.
+	sp := Spec{Variant: Unsigned, S: 0.9, C: 0.1}
+	frac, err := CheckSearchGuarantee(P, Q, s, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.7 {
+		t.Fatalf("sketch search answered only %v of promised queries", frac)
+	}
+	// Signed searches are refused (contract is unsigned-only).
+	if _, _, ok := s.Search(Q[0], Spec{Variant: Signed, S: 0.9, C: 0.1}); ok {
+		t.Fatal("sketch searcher must refuse signed specs")
+	}
+}
+
+func TestCheckSearchGuaranteeCatchesLies(t *testing.T) {
+	P := []vec.Vector{{1, 0}, {0, 1}}
+	Q := []vec.Vector{{1, 0}}
+	sp := Spec{Variant: Signed, S: 0.5, C: 0.5}
+	if _, err := CheckSearchGuarantee(P, Q, lyingSearcher{idx: 1, val: 0.9}, sp); err == nil {
+		t.Fatal("below-threshold answer must be caught")
+	}
+	if _, err := CheckSearchGuarantee(P, Q, lyingSearcher{idx: 7, val: 0.9}, sp); err == nil {
+		t.Fatal("out-of-range index must be caught")
+	}
+	if _, err := CheckSearchGuarantee(P, Q, lyingSearcher{idx: 0, val: 0.2}, sp); err == nil {
+		t.Fatal("misreported value must be caught")
+	}
+}
+
+type lyingSearcher struct {
+	idx int
+	val float64
+}
+
+func (l lyingSearcher) Search(q vec.Vector, sp Spec) (int, float64, bool) {
+	return l.idx, l.val, true
+}
+
+func TestSearchBuilderNames(t *testing.T) {
+	if (ExactSearch{}).Name() != "exact-search" ||
+		(ALSHSearch{}).Name() != "alsh-search" ||
+		(SketchSearch{}).Name() != "sketch-search" {
+		t.Fatal("names")
+	}
+}
+
+func TestSearchBuildersRejectEmpty(t *testing.T) {
+	if _, err := (ExactSearch{}).Build(nil); err == nil {
+		t.Fatal("exact must reject empty")
+	}
+	if _, err := (ALSHSearch{}).Build(nil); err == nil {
+		t.Fatal("alsh must reject empty")
+	}
+	if _, err := (SketchSearch{Kappa: 3, Copies: 3}).Build(nil); err == nil {
+		t.Fatal("sketch must reject empty")
+	}
+}

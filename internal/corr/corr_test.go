@@ -1,0 +1,156 @@
+package corr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+func TestInstancePlantedCorrelation(t *testing.T) {
+	rng := xrand.New(1)
+	in, err := NewInstance(rng, 50, 50, 1024, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := bitvec.DotSigns(in.P[in.PIdx], in.Q[in.QIdx])
+	// Planted dot ≈ ρ·d = 614 with std √d ≈ 32.
+	if float64(dot) < 0.45*1024 || float64(dot) > 0.75*1024 {
+		t.Fatalf("planted dot %d far from rho·d", dot)
+	}
+	// Background pairs stay near 0: check a few.
+	for pi := 0; pi < 5; pi++ {
+		if pi == in.PIdx {
+			continue
+		}
+		v := bitvec.DotSigns(in.P[pi], in.Q[in.QIdx])
+		if math.Abs(float64(v)) > 5*math.Sqrt(1024) {
+			t.Fatalf("background dot %d too large", v)
+		}
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	rng := xrand.New(2)
+	if _, err := NewInstance(rng, 0, 1, 8, 0.5); err == nil {
+		t.Fatal("nP=0 must fail")
+	}
+	if _, err := NewInstance(rng, 1, 1, 8, 0); err == nil {
+		t.Fatal("rho=0 must fail")
+	}
+	if _, err := NewInstance(rng, 1, 1, 8, 1.5); err == nil {
+		t.Fatal("rho>1 must fail")
+	}
+}
+
+func TestNaiveFindsPlanted(t *testing.T) {
+	rng := xrand.New(3)
+	in, err := NewInstance(rng, 40, 40, 512, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Naive(in)
+	if res.PIdx != in.PIdx || res.QIdx != in.QIdx {
+		t.Fatalf("naive found (%d,%d), want (%d,%d)", res.PIdx, res.QIdx, in.PIdx, in.QIdx)
+	}
+	if res.Work != int64(40*40*512) {
+		t.Fatalf("work = %d", res.Work)
+	}
+}
+
+func TestAggregateFindsPlanted(t *testing.T) {
+	rng := xrand.New(4)
+	const n, d, g = 64, 4096, 4
+	// ρ must clear the aggregation noise threshold.
+	rho := 2 * MinSignal(n, d, g)
+	if rho > 1 {
+		t.Fatalf("test parameters give infeasible rho %v", rho)
+	}
+	found := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		in, err := NewInstance(rng.Split(uint64(trial)), n, n, d, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Aggregate(in, g, rng.Split(uint64(1000+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PIdx == in.PIdx && res.QIdx == in.QIdx {
+			found++
+		}
+	}
+	if found < 8 {
+		t.Fatalf("aggregate recovered the planted pair in only %d/%d trials", found, trials)
+	}
+}
+
+func TestAggregateSavesWork(t *testing.T) {
+	rng := xrand.New(5)
+	const n, d, g = 128, 4096, 4
+	rho := 2 * MinSignal(n, d, g)
+	in, err := NewInstance(rng, n, n, d, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := Naive(in)
+	agg, err := Aggregate(in, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (n/g)² + g² inner products vs n²: a g² ≈ 16x saving here.
+	if agg.Work*4 > naive.Work {
+		t.Fatalf("aggregation work %d not far below naive %d", agg.Work, naive.Work)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	rng := xrand.New(6)
+	in, _ := NewInstance(rng, 8, 8, 64, 0.9)
+	if _, err := Aggregate(in, 0, rng); err == nil {
+		t.Fatal("g=0 must fail")
+	}
+	if _, err := Aggregate(in, 9, rng); err == nil {
+		t.Fatal("g>n must fail")
+	}
+}
+
+func TestMinSignalMonotone(t *testing.T) {
+	// Bigger groups need stronger signal; more dimensions need less.
+	if MinSignal(64, 1024, 8) <= MinSignal(64, 1024, 2) {
+		t.Fatal("threshold must grow with g")
+	}
+	if MinSignal(64, 4096, 4) >= MinSignal(64, 256, 4) {
+		t.Fatal("threshold must shrink with d")
+	}
+}
+
+func BenchmarkNaive_n64_d1024(b *testing.B) {
+	rng := xrand.New(7)
+	in, err := NewInstance(rng, 64, 64, 1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Naive(in)
+	}
+}
+
+func BenchmarkAggregate_n64_d1024_g4(b *testing.B) {
+	rng := xrand.New(8)
+	in, err := NewInstance(rng, 64, 64, 1024, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(in, 4, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package dataset generates the synthetic workloads used across the
+// reproduction's examples and benchmarks: Gaussian clouds, latent-factor
+// recommender vectors (the Teflioudi et al. motivation in the paper's
+// introduction), binary set data with skewed popularity, and
+// planted-pair instances with controlled inner products.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Gaussian returns n iid standard Gaussian vectors in R^d, optionally
+// normalized to the unit sphere.
+func Gaussian(rng *xrand.RNG, n, d int, normalize bool) []vec.Vector {
+	validateShape(n, d)
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := vec.Vector(rng.NormalVec(d))
+		if normalize {
+			vec.Normalize(v)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// UnitBall returns n vectors uniform in the d-dimensional unit ball.
+func UnitBall(rng *xrand.RNG, n, d int) []vec.Vector {
+	validateShape(n, d)
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := vec.Vector(rng.UnitVec(d))
+		vec.Scale(v, math.Pow(rng.Float64(), 1/float64(d)))
+		out[i] = v
+	}
+	return out
+}
+
+// LatentFactor models a matrix-factorisation recommender: item vectors
+// are Gaussian factors scaled by a popularity weight with lognormal
+// skew, and user (query) vectors are Gaussian factors. This produces
+// the unnormalised, wildly-varying-norm data that makes plain cosine
+// methods fail on MIPS — the paper's motivating regime.
+type LatentFactor struct {
+	// Items are the data vectors P, Users the query vectors Q.
+	Items, Users []vec.Vector
+	// MaxItemNorm is the largest ‖item‖, the U/M bound for reductions.
+	MaxItemNorm float64
+}
+
+// NewLatentFactor generates a latent-factor workload with the given
+// numbers of items/users, rank d and popularity skew sigma (stddev of
+// the lognormal norm multiplier; 0 disables skew).
+func NewLatentFactor(rng *xrand.RNG, items, users, d int, sigma float64) *LatentFactor {
+	validateShape(items, d)
+	validateShape(users, d)
+	if sigma < 0 {
+		panic(fmt.Sprintf("dataset: negative sigma %v", sigma))
+	}
+	lf := &LatentFactor{
+		Items: make([]vec.Vector, items),
+		Users: make([]vec.Vector, users),
+	}
+	inv := 1 / math.Sqrt(float64(d))
+	for i := range lf.Items {
+		v := vec.Vector(rng.NormalVec(d))
+		vec.Scale(v, inv*math.Exp(sigma*rng.Normal()))
+		lf.Items[i] = v
+		if n := vec.Norm(v); n > lf.MaxItemNorm {
+			lf.MaxItemNorm = n
+		}
+	}
+	for i := range lf.Users {
+		v := vec.Vector(rng.NormalVec(d))
+		vec.Scale(v, inv)
+		lf.Users[i] = v
+	}
+	return lf
+}
+
+// ScaleItemsToUnitBall rescales all item vectors by 1/MaxItemNorm so
+// they fit the paper's unit-ball data domain, returning the scale used.
+// Inner products scale by the same factor.
+func (lf *LatentFactor) ScaleItemsToUnitBall() float64 {
+	if lf.MaxItemNorm == 0 {
+		return 1
+	}
+	scale := 1 / lf.MaxItemNorm
+	for _, v := range lf.Items {
+		vec.Scale(v, scale)
+	}
+	lf.MaxItemNorm = 1
+	return scale
+}
+
+// BinarySets generates n binary vectors over a universe of size d where
+// element popularity follows Zipf(a) and each set has the given average
+// size. Sets are returned as 0/1 float vectors, ready for the MinHash
+// families.
+func BinarySets(rng *xrand.RNG, n, d, avgSize int, zipfA float64) []vec.Vector {
+	validateShape(n, d)
+	if avgSize <= 0 || avgSize > d {
+		panic(fmt.Sprintf("dataset: avgSize %d out of (0, %d]", avgSize, d))
+	}
+	z := xrand.NewZipf(rng, d, zipfA)
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := vec.New(d)
+		size := 1 + rng.Intn(2*avgSize-1) // mean ≈ avgSize
+		for filled := 0; filled < size; {
+			e := z.Draw()
+			if v[e] == 0 {
+				v[e] = 1
+				filled++
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Planted plants, for each listed query index, a data vector achieving
+// inner product ≈ target with that query; all other products stay weak.
+// Returns the data, queries, and the planted data index per query.
+func Planted(rng *xrand.RNG, nP, nQ, d int, target float64, hotQueries []int) (P, Q []vec.Vector, plantedAt map[int]int) {
+	validateShape(nP, d)
+	validateShape(nQ, d)
+	P = make([]vec.Vector, nP)
+	for i := range P {
+		P[i] = vec.Scaled(vec.Vector(rng.UnitVec(d)), 0.3)
+	}
+	Q = make([]vec.Vector, nQ)
+	for i := range Q {
+		Q[i] = vec.Vector(rng.UnitVec(d))
+	}
+	plantedAt = make(map[int]int, len(hotQueries))
+	for hi, qi := range hotQueries {
+		if qi < 0 || qi >= nQ {
+			panic(fmt.Sprintf("dataset: hot query %d out of range", qi))
+		}
+		pi := hi % nP
+		P[pi] = vec.Scaled(Q[qi].Clone(), target)
+		plantedAt[qi] = pi
+	}
+	return P, Q, plantedAt
+}
+
+// MaxNorm returns the largest Euclidean norm in the set.
+func MaxNorm(vs []vec.Vector) float64 {
+	var m float64
+	for _, v := range vs {
+		if n := vec.Norm(v); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+func validateShape(n, d int) {
+	if n <= 0 || d <= 0 {
+		panic(fmt.Sprintf("dataset: invalid shape n=%d d=%d", n, d))
+	}
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestGaussianShape(t *testing.T) {
+	rng := xrand.New(1)
+	vs := Gaussian(rng, 50, 8, false)
+	if len(vs) != 50 || len(vs[0]) != 8 {
+		t.Fatalf("shape %dx%d", len(vs), len(vs[0]))
+	}
+	norm := Gaussian(rng, 20, 8, true)
+	for _, v := range norm {
+		if math.Abs(vec.Norm(v)-1) > 1e-9 {
+			t.Fatalf("normalized vector has norm %v", vec.Norm(v))
+		}
+	}
+}
+
+func TestUnitBall(t *testing.T) {
+	rng := xrand.New(2)
+	vs := UnitBall(rng, 200, 5)
+	for _, v := range vs {
+		if vec.Norm(v) > 1+1e-12 {
+			t.Fatalf("ball vector has norm %v", vec.Norm(v))
+		}
+	}
+	// Uniform ball mass concentrates near the boundary.
+	inner := 0
+	for _, v := range vs {
+		if vec.Norm(v) < 0.5 {
+			inner++
+		}
+	}
+	if frac := float64(inner) / 200; frac > 0.15 { // (1/2)^5 ≈ 3% expected
+		t.Fatalf("too much mass near the centre: %v", frac)
+	}
+}
+
+func TestLatentFactorSkew(t *testing.T) {
+	rng := xrand.New(3)
+	lf := NewLatentFactor(rng, 300, 50, 16, 0.8)
+	if len(lf.Items) != 300 || len(lf.Users) != 50 {
+		t.Fatal("shape")
+	}
+	norms := make([]float64, len(lf.Items))
+	for i, v := range lf.Items {
+		norms[i] = vec.Norm(v)
+	}
+	minN, maxN := norms[0], norms[0]
+	for _, n := range norms {
+		minN = math.Min(minN, n)
+		maxN = math.Max(maxN, n)
+	}
+	if maxN/minN < 3 {
+		t.Fatalf("expected skewed norms, ratio %v", maxN/minN)
+	}
+	if math.Abs(lf.MaxItemNorm-maxN) > 1e-12 {
+		t.Fatalf("MaxItemNorm %v != %v", lf.MaxItemNorm, maxN)
+	}
+}
+
+func TestLatentFactorNoSkew(t *testing.T) {
+	rng := xrand.New(4)
+	lf := NewLatentFactor(rng, 100, 10, 16, 0)
+	var lo, hi float64 = math.Inf(1), 0
+	for _, v := range lf.Items {
+		n := vec.Norm(v)
+		lo, hi = math.Min(lo, n), math.Max(hi, n)
+	}
+	if hi/lo > 3 {
+		t.Fatalf("sigma=0 should give mild norm spread, got %v", hi/lo)
+	}
+}
+
+func TestScaleItemsToUnitBall(t *testing.T) {
+	rng := xrand.New(5)
+	lf := NewLatentFactor(rng, 50, 5, 8, 1.0)
+	scale := lf.ScaleItemsToUnitBall()
+	if scale <= 0 {
+		t.Fatalf("scale %v", scale)
+	}
+	if MaxNorm(lf.Items) > 1+1e-9 {
+		t.Fatalf("items not in unit ball: %v", MaxNorm(lf.Items))
+	}
+}
+
+func TestBinarySets(t *testing.T) {
+	rng := xrand.New(6)
+	vs := BinarySets(rng, 100, 64, 8, 1.0)
+	popularity := make([]int, 64)
+	for _, v := range vs {
+		size := 0
+		for e, x := range v {
+			if x == 1 {
+				size++
+				popularity[e]++
+			} else if x != 0 {
+				t.Fatalf("non-binary entry %v", x)
+			}
+		}
+		if size == 0 || size > 16 {
+			t.Fatalf("set size %d out of expected range", size)
+		}
+	}
+	// Zipf: element 0 must be much more popular than element 50.
+	if popularity[0] <= popularity[50] {
+		t.Fatalf("no popularity skew: %d vs %d", popularity[0], popularity[50])
+	}
+}
+
+func TestBinarySetsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BinarySets(xrand.New(1), 10, 8, 9, 1)
+}
+
+func TestPlanted(t *testing.T) {
+	rng := xrand.New(7)
+	hot := []int{1, 4}
+	P, Q, at := Planted(rng, 30, 10, 12, 0.9, hot)
+	for _, qi := range hot {
+		pi, ok := at[qi]
+		if !ok {
+			t.Fatalf("query %d not planted", qi)
+		}
+		if got := vec.Dot(P[pi], Q[qi]); math.Abs(got-0.9) > 1e-9 {
+			t.Fatalf("planted inner product %v", got)
+		}
+	}
+	// Non-hot queries should have no strong partner.
+	for qi := range Q {
+		if _, hotq := at[qi]; hotq {
+			continue
+		}
+		for pi := range P {
+			if _, isPlanted := at[qi]; !isPlanted {
+				if v := vec.AbsDot(P[pi], Q[qi]); v > 0.95 {
+					t.Fatalf("unexpected strong pair (%d,%d): %v", pi, qi, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPlantedPanicsOnBadHot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Planted(xrand.New(1), 5, 5, 4, 0.9, []int{7})
+}
+
+func TestMaxNorm(t *testing.T) {
+	if got := MaxNorm([]vec.Vector{{3, 4}, {1, 0}}); got != 5 {
+		t.Fatalf("MaxNorm = %v", got)
+	}
+	if got := MaxNorm(nil); got != 0 {
+		t.Fatalf("MaxNorm(nil) = %v", got)
+	}
+}

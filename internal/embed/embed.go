@@ -1,0 +1,353 @@
+// Package embed implements the three gap embeddings of Lemma 3 in
+// Ahle, Pagh, Razenshteyn, Silvestri, "On the Complexity of Inner
+// Product Similarity Join" (PODS 2016). A gap embedding is a pair of
+// maps (f, g) from OVP inputs {0,1}^d1 into a restricted alphabet such
+// that orthogonal input pairs land at inner product ≥ s while
+// non-orthogonal pairs land at (absolute) inner product ≤ cs. These are
+// the engines of the paper's Theorems 1 and 2: they transfer OVP
+// hardness to approximate IPS join.
+//
+// All three constructions here are exact and deterministic; the (cs, s)
+// parameters are certified identities, not estimates, and the tests
+// verify them exhaustively on random OVP pairs.
+package embed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/cheb"
+)
+
+// Params describes a (d1, d2, cs, s) gap embedding.
+type Params struct {
+	// D1 is the input OVP dimension, D2 the output dimension.
+	D1, D2 int
+	// CS is the guaranteed bound on |f(x)ᵀg(y)| for non-orthogonal pairs;
+	// S is the guaranteed inner product for orthogonal pairs.
+	CS, S float64
+	// Signed records whether the guarantee is on the signed inner product
+	// (true) or its absolute value (false = unsigned).
+	Signed bool
+	// Alphabet is a human-readable domain tag: "{-1,1}" or "{0,1}".
+	Alphabet string
+}
+
+// C returns the approximation factor cs/s of the embedding.
+func (p Params) C() float64 { return p.CS / p.S }
+
+// Ratio returns log(s/d2)/log(cs/d2), the normalized hardness parameter
+// used by Theorem 2 and the fourth column of Table 1. It is NaN when
+// cs = 0 (embedding 1, where the ratio tends to 0 in the paper's
+// c → 0 limit).
+func (p Params) Ratio() float64 {
+	d2 := float64(p.D2)
+	return math.Log(p.S/d2) / math.Log(p.CS/d2)
+}
+
+// SignedPM1 is embedding 1: a signed (d, 4d−4, 0, 4) embedding into
+// {−1,1}. Orthogonal pairs map to inner product exactly 4; pairs with
+// xᵀy ≥ 1 map to inner product ≤ 0 (possibly very negative — the signed
+// guarantee does not care).
+type SignedPM1 struct {
+	d int
+}
+
+// NewSignedPM1 returns embedding 1 for input dimension d ≥ 4.
+func NewSignedPM1(d int) (*SignedPM1, error) {
+	if d < 4 {
+		return nil, fmt.Errorf("embed: SignedPM1 requires d >= 4, got %d", d)
+	}
+	return &SignedPM1{d: d}, nil
+}
+
+// Params returns the certified (d, 4d−4, 0, 4) parameters.
+func (e *SignedPM1) Params() Params {
+	return Params{D1: e.d, D2: 4*e.d - 4, CS: 0, S: 4, Signed: true, Alphabet: "{-1,1}"}
+}
+
+// coordF and coordG are the per-coordinate maps fˆ, gˆ of Lemma 3:
+// fˆ(0)=(1,−1,−1), fˆ(1)=(1,1,1); gˆ(0)=(1,1,−1), gˆ(1)=(−1,−1,−1).
+// They satisfy fˆ(a)ᵀgˆ(b) = 1 unless a=b=1, where it is −3.
+var (
+	coordF = [2][3]int{{1, -1, -1}, {1, 1, 1}}
+	coordG = [2][3]int{{1, 1, -1}, {-1, -1, -1}}
+)
+
+func (e *SignedPM1) check(x *bitvec.Bits) {
+	if x.N != e.d {
+		panic(fmt.Sprintf("embed: input dimension %d, embedding built for %d", x.N, e.d))
+	}
+}
+
+// F embeds a data vector.
+func (e *SignedPM1) F(x *bitvec.Bits) *bitvec.Signs {
+	e.check(x)
+	out := bitvec.NewSigns(4*e.d - 4)
+	pos := 0
+	for i := 0; i < e.d; i++ {
+		for _, v := range coordF[x.Bit(i)] {
+			out.SetSign(pos, v)
+			pos++
+		}
+	}
+	// Trailing d−4 coordinates stay +1 (translate inner product by −(d−4)
+	// against G's −1 block).
+	return out
+}
+
+// G embeds a query vector.
+func (e *SignedPM1) G(y *bitvec.Bits) *bitvec.Signs {
+	e.check(y)
+	out := bitvec.NewSigns(4*e.d - 4)
+	pos := 0
+	for i := 0; i < e.d; i++ {
+		for _, v := range coordG[y.Bit(i)] {
+			out.SetSign(pos, v)
+			pos++
+		}
+	}
+	for i := 0; i < e.d-4; i++ {
+		out.SetSign(pos, -1)
+		pos++
+	}
+	return out
+}
+
+// ChebyshevPM1 is embedding 2: an unsigned
+// (d, dim_q, (2d)^q, (2d)^q·T_q(1+1/d)) embedding into {−1,1} realising
+// the scaled Chebyshev polynomial (2d)^q·T_q(u/(2d)) on the translated
+// base inner product u. It is the deterministic counterpart of Valiant's
+// randomized Chebyshev embedding.
+type ChebyshevPM1 struct {
+	d, q int
+	dim  int
+}
+
+// MaxChebyshevDim caps the output dimension of NewChebyshevPM1; the
+// recursion grows like (9d)^q, so callers must opt in to large builds.
+const MaxChebyshevDim = 1 << 26
+
+// NewChebyshevPM1 returns embedding 2 for input dimension d ≥ 4 and
+// polynomial order q ≥ 1. The output dimension follows the recurrence
+// d_0 = 1, d_1 = 4d+2, d_q = 2(4d+2)·d_{q−1} + (2d)²·d_{q−2} and is
+// bounded by (9d)^q for d ≥ 8.
+func NewChebyshevPM1(d, q int) (*ChebyshevPM1, error) {
+	if d < 4 {
+		return nil, fmt.Errorf("embed: ChebyshevPM1 requires d >= 4, got %d", d)
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("embed: ChebyshevPM1 requires q >= 1, got %d", q)
+	}
+	dims, err := chebDims(d, q)
+	if err != nil {
+		return nil, err
+	}
+	return &ChebyshevPM1{d: d, q: q, dim: dims[q]}, nil
+}
+
+// chebDims returns the dimension sequence d_0..d_q, guarding overflow.
+func chebDims(d, q int) ([]int, error) {
+	dims := make([]int, q+1)
+	dims[0] = 1
+	if q >= 1 {
+		dims[1] = 4*d + 2
+	}
+	for i := 2; i <= q; i++ {
+		dims[i] = 2*(4*d+2)*dims[i-1] + (2*d)*(2*d)*dims[i-2]
+		if dims[i] <= 0 || dims[i] > MaxChebyshevDim {
+			return nil, fmt.Errorf("embed: ChebyshevPM1 dimension %d exceeds cap %d at level %d",
+				dims[i], MaxChebyshevDim, i)
+		}
+	}
+	return dims, nil
+}
+
+// Params returns the certified parameters. S is the exact orthogonal
+// inner product (2d)^q·T_q(1+1/d); CS is the exact bound (2d)^q.
+func (e *ChebyshevPM1) Params() Params {
+	b := float64(2 * e.d)
+	cs := math.Pow(b, float64(e.q))
+	s := cs * cheb.T(e.q, 1+1/float64(e.d))
+	return Params{D1: e.d, D2: e.dim, CS: cs, S: s, Signed: false, Alphabet: "{-1,1}"}
+}
+
+func (e *ChebyshevPM1) check(x *bitvec.Bits) {
+	if x.N != e.d {
+		panic(fmt.Sprintf("embed: input dimension %d, embedding built for %d", x.N, e.d))
+	}
+}
+
+// baseF maps x into {−1,1}^{4d+2}: the per-coordinate map followed by
+// d+2 trailing (+1) coordinates; against baseG this gives inner product
+// u = (d − 4·xᵀy) + (d+2), i.e. 2d+2 for orthogonal pairs and
+// |u| ≤ 2d−2 otherwise.
+func (e *ChebyshevPM1) baseF(x *bitvec.Bits) *bitvec.Signs {
+	out := bitvec.NewSigns(4*e.d + 2)
+	pos := 0
+	for i := 0; i < e.d; i++ {
+		for _, v := range coordF[x.Bit(i)] {
+			out.SetSign(pos, v)
+			pos++
+		}
+	}
+	// trailing d+2 coordinates stay +1
+	return out
+}
+
+func (e *ChebyshevPM1) baseG(y *bitvec.Bits) *bitvec.Signs {
+	out := bitvec.NewSigns(4*e.d + 2)
+	pos := 0
+	for i := 0; i < e.d; i++ {
+		for _, v := range coordG[y.Bit(i)] {
+			out.SetSign(pos, v)
+			pos++
+		}
+	}
+	// trailing d+2 coordinates stay +1
+	return out
+}
+
+// build runs the tensor recursion
+// h_q = (base ⊗ h_{q−1})^{⊕2} ⊕ (σ·h_{q−2})^{⊕(2d)²}
+// with σ = +1 on the data side and σ = −1 on the query side, which
+// realises ip_q = 2u·ip_{q−1} − (2d)²·ip_{q−2} = (2d)^q·T_q(u/2d).
+func (e *ChebyshevPM1) build(base *bitvec.Signs, negateOlder bool) *bitvec.Signs {
+	prev := bitvec.AllOnes(1) // h_0
+	cur := base.Clone()       // h_1
+	sq := (2 * e.d) * (2 * e.d)
+	for level := 2; level <= e.q; level++ {
+		t := bitvec.TensorSigns(base, cur)
+		older := prev
+		if negateOlder {
+			older = prev.Neg()
+		}
+		next := bitvec.ConcatSigns(t, t, bitvec.RepeatSigns(older, sq))
+		prev, cur = cur, next
+	}
+	return cur
+}
+
+// F embeds a data vector.
+func (e *ChebyshevPM1) F(x *bitvec.Bits) *bitvec.Signs {
+	e.check(x)
+	return e.build(e.baseF(x), false)
+}
+
+// G embeds a query vector.
+func (e *ChebyshevPM1) G(y *bitvec.Bits) *bitvec.Signs {
+	e.check(y)
+	return e.build(e.baseG(y), true)
+}
+
+// ChebyshevRatio returns the Theorem-2 hardness parameter
+// log(s/d2)/log(cs/d2) of embedding 2, computed analytically with a
+// floating-point dimension recurrence so it works at scales where the
+// explicit vectors would not fit in memory.
+func ChebyshevRatio(d, q int) float64 {
+	if d < 4 || q < 1 {
+		panic(fmt.Sprintf("embed: ChebyshevRatio invalid d=%d q=%d", d, q))
+	}
+	// log-space dimension recurrence to avoid overflow.
+	prev, cur := 0.0, math.Log(float64(4*d+2)) // log d_0, log d_1
+	a := math.Log(2 * float64(4*d+2))
+	b := 2 * math.Log(float64(2*d))
+	for i := 2; i <= q; i++ {
+		// log(e^{a+cur} + e^{b+prev})
+		hi, lo := a+cur, b+prev
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		prev, cur = cur, hi+math.Log1p(math.Exp(lo-hi))
+	}
+	logD2 := cur
+	logCS := float64(q) * math.Log(float64(2*d))
+	logS := logCS + math.Log(cheb.T(q, 1+1/float64(d)))
+	return (logS - logD2) / (logCS - logD2)
+}
+
+// Chopped01 is embedding 3: an unsigned (d, ≤k·2^⌈d/k⌉, k−1, k)
+// embedding into {0,1}. It realises the chopped product polynomial
+// Σ_chunks Π_{j∈chunk} (1 − x_j·y_j): each chunk contributes 1 exactly
+// when the two inputs do not overlap inside the chunk.
+type Chopped01 struct {
+	d, k   int
+	chunks []int // chunk lengths, summing to d
+	dim    int
+}
+
+// MaxChoppedDim caps the output dimension of NewChopped01.
+const MaxChoppedDim = 1 << 26
+
+// NewChopped01 returns embedding 3 for input dimension d and chunk count
+// 1 ≤ k ≤ d. Larger k means smaller output dimension (k·2^{d/k}) but a
+// weaker gap (k−1 vs k).
+func NewChopped01(d, k int) (*Chopped01, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("embed: Chopped01 requires d >= 1, got %d", d)
+	}
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("embed: Chopped01 requires 1 <= k <= d, got k=%d d=%d", k, d)
+	}
+	base, extra := d/k, d%k
+	chunks := make([]int, k)
+	dim := 0
+	for i := range chunks {
+		chunks[i] = base
+		if i < extra {
+			chunks[i]++
+		}
+		if chunks[i] > 60 {
+			return nil, fmt.Errorf("embed: Chopped01 chunk length %d too large (max 60)", chunks[i])
+		}
+		dim += 1 << uint(chunks[i])
+		if dim > MaxChoppedDim {
+			return nil, fmt.Errorf("embed: Chopped01 dimension exceeds cap %d", MaxChoppedDim)
+		}
+	}
+	return &Chopped01{d: d, k: k, chunks: chunks, dim: dim}, nil
+}
+
+// Params returns the certified (d, Σ2^{chunk}, k−1, k) parameters.
+func (e *Chopped01) Params() Params {
+	return Params{D1: e.d, D2: e.dim, CS: float64(e.k - 1), S: float64(e.k),
+		Signed: false, Alphabet: "{0,1}"}
+}
+
+func (e *Chopped01) check(x *bitvec.Bits) {
+	if x.N != e.d {
+		panic(fmt.Sprintf("embed: input dimension %d, embedding built for %d", x.N, e.d))
+	}
+}
+
+// pairF returns the 2-dim factor (1−x_j, 1) and pairG returns (y_j, 1−y_j);
+// their inner product is (1−x_j)·y_j + (1−y_j) = 1 − x_j·y_j.
+func pairF(bit int) *bitvec.Bits { return bitvec.BitsFromInts([]int{1 - bit, 1}) }
+func pairG(bit int) *bitvec.Bits { return bitvec.BitsFromInts([]int{bit, 1 - bit}) }
+
+func (e *Chopped01) apply(x *bitvec.Bits, pair func(int) *bitvec.Bits) *bitvec.Bits {
+	parts := make([]*bitvec.Bits, 0, e.k)
+	pos := 0
+	for _, clen := range e.chunks {
+		t := bitvec.BitsFromInts([]int{1})
+		for j := 0; j < clen; j++ {
+			t = bitvec.TensorBits(t, pair(x.Bit(pos)))
+			pos++
+		}
+		parts = append(parts, t)
+	}
+	return bitvec.ConcatBits(parts...)
+}
+
+// F embeds a data vector.
+func (e *Chopped01) F(x *bitvec.Bits) *bitvec.Bits {
+	e.check(x)
+	return e.apply(x, pairF)
+}
+
+// G embeds a query vector.
+func (e *Chopped01) G(y *bitvec.Bits) *bitvec.Bits {
+	e.check(y)
+	return e.apply(y, pairG)
+}

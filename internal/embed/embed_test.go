@@ -1,0 +1,367 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/cheb"
+)
+
+// randPair returns random x, y ∈ {0,1}^d with exactly the requested
+// number of overlapping 1-positions (xᵀy = overlap).
+func randPair(r *rand.Rand, d, overlap int) (*bitvec.Bits, *bitvec.Bits) {
+	x, y := bitvec.NewBits(d), bitvec.NewBits(d)
+	perm := r.Perm(d)
+	pos := 0
+	for i := 0; i < overlap; i++ {
+		x.SetBit(perm[pos], 1)
+		y.SetBit(perm[pos], 1)
+		pos++
+	}
+	// Remaining positions: never both 1.
+	for ; pos < d; pos++ {
+		switch r.Intn(3) {
+		case 0:
+			x.SetBit(perm[pos], 1)
+		case 1:
+			y.SetBit(perm[pos], 1)
+		}
+	}
+	return x, y
+}
+
+func TestSignedPM1Exact(t *testing.T) {
+	// f(x)ᵀg(y) = 4 − 4·xᵀy exactly.
+	r := rand.New(rand.NewSource(1))
+	for _, d := range []int{4, 5, 8, 16, 33} {
+		e, err := NewSignedPM1(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := e.Params()
+		if p.D2 != 4*d-4 || p.S != 4 || p.CS != 0 || !p.Signed {
+			t.Fatalf("params = %+v", p)
+		}
+		for ov := 0; ov <= min(d, 5); ov++ {
+			x, y := randPair(r, d, ov)
+			fx, gy := e.F(x), e.G(y)
+			if fx.N != p.D2 || gy.N != p.D2 {
+				t.Fatalf("dim %d, want %d", fx.N, p.D2)
+			}
+			got := bitvec.DotSigns(fx, gy)
+			if got != 4-4*ov {
+				t.Fatalf("d=%d ov=%d: dot = %d, want %d", d, ov, got, 4-4*ov)
+			}
+		}
+	}
+}
+
+func TestSignedPM1Gap(t *testing.T) {
+	// Property: orthogonal ⇒ dot ≥ s; non-orthogonal ⇒ dot ≤ cs = 0.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 4 + r.Intn(30)
+		e, _ := NewSignedPM1(d)
+		p := e.Params()
+		ov := r.Intn(min(d, 4))
+		x, y := randPair(r, d, ov)
+		dot := float64(bitvec.DotSigns(e.F(x), e.G(y)))
+		if ov == 0 {
+			return dot >= p.S
+		}
+		return dot <= p.CS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedPM1Validation(t *testing.T) {
+	if _, err := NewSignedPM1(3); err == nil {
+		t.Fatal("d=3 must fail")
+	}
+}
+
+func TestSignedPM1DimMismatchPanics(t *testing.T) {
+	e, _ := NewSignedPM1(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.F(bitvec.NewBits(9))
+}
+
+func TestChebyshevExactIdentity(t *testing.T) {
+	// f_q(x)ᵀg_q(y) = (2d)^q·T_q(u/2d) with u = 2d+2−4·xᵀy, exactly.
+	r := rand.New(rand.NewSource(2))
+	for _, d := range []int{4, 8, 11} {
+		for q := 1; q <= 3; q++ {
+			e, err := NewChebyshevPM1(d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ov := 0; ov <= 3; ov++ {
+				x, y := randPair(r, d, ov)
+				got := float64(bitvec.DotSigns(e.F(x), e.G(y)))
+				u := float64(2*d + 2 - 4*ov)
+				want := cheb.ScaledRec(q, u, float64(2*d))
+				if got != want {
+					t.Fatalf("d=%d q=%d ov=%d: dot=%v want=%v", d, q, ov, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestChebyshevGap(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, d := range []int{8, 16} {
+		for q := 1; q <= 3; q++ {
+			e, _ := NewChebyshevPM1(d, q)
+			p := e.Params()
+			if p.S <= p.CS {
+				t.Fatalf("d=%d q=%d: s=%v must exceed cs=%v", d, q, p.S, p.CS)
+			}
+			// Certified s must respect the paper's e^{q/√d}/2 growth bound.
+			if lb := p.CS * cheb.GrowthLowerBound(q, 1/float64(d)); p.S < lb {
+				t.Fatalf("s=%v below growth bound %v", p.S, lb)
+			}
+			for trial := 0; trial < 10; trial++ {
+				ov := r.Intn(4)
+				x, y := randPair(r, d, ov)
+				dot := math.Abs(float64(bitvec.DotSigns(e.F(x), e.G(y))))
+				if ov == 0 && dot < p.S {
+					t.Fatalf("orthogonal pair dot %v < s %v", dot, p.S)
+				}
+				if ov > 0 && dot > p.CS {
+					t.Fatalf("overlapping pair |dot| %v > cs %v", dot, p.CS)
+				}
+			}
+		}
+	}
+}
+
+func TestChebyshevDimensionBound(t *testing.T) {
+	// d_q ≤ (9d)^q for d ≥ 8 (the paper's bound).
+	for _, d := range []int{8, 16, 32} {
+		for q := 1; q <= 3; q++ {
+			e, err := NewChebyshevPM1(d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := math.Pow(9*float64(d), float64(q))
+			if float64(e.Params().D2) > bound {
+				t.Fatalf("d=%d q=%d: dim %d > (9d)^q = %v", d, q, e.Params().D2, bound)
+			}
+		}
+	}
+}
+
+func TestChebyshevDimCap(t *testing.T) {
+	if _, err := NewChebyshevPM1(64, 6); err == nil {
+		t.Fatal("expected dimension-cap error")
+	}
+	if _, err := NewChebyshevPM1(3, 1); err == nil {
+		t.Fatal("d=3 must fail")
+	}
+	if _, err := NewChebyshevPM1(8, 0); err == nil {
+		t.Fatal("q=0 must fail")
+	}
+}
+
+func TestChebyshevRatioApproachesOne(t *testing.T) {
+	// Theorem 2: with q = √d, log(s/d2)/log(cs/d2) = 1 − o(1/√log n);
+	// numerically the ratio must increase towards 1 with d. Use the
+	// analytic helper at scales where explicit construction is infeasible.
+	prev := 0.0
+	for _, d := range []int{16, 64, 256, 1024} {
+		q := int(math.Sqrt(float64(d)))
+		ratio := ChebyshevRatio(d, q)
+		if ratio <= 0 || ratio >= 1 {
+			t.Fatalf("d=%d: ratio %v out of (0,1)", d, ratio)
+		}
+		if ratio < prev {
+			t.Fatalf("ratio should grow with d: %v then %v", prev, ratio)
+		}
+		prev = ratio
+	}
+	// The analytic helper must agree with the constructed embedding where
+	// both are available.
+	e, err := NewChebyshevPM1(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ChebyshevRatio(8, 2), e.Params().Ratio(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("analytic ratio %v != constructed %v", got, want)
+	}
+}
+
+func TestChopped01Exact(t *testing.T) {
+	// f(x)ᵀg(y) = number of chunks with no overlapping 1s.
+	r := rand.New(rand.NewSource(4))
+	for _, d := range []int{4, 10, 16, 23} {
+		for _, k := range []int{1, 2, 4} {
+			if k > d {
+				continue
+			}
+			e, err := NewChopped01(d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := e.Params()
+			if p.S != float64(k) || p.CS != float64(k-1) {
+				t.Fatalf("params = %+v", p)
+			}
+			for trial := 0; trial < 20; trial++ {
+				ov := r.Intn(3)
+				x, y := randPair(r, d, ov)
+				fx, gy := e.F(x), e.G(y)
+				if fx.N != p.D2 || gy.N != p.D2 {
+					t.Fatalf("dim %d want %d", fx.N, p.D2)
+				}
+				got := bitvec.DotBits(fx, gy)
+				want := chunksWithoutOverlap(x, y, e.chunks)
+				if got != want {
+					t.Fatalf("d=%d k=%d: dot=%d want=%d", d, k, got, want)
+				}
+				if ov == 0 && got != k {
+					t.Fatalf("orthogonal pair must hit s=k, got %d", got)
+				}
+				if ov > 0 && got > k-1 {
+					t.Fatalf("overlapping pair exceeded cs=k−1: %d", got)
+				}
+			}
+		}
+	}
+}
+
+func chunksWithoutOverlap(x, y *bitvec.Bits, chunks []int) int {
+	pos, count := 0, 0
+	for _, clen := range chunks {
+		clean := 1
+		for j := 0; j < clen; j++ {
+			if x.Bit(pos)&y.Bit(pos) == 1 {
+				clean = 0
+			}
+			pos++
+		}
+		count += clean
+	}
+	return count
+}
+
+func TestChopped01UnevenChunks(t *testing.T) {
+	// d not divisible by k: chunk lengths must sum to d and differ by ≤1.
+	e, err := NewChopped01(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range e.chunks {
+		total += c
+		if c != 3 && c != 4 {
+			t.Fatalf("chunk length %d", c)
+		}
+	}
+	if total != 13 {
+		t.Fatalf("chunks sum to %d", total)
+	}
+}
+
+func TestChopped01DimFormula(t *testing.T) {
+	// For k | d the dimension is exactly k·2^{d/k}.
+	e, err := NewChopped01(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Params().D2, 4*(1<<4); got != want {
+		t.Fatalf("dim = %d, want %d", got, want)
+	}
+	// k = d gives dimension 2d (the Theorem 2 parametrisation).
+	e2, err := NewChopped01(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Params().D2; got != 40 {
+		t.Fatalf("k=d dim = %d, want 40", got)
+	}
+}
+
+func TestChopped01Validation(t *testing.T) {
+	if _, err := NewChopped01(0, 1); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	if _, err := NewChopped01(8, 9); err == nil {
+		t.Fatal("k>d must fail")
+	}
+	if _, err := NewChopped01(8, 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := NewChopped01(64, 1); err == nil {
+		t.Fatal("chunk length 64 must fail (2^64 dims)")
+	}
+}
+
+func TestChopped01Ratio(t *testing.T) {
+	// With k = d the ratio is 1 − Θ(1/d) (Theorem 2 case 2).
+	r16, _ := NewChopped01(16, 16)
+	r64, _ := NewChopped01(64, 64)
+	rat16, rat64 := r16.Params().Ratio(), r64.Params().Ratio()
+	if !(0 < rat16 && rat16 < rat64 && rat64 < 1) {
+		t.Fatalf("ratios %v, %v should increase towards 1", rat16, rat64)
+	}
+}
+
+func TestParamsC(t *testing.T) {
+	e, _ := NewChopped01(10, 5)
+	if got := e.Params().C(); got != 0.8 {
+		t.Fatalf("C() = %v, want 0.8", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkSignedPM1_d64(b *testing.B) {
+	e, _ := NewSignedPM1(64)
+	r := rand.New(rand.NewSource(5))
+	x, _ := randPair(r, 64, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.F(x)
+	}
+}
+
+func BenchmarkChebyshev_d8q3(b *testing.B) {
+	e, err := NewChebyshevPM1(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	x, _ := randPair(r, 8, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.F(x)
+	}
+}
+
+func BenchmarkChopped01_d32k8(b *testing.B) {
+	e, err := NewChopped01(32, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	x, _ := randPair(r, 32, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.F(x)
+	}
+}

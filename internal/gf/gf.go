@@ -1,0 +1,126 @@
+// Package gf implements arithmetic in prime fields GF(p) for the
+// Reed–Solomon code construction behind the paper's §4.2 symmetric LSH
+// (explicit ε-incoherent vector collections, Nelson–Nguyen–Woodruff).
+//
+// Elements are represented as uint64 values in [0, p). Field moduli are
+// restricted to p < 2^31 so products fit in uint64 without overflow.
+package gf
+
+import "fmt"
+
+// MaxPrime is the largest supported field modulus (exclusive bound keeps
+// products inside uint64).
+const MaxPrime = 1 << 31
+
+// Field is a prime field GF(p).
+type Field struct {
+	P uint64
+}
+
+// NewField returns GF(p). It validates that p is prime and within range.
+func NewField(p uint64) (*Field, error) {
+	if p < 2 || p >= MaxPrime {
+		return nil, fmt.Errorf("gf: modulus %d out of range [2, 2^31)", p)
+	}
+	if !IsPrime(p) {
+		return nil, fmt.Errorf("gf: modulus %d is not prime", p)
+	}
+	return &Field{P: p}, nil
+}
+
+// IsPrime reports whether n is prime (deterministic trial division; field
+// moduli are small so this is fast and dependency-free).
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	if n%3 == 0 {
+		return n == 3
+	}
+	for i := uint64(5); i*i <= n; i += 6 {
+		if n%i == 0 || n%(i+2) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime ≥ n. Panics if it would exceed
+// MaxPrime.
+func NextPrime(n uint64) uint64 {
+	if n < 2 {
+		return 2
+	}
+	for p := n; p < MaxPrime; p++ {
+		if IsPrime(p) {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("gf: no prime in [%d, 2^31)", n))
+}
+
+// Add returns (a + b) mod p.
+func (f *Field) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= f.P {
+		s -= f.P
+	}
+	return s
+}
+
+// Sub returns (a − b) mod p.
+func (f *Field) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + f.P - b
+}
+
+// Mul returns (a · b) mod p.
+func (f *Field) Mul(a, b uint64) uint64 { return a * b % f.P }
+
+// Neg returns (−a) mod p.
+func (f *Field) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return f.P - a
+}
+
+// Pow returns a^e mod p by square-and-multiply.
+func (f *Field) Pow(a, e uint64) uint64 {
+	a %= f.P
+	var r uint64 = 1
+	for e > 0 {
+		if e&1 == 1 {
+			r = f.Mul(r, a)
+		}
+		a = f.Mul(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of a, using Fermat's little
+// theorem. Panics on a ≡ 0.
+func (f *Field) Inv(a uint64) uint64 {
+	if a%f.P == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.Pow(a, f.P-2)
+}
+
+// EvalPoly evaluates the polynomial with coefficients coeffs (coeffs[i]
+// is the coefficient of x^i) at point x, by Horner's rule. Coefficients
+// may be arbitrary uint64 values; they are reduced mod p.
+func (f *Field) EvalPoly(coeffs []uint64, x uint64) uint64 {
+	var acc uint64
+	x %= f.P
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, x), coeffs[i]%f.P)
+	}
+	return acc
+}

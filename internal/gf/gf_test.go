@@ -1,0 +1,131 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 13, 101, 7919, 104729}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Fatalf("%d should be prime", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 6, 9, 15, 7917, 104730, 121}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Fatalf("%d should not be prime", c)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[uint64]uint64{0: 2, 2: 2, 3: 3, 4: 5, 14: 17, 100: 101}
+	for n, want := range cases {
+		if got := NextPrime(n); got != want {
+			t.Fatalf("NextPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField(4); err == nil {
+		t.Fatal("NewField(4) must fail")
+	}
+	if _, err := NewField(1); err == nil {
+		t.Fatal("NewField(1) must fail")
+	}
+	if _, err := NewField(1 << 32); err == nil {
+		t.Fatal("NewField over range must fail")
+	}
+	f, err := NewField(101)
+	if err != nil || f.P != 101 {
+		t.Fatalf("NewField(101) = %v, %v", f, err)
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f, _ := NewField(10007)
+	check := func(a, b uint64) bool {
+		a %= f.P
+		b %= f.P
+		if f.Add(a, b) != (a+b)%f.P {
+			return false
+		}
+		if f.Mul(a, b) != a*b%f.P {
+			return false
+		}
+		if f.Add(a, f.Neg(a)) != 0 {
+			return false
+		}
+		if f.Sub(a, b) != f.Add(a, f.Neg(b)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	f, _ := NewField(10007)
+	for a := uint64(1); a < 200; a++ {
+		if f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("Inv(%d) wrong", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	f, _ := NewField(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	f, _ := NewField(13)
+	if f.Pow(2, 0) != 1 || f.Pow(2, 1) != 2 || f.Pow(2, 12) != 1 {
+		t.Fatal("Pow basic identities failed (Fermat)")
+	}
+	if f.Pow(3, 5) != 243%13 {
+		t.Fatalf("Pow(3,5) = %d", f.Pow(3, 5))
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	f, _ := NewField(101)
+	// p(x) = 3 + 2x + x²
+	coeffs := []uint64{3, 2, 1}
+	for x := uint64(0); x < 10; x++ {
+		want := (3 + 2*x + x*x) % 101
+		if got := f.EvalPoly(coeffs, x); got != want {
+			t.Fatalf("EvalPoly at %d = %d, want %d", x, got, want)
+		}
+	}
+	if f.EvalPoly(nil, 5) != 0 {
+		t.Fatal("empty polynomial must evaluate to 0")
+	}
+}
+
+func TestEvalPolyDegreeBound(t *testing.T) {
+	// Two distinct degree-<K polynomials agree on at most K−1 points —
+	// the algebraic fact behind RS incoherence.
+	f, _ := NewField(31)
+	a := []uint64{1, 2, 3} // degree < 3
+	b := []uint64{4, 5, 6}
+	agree := 0
+	for x := uint64(0); x < f.P; x++ {
+		if f.EvalPoly(a, x) == f.EvalPoly(b, x) {
+			agree++
+		}
+	}
+	if agree > 2 {
+		t.Fatalf("distinct cubics agree on %d > 2 points", agree)
+	}
+}

@@ -1,0 +1,218 @@
+// Package grid implements the combinatorial machinery of Lemma 4 and
+// Figure 1 of Ahle et al.: the n×n query/data collision grid
+// (P1-nodes at j ≥ i, P2-nodes at j < i), the partition of the lower
+// triangle into exponentially-sized squares G_{r,s}, the left/top block
+// geometry used in the mass-accounting proof, the resulting upper bound
+// on the LSH gap P1 − P2, and an empirical gap estimator for concrete
+// (A)LSH families evaluated on staircase sequences.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/lsh"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Square identifies the partition square G_{r,s}: side 2^r, covering
+// rows [s·2^{r+1}, (2s+1)·2^r − 1] and columns
+// [(2s+1)·2^r − 1, (s+1)·2^{r+1} − 2] of the grid. Its bottom-left
+// corner ((2s+1)2^r − 1, (2s+1)2^r − 1) sits on the diagonal, which is
+// the corner the paper quotes.
+type Square struct{ R, S int }
+
+// Side returns the square's side 2^r.
+func (sq Square) Side() int { return 1 << uint(sq.R) }
+
+// RowRange returns the half-open row interval [lo, hi).
+func (sq Square) RowRange() (lo, hi int) {
+	side := sq.Side()
+	lo = sq.S * 2 * side
+	return lo, lo + side
+}
+
+// ColRange returns the half-open column interval [lo, hi).
+func (sq Square) ColRange() (lo, hi int) {
+	side := sq.Side()
+	lo = (2*sq.S+1)*side - 1
+	return lo, lo + side
+}
+
+// Contains reports whether node (i, j) lies in the square.
+func (sq Square) Contains(i, j int) bool {
+	rlo, rhi := sq.RowRange()
+	clo, chi := sq.ColRange()
+	return rlo <= i && i < rhi && clo <= j && j < chi
+}
+
+// LeftBlockCols returns the half-open column interval of the left
+// squares of G_{r,s}: [s·2^{r+1}, (2s+1)·2^r − 1) (same rows).
+func (sq Square) LeftBlockCols() (lo, hi int) {
+	side := sq.Side()
+	return sq.S * 2 * side, (2*sq.S+1)*side - 1
+}
+
+// TopBlockRows returns the half-open row interval of the top squares of
+// G_{r,s}: ((2s+1)·2^r − 1, (s+1)·2^{r+1} − 1) as [lo, hi) (same cols).
+func (sq Square) TopBlockRows() (lo, hi int) {
+	side := sq.Side()
+	return (2*sq.S+1)*side - 1 + 1, (sq.S+1)*2*side - 1
+}
+
+// GridSize validates n = 2^ℓ − 1 and returns ℓ.
+func GridSize(n int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("grid: n=%d must be positive", n)
+	}
+	l := 0
+	for v := n + 1; v > 1; v >>= 1 {
+		if v&1 == 1 {
+			return 0, fmt.Errorf("grid: n=%d is not 2^l − 1", n)
+		}
+		l++
+	}
+	return l, nil
+}
+
+// Squares enumerates the partition of the lower triangle of the n×n
+// grid (n = 2^ℓ − 1): G_{r,s} for 0 ≤ r < ℓ, 0 ≤ s < 2^{ℓ−r−1}.
+func Squares(n int) ([]Square, error) {
+	l, err := GridSize(n)
+	if err != nil {
+		return nil, err
+	}
+	var out []Square
+	for r := 0; r < l; r++ {
+		count := 1 << uint(l-r-1)
+		for s := 0; s < count; s++ {
+			out = append(out, Square{R: r, S: s})
+		}
+	}
+	return out, nil
+}
+
+// Locate returns the unique partition square containing P1-node (i, j),
+// requiring 0 ≤ i ≤ j < n.
+func Locate(n, i, j int) (Square, error) {
+	l, err := GridSize(n)
+	if err != nil {
+		return Square{}, err
+	}
+	if i < 0 || j < i || j >= n {
+		return Square{}, fmt.Errorf("grid: node (%d,%d) not in lower triangle of %d-grid", i, j, n)
+	}
+	for r := 0; r < l; r++ {
+		side := 1 << uint(r)
+		// Columns of G_{r,s} are [(2s+1)·side − 1, (2s+2)·side − 2];
+		// equivalently (j+1) ∈ [(2s+1)·side, (2s+2)·side − 1].
+		t := j + 1
+		if t%(2*side) < side {
+			continue
+		}
+		s := (t - side) / (2 * side)
+		sq := Square{R: r, S: s}
+		if sq.Contains(i, j) {
+			return sq, nil
+		}
+	}
+	return Square{}, fmt.Errorf("grid: node (%d,%d) not covered — partition broken", i, j)
+}
+
+// GapBound returns the Lemma 4 upper bound on P1 − P2 for staircase
+// sequences of length n, with the constants that fall out of the proof's
+// final accounting (2n > (P1−P2)·n·log₂(n)/4 ⇒ P1 − P2 < 8/log₂ n).
+func GapBound(n int) float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("grid: GapBound needs n >= 2, got %d", n))
+	}
+	return 8 / math.Log2(float64(n))
+}
+
+// Render draws the grid partition as ASCII art in the style of
+// Figure 1: P1-nodes are labelled with the r of their square, P2-nodes
+// with '·'. For n = 15 this reproduces the figure's layout.
+func Render(n int) (string, error) {
+	if _, err := GridSize(n); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "    j→ ")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "%2d", j%100)
+	}
+	b.WriteString("\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "i=%3d  ", i)
+		for j := 0; j < n; j++ {
+			if j < i {
+				b.WriteString(" ·")
+				continue
+			}
+			sq, err := Locate(n, i, j)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%2d", sq.R)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// EmpiricalGap samples `trials` hashers from the family, evaluates them
+// on staircase sequences (P[j] data, Q[i] query), and returns the
+// empirical P1 (minimum collision frequency over nodes j ≥ i) and P2
+// (maximum over nodes j < i). Any valid (s, cs, P1, P2)-ALSH for the
+// similarity realised by the staircase must have P1 ≤ p1 and P2 ≥ p2,
+// so p1 − p2 is an upper bound on its achievable gap — Lemma 4 says it
+// stays below GapBound(n).
+func EmpiricalGap(f lsh.Family, P, Q []vec.Vector, trials int, seed uint64) (p1, p2 float64) {
+	n := len(P)
+	if n == 0 || len(Q) != n {
+		panic(fmt.Sprintf("grid: need equal nonempty sequences, got |P|=%d |Q|=%d", n, len(Q)))
+	}
+	if trials <= 0 {
+		panic(fmt.Sprintf("grid: trials=%d must be positive", trials))
+	}
+	counts := make([][]int, n) // counts[i][j] collisions of (q_i, p_j)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	rng := xrand.New(seed)
+	hp := make([]uint64, n)
+	hq := make([]uint64, n)
+	for t := 0; t < trials; t++ {
+		h := f.Sample(rng)
+		for j, p := range P {
+			hp[j] = h.HashData(p)
+		}
+		for i, q := range Q {
+			hq[i] = h.HashQuery(q)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if hq[i] == hp[j] {
+					counts[i][j]++
+				}
+			}
+		}
+	}
+	p1 = 1.0
+	p2 = 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			freq := float64(counts[i][j]) / float64(trials)
+			if j >= i {
+				if freq < p1 {
+					p1 = freq
+				}
+			} else if freq > p2 {
+				p2 = freq
+			}
+		}
+	}
+	return p1, p2
+}

@@ -1,0 +1,246 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lsh"
+	"repro/internal/vec"
+)
+
+func TestGridSize(t *testing.T) {
+	ok := map[int]int{1: 1, 3: 2, 7: 3, 15: 4, 1023: 10}
+	for n, want := range ok {
+		got, err := GridSize(n)
+		if err != nil || got != want {
+			t.Fatalf("GridSize(%d) = %d, %v; want %d", n, got, err, want)
+		}
+	}
+	for _, n := range []int{0, 2, 4, 8, 16, -1} {
+		if _, err := GridSize(n); err == nil {
+			t.Fatalf("GridSize(%d) should fail", n)
+		}
+	}
+}
+
+func TestSquaresPartitionLowerTriangle(t *testing.T) {
+	// Every node (i, j) with j ≥ i must be covered by exactly one square.
+	for _, n := range []int{1, 3, 7, 15, 31, 63} {
+		sqs, err := Squares(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover := make(map[[2]int]int)
+		for _, sq := range sqs {
+			rlo, rhi := sq.RowRange()
+			clo, chi := sq.ColRange()
+			for i := rlo; i < rhi; i++ {
+				for j := clo; j < chi; j++ {
+					if j < i || j >= n || i < 0 {
+						t.Fatalf("n=%d: square %+v leaves the lower triangle at (%d,%d)", n, sq, i, j)
+					}
+					cover[[2]int{i, j}]++
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if cover[[2]int{i, j}] != 1 {
+					t.Fatalf("n=%d: node (%d,%d) covered %d times", n, i, j, cover[[2]int{i, j}])
+				}
+			}
+		}
+	}
+}
+
+func TestSquareCounts(t *testing.T) {
+	// ℓ levels: 2^{ℓ−r−1} squares of side 2^r.
+	sqs, _ := Squares(15)
+	counts := map[int]int{}
+	for _, sq := range sqs {
+		counts[sq.R]++
+	}
+	want := map[int]int{0: 8, 1: 4, 2: 2, 3: 1}
+	for r, w := range want {
+		if counts[r] != w {
+			t.Fatalf("level %d has %d squares, want %d", r, counts[r], w)
+		}
+	}
+}
+
+func TestSquareDiagonalCorner(t *testing.T) {
+	// The bottom-left corner ((2s+1)2^r − 1, (2s+1)2^r − 1) must sit on
+	// the diagonal and inside the square.
+	sqs, _ := Squares(31)
+	for _, sq := range sqs {
+		corner := (2*sq.S + 1) * sq.Side()
+		if !sq.Contains(corner-1, corner-1) {
+			t.Fatalf("square %+v does not contain its diagonal corner %d", sq, corner-1)
+		}
+	}
+}
+
+func TestLocateAgreesWithEnumeration(t *testing.T) {
+	const n = 31
+	sqs, _ := Squares(n)
+	byNode := make(map[[2]int]Square)
+	for _, sq := range sqs {
+		rlo, rhi := sq.RowRange()
+		clo, chi := sq.ColRange()
+		for i := rlo; i < rhi; i++ {
+			for j := clo; j < chi; j++ {
+				byNode[[2]int{i, j}] = sq
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			got, err := Locate(n, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != byNode[[2]int{i, j}] {
+				t.Fatalf("Locate(%d,%d) = %+v, want %+v", i, j, got, byNode[[2]int{i, j}])
+			}
+		}
+	}
+}
+
+func TestLocateRejectsUpperTriangle(t *testing.T) {
+	if _, err := Locate(15, 5, 3); err == nil {
+		t.Fatal("P2-node must be rejected")
+	}
+	if _, err := Locate(15, 0, 15); err == nil {
+		t.Fatal("out of range must be rejected")
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	// For G_{2,0} on the 15-grid (rows 0..3, cols 3..6): left blocks span
+	// cols 0..2, top blocks rows 4..6 — as in the Figure 1 zoom.
+	sq := Square{R: 2, S: 0}
+	rlo, rhi := sq.RowRange()
+	clo, chi := sq.ColRange()
+	if rlo != 0 || rhi != 4 || clo != 3 || chi != 7 {
+		t.Fatalf("G_{2,0} geometry = rows [%d,%d) cols [%d,%d)", rlo, rhi, clo, chi)
+	}
+	llo, lhi := sq.LeftBlockCols()
+	if llo != 0 || lhi != 3 {
+		t.Fatalf("left block cols [%d,%d)", llo, lhi)
+	}
+	tlo, thi := sq.TopBlockRows()
+	if tlo != 4 || thi != 7 {
+		t.Fatalf("top block rows [%d,%d)", tlo, thi)
+	}
+}
+
+func TestLeftTopBlocksHoldSmallerSquares(t *testing.T) {
+	// The paper: the left (resp. top) blocks of G_{r,s} contain 2^{r-i-1}
+	// partition squares of side 2^i for each 0 ≤ i < r. Verify by counting
+	// the partition squares whose columns (resp. rows) fall inside the
+	// block range and whose rows (resp. columns) stay within the region.
+	const n = 63
+	sqs, _ := Squares(n)
+	for _, sq := range sqs {
+		if sq.R == 0 {
+			continue // no blocks
+		}
+		rlo, rhi := sq.RowRange()
+		llo, lhi := sq.LeftBlockCols()
+		leftCount := map[int]int{}
+		for _, other := range sqs {
+			olo, ohi := other.ColRange()
+			orlo, orhi := other.RowRange()
+			if olo >= llo && ohi <= lhi && orlo >= rlo && orhi <= rhi {
+				leftCount[other.R]++
+			}
+		}
+		for i := 0; i < sq.R; i++ {
+			if want := 1 << uint(sq.R-i-1); leftCount[i] != want {
+				t.Fatalf("left blocks of %+v: %d squares of side 2^%d, want %d",
+					sq, leftCount[i], i, want)
+			}
+		}
+		clo, chi := sq.ColRange()
+		tlo, thi := sq.TopBlockRows()
+		topCount := map[int]int{}
+		for _, other := range sqs {
+			orlo, orhi := other.RowRange()
+			oclo, ochi := other.ColRange()
+			if orlo >= tlo && orhi <= thi && oclo >= clo && ochi <= chi {
+				topCount[other.R]++
+			}
+		}
+		for i := 0; i < sq.R; i++ {
+			if want := 1 << uint(sq.R-i-1); topCount[i] != want {
+				t.Fatalf("top blocks of %+v: %d squares of side 2^%d, want %d",
+					sq, topCount[i], i, want)
+			}
+		}
+	}
+}
+
+func TestGapBound(t *testing.T) {
+	if GapBound(1024) >= GapBound(32) {
+		t.Fatal("bound must tighten with n")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 2")
+		}
+	}()
+	GapBound(1)
+}
+
+func TestRenderFigure1(t *testing.T) {
+	out, err := Render(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 16 { // header + 15 rows
+		t.Fatalf("render has %d lines", len(lines))
+	}
+	// Row 0 must start in square level 0 at (0,0) and contain the level-3
+	// square at columns 7..14.
+	if !strings.Contains(lines[1], " 0") || !strings.Contains(lines[1], " 3") {
+		t.Fatalf("row 0 rendering suspicious: %q", lines[1])
+	}
+	if _, err := Render(8); err == nil {
+		t.Fatal("invalid n must fail")
+	}
+}
+
+func TestEmpiricalGapSanity(t *testing.T) {
+	// A staircase where hits are near-duplicates and misses are
+	// near-orthogonal: hyperplane hashing should show a LARGE empirical
+	// gap here — establishing the estimator works — because this toy
+	// sequence is NOT a Lemma 4 staircase (it has huge length-1 "n").
+	d := 4
+	p := vec.Vector{1, 0, 0, 0}
+	q := vec.Vector{1, 0, 0, 0}
+	fam, _ := lsh.NewHyperplane(d)
+	p1, p2 := EmpiricalGap(fam, []vec.Vector{p}, []vec.Vector{q}, 500, 1)
+	if p1 != 1 || p2 != 0 {
+		t.Fatalf("single identical pair: p1=%v p2=%v", p1, p2)
+	}
+}
+
+func TestEmpiricalGapPanics(t *testing.T) {
+	fam, _ := lsh.NewHyperplane(2)
+	for i, f := range []func(){
+		func() { EmpiricalGap(fam, nil, nil, 10, 1) },
+		func() {
+			EmpiricalGap(fam, []vec.Vector{{1, 0}}, []vec.Vector{{1, 0}}, 0, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,135 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lsh"
+	"repro/internal/seqs"
+	"repro/internal/transform"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// staircase15 builds a 15-long case-1 staircase (d=1) plus the
+// SIMPLE-ALSH family over it.
+func staircase15(t testing.TB) ([]vec.Vector, []vec.Vector, lsh.Family) {
+	t.Helper()
+	const u = 1 << 16
+	st, err := seqs.Case1_1D(1.0/256, 0.5, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() < 15 {
+		t.Fatalf("staircase too short: %d", st.Len())
+	}
+	P, Q := st.P[:15], st.Q[:15]
+	tr, err := transform.NewSimple(1, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := lsh.NewHyperplane(tr.OutputDim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := lsh.NewAsymmetric("simple-alsh", lsh.MapPair{
+		Data:  tr.Data,
+		Query: tr.Query,
+	}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return P, Q, fam
+}
+
+func TestAccountMassesLedger(t *testing.T) {
+	P, Q, fam := staircase15(t)
+	ma, err := AccountMasses(fam, P, Q, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.N != 15 || len(ma.Squares) != 15 {
+		t.Fatalf("ledger shape N=%d squares=%d", ma.N, len(ma.Squares))
+	}
+	// Total square mass must equal the lower-triangle mass.
+	var squareTotal, lowerMass float64
+	for _, sm := range ma.Squares {
+		squareTotal += sm.Total
+	}
+	for i := 0; i < 15; i++ {
+		for j := i; j < 15; j++ {
+			lowerMass += ma.Mass[i][j]
+		}
+	}
+	if math.Abs(squareTotal-lowerMass) > 1e-9 {
+		t.Fatalf("square masses %v != lower-triangle mass %v", squareTotal, lowerMass)
+	}
+	if ma.P1 < 0 || ma.P1 > 1 || ma.P2 < 0 || ma.P2 > 1 {
+		t.Fatalf("P1=%v P2=%v out of range", ma.P1, ma.P2)
+	}
+}
+
+func TestAccountMassesProofInequalities(t *testing.T) {
+	P, Q, fam := staircase15(t)
+	ma, err := AccountMasses(fam, P, Q, 3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.VerifyProof(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// The headline consequence: the empirical gap respects Lemma 4.
+	if ma.Gap() > GapBound(15) {
+		t.Fatalf("gap %v above bound %v", ma.Gap(), GapBound(15))
+	}
+}
+
+func TestAccountMassesDegenerateFamily(t *testing.T) {
+	// A constant hash function collides everywhere: P1 = P2 = 1, all
+	// mass proper/partially-shared/shared must still decompose and the
+	// gap must be 0.
+	P := make([]vec.Vector, 7)
+	Q := make([]vec.Vector, 7)
+	for i := range P {
+		P[i] = vec.Vector{1}
+		Q[i] = vec.Vector{1}
+	}
+	fam := constFamily{}
+	ma, err := AccountMasses(fam, P, Q, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ma.P1-1) > 1e-9 || math.Abs(ma.P2-1) > 1e-9 || math.Abs(ma.Gap()) > 1e-9 {
+		t.Fatalf("constant family: P1=%v P2=%v", ma.P1, ma.P2)
+	}
+	if err := ma.VerifyProof(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type constFamily struct{}
+
+func (constFamily) Name() string { return "const" }
+func (constFamily) Sample(*xrand.RNG) lsh.Hasher {
+	return constHasher{}
+}
+
+type constHasher struct{}
+
+func (constHasher) HashData(vec.Vector) uint64  { return 7 }
+func (constHasher) HashQuery(vec.Vector) uint64 { return 7 }
+
+func TestAccountMassesValidation(t *testing.T) {
+	fam := constFamily{}
+	v := []vec.Vector{{1}}
+	if _, err := AccountMasses(fam, v, nil, 10, 1); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := AccountMasses(fam, v, v, 0, 1); err == nil {
+		t.Fatal("trials=0 must fail")
+	}
+	two := []vec.Vector{{1}, {1}}
+	if _, err := AccountMasses(fam, two, two, 10, 1); err == nil {
+		t.Fatal("n=2 (not 2^l−1) must fail")
+	}
+}

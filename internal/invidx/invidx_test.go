@@ -1,0 +1,136 @@
+package invidx
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+// randSets generates n random sets over universe d with Zipf-ish
+// density so document frequencies vary.
+func randSets(rng *xrand.RNG, n, d int, density float64) []*bitvec.Bits {
+	out := make([]*bitvec.Bits, n)
+	for i := range out {
+		b := bitvec.NewBits(d)
+		for e := 0; e < d; e++ {
+			// Element e appears with probability density·(1 − e/(2d)):
+			// earlier elements are more common.
+			if rng.Float64() < density*(1-float64(e)/float64(2*d)) {
+				b.SetBit(e, 1)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// naiveJoin is the quadratic reference.
+func naiveJoin(data, queries []*bitvec.Bits, t int) [][]Match {
+	out := make([][]Match, len(queries))
+	for qi, q := range queries {
+		for id, x := range data {
+			if ov := bitvec.DotBits(x, q); ov >= t {
+				out[qi] = append(out[qi], Match{ID: id, Overlap: ov})
+			}
+		}
+	}
+	return out
+}
+
+func TestOverlapJoinExactness(t *testing.T) {
+	rng := xrand.New(1)
+	data := randSets(rng, 150, 64, 0.2)
+	queries := randSets(rng, 40, 64, 0.2)
+	for _, threshold := range []int{1, 2, 4, 7} {
+		oj, err := NewOverlapJoin(data, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := oj.JoinAll(queries)
+		want := naiveJoin(data, queries, threshold)
+		for qi := range queries {
+			if len(got[qi]) != len(want[qi]) {
+				t.Fatalf("t=%d query %d: %d matches, want %d",
+					threshold, qi, len(got[qi]), len(want[qi]))
+			}
+			for i := range want[qi] {
+				if got[qi][i] != want[qi][i] {
+					t.Fatalf("t=%d query %d match %d: %+v vs %+v",
+						threshold, qi, i, got[qi][i], want[qi][i])
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapJoinPrunes(t *testing.T) {
+	rng := xrand.New(2)
+	data := randSets(rng, 500, 256, 0.05)
+	queries := randSets(rng, 50, 256, 0.05)
+	const threshold = 5
+	oj, err := NewOverlapJoin(data, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, work := oj.JoinAll(queries)
+	naive := len(data) * len(queries)
+	if work >= naive/2 {
+		t.Fatalf("prefix filter verified %d of %d pairs — no pruning", work, naive)
+	}
+}
+
+func TestOverlapJoinSmallSets(t *testing.T) {
+	// Sets smaller than t can neither match nor be matched.
+	small := bitvec.BitsFromInts([]int{1, 0, 0, 0})
+	big := bitvec.BitsFromInts([]int{1, 1, 1, 0})
+	oj, err := NewOverlapJoin([]*bitvec.Bits{small, big}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := oj.Query(big)
+	if len(matches) != 1 || matches[0].ID != 1 {
+		t.Fatalf("matches = %+v, want only the big set", matches)
+	}
+	if m, _ := oj.Query(small); m != nil {
+		t.Fatalf("undersized query must return nothing, got %+v", m)
+	}
+}
+
+func TestOverlapJoinValidation(t *testing.T) {
+	if _, err := NewOverlapJoin(nil, 1); err == nil {
+		t.Fatal("empty data must fail")
+	}
+	if _, err := NewOverlapJoin([]*bitvec.Bits{bitvec.NewBits(4)}, 0); err == nil {
+		t.Fatal("t=0 must fail")
+	}
+	ragged := []*bitvec.Bits{bitvec.NewBits(4), bitvec.NewBits(5)}
+	if _, err := NewOverlapJoin(ragged, 1); err == nil {
+		t.Fatal("ragged data must fail")
+	}
+}
+
+func TestOverlapJoinQueryDimPanics(t *testing.T) {
+	oj, _ := NewOverlapJoin([]*bitvec.Bits{bitvec.NewBits(4)}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	oj.Query(bitvec.NewBits(5))
+}
+
+func BenchmarkOverlapJoin_500x50(b *testing.B) {
+	rng := xrand.New(3)
+	data := randSets(rng, 500, 256, 0.05)
+	queries := randSets(rng, 50, 256, 0.05)
+	oj, err := NewOverlapJoin(data, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oj.JoinAll(queries)
+	}
+}

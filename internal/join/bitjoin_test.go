@@ -1,0 +1,166 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func randSignsSet(r *rand.Rand, n, d int) []*bitvec.Signs {
+	out := make([]*bitvec.Signs, n)
+	for i := range out {
+		s := bitvec.NewSigns(d)
+		for j := 0; j < d; j++ {
+			s.SetSign(j, 1-2*r.Intn(2))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func randBitsSet(r *rand.Rand, n, d int, density float64) []*bitvec.Bits {
+	out := make([]*bitvec.Bits, n)
+	for i := range out {
+		b := bitvec.NewBits(d)
+		for j := 0; j < d; j++ {
+			if r.Float64() < density {
+				b.SetBit(j, 1)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestSignsSignedMatchesFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	P := randSignsSet(r, 40, 96)
+	Q := randSignsSet(r, 20, 96)
+	fP := make([]vec.Vector, len(P))
+	for i, p := range P {
+		fP[i] = p.Floats()
+	}
+	fQ := make([]vec.Vector, len(Q))
+	for i, q := range Q {
+		fQ[i] = q.Floats()
+	}
+	const s = 10
+	packed := SignsSigned(P, Q, s)
+	float := NaiveSigned(fP, fQ, s)
+	if len(packed.Matches) != len(float.Matches) {
+		t.Fatalf("match counts differ: %d vs %d", len(packed.Matches), len(float.Matches))
+	}
+	for i := range packed.Matches {
+		if packed.Matches[i] != float.Matches[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, packed.Matches[i], float.Matches[i])
+		}
+	}
+}
+
+func TestSignsUnsignedSeesNegative(t *testing.T) {
+	d := 64
+	q := bitvec.NewSigns(d) // all +1
+	pNeg := q.Neg()         // all −1: dot = −64
+	pWeak := bitvec.NewSigns(d)
+	for j := 0; j < d/2; j++ {
+		pWeak.SetSign(j, -1) // dot = 0
+	}
+	P := []*bitvec.Signs{pWeak, pNeg}
+	Q := []*bitvec.Signs{q}
+	signed := SignsSigned(P, Q, 32)
+	if len(signed.Matches) != 0 {
+		t.Fatal("signed join must not match the negative partner")
+	}
+	unsigned := SignsUnsigned(P, Q, 32)
+	if len(unsigned.Matches) != 1 || unsigned.Matches[0].PIdx != 1 {
+		t.Fatalf("unsigned join = %+v", unsigned.Matches)
+	}
+}
+
+func TestBitsJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	P := randBitsSet(r, 30, 128, 0.3)
+	Q := randBitsSet(r, 15, 128, 0.3)
+	res := BitsJoin(P, Q, 8)
+	// Verify every reported match and the per-query maximality.
+	for _, m := range res.Matches {
+		got := bitvec.DotBits(P[m.PIdx], Q[m.QIdx])
+		if float64(got) != m.Value || got < 8 {
+			t.Fatalf("match %+v has dot %d", m, got)
+		}
+		for pi := range P {
+			if bitvec.DotBits(P[pi], Q[m.QIdx]) > got {
+				t.Fatalf("match %+v is not the maximiser", m)
+			}
+		}
+	}
+	if res.Compared != int64(len(P)*len(Q)) {
+		t.Fatalf("Compared = %d", res.Compared)
+	}
+}
+
+func TestParallelSignedMatchesSequential(t *testing.T) {
+	rng := xrand.New(3)
+	P := make([]vec.Vector, 200)
+	for i := range P {
+		P[i] = vec.Vector(rng.UnitVec(16))
+	}
+	Q := make([]vec.Vector, 37)
+	for i := range Q {
+		Q[i] = vec.Vector(rng.UnitVec(16))
+	}
+	const s = 0.5
+	seq := NaiveSigned(P, Q, s)
+	par := ParallelSigned(P, Q, s)
+	if par.Compared != seq.Compared {
+		t.Fatalf("work differs: %d vs %d", par.Compared, seq.Compared)
+	}
+	if len(par.Matches) != len(seq.Matches) {
+		t.Fatalf("match counts differ: %d vs %d", len(par.Matches), len(seq.Matches))
+	}
+	for i := range par.Matches {
+		if par.Matches[i] != seq.Matches[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, par.Matches[i], seq.Matches[i])
+		}
+	}
+}
+
+func TestParallelSignedSingleQuery(t *testing.T) {
+	P := []vec.Vector{{1, 0}, {0, 1}}
+	Q := []vec.Vector{{1, 0}}
+	res := ParallelSigned(P, Q, 0.5)
+	if len(res.Matches) != 1 || res.Matches[0].PIdx != 0 {
+		t.Fatalf("matches = %+v", res.Matches)
+	}
+}
+
+func BenchmarkSignsSigned_256x64_d1024(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	P := randSignsSet(r, 256, 1024)
+	Q := randSignsSet(r, 64, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SignsSigned(P, Q, 100)
+	}
+}
+
+func BenchmarkParallelSigned_1000x100(b *testing.B) {
+	rng := xrand.New(5)
+	P := make([]vec.Vector, 1000)
+	for i := range P {
+		P[i] = vec.Vector(rng.UnitVec(32))
+	}
+	Q := make([]vec.Vector, 100)
+	for i := range Q {
+		Q[i] = vec.Vector(rng.UnitVec(32))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelSigned(P, Q, 0.8)
+	}
+}

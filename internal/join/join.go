@@ -1,0 +1,238 @@
+// Package join implements the IPS join engines of the reproduction:
+// exact quadratic baselines, LSH-indexed approximate joins, the §4.3
+// sketch-based join, and the signed↔unsigned reductions described in the
+// paper's introduction (unsigned join = signed join against Q and −Q).
+//
+// All engines report the paper's Definition 1 semantics: for each query
+// q ∈ Q, return at least one pair (p, q) with pᵀq ≥ cs (or |pᵀq| ≥ cs),
+// under the promise that some p′ has pᵀq ≥ s; queries without a
+// qualifying partner carry no guarantee. Engines also expose a Compared
+// work counter so benchmarks can verify sub-quadratic behaviour.
+package join
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lsh"
+	"repro/internal/sketch"
+	"repro/internal/vec"
+)
+
+// Match is one reported pair: query index, data index and the verified
+// inner product (signed engines report the signed value, unsigned ones
+// the absolute value).
+type Match struct {
+	QIdx, PIdx int
+	Value      float64
+}
+
+// Result is the outcome of a join: one match per satisfied query, plus
+// the number of candidate pairs examined (the work measure).
+type Result struct {
+	Matches  []Match
+	Compared int64
+}
+
+// MatchedQueries returns the set of query indices with a reported pair.
+func (r Result) MatchedQueries() map[int]bool {
+	m := make(map[int]bool, len(r.Matches))
+	for _, pair := range r.Matches {
+		m[pair.QIdx] = true
+	}
+	return m
+}
+
+// NaiveSigned is the exact signed join: for each q, the maximising p is
+// found by brute force and reported when pᵀq ≥ s. Time Θ(|P|·|Q|·d).
+func NaiveSigned(P, Q []vec.Vector, s float64) Result {
+	var res Result
+	for qi, q := range Q {
+		best, bv := -1, math.Inf(-1)
+		for pi, p := range P {
+			res.Compared++
+			if v := vec.Dot(p, q); v > bv {
+				best, bv = pi, v
+			}
+		}
+		if best >= 0 && bv >= s {
+			res.Matches = append(res.Matches, Match{QIdx: qi, PIdx: best, Value: bv})
+		}
+	}
+	return res
+}
+
+// NaiveUnsigned is the exact unsigned join (threshold on |pᵀq|).
+func NaiveUnsigned(P, Q []vec.Vector, s float64) Result {
+	var res Result
+	for qi, q := range Q {
+		best, bv := -1, -1.0
+		for pi, p := range P {
+			res.Compared++
+			if v := vec.AbsDot(p, q); v > bv {
+				best, bv = pi, v
+			}
+		}
+		if best >= 0 && bv >= s {
+			res.Matches = append(res.Matches, Match{QIdx: qi, PIdx: best, Value: bv})
+		}
+	}
+	return res
+}
+
+// LSHJoiner runs (cs, s) joins through a banding index over P.
+type LSHJoiner struct {
+	Family lsh.Family
+	K, L   int
+	Seed   uint64
+}
+
+// Signed runs the approximate signed (cs, s) join: index P, probe each
+// q, and report the best colliding candidate when it clears cs.
+func (j LSHJoiner) Signed(P, Q []vec.Vector, s, cs float64) (Result, error) {
+	if err := validateThresholds(s, cs); err != nil {
+		return Result{}, err
+	}
+	ix, err := lsh.NewIndex(j.Family, j.K, j.L, j.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	ix.InsertAll(P)
+	var res Result
+	for qi, q := range Q {
+		cands := ix.Candidates(q)
+		res.Compared += int64(len(cands))
+		best, bv := -1, math.Inf(-1)
+		for _, pi := range cands {
+			if v := vec.Dot(P[pi], q); v > bv {
+				best, bv = pi, v
+			}
+		}
+		if best >= 0 && bv >= cs {
+			res.Matches = append(res.Matches, Match{QIdx: qi, PIdx: best, Value: bv})
+		}
+	}
+	return res, nil
+}
+
+// Unsigned runs the approximate unsigned (cs, s) join via the paper's
+// reduction: a signed probe with q and another with −q, keeping the
+// larger absolute verified value.
+func (j LSHJoiner) Unsigned(P, Q []vec.Vector, s, cs float64) (Result, error) {
+	if err := validateThresholds(s, cs); err != nil {
+		return Result{}, err
+	}
+	ix, err := lsh.NewIndex(j.Family, j.K, j.L, j.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	ix.InsertAll(P)
+	var res Result
+	for qi, q := range Q {
+		nq := vec.Neg(q)
+		best, bv := -1, -1.0
+		for _, probe := range []vec.Vector{q, nq} {
+			cands := ix.Candidates(probe)
+			res.Compared += int64(len(cands))
+			for _, pi := range cands {
+				if v := vec.AbsDot(P[pi], q); v > bv {
+					best, bv = pi, v
+				}
+			}
+		}
+		if best >= 0 && bv >= cs {
+			res.Matches = append(res.Matches, Match{QIdx: qi, PIdx: best, Value: bv})
+		}
+	}
+	return res, nil
+}
+
+// SketchJoiner runs unsigned (cs, s) joins through the §4.3 trie
+// recovery structure: approximation c = 1/n^{1/κ} with Õ(d·n^{1−2/κ})
+// work per query.
+type SketchJoiner struct {
+	Kappa  float64
+	Copies int
+	Seed   uint64
+}
+
+// Unsigned builds the recoverer over P and queries each q once. A match
+// is reported when the recovered candidate's exact |pᵀq| clears cs.
+func (j SketchJoiner) Unsigned(P, Q []vec.Vector, s, cs float64) (Result, error) {
+	if err := validateThresholds(s, cs); err != nil {
+		return Result{}, err
+	}
+	rec, err := sketch.NewRecoverer(P, j.Kappa, j.Copies, j.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	// Work per query ≈ copies · Σ_levels m(level) — charge the sketch rows.
+	perQuery := int64(rec.Levels() * j.Copies)
+	for qi, q := range Q {
+		pi, v := rec.Query(q)
+		res.Compared += perQuery
+		if v >= cs {
+			res.Matches = append(res.Matches, Match{QIdx: qi, PIdx: pi, Value: v})
+		}
+	}
+	return res, nil
+}
+
+// GuaranteedC returns the paper's approximation factor 1/n^{1/κ} for a
+// sketch join over n data vectors.
+func (j SketchJoiner) GuaranteedC(n int) float64 {
+	return 1 / sketch.ApproxFactor(n, j.Kappa)
+}
+
+func validateThresholds(s, cs float64) error {
+	if s <= 0 {
+		return fmt.Errorf("join: threshold s=%v must be positive", s)
+	}
+	if cs < 0 || cs > s {
+		return fmt.Errorf("join: cs=%v out of [0, s=%v]", cs, s)
+	}
+	return nil
+}
+
+// Recall scores an approximate result against the exact one per
+// Definition 1: over queries where the exact join certifies a partner at
+// ≥ s, the fraction for which the approximate join reported a pair
+// (whose value, by construction, is ≥ cs).
+func Recall(exact, approx Result, s float64) float64 {
+	promised := 0
+	hit := 0
+	got := approx.MatchedQueries()
+	for _, m := range exact.Matches {
+		if m.Value >= s {
+			promised++
+			if got[m.QIdx] {
+				hit++
+			}
+		}
+	}
+	if promised == 0 {
+		return 1
+	}
+	return float64(hit) / float64(promised)
+}
+
+// Precision returns the fraction of reported approximate matches whose
+// verified value clears cs (should be 1.0 for verifying engines; kept as
+// an invariant check).
+func Precision(approx Result, cs float64, unsigned bool) float64 {
+	if len(approx.Matches) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, m := range approx.Matches {
+		v := m.Value
+		if unsigned && v < 0 {
+			v = -v
+		}
+		if v >= cs {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(approx.Matches))
+}

@@ -1,0 +1,118 @@
+package join
+
+import (
+	"sort"
+
+	"repro/internal/lsh"
+	"repro/internal/vec"
+)
+
+// Top-k join variants: the paper's footnote observes that "it is common
+// to limit the number of occurrences of each tuple in a join result to
+// a given number k". These engines report up to k pairs per query at
+// (absolute) inner product ≥ threshold, in decreasing order.
+
+// topKAccum keeps the k best (index, value) pairs seen so far.
+type topKAccum struct {
+	k     int
+	items []Match
+}
+
+func (a *topKAccum) offer(pi int, v float64) {
+	if len(a.items) < a.k {
+		a.items = append(a.items, Match{PIdx: pi, Value: v})
+		if len(a.items) == a.k {
+			a.sortDesc()
+		}
+		return
+	}
+	if v <= a.items[a.k-1].Value {
+		return
+	}
+	a.items[a.k-1] = Match{PIdx: pi, Value: v}
+	// Bubble the new entry to place (k is small; insertion step is O(k)).
+	for i := a.k - 1; i > 0 && a.items[i].Value > a.items[i-1].Value; i-- {
+		a.items[i], a.items[i-1] = a.items[i-1], a.items[i]
+	}
+}
+
+func (a *topKAccum) sortDesc() {
+	sort.Slice(a.items, func(x, y int) bool { return a.items[x].Value > a.items[y].Value })
+}
+
+// flush appends the accumulated pairs ≥ threshold for query qi.
+func (a *topKAccum) flush(qi int, threshold float64, out *[]Match) {
+	if len(a.items) < a.k {
+		a.sortDesc()
+	}
+	for _, m := range a.items {
+		if m.Value < threshold {
+			break
+		}
+		m.QIdx = qi
+		*out = append(*out, m)
+	}
+}
+
+// NaiveSignedTopK reports, for each query, its k largest inner products
+// that clear s, in decreasing order.
+func NaiveSignedTopK(P, Q []vec.Vector, s float64, k int) Result {
+	var res Result
+	if k <= 0 {
+		return res
+	}
+	for qi, q := range Q {
+		acc := topKAccum{k: k}
+		for pi, p := range P {
+			res.Compared++
+			acc.offer(pi, vec.Dot(p, q))
+		}
+		acc.flush(qi, s, &res.Matches)
+	}
+	return res
+}
+
+// NaiveUnsignedTopK is the unsigned (|pᵀq|) counterpart; reported
+// values are absolute.
+func NaiveUnsignedTopK(P, Q []vec.Vector, s float64, k int) Result {
+	var res Result
+	if k <= 0 {
+		return res
+	}
+	for qi, q := range Q {
+		acc := topKAccum{k: k}
+		for pi, p := range P {
+			res.Compared++
+			acc.offer(pi, vec.AbsDot(p, q))
+		}
+		acc.flush(qi, s, &res.Matches)
+	}
+	return res
+}
+
+// SignedTopK is the LSH-indexed top-k join: candidates from the banding
+// index, verified and truncated to the k best ≥ cs per query.
+func (j LSHJoiner) SignedTopK(P, Q []vec.Vector, s, cs float64, k int) (Result, error) {
+	if err := validateThresholds(s, cs); err != nil {
+		return Result{}, err
+	}
+	ix, err := lsh.NewIndex(j.Family, j.K, j.L, j.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	ix.InsertAll(P)
+	var res Result
+	if k <= 0 {
+		return res, nil
+	}
+	for qi, q := range Q {
+		cands := ix.Candidates(q)
+		res.Compared += int64(len(cands))
+		acc := topKAccum{k: k}
+		for _, pi := range cands {
+			acc.offer(pi, vec.Dot(P[pi], q))
+		}
+		acc.flush(qi, cs, &res.Matches)
+	}
+	return res, nil
+}

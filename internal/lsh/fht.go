@@ -1,0 +1,113 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// This file implements the practical angular LSH the paper recommends
+// for §4.1 ("in practice one may want to use a recent LSH family from
+// [7]" — Andoni, Indyk, Kapralov, Laarhoven, Razenshteyn, Schmidt,
+// "Practical and Optimal LSH for Angular Distance"): cross-polytope
+// hashing under *pseudo-random rotations* HD₃HD₂HD₁ built from the fast
+// Hadamard transform, replacing the dense Gaussian rotation's O(d²)
+// hash cost with O(d·log d).
+
+// FHT applies the (unnormalised) fast Walsh–Hadamard transform in
+// place. len(x) must be a power of two.
+func FHT(x vec.Vector) {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("lsh: FHT length %d is not a power of two", n))
+	}
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two ≥ n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FastCrossPolytope is the cross-polytope family with HD₃HD₂HD₁
+// pseudo-rotations: three rounds of random-sign flips followed by
+// normalised Hadamard transforms. Hash evaluation costs O(d log d).
+type FastCrossPolytope struct {
+	D int
+	// padded is the power-of-two working dimension.
+	padded int
+}
+
+// NewFastCrossPolytope returns the family for dimension d.
+func NewFastCrossPolytope(d int) (*FastCrossPolytope, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("lsh: dimension %d must be positive", d)
+	}
+	return &FastCrossPolytope{D: d, padded: nextPow2(d)}, nil
+}
+
+// Name implements Family.
+func (f *FastCrossPolytope) Name() string { return "fast-cross-polytope" }
+
+type fastCPHasher struct {
+	d, padded int
+	signs     [3][]float64 // ±1 diagonal matrices D₁, D₂, D₃
+	scale     float64
+}
+
+// Sample implements Family.
+func (f *FastCrossPolytope) Sample(rng *xrand.RNG) Hasher {
+	h := fastCPHasher{
+		d:      f.D,
+		padded: f.padded,
+		scale:  1 / math.Sqrt(float64(f.padded)),
+	}
+	for r := 0; r < 3; r++ {
+		s := make([]float64, f.padded)
+		for i := range s {
+			s[i] = float64(rng.Sign())
+		}
+		h.signs[r] = s
+	}
+	return symmetricHasher{f: h.hash}
+}
+
+func (h fastCPHasher) hash(x vec.Vector) uint64 {
+	if len(x) != h.d {
+		panic(fmt.Sprintf("lsh: hash dimension %d != %d", len(x), h.d))
+	}
+	buf := make(vec.Vector, h.padded)
+	copy(buf, x)
+	for r := 0; r < 3; r++ {
+		s := h.signs[r]
+		for i := range buf {
+			buf[i] *= s[i]
+		}
+		FHT(buf)
+		for i := range buf {
+			buf[i] *= h.scale
+		}
+	}
+	idx, _ := vec.ArgMaxAbs(buf)
+	if idx < 0 {
+		return 0
+	}
+	out := uint64(2 * idx)
+	if buf[idx] < 0 {
+		out++
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestFHTKnownTransform(t *testing.T) {
+	x := vec.Vector{1, 0, 0, 0}
+	FHT(x)
+	for _, v := range x {
+		if v != 1 {
+			t.Fatalf("FHT(e0) = %v, want all ones", x)
+		}
+	}
+	y := vec.Vector{1, 1, 1, 1}
+	FHT(y)
+	want := vec.Vector{4, 0, 0, 0}
+	if !vec.EqualTol(y, want, 0) {
+		t.Fatalf("FHT(1111) = %v, want %v", y, want)
+	}
+}
+
+func TestFHTInvolution(t *testing.T) {
+	// H·H = n·I: applying twice recovers n·x.
+	rng := xrand.New(1)
+	x := vec.Vector(rng.NormalVec(16))
+	orig := x.Clone()
+	FHT(x)
+	FHT(x)
+	if !vec.EqualTol(x, vec.Scaled(orig, 16), 1e-9) {
+		t.Fatal("FHT twice must give n·x")
+	}
+}
+
+func TestFHTPreservesNormScaled(t *testing.T) {
+	// H/√n is orthogonal: ‖Hx‖ = √n·‖x‖.
+	rng := xrand.New(2)
+	x := vec.Vector(rng.NormalVec(64))
+	n0 := vec.Norm(x)
+	FHT(x)
+	if got := vec.Norm(x) / math.Sqrt(64); math.Abs(got-n0) > 1e-9 {
+		t.Fatalf("scaled norm %v, want %v", got, n0)
+	}
+}
+
+func TestFHTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FHT(vec.Vector{1, 2, 3})
+}
+
+func TestFastCrossPolytopeMonotone(t *testing.T) {
+	f, err := NewFastCrossPolytope(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "fast-cross-polytope" {
+		t.Fatal("name")
+	}
+	var prev float64 = -1
+	for _, ip := range []float64{0.0, 0.5, 0.9, 0.99} {
+		p, q := unitPairWithIP(8, ip)
+		c := EstimateCollision(f, p, q, 4000, 3)
+		if c < prev-0.03 {
+			t.Fatalf("collision not monotone: %v after %v (ip=%v)", c, prev, ip)
+		}
+		prev = c
+	}
+	p, _ := unitPairWithIP(8, 0.5)
+	if got := EstimateCollision(f, p, p, 300, 4); got != 1 {
+		t.Fatalf("self collision = %v", got)
+	}
+}
+
+func TestFastCrossPolytopeNonPow2Dim(t *testing.T) {
+	// Dimension 5 pads to 8; hashing must still work and stay in range.
+	f, err := NewFastCrossPolytope(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Sample(xrand.New(5))
+	rng := xrand.New(6)
+	for i := 0; i < 100; i++ {
+		x := vec.Vector(rng.UnitVec(5))
+		b := h.HashData(x)
+		if b >= 16 { // padded dim 8 → 16 buckets
+			t.Fatalf("bucket %d out of range", b)
+		}
+	}
+}
+
+func TestFastCrossPolytopeMatchesDenseQuality(t *testing.T) {
+	// The pseudo-rotation family should separate near/far pairs about as
+	// well as the dense Gaussian cross-polytope.
+	fast, _ := NewFastCrossPolytope(16)
+	dense, _ := NewCrossPolytope(16)
+	near, farIP := 0.9, 0.1
+	sep := func(f Family, seed uint64) float64 {
+		pn, qn := unitPairWithIP(16, near)
+		pf, qf := unitPairWithIP(16, farIP)
+		return EstimateCollision(f, pn, qn, 4000, seed) -
+			EstimateCollision(f, pf, qf, 4000, seed+1)
+	}
+	sf, sd := sep(fast, 7), sep(dense, 9)
+	if sf < sd-0.1 {
+		t.Fatalf("fast separation %v much worse than dense %v", sf, sd)
+	}
+}
+
+func BenchmarkCrossPolytopeHash(b *testing.B) {
+	const d = 128
+	rng := xrand.New(10)
+	x := vec.Vector(rng.UnitVec(d))
+	dense, _ := NewCrossPolytope(d)
+	fast, _ := NewFastCrossPolytope(d)
+	dh := dense.Sample(xrand.New(11))
+	fh := fast.Sample(xrand.New(12))
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dh.HashData(x)
+		}
+	})
+	b.Run("fht", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fh.HashData(x)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package lsh
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Index is a classic (K, L) banding LSH index: L tables, each keyed by
+// the concatenation of K independently sampled hash functions. With a
+// family of quality ρ and K ≈ log n, L ≈ n^ρ the index answers
+// approximate queries in sublinear time — this is the data-structure
+// side of the paper's upper bounds.
+type Index struct {
+	K, L    int
+	family  Family
+	hashers [][]Hasher // [L][K]
+	tables  []map[uint64][]int32
+	data    []vec.Vector
+}
+
+// NewIndex samples K·L hash functions from the family. Deterministic
+// given the seed.
+func NewIndex(f Family, k, l int, seed uint64) (*Index, error) {
+	if f == nil {
+		return nil, fmt.Errorf("lsh: nil family")
+	}
+	if k <= 0 || l <= 0 {
+		return nil, fmt.Errorf("lsh: invalid index shape K=%d L=%d", k, l)
+	}
+	rng := xrand.New(seed)
+	hs := make([][]Hasher, l)
+	tables := make([]map[uint64][]int32, l)
+	for i := 0; i < l; i++ {
+		hs[i] = make([]Hasher, k)
+		for j := 0; j < k; j++ {
+			hs[i][j] = f.Sample(rng)
+		}
+		tables[i] = make(map[uint64][]int32)
+	}
+	return &Index{K: k, L: l, family: f, hashers: hs, tables: tables}, nil
+}
+
+// combine folds K hash values into a single table key.
+func combine(hs []uint64) uint64 {
+	key := uint64(1469598103934665603)
+	for _, h := range hs {
+		key ^= h
+		key *= 1099511628211
+		key ^= key >> 29
+	}
+	return key
+}
+
+// dataKey computes the table-i key of a data vector.
+func (ix *Index) dataKey(i int, p vec.Vector) uint64 {
+	hs := make([]uint64, ix.K)
+	for j, h := range ix.hashers[i] {
+		hs[j] = h.HashData(p)
+	}
+	return combine(hs)
+}
+
+// queryKey computes the table-i key of a query vector.
+func (ix *Index) queryKey(i int, q vec.Vector) uint64 {
+	hs := make([]uint64, ix.K)
+	for j, h := range ix.hashers[i] {
+		hs[j] = h.HashQuery(q)
+	}
+	return combine(hs)
+}
+
+// Insert adds a data vector and returns its id.
+func (ix *Index) Insert(p vec.Vector) int {
+	id := int32(len(ix.data))
+	ix.data = append(ix.data, p)
+	for i := 0; i < ix.L; i++ {
+		k := ix.dataKey(i, p)
+		ix.tables[i][k] = append(ix.tables[i][k], id)
+	}
+	return int(id)
+}
+
+// InsertAll adds a batch of data vectors.
+func (ix *Index) InsertAll(ps []vec.Vector) {
+	for _, p := range ps {
+		ix.Insert(p)
+	}
+}
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// Data returns the stored vector with the given id.
+func (ix *Index) Data(id int) vec.Vector { return ix.data[id] }
+
+// Candidates returns the deduplicated ids colliding with q in any table,
+// in ascending id order is NOT guaranteed; callers needing determinism
+// should sort. The result length is also the query's candidate cost.
+func (ix *Index) Candidates(q vec.Vector) []int {
+	seen := make(map[int32]struct{})
+	var out []int
+	for i := 0; i < ix.L; i++ {
+		k := ix.queryKey(i, q)
+		for _, id := range ix.tables[i][k] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, int(id))
+		}
+	}
+	return out
+}
+
+// Query returns the candidate (id, vector) maximising the score function
+// over the colliding candidates, or (-1, 0) when no candidate collides.
+// Typical scores: vec.Dot with the raw query (signed MIPS) or AbsDot
+// (unsigned).
+func (ix *Index) Query(q vec.Vector, score func(p vec.Vector) float64) (int, float64) {
+	best, bv := -1, 0.0
+	for _, id := range ix.Candidates(q) {
+		if v := score(ix.data[id]); best == -1 || v > bv {
+			best, bv = id, v
+		}
+	}
+	return best, bv
+}

@@ -1,0 +1,164 @@
+package lsh
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestIndexFindsPlantedNeighbor(t *testing.T) {
+	// Plant a vector very close to the query among random noise; a
+	// hyperplane index with reasonable (K, L) must surface it.
+	const d, n = 16, 400
+	rng := xrand.New(20)
+	f, _ := NewHyperplane(d)
+	ix, err := NewIndex(f, 8, 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.Vector(rng.UnitVec(d))
+	planted := q.Clone()
+	planted[0] += 0.05
+	vec.Normalize(planted)
+	plantedID := ix.Insert(planted)
+	for i := 1; i < n; i++ {
+		ix.Insert(vec.Vector(rng.UnitVec(d)))
+	}
+	if ix.Len() != n {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	best, score := ix.Query(q, func(p vec.Vector) float64 { return vec.Dot(p, q) })
+	if best != plantedID {
+		t.Fatalf("Query returned %d (score %v), want planted %d", best, score, plantedID)
+	}
+	if math.Abs(score-vec.Dot(planted, q)) > 1e-12 {
+		t.Fatalf("score %v mismatch", score)
+	}
+}
+
+func TestIndexSubquadraticCandidates(t *testing.T) {
+	// With random data the candidate set should be far below n.
+	const d, n = 16, 1000
+	rng := xrand.New(22)
+	f, _ := NewHyperplane(d)
+	ix, _ := NewIndex(f, 12, 4, 23)
+	for i := 0; i < n; i++ {
+		ix.Insert(vec.Vector(rng.UnitVec(d)))
+	}
+	total := 0
+	const queries = 20
+	for i := 0; i < queries; i++ {
+		total += len(ix.Candidates(vec.Vector(rng.UnitVec(d))))
+	}
+	if avg := float64(total) / queries; avg > n/4 {
+		t.Fatalf("average candidates %v too close to linear scan", avg)
+	}
+}
+
+func TestIndexCandidatesDeduplicated(t *testing.T) {
+	const d = 8
+	f, _ := NewHyperplane(d)
+	ix, _ := NewIndex(f, 2, 8, 24)
+	p := vec.Vector{1, 0, 0, 0, 0, 0, 0, 0}
+	ix.Insert(p)
+	cands := ix.Candidates(p) // identical vector collides in every table
+	if len(cands) != 1 || cands[0] != 0 {
+		t.Fatalf("candidates = %v, want [0]", cands)
+	}
+}
+
+func TestIndexEmptyQuery(t *testing.T) {
+	f, _ := NewHyperplane(4)
+	ix, _ := NewIndex(f, 2, 2, 25)
+	id, score := ix.Query(vec.Vector{1, 0, 0, 0}, func(p vec.Vector) float64 { return 0 })
+	if id != -1 || score != 0 {
+		t.Fatalf("empty index Query = (%d, %v)", id, score)
+	}
+}
+
+func TestIndexDeterministicAcrossBuilds(t *testing.T) {
+	const d = 8
+	rng := xrand.New(26)
+	data := make([]vec.Vector, 50)
+	for i := range data {
+		data[i] = vec.Vector(rng.UnitVec(d))
+	}
+	q := vec.Vector(rng.UnitVec(d))
+	f, _ := NewHyperplane(d)
+	build := func() []int {
+		ix, _ := NewIndex(f, 4, 6, 27)
+		ix.InsertAll(data)
+		c := ix.Candidates(q)
+		sort.Ints(c)
+		return c
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("candidate sets differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate sets differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	f, _ := NewHyperplane(4)
+	if _, err := NewIndex(nil, 1, 1, 0); err == nil {
+		t.Fatal("nil family must fail")
+	}
+	if _, err := NewIndex(f, 0, 1, 0); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	if _, err := NewIndex(f, 1, 0, 0); err == nil {
+		t.Fatal("L=0 must fail")
+	}
+}
+
+func TestIndexWithAsymmetricFamily(t *testing.T) {
+	// MH-ALSH index over binary sets: querying with a set should surface
+	// the data set with largest intersection.
+	const d, m = 30, 6
+	f, _ := NewAsymMinHash(d, m)
+	ix, _ := NewIndex(f, 1, 24, 28)
+	a := setVec(d, 0, 1, 2, 3, 4, 5) // overlap 4 with query
+	b := setVec(d, 0, 1, 10, 11)     // overlap 2
+	c := setVec(d, 20, 21, 22)       // overlap 0
+	ix.InsertAll([]vec.Vector{a, b, c})
+	q := setVec(d, 0, 1, 2, 3, 7)
+	id, _ := ix.Query(q, func(p vec.Vector) float64 { return vec.Dot(p, q) })
+	if id != 0 {
+		t.Fatalf("Query = %d, want 0", id)
+	}
+}
+
+func BenchmarkIndexInsert(b *testing.B) {
+	const d = 32
+	rng := xrand.New(29)
+	f, _ := NewHyperplane(d)
+	ix, _ := NewIndex(f, 8, 8, 30)
+	v := vec.Vector(rng.UnitVec(d))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(v)
+	}
+}
+
+func BenchmarkIndexQuery1k(b *testing.B) {
+	const d, n = 32, 1000
+	rng := xrand.New(31)
+	f, _ := NewHyperplane(d)
+	ix, _ := NewIndex(f, 8, 8, 32)
+	for i := 0; i < n; i++ {
+		ix.Insert(vec.Vector(rng.UnitVec(d)))
+	}
+	q := vec.Vector(rng.UnitVec(d))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Query(q, func(p vec.Vector) float64 { return vec.Dot(p, q) })
+	}
+}

@@ -1,0 +1,234 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// unitPairWithIP returns two unit vectors with inner product exactly t.
+func unitPairWithIP(d int, t float64) (vec.Vector, vec.Vector) {
+	p := vec.New(d)
+	p[0] = 1
+	q := vec.New(d)
+	q[0] = t
+	q[1] = math.Sqrt(1 - t*t)
+	return p, q
+}
+
+func TestHyperplaneCollisionMatchesAnalytic(t *testing.T) {
+	f, err := NewHyperplane(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ip := range []float64{-0.5, 0, 0.3, 0.8, 0.95} {
+		p, q := unitPairWithIP(8, ip)
+		got := EstimateCollision(f, p, q, 20000, 1)
+		want := HyperplaneCollision(ip)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("ip=%v: MC collision %v vs analytic %v", ip, got, want)
+		}
+	}
+}
+
+func TestHyperplaneSymmetric(t *testing.T) {
+	f, _ := NewHyperplane(4)
+	h := f.Sample(xrand.New(2))
+	x := vec.Vector{0.3, -0.2, 0.5, 0.1}
+	if h.HashData(x) != h.HashQuery(x) {
+		t.Fatal("hyperplane must be symmetric")
+	}
+}
+
+func TestCrossPolytopeMonotone(t *testing.T) {
+	// Collision probability must increase with inner product.
+	f, err := NewCrossPolytope(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	for _, ip := range []float64{0.0, 0.5, 0.9, 0.99} {
+		p, q := unitPairWithIP(8, ip)
+		c := EstimateCollision(f, p, q, 4000, 3)
+		if c < prev-0.03 {
+			t.Fatalf("cross-polytope collision not monotone: %v after %v (ip=%v)", c, prev, ip)
+		}
+		prev = c
+	}
+	// Identical vectors always collide.
+	p, _ := unitPairWithIP(8, 0.5)
+	if got := EstimateCollision(f, p, p, 200, 4); got != 1 {
+		t.Fatalf("self collision = %v", got)
+	}
+}
+
+func TestCrossPolytopeBucketRange(t *testing.T) {
+	f, _ := NewCrossPolytope(5)
+	h := f.Sample(xrand.New(5))
+	rng := xrand.New(6)
+	for i := 0; i < 100; i++ {
+		x := vec.Vector(rng.UnitVec(5))
+		b := h.HashData(x)
+		if b >= 10 {
+			t.Fatalf("bucket %d out of range [0,10)", b)
+		}
+	}
+}
+
+func TestE2LSHCloserCollidesMore(t *testing.T) {
+	f, err := NewE2LSH(6, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vec.Vector{1, 0, 0, 0, 0, 0}
+	near := vec.Vector{1.1, 0, 0, 0, 0, 0}
+	far := vec.Vector{4, 0, 0, 0, 0, 0}
+	cNear := EstimateCollision(f, base, near, 8000, 7)
+	cFar := EstimateCollision(f, base, far, 8000, 7)
+	if cNear <= cFar {
+		t.Fatalf("near %v should collide more than far %v", cNear, cFar)
+	}
+}
+
+func setVec(d int, elems ...int) vec.Vector {
+	x := vec.New(d)
+	for _, e := range elems {
+		x[e] = 1
+	}
+	return x
+}
+
+func TestMinHashJaccard(t *testing.T) {
+	f, err := NewMinHash(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |∩| = 2, |∪| = 4 → J = 0.5
+	x := setVec(10, 0, 1, 2)
+	y := setVec(10, 1, 2, 3)
+	got := EstimateCollision(f, x, y, 20000, 8)
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("minhash collision %v, want 0.5", got)
+	}
+	// Disjoint sets never collide.
+	z := setVec(10, 7, 8)
+	if got := EstimateCollision(f, x, z, 5000, 9); got != 0 {
+		t.Fatalf("disjoint collision = %v", got)
+	}
+}
+
+func TestAsymMinHashCollision(t *testing.T) {
+	// Collision probability = a/(M + |q| − a) with padding target M.
+	const d, M = 20, 5
+	f, err := NewAsymMinHash(d, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := setVec(d, 0, 1, 2)    // |p| = 3 (padded to 5)
+	q := setVec(d, 1, 2, 3, 4) // |q| = 4, a = 2
+	want := 2.0 / float64(M+4-2)
+	got := EstimateCollision(f, p, q, 30000, 10)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("MH-ALSH collision %v, want %v", got, want)
+	}
+}
+
+func TestAsymMinHashPaddingAsymmetry(t *testing.T) {
+	// The same set hashed as data vs query must differ when padded:
+	// self-collision probability drops to |p|/M.
+	const d, M = 15, 6
+	f, _ := NewAsymMinHash(d, M)
+	p := setVec(d, 0, 1, 2) // |p| = 3
+	got := EstimateCollision(f, p, p, 30000, 11)
+	want := 3.0 / float64(M) // a=3, M+|q|−a = 6+3−3 = 6
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("padded self collision %v, want %v", got, want)
+	}
+}
+
+func TestAsymMinHashOversizePanics(t *testing.T) {
+	f, _ := NewAsymMinHash(10, 2)
+	h := f.Sample(xrand.New(12))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for data set larger than M")
+		}
+	}()
+	h.HashData(setVec(10, 0, 1, 2))
+}
+
+func TestAsymmetricComposition(t *testing.T) {
+	// SIMPLE map + hyperplane: collision for (p, q) must match the
+	// analytic 1 − acos(pᵀq/U)/π.
+	const d, U = 5, 2.0
+	inner, _ := NewHyperplane(d + 2)
+	dataMap := func(p vec.Vector) vec.Vector {
+		out := make(vec.Vector, d+2)
+		copy(out, p)
+		out[d] = math.Sqrt(1 - vec.Norm2(p))
+		return out
+	}
+	queryMap := func(q vec.Vector) vec.Vector {
+		out := make(vec.Vector, d+2)
+		for i, v := range q {
+			out[i] = v / U
+		}
+		out[d+1] = math.Sqrt(1 - vec.Norm2(q)/(U*U))
+		return out
+	}
+	f, err := NewAsymmetric("simple-alsh", MapPair{Data: dataMap, Query: queryMap}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "simple-alsh" {
+		t.Fatal("name")
+	}
+	p := vec.Vector{0.6, 0, 0, 0, 0}
+	q := vec.Vector{1.0, 0.5, 0, 0, 0}
+	want := HyperplaneCollision(vec.Dot(p, q) / U)
+	got := EstimateCollision(f, p, q, 20000, 13)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("asymmetric collision %v, want %v", got, want)
+	}
+}
+
+func TestNewAsymmetricValidation(t *testing.T) {
+	inner, _ := NewHyperplane(3)
+	if _, err := NewAsymmetric("x", MapPair{}, inner); err == nil {
+		t.Fatal("missing maps must fail")
+	}
+	id := func(v vec.Vector) vec.Vector { return v }
+	if _, err := NewAsymmetric("x", MapPair{Data: id, Query: id}, nil); err == nil {
+		t.Fatal("nil inner must fail")
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	if _, err := NewHyperplane(0); err == nil {
+		t.Fatal("hyperplane d=0")
+	}
+	if _, err := NewCrossPolytope(-1); err == nil {
+		t.Fatal("cross-polytope d=-1")
+	}
+	if _, err := NewE2LSH(3, 0); err == nil {
+		t.Fatal("e2lsh w=0")
+	}
+	if _, err := NewMinHash(0); err == nil {
+		t.Fatal("minhash d=0")
+	}
+	if _, err := NewAsymMinHash(3, 0); err == nil {
+		t.Fatal("asym minhash M=0")
+	}
+}
+
+func TestEstimateCollisionDeterministic(t *testing.T) {
+	f, _ := NewHyperplane(4)
+	p, q := unitPairWithIP(4, 0.5)
+	a := EstimateCollision(f, p, q, 500, 42)
+	b := EstimateCollision(f, p, q, 500, 42)
+	if a != b {
+		t.Fatal("same seed must give same estimate")
+	}
+}

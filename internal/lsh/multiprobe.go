@@ -1,0 +1,139 @@
+package lsh
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// MultiProbe is a query-directed multi-probe index over hyperplane
+// codes: each table stores a K-bit sign code, and a query additionally
+// probes the buckets obtained by flipping its lowest-margin bits (the
+// hyperplanes it barely cleared). This trades a small amount of query
+// work for a large reduction in the number of tables L — the standard
+// engineering refinement of the banding scheme used by the paper's
+// upper-bound constructions.
+type MultiProbe struct {
+	K, L, Probes int
+	planes       [][]vec.Vector // [L][K] hyperplane normals
+	tables       []map[uint64][]int32
+	data         []vec.Vector
+	dim          int
+}
+
+// NewMultiProbe builds an index with K hyperplanes per table, L tables,
+// and `probes` additional bit-flip probes per table per query.
+func NewMultiProbe(dim, k, l, probes int, seed uint64) (*MultiProbe, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dimension %d must be positive", dim)
+	}
+	if k <= 0 || k > 63 || l <= 0 {
+		return nil, fmt.Errorf("lsh: invalid multiprobe shape K=%d L=%d", k, l)
+	}
+	if probes < 0 || probes > k {
+		return nil, fmt.Errorf("lsh: probes %d out of [0, K=%d]", probes, k)
+	}
+	rng := xrand.New(seed)
+	mp := &MultiProbe{K: k, L: l, Probes: probes, dim: dim,
+		planes: make([][]vec.Vector, l), tables: make([]map[uint64][]int32, l)}
+	for i := 0; i < l; i++ {
+		mp.planes[i] = make([]vec.Vector, k)
+		for j := 0; j < k; j++ {
+			mp.planes[i][j] = vec.Vector(rng.NormalVec(dim))
+		}
+		mp.tables[i] = make(map[uint64][]int32)
+	}
+	return mp, nil
+}
+
+// code returns the K-bit sign code of x in table i, along with the
+// per-bit margins |aᵀx| (the flip costs).
+func (mp *MultiProbe) code(i int, x vec.Vector, margins []float64) uint64 {
+	var c uint64
+	for j, a := range mp.planes[i] {
+		d := vec.Dot(a, x)
+		if d >= 0 {
+			c |= 1 << uint(j)
+		}
+		if margins != nil {
+			if d < 0 {
+				d = -d
+			}
+			margins[j] = d
+		}
+	}
+	return c
+}
+
+// Insert adds a data vector and returns its id.
+func (mp *MultiProbe) Insert(p vec.Vector) int {
+	if len(p) != mp.dim {
+		panic(fmt.Sprintf("lsh: insert dimension %d != %d", len(p), mp.dim))
+	}
+	id := int32(len(mp.data))
+	mp.data = append(mp.data, p)
+	for i := 0; i < mp.L; i++ {
+		c := mp.code(i, p, nil)
+		mp.tables[i][c] = append(mp.tables[i][c], id)
+	}
+	return int(id)
+}
+
+// InsertAll adds a batch.
+func (mp *MultiProbe) InsertAll(ps []vec.Vector) {
+	for _, p := range ps {
+		mp.Insert(p)
+	}
+}
+
+// Len returns the number of indexed vectors.
+func (mp *MultiProbe) Len() int { return len(mp.data) }
+
+// Candidates returns deduplicated candidate ids for q, probing the
+// exact bucket plus the `Probes` single-bit flips of the lowest-margin
+// hyperplanes in every table.
+func (mp *MultiProbe) Candidates(q vec.Vector) []int {
+	if len(q) != mp.dim {
+		panic(fmt.Sprintf("lsh: query dimension %d != %d", len(q), mp.dim))
+	}
+	seen := make(map[int32]struct{})
+	var out []int
+	margins := make([]float64, mp.K)
+	order := make([]int, mp.K)
+	for i := 0; i < mp.L; i++ {
+		c := mp.code(i, q, margins)
+		// Rank bits by increasing margin: cheapest flips first.
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool { return margins[order[a]] < margins[order[b]] })
+		probeCodes := make([]uint64, 0, 1+mp.Probes)
+		probeCodes = append(probeCodes, c)
+		for p := 0; p < mp.Probes; p++ {
+			probeCodes = append(probeCodes, c^(1<<uint(order[p])))
+		}
+		for _, pc := range probeCodes {
+			for _, id := range mp.tables[i][pc] {
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				out = append(out, int(id))
+			}
+		}
+	}
+	return out
+}
+
+// Query returns the best candidate under the score function, or (-1, 0).
+func (mp *MultiProbe) Query(q vec.Vector, score func(p vec.Vector) float64) (int, float64) {
+	best, bv := -1, 0.0
+	for _, id := range mp.Candidates(q) {
+		if v := score(mp.data[id]); best == -1 || v > bv {
+			best, bv = id, v
+		}
+	}
+	return best, bv
+}

@@ -1,0 +1,138 @@
+package lsh
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestMultiProbeFindsPlanted(t *testing.T) {
+	const d, n = 16, 500
+	rng := xrand.New(1)
+	mp, err := NewMultiProbe(d, 10, 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.Vector(rng.UnitVec(d))
+	planted := q.Clone()
+	planted[0] += 0.05
+	vec.Normalize(planted)
+	id := mp.Insert(planted)
+	for i := 1; i < n; i++ {
+		mp.Insert(vec.Vector(rng.UnitVec(d)))
+	}
+	if mp.Len() != n {
+		t.Fatalf("Len = %d", mp.Len())
+	}
+	best, _ := mp.Query(q, func(p vec.Vector) float64 { return vec.Dot(p, q) })
+	if best != id {
+		t.Fatalf("Query = %d, want %d", best, id)
+	}
+}
+
+func TestMultiProbeBeatsZeroProbeRecall(t *testing.T) {
+	// With few tables, adding probes must find at least as many planted
+	// neighbours as probing only the exact bucket.
+	const d, n, plants = 16, 400, 30
+	rng := xrand.New(3)
+	queries := make([]vec.Vector, plants)
+	data := make([]vec.Vector, 0, n)
+	for i := 0; i < plants; i++ {
+		q := vec.Vector(rng.UnitVec(d))
+		queries[i] = q
+		p := q.Clone()
+		p[1] += 0.1
+		vec.Normalize(p)
+		data = append(data, p) // planted partner has id i
+	}
+	for len(data) < n {
+		data = append(data, vec.Vector(rng.UnitVec(d)))
+	}
+	recall := func(probes int) int {
+		mp, err := NewMultiProbe(d, 12, 2, probes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp.InsertAll(data)
+		hits := 0
+		for i, q := range queries {
+			for _, cand := range mp.Candidates(q) {
+				if cand == i {
+					hits++
+					break
+				}
+			}
+		}
+		return hits
+	}
+	r0, r4 := recall(0), recall(4)
+	if r4 < r0 {
+		t.Fatalf("probes reduced recall: %d -> %d", r0, r4)
+	}
+	if r4 == 0 {
+		t.Fatal("multiprobe found nothing")
+	}
+	if r4 == r0 {
+		t.Logf("probes did not change recall (%d) — acceptable but unusual", r0)
+	}
+}
+
+func TestMultiProbeCandidatesDeduplicated(t *testing.T) {
+	mp, err := NewMultiProbe(4, 4, 6, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vec.Vector{1, 0, 0, 0}
+	mp.Insert(p)
+	cands := mp.Candidates(p)
+	if len(cands) != 1 || cands[0] != 0 {
+		t.Fatalf("candidates = %v", cands)
+	}
+}
+
+func TestMultiProbeValidation(t *testing.T) {
+	if _, err := NewMultiProbe(0, 4, 2, 1, 1); err == nil {
+		t.Fatal("dim=0 must fail")
+	}
+	if _, err := NewMultiProbe(4, 0, 2, 1, 1); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	if _, err := NewMultiProbe(4, 64, 2, 1, 1); err == nil {
+		t.Fatal("K>63 must fail")
+	}
+	if _, err := NewMultiProbe(4, 4, 2, 5, 1); err == nil {
+		t.Fatal("probes>K must fail")
+	}
+	if _, err := NewMultiProbe(4, 4, 0, 1, 1); err == nil {
+		t.Fatal("L=0 must fail")
+	}
+}
+
+func TestMultiProbeDimMismatchPanics(t *testing.T) {
+	mp, _ := NewMultiProbe(4, 2, 2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mp.Insert(vec.Vector{1, 2})
+}
+
+func BenchmarkMultiProbeQuery(b *testing.B) {
+	const d, n = 32, 2000
+	rng := xrand.New(6)
+	mp, err := NewMultiProbe(d, 12, 4, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		mp.Insert(vec.Vector(rng.UnitVec(d)))
+	}
+	q := vec.Vector(rng.UnitVec(d))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp.Query(q, func(p vec.Vector) float64 { return vec.Dot(p, q) })
+	}
+}

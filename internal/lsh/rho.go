@@ -1,0 +1,122 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the analytic ρ curves compared in Figure 2 of
+// the paper: DATA-DEP (the paper's §4.1 construction, equation 3), SIMP
+// (Neyshabur–Srebro SIMPLE-ALSH with hyperplane hashing) and MH-ALSH
+// (Shrivastava–Li asymmetric minwise hashing for binary data). All
+// curves are parameterised by the normalized threshold s ∈ (0, 1)
+// (inner product divided by U) and approximation factor c ∈ (0, 1).
+
+// validateCS panics on parameters outside the meaningful range.
+func validateCS(c, s float64) {
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("lsh: approximation factor c=%v out of (0,1)", c))
+	}
+	if !(s > 0 && s <= 1) {
+		panic(fmt.Sprintf("lsh: normalized threshold s=%v out of (0,1]", s))
+	}
+}
+
+// RhoDataDep is equation (3) of the paper: the exponent obtained by
+// plugging the optimal data-dependent spherical LSH of
+// Andoni–Razenshteyn into the SIMPLE reduction with query radius U = 1:
+//
+//	ρ = (1 − s) / (1 + (1 − 2c)·s).
+func RhoDataDep(c, s float64) float64 {
+	validateCS(c, s)
+	return (1 - s) / (1 + (1-2*c)*s)
+}
+
+// RhoDataDepU generalises equation (3) to query radius U:
+// ρ = (1 − s/U)/(1 + (1−2c)·s/U) with s the unnormalized threshold.
+func RhoDataDepU(c, s, u float64) float64 {
+	if u <= 0 {
+		panic(fmt.Sprintf("lsh: query radius U=%v must be positive", u))
+	}
+	return RhoDataDep(c, s/u)
+}
+
+// HyperplaneCollision returns the exact collision probability
+// 1 − acos(t)/π of sign-random-projection hashing for unit vectors with
+// inner product t ∈ [−1, 1].
+func HyperplaneCollision(t float64) float64 {
+	if t > 1 {
+		t = 1
+	}
+	if t < -1 {
+		t = -1
+	}
+	return 1 - math.Acos(t)/math.Pi
+}
+
+// RhoSimple is the exponent of SIMPLE-ALSH [39]: SIMPLE map onto the
+// unit sphere followed by hyperplane hashing, so
+// ρ = log P(s) / log P(cs) with P(t) = 1 − acos(t)/π.
+func RhoSimple(c, s float64) float64 {
+	validateCS(c, s)
+	p1 := HyperplaneCollision(s)
+	p2 := HyperplaneCollision(c * s)
+	return math.Log(p1) / math.Log(p2)
+}
+
+// MHCollision returns the collision probability of asymmetric minwise
+// hashing for binary vectors normalized so the padding target is 1:
+// for (normalized) inner product t and worst-case query size 1 it is
+// t/(2 − t), per Shrivastava–Li [46].
+func MHCollision(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return t / (2 - t)
+}
+
+// RhoMH is the exponent of MH-ALSH [46] for binary data under the
+// normalization above: ρ = log MHCollision(s) / log MHCollision(cs).
+func RhoMH(c, s float64) float64 {
+	validateCS(c, s)
+	return math.Log(MHCollision(s)) / math.Log(MHCollision(c*s))
+}
+
+// RhoSpherical is the generic spherical-LSH exponent 1/(2c'²−1) of
+// Andoni–Razenshteyn for Euclidean approximation factor c' > 1 on the
+// sphere. Equation (3) is exactly this value after the SIMPLE map, with
+// r² = 2(1−s) and (c'r)² = 2(1−cs).
+func RhoSpherical(cPrime float64) float64 {
+	if cPrime <= 1 {
+		panic(fmt.Sprintf("lsh: spherical approximation c'=%v must exceed 1", cPrime))
+	}
+	return 1 / (2*cPrime*cPrime - 1)
+}
+
+// Figure2Point is one sample of the Figure 2 comparison.
+type Figure2Point struct {
+	S                     float64
+	DataDep, Simp, MHALSH float64
+}
+
+// Figure2Series computes the three ρ curves on a uniform s grid, the
+// exact content of the paper's Figure 2 for a fixed approximation c.
+func Figure2Series(c float64, points int) []Figure2Point {
+	if points < 2 {
+		panic(fmt.Sprintf("lsh: need at least 2 points, got %d", points))
+	}
+	out := make([]Figure2Point, 0, points)
+	for i := 1; i <= points; i++ {
+		s := float64(i) / float64(points+1)
+		out = append(out, Figure2Point{
+			S:       s,
+			DataDep: RhoDataDep(c, s),
+			Simp:    RhoSimple(c, s),
+			MHALSH:  RhoMH(c, s),
+		})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRhoDataDepFormula(t *testing.T) {
+	// Spot values of equation (3).
+	cases := []struct{ c, s, want float64 }{
+		{0.5, 0.5, (1 - 0.5) / (1 + 0)},
+		{0.9, 0.5, 0.5 / (1 + (1-1.8)*0.5)},
+		{0.5, 0.9, 0.1 / 1.0},
+	}
+	for _, tc := range cases {
+		if got := RhoDataDep(tc.c, tc.s); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("RhoDataDep(%v,%v) = %v, want %v", tc.c, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestRhoDataDepLimits(t *testing.T) {
+	// s → 1 makes the exponent vanish (exact near-duplicate search is easy);
+	// s → 0 makes it approach 1 (no better than linear scan).
+	if got := RhoDataDep(0.5, 0.999); got > 0.01 {
+		t.Fatalf("rho near s=1 should vanish, got %v", got)
+	}
+	if got := RhoDataDep(0.5, 0.001); got < 0.99 {
+		t.Fatalf("rho near s=0 should approach 1, got %v", got)
+	}
+}
+
+func TestRhoDataDepU(t *testing.T) {
+	if got, want := RhoDataDepU(0.5, 1.0, 2.0), RhoDataDep(0.5, 0.5); got != want {
+		t.Fatalf("RhoDataDepU = %v, want %v", got, want)
+	}
+}
+
+func TestDataDepDominatesSimple(t *testing.T) {
+	// The paper: "our bound is always stronger than the one from [39]".
+	for c := 0.05; c < 1; c += 0.05 {
+		for s := 0.05; s < 1; s += 0.05 {
+			dd, simp := RhoDataDep(c, s), RhoSimple(c, s)
+			if dd > simp+1e-9 {
+				t.Fatalf("c=%v s=%v: DATA-DEP %v worse than SIMP %v", c, s, dd, simp)
+			}
+		}
+	}
+}
+
+func TestDataDepVsMHALSHCrossover(t *testing.T) {
+	// The paper: the §4.1 LSH beats MH-ALSH for large s and c (e.g.
+	// s ≥ 1/3 normalized, c ≥ 0.83) but can lose for small s.
+	if dd, mh := RhoDataDep(0.9, 0.5), RhoMH(0.9, 0.5); dd >= mh {
+		t.Fatalf("expected DATA-DEP %v < MH-ALSH %v at c=0.9 s=0.5", dd, mh)
+	}
+	if dd, mh := RhoDataDep(0.9, 0.2), RhoMH(0.9, 0.2); dd <= mh {
+		t.Fatalf("expected DATA-DEP %v > MH-ALSH %v at c=0.9 s=0.2", dd, mh)
+	}
+}
+
+func TestRhoRanges(t *testing.T) {
+	for c := 0.1; c < 1; c += 0.2 {
+		for s := 0.1; s < 1; s += 0.2 {
+			for name, rho := range map[string]float64{
+				"datadep": RhoDataDep(c, s),
+				"simp":    RhoSimple(c, s),
+				"mh":      RhoMH(c, s),
+			} {
+				if rho <= 0 || rho >= 1+1e-9 {
+					t.Fatalf("%s rho(c=%v,s=%v) = %v out of (0,1]", name, c, s, rho)
+				}
+			}
+		}
+	}
+}
+
+func TestHyperplaneCollisionEndpoints(t *testing.T) {
+	if got := HyperplaneCollision(1); got != 1 {
+		t.Fatalf("P(1) = %v", got)
+	}
+	if got := HyperplaneCollision(-1); got != 0 {
+		t.Fatalf("P(-1) = %v", got)
+	}
+	if got := HyperplaneCollision(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("P(0) = %v", got)
+	}
+	// Clamping outside [−1, 1].
+	if HyperplaneCollision(1.5) != 1 || HyperplaneCollision(-2) != 0 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestMHCollision(t *testing.T) {
+	if got := MHCollision(1); got != 1 {
+		t.Fatalf("MH(1) = %v", got)
+	}
+	if got := MHCollision(0); got != 0 {
+		t.Fatalf("MH(0) = %v", got)
+	}
+	if got := MHCollision(0.5); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("MH(0.5) = %v", got)
+	}
+}
+
+func TestRhoSpherical(t *testing.T) {
+	// Equation (3) must agree with 1/(2c'²−1) under the SIMPLE reduction:
+	// r² = 2(1−s), (c'r)² = 2(1−cs).
+	c, s := 0.7, 0.4
+	cPrime := math.Sqrt((1 - c*s) / (1 - s))
+	if got, want := RhoSpherical(cPrime), RhoDataDep(c, s); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("spherical %v != datadep %v", got, want)
+	}
+}
+
+func TestRhoSphericalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for c' <= 1")
+		}
+	}()
+	RhoSpherical(1.0)
+}
+
+func TestFigure2Series(t *testing.T) {
+	pts := Figure2Series(0.7, 50)
+	if len(pts) != 50 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.S <= 0 || p.S >= 1 {
+			t.Fatalf("point %d: s=%v", i, p.S)
+		}
+		if p.DataDep > p.Simp+1e-9 {
+			t.Fatalf("point %d: DATA-DEP above SIMP", i)
+		}
+	}
+	// All three curves must be decreasing in s.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DataDep > pts[i-1].DataDep+1e-9 ||
+			pts[i].Simp > pts[i-1].Simp+1e-9 ||
+			pts[i].MHALSH > pts[i-1].MHALSH+1e-9 {
+			t.Fatalf("curve not decreasing at s=%v", pts[i].S)
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { RhoDataDep(0, 0.5) },
+		func() { RhoDataDep(0.5, 0) },
+		func() { RhoDataDep(1.2, 0.5) },
+		func() { RhoDataDepU(0.5, 0.5, 0) },
+		func() { Figure2Series(0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

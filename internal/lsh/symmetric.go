@@ -1,0 +1,32 @@
+package lsh
+
+import (
+	"repro/internal/transform"
+	"repro/internal/vec"
+)
+
+// NewSymmetricIPS builds the paper's §4.2 construction: a *symmetric*
+// LSH for signed inner product search on coinciding data/query domains
+// (the unit ball), circumventing the Neyshabur–Srebro impossibility by
+// relaxing the collision guarantee for identical vectors.
+//
+// Every vector — data or query alike — is mapped by
+// f(p) = (p, √(1−‖p‖²)·v_p) onto the unit sphere, where {v_u} is the
+// deterministic Reed–Solomon ε-incoherent family of [38] indexed by the
+// k-bit fixed-point representation of p, and the sphere is hashed with
+// hyperplane LSH. For distinct vectors the embedded inner product is
+// pᵀq ± ε, so the family behaves like an (s+ε, cs−ε) sphere LSH; for
+// identical vectors the collision probability is the trivial 1, which
+// is exactly the case the relaxed definition disregards.
+func NewSymmetricIPS(d, bits int, eps float64) (Family, error) {
+	tr, err := transform.NewSymmetric(d, bits, eps)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := NewHyperplane(tr.OutputDim())
+	if err != nil {
+		return nil, err
+	}
+	m := func(x vec.Vector) vec.Vector { return tr.Map(x) }
+	return NewAsymmetric("symmetric-ips", MapPair{Data: m, Query: m}, inner)
+}

@@ -1,0 +1,76 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestSymmetricIPSIsSymmetric(t *testing.T) {
+	f, err := NewSymmetricIPS(4, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Sample(xrand.New(1))
+	x := vec.Vector{0.25, -0.5, 0.125, 0.0625}
+	if h.HashData(x) != h.HashQuery(x) {
+		t.Fatal("§4.2 family must hash data and queries identically")
+	}
+}
+
+func TestSymmetricIPSIdenticalVectorsAlwaysCollide(t *testing.T) {
+	f, err := NewSymmetricIPS(3, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vec.Vector{0.5, 0.25, -0.25}
+	if got := EstimateCollision(f, p, p, 300, 2); got != 1 {
+		t.Fatalf("self collision = %v, want the trivial 1", got)
+	}
+}
+
+func TestSymmetricIPSCollisionTracksInnerProduct(t *testing.T) {
+	// For distinct vectors the collision probability must match the
+	// hyperplane law on the embedded sphere: 1 − acos(pᵀq ± ε)/π.
+	f, err := NewSymmetricIPS(4, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed-point-friendly coordinates keep quantization exact.
+	p := vec.Vector{0.5, 0.25, 0, 0}
+	q := vec.Vector{0.5, -0.25, 0.25, 0}
+	got := EstimateCollision(f, p, q, 6000, 3)
+	want := HyperplaneCollision(vec.Dot(p, q))
+	if math.Abs(got-want) > 0.1+0.04 { // ε slack + MC noise
+		t.Fatalf("collision %v, want ≈ %v", got, want)
+	}
+}
+
+func TestSymmetricIPSSeparatesThresholds(t *testing.T) {
+	// A pair above s must collide strictly more often than a pair below
+	// cs, i.e. the family is a usable LSH for distinct vectors.
+	f, err := NewSymmetricIPS(4, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHigh := vec.Vector{0.75, 0, 0, 0}
+	qHigh := vec.Vector{0.75, 0.25, 0, 0} // ip ≈ 0.56
+	pLow := vec.Vector{0.75, 0, 0, 0}
+	qLow := vec.Vector{0, 0.75, 0.25, 0} // ip = 0
+	cHigh := EstimateCollision(f, pHigh, qHigh, 4000, 4)
+	cLow := EstimateCollision(f, pLow, qLow, 4000, 5)
+	if cHigh <= cLow+0.1 {
+		t.Fatalf("no separation: high %v vs low %v", cHigh, cLow)
+	}
+}
+
+func TestSymmetricIPSValidation(t *testing.T) {
+	if _, err := NewSymmetricIPS(0, 8, 0.1); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	if _, err := NewSymmetricIPS(4, 6, 2); err == nil {
+		t.Fatal("eps=2 must fail")
+	}
+}

@@ -1,0 +1,237 @@
+// Package ovp implements the Orthogonal Vectors Problem substrate of the
+// paper's hardness results: bit-packed OVP instances, planted-instance
+// generators with certified ground truth, exact solvers, the Lemma 1
+// unbalanced splitter, and the full Lemma 2 pipeline that reduces OVP to
+// approximate IPS join through the gap embeddings of Lemma 3.
+package ovp
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/embed"
+	"repro/internal/xrand"
+)
+
+// Instance is an OVP instance: detect p ∈ P, q ∈ Q with pᵀq = 0.
+type Instance struct {
+	D    int
+	P, Q []*bitvec.Bits
+}
+
+// Pair identifies a pair of vectors (index into P, index into Q).
+type Pair struct{ PIdx, QIdx int }
+
+// Validate checks structural consistency.
+func (in *Instance) Validate() error {
+	if in.D <= 0 {
+		return fmt.Errorf("ovp: dimension %d must be positive", in.D)
+	}
+	if len(in.P) == 0 || len(in.Q) == 0 {
+		return fmt.Errorf("ovp: empty side (|P|=%d, |Q|=%d)", len(in.P), len(in.Q))
+	}
+	for i, v := range in.P {
+		if v.N != in.D {
+			return fmt.Errorf("ovp: P[%d] has dimension %d, want %d", i, v.N, in.D)
+		}
+	}
+	for i, v := range in.Q {
+		if v.N != in.D {
+			return fmt.Errorf("ovp: Q[%d] has dimension %d, want %d", i, v.N, in.D)
+		}
+	}
+	return nil
+}
+
+// Random returns an instance with iid Bernoulli(density) coordinates.
+// No orthogonality structure is guaranteed.
+func Random(rng *xrand.RNG, nP, nQ, d int, density float64) *Instance {
+	in := &Instance{D: d, P: make([]*bitvec.Bits, nP), Q: make([]*bitvec.Bits, nQ)}
+	gen := func() *bitvec.Bits {
+		b := bitvec.NewBits(d)
+		for i := 0; i < d; i++ {
+			if rng.Bernoulli(density) {
+				b.SetBit(i, 1)
+			}
+		}
+		return b
+	}
+	for i := range in.P {
+		in.P[i] = gen()
+	}
+	for i := range in.Q {
+		in.Q[i] = gen()
+	}
+	return in
+}
+
+// Planted returns an instance with *certified* ground truth: when plant
+// is true, exactly the pair (P[pi], Q[qi]) is orthogonal; when false, no
+// orthogonal pair exists at all. The certificate works by reserving
+// coordinates 0–2 as overlap guards:
+//
+//   - every non-planted P vector has bit 0 and bit 2 set;
+//   - every non-planted Q vector has bit 0 and bit 1 set;
+//   - the planted p* has bit 1 set, the planted q* has bit 2 set,
+//
+// so every pair except (p*, q*) overlaps inside {0,1,2}. The random
+// tails of p* and q* are drawn from disjoint coordinate halves, making
+// p*ᵀq* = 0 exactly. Requires d ≥ 7.
+func Planted(rng *xrand.RNG, nP, nQ, d int, density float64, plant bool) (*Instance, Pair) {
+	if d < 7 {
+		panic(fmt.Sprintf("ovp: Planted requires d >= 7, got %d", d))
+	}
+	in := &Instance{D: d, P: make([]*bitvec.Bits, nP), Q: make([]*bitvec.Bits, nQ)}
+	tail := d - 3 // coordinates 3..d−1 are free
+	half := tail / 2
+	fill := func(b *bitvec.Bits, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if rng.Bernoulli(density) {
+				b.SetBit(i, 1)
+			}
+		}
+	}
+	for i := range in.P {
+		b := bitvec.NewBits(d)
+		b.SetBit(0, 1)
+		b.SetBit(2, 1)
+		fill(b, 3, d)
+		in.P[i] = b
+	}
+	for i := range in.Q {
+		b := bitvec.NewBits(d)
+		b.SetBit(0, 1)
+		b.SetBit(1, 1)
+		fill(b, 3, d)
+		in.Q[i] = b
+	}
+	pi, qi := rng.Intn(nP), rng.Intn(nQ)
+	if !plant {
+		return in, Pair{-1, -1}
+	}
+	pStar := bitvec.NewBits(d)
+	pStar.SetBit(1, 1)
+	fill(pStar, 3, 3+half) // first half of the tail only
+	qStar := bitvec.NewBits(d)
+	qStar.SetBit(2, 1)
+	fill(qStar, 3+half, d) // second half only
+	in.P[pi], in.Q[qi] = pStar, qStar
+	return in, Pair{pi, qi}
+}
+
+// SolveNaive scans all pairs with the bit-packed AND/popcount kernel and
+// returns the first orthogonal pair, or found=false. Time O(|P|·|Q|·d/64).
+func SolveNaive(in *Instance) (Pair, bool) {
+	for qi, q := range in.Q {
+		for pi, p := range in.P {
+			if bitvec.DotBits(p, q) == 0 {
+				return Pair{pi, qi}, true
+			}
+		}
+	}
+	return Pair{-1, -1}, false
+}
+
+// CountOrthogonal returns the number of orthogonal pairs (for test
+// certification).
+func CountOrthogonal(in *Instance) int {
+	n := 0
+	for _, q := range in.Q {
+		for _, p := range in.P {
+			if bitvec.DotBits(p, q) == 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SolveChunked implements the Lemma 1 splitter: it cuts P into chunks of
+// the given size and solves each (chunk, Q) subproblem with the supplied
+// solver, demonstrating how an unbalanced-OVP algorithm solves balanced
+// OVP. The returned pair is re-indexed into the original P.
+func SolveChunked(in *Instance, chunk int,
+	solve func(*Instance) (Pair, bool)) (Pair, bool) {
+	if chunk <= 0 {
+		panic(fmt.Sprintf("ovp: chunk size %d must be positive", chunk))
+	}
+	for lo := 0; lo < len(in.P); lo += chunk {
+		hi := lo + chunk
+		if hi > len(in.P) {
+			hi = len(in.P)
+		}
+		sub := &Instance{D: in.D, P: in.P[lo:hi], Q: in.Q}
+		if pair, ok := solve(sub); ok {
+			return Pair{pair.PIdx + lo, pair.QIdx}, true
+		}
+	}
+	return Pair{-1, -1}, false
+}
+
+// SignsEmbedding is the Lemma 3 interface for embeddings into {−1,1}
+// (embeddings 1 and 2).
+type SignsEmbedding interface {
+	F(*bitvec.Bits) *bitvec.Signs
+	G(*bitvec.Bits) *bitvec.Signs
+	Params() embed.Params
+}
+
+// BitsEmbedding is the Lemma 3 interface for embeddings into {0,1}
+// (embedding 3).
+type BitsEmbedding interface {
+	F(*bitvec.Bits) *bitvec.Bits
+	G(*bitvec.Bits) *bitvec.Bits
+	Params() embed.Params
+}
+
+// SolveViaSignsEmbedding runs the Lemma 2 pipeline with a {−1,1}
+// embedding: embed both sides, then run an (exact) (cs, s) join on the
+// embedded vectors — a pair at (signed or absolute) inner product ≥ s
+// certifies an orthogonal input pair. This is the reduction that
+// transfers OVP hardness to IPS join; run forward, it is also a
+// correct (if quadratic) OVP solver, which the tests exploit.
+func SolveViaSignsEmbedding(in *Instance, e SignsEmbedding) (Pair, bool) {
+	p := e.Params()
+	fs := make([]*bitvec.Signs, len(in.P))
+	for i, x := range in.P {
+		fs[i] = e.F(x)
+	}
+	gs := make([]*bitvec.Signs, len(in.Q))
+	for i, y := range in.Q {
+		gs[i] = e.G(y)
+	}
+	for qi, g := range gs {
+		for pi, f := range fs {
+			dot := bitvec.DotSigns(f, g)
+			v := float64(dot)
+			if !p.Signed && v < 0 {
+				v = -v
+			}
+			if v >= p.S {
+				return Pair{pi, qi}, true
+			}
+		}
+	}
+	return Pair{-1, -1}, false
+}
+
+// SolveViaBitsEmbedding is the {0,1} counterpart (embedding 3).
+func SolveViaBitsEmbedding(in *Instance, e BitsEmbedding) (Pair, bool) {
+	p := e.Params()
+	fs := make([]*bitvec.Bits, len(in.P))
+	for i, x := range in.P {
+		fs[i] = e.F(x)
+	}
+	gs := make([]*bitvec.Bits, len(in.Q))
+	for i, y := range in.Q {
+		gs[i] = e.G(y)
+	}
+	for qi, g := range gs {
+		for pi, f := range fs {
+			if float64(bitvec.DotBits(f, g)) >= p.S {
+				return Pair{pi, qi}, true
+			}
+		}
+	}
+	return Pair{-1, -1}, false
+}

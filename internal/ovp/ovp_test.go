@@ -1,0 +1,197 @@
+package ovp
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/embed"
+	"repro/internal/xrand"
+)
+
+func TestPlantedCertificate(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 30; trial++ {
+		in, pair := Planted(rng, 20, 30, 32, 0.3, true)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := CountOrthogonal(in); got != 1 {
+			t.Fatalf("trial %d: %d orthogonal pairs, want exactly 1", trial, got)
+		}
+		if bitvec.DotBits(in.P[pair.PIdx], in.Q[pair.QIdx]) != 0 {
+			t.Fatal("certified pair is not orthogonal")
+		}
+	}
+}
+
+func TestPlantedNegative(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 30; trial++ {
+		in, pair := Planted(rng, 20, 30, 32, 0.3, false)
+		if pair.PIdx != -1 {
+			t.Fatal("negative instance must not certify a pair")
+		}
+		if got := CountOrthogonal(in); got != 0 {
+			t.Fatalf("trial %d: %d orthogonal pairs, want 0", trial, got)
+		}
+	}
+}
+
+func TestPlantedSmallDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Planted(xrand.New(3), 2, 2, 6, 0.5, true)
+}
+
+func TestSolveNaive(t *testing.T) {
+	rng := xrand.New(4)
+	in, want := Planted(rng, 15, 25, 24, 0.25, true)
+	got, ok := SolveNaive(in)
+	if !ok {
+		t.Fatal("planted pair not found")
+	}
+	if got != want {
+		t.Fatalf("found %+v, want %+v", got, want)
+	}
+	neg, _ := Planted(rng, 15, 25, 24, 0.25, false)
+	if _, ok := SolveNaive(neg); ok {
+		t.Fatal("false positive on negative instance")
+	}
+}
+
+func TestSolveChunked(t *testing.T) {
+	rng := xrand.New(5)
+	in, want := Planted(rng, 33, 20, 24, 0.25, true)
+	for _, chunk := range []int{1, 4, 7, 33, 100} {
+		got, ok := SolveChunked(in, chunk, SolveNaive)
+		if !ok || got != want {
+			t.Fatalf("chunk=%d: got %+v ok=%v, want %+v", chunk, got, ok, want)
+		}
+	}
+	neg, _ := Planted(rng, 33, 20, 24, 0.25, false)
+	if _, ok := SolveChunked(neg, 8, SolveNaive); ok {
+		t.Fatal("false positive")
+	}
+}
+
+func TestSolveChunkedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SolveChunked(&Instance{D: 8}, 0, SolveNaive)
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Instance{D: 0}).Validate(); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	in := &Instance{D: 8, P: []*bitvec.Bits{bitvec.NewBits(8)}, Q: []*bitvec.Bits{bitvec.NewBits(7)}}
+	if err := in.Validate(); err == nil {
+		t.Fatal("ragged Q must fail")
+	}
+}
+
+func TestRandomShape(t *testing.T) {
+	rng := xrand.New(6)
+	in := Random(rng, 10, 12, 40, 0.5)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, p := range in.P {
+		ones += p.OnesCount()
+	}
+	if ones < 120 || ones > 280 { // 10·40·0.5 = 200 expected
+		t.Fatalf("density off: %d ones", ones)
+	}
+}
+
+// The Lemma 2 pipeline, run forward: each embedding must turn OVP into a
+// join whose threshold test exactly identifies the planted pair.
+
+func TestPipelineSignedPM1(t *testing.T) {
+	rng := xrand.New(7)
+	const d = 16
+	e, err := embed.NewSignedPM1(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, want := Planted(rng, 12, 18, d, 0.25, true)
+	got, ok := SolveViaSignsEmbedding(in, e)
+	if !ok || got != want {
+		t.Fatalf("got %+v ok=%v, want %+v", got, ok, want)
+	}
+	neg, _ := Planted(rng, 12, 18, d, 0.25, false)
+	if _, ok := SolveViaSignsEmbedding(neg, e); ok {
+		t.Fatal("false positive")
+	}
+}
+
+func TestPipelineChebyshev(t *testing.T) {
+	rng := xrand.New(8)
+	const d = 8
+	for q := 1; q <= 3; q++ {
+		e, err := embed.NewChebyshevPM1(d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, want := Planted(rng, 8, 10, d, 0.25, true)
+		got, ok := SolveViaSignsEmbedding(in, e)
+		if !ok || got != want {
+			t.Fatalf("q=%d: got %+v ok=%v, want %+v", q, got, ok, want)
+		}
+		neg, _ := Planted(rng, 8, 10, d, 0.25, false)
+		if _, ok := SolveViaSignsEmbedding(neg, e); ok {
+			t.Fatalf("q=%d: false positive", q)
+		}
+	}
+}
+
+func TestPipelineChopped(t *testing.T) {
+	rng := xrand.New(9)
+	const d = 20
+	for _, k := range []int{2, 4, 5} {
+		e, err := embed.NewChopped01(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, want := Planted(rng, 10, 14, d, 0.2, true)
+		got, ok := SolveViaBitsEmbedding(in, e)
+		if !ok || got != want {
+			t.Fatalf("k=%d: got %+v ok=%v, want %+v", k, got, ok, want)
+		}
+		neg, _ := Planted(rng, 10, 14, d, 0.2, false)
+		if _, ok := SolveViaBitsEmbedding(neg, e); ok {
+			t.Fatalf("k=%d: false positive", k)
+		}
+	}
+}
+
+func BenchmarkSolveNaive_n64_d128(b *testing.B) {
+	rng := xrand.New(10)
+	in, _ := Planted(rng, 64, 64, 128, 0.3, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveNaive(in)
+	}
+}
+
+func BenchmarkPipelineChopped_d20k4(b *testing.B) {
+	rng := xrand.New(11)
+	e, err := embed.NewChopped01(20, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, _ := Planted(rng, 16, 16, 20, 0.2, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveViaBitsEmbedding(in, e)
+	}
+}

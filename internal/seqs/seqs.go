@@ -1,0 +1,349 @@
+// Package seqs constructs the "staircase" hard sequences of Theorem 3
+// in Ahle et al.: sequences of data vectors P (unit ball) and query
+// vectors Q (ball of radius U) with qᵢᵀpⱼ ≥ s exactly when j ≥ i and
+// qᵢᵀpⱼ ≤ cs otherwise. Fed into Lemma 4 (package grid) they upper
+// bound the gap P1 − P2 of any (asymmetric) LSH for inner product
+// similarity, for any fixed dimension and query radius.
+//
+// Three constructions are provided, matching the theorem's three cases:
+//
+//	Case 1 — geometric sequences, length Θ(d·log_{1/c}(U/s)), valid for
+//	         signed and unsigned IPS (all inner products nonnegative).
+//	Case 2 — affine 2-D plane sequences, length Θ(d·√(U/(s(1−c)))),
+//	         signed IPS only (large negative products appear).
+//	Case 3 — binary-tree sequences over an ε-incoherent family, length
+//	         2^⌊√(U/(8s))⌋, signed and unsigned.
+package seqs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/codes"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Staircase is a hard sequence pair with its certified thresholds.
+type Staircase struct {
+	// P are data vectors (‖p‖ ≤ 1), Q query vectors (‖q‖ ≤ U); both have
+	// the same length n and satisfy the staircase property with
+	// thresholds S (hit) and CS (miss).
+	P, Q []vec.Vector
+	S    float64
+	CS   float64
+	U    float64
+	// Unsigned records whether the construction also certifies the
+	// unsigned staircase (|qᵀp| bounds); case 2 does not.
+	Unsigned bool
+}
+
+// Len returns the sequence length n.
+func (st *Staircase) Len() int { return len(st.P) }
+
+// Verify checks the staircase property and the norm constraints,
+// returning a descriptive error on the first violation. tol absorbs
+// floating-point fuzz.
+func (st *Staircase) Verify(tol float64) error {
+	n := st.Len()
+	if n == 0 || len(st.Q) != n {
+		return fmt.Errorf("seqs: inconsistent lengths |P|=%d |Q|=%d", n, len(st.Q))
+	}
+	for j, p := range st.P {
+		if vec.Norm(p) > 1+tol {
+			return fmt.Errorf("seqs: ‖P[%d]‖ = %v exceeds unit ball", j, vec.Norm(p))
+		}
+	}
+	for i, q := range st.Q {
+		if vec.Norm(q) > st.U+tol {
+			return fmt.Errorf("seqs: ‖Q[%d]‖ = %v exceeds radius %v", i, vec.Norm(q), st.U)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dot := vec.Dot(st.Q[i], st.P[j])
+			val := dot
+			if st.Unsigned && val < 0 {
+				val = -val
+			}
+			if j >= i {
+				if dot < st.S-tol {
+					return fmt.Errorf("seqs: node (%d,%d): dot %v < s %v", i, j, dot, st.S)
+				}
+			} else if val > st.CS+tol {
+				return fmt.Errorf("seqs: node (%d,%d): value %v > cs %v", i, j, val, st.CS)
+			}
+		}
+	}
+	return nil
+}
+
+// Case1Len returns the per-block length m = ⌊log_{1/c}(U/s)⌋ + 1 of the
+// geometric construction, after trimming the over-norm prefix.
+func case1Block(s, c, u float64) (qs, ps []float64, err error) {
+	if !(c > 0 && c < 1) {
+		return nil, nil, fmt.Errorf("seqs: c=%v out of (0,1)", c)
+	}
+	if s <= 0 || s > c*u {
+		return nil, nil, fmt.Errorf("seqs: need 0 < s <= c·U, got s=%v U=%v", s, u)
+	}
+	m := int(math.Floor(math.Log(u/s)/math.Log(1/c))) + 1
+	for i := 0; i < m; i++ {
+		qv := u * math.Pow(c, float64(i))
+		pv := s / qv // s/(U·c^i)
+		if pv > 1 || qv > u {
+			continue // trim entries breaking the ball constraints
+		}
+		qs = append(qs, qv)
+		ps = append(ps, pv)
+	}
+	if len(qs) == 0 {
+		return nil, nil, fmt.Errorf("seqs: empty case-1 block for s=%v c=%v U=%v", s, c, u)
+	}
+	return qs, ps, nil
+}
+
+// Case1_1D builds the one-dimensional geometric staircase of Theorem 3
+// case 1: q_i = U·c^i, p_j = s/(U·c^j), giving qᵢᵀpⱼ = s·c^{i−j}.
+func Case1_1D(s, c, u float64) (*Staircase, error) {
+	qs, ps, err := case1Block(s, c, u)
+	if err != nil {
+		return nil, err
+	}
+	st := &Staircase{S: s, CS: c * s, U: u, Unsigned: true}
+	for k := range qs {
+		st.Q = append(st.Q, vec.Vector{qs[k]})
+		st.P = append(st.P, vec.Vector{ps[k]})
+	}
+	return st, nil
+}
+
+// Case1 builds the d-dimensional case-1 staircase (d even, d ≥ 2): the
+// 1-D block is planted on d/2 orthogonal coordinate pairs, with 2s
+// markers on later odd coordinates of queries and a 1/2 marker on the
+// previous odd coordinate of data vectors, so that cross-block products
+// are 0 (earlier blocks) or exactly s (later blocks). Sequence length is
+// (d/2)·m. Requires s ≤ U/(2√d) for the norm constraints.
+func Case1(d int, s, c, u float64) (*Staircase, error) {
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("seqs: Case1 needs even d >= 2, got %d", d)
+	}
+	if s > u/(2*math.Sqrt(float64(d))) {
+		return nil, fmt.Errorf("seqs: Case1 needs s <= U/(2√d), got s=%v U=%v d=%d", s, u, d)
+	}
+	qs, ps, err := case1Block(s, c, u)
+	if err != nil {
+		return nil, err
+	}
+	// Trim entries whose full d-dimensional query would leave the U-ball:
+	// ‖q_{i,k}‖² = (U·c^i)² + (d/2)·(2s)² must be ≤ U².
+	dHalf := d / 2
+	margin := float64(dHalf) * 4 * s * s
+	st := &Staircase{S: s, CS: c * s, U: u, Unsigned: true}
+	for k := 0; k < dHalf; k++ {
+		for idx := range qs {
+			if qs[idx]*qs[idx]+margin > u*u {
+				continue
+			}
+			q := vec.New(d)
+			q[2*k] = qs[idx]
+			for t := k; t < dHalf; t++ {
+				q[2*t+1] = 2 * s
+			}
+			p := vec.New(d)
+			p[2*k] = ps[idx]
+			if k > 0 {
+				p[2*k-1] = 0.5
+			}
+			if vec.Norm(p) > 1 {
+				continue
+			}
+			st.Q = append(st.Q, q)
+			st.P = append(st.P, p)
+		}
+	}
+	if st.Len() == 0 {
+		return nil, fmt.Errorf("seqs: Case1 produced an empty sequence (s too large?)")
+	}
+	return st, nil
+}
+
+// Case2 builds the signed-only affine staircase of Theorem 3 case 2 on
+// d/2 orthogonal planes: on each plane,
+// q_i = (√(sU)·(1−(1−c)·i), √(sU(1−c))), p_j = (√(s/U), j·√(s(1−c)/U)),
+// giving qᵢᵀpⱼ = s + s(1−c)(j−i). Cross-plane products are 0 (earlier)
+// or s (later) via √(sU) markers. Length Θ(d·√(U/(s(1−c)))). Products
+// below the diagonal go strongly negative, so the staircase certifies
+// signed IPS only. Requires s ≤ U/(2d).
+func Case2(d int, s, c, u float64) (*Staircase, error) {
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("seqs: Case2 needs even d >= 2, got %d", d)
+	}
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("seqs: c=%v out of (0,1)", c)
+	}
+	if s <= 0 || s > u/(2*float64(d)) {
+		return nil, fmt.Errorf("seqs: Case2 needs 0 < s <= U/(2d), got s=%v U=%v d=%d", s, u, d)
+	}
+	dHalf := d / 2
+	// Block length limited by ‖p_j‖ ≤ 1 and ‖q_i‖ ≤ U.
+	mData := int(math.Floor(math.Sqrt((1 - s/u) / (s * (1 - c) / u))))
+	mQuery := int(math.Floor((1 + math.Sqrt(u/s-1-float64(dHalf))) / (1 - c)))
+	m := mData
+	if mQuery < m {
+		m = mQuery
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("seqs: Case2 block empty for s=%v c=%v U=%v", s, c, u)
+	}
+	sqSU := math.Sqrt(s * u)
+	st := &Staircase{S: s, CS: c * s, U: u, Unsigned: false}
+	for k := 0; k < dHalf; k++ {
+		for i := 0; i < m; i++ {
+			q := vec.New(d)
+			q[2*k] = sqSU * (1 - (1-c)*float64(i))
+			q[2*k+1] = math.Sqrt(s * u * (1 - c))
+			for t := k + 1; t < dHalf; t++ {
+				q[2*t] = sqSU
+			}
+			p := vec.New(d)
+			p[2*k] = math.Sqrt(s / u)
+			p[2*k+1] = float64(i) * math.Sqrt(s*(1-c)/u)
+			if vec.Norm(p) > 1 || vec.Norm(q) > u {
+				continue
+			}
+			st.Q = append(st.Q, q)
+			st.P = append(st.P, p)
+		}
+	}
+	if st.Len() == 0 {
+		return nil, fmt.Errorf("seqs: Case2 produced an empty sequence")
+	}
+	return st, nil
+}
+
+// MaxCase3Levels caps the binary-tree depth of Case3 (sequence length
+// 2^levels − 1): the dense orthonormal family needs Θ(n²) memory, so
+// unbounded U would otherwise explode the build.
+const MaxCase3Levels = 8
+
+// Case3Family selects the incoherent vector family used by Case3.
+type Case3Family int
+
+const (
+	// FamilyOrthonormal uses exact standard basis vectors (ε = 0,
+	// dimension 2n−1): the idealised construction, useful to isolate the
+	// combinatorics from incoherence error.
+	FamilyOrthonormal Case3Family = iota
+	// FamilyReedSolomon uses the deterministic RS incoherent family of
+	// [38] with ε = c/(2·log²n) — the paper's JL step made explicit.
+	FamilyReedSolomon
+	// FamilyGaussian uses random unit vectors at the JL dimension.
+	FamilyGaussian
+)
+
+// Case3 builds the binary-tree staircase of Theorem 3 case 3 with
+// L = ⌊√(U/(8s))⌋ levels (sequence length n = 2^L):
+//
+//	q_i = √(2sU)·Σ_{ℓ: b_{i,ℓ}=0} z_{(i_0…i_{ℓ−1}, 1)}
+//	p_j = √(2s/U)·Σ_{ℓ: b_{j,ℓ}=1} z_{(j_0…j_{ℓ−1}, 1)}
+//
+// where z indexes an ε-incoherent family over the tree of bit prefixes.
+// A shared (prefix, 1) node exists exactly when j ≥ i, contributing 2s;
+// all other terms are incoherence noise ≤ 2s·ε·log²n ≤ cs.
+func Case3(s, c, u float64, family Case3Family, seed uint64) (*Staircase, error) {
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("seqs: c=%v out of (0,1)", c)
+	}
+	if s <= 0 || s > u/8 {
+		return nil, fmt.Errorf("seqs: Case3 needs 0 < s <= U/8, got s=%v U=%v", s, u)
+	}
+	levels := int(math.Floor(math.Sqrt(u / (8 * s))))
+	if levels < 1 {
+		return nil, fmt.Errorf("seqs: Case3 has no levels for s=%v U=%v", s, u)
+	}
+	if levels > MaxCase3Levels {
+		levels = MaxCase3Levels
+	}
+	n := 1 << uint(levels)
+	// Tree nodes: bit prefixes of length 1..levels, heap-numbered
+	// (id of prefix value v at length l is 2^l + v). Only (prefix, 1)
+	// nodes are ever referenced but we index the full space for clarity.
+	numNodes := 1 << uint(levels+1)
+	eps := c / (2 * float64(levels*levels))
+	getZ, dim, err := case3FamilyVectors(family, numNodes, eps, seed)
+	if err != nil {
+		return nil, err
+	}
+	qScale := math.Sqrt(2 * s * u)
+	pScale := math.Sqrt(2 * s / u)
+	qs := make([]vec.Vector, n)
+	ps := make([]vec.Vector, n)
+	for idx := 0; idx < n; idx++ {
+		q := vec.New(dim)
+		p := vec.New(dim)
+		for l := 1; l <= levels; l++ {
+			bit := (idx >> uint(levels-l)) & 1
+			// Heap id of the length-l prefix of idx with last bit forced to 1.
+			withOne := (1 << uint(l)) | (idx>>uint(levels-l) | 1)
+			if bit == 0 {
+				// The query walks the sibling path (prefix, 1).
+				vec.Axpy(qScale, getZ(withOne), q)
+			} else {
+				// The data vector walks its own path (its bit is already 1).
+				vec.Axpy(pScale, getZ(withOne), p)
+			}
+		}
+		qs[idx] = q
+		ps[idx] = p
+	}
+	// The raw construction gives qᵢᵀpⱼ ≈ 2s exactly when j > i (strictly):
+	// the witness level needs b_{j,ℓ} = 1 > b_{i,ℓ} = 0. Shifting the data
+	// sequence by one converts this to the paper's j ≥ i convention with
+	// sequence length n−1.
+	st := &Staircase{S: s, CS: c * s, U: u, Unsigned: true,
+		Q: qs[:n-1], P: ps[1:]}
+	if st.Len() == 0 {
+		return nil, fmt.Errorf("seqs: Case3 produced an empty sequence")
+	}
+	return st, nil
+}
+
+// case3FamilyVectors returns an accessor for the z vectors, their
+// ambient dimension, and an error.
+func case3FamilyVectors(family Case3Family, numNodes int, eps float64, seed uint64) (func(int) vec.Vector, int, error) {
+	switch family {
+	case FamilyOrthonormal:
+		dim := numNodes
+		cache := make(map[int]vec.Vector)
+		return func(id int) vec.Vector {
+			v, ok := cache[id]
+			if !ok {
+				v = vec.New(dim)
+				v[id] = 1
+				cache[id] = v
+			}
+			return v
+		}, dim, nil
+	case FamilyReedSolomon:
+		fam, err := codes.NewIncoherent(uint64(numNodes), eps)
+		if err != nil {
+			return nil, 0, err
+		}
+		dim := fam.Dim()
+		cache := make(map[int]vec.Vector)
+		return func(id int) vec.Vector {
+			v, ok := cache[id]
+			if !ok {
+				v = fam.Vector(uint64(id)).Dense()
+				cache[id] = v
+			}
+			return v
+		}, dim, nil
+	case FamilyGaussian:
+		dim := codes.JLDim(numNodes, eps)
+		g := codes.NewGaussianFamily(xrand.New(seed), numNodes, dim)
+		return func(id int) vec.Vector { return g.Vecs[id] }, dim, nil
+	}
+	return nil, 0, fmt.Errorf("seqs: unknown family %d", family)
+}

@@ -1,0 +1,271 @@
+package seqs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/lsh"
+	"repro/internal/vec"
+)
+
+const tol = 1e-9
+
+func TestCase1_1D(t *testing.T) {
+	st, err := Case1_1D(0.01, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() < 5 {
+		t.Fatalf("sequence too short: %d", st.Len())
+	}
+	if err := st.Verify(tol); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Unsigned {
+		t.Fatal("case 1 certifies unsigned too")
+	}
+}
+
+func TestCase1_1DLengthScales(t *testing.T) {
+	// Length is Θ(log_{1/c}(U/s)): growing U must lengthen the staircase.
+	a, err := Case1_1D(0.01, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Case1_1D(0.01, 0.5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() <= a.Len() {
+		t.Fatalf("length must grow with U: %d then %d", a.Len(), b.Len())
+	}
+}
+
+func TestCase1MultiD(t *testing.T) {
+	for _, d := range []int{2, 4, 6, 10} {
+		u := 16.0
+		s := u / (2 * math.Sqrt(float64(d))) / 2
+		st, err := Case1(d, s, 0.5, u)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := st.Verify(tol); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestCase1LengthGrowsWithD(t *testing.T) {
+	u := 64.0
+	s := 0.05
+	st2, err := Case1(2, s, 0.5, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st8, err := Case1(8, s, 0.5, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st8.Len() <= st2.Len() {
+		t.Fatalf("length must grow with d: %d then %d", st2.Len(), st8.Len())
+	}
+}
+
+func TestCase1Validation(t *testing.T) {
+	if _, err := Case1(3, 0.1, 0.5, 8); err == nil {
+		t.Fatal("odd d must fail")
+	}
+	if _, err := Case1(4, 10, 0.5, 8); err == nil {
+		t.Fatal("s too large must fail")
+	}
+	if _, err := Case1_1D(0.1, 1.5, 8); err == nil {
+		t.Fatal("c out of range must fail")
+	}
+	if _, err := Case1_1D(5, 0.5, 8); err == nil {
+		t.Fatal("s > cU must fail")
+	}
+}
+
+func TestCase2(t *testing.T) {
+	for _, d := range []int{2, 4, 8} {
+		u := 32.0
+		s := u / (2 * float64(d)) / 2
+		st, err := Case2(d, s, 0.5, u)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if st.Unsigned {
+			t.Fatal("case 2 must be signed-only")
+		}
+		if err := st.Verify(tol); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestCase2HasNegativeProducts(t *testing.T) {
+	// The construction produces large negative dots below the diagonal,
+	// which is why it cannot serve the unsigned case.
+	st, err := Case2(2, 0.5, 0.5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	n := st.Len()
+	for i := 0; i < n && !found; i++ {
+		for j := 0; j < i; j++ {
+			if vec.Dot(st.Q[i], st.P[j]) < -st.S {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected strongly negative below-diagonal products")
+	}
+}
+
+func TestCase2LongerThanCase1(t *testing.T) {
+	// For the same parameters, case 2 sequences are asymptotically longer
+	// (√(U/s) vs log(U/s)).
+	u := 512.0
+	s := 0.25
+	c := 0.5
+	st1, err := Case1(2, s, c, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Case2(2, s, c, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() <= st1.Len() {
+		t.Fatalf("case2 (%d) should beat case1 (%d) at large U/s", st2.Len(), st1.Len())
+	}
+}
+
+func TestCase2Validation(t *testing.T) {
+	if _, err := Case2(2, 10, 0.5, 8); err == nil {
+		t.Fatal("s > U/(2d) must fail")
+	}
+	if _, err := Case2(3, 0.1, 0.5, 8); err == nil {
+		t.Fatal("odd d must fail")
+	}
+}
+
+func TestCase3Orthonormal(t *testing.T) {
+	st, err := Case3(0.25, 0.5, 128, FamilyOrthonormal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() < 3 {
+		t.Fatalf("length %d too short", st.Len())
+	}
+	if err := st.Verify(tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase3ReedSolomon(t *testing.T) {
+	st, err := Case3(0.5, 0.5, 72, FamilyReedSolomon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Verify(tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase3Gaussian(t *testing.T) {
+	st, err := Case3(0.5, 0.9, 72, FamilyGaussian, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gaussian incoherence is probabilistic; allow a loose tolerance on
+	// the thresholds by widening tol.
+	if err := st.Verify(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCase3LengthScalesWithU(t *testing.T) {
+	small, err := Case3(0.25, 0.5, 32, FamilyOrthonormal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Case3(0.25, 0.5, 512, FamilyOrthonormal, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() <= small.Len() {
+		t.Fatalf("length must grow with U: %d then %d", small.Len(), big.Len())
+	}
+}
+
+func TestCase3Validation(t *testing.T) {
+	if _, err := Case3(2, 0.5, 8, FamilyOrthonormal, 1); err == nil {
+		t.Fatal("s > U/8 must fail")
+	}
+	if _, err := Case3(0.1, 1.2, 8, FamilyOrthonormal, 1); err == nil {
+		t.Fatal("c out of range must fail")
+	}
+	if _, err := Case3(0.1, 0.5, 8, Case3Family(99), 1); err == nil {
+		t.Fatal("unknown family must fail")
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	st := &Staircase{
+		P: []vec.Vector{{0.5}, {0.5}},
+		Q: []vec.Vector{{1}, {1}},
+		S: 0.6, CS: 0.3, U: 1, Unsigned: true,
+	}
+	// Q[1]·P[0] = 0.5 > cs = 0.3 → must fail.
+	if err := st.Verify(0); err == nil {
+		t.Fatal("Verify must catch staircase violations")
+	}
+	bad := &Staircase{P: []vec.Vector{{2}}, Q: []vec.Vector{{1}}, S: 0.5, CS: 0.1, U: 1}
+	if err := bad.Verify(0); err == nil {
+		t.Fatal("Verify must catch norm violations")
+	}
+}
+
+// The Theorem 3 / Lemma 4 integration: a concrete ALSH family measured
+// on a hard staircase must exhibit a gap below the Lemma 4 bound.
+func TestLemma4GapOnConcreteALSH(t *testing.T) {
+	const u = 512.0
+	st, err := Case1_1D(0.005, 0.45, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to the largest 2^l−1 prefix for the grid bound.
+	n := st.Len()
+	gsize := 1
+	for gsize*2-1 <= n {
+		gsize *= 2
+	}
+	n = gsize - 1
+	if n < 3 {
+		t.Skip("staircase too short for the grid bound")
+	}
+	P, Q := st.P[:n], st.Q[:n]
+	// SIMPLE-ALSH: embed into the unit sphere and hash by hyperplane.
+	inner, _ := lsh.NewHyperplane(3)
+	dataMap := func(p vec.Vector) vec.Vector {
+		return vec.Vector{p[0], math.Sqrt(1 - p[0]*p[0]), 0}
+	}
+	queryMap := func(q vec.Vector) vec.Vector {
+		v := q[0] / u
+		return vec.Vector{v, 0, math.Sqrt(1 - v*v)}
+	}
+	fam, err := lsh.NewAsymmetric("simple-alsh", lsh.MapPair{Data: dataMap, Query: queryMap}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := grid.EmpiricalGap(fam, P, Q, 3000, 5)
+	gap := p1 - p2
+	if bound := grid.GapBound(n); gap > bound {
+		t.Fatalf("empirical gap %v exceeds Lemma 4 bound %v (n=%d)", gap, bound, n)
+	}
+}

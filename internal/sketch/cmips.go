@@ -1,0 +1,71 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// This file implements the paper's §4.3 observation as a working
+// algorithm: "unsigned c-MIPS can be solved by a data structure for
+// unsigned (cs, s) search … by performing the queries q/c^i for
+// 0 ≤ i ≤ ⌈log_{1/c}(s/γ)⌉" — scaling the query up until the largest
+// inner product crosses the search threshold.
+
+// UnsignedSearcher answers unsigned (cs, s) searches: given a query q,
+// return an index whose |pᵀq| ≥ cs whenever some data vector has
+// |p′ᵀq| ≥ s. When no vector clears cs, ok is false.
+type UnsignedSearcher interface {
+	Search(q vec.Vector, s, cs float64) (idx int, value float64, ok bool)
+}
+
+// RecovererSearcher adapts the §4.3 trie structure to the search
+// interface: recover the approximate maximiser and verify it against
+// the acceptance threshold.
+type RecovererSearcher struct {
+	Rec *Recoverer
+}
+
+// Search implements UnsignedSearcher.
+func (rs RecovererSearcher) Search(q vec.Vector, s, cs float64) (int, float64, bool) {
+	idx, v := rs.Rec.Query(q)
+	if v >= cs {
+		return idx, v, true
+	}
+	return -1, v, false
+}
+
+// CMIPS solves unsigned c-MIPS through an UnsignedSearcher by query
+// scaling: it issues q/c⁰, q/c¹, … until the searcher reports a hit,
+// up to the γ floor (the smallest inner product of interest — "the
+// smallest inner product that can be stored according to the numerical
+// precision of the machine"). It returns the found index and its exact
+// |pᵀq| against the *unscaled* query.
+func CMIPS(searcher UnsignedSearcher, q vec.Vector, c, s, gamma float64) (int, float64, bool) {
+	if searcher == nil {
+		panic("sketch: nil searcher")
+	}
+	pivot := firstNonZero(q) // rejects the zero query up front
+	for _, scaled := range ScaledQueries(q, c, s, gamma) {
+		idx, v, ok := searcher.Search(scaled, s, c*s)
+		if ok {
+			// Undo the query scaling on the reported value.
+			scale := scaled[pivot] / q[pivot]
+			return idx, math.Abs(v / scale), true
+		}
+	}
+	return -1, 0, false
+}
+
+// firstNonZero returns the index of the first nonzero coordinate,
+// panicking on the zero vector (whose MIPS value is identically 0 and
+// needs no search).
+func firstNonZero(q vec.Vector) int {
+	for i, v := range q {
+		if v != 0 {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sketch: zero query of dimension %d", len(q)))
+}

@@ -1,0 +1,112 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// exactSearcher is an oracle (cs, s) searcher for testing the scaling
+// reduction in isolation.
+type exactSearcher struct {
+	data []vec.Vector
+}
+
+func (es exactSearcher) Search(q vec.Vector, s, cs float64) (int, float64, bool) {
+	best, bv := -1, -1.0
+	for i, p := range es.data {
+		if v := vec.AbsDot(p, q); v > bv {
+			best, bv = i, v
+		}
+	}
+	if bv >= cs {
+		return best, bv, true
+	}
+	return -1, bv, false
+}
+
+func TestCMIPSWithExactOracle(t *testing.T) {
+	// Max |pᵀq| = 0.02, far below s = 1; the scaling loop must amplify
+	// the query until the oracle fires and still return the true argmax.
+	data := []vec.Vector{{0.01, 0}, {0, 0.02}, {-0.005, 0.001}}
+	q := vec.Vector{0, 1}
+	idx, v, ok := CMIPS(exactSearcher{data}, q, 0.5, 1.0, 1.0/1024)
+	if !ok {
+		t.Fatal("CMIPS missed")
+	}
+	if idx != 1 {
+		t.Fatalf("idx = %d, want 1", idx)
+	}
+	if math.Abs(v-0.02) > 1e-12 {
+		t.Fatalf("value = %v, want 0.02", v)
+	}
+}
+
+func TestCMIPSBelowFloor(t *testing.T) {
+	// Every product is below γ: the loop must exhaust and report miss.
+	data := []vec.Vector{{1e-9, 0}}
+	q := vec.Vector{1, 0}
+	if _, _, ok := CMIPS(exactSearcher{data}, q, 0.5, 1.0, 1e-3); ok {
+		t.Fatal("CMIPS should miss below the precision floor")
+	}
+}
+
+func TestCMIPSWithRecoverer(t *testing.T) {
+	// End-to-end: trie searcher + scaling reduction on a planted input
+	// whose max product sits well under the search threshold.
+	rng := xrand.New(1)
+	const n, d = 64, 8
+	data := make([]vec.Vector, n)
+	q := vec.Vector(rng.UnitVec(d))
+	for i := range data {
+		v := vec.Vector(rng.UnitVec(d))
+		vec.Axpy(-vec.Dot(v, q), q, v)
+		vec.Normalize(v)
+		vec.Scale(v, 0.01)
+		data[i] = v
+	}
+	const heavy = 23
+	vec.Axpy(0.05, q, data[heavy]) // |pᵀq| ≈ 0.05, others ≈ tiny
+	rec, err := NewRecoverer(data, 3, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, v, ok := CMIPS(RecovererSearcher{Rec: rec}, q, 0.5, 1.0, 1.0/4096)
+	if !ok {
+		t.Fatal("CMIPS missed the planted vector")
+	}
+	if idx != heavy {
+		t.Fatalf("idx = %d, want %d", idx, heavy)
+	}
+	want := vec.AbsDot(data[heavy], q)
+	if math.Abs(v-want) > 1e-9 {
+		t.Fatalf("value %v, want %v", v, want)
+	}
+}
+
+func TestCMIPSZeroQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero query")
+		}
+	}()
+	CMIPS(exactSearcher{[]vec.Vector{{1}}}, vec.Vector{0}, 0.5, 1, 0.1)
+}
+
+func TestRecovererSearcherThreshold(t *testing.T) {
+	data := []vec.Vector{{0.5, 0}, {0, 0.3}}
+	rec, err := NewRecoverer(data, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := RecovererSearcher{Rec: rec}
+	if _, _, ok := rs.Search(vec.Vector{1, 0}, 0.9, 0.6); ok {
+		t.Fatal("0.5 must not clear cs=0.6")
+	}
+	idx, v, ok := rs.Search(vec.Vector{1, 0}, 0.9, 0.4)
+	if !ok || idx != 0 || math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("Search = (%d, %v, %v)", idx, v, ok)
+	}
+}

@@ -1,0 +1,229 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// MaxDot is the §4.3 data structure for approximating
+// max_p |pᵀq| over a data set P, without recovering the maximiser:
+// the rows of A are the data vectors, a max-stability sketch Π for ℓ_κ
+// is sampled, and the compressed matrix A_s = ΠA ∈ R^{m×d} is stored.
+// A query computes ‖A_s·q‖_∞ in time O(m·d) = Õ(d·n^{1−2/κ}), which
+// estimates ‖Aq‖_κ and therefore approximates ‖Aq‖_∞ = max_p |pᵀq|
+// within a factor n^{1/κ}. Several independent copies are kept and the
+// median reported.
+type MaxDot struct {
+	N, D  int
+	Kappa float64
+	// copies[r] is the compressed matrix of the r-th sketch.
+	copies []*vec.Matrix
+}
+
+// NewMaxDot builds the structure over the given data rows.
+// Construction time is O(copies·n·d), dominated by forming ΠA.
+func NewMaxDot(data []vec.Vector, kappa float64, copies int, seed uint64) (*MaxDot, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("sketch: empty data set")
+	}
+	if copies <= 0 {
+		return nil, fmt.Errorf("sketch: copies %d must be positive", copies)
+	}
+	n, d := len(data), len(data[0])
+	for i, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("sketch: row %d has dimension %d, want %d", i, len(row), d)
+		}
+	}
+	m := RecommendedBuckets(n, kappa)
+	rng := xrand.New(seed)
+	md := &MaxDot{N: n, D: d, Kappa: kappa, copies: make([]*vec.Matrix, copies)}
+	for r := 0; r < copies; r++ {
+		sk, err := NewNormSketch(n, m, kappa, rng.Split(uint64(r)))
+		if err != nil {
+			return nil, err
+		}
+		as := vec.NewMatrix(m, d)
+		for i, row := range data {
+			// A_s[bucket(i)] += weight(i)·A[i]
+			vec.Axpy(sk.weight[i], row, as.Row(sk.bucket[i]))
+		}
+		md.copies[r] = as
+	}
+	return md, nil
+}
+
+// SketchRows returns m, the per-copy compressed row count (the query
+// cost driver).
+func (md *MaxDot) SketchRows() int { return md.copies[0].Rows }
+
+// Estimate returns the median-corrected estimate of ‖Aq‖_κ, an upper
+// proxy for max_p |pᵀq| within factor ApproxFactor(n, κ).
+func (md *MaxDot) Estimate(q vec.Vector) float64 {
+	if len(q) != md.D {
+		panic(fmt.Sprintf("sketch: query dimension %d != %d", len(q), md.D))
+	}
+	corr := expCorrection(md.Kappa)
+	ests := make([]float64, len(md.copies))
+	for r, as := range md.copies {
+		ests[r] = vec.MaxAbs(as.MulVec(q)) * corr
+	}
+	return median(ests)
+}
+
+// Recoverer implements the paper's bit-by-bit index recovery: "for
+// every bit index i and binary prefix b, build a data structure for the
+// vectors whose index has prefix b". A query walks the binary trie from
+// the root, descending into the child whose MaxDot estimate is larger,
+// and returns the leaf index — the approximate unsigned MIPS answer.
+// Each vector appears in ⌈log n⌉+1 structures, so total space stays
+// Õ(d·n^{1−2/κ}) per level.
+type Recoverer struct {
+	N, D  int
+	Kappa float64
+	data  []vec.Vector
+	// levels[l] holds the MaxDot structures of all prefixes of length l;
+	// levels[0] is the root (one structure over everything). Leaves are
+	// implicit (single vectors — evaluated exactly).
+	levels [][]*MaxDot
+	// spans[l][j] = [lo, hi) index range of node j at level l.
+	spans [][][2]int
+}
+
+// NewRecoverer builds the trie. Construction is O(copies·n·d·log n).
+func NewRecoverer(data []vec.Vector, kappa float64, copies int, seed uint64) (*Recoverer, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("sketch: empty data set")
+	}
+	n, d := len(data), len(data[0])
+	r := &Recoverer{N: n, D: d, Kappa: kappa, data: data}
+	rng := xrand.New(seed)
+	label := uint64(0)
+	// Build levels until every node is a single vector.
+	type node struct{ lo, hi int }
+	cur := []node{{0, n}}
+	for {
+		mds := make([]*MaxDot, len(cur))
+		spans := make([][2]int, len(cur))
+		for j, nd := range cur {
+			spans[j] = [2]int{nd.lo, nd.hi}
+			if nd.hi-nd.lo == 1 {
+				continue // leaf: exact evaluation, no sketch needed
+			}
+			md, err := NewMaxDot(data[nd.lo:nd.hi], kappa, copies, rng.Split(label).Uint64())
+			label++
+			if err != nil {
+				return nil, err
+			}
+			mds[j] = md
+		}
+		r.levels = append(r.levels, mds)
+		r.spans = append(r.spans, spans)
+		// Split for the next level.
+		next := make([]node, 0, 2*len(cur))
+		done := true
+		for _, nd := range cur {
+			if nd.hi-nd.lo == 1 {
+				next = append(next, nd)
+				continue
+			}
+			done = false
+			mid := (nd.lo + nd.hi) / 2
+			next = append(next, node{nd.lo, mid}, node{mid, nd.hi})
+		}
+		if done {
+			break
+		}
+		cur = next
+	}
+	return r, nil
+}
+
+// Query returns the index of an approximate maximiser of |pᵀq| and the
+// exact |pᵀq| at that index.
+func (r *Recoverer) Query(q vec.Vector) (int, float64) {
+	if len(q) != r.D {
+		panic(fmt.Sprintf("sketch: query dimension %d != %d", len(q), r.D))
+	}
+	j := 0 // node index within the level
+	for l := 0; l < len(r.levels); l++ {
+		span := r.spans[l][j]
+		if span[1]-span[0] == 1 {
+			idx := span[0]
+			return idx, math.Abs(vec.Dot(r.data[idx], q))
+		}
+		// Children at level l+1 are nodes 2j and 2j+1 — but only when the
+		// level was fully split; locate children by span instead to stay
+		// robust for uneven sizes.
+		left, right := r.childIndices(l, j)
+		el := r.nodeEstimate(l+1, left, q)
+		er := r.nodeEstimate(l+1, right, q)
+		if er > el {
+			j = right
+		} else {
+			j = left
+		}
+	}
+	// All levels exhausted: the last node must be a leaf.
+	span := r.spans[len(r.spans)-1][j]
+	idx := span[0]
+	return idx, math.Abs(vec.Dot(r.data[idx], q))
+}
+
+// childIndices finds the two child node positions of node j at level l.
+func (r *Recoverer) childIndices(l, j int) (int, int) {
+	span := r.spans[l][j]
+	mid := (span[0] + span[1]) / 2
+	next := r.spans[l+1]
+	left, right := -1, -1
+	for idx, s := range next {
+		if s[0] == span[0] && s[1] == mid {
+			left = idx
+		}
+		if s[0] == mid && s[1] == span[1] {
+			right = idx
+		}
+	}
+	if left < 0 || right < 0 {
+		panic(fmt.Sprintf("sketch: trie structure broken at level %d node %d", l, j))
+	}
+	return left, right
+}
+
+// nodeEstimate returns the MaxDot estimate at a node, or the exact value
+// for single-vector leaves.
+func (r *Recoverer) nodeEstimate(l, j int, q vec.Vector) float64 {
+	span := r.spans[l][j]
+	if span[1]-span[0] == 1 {
+		return math.Abs(vec.Dot(r.data[span[0]], q))
+	}
+	return r.levels[l][j].Estimate(q)
+}
+
+// Levels returns the trie depth (for cost accounting).
+func (r *Recoverer) Levels() int { return len(r.levels) }
+
+// ScaledQueries implements the paper's reduction from unsigned c-MIPS to
+// unsigned (cs, s) search: query with q/c^i for 0 ≤ i ≤ ⌈log_{1/c}(s/γ)⌉,
+// scaling the query up until the largest inner product crosses the
+// threshold s; γ is the smallest inner product of interest (e.g. machine
+// precision).
+func ScaledQueries(q vec.Vector, c, s, gamma float64) []vec.Vector {
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("sketch: c=%v out of (0,1)", c))
+	}
+	if s <= 0 || gamma <= 0 || gamma > s {
+		panic(fmt.Sprintf("sketch: invalid s=%v gamma=%v", s, gamma))
+	}
+	steps := int(math.Ceil(math.Log(s/gamma)/math.Log(1/c))) + 1
+	out := make([]vec.Vector, steps)
+	scale := 1.0
+	for i := range out {
+		out[i] = vec.Scaled(q, scale)
+		scale /= c
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package sketch implements the linear-sketch machinery of §4.3 of Ahle
+// et al.: max-stability sketches for ℓ_κ norms (after Andoni), the
+// compressed ‖Aq‖_∞ estimator that turns them into an unsigned c-MIPS
+// data structure with approximation c = 1/n^{1/κ}, the binary-trie
+// recovery of the (near-)maximising index, and the query-scaling
+// reduction between c-MIPS and (cs, s) search. It also includes the
+// classic Indyk p-stable median sketch as a cross-check estimator.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// expCorrection returns the median correction (ln 2)^{1/κ}: if
+// M = ‖x‖_κ · E^{−1/κ} with E ~ Exp(1), then median(M) = ‖x‖_κ ·
+// (ln 2)^{−1/κ}, so multiplying the observed max by (ln 2)^{1/κ}
+// centres the estimator.
+func expCorrection(kappa float64) float64 {
+	return math.Pow(math.Ln2, 1/kappa)
+}
+
+// NormSketch is one linear max-stability sketch Π ∈ R^{m×n} for ℓ_κ:
+// Π = P·D where D = diag(1/E_i^{1/κ}) with iid exponentials and P is a
+// signed count-sketch bucketing. ‖Πx‖_∞ concentrates around
+// ‖x‖_κ · E^{−1/κ} — the max-stability property P(max ≤ t) =
+// exp(−(‖x‖_κ/t)^κ).
+type NormSketch struct {
+	N, M  int
+	Kappa float64
+	// bucket[i] and weight[i] describe column i of Π: a single nonzero
+	// σ_i/E_i^{1/κ} in row bucket[i].
+	bucket []int
+	weight []float64
+}
+
+// NewNormSketch samples a sketch for input dimension n with m buckets.
+func NewNormSketch(n, m int, kappa float64, rng *xrand.RNG) (*NormSketch, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("sketch: invalid shape n=%d m=%d", n, m)
+	}
+	if kappa < 2 {
+		return nil, fmt.Errorf("sketch: kappa %v must be >= 2", kappa)
+	}
+	s := &NormSketch{N: n, M: m, Kappa: kappa,
+		bucket: make([]int, n), weight: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.bucket[i] = rng.Intn(m)
+		w := math.Pow(rng.Exp(), -1/kappa)
+		s.weight[i] = float64(rng.Sign()) * w
+	}
+	return s, nil
+}
+
+// Apply computes Πx.
+func (s *NormSketch) Apply(x vec.Vector) vec.Vector {
+	if len(x) != s.N {
+		panic(fmt.Sprintf("sketch: Apply dimension %d != %d", len(x), s.N))
+	}
+	y := vec.New(s.M)
+	for i, v := range x {
+		y[s.bucket[i]] += s.weight[i] * v
+	}
+	return y
+}
+
+// Estimate returns the median-corrected ℓ_κ estimate from a sketched
+// vector y = Πx.
+func (s *NormSketch) Estimate(y vec.Vector) float64 {
+	return vec.MaxAbs(y) * expCorrection(s.Kappa)
+}
+
+// RecommendedBuckets returns the m = O(n^{1−2/κ}·log n) bucket count
+// used throughout: enough for the heavy coordinate to dominate its
+// bucket with good probability.
+func RecommendedBuckets(n int, kappa float64) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("sketch: n=%d", n))
+	}
+	m := int(math.Ceil(4 * math.Pow(float64(n), 1-2/kappa) * math.Log(float64(n)+2)))
+	if m < 4 {
+		m = 4
+	}
+	return m
+}
+
+// LpEstimator estimates ‖x‖_κ as the median over independent NormSketch
+// copies, boosting the constant success probability as in §4.3
+// ("building O(log 1/δ) independent copies and reporting the median").
+type LpEstimator struct {
+	Copies []*NormSketch
+}
+
+// NewLpEstimator builds `copies` independent sketches.
+func NewLpEstimator(n, m, copies int, kappa float64, seed uint64) (*LpEstimator, error) {
+	if copies <= 0 {
+		return nil, fmt.Errorf("sketch: copies %d must be positive", copies)
+	}
+	rng := xrand.New(seed)
+	cs := make([]*NormSketch, copies)
+	for i := range cs {
+		var err error
+		cs[i], err = NewNormSketch(n, m, kappa, rng.Split(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &LpEstimator{Copies: cs}, nil
+}
+
+// Estimate returns the median estimate of ‖x‖_κ.
+func (e *LpEstimator) Estimate(x vec.Vector) float64 {
+	ests := make([]float64, len(e.Copies))
+	for i, s := range e.Copies {
+		ests[i] = s.Estimate(s.Apply(x))
+	}
+	return median(ests)
+}
+
+func median(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// StableSketch is the classic Indyk p-stable median sketch for
+// p ∈ {1, 2}, provided as an independent cross-check of the
+// max-stability estimator on the same inputs.
+type StableSketch struct {
+	P    float64
+	Rows *vec.Matrix // m×n of iid p-stable entries
+}
+
+// medianAbsStable is the median of |X| for X p-stable: 1 for Cauchy
+// (tan(π/4)), Φ⁻¹(3/4)·√2 … for our α=2 convention (variance 2) it is
+// 0.67448975·√2.
+func medianAbsStable(p float64) float64 {
+	switch p {
+	case 1:
+		return 1
+	case 2:
+		return 0.6744897501960817 * math.Sqrt2
+	}
+	panic(fmt.Sprintf("sketch: unsupported stable p=%v", p))
+}
+
+// NewStableSketch samples an m×n p-stable sketch for p ∈ {1, 2}.
+func NewStableSketch(n, m int, p float64, rng *xrand.RNG) (*StableSketch, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("sketch: invalid shape n=%d m=%d", n, m)
+	}
+	if p != 1 && p != 2 {
+		return nil, fmt.Errorf("sketch: stable p=%v must be 1 or 2", p)
+	}
+	rows := vec.NewMatrix(m, n)
+	for i := range rows.Data {
+		rows.Data[i] = rng.Stable(p)
+	}
+	return &StableSketch{P: p, Rows: rows}, nil
+}
+
+// Estimate returns the median-based estimate of ‖x‖_p.
+func (s *StableSketch) Estimate(x vec.Vector) float64 {
+	y := s.Rows.MulVec(x)
+	abs := make([]float64, len(y))
+	for i, v := range y {
+		abs[i] = math.Abs(v)
+	}
+	return median(abs) / medianAbsStable(s.P)
+}
+
+// ApproxFactor returns the paper's guaranteed approximation n^{1/κ} for
+// the ‖·‖_∞-via-‖·‖_κ route: ‖x‖_∞ ≤ ‖x‖_κ ≤ n^{1/κ}·‖x‖_∞.
+func ApproxFactor(n int, kappa float64) float64 {
+	return math.Pow(float64(n), 1/kappa)
+}

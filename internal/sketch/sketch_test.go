@@ -1,0 +1,319 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestNormSketchLinearity(t *testing.T) {
+	rng := xrand.New(1)
+	s, err := NewNormSketch(50, 20, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vec.Vector(rng.NormalVec(50))
+	y := vec.Vector(rng.NormalVec(50))
+	ax := s.Apply(x)
+	ay := s.Apply(y)
+	sum := s.Apply(vec.Add(x, y))
+	if !vec.EqualTol(sum, vec.Add(ax, ay), 1e-9) {
+		t.Fatal("sketch must be linear")
+	}
+	if !vec.EqualTol(s.Apply(vec.Scaled(x, 3)), vec.Scaled(ax, 3), 1e-9) {
+		t.Fatal("sketch must be homogeneous")
+	}
+}
+
+func TestMaxStabilityDistribution(t *testing.T) {
+	// With m = n (no bucket collisions to speak of), the median of the
+	// estimator over many independent sketches must approach ‖x‖_κ.
+	rng := xrand.New(2)
+	const n, kappa = 30, 3.0
+	x := vec.Vector(rng.NormalVec(n))
+	truth := vec.NormP(x, kappa)
+	const trials = 401
+	ests := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		s, err := NewNormSketch(n, 512, kappa, rng.Split(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests[i] = s.Estimate(s.Apply(x))
+	}
+	med := median(ests)
+	if ratio := med / truth; ratio < 0.7 || ratio > 1.5 {
+		t.Fatalf("median estimate %v vs truth %v (ratio %v)", med, truth, ratio)
+	}
+}
+
+func TestLpEstimatorAccuracy(t *testing.T) {
+	rng := xrand.New(3)
+	const n, kappa = 100, 4.0
+	e, err := NewLpEstimator(n, RecommendedBuckets(n, kappa), 15, kappa, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := vec.Vector(rng.NormalVec(n))
+		truth := vec.NormP(x, kappa)
+		got := e.Estimate(x)
+		if ratio := got / truth; ratio < 0.4 || ratio > 2.5 {
+			t.Fatalf("trial %d: estimate %v vs truth %v (ratio %v)", trial, got, truth, ratio)
+		}
+	}
+}
+
+func TestRecommendedBucketsShrinksRelatively(t *testing.T) {
+	// m/n must fall as n grows — that is the whole point (n^{1−2/κ}).
+	n1, n2 := 256, 4096
+	k := 4.0
+	r1 := float64(RecommendedBuckets(n1, k)) / float64(n1)
+	r2 := float64(RecommendedBuckets(n2, k)) / float64(n2)
+	if r2 >= r1 {
+		t.Fatalf("relative sketch size must shrink: %v then %v", r1, r2)
+	}
+}
+
+func TestStableSketchL1L2(t *testing.T) {
+	rng := xrand.New(5)
+	const n, m = 60, 801
+	x := vec.Vector(rng.NormalVec(n))
+	for _, p := range []float64{1, 2} {
+		s, err := NewStableSketch(n, m, p, rng.Split(uint64(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := vec.NormP(x, p)
+		got := s.Estimate(x)
+		if ratio := got / truth; ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("p=%v: estimate %v vs truth %v", p, got, truth)
+		}
+	}
+}
+
+func TestStableSketchValidation(t *testing.T) {
+	rng := xrand.New(6)
+	if _, err := NewStableSketch(10, 5, 1.5, rng); err == nil {
+		t.Fatal("p=1.5 must fail")
+	}
+	if _, err := NewStableSketch(0, 5, 1, rng); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+}
+
+func TestApproxFactor(t *testing.T) {
+	if got := ApproxFactor(16, 2); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("ApproxFactor(16,2) = %v, want 4", got)
+	}
+	if got := ApproxFactor(16, 4); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ApproxFactor(16,4) = %v, want 2", got)
+	}
+}
+
+// plantedData returns n unit-ish vectors where index `heavy` has inner
+// product ≈ big with q and all others have tiny inner products.
+func plantedData(rng *xrand.RNG, n, d, heavy int, big float64) ([]vec.Vector, vec.Vector) {
+	q := vec.Vector(rng.UnitVec(d))
+	data := make([]vec.Vector, n)
+	for i := range data {
+		// Random vector orthogonalised against q, plus a small q component.
+		v := vec.Vector(rng.UnitVec(d))
+		vec.Axpy(-vec.Dot(v, q), q, v)
+		vec.Normalize(v)
+		vec.Scale(v, 0.3)
+		if i == heavy {
+			vec.Axpy(big, q, v)
+		} else {
+			vec.Axpy(0.01*(rng.Float64()-0.5), q, v)
+		}
+		data[i] = v
+	}
+	return data, q
+}
+
+func TestMaxDotPlantedEstimate(t *testing.T) {
+	rng := xrand.New(7)
+	const n, d, kappa = 256, 16, 3.0
+	data, q := plantedData(rng, n, d, 17, 2.0)
+	md, err := NewMaxDot(data, kappa, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0.0
+	for _, p := range data {
+		if v := math.Abs(vec.Dot(p, q)); v > truth {
+			truth = v
+		}
+	}
+	got := md.Estimate(q)
+	upper := 3 * ApproxFactor(n, kappa) * truth
+	if got < 0.3*truth || got > upper {
+		t.Fatalf("estimate %v outside [%v, %v] (truth %v)", got, 0.3*truth, upper, truth)
+	}
+	if md.SketchRows() >= n {
+		t.Fatalf("sketch rows %d not compressive for n=%d", md.SketchRows(), n)
+	}
+}
+
+func TestMaxDotLinearInQuery(t *testing.T) {
+	rng := xrand.New(9)
+	const n, d = 64, 8
+	data := make([]vec.Vector, n)
+	for i := range data {
+		data[i] = vec.Vector(rng.NormalVec(d))
+	}
+	md, err := NewMaxDot(data, 2, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.Vector(rng.NormalVec(d))
+	a := md.Estimate(q)
+	b := md.Estimate(vec.Scaled(q, 5))
+	if math.Abs(b-5*a) > 1e-9*math.Max(1, b) {
+		t.Fatalf("linear sketch must scale: %v vs 5·%v", b, a)
+	}
+}
+
+func TestMaxDotValidation(t *testing.T) {
+	if _, err := NewMaxDot(nil, 2, 1, 0); err == nil {
+		t.Fatal("empty data must fail")
+	}
+	if _, err := NewMaxDot([]vec.Vector{{1}, {1, 2}}, 2, 1, 0); err == nil {
+		t.Fatal("ragged data must fail")
+	}
+	if _, err := NewMaxDot([]vec.Vector{{1}}, 2, 0, 0); err == nil {
+		t.Fatal("copies=0 must fail")
+	}
+}
+
+func TestRecovererFindsPlanted(t *testing.T) {
+	rng := xrand.New(11)
+	const n, d, kappa = 128, 16, 3.0
+	const heavy = 77
+	data, q := plantedData(rng, n, d, heavy, 3.0)
+	rec, err := NewRecoverer(data, kappa, 9, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, val := rec.Query(q)
+	if idx != heavy {
+		t.Fatalf("recovered index %d (val %v), want %d (val %v)",
+			idx, val, heavy, math.Abs(vec.Dot(data[heavy], q)))
+	}
+	if math.Abs(val-math.Abs(vec.Dot(data[heavy], q))) > 1e-12 {
+		t.Fatalf("returned value %v must be the exact |pᵀq|", val)
+	}
+}
+
+func TestRecovererNonPowerOfTwo(t *testing.T) {
+	rng := xrand.New(13)
+	const n, d = 100, 12 // not a power of two
+	const heavy = 91
+	data, q := plantedData(rng, n, d, heavy, 3.0)
+	rec, err := NewRecoverer(data, 3, 9, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, _ := rec.Query(q); idx != heavy {
+		t.Fatalf("recovered %d, want %d", idx, heavy)
+	}
+}
+
+func TestRecovererSingleVector(t *testing.T) {
+	data := []vec.Vector{{1, 0}}
+	rec, err := NewRecoverer(data, 2, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, val := rec.Query(vec.Vector{2, 0})
+	if idx != 0 || math.Abs(val-2) > 1e-12 {
+		t.Fatalf("Query = (%d, %v)", idx, val)
+	}
+}
+
+func TestRecovererLevels(t *testing.T) {
+	rng := xrand.New(16)
+	data := make([]vec.Vector, 64)
+	for i := range data {
+		data[i] = vec.Vector(rng.NormalVec(4))
+	}
+	rec, err := NewRecoverer(data, 2, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 vectors → root + 6 split levels (+ final leaf level).
+	if rec.Levels() < 6 || rec.Levels() > 8 {
+		t.Fatalf("Levels = %d", rec.Levels())
+	}
+}
+
+func TestScaledQueries(t *testing.T) {
+	q := vec.Vector{1, 2}
+	out := ScaledQueries(q, 0.5, 1.0, 0.125)
+	// log_2(1/0.125) = 3 → 4 queries: q, 2q, 4q, 8q.
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if !vec.EqualTol(out[0], q, 0) {
+		t.Fatal("first query must be unscaled")
+	}
+	if !vec.EqualTol(out[3], vec.Scaled(q, 8), 1e-12) {
+		t.Fatalf("last query = %v", out[3])
+	}
+}
+
+func TestScaledQueriesPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { ScaledQueries(vec.Vector{1}, 1.5, 1, 0.1) },
+		func() { ScaledQueries(vec.Vector{1}, 0.5, 0, 0.1) },
+		func() { ScaledQueries(vec.Vector{1}, 0.5, 1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkMaxDotEstimate(b *testing.B) {
+	rng := xrand.New(18)
+	const n, d = 1024, 32
+	data := make([]vec.Vector, n)
+	for i := range data {
+		data[i] = vec.Vector(rng.NormalVec(d))
+	}
+	md, err := NewMaxDot(data, 3, 5, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := vec.Vector(rng.NormalVec(d))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		md.Estimate(q)
+	}
+}
+
+func BenchmarkRecovererQuery(b *testing.B) {
+	rng := xrand.New(20)
+	const n, d = 512, 16
+	data := make([]vec.Vector, n)
+	for i := range data {
+		data[i] = vec.Vector(rng.NormalVec(d))
+	}
+	rec, err := NewRecoverer(data, 3, 5, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := vec.Vector(rng.NormalVec(d))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Query(q)
+	}
+}

@@ -1,0 +1,163 @@
+// Package stats provides the small statistical toolkit of the
+// reproduction's experiment harness: summary statistics, quantiles,
+// log-log slope fits for measuring empirical scaling exponents, and
+// plain-text table rendering for the cmd/ binaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean; it panics on empty input.
+func Mean(xs []float64) float64 {
+	mustNonEmpty(xs)
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	mustNonEmpty(xs)
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	pos := q * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// LogLogSlope fits log(y) = a + b·log(x) by least squares and returns
+// the slope b — the empirical scaling exponent of y in x. All inputs
+// must be positive.
+func LogLogSlope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: length mismatch %d != %d", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		panic("stats: need at least 2 points for a slope")
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic(fmt.Sprintf("stats: log-log fit needs positive data, got (%v, %v)", xs[i], ys[i]))
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	mx, my := Mean(lx), Mean(ly)
+	var num, den float64
+	for i := range lx {
+		num += (lx[i] - mx) * (ly[i] - my)
+		den += (lx[i] - mx) * (lx[i] - mx)
+	}
+	if den == 0 {
+		panic("stats: degenerate x values in slope fit")
+	}
+	return num / den
+}
+
+// Table renders rows as an aligned plain-text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting — the
+// harness emits only numeric and identifier cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func mustNonEmpty(xs []float64) {
+	if len(xs) == 0 {
+		panic("stats: empty input")
+	}
+}

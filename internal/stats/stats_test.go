@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("Q1 = %v", got)
+	}
+	even := []float64{1, 2, 3, 4}
+	if got := Median(even); got != 2.5 {
+		t.Fatalf("even Median = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, 1.5) },
+		func() { Mean(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogLogSlopeExact(t *testing.T) {
+	// y = 3·x² has slope exactly 2 in log-log space.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	if got := LogLogSlope(xs, ys); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("slope = %v, want 2", got)
+	}
+}
+
+func TestLogLogSlopeProperty(t *testing.T) {
+	// For y = a·x^b, the fitted slope recovers b for any positive a.
+	f := func(aRaw, bRaw uint8) bool {
+		a := 0.1 + float64(aRaw%50)
+		b := -2 + float64(bRaw%40)/10 // slopes in [−2, 2)
+		xs := []float64{1, 3, 9, 27}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a * math.Pow(x, b)
+		}
+		return math.Abs(LogLogSlope(xs, ys)-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogLogSlopePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { LogLogSlope([]float64{1}, []float64{1, 2}) },
+		func() { LogLogSlope([]float64{1}, []float64{1}) },
+		func() { LogLogSlope([]float64{1, -2}, []float64{1, 2}) },
+		func() { LogLogSlope([]float64{2, 2}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("alpha", 1.25)
+	tb.Add("beta-longer", 42)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.25") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "beta-longer,42") {
+		t.Fatalf("csv rows wrong:\n%s", csv)
+	}
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func buildRelations(t *testing.T, seed uint64) (users, items *Relation, planted map[int]int) {
+	t.Helper()
+	rng := xrand.New(seed)
+	P, Q, at := dataset.Planted(rng, 100, 12, 8, 0.95, []int{0, 4, 8})
+	itemRecs := make([]Record, len(P))
+	for i, p := range P {
+		itemRecs[i] = Record{ID: i, Vec: p, Attrs: map[string]string{"kind": "item"}}
+	}
+	userRecs := make([]Record, len(Q))
+	for i, q := range Q {
+		userRecs[i] = Record{ID: i, Vec: q}
+	}
+	items, err := NewRelation("items", itemRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err = NewRelation("users", userRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return users, items, at
+}
+
+func TestSimJoinExactPipeline(t *testing.T) {
+	users, items, planted := buildRelations(t, 1)
+	join := &SimJoin{
+		Input:   NewScan(users),
+		Right:   items,
+		Spec:    core.Spec{Variant: core.Signed, S: 0.9, C: 0.5},
+		Builder: core.ExactSearch{},
+	}
+	tuples, err := Collect(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	for _, tp := range tuples {
+		got[tp.Left.ID] = tp.Right.ID
+		if tp.Value < 0.45 {
+			t.Fatalf("tuple below cs: %+v", tp)
+		}
+		if v := vec.Dot(tp.Left.Vec, tp.Right.Vec); v != tp.Value {
+			t.Fatalf("value %v != actual %v", tp.Value, v)
+		}
+	}
+	for qi, pi := range planted {
+		if got[qi] != pi {
+			t.Fatalf("query %d joined to %d, want planted %d", qi, got[qi], pi)
+		}
+	}
+}
+
+func TestSimJoinALSHPipeline(t *testing.T) {
+	users, items, planted := buildRelations(t, 2)
+	join := &SimJoin{
+		Input:   NewScan(users),
+		Right:   items,
+		Spec:    core.Spec{Variant: core.Signed, S: 0.9, C: 0.5},
+		Builder: core.ALSHSearch{K: 6, L: 32, Seed: 3},
+	}
+	tuples, err := Collect(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, tp := range tuples {
+		found[tp.Left.ID] = true
+	}
+	for qi := range planted {
+		if !found[qi] {
+			t.Fatalf("planted query %d missing from ALSH join output", qi)
+		}
+	}
+}
+
+func TestFilterAndLimit(t *testing.T) {
+	users, items, _ := buildRelations(t, 4)
+	pipeline := &Limit{
+		N: 2,
+		Input: &Filter{
+			Pred: func(tp Tuple) bool { return tp.Value >= 0.9 },
+			Input: &SimJoin{
+				Input:   NewScan(users),
+				Right:   items,
+				Spec:    core.Spec{Variant: core.Signed, S: 0.9, C: 0.5},
+				Builder: core.ExactSearch{},
+			},
+		},
+	}
+	tuples, err := Collect(pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("limit produced %d tuples", len(tuples))
+	}
+	for _, tp := range tuples {
+		if tp.Value < 0.9 {
+			t.Fatalf("filter leaked %+v", tp)
+		}
+	}
+}
+
+func TestScanEmitsAll(t *testing.T) {
+	users, _, _ := buildRelations(t, 5)
+	tuples, err := Collect(NewScan(users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != len(users.Recs) {
+		t.Fatalf("scan emitted %d of %d", len(tuples), len(users.Recs))
+	}
+}
+
+func TestRelationValidation(t *testing.T) {
+	if _, err := NewRelation("x", nil); err == nil {
+		t.Fatal("empty relation must fail")
+	}
+	ragged := []Record{{Vec: vec.Vector{1}}, {Vec: vec.Vector{1, 2}}}
+	if _, err := NewRelation("x", ragged); err == nil {
+		t.Fatal("ragged relation must fail")
+	}
+	zero := []Record{{Vec: vec.Vector{}}}
+	if _, err := NewRelation("x", zero); err == nil {
+		t.Fatal("zero-dim relation must fail")
+	}
+}
+
+func TestOperatorErrors(t *testing.T) {
+	if err := (&SimJoin{}).Open(); err == nil {
+		t.Fatal("simjoin without parts must fail")
+	}
+	if _, _, err := (&SimJoin{}).Next(); err == nil {
+		t.Fatal("next before open must fail")
+	}
+	if err := (&Filter{}).Open(); err == nil {
+		t.Fatal("filter without pred must fail")
+	}
+	if err := (&Limit{Input: &Scan{}, N: -1}).Open(); err == nil {
+		t.Fatal("negative limit must fail")
+	}
+	if err := (&Scan{}).Open(); err == nil {
+		t.Fatal("scan of nil relation must fail")
+	}
+}
+
+func TestSimJoinDimensionMismatch(t *testing.T) {
+	_, items, _ := buildRelations(t, 6)
+	bad, err := NewRelation("bad", []Record{{ID: 0, Vec: vec.Vector{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := &SimJoin{
+		Input:   NewScan(bad),
+		Right:   items,
+		Spec:    core.Spec{Variant: core.Signed, S: 0.9, C: 0.5},
+		Builder: core.ExactSearch{},
+	}
+	if _, err := Collect(join); err == nil {
+		t.Fatal("dimension mismatch must surface as an error")
+	}
+}

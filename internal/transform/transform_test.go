@@ -1,0 +1,329 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// randBall returns a random vector with ‖v‖ ≤ r.
+func randBall(rng *xrand.RNG, d int, r float64) vec.Vector {
+	u := vec.Vector(rng.UnitVec(d))
+	scale := r * math.Pow(rng.Float64(), 1/float64(d))
+	return vec.Scale(u, scale)
+}
+
+func TestSimplePreservesScaledInnerProduct(t *testing.T) {
+	rng := xrand.New(1)
+	const d, U = 8, 4.0
+	tr, err := NewSimple(d, U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OutputDim() != d+2 {
+		t.Fatalf("OutputDim = %d", tr.OutputDim())
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := randBall(rng, d, 1)
+		q := randBall(rng, d, U)
+		dp, qp := tr.Data(p), tr.Query(q)
+		if math.Abs(vec.Norm(dp)-1) > 1e-9 {
+			t.Fatalf("data image norm %v", vec.Norm(dp))
+		}
+		if math.Abs(vec.Norm(qp)-1) > 1e-9 {
+			t.Fatalf("query image norm %v", vec.Norm(qp))
+		}
+		want := vec.Dot(p, q) / U
+		if got := vec.Dot(dp, qp); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("inner product %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimpleValidation(t *testing.T) {
+	if _, err := NewSimple(0, 1); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	if _, err := NewSimple(3, 0); err == nil {
+		t.Fatal("U=0 must fail")
+	}
+}
+
+func TestSimpleNormViolationPanics(t *testing.T) {
+	tr, _ := NewSimple(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for data outside unit ball")
+		}
+	}()
+	tr.Data(vec.Vector{2, 0})
+}
+
+func TestXboxExactInnerProduct(t *testing.T) {
+	rng := xrand.New(2)
+	const d, M = 6, 3.0
+	tr, err := NewXbox(d, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := randBall(rng, d, M)
+		q := randBall(rng, d, 10)
+		dp, qp := tr.Data(p), tr.Query(q)
+		if math.Abs(vec.Norm(dp)-M) > 1e-9 {
+			t.Fatalf("data image norm %v, want %v", vec.Norm(dp), M)
+		}
+		if got, want := vec.Dot(dp, qp), vec.Dot(p, q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("inner product %v, want %v", got, want)
+		}
+	}
+}
+
+func TestXboxMIPSBecomesNN(t *testing.T) {
+	// After the Xbox map, for a fixed query the MIPS argmax equals the
+	// Euclidean NN argmin over data images.
+	rng := xrand.New(3)
+	const d, M, n = 5, 2.0, 50
+	tr, _ := NewXbox(d, M)
+	data := make([]vec.Vector, n)
+	for i := range data {
+		data[i] = randBall(rng, d, M)
+	}
+	q := randBall(rng, d, 5)
+	qi := tr.Query(q)
+	bestIP, bestNN := 0, 0
+	var bestIPV, bestNNV float64
+	for i, p := range data {
+		if ip := vec.Dot(p, q); i == 0 || ip > bestIPV {
+			bestIP, bestIPV = i, ip
+		}
+		dist := vec.Norm(vec.Sub(tr.Data(p), qi))
+		if i == 0 || dist < bestNNV {
+			bestNN, bestNNV = i, dist
+		}
+	}
+	if bestIP != bestNN {
+		t.Fatalf("MIPS argmax %d != NN argmin %d", bestIP, bestNN)
+	}
+}
+
+func TestL2ALSHConvergence(t *testing.T) {
+	// The asymmetric L2 map turns MIPS into NN up to U0^{2^{m+1}}; the
+	// additive error must shrink rapidly with m.
+	tr3, err := NewL2ALSH(4, 3, 0.83, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr5, _ := NewL2ALSH(4, 5, 0.83, 2.0)
+	if tr3.AdditiveError() <= tr5.AdditiveError() {
+		t.Fatal("error must decrease with m")
+	}
+	if tr5.AdditiveError() > 1e-5 {
+		t.Fatalf("m=5 error %v too large", tr5.AdditiveError())
+	}
+}
+
+func TestL2ALSHDistanceIdentity(t *testing.T) {
+	// ‖Q(q) − P(p)‖² = ‖Q(q)‖² + Σ‖p'‖^{2^{j+1}} terms − 2·Scale·pᵀq/‖q‖
+	// ... rather than re-deriving, check the MIPS ordering property:
+	// for equal-norm data the NN order matches the MIPS order exactly.
+	rng := xrand.New(4)
+	const d, n = 6, 30
+	tr, _ := NewL2ALSH(d, 4, 0.83, 1.0)
+	q := vec.Vector(rng.UnitVec(d))
+	qi := tr.Query(q)
+	type scored struct{ ip, dist float64 }
+	items := make([]scored, n)
+	for i := range items {
+		p := vec.Vector(rng.UnitVec(d)) // equal norms isolate the angle
+		items[i] = scored{
+			ip:   vec.Dot(p, q),
+			dist: vec.Norm2(vec.Sub(tr.Data(p), qi)),
+		}
+	}
+	for i := range items {
+		for j := range items {
+			if items[i].ip > items[j].ip+1e-9 && items[i].dist > items[j].dist+1e-9 {
+				t.Fatalf("ordering violated: ip %v>%v but dist %v>%v",
+					items[i].ip, items[j].ip, items[i].dist, items[j].dist)
+			}
+		}
+	}
+}
+
+func TestL2ALSHValidation(t *testing.T) {
+	if _, err := NewL2ALSH(0, 1, 0.5, 1); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	if _, err := NewL2ALSH(2, 2, 1.5, 1); err == nil {
+		t.Fatal("U0>1 must fail")
+	}
+	if _, err := NewL2ALSH(2, 2, 0.8, 0); err == nil {
+		t.Fatal("maxNorm=0 must fail")
+	}
+}
+
+func TestSignALSHInnerProductPreserved(t *testing.T) {
+	// Data(p)ᵀQuery(q) = Scale·pᵀq/‖q‖ exactly (the tail terms hit zeros).
+	rng := xrand.New(20)
+	const d, m = 6, 3
+	tr, err := NewSignALSH(d, m, 0.75, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OutputDim() != d+m {
+		t.Fatalf("OutputDim = %d", tr.OutputDim())
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := randBall(rng, d, 2.0)
+		q := randBall(rng, d, 3.0)
+		if vec.Norm(q) == 0 {
+			continue
+		}
+		got := vec.Dot(tr.Data(p), tr.Query(q))
+		want := tr.Scale * vec.Dot(p, q) / vec.Norm(q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ip %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSignALSHRankingTracksMIPS(t *testing.T) {
+	// Cosine ranking of the transformed vectors must recover the MIPS
+	// argmax on most queries, despite skewed data norms.
+	rng := xrand.New(21)
+	const d, m, n = 8, 4, 200
+	data := make([]vec.Vector, n)
+	maxNorm := 0.0
+	for i := range data {
+		v := vec.Vector(rng.UnitVec(d))
+		vec.Scale(v, 0.2+1.8*rng.Float64()) // norms in [0.2, 2]
+		data[i] = v
+		if nv := vec.Norm(v); nv > maxNorm {
+			maxNorm = nv
+		}
+	}
+	tr, err := NewSignALSH(d, m, 0.75, maxNorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := make([]vec.Vector, n)
+	for i, p := range data {
+		images[i] = tr.Data(p)
+	}
+	hits := 0
+	const queries = 50
+	for trial := 0; trial < queries; trial++ {
+		q := vec.Vector(rng.UnitVec(d))
+		qi := tr.Query(q)
+		bestIP, bestCos := 0, 0
+		var ipV, cosV float64
+		for i := range data {
+			if v := vec.Dot(data[i], q); i == 0 || v > ipV {
+				bestIP, ipV = i, v
+			}
+			if v := vec.Cosine(images[i], qi); i == 0 || v > cosV {
+				bestCos, cosV = i, v
+			}
+		}
+		if bestIP == bestCos {
+			hits++
+		}
+	}
+	if frac := float64(hits) / queries; frac < 0.8 {
+		t.Fatalf("sign-ALSH cosine ranking recovered MIPS argmax on only %v of queries", frac)
+	}
+}
+
+func TestSignALSHValidation(t *testing.T) {
+	if _, err := NewSignALSH(0, 1, 0.5, 1); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	if _, err := NewSignALSH(2, 2, 1.2, 1); err == nil {
+		t.Fatal("U0>1 must fail")
+	}
+	if _, err := NewSignALSH(2, 2, 0.8, 0); err == nil {
+		t.Fatal("maxNorm=0 must fail")
+	}
+}
+
+func TestSymmetricPreservesInnerProducts(t *testing.T) {
+	rng := xrand.New(5)
+	const d = 4
+	tr, err := NewSymmetric(d, 8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := tr.Eps()
+	if eps > 0.05 {
+		t.Fatalf("eps = %v", eps)
+	}
+	// Quantization error adds on top of ε; budget both.
+	quantErr := float64(d) * math.Pow(2, -7) // coarse per-coordinate bound
+	for trial := 0; trial < 100; trial++ {
+		p := tr.Quantize(randBall(rng, d, 0.9))
+		q := tr.Quantize(randBall(rng, d, 0.9))
+		fp, fq := tr.Map(p), tr.Map(q)
+		if math.Abs(vec.Norm(fp)-1) > 1e-9 {
+			t.Fatalf("image norm %v", vec.Norm(fp))
+		}
+		same := vec.EqualTol(p, q, 0)
+		got := vec.Dot(fp, fq)
+		if same {
+			if math.Abs(got-1) > 1e-9 {
+				t.Fatalf("identical vectors must map to identical points, ip=%v", got)
+			}
+			continue
+		}
+		if math.Abs(got-vec.Dot(p, q)) > eps+quantErr {
+			t.Fatalf("inner product drift %v > eps %v", math.Abs(got-vec.Dot(p, q)), eps+quantErr)
+		}
+	}
+}
+
+func TestSymmetricIsSymmetric(t *testing.T) {
+	// The same map is used on both sides — Map(p) must be deterministic.
+	tr, err := NewSymmetric(3, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vec.Vector{0.25, -0.5, 0.125}
+	a, b := tr.Map(p), tr.Map(p)
+	if !vec.EqualTol(a, b, 0) {
+		t.Fatal("Map must be deterministic")
+	}
+}
+
+func TestSymmetricValidation(t *testing.T) {
+	if _, err := NewSymmetric(0, 8, 0.1); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	if _, err := NewSymmetric(4, 99, 0.1); err == nil {
+		t.Fatal("k too large must fail")
+	}
+}
+
+func BenchmarkSimpleData(b *testing.B) {
+	rng := xrand.New(6)
+	tr, _ := NewSimple(64, 2)
+	p := randBall(rng, 64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Data(p)
+	}
+}
+
+func BenchmarkSymmetricMap(b *testing.B) {
+	rng := xrand.New(7)
+	tr, err := NewSymmetric(16, 8, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := randBall(rng, 16, 0.9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Map(p)
+	}
+}

@@ -1,0 +1,287 @@
+// Package vec provides dense float64 vector and matrix primitives used
+// throughout the IPS-join reproduction: inner products, norms, scaling,
+// and small utility kernels.
+//
+// The hot-path kernels (Dot, Norm2, Axpy) are allocation-free and never
+// fail; callers are responsible for matching lengths, which is asserted
+// in debug builds via panics with descriptive messages.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense real vector.
+type Vector []float64
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector {
+	if d < 0 {
+		panic(fmt.Sprintf("vec: negative dimension %d", d))
+	}
+	return make(Vector, d)
+}
+
+// Clone returns a deep copy of x.
+func (x Vector) Clone() Vector {
+	y := make(Vector, len(x))
+	copy(y, x)
+	return y
+}
+
+// Dim returns the dimension of x.
+func (x Vector) Dim() int { return len(x) }
+
+// Dot returns the inner product xᵀy. Panics if dimensions differ.
+func Dot(x, y Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Dot dimension mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// AbsDot returns |xᵀy|.
+func AbsDot(x, y Vector) float64 { return math.Abs(Dot(x, y)) }
+
+// Norm2 returns the squared Euclidean norm ‖x‖².
+func Norm2(x Vector) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm ‖x‖.
+func Norm(x Vector) float64 { return math.Sqrt(Norm2(x)) }
+
+// NormP returns the ℓ_p norm of x for p ≥ 1, and the ℓ_∞ norm for
+// p = math.Inf(1).
+func NormP(x Vector, p float64) float64 {
+	if math.IsInf(p, 1) {
+		var m float64
+		for _, v := range x {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	if p < 1 {
+		panic(fmt.Sprintf("vec: NormP requires p >= 1, got %v", p))
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Pow(math.Abs(v), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// Scale multiplies x by a in place and returns x.
+func Scale(x Vector, a float64) Vector {
+	for i := range x {
+		x[i] *= a
+	}
+	return x
+}
+
+// Scaled returns a·x as a new vector.
+func Scaled(x Vector, a float64) Vector {
+	y := make(Vector, len(x))
+	for i, v := range x {
+		y[i] = a * v
+	}
+	return y
+}
+
+// Neg returns −x as a new vector.
+func Neg(x Vector) Vector { return Scaled(x, -1) }
+
+// Add returns x+y as a new vector. Panics if dimensions differ.
+func Add(x, y Vector) Vector {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Add dimension mismatch %d != %d", len(x), len(y)))
+	}
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = x[i] + y[i]
+	}
+	return z
+}
+
+// Sub returns x−y as a new vector. Panics if dimensions differ.
+func Sub(x, y Vector) Vector {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Sub dimension mismatch %d != %d", len(x), len(y)))
+	}
+	z := make(Vector, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// Axpy computes y ← a·x + y in place. Panics if dimensions differ.
+func Axpy(a float64, x, y Vector) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Axpy dimension mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns x.
+// The zero vector is returned unchanged.
+func Normalize(x Vector) Vector {
+	n := Norm(x)
+	if n == 0 {
+		return x
+	}
+	return Scale(x, 1/n)
+}
+
+// Normalized returns x/‖x‖ as a new vector (the zero vector maps to a
+// zero vector).
+func Normalized(x Vector) Vector {
+	y := x.Clone()
+	return Normalize(y)
+}
+
+// Cosine returns the cosine similarity xᵀy/(‖x‖·‖y‖). Returns 0 when
+// either vector is zero.
+func Cosine(x, y Vector) float64 {
+	nx, ny := Norm(x), Norm(y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return Dot(x, y) / (nx * ny)
+}
+
+// Concat returns the concatenation x ⊕ y.
+func Concat(x, y Vector) Vector {
+	z := make(Vector, 0, len(x)+len(y))
+	z = append(z, x...)
+	z = append(z, y...)
+	return z
+}
+
+// Repeat returns x concatenated with itself n times (x^{⊕n}).
+func Repeat(x Vector, n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("vec: Repeat negative count %d", n))
+	}
+	z := make(Vector, 0, len(x)*n)
+	for i := 0; i < n; i++ {
+		z = append(z, x...)
+	}
+	return z
+}
+
+// Tensor returns the vectorised outer product x ⊗ y, laid out row-major:
+// (x ⊗ y)[i·dim(y)+j] = x[i]·y[j]. It satisfies the folklore identity
+// (x1 ⊗ x2)ᵀ(y1 ⊗ y2) = (x1ᵀy1)·(x2ᵀy2).
+func Tensor(x, y Vector) Vector {
+	z := make(Vector, 0, len(x)*len(y))
+	for _, xv := range x {
+		for _, yv := range y {
+			z = append(z, xv*yv)
+		}
+	}
+	return z
+}
+
+// EqualTol reports whether x and y agree within absolute tolerance tol
+// in every coordinate.
+func EqualTol(x, y Vector, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("vec: NewMatrix negative shape %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// Row returns row i as a Vector aliasing the underlying storage.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("vec: Row index %d out of range [0,%d)", i, m.Rows))
+	}
+	return Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// SetRow copies x into row i. Panics on dimension mismatch.
+func (m *Matrix) SetRow(i int, x Vector) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("vec: SetRow dimension mismatch %d != %d", len(x), m.Cols))
+	}
+	copy(m.Row(i), x)
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MulVec computes y = m·x. Panics if len(x) != Cols.
+func (m *Matrix) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("vec: MulVec dimension mismatch %d != %d", len(x), m.Cols))
+	}
+	y := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = Dot(m.Row(i), x)
+	}
+	return y
+}
+
+// FromRows builds a matrix whose rows are the given vectors, which must
+// all share the same dimension.
+func FromRows(rows []Vector) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		m.SetRow(i, r)
+	}
+	return m
+}
+
+// MaxAbs returns the largest absolute entry of x (the ℓ_∞ norm).
+func MaxAbs(x Vector) float64 { return NormP(x, math.Inf(1)) }
+
+// ArgMaxAbs returns the index of the largest-magnitude entry of x, and
+// that magnitude. Returns (-1, 0) for the empty vector.
+func ArgMaxAbs(x Vector) (int, float64) {
+	best, bv := -1, 0.0
+	for i, v := range x {
+		if a := math.Abs(v); best == -1 || a > bv {
+			best, bv = i, a
+		}
+	}
+	return best, bv
+}

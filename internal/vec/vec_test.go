@@ -1,0 +1,255 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotBasic(t *testing.T) {
+	x := Vector{1, 2, 3}
+	y := Vector{4, -5, 6}
+	if got := Dot(x, y); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+	if got := AbsDot(Vector{1, 0}, Vector{-3, 0}); got != 3 {
+		t.Fatalf("AbsDot = %v, want 3", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	x := Vector{3, -4}
+	if got := Norm(x); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := Norm2(x); got != 25 {
+		t.Fatalf("Norm2 = %v, want 25", got)
+	}
+	if got := NormP(x, 1); got != 7 {
+		t.Fatalf("NormP(1) = %v, want 7", got)
+	}
+	if got := NormP(x, math.Inf(1)); got != 4 {
+		t.Fatalf("NormP(inf) = %v, want 4", got)
+	}
+	if got := MaxAbs(x); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestNormPInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p < 1")
+		}
+	}()
+	NormP(Vector{1}, 0.5)
+}
+
+func TestScaleAddSub(t *testing.T) {
+	x := Vector{1, 2}
+	y := Scaled(x, 3)
+	if y[0] != 3 || y[1] != 6 {
+		t.Fatalf("Scaled = %v", y)
+	}
+	if x[0] != 1 {
+		t.Fatal("Scaled must not mutate input")
+	}
+	Scale(x, 2)
+	if x[0] != 2 || x[1] != 4 {
+		t.Fatalf("Scale in place = %v", x)
+	}
+	z := Add(Vector{1, 1}, Vector{2, 3})
+	if z[0] != 3 || z[1] != 4 {
+		t.Fatalf("Add = %v", z)
+	}
+	w := Sub(Vector{1, 1}, Vector{2, 3})
+	if w[0] != -1 || w[1] != -2 {
+		t.Fatalf("Sub = %v", w)
+	}
+	n := Neg(Vector{1, -2})
+	if n[0] != -1 || n[1] != 2 {
+		t.Fatalf("Neg = %v", n)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := Vector{1, 1}
+	Axpy(2, Vector{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := Vector{3, 4}
+	Normalize(x)
+	if !almostEq(Norm(x), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v", Norm(x))
+	}
+	z := Vector{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector must stay zero")
+	}
+	orig := Vector{3, 4}
+	u := Normalized(orig)
+	if orig[0] != 3 {
+		t.Fatal("Normalized must not mutate input")
+	}
+	if !almostEq(Norm(u), 1, 1e-12) {
+		t.Fatalf("Normalized norm = %v", Norm(u))
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine(Vector{1, 0}, Vector{0, 1}); got != 0 {
+		t.Fatalf("Cosine orthogonal = %v", got)
+	}
+	if got := Cosine(Vector{2, 0}, Vector{5, 0}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("Cosine parallel = %v", got)
+	}
+	if got := Cosine(Vector{0, 0}, Vector{1, 1}); got != 0 {
+		t.Fatalf("Cosine zero = %v", got)
+	}
+}
+
+func TestConcatRepeat(t *testing.T) {
+	z := Concat(Vector{1, 2}, Vector{3})
+	if len(z) != 3 || z[2] != 3 {
+		t.Fatalf("Concat = %v", z)
+	}
+	r := Repeat(Vector{1, 2}, 3)
+	if len(r) != 6 || r[4] != 1 {
+		t.Fatalf("Repeat = %v", r)
+	}
+	if got := Repeat(Vector{1}, 0); len(got) != 0 {
+		t.Fatalf("Repeat 0 = %v", got)
+	}
+}
+
+func TestTensorIdentity(t *testing.T) {
+	// The folklore identity (x1⊗x2)ᵀ(y1⊗y2) = (x1ᵀy1)(x2ᵀy2), exercised
+	// with random vectors as a property test.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d1, d2 := 1+r.Intn(6), 1+r.Intn(6)
+		rv := func(d int) Vector {
+			v := New(d)
+			for i := range v {
+				v[i] = float64(r.Intn(7) - 3)
+			}
+			return v
+		}
+		x1, x2, y1, y2 := rv(d1), rv(d2), rv(d1), rv(d2)
+		lhs := Dot(Tensor(x1, x2), Tensor(y1, y2))
+		rhs := Dot(x1, y1) * Dot(x2, y2)
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorLayout(t *testing.T) {
+	z := Tensor(Vector{1, 2}, Vector{10, 20, 30})
+	want := Vector{10, 20, 30, 20, 40, 60}
+	if !EqualTol(z, want, 0) {
+		t.Fatalf("Tensor = %v, want %v", z, want)
+	}
+}
+
+func TestConcatDotDuality(t *testing.T) {
+	// (x1⊕x2)ᵀ(y1⊕y2) = x1ᵀy1 + x2ᵀy2.
+	f := func(a, b, c, d int8) bool {
+		x := Concat(Vector{float64(a)}, Vector{float64(b)})
+		y := Concat(Vector{float64(c)}, Vector{float64(d)})
+		return Dot(x, y) == float64(a)*float64(c)+float64(b)*float64(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.SetRow(0, Vector{1, 2, 3})
+	m.SetRow(1, Vector{4, 5, 6})
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At = %v", m.At(1, 2))
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set failed")
+	}
+	y := m.MulVec(Vector{1, 1, 1})
+	if y[0] != 6 || y[1] != 16 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([]Vector{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows = %+v", m)
+	}
+	empty := FromRows(nil)
+	if empty.Rows != 0 {
+		t.Fatal("FromRows(nil) should be empty")
+	}
+}
+
+func TestMatrixRowAliases(t *testing.T) {
+	m := NewMatrix(2, 2)
+	r := m.Row(0)
+	r[1] = 9
+	if m.At(0, 1) != 9 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestArgMaxAbs(t *testing.T) {
+	i, v := ArgMaxAbs(Vector{1, -5, 3})
+	if i != 1 || v != 5 {
+		t.Fatalf("ArgMaxAbs = (%d, %v)", i, v)
+	}
+	i, v = ArgMaxAbs(nil)
+	if i != -1 || v != 0 {
+		t.Fatalf("ArgMaxAbs(empty) = (%d, %v)", i, v)
+	}
+}
+
+func TestEqualTol(t *testing.T) {
+	if !EqualTol(Vector{1, 2}, Vector{1.0001, 2}, 1e-3) {
+		t.Fatal("EqualTol should accept within tol")
+	}
+	if EqualTol(Vector{1}, Vector{1, 2}, 1) {
+		t.Fatal("EqualTol must reject length mismatch")
+	}
+	if EqualTol(Vector{1}, Vector{2}, 0.5) {
+		t.Fatal("EqualTol should reject out of tol")
+	}
+}
+
+func TestClone(t *testing.T) {
+	x := Vector{1, 2}
+	y := x.Clone()
+	y[0] = 9
+	if x[0] != 1 {
+		t.Fatal("Clone must be deep")
+	}
+	if x.Dim() != 2 {
+		t.Fatalf("Dim = %d", x.Dim())
+	}
+}

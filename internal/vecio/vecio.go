@@ -1,0 +1,218 @@
+// Package vecio serialises the reproduction's vector types: dense
+// float64 matrices (data/query sets) and bit-packed binary sets, in a
+// small self-describing binary format plus CSV for interchange. The
+// cmd/ drivers use it to persist generated workloads so experiments can
+// be re-run on identical inputs.
+package vecio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/vec"
+)
+
+// magic identifies the binary container; version gates layout changes.
+const (
+	magicDense = "IPSD"
+	magicBits  = "IPSB"
+	version    = 1
+)
+
+// WriteDense writes a set of equal-dimension dense vectors.
+func WriteDense(w io.Writer, vs []vec.Vector) error {
+	d := 0
+	if len(vs) > 0 {
+		d = len(vs[0])
+	}
+	for i, v := range vs {
+		if len(v) != d {
+			return fmt.Errorf("vecio: row %d has dimension %d, want %d", i, len(v), d)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicDense); err != nil {
+		return err
+	}
+	hdr := []uint64{version, uint64(len(vs)), uint64(d)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, v := range vs {
+		for _, x := range v {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(x)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDense reads a set written by WriteDense. MaxElems guards against
+// corrupted headers allocating unbounded memory.
+const maxElems = 1 << 28
+
+// ReadDense reads a dense vector set.
+func ReadDense(r io.Reader) ([]vec.Vector, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, magicDense); err != nil {
+		return nil, err
+	}
+	ver, n, d, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("vecio: unsupported version %d", ver)
+	}
+	if n*d > maxElems {
+		return nil, fmt.Errorf("vecio: header claims %d elements (corrupt?)", n*d)
+	}
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := make(vec.Vector, d)
+		for j := range v {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("vecio: truncated at row %d: %w", i, err)
+			}
+			v[j] = math.Float64frombits(bits)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// WriteBits writes a set of equal-dimension bit vectors.
+func WriteBits(w io.Writer, vs []*bitvec.Bits) error {
+	d := 0
+	if len(vs) > 0 {
+		d = vs[0].N
+	}
+	for i, v := range vs {
+		if v.N != d {
+			return fmt.Errorf("vecio: row %d has dimension %d, want %d", i, v.N, d)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicBits); err != nil {
+		return err
+	}
+	for _, h := range []uint64{version, uint64(len(vs)), uint64(d)} {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, v := range vs {
+		if err := binary.Write(bw, binary.LittleEndian, v.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBits reads a set written by WriteBits.
+func ReadBits(r io.Reader) ([]*bitvec.Bits, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, magicBits); err != nil {
+		return nil, err
+	}
+	ver, n, d, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("vecio: unsupported version %d", ver)
+	}
+	words := (d + 63) / 64
+	if n*words > maxElems {
+		return nil, fmt.Errorf("vecio: header claims %d words (corrupt?)", n*words)
+	}
+	out := make([]*bitvec.Bits, n)
+	for i := range out {
+		b := bitvec.NewBits(d)
+		if err := binary.Read(br, binary.LittleEndian, b.W); err != nil {
+			return nil, fmt.Errorf("vecio: truncated at row %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func expectMagic(br *bufio.Reader, want string) error {
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("vecio: reading magic: %w", err)
+	}
+	if string(got) != want {
+		return fmt.Errorf("vecio: bad magic %q, want %q", got, want)
+	}
+	return nil
+}
+
+func readHeader(br *bufio.Reader) (ver, n, d int, err error) {
+	var hdr [3]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return 0, 0, 0, fmt.Errorf("vecio: reading header: %w", err)
+		}
+	}
+	return int(hdr[0]), int(hdr[1]), int(hdr[2]), nil
+}
+
+// WriteCSV writes dense vectors as comma-separated rows.
+func WriteCSV(w io.Writer, vs []vec.Vector) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range vs {
+		for j, x := range v {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads comma-separated rows into dense vectors, requiring all
+// rows to share one dimension.
+func ReadCSV(r io.Reader) ([]vec.Vector, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []vec.Vector
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		v := make(vec.Vector, len(fields))
+		for j, f := range fields {
+			x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("vecio: line %d field %d: %w", line, j+1, err)
+			}
+			v[j] = x
+		}
+		if len(out) > 0 && len(v) != len(out[0]) {
+			return nil, fmt.Errorf("vecio: line %d has %d fields, want %d", line, len(v), len(out[0]))
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}

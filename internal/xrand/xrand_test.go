@@ -1,0 +1,280 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds should give different streams, %d collisions", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	s1again := r.Split(1)
+	if s1.Uint64() != s1again.Uint64() {
+		t.Fatal("Split must be stable for the same label")
+	}
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("different labels should diverge")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if r.Float64Open() <= 0 {
+			t.Fatal("Float64Open must be strictly positive")
+		}
+	}
+}
+
+func moments(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	return
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = r.Normal()
+	}
+	m, v := moments(xs)
+	if math.Abs(m) > 0.02 {
+		t.Fatalf("Normal mean = %v", m)
+	}
+	if math.Abs(v-1) > 0.03 {
+		t.Fatalf("Normal variance = %v", v)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(4)
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = r.Exp()
+		if xs[i] < 0 {
+			t.Fatal("Exp must be nonnegative")
+		}
+	}
+	m, v := moments(xs)
+	if math.Abs(m-1) > 0.02 || math.Abs(v-1) > 0.05 {
+		t.Fatalf("Exp mean=%v var=%v, want 1,1", m, v)
+	}
+}
+
+func TestCauchyMedian(t *testing.T) {
+	r := New(5)
+	neg := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Cauchy() < 0 {
+			neg++
+		}
+	}
+	frac := float64(neg) / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Cauchy negative fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestStableSpecialCases(t *testing.T) {
+	// α=2 is Gaussian scaled by √2: variance 2.
+	r := New(6)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = r.Stable(2)
+	}
+	_, v := moments(xs)
+	if math.Abs(v-2) > 0.1 {
+		t.Fatalf("Stable(2) variance = %v, want 2", v)
+	}
+	// α=1 is Cauchy: symmetric about 0.
+	neg := 0
+	for i := 0; i < 50000; i++ {
+		if r.Stable(1) < 0 {
+			neg++
+		}
+	}
+	if f := float64(neg) / 50000; math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("Stable(1) negative fraction = %v", f)
+	}
+}
+
+func TestStableHeavyTail(t *testing.T) {
+	// α=0.5 should produce far heavier tails than α=1.5.
+	r := New(7)
+	big := func(alpha float64) int {
+		n := 0
+		for i := 0; i < 20000; i++ {
+			if math.Abs(r.Stable(alpha)) > 100 {
+				n++
+			}
+		}
+		return n
+	}
+	if b05, b15 := big(0.5), big(1.5); b05 <= b15 {
+		t.Fatalf("tail counts alpha=0.5 (%d) should exceed alpha=1.5 (%d)", b05, b15)
+	}
+}
+
+func TestStablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha out of range")
+		}
+	}()
+	New(1).Stable(2.5)
+}
+
+func TestUnitVec(t *testing.T) {
+	r := New(8)
+	for _, d := range []int{1, 2, 5, 100} {
+		v := r.UnitVec(d)
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		if math.Abs(n-1) > 1e-9 {
+			t.Fatalf("UnitVec(%d) norm² = %v", d, n)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	r := New(10)
+	pos := 0
+	for i := 0; i < 100000; i++ {
+		if r.Sign() == 1 {
+			pos++
+		}
+	}
+	if f := float64(pos) / 100000; math.Abs(f-0.5) > 0.01 {
+		t.Fatalf("Sign positive fraction = %v", f)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(11)
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / 100000; math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) fraction = %v", f)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	r := New(12)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[90] {
+		t.Fatalf("Zipf counts not decreasing: c0=%d c10=%d c90=%d",
+			counts[0], counts[10], counts[90])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Normal()
+	}
+}

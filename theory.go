@@ -1,0 +1,96 @@
+package ips
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/embed"
+	"repro/internal/grid"
+	"repro/internal/lsh"
+	"repro/internal/ovp"
+	"repro/internal/seqs"
+)
+
+// This file exposes the paper's theory artifacts: gap embeddings
+// (Lemma 3), the OVP reduction (Lemma 2 / Theorems 1–2), the staircase
+// sequences (Theorem 3), the collision-grid partition (Lemma 4 /
+// Figure 1), and the analytic ρ curves (Figure 2 / §4.1).
+
+// BitVec is a packed {0,1} vector (OVP inputs, embedding-3 outputs).
+type BitVec = bitvec.Bits
+
+// SignVec is a packed {−1,+1} vector (embedding-1/2 outputs).
+type SignVec = bitvec.Signs
+
+// EmbeddingParams describes a (d1, d2, cs, s) gap embedding.
+type EmbeddingParams = embed.Params
+
+// NewSignedEmbedding returns Lemma 3 embedding 1: signed
+// (d, 4d−4, 0, 4) into {−1,1}.
+func NewSignedEmbedding(d int) (*embed.SignedPM1, error) { return embed.NewSignedPM1(d) }
+
+// NewChebyshevEmbedding returns Lemma 3 embedding 2: unsigned
+// (d, ≤(9d)^q, (2d)^q, (2d)^q·T_q(1+1/d)) into {−1,1}.
+func NewChebyshevEmbedding(d, q int) (*embed.ChebyshevPM1, error) {
+	return embed.NewChebyshevPM1(d, q)
+}
+
+// NewChoppedEmbedding returns Lemma 3 embedding 3: unsigned
+// (d, ≤k·2^⌈d/k⌉, k−1, k) into {0,1}.
+func NewChoppedEmbedding(d, k int) (*embed.Chopped01, error) {
+	return embed.NewChopped01(d, k)
+}
+
+// OVPInstance is an Orthogonal Vectors instance.
+type OVPInstance = ovp.Instance
+
+// OVPPair indexes a found pair.
+type OVPPair = ovp.Pair
+
+// SolveOVPNaive scans all pairs (the baseline the OVP conjecture says
+// cannot be beaten strongly subquadratically for d = ω(log n)).
+func SolveOVPNaive(in *OVPInstance) (OVPPair, bool) { return ovp.SolveNaive(in) }
+
+// SolveOVPViaEmbedding runs the Lemma 2 pipeline: OVP → gap embedding →
+// (cs, s) join, with the chopped {0,1} embedding.
+func SolveOVPViaEmbedding(in *OVPInstance, e *embed.Chopped01) (OVPPair, bool) {
+	return ovp.SolveViaBitsEmbedding(in, e)
+}
+
+// Staircase is a Theorem 3 hard sequence pair.
+type Staircase = seqs.Staircase
+
+// StaircaseCase1 builds the geometric staircase (Theorem 3 case 1);
+// valid for signed and unsigned IPS.
+func StaircaseCase1(d int, s, c, u float64) (*Staircase, error) { return seqs.Case1(d, s, c, u) }
+
+// StaircaseCase2 builds the affine staircase (case 2, signed only).
+func StaircaseCase2(d int, s, c, u float64) (*Staircase, error) { return seqs.Case2(d, s, c, u) }
+
+// StaircaseCase3 builds the binary-tree staircase (case 3) over the
+// deterministic Reed–Solomon incoherent family.
+func StaircaseCase3(s, c, u float64, seed uint64) (*Staircase, error) {
+	return seqs.Case3(s, c, u, seqs.FamilyReedSolomon, seed)
+}
+
+// LSHGapBound is the Lemma 4 upper bound on P1 − P2 achievable by any
+// (asymmetric) LSH on a staircase of length n.
+func LSHGapBound(n int) float64 { return grid.GapBound(n) }
+
+// RenderFigure1 draws the Lemma 4 square partition for an
+// n = 2^ℓ − 1 grid as ASCII art (n = 15 reproduces the paper's figure).
+func RenderFigure1(n int) (string, error) { return grid.Render(n) }
+
+// RhoDataDep is equation (3): the paper's §4.1 exponent.
+func RhoDataDep(c, s float64) float64 { return lsh.RhoDataDep(c, s) }
+
+// RhoSimple is the SIMPLE-ALSH exponent of Neyshabur–Srebro.
+func RhoSimple(c, s float64) float64 { return lsh.RhoSimple(c, s) }
+
+// RhoMH is the MH-ALSH exponent of Shrivastava–Li (binary data).
+func RhoMH(c, s float64) float64 { return lsh.RhoMH(c, s) }
+
+// Figure2Point is one sample of the Figure 2 comparison.
+type Figure2Point = lsh.Figure2Point
+
+// Figure2 computes the three ρ curves of the paper's Figure 2 on a
+// uniform grid of s values for approximation factor c.
+func Figure2(c float64, points int) []Figure2Point { return lsh.Figure2Series(c, points) }
