@@ -1,0 +1,67 @@
+// Command ipsd serves the inner-product search & join API over HTTP.
+//
+// Usage:
+//
+//	ipsd [-addr :7070] [-shards 4] [-cache 4096] [-workers 0]
+//
+// Collections are created lazily by the first PUT /collections/{name};
+// see the README for the JSON API and a curl quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	shards := flag.Int("shards", 4, "default shards per collection")
+	cache := flag.Int("cache", 4096, "query cache capacity (negative disables)")
+	workers := flag.Int("workers", 0, "batch executor workers (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 1, "hashing seed")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		DefaultShards: *shards,
+		CacheCapacity: *cache,
+		Workers:       *workers,
+		Seed:          *seed,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewHandler(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("ipsd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("ipsd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("ipsd: listening on %s (shards=%d cache=%d workers=%d)",
+		*addr, *shards, *cache, srv.Stats().Workers)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ipsd: %v", err)
+	}
+	<-done
+}

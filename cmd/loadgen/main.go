@@ -1,0 +1,265 @@
+// Command loadgen replays a synthetic MIPS workload against an ipsd
+// server and reports ingest/search throughput, latency percentiles,
+// and — unless -verify=false — checks the sharded top-k answers are
+// identical to a local single-shard exact scan.
+//
+// With no -addr it spins up an in-process server, so
+//
+//	loadgen -n 100000 -q 1000 -shards 4 -k 10
+//
+// is a self-contained end-to-end acceptance run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mips"
+	"repro/internal/server"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server address (empty = run an in-process server)")
+	n := flag.Int("n", 100000, "data vectors to ingest")
+	q := flag.Int("q", 1000, "queries to run")
+	d := flag.Int("d", 16, "vector dimension")
+	k := flag.Int("k", 10, "top-k per query")
+	batch := flag.Int("batch", 1000, "queries per search request")
+	chunk := flag.Int("chunk", 20000, "records per ingest request")
+	shards := flag.Int("shards", 4, "shards for the collection")
+	index := flag.String("index", "exact", "index kind: exact | normscan | alsh | sketch")
+	sigma := flag.Float64("sigma", 0.5, "latent-factor popularity skew")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	verify := flag.Bool("verify", true, "check sharded results against a local exact scan")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv := server.New(server.Config{DefaultShards: *shards})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("loadgen: listen: %v", err)
+		}
+		hs := &http.Server{Handler: server.NewHandler(srv)}
+		go func() {
+			if err := hs.Serve(ln); err != http.ErrServerClosed {
+				log.Printf("loadgen: serve: %v", err)
+			}
+		}()
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("in-process ipsd at %s\n", base)
+	} else if len(base) >= 4 && base[:4] != "http" {
+		base = "http://" + base
+	}
+
+	rng := xrand.New(*seed)
+	fmt.Printf("generating latent-factor workload: n=%d q=%d d=%d sigma=%g\n", *n, *q, *d, *sigma)
+	lf := dataset.NewLatentFactor(rng, *n, *q, *d, *sigma)
+	lf.ScaleItemsToUnitBall()
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	collection := "bench"
+
+	// Ingest in chunks.
+	ingestStart := time.Now()
+	for lo := 0; lo < *n; lo += *chunk {
+		hi := lo + *chunk
+		if hi > *n {
+			hi = *n
+		}
+		recs := make([]server.RecordJSON, hi-lo)
+		for i := lo; i < hi; i++ {
+			id := i
+			recs[i-lo] = server.RecordJSON{ID: &id, Vec: lf.Items[i]}
+		}
+		req := server.IngestRequest{
+			Index:   &server.IndexSpec{Kind: *index},
+			Shards:  *shards,
+			Records: recs,
+		}
+		var resp server.IngestResponse
+		if err := call(client, http.MethodPut, base+"/collections/"+collection, req, &resp); err != nil {
+			log.Fatalf("loadgen: ingest [%d,%d): %v", lo, hi, err)
+		}
+	}
+	ingestDur := time.Since(ingestStart)
+	fmt.Printf("ingested %d vectors in %v (%.0f vec/s) across %d shards (index=%s)\n",
+		*n, ingestDur.Round(time.Millisecond), float64(*n)/ingestDur.Seconds(), *shards, *index)
+
+	// Batched searches.
+	type batchTiming struct {
+		queries int
+		dur     time.Duration
+	}
+	var timings []batchTiming
+	results := make([][]server.Hit, *q)
+	searchStart := time.Now()
+	for lo := 0; lo < *q; lo += *batch {
+		hi := lo + *batch
+		if hi > *q {
+			hi = *q
+		}
+		queries := make([][]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			queries[i-lo] = lf.Users[i]
+		}
+		var resp server.SearchResponse
+		t0 := time.Now()
+		err := call(client, http.MethodPost, base+"/collections/"+collection+"/search",
+			server.SearchRequest{Queries: queries, K: *k}, &resp)
+		if err != nil {
+			log.Fatalf("loadgen: search [%d,%d): %v", lo, hi, err)
+		}
+		timings = append(timings, batchTiming{queries: hi - lo, dur: time.Since(t0)})
+		copy(results[lo:hi], resp.Results)
+	}
+	searchDur := time.Since(searchStart)
+	fmt.Printf("ran %d top-%d queries in %v (%.0f q/s, %d per request)\n",
+		*q, *k, searchDur.Round(time.Millisecond), float64(*q)/searchDur.Seconds(), *batch)
+	for _, bt := range timings {
+		fmt.Printf("  batch of %d: %v (%.2f ms/query)\n",
+			bt.queries, bt.dur.Round(time.Microsecond),
+			float64(bt.dur)/float64(time.Millisecond)/float64(bt.queries))
+	}
+
+	// Server-side stats.
+	var st server.Stats
+	if err := call(client, http.MethodGet, base+"/stats", nil, &st); err != nil {
+		log.Fatalf("loadgen: stats: %v", err)
+	}
+	cs := st.Collections[collection]
+	fmt.Printf("server stats: records=%d version=%d queries=%d latency p50=%.3fms p90=%.3fms p99=%.3fms\n",
+		cs.Records, cs.Version, cs.Queries, cs.Latency.P50, cs.Latency.P90, cs.Latency.P99)
+	for _, sh := range cs.Shards {
+		fmt.Printf("  shard %d: %d records, %d queries\n", sh.ID, sh.Records, sh.Queries)
+	}
+	fmt.Printf("cache: size=%d hits=%d misses=%d invalidations=%d\n",
+		st.Cache.Size, st.Cache.Hits, st.Cache.Misses, st.Cache.Invalidations)
+
+	if !*verify {
+		return
+	}
+
+	// Verify: sharded answers must be identical to the unsharded exact
+	// scan (single-shard ground truth computed locally).
+	fmt.Printf("verifying against local exact scan...\n")
+	var mismatches atomic.Int64
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= *q {
+					return
+				}
+				want := exactTopK(lf.Items, lf.Users[qi], *k)
+				got := results[qi]
+				ok := len(got) == len(want)
+				if ok {
+					for i := range want {
+						if got[i] != want[i] {
+							ok = false
+							break
+						}
+					}
+				}
+				// Top-1 must also agree with the mips package baseline.
+				if ok && len(got) > 0 {
+					ls := mips.LinearScan(lf.Items, lf.Users[qi])
+					if got[0].ID != ls.Index || got[0].Score != ls.Value {
+						ok = false
+					}
+				}
+				if !ok {
+					if mismatches.Add(1) <= 3 {
+						log.Printf("loadgen: query %d mismatch:\n  got  %v\n  want %v", qi, got, want)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m := mismatches.Load(); m > 0 {
+		log.Printf("loadgen: FAILED: %d/%d queries differ from the exact scan", m, *q)
+		os.Exit(1)
+	}
+	fmt.Printf("verified: all %d sharded top-%d answers identical to the single-shard exact scan\n", *q, *k)
+}
+
+// exactTopK is the unsharded ground truth with the server's canonical
+// ordering (score descending, ID ascending on ties).
+func exactTopK(items []vec.Vector, q vec.Vector, k int) []server.Hit {
+	hits := make([]server.Hit, 0, k+1)
+	for i, p := range items {
+		v := vec.Dot(p, q)
+		if len(hits) == k && v < hits[k-1].Score {
+			continue
+		}
+		hits = append(hits, server.Hit{ID: i, Score: v})
+		sort.Slice(hits, func(a, b int) bool {
+			if hits[a].Score != hits[b].Score {
+				return hits[a].Score > hits[b].Score
+			}
+			return hits[a].ID < hits[b].ID
+		})
+		if len(hits) > k {
+			hits = hits[:k]
+		}
+	}
+	return hits
+}
+
+// call performs one JSON round-trip, decoding an {"error": ...} body
+// into a Go error.
+func call(client *http.Client, method, url string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("%s %s: %s", method, url, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Example server demonstrates the ipsd serving layer end to end from a
+// client's point of view: it starts an in-process server, bulk-ingests
+// a small latent-factor catalogue over HTTP, runs single and batched
+// top-k searches (watching the query cache), and finishes with an
+// approximate (cs, s) join between two collections.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	ips "repro"
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+func main() {
+	srv := ips.NewServer(ips.ServerConfig{DefaultShards: 4, CacheCapacity: 256})
+	defer srv.Close()
+	ts := httptest.NewServer(ips.NewServerHandler(srv))
+	defer ts.Close()
+	fmt.Printf("ipsd serving at %s\n\n", ts.URL)
+
+	rng := xrand.New(42)
+	lf := dataset.NewLatentFactor(rng, 2000, 50, 12, 0.5)
+	lf.ScaleItemsToUnitBall()
+
+	// Bulk ingest: PUT /collections/items.
+	type record struct {
+		ID  int       `json:"id"`
+		Vec []float64 `json:"vec"`
+	}
+	items := make([]record, len(lf.Items))
+	for i, v := range lf.Items {
+		items[i] = record{ID: i, Vec: v}
+	}
+	var ingest struct {
+		Records int    `json:"records"`
+		Version uint64 `json:"version"`
+	}
+	post(ts.URL+"/collections/items", http.MethodPut, map[string]any{
+		"index":   map[string]any{"kind": "exact"},
+		"shards":  4,
+		"records": items,
+	}, &ingest)
+	fmt.Printf("ingested %d items (version %d)\n", ingest.Records, ingest.Version)
+
+	// Single top-5 search: POST /collections/items/search.
+	var single struct {
+		Matches []ips.SearchHit `json:"matches"`
+		TookMS  float64         `json:"took_ms"`
+	}
+	post(ts.URL+"/collections/items/search", http.MethodPost, map[string]any{
+		"q": lf.Users[0], "k": 5,
+	}, &single)
+	fmt.Printf("\ntop-5 for user 0 (%.3f ms):\n", single.TookMS)
+	for _, h := range single.Matches {
+		fmt.Printf("  item %4d  score %+.4f\n", h.ID, h.Score)
+	}
+
+	// Batched search: all 50 users in one request; re-running it shows
+	// the LRU cache serving every query.
+	queries := make([][]float64, len(lf.Users))
+	for i, u := range lf.Users {
+		queries[i] = u
+	}
+	var batch struct {
+		Results [][]ips.SearchHit `json:"results"`
+		Cached  int               `json:"cached"`
+	}
+	post(ts.URL+"/collections/items/search", http.MethodPost,
+		map[string]any{"queries": queries, "k": 3}, &batch)
+	fmt.Printf("\nbatch of %d queries: %d cached\n", len(batch.Results), batch.Cached)
+	post(ts.URL+"/collections/items/search", http.MethodPost,
+		map[string]any{"queries": queries, "k": 3}, &batch)
+	fmt.Printf("repeat batch:        %d cached\n", batch.Cached)
+
+	// Join: ingest the users as their own collection, then POST /join.
+	users := make([]record, len(lf.Users))
+	for i, v := range lf.Users {
+		users[i] = record{ID: i, Vec: v}
+	}
+	post(ts.URL+"/collections/users", http.MethodPut, map[string]any{"records": users}, nil)
+	var join struct {
+		Engine   string `json:"engine"`
+		Pairs    []any  `json:"pairs"`
+		Compared int64  `json:"compared"`
+	}
+	post(ts.URL+"/join", http.MethodPost, map[string]any{
+		"data": "items", "queries": "users", "engine": "exact", "s": 0.2,
+	}, &join)
+	fmt.Printf("\n%s join at s=0.2: %d pairs (%d comparisons)\n",
+		join.Engine, len(join.Pairs), join.Compared)
+
+	// Operational visibility: GET /stats.
+	var stats ips.ServerStats
+	get(ts.URL+"/stats", &stats)
+	cs := stats.Collections["items"]
+	fmt.Printf("\nstats: items has %d records over %d shards, %d queries, p50=%.3fms p99=%.3fms\n",
+		cs.Records, len(cs.Shards), cs.Queries, cs.Latency.P50, cs.Latency.P99)
+}
+
+func post(url, method string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	do(req, out)
+}
+
+func get(url string, out any) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	do(req, out)
+}
+
+func do(req *http.Request, out any) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s %s: %d %s", req.Method, req.URL, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

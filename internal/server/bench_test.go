@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// benchServer builds a populated server for the search benchmarks.
+func benchServer(b *testing.B, n, d, shards int, kind string) (*Server, []vec.Vector) {
+	b.Helper()
+	rng := xrand.New(1)
+	lf := dataset.NewLatentFactor(rng, n, 256, d, 0.5)
+	lf.ScaleItemsToUnitBall()
+	s := New(Config{DefaultShards: shards, CacheCapacity: -1})
+	b.Cleanup(s.Close)
+	recs := records(lf.Items, 0)
+	if _, _, err := s.Ingest("bench", &IndexSpec{Kind: kind}, shards, recs); err != nil {
+		b.Fatalf("ingest: %v", err)
+	}
+	return s, lf.Users
+}
+
+// BenchmarkServerSearchSingle measures one top-10 query (shard fan-out
+// on the pool) per iteration, across shard counts.
+func BenchmarkServerSearchSingle(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, users := benchServer(b, 20000, 16, shards, KindExact)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search("bench", users[i%len(users):i%len(users)+1], 10, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerSearchBatch measures a 256-query batched top-10
+// request (the worker-pool path); ns/op is per batch.
+func BenchmarkServerSearchBatch(b *testing.B) {
+	for _, kind := range []string{KindExact, KindNormScan} {
+		b.Run("index="+kind, func(b *testing.B) {
+			s, users := benchServer(b, 20000, 16, 4, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search("bench", users, 10, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerIngest measures appending a 1000-vector batch to a
+// 4-shard collection, including the parallel index rebuilds.
+func BenchmarkServerIngest(b *testing.B) {
+	rng := xrand.New(2)
+	vs := dataset.Gaussian(rng, 1000, 16, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Config{DefaultShards: 4})
+		b.StartTimer()
+		if _, _, err := s.Ingest("bench", nil, 0, records(vs, 0)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkMergeTopK measures the k-way merge over 8 shard lists.
+func BenchmarkMergeTopK(b *testing.B) {
+	lists := make([][]Hit, 8)
+	rng := xrand.New(3)
+	for s := range lists {
+		l := make([]Hit, 10)
+		v := 10.0
+		for i := range l {
+			v -= rng.Float64()
+			l[i] = Hit{ID: s*10 + i, Score: v}
+		}
+		lists[s] = l
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mergeTopK(lists, 10)
+	}
+}

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// Collection is a named, sharded vector set. The source of truth is a
+// store.Versioned relation (immutable snapshots, used by the join
+// endpoint and /stats); serving happens against per-shard indexes that
+// are rebuilt on the shard-owner goroutines at ingest time.
+type Collection struct {
+	name   string
+	spec   IndexSpec
+	rel    *store.Versioned
+	shards []*shard
+
+	ingestMu sync.Mutex
+	seenIDs  map[int]struct{}
+	nextID   int
+	closed   bool
+
+	queries atomic.Int64
+	lat     *latencyRing
+}
+
+func newCollection(name string, spec IndexSpec, nshards int, seed uint64) (*Collection, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if nshards <= 0 {
+		return nil, fmt.Errorf("server: collection %q: shard count %d must be positive", name, nshards)
+	}
+	c := &Collection{
+		name:    name,
+		spec:    spec,
+		rel:     store.NewVersioned(name),
+		shards:  make([]*shard, nshards),
+		seenIDs: make(map[int]struct{}),
+		lat:     newLatencyRing(),
+	}
+	for i := range c.shards {
+		c.shards[i] = newShard(i, seed+uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return c, nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Spec returns the index spec the collection was created with.
+func (c *Collection) Spec() IndexSpec { return c.spec }
+
+// Shards returns the shard count.
+func (c *Collection) Shards() int { return len(c.shards) }
+
+// Len returns the current record count.
+func (c *Collection) Len() int { return c.rel.Len() }
+
+// Version returns the current ingest version.
+func (c *Collection) Version() uint64 { return c.rel.Version() }
+
+// Relation returns the current immutable relation snapshot and its
+// version (for joins and diagnostics).
+func (c *Collection) Relation() (*store.Relation, uint64) { return c.rel.Snapshot() }
+
+// shardFor maps a record ID to its home shard.
+func (c *Collection) shardFor(id int) int {
+	n := len(c.shards)
+	return ((id % n) + n) % n
+}
+
+// Ingest validates and appends records, assigns IDs to records that
+// carry the sentinel AutoID, partitions the batch by ID across the
+// shards, and rebuilds every touched shard's index in parallel on the
+// shard-owner goroutines. The batch is all-or-nothing: records and
+// new indexes become visible only after every shard's rebuild has
+// succeeded, and a rejected batch leaves no trace (IDs reserved for
+// it are released). Note each touched shard rebuilds its index over
+// its full vector set, so prefer fewer, larger batches for the
+// rebuild-heavy index kinds (alsh, sketch). Returns the new version.
+func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
+	if len(recs) == 0 {
+		return c.rel.Version(), nil
+	}
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	if c.closed {
+		return 0, fmt.Errorf("server: collection %q is closed", c.name)
+	}
+
+	// Validate dimensions before touching any state; ingestMu
+	// serializes appends, so the later Append of this same batch
+	// cannot fail.
+	if err := c.rel.CheckAppend(recs); err != nil {
+		return 0, err
+	}
+
+	// Assign and reserve IDs; any later failure releases the whole
+	// batch's reservations.
+	assigned := make([]store.Record, len(recs))
+	copy(assigned, recs)
+	reserved := make([]int, 0, len(assigned))
+	rollback := func() {
+		for _, id := range reserved {
+			delete(c.seenIDs, id)
+		}
+	}
+	for i := range assigned {
+		if assigned[i].ID == AutoID {
+			for {
+				if _, dup := c.seenIDs[c.nextID]; !dup {
+					break
+				}
+				c.nextID++
+			}
+			assigned[i].ID = c.nextID
+			c.nextID++
+		}
+		if _, dup := c.seenIDs[assigned[i].ID]; dup {
+			rollback()
+			return 0, fmt.Errorf("server: collection %q: duplicate record ID %d", c.name, assigned[i].ID)
+		}
+		c.seenIDs[assigned[i].ID] = struct{}{}
+		reserved = append(reserved, assigned[i].ID)
+	}
+
+	byShard := make(map[int]int, len(c.shards))
+	for _, r := range assigned {
+		byShard[c.shardFor(r.ID)]++
+	}
+	ids := make(map[int][]int, len(byShard))
+	vs := make(map[int][]vec.Vector, len(byShard))
+	for si, n := range byShard {
+		ids[si] = make([]int, 0, n)
+		vs[si] = make([]vec.Vector, 0, n)
+	}
+	for _, r := range assigned {
+		si := c.shardFor(r.ID)
+		ids[si] = append(ids[si], r.ID)
+		vs[si] = append(vs[si], r.Vec)
+	}
+
+	// Phase 1: build every touched shard's new snapshot in parallel on
+	// the shard-owner goroutines, publishing nothing yet.
+	snaps := make([]*shardSnap, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for si := range ids {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			snaps[si], errs[si] = c.shards[si].prepare(c.spec, ids[si], vs[si])
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			rollback()
+			return 0, fmt.Errorf("server: collection %q: index build: %w", c.name, err)
+		}
+	}
+
+	// Phase 2: publish — shard snapshots first, the version-bumping
+	// relation append last. Ordering matters for the query cache: the
+	// version may only advance once every shard already serves data at
+	// least that new, so a result cached under the version a searcher
+	// observed can never be *older* than that version claims (it can
+	// transiently be newer, which the ingest's explicit invalidation
+	// cleans up, and version-embedded keys strand anything it misses).
+	for si, snap := range snaps {
+		if snap != nil {
+			c.shards[si].commit(snap)
+		}
+	}
+	version, err := c.rel.Append(assigned)
+	if err != nil {
+		// Unreachable: CheckAppend vetted this batch under ingestMu.
+		rollback()
+		return 0, fmt.Errorf("server: collection %q: append after commit: %w", c.name, err)
+	}
+	return version, nil
+}
+
+// AutoID marks a record whose ID the collection assigns at ingest.
+const AutoID = -1 << 62
+
+// SearchOne answers a single top-k query. When pool is non-nil the
+// shard fan-out runs on the worker pool; otherwise shards are scanned
+// on the calling goroutine (the batch executor path, where parallelism
+// already comes from concurrent queries).
+func (c *Collection) SearchOne(pool *Pool, q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("server: k=%d must be positive", k)
+	}
+	rel, _ := c.rel.Snapshot()
+	if rel.Dim != 0 && len(q) != rel.Dim {
+		return nil, fmt.Errorf("server: collection %q: query dimension %d, want %d", c.name, len(q), rel.Dim)
+	}
+	c.queries.Add(1)
+	lists := make([][]Hit, len(c.shards))
+	errs := make([]error, len(c.shards))
+	scan := func(i int) {
+		lists[i], errs[i] = c.shards[i].topK(q, k, unsigned)
+	}
+	if pool != nil && len(c.shards) > 1 {
+		pool.ForEach(len(c.shards), scan)
+	} else {
+		for i := range c.shards {
+			scan(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeTopK(lists, k), nil
+}
+
+// statsSnapshot renders the collection for /stats.
+func (c *Collection) statsSnapshot() CollectionStats {
+	rel, version := c.rel.Snapshot()
+	cs := CollectionStats{
+		Dim:     rel.Dim,
+		Records: len(rel.Recs),
+		Version: version,
+		Index:   c.spec.kind(),
+		Queries: c.queries.Load(),
+		Latency: c.lat.summary(),
+		Shards:  make([]ShardStats, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		cs.Shards[i] = ShardStats{ID: i, Records: sh.size(), Queries: sh.queries.Load()}
+	}
+	return cs
+}
+
+// close stops the shard-owner goroutines. It serializes with Ingest
+// through ingestMu, so an in-flight ingest finishes before the ops
+// channels close and later ingests fail cleanly instead of panicking.
+// Searches keep working against the final snapshots.
+func (c *Collection) close() {
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, sh := range c.shards {
+		sh.close()
+	}
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// NewHandler wires the server's HTTP/JSON API:
+//
+//	PUT  /collections/{name}         bulk ingest (creates on first use)
+//	POST /collections/{name}/search  top-k MIPS, single or batched
+//	POST /join                       approximate (cs, s) join
+//	GET  /healthz                    liveness
+//	GET  /stats                      shard sizes, query counts, latency
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /collections/{name}", s.handleIngest)
+	mux.HandleFunc("POST /collections/{name}/search", s.handleSearch)
+	mux.HandleFunc("POST /join", s.handleJoin)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// RecordJSON is a record on the wire. A missing "id" asks the server
+// to assign one.
+type RecordJSON struct {
+	ID    *int              `json:"id,omitempty"`
+	Vec   []float64         `json:"vec"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// IngestRequest is the PUT /collections/{name} body.
+type IngestRequest struct {
+	// Index and Shards configure the collection on first use; on an
+	// existing collection they must match or be omitted.
+	Index   *IndexSpec   `json:"index,omitempty"`
+	Shards  int          `json:"shards,omitempty"`
+	Records []RecordJSON `json:"records"`
+}
+
+// IngestResponse reports the ingest outcome.
+type IngestResponse struct {
+	Collection  string `json:"collection"`
+	Appended    int    `json:"appended"`
+	Records     int    `json:"records"`
+	Version     uint64 `json:"version"`
+	Invalidated int    `json:"invalidated"`
+}
+
+// SearchRequest is the POST /collections/{name}/search body. Exactly
+// one of Q (single query) or Queries (batch) must be set.
+type SearchRequest struct {
+	Q        []float64   `json:"q,omitempty"`
+	Queries  [][]float64 `json:"queries,omitempty"`
+	K        int         `json:"k,omitempty"` // default 1
+	Unsigned bool        `json:"unsigned,omitempty"`
+}
+
+// SearchResponse reports search hits: Matches for a single query,
+// Results (one list per query, in order) for a batch.
+type SearchResponse struct {
+	Matches []Hit   `json:"matches,omitempty"`
+	Results [][]Hit `json:"results,omitempty"`
+	Cached  int     `json:"cached"`
+	TookMS  float64 `json:"took_ms"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	recs := make([]store.Record, len(req.Records))
+	for i, rj := range req.Records {
+		id := AutoID
+		if rj.ID != nil {
+			id = *rj.ID
+		}
+		recs[i] = store.Record{ID: id, Vec: vec.Vector(rj.Vec), Attrs: rj.Attrs}
+	}
+	version, invalidated, err := s.Ingest(name, req.Index, req.Shards, recs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	total := len(recs)
+	if c, ok := s.Collection(name); ok {
+		total = c.Len()
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Collection:  name,
+		Appended:    len(recs),
+		Records:     total,
+		Version:     version,
+		Invalidated: invalidated,
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	single := len(req.Q) > 0
+	if single == (len(req.Queries) > 0) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("set exactly one of \"q\" and \"queries\""))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 1
+	}
+	queries := req.Queries
+	if single {
+		queries = [][]float64{req.Q}
+	}
+	qs := make([]vec.Vector, len(queries))
+	for i, q := range queries {
+		qs[i] = vec.Vector(q)
+	}
+	start := time.Now()
+	results, err := s.Search(name, qs, k, req.Unsigned)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := s.Collection(name); !ok {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	resp := SearchResponse{TookMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	lists := make([][]Hit, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			httpError(w, http.StatusBadRequest, res.Err)
+			return
+		}
+		if res.Cached {
+			resp.Cached++
+		}
+		if res.Hits == nil {
+			lists[i] = []Hit{} // keep JSON arrays, not nulls
+		} else {
+			lists[i] = res.Hits
+		}
+	}
+	if single {
+		resp.Matches = lists[0]
+	} else {
+		resp.Results = lists
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	resp, err := s.Join(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if resp.Pairs == nil {
+		resp.Pairs = []JoinPair{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"collections": s.Collections(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

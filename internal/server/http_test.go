@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatalf("encoding request: %v", err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatalf("building request: %v", err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s := New(Config{DefaultShards: 4, CacheCapacity: 32})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	rng := xrand.New(21)
+	items := dataset.Gaussian(rng, 200, 8, false)
+	users := dataset.Gaussian(rng, 30, 8, false)
+
+	// Bulk ingest with explicit IDs.
+	recs := make([]RecordJSON, len(items))
+	for i, v := range items {
+		id := i
+		recs[i] = RecordJSON{ID: &id, Vec: v}
+	}
+	var ing IngestResponse
+	if code := doJSON(t, ts, http.MethodPut, "/collections/items",
+		IngestRequest{Index: &IndexSpec{Kind: KindExact}, Shards: 4, Records: recs}, &ing); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	if ing.Records != len(items) || ing.Version != 1 {
+		t.Fatalf("ingest response %+v", ing)
+	}
+
+	// Single search.
+	var single SearchResponse
+	if code := doJSON(t, ts, http.MethodPost, "/collections/items/search",
+		SearchRequest{Q: users[0], K: 5}, &single); code != http.StatusOK {
+		t.Fatalf("single search status %d", code)
+	}
+	if len(single.Matches) != 5 {
+		t.Fatalf("single search returned %d matches, want 5", len(single.Matches))
+	}
+
+	// Batched search agrees with the single answers.
+	qs := make([][]float64, len(users))
+	for i, u := range users {
+		qs[i] = u
+	}
+	var batch SearchResponse
+	if code := doJSON(t, ts, http.MethodPost, "/collections/items/search",
+		SearchRequest{Queries: qs, K: 5}, &batch); code != http.StatusOK {
+		t.Fatalf("batch search status %d", code)
+	}
+	if len(batch.Results) != len(users) {
+		t.Fatalf("batch returned %d result lists, want %d", len(batch.Results), len(users))
+	}
+	for i := range batch.Results[0] {
+		if batch.Results[0][i] != single.Matches[i] {
+			t.Fatalf("batch result %d = %+v, single = %+v", i, batch.Results[0][i], single.Matches[i])
+		}
+	}
+
+	// The repeat single query must be cache-served.
+	var repeat SearchResponse
+	doJSON(t, ts, http.MethodPost, "/collections/items/search", SearchRequest{Q: users[0], K: 5}, &repeat)
+	if repeat.Cached != 1 {
+		t.Fatalf("repeat search cached=%d, want 1", repeat.Cached)
+	}
+
+	// Join between two served collections.
+	urecs := make([]RecordJSON, len(users))
+	for i, v := range users {
+		id := i
+		urecs[i] = RecordJSON{ID: &id, Vec: v}
+	}
+	doJSON(t, ts, http.MethodPut, "/collections/users", IngestRequest{Records: urecs}, nil)
+	var jr JoinResponse
+	if code := doJSON(t, ts, http.MethodPost, "/join",
+		JoinRequest{Data: "items", Queries: "users", Engine: "exact", S: 0.5}, &jr); code != http.StatusOK {
+		t.Fatalf("join status %d", code)
+	}
+	if jr.Engine != "exact" || jr.Compared != int64(len(items)*len(users)) {
+		t.Fatalf("join response %+v", jr)
+	}
+
+	// Health and stats.
+	var hz map[string]any
+	if code := doJSON(t, ts, http.MethodGet, "/healthz", nil, &hz); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var st Stats
+	if code := doJSON(t, ts, http.MethodGet, "/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	cs, ok := st.Collections["items"]
+	if !ok {
+		t.Fatal("stats missing collection items")
+	}
+	if cs.Records != len(items) || len(cs.Shards) != 4 {
+		t.Fatalf("stats collection %+v", cs)
+	}
+	total := 0
+	for _, sh := range cs.Shards {
+		total += sh.Records
+	}
+	if total != len(items) {
+		t.Fatalf("shard sizes sum to %d, want %d", total, len(items))
+	}
+	if cs.Latency.P50 < 0 || cs.Latency.P99 < cs.Latency.P50 {
+		t.Fatalf("implausible latency summary %+v", cs.Latency)
+	}
+
+	// Error paths.
+	var e map[string]string
+	if code := doJSON(t, ts, http.MethodPost, "/collections/nope/search",
+		SearchRequest{Q: users[0], K: 1}, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown collection status %d (%v)", code, e)
+	}
+	if code := doJSON(t, ts, http.MethodPost, "/collections/items/search",
+		SearchRequest{K: 1}, &e); code != http.StatusBadRequest {
+		t.Fatalf("empty query status %d", code)
+	}
+	if code := doJSON(t, ts, http.MethodPost, "/collections/items/search",
+		SearchRequest{Q: []float64{1}, K: 1}, &e); code != http.StatusBadRequest {
+		t.Fatalf("dimension mismatch status %d", code)
+	}
+	if code := doJSON(t, ts, http.MethodPut, "/collections/items",
+		IngestRequest{Index: &IndexSpec{Kind: KindALSH}}, &e); code != http.StatusBadRequest {
+		t.Fatalf("index respec status %d", code)
+	}
+}
+
+func TestHTTPSketchUnsignedOnly(t *testing.T) {
+	s := New(Config{DefaultShards: 1})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	rng := xrand.New(33)
+	items := dataset.Gaussian(rng, 64, 8, true)
+	recs := make([]RecordJSON, len(items))
+	for i, v := range items {
+		id := i
+		recs[i] = RecordJSON{ID: &id, Vec: v}
+	}
+	if code := doJSON(t, ts, http.MethodPut, "/collections/sk",
+		IngestRequest{Index: &IndexSpec{Kind: KindSketch, Kappa: 2, Copies: 9}, Shards: 1, Records: recs}, nil); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	var e map[string]string
+	if code := doJSON(t, ts, http.MethodPost, "/collections/sk/search",
+		SearchRequest{Q: items[0], K: 1}, &e); code != http.StatusBadRequest {
+		t.Fatalf("signed query against sketch index: status %d, want 400", code)
+	}
+	var ok SearchResponse
+	if code := doJSON(t, ts, http.MethodPost, "/collections/sk/search",
+		SearchRequest{Q: items[0], K: 1, Unsigned: true}, &ok); code != http.StatusOK {
+		t.Fatalf("unsigned query status %d", code)
+	}
+	if len(ok.Matches) != 1 {
+		t.Fatalf("unsigned query returned %d matches, want 1", len(ok.Matches))
+	}
+}

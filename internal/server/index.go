@@ -1,0 +1,353 @@
+// Package server is the online serving subsystem of the reproduction: a
+// concurrent, sharded inner-product search and join server. Named
+// collections wrap store.Relation snapshots; each collection is split
+// across N goroutine-owned shards, every shard holding its own index
+// built from a selectable engine (exact scan, norm-pruned MIPS scan,
+// §4.1 ALSH, or the §4.3 sketch recovery structure). Queries fan out to
+// the shards and the per-shard top-k lists are combined by a k-way
+// merge; batches run on a worker pool and results are memoized in an
+// LRU cache invalidated on ingest.
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lsh"
+	"repro/internal/sketch"
+	"repro/internal/transform"
+	"repro/internal/vec"
+)
+
+// Hit is one search answer: a record ID and its (absolute, for
+// unsigned) inner product with the query.
+type Hit struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// ShardIndex answers top-k MIPS queries over one shard's vectors.
+// Returned hits carry *local* indices into the build slice, are ordered
+// by decreasing score with ties broken by increasing index, and have
+// exact scores (re-verified against the raw vectors by candidate-based
+// engines).
+type ShardIndex interface {
+	// TopK returns up to k hits for q; unsigned ranks by |pᵀq|.
+	TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error)
+}
+
+// IndexSpec selects and parameterizes the per-shard index engine. The
+// zero value of every field means "use the engine default".
+type IndexSpec struct {
+	// Kind is one of "exact", "normscan", "alsh", "sketch".
+	Kind string `json:"kind"`
+	// U is the ALSH query-ball radius (default 1).
+	U float64 `json:"u,omitempty"`
+	// K, L are the ALSH banding parameters (defaults 8, 16).
+	K int `json:"k,omitempty"`
+	L int `json:"l,omitempty"`
+	// Kappa, Copies parameterize the sketch recoverer (defaults 2, 9).
+	Kappa  float64 `json:"kappa,omitempty"`
+	Copies int     `json:"copies,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+}
+
+// Validate checks that the spec names a registered engine and that
+// its parameters are usable (zero always means "default"), so bad
+// specs fail at collection creation instead of at the first ingest.
+func (s IndexSpec) Validate() error {
+	switch s.Kind {
+	case "", KindExact, KindNormScan, KindALSH, KindSketch:
+	default:
+		return fmt.Errorf("server: unknown index kind %q (want %s, %s, %s or %s)",
+			s.Kind, KindExact, KindNormScan, KindALSH, KindSketch)
+	}
+	if s.U < 0 || s.K < 0 || s.L < 0 || s.Copies < 0 {
+		return fmt.Errorf("server: index %q: negative parameter (u=%v k=%d l=%d copies=%d)",
+			s.kind(), s.U, s.K, s.L, s.Copies)
+	}
+	if s.Kind == KindSketch && s.Kappa != 0 && s.Kappa < 2 {
+		return fmt.Errorf("server: index %q: kappa %v must be >= 2", s.kind(), s.Kappa)
+	}
+	if s.Kappa < 0 {
+		return fmt.Errorf("server: index %q: negative kappa %v", s.kind(), s.Kappa)
+	}
+	return nil
+}
+
+// kind returns the effective engine name (defaulting to exact).
+func (s IndexSpec) kind() string {
+	if s.Kind == "" {
+		return KindExact
+	}
+	return s.Kind
+}
+
+// The registered index kinds.
+const (
+	KindExact    = "exact"
+	KindNormScan = "normscan"
+	KindALSH     = "alsh"
+	KindSketch   = "sketch"
+)
+
+// defaultBanding resolves zero LSH banding parameters to the repo-wide
+// defaults (K=8 concatenated hashes, L=16 tables) — the single source
+// of truth for both the shard indexes and the join engines.
+func defaultBanding(k, l int) (int, int) {
+	if k == 0 {
+		k = 8
+	}
+	if l == 0 {
+		l = 16
+	}
+	return k, l
+}
+
+// defaultSketch resolves zero sketch parameters (κ=2, 9 copies).
+func defaultSketch(kappa float64, copies int) (float64, int) {
+	if kappa == 0 {
+		kappa = 2
+	}
+	if copies == 0 {
+		copies = 9
+	}
+	return kappa, copies
+}
+
+// buildShardIndex constructs the index for one shard. Shard seeds are
+// derived from the spec seed so shards hash independently.
+func buildShardIndex(spec IndexSpec, vs []vec.Vector, shardSeed uint64) (ShardIndex, error) {
+	if len(vs) == 0 {
+		return emptyIndex{}, nil
+	}
+	switch spec.kind() {
+	case KindExact:
+		return exactIndex{data: vs}, nil
+	case KindNormScan:
+		return newNormScanIndex(vs), nil
+	case KindALSH:
+		return newALSHIndex(spec, vs, shardSeed)
+	case KindSketch:
+		kappa, copies := defaultSketch(spec.Kappa, spec.Copies)
+		rec, err := sketch.NewRecoverer(vs, kappa, copies, spec.Seed^shardSeed)
+		if err != nil {
+			return nil, err
+		}
+		return sketchIndex{rec: rec, data: vs}, nil
+	}
+	return nil, fmt.Errorf("server: unknown index kind %q", spec.Kind)
+}
+
+// emptyIndex serves a shard that holds no vectors yet.
+type emptyIndex struct{}
+
+func (emptyIndex) TopK(vec.Vector, int, bool) ([]Hit, error) { return nil, nil }
+
+// topKAcc accumulates the k best (local index, score) pairs with the
+// canonical ordering: score descending, index ascending on ties.
+type topKAcc struct {
+	k    int
+	hits []Hit
+}
+
+func (a *topKAcc) offer(id int, score float64) {
+	if len(a.hits) == a.k {
+		last := a.hits[a.k-1]
+		if score < last.Score || (score == last.Score && id > last.ID) {
+			return
+		}
+		a.hits = a.hits[:a.k-1]
+	}
+	pos := sort.Search(len(a.hits), func(i int) bool {
+		h := a.hits[i]
+		return h.Score < score || (h.Score == score && h.ID > id)
+	})
+	a.hits = append(a.hits, Hit{})
+	copy(a.hits[pos+1:], a.hits[pos:])
+	a.hits[pos] = Hit{ID: id, Score: score}
+}
+
+// worst returns the current k-th best score, or -Inf while under-full.
+func (a *topKAcc) full() bool { return len(a.hits) == a.k }
+
+// exactIndex is the Θ(nd) full scan — the ground-truth engine and the
+// default for collections that must return exact answers.
+type exactIndex struct{ data []vec.Vector }
+
+func (ix exactIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	acc := topKAcc{k: k}
+	for i, p := range ix.data {
+		v := vec.Dot(p, q)
+		if unsigned && v < 0 {
+			v = -v
+		}
+		acc.offer(i, v)
+	}
+	return acc.hits, nil
+}
+
+// normScanIndex is the exact top-k variant of mips.NormPruned: vectors
+// are visited in decreasing-norm order and the scan stops once the
+// Cauchy–Schwarz bound ‖p‖·‖q‖ — which also bounds |pᵀq| — cannot
+// displace the k-th best hit.
+type normScanIndex struct {
+	data  []vec.Vector
+	order []int
+	norms []float64
+}
+
+func newNormScanIndex(vs []vec.Vector) *normScanIndex {
+	ix := &normScanIndex{
+		data:  vs,
+		order: make([]int, len(vs)),
+		norms: make([]float64, len(vs)),
+	}
+	for i, p := range vs {
+		ix.order[i] = i
+		ix.norms[i] = vec.Norm(p)
+	}
+	sort.Slice(ix.order, func(a, b int) bool {
+		na, nb := ix.norms[ix.order[a]], ix.norms[ix.order[b]]
+		if na != nb {
+			return na > nb
+		}
+		return ix.order[a] < ix.order[b]
+	})
+	return ix
+}
+
+func (ix *normScanIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	qn := vec.Norm(q)
+	acc := topKAcc{k: k}
+	for _, i := range ix.order {
+		if acc.full() && ix.norms[i]*qn < acc.hits[k-1].Score {
+			break // no remaining vector can enter the top k
+		}
+		v := vec.Dot(ix.data[i], q)
+		if unsigned && v < 0 {
+			v = -v
+		}
+		acc.offer(i, v)
+	}
+	return acc.hits, nil
+}
+
+// alshIndex is the §4.1 structure (SIMPLE map + hyperplane banding):
+// approximate candidates from the index, exact scores over them.
+type alshIndex struct {
+	data []vec.Vector
+	ix   *lsh.Index
+	u    float64
+}
+
+func newALSHIndex(spec IndexSpec, vs []vec.Vector, shardSeed uint64) (*alshIndex, error) {
+	u := spec.U
+	if u == 0 {
+		u = 1
+	}
+	k, l := defaultBanding(spec.K, spec.L)
+	tr, err := transform.NewSimple(len(vs[0]), u)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := lsh.NewHyperplane(tr.OutputDim())
+	if err != nil {
+		return nil, err
+	}
+	fam, err := lsh.NewAsymmetric("simple-alsh",
+		lsh.MapPair{Data: tr.Data, Query: tr.Query}, inner)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := lsh.NewIndex(fam, k, l, spec.Seed^shardSeed)
+	if err != nil {
+		return nil, err
+	}
+	ix.InsertAll(vs)
+	return &alshIndex{data: vs, ix: ix, u: u}, nil
+}
+
+func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	probe := q
+	if n := vec.Norm(q); n > ix.u {
+		probe = vec.Scaled(q, (1-1e-12)*ix.u/n)
+	}
+	acc := topKAcc{k: k}
+	score := func(pi int) {
+		v := vec.Dot(ix.data[pi], q)
+		if unsigned && v < 0 {
+			v = -v
+		}
+		acc.offer(pi, v)
+	}
+	seen := make(map[int]bool)
+	for _, pi := range ix.ix.Candidates(probe) {
+		seen[pi] = true
+		score(pi)
+	}
+	if unsigned {
+		// The paper's unsigned reduction: probe −q too.
+		for _, pi := range ix.ix.Candidates(vec.Neg(probe)) {
+			if !seen[pi] {
+				score(pi)
+			}
+		}
+	}
+	return acc.hits, nil
+}
+
+// sketchIndex answers via the §4.3 trie recoverer (unsigned only,
+// top-1 by construction).
+type sketchIndex struct {
+	rec  *sketch.Recoverer
+	data []vec.Vector
+}
+
+func (ix sketchIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	if !unsigned {
+		return nil, fmt.Errorf("server: sketch index answers unsigned queries only")
+	}
+	idx, v := ix.rec.Query(q)
+	if idx < 0 {
+		return nil, nil
+	}
+	return []Hit{{ID: idx, Score: v}}, nil
+}
+
+// searcherIndex adapts any core.Searcher — i.e. anything built by a
+// registered core.SearchBuilder — into a top-1 ShardIndex, so the
+// serving layer can host every (cs, s) engine the offline layer knows.
+type searcherIndex struct {
+	s  core.Searcher
+	sp core.Spec
+}
+
+// FromSearchBuilder builds P into a top-1 ShardIndex driven by the
+// given (cs, s) spec: a hit is returned only when the searcher reports
+// a point clearing c·s.
+func FromSearchBuilder(b core.SearchBuilder, P []vec.Vector, sp core.Spec) (ShardIndex, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := b.Build(P)
+	if err != nil {
+		return nil, err
+	}
+	return searcherIndex{s: s, sp: sp}, nil
+}
+
+func (ix searcherIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	sp := ix.sp
+	if unsigned {
+		sp.Variant = core.Unsigned
+	} else {
+		sp.Variant = core.Signed
+	}
+	idx, v, ok := ix.s.Search(q, sp)
+	if !ok {
+		return nil, nil
+	}
+	return []Hit{{ID: idx, Score: v}}, nil
+}

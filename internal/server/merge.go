@@ -1,0 +1,62 @@
+package server
+
+import "container/heap"
+
+// mergeTopK combines per-shard top-k lists — each already ordered by
+// (score descending, ID ascending) — into the global top-k under the
+// same ordering, via a k-way heap merge: the heap holds one cursor per
+// non-empty list and pops the best head until k hits are emitted.
+func mergeTopK(lists [][]Hit, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	h := make(mergeHeap, 0, len(lists))
+	for _, l := range lists {
+		if len(l) > 0 {
+			h = append(h, mergeCursor{list: l})
+		}
+	}
+	heap.Init(&h)
+	out := make([]Hit, 0, k)
+	for len(h) > 0 && len(out) < k {
+		c := &h[0]
+		out = append(out, c.list[c.pos])
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// mergeCursor walks one shard's hit list.
+type mergeCursor struct {
+	list []Hit
+	pos  int
+}
+
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(a, b int) bool {
+	x, y := h[a].list[h[a].pos], h[b].list[h[b].pos]
+	if x.Score != y.Score {
+		return x.Score > y.Score
+	}
+	return x.ID < y.ID
+}
+
+func (h mergeHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeCursor)) }
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

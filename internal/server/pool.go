@@ -1,0 +1,58 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the batch executor: a bounded parallel-for over task
+// indices. The bound is a server-wide semaphore, so a single request
+// carrying a thousand queries saturates every core while any number
+// of concurrent requests still share the same worker budget instead
+// of multiplying it.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool creates a pool with the given parallelism; n <= 0 defaults
+// to GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Workers returns the pool parallelism.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// ForEach invokes fn(i) for every i in [0, n) and blocks until all
+// calls return. At most Workers tasks run at once across every
+// concurrent ForEach on the pool; the feeding goroutine blocks while
+// the pool is saturated, which back-pressures oversized requests.
+// Tasks must not themselves call ForEach on the same pool (slots are
+// held for a task's full duration, so nesting can deadlock).
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || cap(p.sem) == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,340 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lsh"
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// Config configures a Server. Zero values select sensible defaults.
+type Config struct {
+	// DefaultShards is the shard count for collections created without
+	// an explicit one (default 4).
+	DefaultShards int
+	// CacheCapacity bounds the query-result LRU (default 4096 entries;
+	// negative disables caching).
+	CacheCapacity int
+	// Workers bounds the batch executor (default GOMAXPROCS).
+	Workers int
+	// Seed derives per-collection and per-shard hashing seeds.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.DefaultShards == 0 {
+		c.DefaultShards = 4
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4096
+	}
+}
+
+// Server owns the collections, the shared worker pool and the query
+// cache. It is safe for concurrent use.
+type Server struct {
+	cfg    Config
+	mu     sync.RWMutex
+	cols   map[string]*Collection
+	closed bool
+	cache  *queryCache
+	pool   *Pool
+	joins  atomic.Int64
+	start  time.Time
+}
+
+// New creates a server.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	return &Server{
+		cfg:   cfg,
+		cols:  make(map[string]*Collection),
+		cache: newQueryCache(cfg.CacheCapacity),
+		pool:  NewPool(cfg.Workers),
+		start: time.Now(),
+	}
+}
+
+// Close stops every collection's shard goroutines and marks the
+// server closed: later EnsureCollection/Ingest calls fail instead of
+// silently respawning collections whose goroutines nothing would ever
+// stop. Existing collection handles stay searchable (final snapshots).
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, c := range s.cols {
+		c.close()
+	}
+}
+
+// Collection returns the named collection, if it exists.
+func (s *Server) Collection(name string) (*Collection, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.cols[name]
+	return c, ok
+}
+
+// Collections returns the collection names in sorted order.
+func (s *Server) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.cols))
+	for n := range s.cols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EnsureCollection returns the named collection, creating it with the
+// given spec and shard count on first use. A nil spec or zero shard
+// count defaults; on an existing collection a non-nil spec must match
+// the one it was created with.
+func (s *Server) EnsureCollection(name string, spec *IndexSpec, shards int) (*Collection, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty collection name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	if c, ok := s.cols[name]; ok {
+		if spec != nil && *spec != c.spec {
+			return nil, fmt.Errorf("server: collection %q already exists with index %q", name, c.spec.kind())
+		}
+		if shards != 0 && shards != len(c.shards) {
+			return nil, fmt.Errorf("server: collection %q already exists with %d shards", name, len(c.shards))
+		}
+		return c, nil
+	}
+	var sp IndexSpec
+	if spec != nil {
+		sp = *spec
+	}
+	if shards == 0 {
+		shards = s.cfg.DefaultShards
+	}
+	c, err := newCollection(name, sp, shards, s.cfg.Seed+uint64(len(s.cols))*0x100000001b3)
+	if err != nil {
+		return nil, err
+	}
+	s.cols[name] = c
+	return c, nil
+}
+
+// Ingest appends records into the named collection (creating it on
+// first use), then explicitly invalidates the collection's cached
+// query results. It returns the new version and the number of cache
+// entries dropped.
+func (s *Server) Ingest(name string, spec *IndexSpec, shards int, recs []store.Record) (version uint64, invalidated int, err error) {
+	c, err := s.EnsureCollection(name, spec, shards)
+	if err != nil {
+		return 0, 0, err
+	}
+	version, err = c.Ingest(recs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return version, s.cache.invalidate(name), nil
+}
+
+// SearchResult is one query's outcome within a batch.
+type SearchResult struct {
+	Hits   []Hit
+	Cached bool
+	Err    error
+}
+
+// Search answers a batch of top-k queries against the named collection.
+// Single queries fan out across the shards on the worker pool; batches
+// run one query per worker so a 1k-query request saturates every core.
+// Results are served from / stored into the LRU cache keyed by the
+// collection version observed at entry.
+func (s *Server) Search(name string, queries []vec.Vector, k int, unsigned bool) ([]SearchResult, error) {
+	c, ok := s.Collection(name)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown collection %q", name)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("server: empty query batch")
+	}
+	version := c.Version()
+	out := make([]SearchResult, len(queries))
+	one := func(i int, fanPool *Pool) {
+		qstart := time.Now()
+		key := cacheKey(name, version, k, unsigned, queries[i])
+		if hits, ok := s.cache.get(key); ok {
+			out[i] = SearchResult{Hits: hits, Cached: true}
+			c.lat.observe(time.Since(qstart))
+			return
+		}
+		hits, err := c.SearchOne(fanPool, queries[i], k, unsigned)
+		if err != nil {
+			out[i] = SearchResult{Err: err}
+			return
+		}
+		s.cache.put(name, key, hits)
+		out[i] = SearchResult{Hits: hits}
+		c.lat.observe(time.Since(qstart))
+	}
+	if len(queries) == 1 {
+		one(0, s.pool)
+	} else {
+		s.pool.ForEach(len(queries), func(i int) { one(i, nil) })
+	}
+	return out, nil
+}
+
+// JoinRequest asks for an approximate (cs, s) join: for each query
+// vector in the Queries collection, report a partner from the Data
+// collection per Definition 1.
+type JoinRequest struct {
+	// Data and Queries name the two collections (P and Q).
+	Data    string `json:"data"`
+	Queries string `json:"queries"`
+	// Engine is "exact", "lsh" or "sketch" (default "exact").
+	Engine string `json:"engine,omitempty"`
+	// Variant is "signed" (default) or "unsigned".
+	Variant string `json:"variant,omitempty"`
+	// S is the promise threshold, C the approximation factor
+	// (default 1).
+	S float64 `json:"s"`
+	C float64 `json:"c,omitempty"`
+	// K, L shape the LSH banding (defaults 8, 16); Kappa, Copies the
+	// sketch engine (defaults 2, 9).
+	K      int     `json:"k,omitempty"`
+	L      int     `json:"l,omitempty"`
+	Kappa  float64 `json:"kappa,omitempty"`
+	Copies int     `json:"copies,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+}
+
+// JoinPair is one reported pair, in record-ID space.
+type JoinPair struct {
+	DataID  int     `json:"data_id"`
+	QueryID int     `json:"query_id"`
+	Value   float64 `json:"value"`
+}
+
+// JoinResponse is the join outcome.
+type JoinResponse struct {
+	Engine   string     `json:"engine"`
+	Pairs    []JoinPair `json:"pairs"`
+	Compared int64      `json:"compared"`
+	TookMS   float64    `json:"took_ms"`
+}
+
+// Join runs the requested join over current snapshots of the two
+// collections and maps matches back to record IDs.
+func (s *Server) Join(req JoinRequest) (*JoinResponse, error) {
+	dataCol, ok := s.Collection(req.Data)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown data collection %q", req.Data)
+	}
+	queryCol, ok := s.Collection(req.Queries)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown queries collection %q", req.Queries)
+	}
+	sp := core.Spec{S: req.S, C: req.C}
+	if sp.C == 0 {
+		sp.C = 1
+	}
+	switch req.Variant {
+	case "", "signed":
+		sp.Variant = core.Signed
+	case "unsigned":
+		sp.Variant = core.Unsigned
+	default:
+		return nil, fmt.Errorf("server: unknown variant %q", req.Variant)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	engine, err := joinEngine(req)
+	if err != nil {
+		return nil, err
+	}
+	dataRel, _ := dataCol.Relation()
+	queryRel, _ := queryCol.Relation()
+	if len(dataRel.Recs) == 0 || len(queryRel.Recs) == 0 {
+		return nil, fmt.Errorf("server: join requires non-empty collections")
+	}
+	if dataRel.Dim != queryRel.Dim {
+		return nil, fmt.Errorf("server: dimension mismatch: %q has %d, %q has %d",
+			req.Data, dataRel.Dim, req.Queries, queryRel.Dim)
+	}
+	start := time.Now()
+	res, err := engine.Join(dataRel.Vectors(), queryRel.Vectors(), sp)
+	if err != nil {
+		return nil, err
+	}
+	s.joins.Add(1)
+	resp := &JoinResponse{
+		Engine:   engine.Name(),
+		Pairs:    make([]JoinPair, len(res.Matches)),
+		Compared: res.Compared,
+		TookMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for i, m := range res.Matches {
+		resp.Pairs[i] = JoinPair{
+			DataID:  dataRel.Recs[m.PIdx].ID,
+			QueryID: queryRel.Recs[m.QIdx].ID,
+			Value:   m.Value,
+		}
+	}
+	return resp, nil
+}
+
+// joinEngine builds the core engine for a join request.
+func joinEngine(req JoinRequest) (core.Engine, error) {
+	switch req.Engine {
+	case "", "exact":
+		return core.Exact{}, nil
+	case "lsh":
+		k, l := defaultBanding(req.K, req.L)
+		return core.LSH{
+			NewFamily: func(d int) (lsh.Family, error) { return lsh.NewHyperplane(d) },
+			K:         k, L: l, Seed: req.Seed,
+		}, nil
+	case "sketch":
+		kappa, copies := defaultSketch(req.Kappa, req.Copies)
+		return core.Sketch{Kappa: kappa, Copies: copies, Seed: req.Seed}, nil
+	}
+	return nil, fmt.Errorf("server: unknown join engine %q", req.Engine)
+}
+
+// Stats snapshots the whole server for /stats.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	cols := make(map[string]*Collection, len(s.cols))
+	for n, c := range s.cols {
+		cols[n] = c
+	}
+	s.mu.RUnlock()
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.pool.Workers(),
+		Cache: CacheStats{
+			Capacity:      s.cfg.CacheCapacity,
+			Size:          s.cache.len(),
+			Hits:          s.cache.hits.Load(),
+			Misses:        s.cache.misses.Load(),
+			Invalidations: s.cache.invalidations.Load(),
+		},
+		Collections: make(map[string]CollectionStats, len(cols)),
+		Joins:       s.joins.Load(),
+	}
+	for n, c := range cols {
+		st.Collections[n] = c.statsSnapshot()
+	}
+	return st
+}

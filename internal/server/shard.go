@@ -1,0 +1,126 @@
+package server
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/vec"
+)
+
+// shard owns one horizontal slice of a collection. All mutation happens
+// on the shard's dedicated goroutine (the ops loop), so index rebuilds
+// for different shards of one ingest proceed in parallel without locks;
+// readers see a consistent (ids, vectors, index) triple through a
+// single atomic snapshot pointer and never block on writers.
+type shard struct {
+	id      int
+	seed    uint64
+	snap    atomic.Pointer[shardSnap]
+	ops     chan func()
+	done    chan struct{}
+	queries atomic.Int64
+}
+
+// shardSnap is an immutable shard state: parallel id/vector slices and
+// the index built over the vectors (local index i ↔ global ID ids[i]).
+type shardSnap struct {
+	ids   []int
+	vecs  []vec.Vector
+	index ShardIndex
+}
+
+func newShard(id int, seed uint64) *shard {
+	s := &shard{
+		id:   id,
+		seed: seed,
+		ops:  make(chan func()),
+		done: make(chan struct{}),
+	}
+	s.snap.Store(&shardSnap{index: emptyIndex{}})
+	go s.loop()
+	return s
+}
+
+// loop is the owner goroutine: it applies mutations one at a time.
+func (s *shard) loop() {
+	defer close(s.done)
+	for fn := range s.ops {
+		fn()
+	}
+}
+
+// close stops the owner goroutine (idempotent callers must not race).
+func (s *shard) close() {
+	close(s.ops)
+	<-s.done
+}
+
+// prepare builds — but does not publish — the snapshot that would
+// result from appending (ids, vs) and rebuilding the index under the
+// given spec. The build runs on the owner goroutine, so prepares for
+// different shards of one ingest proceed in parallel; the current
+// snapshot stays live for concurrent readers throughout. The caller
+// publishes the result with commit only once every shard's prepare
+// has succeeded, keeping a failed ingest free of side effects.
+func (s *shard) prepare(spec IndexSpec, ids []int, vs []vec.Vector) (*shardSnap, error) {
+	type result struct {
+		snap *shardSnap
+		err  error
+	}
+	resc := make(chan result, 1)
+	s.ops <- func() {
+		old := s.snap.Load()
+		nids := make([]int, 0, len(old.ids)+len(ids))
+		nids = append(nids, old.ids...)
+		nids = append(nids, ids...)
+		nvecs := make([]vec.Vector, 0, len(old.vecs)+len(vs))
+		nvecs = append(nvecs, old.vecs...)
+		nvecs = append(nvecs, vs...)
+		index, err := buildShardIndex(spec, nvecs, s.seed)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		resc <- result{snap: &shardSnap{ids: nids, vecs: nvecs, index: index}}
+	}
+	r := <-resc
+	return r.snap, r.err
+}
+
+// commit publishes a prepared snapshot on the owner goroutine.
+func (s *shard) commit(snap *shardSnap) {
+	done := make(chan struct{})
+	s.ops <- func() {
+		s.snap.Store(snap)
+		close(done)
+	}
+	<-done
+}
+
+// topK answers a query against the current snapshot, translating local
+// hit indices to global record IDs. The returned list keeps the
+// canonical (score descending, global ID ascending) order so the k-way
+// merge's tie-breaking is exact even when the ID-to-shard assignment
+// does not preserve ID order within a shard.
+func (s *shard) topK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	snap := s.snap.Load()
+	s.queries.Add(1)
+	local, err := snap.index.TopK(q, k, unsigned)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Hit, len(local))
+	for i, h := range local {
+		out[i] = Hit{ID: snap.ids[h.ID], Score: h.Score}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}
+
+// size returns the current record count.
+func (s *shard) size() int { return len(s.snap.Load().ids) }

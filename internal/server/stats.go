@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyRing records the most recent query latencies in a fixed ring
+// and reports quantiles over the retained window. A bounded window
+// keeps /stats O(1) in traffic and biases the percentiles toward
+// current behaviour, which is what an operator wants to see.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []float64 // milliseconds
+	pos   int
+	count int
+}
+
+const latencyWindow = 4096
+
+func newLatencyRing() *latencyRing {
+	return &latencyRing{buf: make([]float64, latencyWindow)}
+}
+
+// observe records one query duration.
+func (r *latencyRing) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.pos] = ms
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns the requested latency quantiles in milliseconds
+// over the retained window, or nil when nothing has been recorded.
+func (r *latencyRing) quantiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	sample := make([]float64, r.count)
+	copy(sample, r.buf[:r.count])
+	r.mu.Unlock()
+	if len(sample) == 0 {
+		return nil
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = stats.Quantile(sample, q)
+	}
+	return out
+}
+
+// LatencyStats is the percentile summary exposed by /stats.
+type LatencyStats struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+// summary renders the ring as a LatencyStats (zero value when empty).
+func (r *latencyRing) summary() LatencyStats {
+	qs := r.quantiles(0.50, 0.90, 0.99)
+	if qs == nil {
+		return LatencyStats{}
+	}
+	return LatencyStats{P50: qs[0], P90: qs[1], P99: qs[2]}
+}
+
+// ShardStats describes one shard in /stats.
+type ShardStats struct {
+	ID      int   `json:"id"`
+	Records int   `json:"records"`
+	Queries int64 `json:"queries"`
+}
+
+// CollectionStats describes one collection in /stats.
+type CollectionStats struct {
+	Dim     int          `json:"dim"`
+	Records int          `json:"records"`
+	Version uint64       `json:"version"`
+	Index   string       `json:"index"`
+	Queries int64        `json:"queries"`
+	Latency LatencyStats `json:"latency"`
+	Shards  []ShardStats `json:"shards"`
+}
+
+// CacheStats describes the query cache in /stats.
+type CacheStats struct {
+	Capacity      int   `json:"capacity"`
+	Size          int   `json:"size"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// Stats is the full /stats payload.
+type Stats struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Workers       int                        `json:"workers"`
+	Cache         CacheStats                 `json:"cache"`
+	Collections   map[string]CollectionStats `json:"collections"`
+	Joins         int64                      `json:"joins"`
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Versioned is a thread-safe, copy-on-write wrapper around a Relation.
+// Readers take lock-free immutable snapshots via an atomic pointer;
+// writers append under a mutex, publishing a fresh Relation value whose
+// record slice is never mutated afterwards. Each successful append bumps
+// a monotonically increasing version, published atomically with the
+// relation so cache layers can detect staleness without torn reads.
+type Versioned struct {
+	name    string
+	mu      sync.Mutex // serializes writers
+	current atomic.Pointer[versionedSnap]
+}
+
+// versionedSnap pairs a relation with its version so both are swapped
+// in a single atomic store.
+type versionedSnap struct {
+	rel     *Relation
+	version uint64
+}
+
+// NewVersioned creates an empty versioned relation with the given name.
+// The first append fixes the vector dimension.
+func NewVersioned(name string) *Versioned {
+	v := &Versioned{name: name}
+	v.current.Store(&versionedSnap{rel: &Relation{Name: name}})
+	return v
+}
+
+// Name returns the relation name.
+func (v *Versioned) Name() string { return v.name }
+
+// validateAppend checks recs against rel's dimension (adopting the
+// first record's dimension on an empty relation) and returns the
+// effective dimension.
+func validateAppend(name string, rel *Relation, recs []Record) (int, error) {
+	dim := rel.Dim
+	if dim == 0 {
+		dim = len(recs[0].Vec)
+		if dim == 0 {
+			return 0, fmt.Errorf("store: relation %q: zero-dimensional record", name)
+		}
+	}
+	for i, r := range recs {
+		if len(r.Vec) != dim {
+			return 0, fmt.Errorf("store: relation %q: appended record %d has dimension %d, want %d",
+				name, i, len(r.Vec), dim)
+		}
+	}
+	return dim, nil
+}
+
+// CheckAppend reports whether Append would accept recs against the
+// current snapshot. Callers that serialize their appends externally
+// (like the server's ingest path) can use it to validate up front and
+// treat a later Append of the same batch as infallible.
+func (v *Versioned) CheckAppend(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	rel, _ := v.Snapshot()
+	_, err := validateAppend(v.name, rel, recs)
+	return err
+}
+
+// Append validates recs against the current dimension (or adopts the
+// dimension of the first record on an empty relation), publishes a new
+// snapshot containing the old records followed by recs, and returns the
+// new version number.
+func (v *Versioned) Append(recs []Record) (uint64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	old := v.current.Load()
+	if len(recs) == 0 {
+		return old.version, nil
+	}
+	dim, err := validateAppend(v.name, old.rel, recs)
+	if err != nil {
+		return 0, err
+	}
+	next := &Relation{
+		Name: v.name,
+		Dim:  dim,
+		Recs: make([]Record, 0, len(old.rel.Recs)+len(recs)),
+	}
+	next.Recs = append(next.Recs, old.rel.Recs...)
+	next.Recs = append(next.Recs, recs...)
+	v.current.Store(&versionedSnap{rel: next, version: old.version + 1})
+	return old.version + 1, nil
+}
+
+// Snapshot returns the current immutable relation and its version.
+// Callers must not mutate the returned record slice.
+func (v *Versioned) Snapshot() (*Relation, uint64) {
+	s := v.current.Load()
+	return s.rel, s.version
+}
+
+// Len returns the current record count.
+func (v *Versioned) Len() int { return len(v.current.Load().rel.Recs) }
+
+// Version returns the current version number (0 for an empty relation).
+func (v *Versioned) Version() uint64 { return v.current.Load().version }

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestVersionedAppendAndSnapshot(t *testing.T) {
+	v := NewVersioned("r")
+	if rel, ver := v.Snapshot(); ver != 0 || len(rel.Recs) != 0 {
+		t.Fatalf("fresh snapshot: version %d, %d recs", ver, len(rel.Recs))
+	}
+	ver, err := v.Append([]Record{{ID: 0, Vec: vec.Vector{1, 2}}})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if ver != 1 {
+		t.Fatalf("version %d, want 1", ver)
+	}
+	if _, err := v.Append([]Record{{ID: 1, Vec: vec.Vector{1, 2, 3}}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := v.Append([]Record{}); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+	if v.Version() != 1 {
+		t.Fatalf("empty append bumped version to %d", v.Version())
+	}
+
+	// Old snapshots stay immutable across later appends.
+	before, _ := v.Snapshot()
+	if _, err := v.Append([]Record{{ID: 1, Vec: vec.Vector{3, 4}}}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if len(before.Recs) != 1 {
+		t.Fatalf("old snapshot mutated: %d recs", len(before.Recs))
+	}
+	after, ver := v.Snapshot()
+	if len(after.Recs) != 2 || ver != 2 {
+		t.Fatalf("new snapshot: %d recs at version %d", len(after.Recs), ver)
+	}
+}
+
+// TestVersionedConcurrent checks, under -race, that concurrent readers
+// always observe a (relation, version) pair that is mutually consistent:
+// version v contains exactly the first v batches.
+func TestVersionedConcurrent(t *testing.T) {
+	v := NewVersioned("r")
+	const batches = 50
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			if _, err := v.Append([]Record{{ID: b, Vec: vec.Vector{float64(b)}}}); err != nil {
+				t.Errorf("append %d: %v", b, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rel, ver := v.Snapshot()
+				if uint64(len(rel.Recs)) != ver {
+					t.Errorf("snapshot: %d recs at version %d", len(rel.Recs), ver)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Len() != batches {
+		t.Fatalf("final length %d, want %d", v.Len(), batches)
+	}
+}

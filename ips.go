@@ -2,7 +2,7 @@
 // Ahle, Pagh, Razenshteyn, Silvestri — "On the Complexity of Inner
 // Product Similarity Join" (PODS 2016).
 //
-// It exposes the paper's machinery in four groups:
+// It exposes the paper's machinery in five groups:
 //
 //   - Joins and search — exact, LSH-based, and linear-sketch engines for
 //     the signed/unsigned approximate (cs, s) join of Definition 1, plus
@@ -14,6 +14,9 @@
 //     collision-grid partition, and the gap bound they imply.
 //   - Upper-bound curves — the analytic ρ exponents compared in
 //     Figure 2 (DATA-DEP, SIMP, MH-ALSH).
+//   - Serving — the online layer behind cmd/ipsd: sharded collections,
+//     batched top-k MIPS with a k-way merge, an LRU query cache, and
+//     HTTP/JSON handlers (see NewServer and NewServerHandler).
 //
 // All randomized components take explicit 64-bit seeds and are exactly
 // reproducible.
@@ -21,11 +24,14 @@ package ips
 
 import (
 	"fmt"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/join"
 	"repro/internal/lsh"
+	"repro/internal/server"
 	"repro/internal/sketch"
+	"repro/internal/store"
 	"repro/internal/transform"
 	"repro/internal/vec"
 )
@@ -267,3 +273,43 @@ func NewSketchMIPS(data []Vector, kappa float64, copies int, seed uint64) (*Sket
 
 // Query returns the recovered index and its exact |pᵀq|.
 func (m *SketchMIPS) Query(q Vector) (int, float64) { return m.rec.Query(q) }
+
+// ---- Serving layer (cmd/ipsd) ----
+//
+// The online subsystem: a concurrent, sharded inner-product search and
+// join server. Collections wrap store.Relation snapshots, shard their
+// data across goroutine-owned indexes, fan queries out with a k-way
+// merge, memoize results in an LRU invalidated on ingest, and execute
+// batches on a worker pool.
+
+// ServerConfig configures NewServer.
+type ServerConfig = server.Config
+
+// Server is the serving-layer core (collections, cache, worker pool).
+type Server = server.Server
+
+// ServerIndexSpec selects the per-shard index engine of a collection
+// ("exact", "normscan", "alsh" or "sketch", plus engine parameters).
+type ServerIndexSpec = server.IndexSpec
+
+// SearchHit is one served answer: record ID and inner product.
+type SearchHit = server.Hit
+
+// ServerStats is the /stats payload (per-shard sizes, query counts,
+// latency percentiles, cache counters).
+type ServerStats = server.Stats
+
+// ServerJoinRequest asks the serving layer for an approximate (cs, s)
+// join between two collections.
+type ServerJoinRequest = server.JoinRequest
+
+// Record is a stored tuple: ID, vector payload, optional attributes.
+type Record = store.Record
+
+// NewServer creates a serving core; see ServerConfig for defaults.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewServerHandler wires a Server's HTTP/JSON API (PUT
+// /collections/{name}, POST /collections/{name}/search, POST /join,
+// GET /healthz, GET /stats).
+func NewServerHandler(s *Server) http.Handler { return server.NewHandler(s) }
