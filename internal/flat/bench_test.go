@@ -1,0 +1,68 @@
+package flat
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// BenchmarkFlatDotBatch measures the blocked columnar kernel: one full
+// DotBatch over n rows per iteration (report ns/op ÷ n for per-row
+// cost). d=16 exercises the specialized row-pair kernel, d=24 the
+// generic 4-way unrolled loop.
+func BenchmarkFlatDotBatch(b *testing.B) {
+	for _, d := range []int{16, 24} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			rng := xrand.New(1)
+			n := 20000
+			s, err := FromVectors(randomVecs(rng, n, d))
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := vec.Vector(rng.NormalVec(d))
+			out := make([]float64, n)
+			b.SetBytes(int64(n * d * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.DotBatch(q, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlatTopK measures the blocked top-10 scan (kernel plus
+// accumulator bookkeeping) against the row-slice baseline cost.
+func BenchmarkFlatTopK(b *testing.B) {
+	rng := xrand.New(2)
+	n, d := 20000, 16
+	vs := randomVecs(rng, n, d)
+	s, err := FromVectors(vs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns := NewNormSorted(s)
+	q := vec.Vector(rng.NormalVec(d))
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.TopK(q, 10, false, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("normsorted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ns.TopK(q, 10, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rowslices", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naiveTopK(vs, q, 10, false)
+		}
+	})
+}

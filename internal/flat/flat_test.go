@@ -1,0 +1,251 @@
+package flat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func randomVecs(rng *xrand.RNG, n, d int) []vec.Vector {
+	vs := make([]vec.Vector, n)
+	for i := range vs {
+		vs[i] = vec.Vector(rng.NormalVec(d))
+	}
+	return vs
+}
+
+func TestStoreShapeAndRows(t *testing.T) {
+	rng := xrand.New(1)
+	vs := randomVecs(rng, 17, 5)
+	s, err := FromVectors(vs)
+	if err != nil {
+		t.Fatalf("FromVectors: %v", err)
+	}
+	if s.Len() != 17 || s.Dim() != 5 {
+		t.Fatalf("shape = (%d, %d), want (17, 5)", s.Len(), s.Dim())
+	}
+	for i, v := range vs {
+		if !vec.EqualTol(s.Row(i), v, 0) {
+			t.Fatalf("row %d = %v, want %v", i, s.Row(i), v)
+		}
+		if s.Norm(i) != vec.Norm(v) {
+			t.Fatalf("norm %d = %v, want %v", i, s.Norm(i), vec.Norm(v))
+		}
+	}
+	rows := s.Rows()
+	if len(rows) != 17 {
+		t.Fatalf("Rows returned %d views", len(rows))
+	}
+	if &rows[3][0] != &s.data[3*5] {
+		t.Fatal("Rows views do not alias the backing array")
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	if _, err := New(-3); err == nil {
+		t.Fatal("New(-3) succeeded")
+	}
+	if _, err := FromVectors(nil); err == nil {
+		t.Fatal("FromVectors(nil) succeeded")
+	}
+	s, _ := New(3)
+	if err := s.Append(vec.Vector{1, 2}); err == nil {
+		t.Fatal("short append succeeded")
+	}
+	if err := s.AppendAll([]vec.Vector{{1, 2, 3}, {4, 5}}); err == nil {
+		t.Fatal("mixed-dimension AppendAll succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed AppendAll left %d rows behind", s.Len())
+	}
+	if err := s.Append(vec.Vector{1, 2, 3}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := s.DotBatch(vec.Vector{1, 2}, make([]float64, 1)); err == nil {
+		t.Fatal("DotBatch with wrong query dimension succeeded")
+	}
+	if err := s.DotBatch(vec.Vector{1, 2, 3}, make([]float64, 5)); err == nil {
+		t.Fatal("DotBatch with wrong out length succeeded")
+	}
+	if _, err := s.TopK(vec.Vector{1}, 1, false, 1); err == nil {
+		t.Fatal("TopK with wrong query dimension succeeded")
+	}
+	if _, err := s.TopK(vec.Vector{1, 2, 3}, 0, false, 1); err == nil {
+		t.Fatal("TopK with k=0 succeeded")
+	}
+	ns := NewNormSorted(s)
+	if _, _, err := ns.TopK(vec.Vector{1}, 1, false); err == nil {
+		t.Fatal("NormSorted.TopK with wrong query dimension succeeded")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s, _ := FromVectors([]vec.Vector{{1, 2}, {3, 4}})
+	c := s.Clone()
+	if err := c.Append(vec.Vector{5, 6}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	c.data[0] = 99
+	if s.Len() != 2 || s.data[0] != 1 {
+		t.Fatalf("clone mutation leaked into original: len=%d data[0]=%v", s.Len(), s.data[0])
+	}
+}
+
+// TestDotBatchMatchesVecDot pins the bit-identity contract: every
+// kernel path (generic, d=8, d=16 row-pair) must reproduce vec.Dot
+// exactly, because the serving layer's equivalence guarantees are built
+// on it.
+func TestDotBatchMatchesVecDot(t *testing.T) {
+	rng := xrand.New(2)
+	for _, d := range []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 64} {
+		for _, n := range []int{1, 2, 3, 257, 513} {
+			vs := randomVecs(rng, n, d)
+			s, err := FromVectors(vs)
+			if err != nil {
+				t.Fatalf("d=%d n=%d: %v", d, n, err)
+			}
+			q := vec.Vector(rng.NormalVec(d))
+			out := make([]float64, n)
+			if err := s.DotBatch(q, out); err != nil {
+				t.Fatalf("d=%d n=%d: DotBatch: %v", d, n, err)
+			}
+			for i := range vs {
+				if want := vec.Dot(vs[i], q); out[i] != want {
+					t.Fatalf("d=%d n=%d row %d: DotBatch=%v, vec.Dot=%v (must be bit-identical)",
+						d, n, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// naiveTopK is the reference top-k: score every row with vec.Dot and
+// keep the k best under (score descending, index ascending).
+func naiveTopK(vs []vec.Vector, q vec.Vector, k int, unsigned bool) []Hit {
+	a := NewAcc(k)
+	for i, v := range vs {
+		s := vec.Dot(v, q)
+		if unsigned && s < 0 {
+			s = -s
+		}
+		a.Offer(i, s)
+	}
+	return a.Hits()
+}
+
+func hitsEqual(a, b []Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTopKParallelMatchesSerial(t *testing.T) {
+	rng := xrand.New(3)
+	n, d := 3*minParallelRows+101, 16
+	vs := randomVecs(rng, n, d)
+	s, err := FromVectors(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, unsigned := range []bool{false, true} {
+		q := vec.Vector(rng.NormalVec(d))
+		serial, err := s.TopK(q, 10, unsigned, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := s.TopK(q, 10, unsigned, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hitsEqual(serial, par) {
+				t.Fatalf("unsigned=%v workers=%d: parallel %v != serial %v", unsigned, workers, par, serial)
+			}
+		}
+	}
+}
+
+// TestNormSortedEarlyTermination checks both exactness and that the
+// bound actually prunes on a norm-skewed data set.
+func TestNormSortedEarlyTermination(t *testing.T) {
+	rng := xrand.New(4)
+	n, d := 4096, 16
+	vs := randomVecs(rng, n, d)
+	// Give a handful of rows much larger norms so the descending-norm
+	// prefix resolves the top-k early.
+	for i := 0; i < 8; i++ {
+		vec.Scale(vs[rng.Intn(n)], 50)
+	}
+	s, err := FromVectors(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNormSorted(s)
+	q := vec.Vector(rng.NormalVec(d))
+	hits, scanned, err := ns.TopK(q, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naiveTopK(vs, q, 5, false); !hitsEqual(hits, want) {
+		t.Fatalf("norm-sorted hits %v != naive %v", hits, want)
+	}
+	if scanned >= n {
+		t.Fatalf("norm bound never terminated: scanned %d of %d", scanned, n)
+	}
+	t.Logf("norm-sorted scan stopped after %d of %d rows", scanned, n)
+}
+
+func TestTopKZeroAndTieVectors(t *testing.T) {
+	// Adversarial ties: duplicated rows, zero rows, sign flips.
+	vs := []vec.Vector{
+		{1, 0}, {0, 0}, {1, 0}, {-1, 0}, {0, 0}, {0.5, 0}, {1, 0},
+	}
+	s, err := FromVectors(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.Vector{2, 0}
+	for _, unsigned := range []bool{false, true} {
+		got, err := s.TopK(q, 4, unsigned, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveTopK(vs, q, 4, unsigned)
+		if !hitsEqual(got, want) {
+			t.Fatalf("unsigned=%v: got %v, want %v", unsigned, got, want)
+		}
+		nsGot, _, err := NewNormSorted(s).TopK(q, 4, unsigned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hitsEqual(nsGot, want) {
+			t.Fatalf("unsigned=%v: norm-sorted got %v, want %v", unsigned, nsGot, want)
+		}
+	}
+}
+
+func TestTopKOverAsking(t *testing.T) {
+	vs := []vec.Vector{{1}, {2}, {3}}
+	s, _ := FromVectors(vs)
+	hits, err := s.TopK(vec.Vector{1}, 10, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 || hits[0].Index != 2 || hits[0].Score != 3 {
+		t.Fatalf("over-asking returned %v", hits)
+	}
+	if math.IsNaN(hits[0].Score) {
+		t.Fatal("NaN score")
+	}
+}

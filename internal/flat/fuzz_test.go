@@ -1,0 +1,97 @@
+package flat
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// FuzzDotBatch drives the blocked columnar kernel (including the d=8
+// and d=16 specializations and the row-pair tail) against a naive
+// per-element reference, with the corpus bytes decoded as (d, row data,
+// query). The kernel must agree with compensated-naive summation to a
+// relative 1e-9 and must agree with vec.Dot exactly.
+func FuzzDotBatch(f *testing.F) {
+	mk := func(d byte, vals ...float64) []byte {
+		b := []byte{d}
+		for _, v := range vals {
+			var w [8]byte
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			b = append(b, w[:]...)
+		}
+		return b
+	}
+	f.Add(mk(1, 1, 2))
+	f.Add(mk(3, 1, 2, 3, 4, 5, 6, 0.5, -0.5, 0))
+	f.Add(mk(8, 1, 2, 3, 4, 5, 6, 7, 8, 1, 1, 1, 1, 1, 1, 1, 1))
+	f.Add(mk(16, 1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6, 7, -7, 8, -8,
+		1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 1 {
+			return
+		}
+		d := int(raw[0]%32) + 1
+		raw = raw[1:]
+		vals := make([]float64, 0, len(raw)/8)
+		for len(raw) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[:8]))
+			raw = raw[8:]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				v = 0 // keep the reference comparison meaningful
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) < 2*d {
+			return
+		}
+		q := vec.Vector(vals[:d])
+		rows := vals[d:]
+		n := len(rows) / d
+		if n == 0 {
+			return
+		}
+		vs := make([]vec.Vector, n)
+		for i := range vs {
+			vs[i] = vec.Vector(rows[i*d : (i+1)*d])
+		}
+		s, err := FromVectors(vs)
+		if err != nil {
+			t.Fatalf("FromVectors: %v", err)
+		}
+		out := make([]float64, n)
+		if err := s.DotBatch(q, out); err != nil {
+			t.Fatalf("DotBatch: %v", err)
+		}
+		for i := range vs {
+			// Exact agreement with the shared scalar kernel.
+			if want := vec.Dot(vs[i], q); out[i] != want && !(math.IsNaN(out[i]) && math.IsNaN(want)) {
+				t.Fatalf("row %d: DotBatch=%g vec.Dot=%g", i, out[i], want)
+			}
+			// Tolerance agreement with a naive left-to-right sum.
+			var naive, scale float64
+			for j := 0; j < d; j++ {
+				naive += vs[i][j] * q[j]
+				scale += math.Abs(vs[i][j] * q[j])
+			}
+			tol := 1e-9 * (scale + 1)
+			if diff := math.Abs(out[i] - naive); diff > tol && !math.IsNaN(naive) {
+				t.Fatalf("row %d: kernel %g vs naive %g (diff %g > tol %g)", i, out[i], naive, diff, tol)
+			}
+		}
+		// TopK must never panic and must stay consistent with DotBatch.
+		hits, err := s.TopK(q, 3, false, 1)
+		if err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+		for _, h := range hits {
+			if h.Index < 0 || h.Index >= n {
+				t.Fatalf("TopK returned out-of-range index %d", h.Index)
+			}
+			if h.Score != out[h.Index] && !(math.IsNaN(h.Score) && math.IsNaN(out[h.Index])) {
+				t.Fatalf("TopK score %g disagrees with DotBatch %g at row %d", h.Score, out[h.Index], h.Index)
+			}
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/flat"
 	"repro/internal/lsh"
 	"repro/internal/sketch"
 	"repro/internal/vec"
@@ -45,31 +46,57 @@ func (r Result) MatchedQueries() map[int]bool {
 
 // NaiveSigned is the exact signed join: for each q, the maximising p is
 // found by brute force and reported when pᵀq ≥ s. Time Θ(|P|·|Q|·d).
+// The scan runs through a columnar copy of P (contiguous rows, blocked
+// dot kernel), which keeps the quadratic baseline's constant factor
+// honest in the engine comparisons. Panics on dimension mismatches,
+// like vec.Dot.
 func NaiveSigned(P, Q []vec.Vector, s float64) Result {
-	var res Result
-	for qi, q := range Q {
-		best, bv := -1, math.Inf(-1)
-		for pi, p := range P {
-			res.Compared++
-			if v := vec.Dot(p, q); v > bv {
-				best, bv = pi, v
-			}
-		}
-		if best >= 0 && bv >= s {
-			res.Matches = append(res.Matches, Match{QIdx: qi, PIdx: best, Value: bv})
-		}
-	}
-	return res
+	return naiveScan(P, Q, s, false)
 }
 
 // NaiveUnsigned is the exact unsigned join (threshold on |pᵀq|).
 func NaiveUnsigned(P, Q []vec.Vector, s float64) Result {
+	return naiveScan(P, Q, s, true)
+}
+
+// naiveScan is the shared exact-join scan. For each query the argmax
+// over P comes from a columnar batch-dot pass; scores are bit-identical
+// to the per-pair vec.Dot loop because both use vec.DotKernel. Tiny
+// query sets skip the columnar packing — copying P costs as much as
+// scanning it once, so it only pays off amortized over several queries.
+func naiveScan(P, Q []vec.Vector, s float64, unsigned bool) Result {
 	var res Result
+	if len(P) == 0 || len(Q) == 0 {
+		return res
+	}
+	dots := make([]float64, len(P))
+	var fs *flat.Store
+	if len(Q) >= 4 {
+		var err error
+		if fs, err = flat.FromVectors(P); err != nil {
+			panic(fmt.Sprintf("join: %v", err))
+		}
+	}
 	for qi, q := range Q {
-		best, bv := -1, -1.0
-		for pi, p := range P {
-			res.Compared++
-			if v := vec.AbsDot(p, q); v > bv {
+		if fs != nil {
+			if err := fs.DotBatch(q, dots); err != nil {
+				panic(fmt.Sprintf("join: query %d: %v", qi, err))
+			}
+		} else {
+			for pi, p := range P {
+				dots[pi] = vec.Dot(p, q)
+			}
+		}
+		res.Compared += int64(len(P))
+		best, bv := -1, math.Inf(-1)
+		if unsigned {
+			bv = -1.0
+		}
+		for pi, v := range dots {
+			if unsigned && v < 0 {
+				v = -v
+			}
+			if v > bv {
 				best, bv = pi, v
 			}
 		}

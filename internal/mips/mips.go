@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/flat"
 	"repro/internal/vec"
 )
 
@@ -34,6 +35,52 @@ func LinearScan(data []vec.Vector, q vec.Vector) Result {
 		}
 	}
 	return res
+}
+
+// FlatLinearScan is LinearScan over a columnar store: the same Θ(nd)
+// answer, computed by the blocked contiguous kernel (bit-identical
+// scores, since both route through vec.DotKernel).
+func FlatLinearScan(fs *flat.Store, q vec.Vector) (Result, error) {
+	hits, err := fs.TopK(q, 1, false, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Index: -1, Scanned: fs.Len()}
+	if len(hits) > 0 {
+		res.Index, res.Value = hits[0].Index, hits[0].Score
+	}
+	return res, nil
+}
+
+// FlatNormPruned is NormPruned over the norm-sorted columnar view: the
+// same exact answer and the same Cauchy–Schwarz early termination, but
+// the prefix it scans is contiguous in memory (block-granular
+// termination, so Scanned can exceed NormPruned's count by at most one
+// block).
+type FlatNormPruned struct {
+	ns *flat.NormSorted
+}
+
+// NewFlatNormPruned preprocesses the store in O(n log n + n·d).
+func NewFlatNormPruned(fs *flat.Store) (*FlatNormPruned, error) {
+	if fs == nil || fs.Len() == 0 {
+		return nil, fmt.Errorf("mips: empty data set")
+	}
+	return &FlatNormPruned{ns: flat.NewNormSorted(fs)}, nil
+}
+
+// Query returns the exact MIPS answer, typically scanning only a norm
+// prefix of the data.
+func (np *FlatNormPruned) Query(q vec.Vector) (Result, error) {
+	hits, scanned, err := np.ns.TopK(q, 1, false)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Index: -1, Scanned: scanned}
+	if len(hits) > 0 {
+		res.Index, res.Value = hits[0].Index, hits[0].Score
+	}
+	return res, nil
 }
 
 // NormPruned is the descending-norm scan: data is sorted by ‖p‖ once;

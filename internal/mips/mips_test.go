@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/flat"
 	"repro/internal/vec"
 	"repro/internal/xrand"
 )
@@ -192,5 +193,60 @@ func BenchmarkMIPSBaselines(b *testing.B) {
 				query(lf.Users[i%len(lf.Users)])
 			}
 		})
+	}
+}
+
+func TestFlatLinearScanMatchesRowScan(t *testing.T) {
+	rng := xrand.New(51)
+	data := dataset.Gaussian(rng, 400, 16, false)
+	fs, err := flat.FromVectors(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := vec.Vector(rng.NormalVec(16))
+		want := LinearScan(data, q)
+		got, err := FlatLinearScan(fs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != want.Index || got.Value != want.Value {
+			t.Fatalf("trial %d: flat (%d, %v), row (%d, %v)", trial, got.Index, got.Value, want.Index, want.Value)
+		}
+		if got.Scanned != len(data) {
+			t.Fatalf("flat scan reported %d scanned, want %d", got.Scanned, len(data))
+		}
+	}
+	if _, err := FlatLinearScan(fs, vec.Vector{1}); err == nil {
+		t.Fatal("dimension mismatch did not error")
+	}
+}
+
+func TestFlatNormPrunedMatchesAndPrunes(t *testing.T) {
+	rng := xrand.New(52)
+	// Skewed norms (lognormal popularity) make the prefix bound bite.
+	lf := dataset.NewLatentFactor(rng, 4096, 8, 16, 1.0)
+	fs, err := flat.FromVectors(lf.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := NewFlatNormPruned(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalScanned := 0
+	for _, q := range lf.Users {
+		got, err := np.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgree(t, lf.Items, q, got)
+		totalScanned += got.Scanned
+	}
+	if avg := totalScanned / len(lf.Users); avg >= len(lf.Items) {
+		t.Fatalf("flat norm-pruned scan never pruned: average scanned %d of %d", avg, len(lf.Items))
+	}
+	if _, err := NewFlatNormPruned(nil); err == nil {
+		t.Fatal("nil store accepted")
 	}
 }

@@ -190,9 +190,14 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 const AutoID = -1 << 62
 
 // SearchOne answers a single top-k query. When pool is non-nil the
-// shard fan-out runs on the worker pool; otherwise shards are scanned
-// on the calling goroutine (the batch executor path, where parallelism
-// already comes from concurrent queries).
+// shard fan-out runs on the worker pool; for a single-shard collection
+// any worker slots that are idle right now are borrowed (non-blocking,
+// released at return) to split the scan across row blocks, so one query
+// against one large shard still uses every idle core while the pool's
+// shared budget keeps concurrent requests from multiplying goroutines.
+// When pool is nil (the batch executor path, where parallelism already
+// comes from concurrent queries) shards are scanned serially on the
+// calling goroutine.
 func (c *Collection) SearchOne(pool *Pool, q vec.Vector, k int, unsigned bool) ([]Hit, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("server: k=%d must be positive", k)
@@ -204,8 +209,35 @@ func (c *Collection) SearchOne(pool *Pool, q vec.Vector, k int, unsigned bool) (
 	c.queries.Add(1)
 	lists := make([][]Hit, len(c.shards))
 	errs := make([]error, len(c.shards))
+	workers := 1
+	if pool != nil && len(c.shards) == 1 {
+		// Single-shard path over an index that can split its scan: the
+		// scan runs inline on this goroutine, so borrow idle slots for
+		// row-block parallelism — but no more than the scan can spend,
+		// so excess slots aren't held hostage from concurrent requests.
+		// Borrowing must never happen on the multi-shard path below —
+		// holding slots while ForEach blocks acquiring more could
+		// deadlock concurrent searches against each other; there,
+		// parallelism comes from the shard fan-out itself.
+		want := c.shards[0].scanParallelism() - 1
+		if max := pool.Workers() - 1; want > max {
+			want = max
+		}
+		extras := 0
+		for extras < want && pool.TryAcquire() {
+			extras++
+		}
+		if extras > 0 {
+			defer func() {
+				for i := 0; i < extras; i++ {
+					pool.Release()
+				}
+			}()
+		}
+		workers = 1 + extras
+	}
 	scan := func(i int) {
-		lists[i], errs[i] = c.shards[i].topK(q, k, unsigned)
+		lists[i], errs[i] = c.shards[i].topK(q, k, unsigned, workers)
 	}
 	if pool != nil && len(c.shards) > 1 {
 		pool.ForEach(len(c.shards), scan)

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// FuzzSearchHandler throws arbitrary bytes at the search endpoint's
+// JSON decode path (and, through it, the whole flat-backed query
+// pipeline). Whatever the body, the handler must not panic, must answer
+// with 200 or a 4xx, and must emit valid JSON: malformed bodies,
+// dimension mismatches, absurd k values and NaN-free-but-weird vectors
+// all map to structured errors.
+func FuzzSearchHandler(f *testing.F) {
+	seeds := []string{
+		`{"q":[1,0,0,0]}`,
+		`{"q":[1,0,0,0],"k":3,"unsigned":true}`,
+		`{"queries":[[1,0,0,0],[0,1,0,0]],"k":2}`,
+		`{"q":[1,2]}`,                      // wrong dimension
+		`{"q":[]}`,                         // neither q nor queries
+		`{"q":[1,0,0,0],"queries":[[1]]}`,  // both set
+		`{"queries":[[1,0,0,0],[1,2]]}`,    // mixed dimensions in a batch
+		`{"q":[1,0,0,0],"k":-5}`,           // negative k
+		`{"q":[1,0,0,0],"k":999999}`,       // over-asking
+		`{"queries":[null,[1,0,0,0]]}`,     // null query row
+		`{"q":[1e308,1e308,-1e308,1e308]}`, // overflow-prone values
+		`{`,                                // truncated JSON
+		`[]`,
+		`42`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := New(Config{DefaultShards: 2, CacheCapacity: 16})
+		defer s.Close()
+		recs := make([]store.Record, 32)
+		for i := range recs {
+			v := vec.New(4)
+			v[i%4] = float64(i + 1)
+			recs[i] = store.Record{ID: i, Vec: v}
+		}
+		if _, _, err := s.Ingest("c", nil, 0, recs); err != nil {
+			t.Fatal(err)
+		}
+		h := NewHandler(s)
+		req := httptest.NewRequest(http.MethodPost, "/collections/c/search", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		res := rec.Result()
+		if res.StatusCode != http.StatusOK &&
+			(res.StatusCode < 400 || res.StatusCode >= 500) {
+			t.Fatalf("status %d for body %q (want 200 or 4xx)", res.StatusCode, body)
+		}
+		var payload any
+		if err := json.NewDecoder(res.Body).Decode(&payload); err != nil {
+			t.Fatalf("non-JSON response for body %q: %v", body, err)
+		}
+		if res.StatusCode != http.StatusOK {
+			m, ok := payload.(map[string]any)
+			if !ok || m["error"] == "" {
+				t.Fatalf("error response for body %q lacks an error field: %v", body, payload)
+			}
+		}
+	})
+}

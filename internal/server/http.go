@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
@@ -145,6 +147,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, res.Err)
 			return
 		}
+		for _, h := range res.Hits {
+			// Overflowing queries (finite on the wire, ±Inf/NaN after the
+			// inner product) would otherwise kill the JSON encoder
+			// mid-response; reject them as client errors instead.
+			if math.IsInf(h.Score, 0) || math.IsNaN(h.Score) {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("query %d produced a non-finite score for record %d", i, h.ID))
+				return
+			}
+		}
 		if res.Cached {
 			resp.Cached++
 		}
@@ -173,6 +185,13 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	for _, p := range resp.Pairs {
+		if math.IsInf(p.Value, 0) || math.IsNaN(p.Value) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("join produced a non-finite value for pair (%d, %d)", p.DataID, p.QueryID))
+			return
+		}
+	}
 	if resp.Pairs == nil {
 		resp.Pairs = []JoinPair{}
 	}
@@ -190,12 +209,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// writeJSON encodes into a buffer first: once WriteHeader has fired, an
+// encoder error (e.g. a non-finite float that slipped past the handler
+// checks) could not be reported, and the client would see a truncated
+// 200. Buffering turns that into a clean 500 with a structured body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		buf.Reset()
+		status = http.StatusInternalServerError
+		_ = json.NewEncoder(&buf).Encode(map[string]string{
+			"error": fmt.Sprintf("encoding response: %v", err),
+		})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {

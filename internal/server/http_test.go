@@ -191,3 +191,85 @@ func TestHTTPSketchUnsignedOnly(t *testing.T) {
 		t.Fatalf("unsigned query returned %d matches, want 1", len(ok.Matches))
 	}
 }
+
+// TestHTTPDimensionMismatch pins the structured-400 contract for every
+// dimension-mismatch path: mixed-dimension ingest batches, follow-up
+// batches that disagree with the collection, single and batched queries
+// of the wrong width, and overflow queries whose scores are not
+// JSON-representable. None of these may panic or return a non-JSON
+// body — they used to be able to reach vec.Dot's panic (or kill the
+// JSON encoder mid-response) through the index engines.
+func TestHTTPDimensionMismatch(t *testing.T) {
+	for _, kind := range []string{KindExact, KindNormScan, KindALSH} {
+		t.Run(kind, func(t *testing.T) {
+			s := New(Config{DefaultShards: 2})
+			defer s.Close()
+			ts := httptest.NewServer(NewHandler(s))
+			defer ts.Close()
+
+			var e map[string]string
+			// Mixed dimensions inside the very first batch.
+			if code := doJSON(t, ts, http.MethodPut, "/collections/c",
+				IngestRequest{Index: &IndexSpec{Kind: kind}, Records: []RecordJSON{
+					{Vec: []float64{1, 0, 0}},
+					{Vec: []float64{1, 0}},
+				}}, &e); code != http.StatusBadRequest || e["error"] == "" {
+				t.Fatalf("mixed-dimension first batch: status %d, error %q", code, e["error"])
+			}
+			// A rejected batch must leave no records behind.
+			if code := doJSON(t, ts, http.MethodPut, "/collections/c",
+				IngestRequest{Index: &IndexSpec{Kind: kind}, Records: []RecordJSON{
+					{Vec: []float64{0.6, 0, 0}},
+					{Vec: []float64{0, 0.6, 0}},
+				}}, nil); code != http.StatusOK {
+				t.Fatalf("clean ingest after rejected batch: status %d", code)
+			}
+			// A follow-up batch with the wrong dimension.
+			if code := doJSON(t, ts, http.MethodPut, "/collections/c",
+				IngestRequest{Records: []RecordJSON{{Vec: []float64{1, 2, 3, 4}}}}, &e); code != http.StatusBadRequest || e["error"] == "" {
+				t.Fatalf("wrong-dimension follow-up batch: status %d, error %q", code, e["error"])
+			}
+			// Single query, wrong width.
+			if code := doJSON(t, ts, http.MethodPost, "/collections/c/search",
+				SearchRequest{Q: []float64{1, 0}}, &e); code != http.StatusBadRequest || e["error"] == "" {
+				t.Fatalf("wrong-dimension single query: status %d, error %q", code, e["error"])
+			}
+			// Batch where only the second query is malformed.
+			if code := doJSON(t, ts, http.MethodPost, "/collections/c/search",
+				SearchRequest{Queries: [][]float64{{1, 0, 0}, {1, 0, 0, 0, 0}}}, &e); code != http.StatusBadRequest || e["error"] == "" {
+				t.Fatalf("wrong-dimension batched query: status %d, error %q", code, e["error"])
+			}
+			// Well-formed request, and the collection still serves.
+			var ok SearchResponse
+			if code := doJSON(t, ts, http.MethodPost, "/collections/c/search",
+				SearchRequest{Q: []float64{1, 0, 0}, K: 2, Unsigned: true}, &ok); code != http.StatusOK {
+				t.Fatalf("valid query after mismatches: status %d", code)
+			}
+			// Exact engines must return both records; alsh is
+			// candidate-based and may legitimately miss.
+			if kind != KindALSH && len(ok.Matches) != 2 {
+				t.Fatalf("valid query returned %d matches, want 2", len(ok.Matches))
+			}
+		})
+	}
+}
+
+// TestHTTPNonFiniteScores pins the fuzz-found encoder bug: a finite
+// query whose inner products overflow to ±Inf must yield a structured
+// 400, not an empty 200 from a failed JSON encode.
+func TestHTTPNonFiniteScores(t *testing.T) {
+	s := New(Config{DefaultShards: 1})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	if code := doJSON(t, ts, http.MethodPut, "/collections/big",
+		IngestRequest{Records: []RecordJSON{{Vec: []float64{1e308, 1e308}}}}, nil); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	var e map[string]string
+	if code := doJSON(t, ts, http.MethodPost, "/collections/big/search",
+		SearchRequest{Q: []float64{1e308, 1e308}}, &e); code != http.StatusBadRequest || e["error"] == "" {
+		t.Fatalf("overflowing query: status %d, error %q (want 400 with error)", code, e["error"])
+	}
+}

@@ -11,9 +11,9 @@ package server
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
+	"repro/internal/flat"
 	"repro/internal/lsh"
 	"repro/internal/sketch"
 	"repro/internal/transform"
@@ -28,13 +28,16 @@ type Hit struct {
 }
 
 // ShardIndex answers top-k MIPS queries over one shard's vectors.
-// Returned hits carry *local* indices into the build slice, are ordered
+// Returned hits carry *local* indices into the build store, are ordered
 // by decreasing score with ties broken by increasing index, and have
-// exact scores (re-verified against the raw vectors by candidate-based
-// engines).
+// exact scores (re-verified against the stored vectors by
+// candidate-based engines). Implementations must return a structured
+// error — never panic — on a query dimension mismatch.
 type ShardIndex interface {
 	// TopK returns up to k hits for q; unsigned ranks by |pᵀq|.
-	TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error)
+	// workers > 1 permits the engine to parallelize its scan across
+	// that many goroutines (engines may ignore the hint).
+	TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error)
 }
 
 // IndexSpec selects and parameterizes the per-shard index engine. The
@@ -116,26 +119,29 @@ func defaultSketch(kappa float64, copies int) (float64, int) {
 	return kappa, copies
 }
 
-// buildShardIndex constructs the index for one shard. Shard seeds are
-// derived from the spec seed so shards hash independently.
-func buildShardIndex(spec IndexSpec, vs []vec.Vector, shardSeed uint64) (ShardIndex, error) {
-	if len(vs) == 0 {
+// buildShardIndex constructs the index for one shard over its columnar
+// store. Shard seeds are derived from the spec seed so shards hash
+// independently. Candidate-based engines (alsh, sketch) index row views
+// of the store — slice headers into the contiguous backing array, no
+// float copies — and verify candidates through the store's kernel.
+func buildShardIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64) (ShardIndex, error) {
+	if fs == nil || fs.Len() == 0 {
 		return emptyIndex{}, nil
 	}
 	switch spec.kind() {
 	case KindExact:
-		return exactIndex{data: vs}, nil
+		return exactIndex{fs: fs}, nil
 	case KindNormScan:
-		return newNormScanIndex(vs), nil
+		return normScanIndex{ns: flat.NewNormSorted(fs)}, nil
 	case KindALSH:
-		return newALSHIndex(spec, vs, shardSeed)
+		return newALSHIndex(spec, fs, shardSeed)
 	case KindSketch:
 		kappa, copies := defaultSketch(spec.Kappa, spec.Copies)
-		rec, err := sketch.NewRecoverer(vs, kappa, copies, spec.Seed^shardSeed)
+		rec, err := sketch.NewRecoverer(fs.Rows(), kappa, copies, spec.Seed^shardSeed)
 		if err != nil {
 			return nil, err
 		}
-		return sketchIndex{rec: rec, data: vs}, nil
+		return sketchIndex{rec: rec, fs: fs}, nil
 	}
 	return nil, fmt.Errorf("server: unknown index kind %q", spec.Kind)
 }
@@ -143,112 +149,71 @@ func buildShardIndex(spec IndexSpec, vs []vec.Vector, shardSeed uint64) (ShardIn
 // emptyIndex serves a shard that holds no vectors yet.
 type emptyIndex struct{}
 
-func (emptyIndex) TopK(vec.Vector, int, bool) ([]Hit, error) { return nil, nil }
+func (emptyIndex) TopK(vec.Vector, int, bool, int) ([]Hit, error) { return nil, nil }
 
-// topKAcc accumulates the k best (local index, score) pairs with the
-// canonical ordering: score descending, index ascending on ties.
-type topKAcc struct {
-	k    int
-	hits []Hit
-}
-
-func (a *topKAcc) offer(id int, score float64) {
-	if len(a.hits) == a.k {
-		last := a.hits[a.k-1]
-		if score < last.Score || (score == last.Score && id > last.ID) {
-			return
-		}
-		a.hits = a.hits[:a.k-1]
+// flatHits converts flat scan hits into serving-layer hits.
+func flatHits(hs []flat.Hit) []Hit {
+	out := make([]Hit, len(hs))
+	for i, h := range hs {
+		out[i] = Hit{ID: h.Index, Score: h.Score}
 	}
-	pos := sort.Search(len(a.hits), func(i int) bool {
-		h := a.hits[i]
-		return h.Score < score || (h.Score == score && h.ID > id)
-	})
-	a.hits = append(a.hits, Hit{})
-	copy(a.hits[pos+1:], a.hits[pos:])
-	a.hits[pos] = Hit{ID: id, Score: score}
+	return out
 }
 
-// worst returns the current k-th best score, or -Inf while under-full.
-func (a *topKAcc) full() bool { return len(a.hits) == a.k }
+// parallelScanner marks indexes whose TopK can actually spend a
+// workers hint, reporting how many workers the scan can use, so the
+// serving layer only reserves the parallelism budget it will spend.
+type parallelScanner interface {
+	maxScanWorkers() int
+}
 
 // exactIndex is the Θ(nd) full scan — the ground-truth engine and the
-// default for collections that must return exact answers.
-type exactIndex struct{ data []vec.Vector }
+// default for collections that must return exact answers. It runs the
+// blocked columnar kernel, splitting the scan across workers goroutines
+// for large shards.
+type exactIndex struct{ fs *flat.Store }
 
-func (ix exactIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
-	acc := topKAcc{k: k}
-	for i, p := range ix.data {
-		v := vec.Dot(p, q)
-		if unsigned && v < 0 {
-			v = -v
-		}
-		acc.offer(i, v)
+func (ix exactIndex) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	hs, err := ix.fs.TopK(q, k, unsigned, workers)
+	if err != nil {
+		return nil, err
 	}
-	return acc.hits, nil
+	return flatHits(hs), nil
 }
 
-// normScanIndex is the exact top-k variant of mips.NormPruned: vectors
-// are visited in decreasing-norm order and the scan stops once the
-// Cauchy–Schwarz bound ‖p‖·‖q‖ — which also bounds |pᵀq| — cannot
-// displace the k-th best hit.
-type normScanIndex struct {
-	data  []vec.Vector
-	order []int
-	norms []float64
-}
+func (ix exactIndex) maxScanWorkers() int { return ix.fs.MaxScanWorkers() }
 
-func newNormScanIndex(vs []vec.Vector) *normScanIndex {
-	ix := &normScanIndex{
-		data:  vs,
-		order: make([]int, len(vs)),
-		norms: make([]float64, len(vs)),
-	}
-	for i, p := range vs {
-		ix.order[i] = i
-		ix.norms[i] = vec.Norm(p)
-	}
-	sort.Slice(ix.order, func(a, b int) bool {
-		na, nb := ix.norms[ix.order[a]], ix.norms[ix.order[b]]
-		if na != nb {
-			return na > nb
-		}
-		return ix.order[a] < ix.order[b]
-	})
-	return ix
-}
+// normScanIndex is the exact top-k variant of mips.NormPruned over the
+// norm-sorted columnar view: row-blocks are visited in decreasing-norm
+// order and the scan stops at the first block whose Cauchy–Schwarz
+// bound ‖p‖·‖q‖ — which also bounds |pᵀq| — cannot displace the k-th
+// best hit.
+type normScanIndex struct{ ns *flat.NormSorted }
 
-func (ix *normScanIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
-	qn := vec.Norm(q)
-	acc := topKAcc{k: k}
-	for _, i := range ix.order {
-		if acc.full() && ix.norms[i]*qn < acc.hits[k-1].Score {
-			break // no remaining vector can enter the top k
-		}
-		v := vec.Dot(ix.data[i], q)
-		if unsigned && v < 0 {
-			v = -v
-		}
-		acc.offer(i, v)
+func (ix normScanIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+	hs, _, err := ix.ns.TopK(q, k, unsigned)
+	if err != nil {
+		return nil, err
 	}
-	return acc.hits, nil
+	return flatHits(hs), nil
 }
 
 // alshIndex is the §4.1 structure (SIMPLE map + hyperplane banding):
-// approximate candidates from the index, exact scores over them.
+// approximate candidates from the index, exact scores verified through
+// the shard's columnar store.
 type alshIndex struct {
-	data []vec.Vector
-	ix   *lsh.Index
-	u    float64
+	fs *flat.Store
+	ix *lsh.Index
+	u  float64
 }
 
-func newALSHIndex(spec IndexSpec, vs []vec.Vector, shardSeed uint64) (*alshIndex, error) {
+func newALSHIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64) (*alshIndex, error) {
 	u := spec.U
 	if u == 0 {
 		u = 1
 	}
 	k, l := defaultBanding(spec.K, spec.L)
-	tr, err := transform.NewSimple(len(vs[0]), u)
+	tr, err := transform.NewSimple(fs.Dim(), u)
 	if err != nil {
 		return nil, err
 	}
@@ -265,22 +230,25 @@ func newALSHIndex(spec IndexSpec, vs []vec.Vector, shardSeed uint64) (*alshIndex
 	if err != nil {
 		return nil, err
 	}
-	ix.InsertAll(vs)
-	return &alshIndex{data: vs, ix: ix, u: u}, nil
+	ix.InsertAll(fs.Rows())
+	return &alshIndex{fs: fs, ix: ix, u: u}, nil
 }
 
-func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+	if len(q) != ix.fs.Dim() {
+		return nil, fmt.Errorf("server: query dimension %d, index has %d", len(q), ix.fs.Dim())
+	}
 	probe := q
 	if n := vec.Norm(q); n > ix.u {
 		probe = vec.Scaled(q, (1-1e-12)*ix.u/n)
 	}
-	acc := topKAcc{k: k}
+	acc := flat.NewAcc(k)
 	score := func(pi int) {
-		v := vec.Dot(ix.data[pi], q)
+		v := ix.fs.Dot(pi, q)
 		if unsigned && v < 0 {
 			v = -v
 		}
-		acc.offer(pi, v)
+		acc.Offer(pi, v)
 	}
 	seen := make(map[int]bool)
 	for _, pi := range ix.ix.Candidates(probe) {
@@ -295,20 +263,26 @@ func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
 			}
 		}
 	}
-	return acc.hits, nil
+	return flatHits(acc.Hits()), nil
 }
 
 // sketchIndex answers via the §4.3 trie recoverer (unsigned only,
-// top-1 by construction).
+// top-1 by construction); the recovered candidate's score is
+// re-verified against the columnar store.
 type sketchIndex struct {
-	rec  *sketch.Recoverer
-	data []vec.Vector
+	rec *sketch.Recoverer
+	fs  *flat.Store
 }
 
-func (ix sketchIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+func (ix sketchIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
 	if !unsigned {
 		return nil, fmt.Errorf("server: sketch index answers unsigned queries only")
 	}
+	if len(q) != ix.fs.Dim() {
+		return nil, fmt.Errorf("server: query dimension %d, index has %d", len(q), ix.fs.Dim())
+	}
+	// The recoverer's score is already the exact |pᵀq| over this
+	// shard's store rows (bit-identical to fs.Dot — shared kernel).
 	idx, v := ix.rec.Query(q)
 	if idx < 0 {
 		return nil, nil
@@ -338,7 +312,7 @@ func FromSearchBuilder(b core.SearchBuilder, P []vec.Vector, sp core.Spec) (Shar
 	return searcherIndex{s: s, sp: sp}, nil
 }
 
-func (ix searcherIndex) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+func (ix searcherIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
 	sp := ix.sp
 	if unsigned {
 		sp.Variant = core.Unsigned

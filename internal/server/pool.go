@@ -26,6 +26,24 @@ func NewPool(n int) *Pool {
 // Workers returns the pool parallelism.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
+// TryAcquire claims one worker slot without blocking, reporting whether
+// a slot was free. It lets callers borrow budget for extra intra-task
+// parallelism (e.g. splitting one shard scan across row blocks) while
+// keeping the pool's invariant that concurrent requests share, rather
+// than multiply, the worker budget. Every successful TryAcquire must be
+// paired with Release.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (p *Pool) Release() { <-p.sem }
+
 // ForEach invokes fn(i) for every i in [0, n) and blocks until all
 // calls return. At most Workers tasks run at once across every
 // concurrent ForEach on the pool; the feeding goroutine blocks while

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// TestConcurrentIngestSearchConsistency hammers a flat-backed
+// collection with concurrent batch searches while an ingester appends
+// batches, under -race in CI. The invariant: a query must never observe
+// a partially-published columnar store. Record i's vector is
+// (i+1)·e_{i mod d}, so against the all-ones query every legitimate hit
+// for ID i scores exactly i+1 — any torn row (zeros, half-copied data)
+// would surface as a score that disagrees with its ID.
+func TestConcurrentIngestSearchConsistency(t *testing.T) {
+	const (
+		d         = 8
+		batches   = 30
+		batchSize = 50
+		searchers = 4
+	)
+	mkRec := func(i int) store.Record {
+		v := vec.New(d)
+		v[i%d] = float64(i + 1)
+		return store.Record{ID: i, Vec: v}
+	}
+	for _, kind := range []string{KindExact, KindNormScan} {
+		t.Run(kind, func(t *testing.T) {
+			s := New(Config{DefaultShards: 4, CacheCapacity: -1})
+			defer s.Close()
+			// Seed one batch so searches always have data.
+			first := make([]store.Record, batchSize)
+			for i := range first {
+				first[i] = mkRec(i)
+			}
+			if _, _, err := s.Ingest("c", &IndexSpec{Kind: kind}, 4, first); err != nil {
+				t.Fatal(err)
+			}
+
+			q := vec.New(d)
+			for i := range q {
+				q[i] = 1
+			}
+			queries := []vec.Vector{q, q, q, q}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			errs := make(chan error, searchers+1)
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer stop.Store(true)
+				for b := 1; b < batches; b++ {
+					recs := make([]store.Record, batchSize)
+					for i := range recs {
+						recs[i] = mkRec(b*batchSize + i)
+					}
+					if _, _, err := s.Ingest("c", nil, 0, recs); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+
+			for w := 0; w < searchers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !stop.Load() {
+						res, err := s.Search("c", queries, 20, false)
+						if err != nil {
+							errs <- err
+							return
+						}
+						for _, r := range res {
+							if r.Err != nil {
+								errs <- r.Err
+								return
+							}
+							for _, h := range r.Hits {
+								if want := float64(h.ID + 1); h.Score != want {
+									t.Errorf("kind=%s: hit ID %d scored %v, want %v (torn snapshot?)",
+										kind, h.ID, h.Score, want)
+									return
+								}
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// After the dust settles, the full ranking must be exact.
+			res, err := s.Search("c", []vec.Vector{q}, 5, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := batches * batchSize
+			for i, h := range res[0].Hits {
+				if want := total - i; h.ID != want-1 || h.Score != float64(want) {
+					t.Fatalf("kind=%s final rank %d: got ID %d score %v, want ID %d score %d",
+						kind, i, h.ID, h.Score, want-1, want)
+				}
+			}
+		})
+	}
+}

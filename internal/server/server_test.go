@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/flat"
 	"repro/internal/mips"
 	"repro/internal/store"
 	"repro/internal/vec"
@@ -25,15 +26,15 @@ func records(vs []vec.Vector, base int) []store.Record {
 // exactTopK is the reference answer: full scan with the canonical
 // (score descending, ID ascending) ordering.
 func exactTopK(recs []store.Record, q vec.Vector, k int, unsigned bool) []Hit {
-	acc := topKAcc{k: k}
+	acc := flat.NewAcc(k)
 	for _, r := range recs {
 		v := vec.Dot(r.Vec, q)
 		if unsigned && v < 0 {
 			v = -v
 		}
-		acc.offer(r.ID, v)
+		acc.Offer(r.ID, v)
 	}
-	return acc.hits
+	return flatHits(acc.Hits())
 }
 
 func TestMergeTopK(t *testing.T) {
@@ -331,7 +332,7 @@ func TestShardPrepareFailureLeavesSnapshot(t *testing.T) {
 	if sh.size() != 1 {
 		t.Fatalf("failed prepare changed shard size to %d", sh.size())
 	}
-	hits, err := sh.topK(vec.Vector{1, 0}, 1, false)
+	hits, err := sh.topK(vec.Vector{1, 0}, 1, false, 1)
 	if err != nil || len(hits) != 1 || hits[0].ID != 0 {
 		t.Fatalf("shard unusable after failed prepare: hits=%v err=%v", hits, err)
 	}
@@ -413,7 +414,7 @@ func TestSearcherIndexAdapter(t *testing.T) {
 		t.Fatalf("FromSearchBuilder: %v", err)
 	}
 	q := vec.Normalized(data[17])
-	hits, err := ix.TopK(q, 1, false)
+	hits, err := ix.TopK(q, 1, false, 1)
 	if err != nil {
 		t.Fatalf("TopK: %v", err)
 	}

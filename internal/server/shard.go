@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/flat"
 	"repro/internal/vec"
 )
 
@@ -21,11 +22,13 @@ type shard struct {
 	queries atomic.Int64
 }
 
-// shardSnap is an immutable shard state: parallel id/vector slices and
-// the index built over the vectors (local index i ↔ global ID ids[i]).
+// shardSnap is an immutable shard state: the id slice, the columnar
+// vector store, and the index built over the store (local row i ↔
+// global ID ids[i]). Snapshots are never mutated after publication, so
+// readers holding one can scan the store without synchronization.
 type shardSnap struct {
 	ids   []int
-	vecs  []vec.Vector
+	fs    *flat.Store
 	index ShardIndex
 }
 
@@ -73,18 +76,45 @@ func (s *shard) prepare(spec IndexSpec, ids []int, vs []vec.Vector) (*shardSnap,
 		nids := make([]int, 0, len(old.ids)+len(ids))
 		nids = append(nids, old.ids...)
 		nids = append(nids, ids...)
-		nvecs := make([]vec.Vector, 0, len(old.vecs)+len(vs))
-		nvecs = append(nvecs, old.vecs...)
-		nvecs = append(nvecs, vs...)
-		index, err := buildShardIndex(spec, nvecs, s.seed)
+		nfs, err := appendStore(old.fs, vs)
 		if err != nil {
 			resc <- result{err: err}
 			return
 		}
-		resc <- result{snap: &shardSnap{ids: nids, vecs: nvecs, index: index}}
+		index, err := buildShardIndex(spec, nfs, s.seed)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		resc <- result{snap: &shardSnap{ids: nids, fs: nfs, index: index}}
 	}
 	r := <-resc
 	return r.snap, r.err
+}
+
+// appendStore builds the columnar store for the next snapshot: a deep
+// copy of the current store (which must stay live for readers) plus
+// the new rows. A nil old store adopts the batch's dimension.
+func appendStore(old *flat.Store, vs []vec.Vector) (*flat.Store, error) {
+	if len(vs) == 0 {
+		return old, nil
+	}
+	var nfs *flat.Store
+	var err error
+	if old == nil {
+		nfs, err = flat.New(len(vs[0]))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Reserve the batch's rows up front so the existing data is
+		// copied exactly once per snapshot rebuild.
+		nfs = old.CloneGrow(len(vs))
+	}
+	if err := nfs.AppendAll(vs); err != nil {
+		return nil, err
+	}
+	return nfs, nil
 }
 
 // commit publishes a prepared snapshot on the owner goroutine.
@@ -98,14 +128,15 @@ func (s *shard) commit(snap *shardSnap) {
 }
 
 // topK answers a query against the current snapshot, translating local
-// hit indices to global record IDs. The returned list keeps the
-// canonical (score descending, global ID ascending) order so the k-way
-// merge's tie-breaking is exact even when the ID-to-shard assignment
-// does not preserve ID order within a shard.
-func (s *shard) topK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+// hit indices to global record IDs. workers is the intra-shard scan
+// parallelism hint passed through to the index. The returned list keeps
+// the canonical (score descending, global ID ascending) order so the
+// k-way merge's tie-breaking is exact even when the ID-to-shard
+// assignment does not preserve ID order within a shard.
+func (s *shard) topK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
 	snap := s.snap.Load()
 	s.queries.Add(1)
-	local, err := snap.index.TopK(q, k, unsigned)
+	local, err := snap.index.TopK(q, k, unsigned, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -124,3 +155,16 @@ func (s *shard) topK(q vec.Vector, k int, unsigned bool) ([]Hit, error) {
 
 // size returns the current record count.
 func (s *shard) size() int { return len(s.snap.Load().ids) }
+
+// scanParallelism returns how many workers the current snapshot's
+// index can actually spend on one scan (1 when the engine ignores the
+// hint or the shard is too small — large flat-backed exact shards
+// only).
+func (s *shard) scanParallelism() int {
+	if p, ok := s.snap.Load().index.(parallelScanner); ok {
+		if w := p.maxScanWorkers(); w > 1 {
+			return w
+		}
+	}
+	return 1
+}

@@ -253,3 +253,28 @@ func TestClone(t *testing.T) {
 		t.Fatalf("Dim = %d", x.Dim())
 	}
 }
+
+// TestDotKernelMatchesDot pins the kernel contract: Dot must equal
+// DotKernel for every length (odd tails included), and DotKernel must
+// tolerate a longer second operand, reading only len(x) elements.
+func TestDotKernelMatchesDot(t *testing.T) {
+	for d := 0; d <= 40; d++ {
+		x, y := make(Vector, d), make(Vector, d+3)
+		for i := 0; i < d; i++ {
+			x[i] = float64(i%7) - 2.5
+			y[i] = float64((i*3)%11) - 4.5
+		}
+		y[len(y)-1] = 1e18 // must never be read
+		want := Dot(x, y[:d])
+		if got := DotKernel(x, y); got != want {
+			t.Fatalf("d=%d: DotKernel=%v, Dot=%v", d, got, want)
+		}
+		var naive float64
+		for i := range x {
+			naive += x[i] * y[i]
+		}
+		if diff := math.Abs(want - naive); diff > 1e-9 {
+			t.Fatalf("d=%d: kernel %v vs naive %v", d, want, naive)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/flat"
 	"repro/internal/join"
 	"repro/internal/lsh"
 	"repro/internal/server"
@@ -230,6 +231,30 @@ func BruteMIPS(data []Vector, q Vector, unsigned bool) (int, float64) {
 		}
 	}
 	return best, bv
+}
+
+// FlatStore is the columnar vector store behind every brute-force scan
+// in the repo: n×d vectors packed into one contiguous float64 array
+// with precomputed norms, scanned by blocked multi-accumulator kernels.
+// Use it when issuing many exact scans over a fixed data set — the
+// contiguous layout is typically several times faster than a
+// []ips.Vector scan and returns bit-identical scores.
+type FlatStore = flat.Store
+
+// FlatHit is one flat-scan answer: row index and (absolute, for
+// unsigned) inner product.
+type FlatHit = flat.Hit
+
+// NewFlatStore packs data into a columnar store. All vectors must share
+// one positive dimension.
+func NewFlatStore(data []Vector) (*FlatStore, error) { return flat.FromVectors(data) }
+
+// FlatTopK returns the exact top-k over a flat store under the
+// canonical (score descending, index ascending) ordering, splitting the
+// scan over `workers` goroutines when workers > 1 and the store is
+// large enough.
+func FlatTopK(s *FlatStore, q Vector, k int, unsigned bool, workers int) ([]FlatHit, error) {
+	return s.TopK(q, k, unsigned, workers)
 }
 
 // NormRangeMIPS is the norm-banded variant of the §4.1 index: data is

@@ -13,10 +13,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
-FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK}"
+OUT="${1:-BENCH_2.json}"
+FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat}"
 TIME="${BENCH_TIME:-200ms}"
-PKGS="${BENCH_PKGS:-./internal/server/}"
+PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
