@@ -1,14 +1,22 @@
 // Command ipsjoin is the general join driver: it generates (or loads) a
-// workload, runs the selected engine on the signed or unsigned (cs, s)
-// join, verifies the Definition 1 guarantee by brute force, and prints
-// a summary with work counters. Workloads can be persisted with -save
-// and replayed with -load for exact reruns.
+// workload, packs it into columnar flat stores, runs the selected join
+// engine on the signed or unsigned (cs, s) join, verifies the
+// Definition 1 guarantee by brute force, and prints a summary with work
+// counters. Workloads can be persisted with -save and replayed with
+// -load for exact reruns.
+//
+// Engines: "exact" is the blocked tiled P×Q kernel (the default),
+// "normpruned" adds Cauchy–Schwarz tile skipping, "lsh" and "sketch"
+// are the approximate engines, and "naive" is the row-slice reference
+// scan (the benchmark baseline; it thresholds at s and ignores -c and
+// -topk). -workers > 1 spreads query tiles over a bounded worker pool.
 //
 // Usage:
 //
-//	ipsjoin [-engine exact|lsh|sketch] [-variant signed|unsigned]
-//	        [-workload planted|latent|binary] [-n 1000] [-nq 100]
-//	        [-d 32] [-s 0.9] [-c 0.5] [-kappa 3] [-seed 1] [-verify]
+//	ipsjoin [-engine exact|normpruned|lsh|sketch|naive]
+//	        [-variant signed|unsigned] [-workload planted|latent|binary]
+//	        [-n 1000] [-nq 100] [-d 32] [-s 0.9] [-c 0.5] [-topk 0]
+//	        [-workers 1] [-kappa 3] [-k 8] [-l 16] [-seed 1] [-verify]
 //	        [-save PREFIX] [-load PREFIX]
 package main
 
@@ -20,21 +28,26 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/flat"
+	"repro/internal/join"
 	"repro/internal/lsh"
+	"repro/internal/server"
 	"repro/internal/vec"
 	"repro/internal/vecio"
 	"repro/internal/xrand"
 )
 
 func main() {
-	engine := flag.String("engine", "lsh", "exact | lsh | sketch")
+	engine := flag.String("engine", "exact", "exact | normpruned | lsh | sketch | naive")
 	variant := flag.String("variant", "signed", "signed | unsigned")
 	workload := flag.String("workload", "planted", "planted | latent | binary")
 	n := flag.Int("n", 1000, "|P|")
 	nq := flag.Int("nq", 100, "|Q|")
 	d := flag.Int("d", 32, "dimension")
 	s := flag.Float64("s", 0.9, "promise threshold s")
-	c := flag.Float64("c", 0.5, "approximation factor c")
+	c := flag.Float64("c", 0.5, "approximation factor c (exact engines accept at c·s too)")
+	topk := flag.Int("topk", 0, "report up to k pairs per query (0 = best pair only)")
+	workers := flag.Int("workers", 1, "parallel query-tile workers")
 	kappa := flag.Float64("kappa", 3, "sketch ℓ_κ parameter")
 	k := flag.Int("k", 8, "LSH hashes per table")
 	l := flag.Int("l", 16, "LSH tables")
@@ -73,31 +86,63 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown variant %q", *variant))
 	}
+	if err := sp.Validate(); err != nil {
+		fail(err)
+	}
 
-	var eng core.Engine
+	fp, err := flat.FromVectors(P)
+	if err != nil {
+		fail(err)
+	}
+	fq, err := flat.FromVectors(Q)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := join.Opts{Unsigned: sp.Variant == core.Unsigned, TopK: *topk}
+	if *workers > 1 {
+		opts.Runner = server.NewPool(*workers)
+	}
+
+	var eng join.Engine
 	switch *engine {
-	case "exact":
-		eng = core.Exact{}
+	case "exact", "tiled":
+		eng = join.Tiled{}
+	case "normpruned":
+		eng = join.NormPruned{}
 	case "lsh":
-		eng = core.LSH{
+		eng = join.LSH{
 			NewFamily: func(dim int) (lsh.Family, error) { return lsh.NewHyperplane(dim) },
 			K:         *k, L: *l, Seed: *seed,
 		}
 	case "sketch":
-		eng = core.Sketch{Kappa: *kappa, Copies: 9, Seed: *seed}
+		eng = join.Sketch{Kappa: *kappa, Copies: 9, Seed: *seed}
+	case "naive":
+		// Reference scan over the row slices; thresholds at s.
 	default:
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}
 
+	// Exact engines accept at c·s like the approximate ones; with the
+	// default -c they mirror the approximate runs, with -c 1 they solve
+	// the strict exact join.
+	name := *engine
 	start := time.Now()
-	res, err := eng.Join(P, Q, sp)
-	if err != nil {
-		fail(err)
+	var res join.Result
+	if eng != nil {
+		if res, err = eng.Join(fp, fq, sp.S, sp.CS(), opts); err != nil {
+			fail(err)
+		}
+		name = eng.Name()
+	} else if sp.Variant == core.Signed {
+		res = join.NaiveSigned(P, Q, sp.S)
+	} else {
+		res = join.NaiveUnsigned(P, Q, sp.S)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("engine=%s variant=%s workload=%s |P|=%d |Q|=%d d=%d s=%g c=%g\n",
-		eng.Name(), sp.Variant, *workload, len(P), len(Q), *d, sp.S, sp.C)
+	fmt.Printf("engine=%s variant=%s workload=%s |P|=%d |Q|=%d d=%d s=%g c=%g topk=%d workers=%d\n",
+		name, sp.Variant, *workload, len(P), len(Q), *d, sp.S, sp.C, *topk, *workers)
 	fmt.Printf("matches=%d compared=%d (naive would compare %d) time=%s\n",
 		len(res.Matches), res.Compared, len(P)*len(Q), elapsed.Round(time.Microsecond))
 	if *verify {

@@ -59,14 +59,30 @@ func (sp Spec) Validate() error {
 // CS returns the acceptance threshold c·s.
 func (sp Spec) CS() float64 { return sp.C * sp.S }
 
-// Engine is a join algorithm.
+// Engine is a join algorithm over row-slice operands. It is the
+// problem-layer adapter: every implementation packs its operands into
+// columnar flat stores and runs a join.Engine, so the []vec.Vector
+// surface stays stable while all scanning happens on the flat layout.
 type Engine interface {
 	Name() string
 	Join(P, Q []vec.Vector, sp Spec) (join.Result, error)
 }
 
+// runFlat validates the spec and runs the given flat engine over
+// row-slice operands through the join package's shared adapter (empty
+// operands yield an empty result, mirroring the historical naive scan
+// behaviour).
+func runFlat(e join.Engine, P, Q []vec.Vector, sp Spec, s, cs float64) (join.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return join.Result{}, err
+	}
+	return join.JoinVectors(e, P, Q, s, cs, join.Opts{Unsigned: sp.Variant == Unsigned})
+}
+
 // Exact is the brute-force engine; it solves the exact problem (c = 1
-// behaviour) and serves as ground truth.
+// behaviour — acceptance at s itself) and serves as ground truth. It
+// runs the blocked tiled kernel, which is bit-identical to the naive
+// row-slice reference.
 type Exact struct{}
 
 // Name implements Engine.
@@ -74,13 +90,7 @@ func (Exact) Name() string { return "exact" }
 
 // Join implements Engine.
 func (Exact) Join(P, Q []vec.Vector, sp Spec) (join.Result, error) {
-	if err := sp.Validate(); err != nil {
-		return join.Result{}, err
-	}
-	if sp.Variant == Signed {
-		return join.NaiveSigned(P, Q, sp.S), nil
-	}
-	return join.NaiveUnsigned(P, Q, sp.S), nil
+	return runFlat(join.Tiled{}, P, Q, sp, sp.S, sp.S)
 }
 
 // LSH is the banding-index engine over a caller-chosen family.
@@ -105,15 +115,8 @@ func (e LSH) Join(P, Q []vec.Vector, sp Spec) (join.Result, error) {
 	if e.NewFamily == nil {
 		return join.Result{}, fmt.Errorf("core: LSH engine needs NewFamily")
 	}
-	fam, err := e.NewFamily(len(P[0]))
-	if err != nil {
-		return join.Result{}, err
-	}
-	j := join.LSHJoiner{Family: fam, K: e.K, L: e.L, Seed: e.Seed}
-	if sp.Variant == Signed {
-		return j.Signed(P, Q, sp.S, sp.CS())
-	}
-	return j.Unsigned(P, Q, sp.S, sp.CS())
+	eng := join.LSH{NewFamily: e.NewFamily, K: e.K, L: e.L, Seed: e.Seed}
+	return runFlat(eng, P, Q, sp, sp.S, sp.CS())
 }
 
 // Sketch is the §4.3 linear-sketch engine (unsigned only).
@@ -134,8 +137,8 @@ func (e Sketch) Join(P, Q []vec.Vector, sp Spec) (join.Result, error) {
 	if sp.Variant != Unsigned {
 		return join.Result{}, fmt.Errorf("core: sketch engine supports unsigned joins only")
 	}
-	j := join.SketchJoiner{Kappa: e.Kappa, Copies: e.Copies, Seed: e.Seed}
-	return j.Unsigned(P, Q, sp.S, sp.CS())
+	eng := join.Sketch{Kappa: e.Kappa, Copies: e.Copies, Seed: e.Seed}
+	return runFlat(eng, P, Q, sp, sp.S, sp.CS())
 }
 
 // CheckGuarantee verifies a result against Definition 1 by brute force:

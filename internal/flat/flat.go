@@ -170,6 +170,25 @@ func (s *Store) DotBatch(q vec.Vector, out []float64) error {
 	return nil
 }
 
+// DotRange fills out[0:hi-lo] with row(i)ᵀq for i ∈ [lo, hi). It is the
+// tile primitive of the P×Q join kernels: a caller iterating row blocks
+// of one store against row blocks of another keeps both operands
+// cache-resident while every dot still runs through the shared blocked
+// kernel (bit-identical to Dot/DotBatch on the same rows).
+func (s *Store) DotRange(q vec.Vector, lo, hi int, out []float64) error {
+	if err := s.checkQuery(q); err != nil {
+		return err
+	}
+	if lo < 0 || hi > s.Len() || lo > hi {
+		return fmt.Errorf("flat: DotRange [%d, %d) out of [0, %d)", lo, hi, s.Len())
+	}
+	if len(out) != hi-lo {
+		return fmt.Errorf("flat: DotRange out length %d, want %d", len(out), hi-lo)
+	}
+	s.dotRange(q, lo, hi, out)
+	return nil
+}
+
 // dotRange fills out[0:hi-lo] with dots of rows [lo, hi). The 4-way
 // multi-accumulator loop is written out inline rather than calling
 // vec.DotKernel — Go never inlines functions containing loops, and at
@@ -437,28 +456,39 @@ type NormSorted struct {
 // original store stays live in the snapshot): keeping the norm-ordered
 // prefix contiguous is what makes the early-terminating scan stream at
 // kernel speed, and the benchmark delta over a permutation-chasing scan
-// (≈3× on the serving batch path) pays for the space.
+// (≈3× on the serving batch path) pays for the space. The sort runs
+// over concrete (norm, index) keys — the build sits on the snapshot
+// rebuild and per-join paths, where a reflective sort.Slice would cost
+// several times the row copy itself.
 func NewNormSorted(s *Store) *NormSorted {
 	n := s.Len()
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
+	type key struct {
+		norm float64
+		idx  int
 	}
-	sort.Slice(perm, func(a, b int) bool {
-		na, nb := s.norms[perm[a]], s.norms[perm[b]]
-		if na != nb {
-			return na > nb
+	keys := make([]key, n)
+	for i := range keys {
+		keys[i] = key{norm: s.norms[i], idx: i}
+	}
+	slices.SortFunc(keys, func(a, b key) int {
+		if a.norm != b.norm {
+			if a.norm > b.norm {
+				return -1
+			}
+			return 1
 		}
-		return perm[a] < perm[b]
+		return a.idx - b.idx
 	})
+	perm := make([]int, n)
 	re := &Store{
 		dim:   s.dim,
 		data:  make([]float64, len(s.data)),
 		norms: make([]float64, n),
 	}
-	for phys, orig := range perm {
-		copy(re.data[phys*s.dim:(phys+1)*s.dim], s.Row(orig))
-		re.norms[phys] = s.norms[orig]
+	for phys, k := range keys {
+		perm[phys] = k.idx
+		copy(re.data[phys*s.dim:(phys+1)*s.dim], s.Row(k.idx))
+		re.norms[phys] = k.norm
 	}
 	return &NormSorted{store: re, perm: perm}
 }
@@ -468,6 +498,16 @@ func (ns *NormSorted) Len() int { return ns.store.Len() }
 
 // Dim returns the row dimension.
 func (ns *NormSorted) Dim() int { return ns.store.dim }
+
+// Store returns the physically reordered store (rows in descending-norm
+// order; row norms via Norm are therefore monotonically non-increasing).
+// Callers must treat it as read-only — it backs this view.
+func (ns *NormSorted) Store() *Store { return ns.store }
+
+// Perm returns the physical→original index map: Perm()[i] is the
+// original row index of the reordered store's row i. The slice aliases
+// the view's state and must not be mutated.
+func (ns *NormSorted) Perm() []int { return ns.perm }
 
 // TopK returns up to k hits for q (original row indexes, canonical
 // ordering) plus the number of rows whose inner product was evaluated

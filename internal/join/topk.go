@@ -3,6 +3,7 @@ package join
 import (
 	"sort"
 
+	"repro/internal/flat"
 	"repro/internal/lsh"
 	"repro/internal/vec"
 )
@@ -10,49 +11,11 @@ import (
 // Top-k join variants: the paper's footnote observes that "it is common
 // to limit the number of occurrences of each tuple in a join result to
 // a given number k". These engines report up to k pairs per query at
-// (absolute) inner product ≥ threshold, in decreasing order.
-
-// topKAccum keeps the k best (index, value) pairs seen so far.
-type topKAccum struct {
-	k     int
-	items []Match
-}
-
-func (a *topKAccum) offer(pi int, v float64) {
-	if len(a.items) < a.k {
-		a.items = append(a.items, Match{PIdx: pi, Value: v})
-		if len(a.items) == a.k {
-			a.sortDesc()
-		}
-		return
-	}
-	if v <= a.items[a.k-1].Value {
-		return
-	}
-	a.items[a.k-1] = Match{PIdx: pi, Value: v}
-	// Bubble the new entry to place (k is small; insertion step is O(k)).
-	for i := a.k - 1; i > 0 && a.items[i].Value > a.items[i-1].Value; i-- {
-		a.items[i], a.items[i-1] = a.items[i-1], a.items[i]
-	}
-}
-
-func (a *topKAccum) sortDesc() {
-	sort.Slice(a.items, func(x, y int) bool { return a.items[x].Value > a.items[y].Value })
-}
-
-// flush appends the accumulated pairs ≥ threshold for query qi.
-func (a *topKAccum) flush(qi int, threshold float64, out *[]Match) {
-	if len(a.items) < a.k {
-		a.sortDesc()
-	}
-	for _, m := range a.items {
-		if m.Value < threshold {
-			break
-		}
-		m.QIdx = qi
-		*out = append(*out, m)
-	}
-}
+// (absolute) inner product ≥ threshold, accumulated through flat.Acc —
+// the single implementation of the canonical ordering (value
+// descending, ties toward the smaller p-index) and of NaN rejection —
+// so the tiled engines' top-k mode is bit-identical to the naive
+// references here.
 
 // NaiveSignedTopK reports, for each query, its k largest inner products
 // that clear s, in decreasing order.
@@ -62,12 +25,12 @@ func NaiveSignedTopK(P, Q []vec.Vector, s float64, k int) Result {
 		return res
 	}
 	for qi, q := range Q {
-		acc := topKAccum{k: k}
+		acc := flat.NewAcc(k)
 		for pi, p := range P {
 			res.Compared++
-			acc.offer(pi, vec.Dot(p, q))
+			acc.Offer(pi, vec.Dot(p, q))
 		}
-		acc.flush(qi, s, &res.Matches)
+		flushAcc(&acc, qi, s, &res)
 	}
 	return res
 }
@@ -80,12 +43,63 @@ func NaiveUnsignedTopK(P, Q []vec.Vector, s float64, k int) Result {
 		return res
 	}
 	for qi, q := range Q {
-		acc := topKAccum{k: k}
+		acc := flat.NewAcc(k)
 		for pi, p := range P {
 			res.Compared++
-			acc.offer(pi, vec.AbsDot(p, q))
+			acc.Offer(pi, vec.AbsDot(p, q))
 		}
-		acc.flush(qi, s, &res.Matches)
+		flushAcc(&acc, qi, s, &res)
+	}
+	return res
+}
+
+// MergePerQuery combines partial join results that share one global
+// index space — e.g. per-shard-pair joins after local→global index
+// translation — into a single Result under the canonical ordering
+// (QIdx ascending; within a query, Value descending with ties toward
+// the smaller PIdx). k > 0 keeps up to k pairs per query (top-k-pairs
+// mode); k == 0 keeps the single best pair per query (threshold mode).
+// Compared counters are summed. Partials are assumed pair-disjoint, as
+// shard-pair joins are by construction.
+func MergePerQuery(parts []Result, k int) Result {
+	keep := k
+	if keep <= 0 {
+		keep = 1
+	}
+	var res Result
+	total := 0
+	for i := range parts {
+		res.Compared += parts[i].Compared
+		total += len(parts[i].Matches)
+	}
+	if total == 0 {
+		return res
+	}
+	all := make([]Match, 0, total)
+	for i := range parts {
+		all = append(all, parts[i].Matches...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.QIdx != y.QIdx {
+			return x.QIdx < y.QIdx
+		}
+		if x.Value != y.Value {
+			return x.Value > y.Value
+		}
+		return x.PIdx < y.PIdx
+	})
+	res.Matches = make([]Match, 0, total)
+	run := 0
+	for i, m := range all {
+		if i > 0 && all[i-1].QIdx == m.QIdx {
+			run++
+		} else {
+			run = 0
+		}
+		if run < keep {
+			res.Matches = append(res.Matches, m)
+		}
 	}
 	return res
 }
@@ -108,11 +122,11 @@ func (j LSHJoiner) SignedTopK(P, Q []vec.Vector, s, cs float64, k int) (Result, 
 	for qi, q := range Q {
 		cands := ix.Candidates(q)
 		res.Compared += int64(len(cands))
-		acc := topKAccum{k: k}
+		acc := flat.NewAcc(k)
 		for _, pi := range cands {
-			acc.offer(pi, vec.Dot(P[pi], q))
+			acc.Offer(pi, vec.Dot(P[pi], q))
 		}
-		acc.flush(qi, cs, &res.Matches)
+		flushAcc(&acc, qi, cs, &res)
 	}
 	return res, nil
 }

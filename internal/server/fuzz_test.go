@@ -54,20 +54,83 @@ func FuzzSearchHandler(f *testing.F) {
 		req := httptest.NewRequest(http.MethodPost, "/collections/c/search", bytes.NewReader(body))
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req) // must not panic
-		res := rec.Result()
-		if res.StatusCode != http.StatusOK &&
-			(res.StatusCode < 400 || res.StatusCode >= 500) {
-			t.Fatalf("status %d for body %q (want 200 or 4xx)", res.StatusCode, body)
+		checkFuzzResponse(t, rec, body)
+	})
+}
+
+// checkFuzzResponse asserts the handler contract shared by the fuzz
+// targets: 200 or a structured 4xx, always valid JSON.
+func checkFuzzResponse(t *testing.T, rec *httptest.ResponseRecorder, body []byte) {
+	t.Helper()
+	res := rec.Result()
+	if res.StatusCode != http.StatusOK &&
+		(res.StatusCode < 400 || res.StatusCode >= 500) {
+		t.Fatalf("status %d for body %q (want 200 or 4xx)", res.StatusCode, body)
+	}
+	var payload any
+	if err := json.NewDecoder(res.Body).Decode(&payload); err != nil {
+		t.Fatalf("non-JSON response for body %q: %v", body, err)
+	}
+	if res.StatusCode != http.StatusOK {
+		m, ok := payload.(map[string]any)
+		var msg string
+		if ok {
+			msg, _ = m["error"].(string)
 		}
-		var payload any
-		if err := json.NewDecoder(res.Body).Decode(&payload); err != nil {
-			t.Fatalf("non-JSON response for body %q: %v", body, err)
+		if msg == "" {
+			t.Fatalf("error response for body %q lacks an error field: %v", body, payload)
 		}
-		if res.StatusCode != http.StatusOK {
-			m, ok := payload.(map[string]any)
-			if !ok || m["error"] == "" {
-				t.Fatalf("error response for body %q lacks an error field: %v", body, payload)
-			}
+	}
+}
+
+// FuzzJoinHandler throws arbitrary bytes at the join endpoint's JSON
+// path — and, through it, the whole shard-pair join pipeline: engine
+// selection, spec validation, top-k handling and the per-pair merge.
+// Bodies alternate between the two-collection route and the self-join
+// route; whatever the body, the handler must not panic and must answer
+// 200 or a structured 4xx with valid JSON.
+func FuzzJoinHandler(f *testing.F) {
+	seeds := []string{
+		`{"s":0.5}`,
+		`{"s":0.5,"engine":"normpruned","topk":3}`,
+		`{"s":0.9,"engine":"lsh","variant":"unsigned","k":2,"l":4}`,
+		`{"s":0.9,"engine":"sketch","variant":"unsigned","kappa":2}`,
+		`{"s":0.9,"engine":"sketch"}`,            // sketch is unsigned-only
+		`{"s":0.5,"engine":"warp"}`,              // unknown engine
+		`{"s":0.5,"variant":"sideways"}`,         // unknown variant
+		`{"s":-1}`,                               // invalid threshold
+		`{"s":0.5,"c":7}`,                        // c out of (0,1]
+		`{"s":0.5,"topk":-3}`,                    // negative topk
+		`{"s":0.5,"topk":999999}`,                // absurd topk
+		`{"s":1e308,"c":1e-308}`,                 // overflow-prone spec
+		`{"s":0.5,"exclude_self":true}`,          // exclusion on the pair route
+		`{"s":0.5,"data":"x","queries":"ghost"}`, // body names ignored on path routes
+		`{`, `[]`, `42`, ``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := New(Config{DefaultShards: 2, CacheCapacity: 16})
+		defer s.Close()
+		recs := make([]store.Record, 24)
+		for i := range recs {
+			v := vec.New(4)
+			v[i%4] = float64(i%5) + 1
+			recs[i] = store.Record{ID: i, Vec: v}
+		}
+		if _, _, err := s.Ingest("a", nil, 0, recs); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Ingest("b", nil, 0, recs[:7]); err != nil {
+			t.Fatal(err)
+		}
+		h := NewHandler(s)
+		for _, path := range []string{"/collections/a/join/b", "/collections/a/join"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req) // must not panic
+			checkFuzzResponse(t, rec, body)
 		}
 	})
 }

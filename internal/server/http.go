@@ -14,15 +14,22 @@ import (
 
 // NewHandler wires the server's HTTP/JSON API:
 //
-//	PUT  /collections/{name}         bulk ingest (creates on first use)
-//	POST /collections/{name}/search  top-k MIPS, single or batched
-//	POST /join                       approximate (cs, s) join
-//	GET  /healthz                    liveness
-//	GET  /stats                      shard sizes, query counts, latency
+//	PUT  /collections/{name}          bulk ingest (creates on first use)
+//	POST /collections/{name}/search   top-k MIPS, single or batched
+//	POST /collections/{a}/join/{b}    (cs, s) join: {a} is the data
+//	                                  collection P, {b} the queries Q
+//	POST /collections/{name}/join     self-join of {name}, identity
+//	                                  pairs excluded
+//	POST /join                        body-addressed join (data/queries
+//	                                  named in the request body)
+//	GET  /healthz                     liveness
+//	GET  /stats                       shard sizes, query counts, latency
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /collections/{name}", s.handleIngest)
 	mux.HandleFunc("POST /collections/{name}/search", s.handleSearch)
+	mux.HandleFunc("POST /collections/{a}/join/{b}", s.handleJoinPath)
+	mux.HandleFunc("POST /collections/{name}/join", s.handleSelfJoin)
 	mux.HandleFunc("POST /join", s.handleJoin)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -174,15 +181,56 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleJoin serves the body-addressed POST /join route.
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
+	s.serveJoin(w, req)
+}
+
+// handleJoinPath serves POST /collections/{a}/join/{b}: {a} is the data
+// collection P, {b} the queries collection Q; naming the same
+// collection twice is a self-join (identity pairs kept unless the body
+// sets exclude_self).
+func (s *Server) handleJoinPath(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	req.Data = r.PathValue("a")
+	req.Queries = r.PathValue("b")
+	s.serveJoin(w, req)
+}
+
+// handleSelfJoin serves POST /collections/{name}/join: a self-join of
+// {name} with identity pairs always excluded.
+func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	s.serveJoin(w, selfJoinRequest(r.PathValue("name"), req))
+}
+
+// serveJoin runs a resolved join request and writes the response. A
+// named-but-unknown collection maps to 404; every other rejection —
+// including a body that omits the collection names on the legacy
+// /join route — stays a 400.
+func (s *Server) serveJoin(w http.ResponseWriter, req JoinRequest) {
 	resp, err := s.Join(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if _, ok := s.Collection(req.Data); !ok && req.Data != "" {
+			status = http.StatusNotFound
+		} else if _, ok := s.Collection(req.Queries); !ok && req.Queries != "" {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
 		return
 	}
 	for _, p := range resp.Pairs {

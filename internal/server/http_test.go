@@ -109,7 +109,7 @@ func TestHTTPAPI(t *testing.T) {
 		JoinRequest{Data: "items", Queries: "users", Engine: "exact", S: 0.5}, &jr); code != http.StatusOK {
 		t.Fatalf("join status %d", code)
 	}
-	if jr.Engine != "exact" || jr.Compared != int64(len(items)*len(users)) {
+	if jr.Engine != "tiled" || jr.Compared != int64(len(items)*len(users)) {
 		t.Fatalf("join response %+v", jr)
 	}
 

@@ -1,0 +1,279 @@
+package server
+
+// Online similarity joins: the serving-layer face of the join Engine
+// layer. A join runs directly over the two collections' per-shard
+// columnar snapshots — no row materialisation — fanning the |P-shards| ×
+// |Q-shards| pairs out on the server's worker pool, translating each
+// pair's matches into record-ID space, and merging the partials per
+// query through join.MergePerQuery. Threshold mode reports the single
+// best partner per satisfied query (Definition 1); top-k-pairs mode
+// reports up to k pairs per query.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/lsh"
+)
+
+// JoinRequest asks for an approximate (cs, s) join: for each query
+// vector in the Queries collection, report partners from the Data
+// collection per Definition 1.
+type JoinRequest struct {
+	// Data and Queries name the two collections (P and Q). A self-join
+	// names the same collection twice.
+	Data    string `json:"data"`
+	Queries string `json:"queries"`
+	// Engine is "exact" (alias "tiled"), "normpruned", "lsh" or
+	// "sketch" (default "exact").
+	Engine string `json:"engine,omitempty"`
+	// Variant is "signed" (default) or "unsigned".
+	Variant string `json:"variant,omitempty"`
+	// S is the promise threshold, C the approximation factor
+	// (default 1).
+	S float64 `json:"s"`
+	C float64 `json:"c,omitempty"`
+	// TopK switches to top-k-pairs mode: up to TopK pairs per query at
+	// value ≥ c·s, in decreasing order. 0 (default) is threshold mode:
+	// the single best pair per satisfied query.
+	TopK int `json:"topk,omitempty"`
+	// ExcludeSelf drops identity pairs (same record ID on both sides)
+	// before merging — the useful default for self-joins, where every
+	// record trivially matches itself. The self-join endpoint sets it.
+	ExcludeSelf bool `json:"exclude_self,omitempty"`
+	// K, L shape the LSH banding (defaults 8, 16); Kappa, Copies the
+	// sketch engine (defaults 2, 9).
+	K      int     `json:"k,omitempty"`
+	L      int     `json:"l,omitempty"`
+	Kappa  float64 `json:"kappa,omitempty"`
+	Copies int     `json:"copies,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+}
+
+// JoinPair is one reported pair, in record-ID space.
+type JoinPair struct {
+	DataID  int     `json:"data_id"`
+	QueryID int     `json:"query_id"`
+	Value   float64 `json:"value"`
+}
+
+// JoinResponse is the join outcome. Pairs are ordered by ascending
+// query ID; within one query by decreasing value, ties toward the
+// smaller data ID.
+type JoinResponse struct {
+	Engine   string     `json:"engine"`
+	TopK     int        `json:"topk,omitempty"`
+	Pairs    []JoinPair `json:"pairs"`
+	Compared int64      `json:"compared"`
+	TookMS   float64    `json:"took_ms"`
+}
+
+// joinEngine builds the flat join engine for a request.
+func joinEngine(req JoinRequest) (join.Engine, error) {
+	switch req.Engine {
+	case "", "exact", "tiled":
+		return join.Tiled{}, nil
+	case "normpruned", "normscan":
+		return join.NormPruned{}, nil
+	case "lsh":
+		k, l := defaultBanding(req.K, req.L)
+		return join.LSH{
+			NewFamily: func(d int) (lsh.Family, error) { return lsh.NewHyperplane(d) },
+			K:         k, L: l, Seed: req.Seed,
+		}, nil
+	case "sketch":
+		kappa, copies := defaultSketch(req.Kappa, req.Copies)
+		return join.Sketch{Kappa: kappa, Copies: copies, Seed: req.Seed}, nil
+	}
+	return nil, fmt.Errorf("server: unknown join engine %q", req.Engine)
+}
+
+// joinSpec resolves and validates the (cs, s) specification.
+func joinSpec(req JoinRequest) (core.Spec, error) {
+	sp := core.Spec{S: req.S, C: req.C}
+	if sp.C == 0 {
+		sp.C = 1
+	}
+	switch req.Variant {
+	case "", "signed":
+		sp.Variant = core.Signed
+	case "unsigned":
+		sp.Variant = core.Unsigned
+	default:
+		return sp, fmt.Errorf("server: unknown variant %q", req.Variant)
+	}
+	return sp, sp.Validate()
+}
+
+// shardSnaps returns the collection's current non-empty shard
+// snapshots. Each snapshot is immutable, so a join scans it safely
+// while ingests publish newer ones.
+func (c *Collection) shardSnaps() []*shardSnap {
+	snaps := make([]*shardSnap, 0, len(c.shards))
+	for _, sh := range c.shards {
+		if snap := sh.snap.Load(); snap.fs != nil && snap.fs.Len() > 0 {
+			snaps = append(snaps, snap)
+		}
+	}
+	return snaps
+}
+
+// Join runs the requested join over current shard snapshots of the two
+// collections and maps matches back to record IDs. The exact engines
+// accept at c·s like the approximate ones (c = 1 recovers the strict
+// exact join), so the same request shape drives every engine.
+func (s *Server) Join(req JoinRequest) (*JoinResponse, error) {
+	dataCol, ok := s.Collection(req.Data)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown data collection %q", req.Data)
+	}
+	queryCol, ok := s.Collection(req.Queries)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown queries collection %q", req.Queries)
+	}
+	sp, err := joinSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.TopK < 0 {
+		return nil, fmt.Errorf("server: topk %d must be non-negative", req.TopK)
+	}
+	eng, err := joinEngine(req)
+	if err != nil {
+		return nil, err
+	}
+	dsnaps := dataCol.shardSnaps()
+	qsnaps := queryCol.shardSnaps()
+	if len(dsnaps) == 0 || len(qsnaps) == 0 {
+		return nil, fmt.Errorf("server: join requires non-empty collections")
+	}
+	if dd, qd := dsnaps[0].fs.Dim(), qsnaps[0].fs.Dim(); dd != qd {
+		return nil, fmt.Errorf("server: dimension mismatch: %q has %d, %q has %d",
+			req.Data, dd, req.Queries, qd)
+	}
+
+	// With self-exclusion the per-pair join must over-fetch by one: the
+	// identity pair can displace the legitimate answer within its shard
+	// pair (IDs are shard-disjoint, so it appears at most once per
+	// query, and only on diagonal pairs). The sketch engine cannot
+	// over-fetch — its recoverer is top-1 by construction — so a
+	// self-join through it would silently drop most answers (a query's
+	// recovered argmax is usually itself); reject it instead.
+	engineK := req.TopK
+	if req.ExcludeSelf {
+		if eng.Name() == "sketch" {
+			return nil, fmt.Errorf("server: the sketch engine reports a single pair per query and cannot exclude self-pairs; use exact, normpruned or lsh for self-joins")
+		}
+		if engineK == 0 {
+			engineK = 2
+		} else {
+			engineK++
+		}
+	}
+	unsigned := sp.Variant == core.Unsigned
+
+	start := time.Now()
+
+	// Per-P engine state (norm view, LSH index, sketch recoverer) is
+	// built once per data shard, not once per shard pair: normpruned
+	// reuses the snapshot's cached view (amortized across requests
+	// too), the other preparable engines build per request — worth it
+	// only when several query shards would otherwise each rebuild.
+	perShard := make([]join.Engine, len(dsnaps))
+	for d := range perShard {
+		perShard[d] = eng
+	}
+	if _, ok := eng.(join.NormPruned); ok {
+		for d, sn := range dsnaps {
+			perShard[d] = join.NormPruned{Sorted: sn.normSorted()}
+		}
+	} else if p, ok := eng.(join.Preparer); ok && len(qsnaps) > 1 {
+		for d, sn := range dsnaps {
+			prepared, err := p.Prepare(sn.fs)
+			if err != nil {
+				return nil, err
+			}
+			perShard[d] = prepared
+		}
+	}
+
+	type pair struct{ d, q int }
+	pairs := make([]pair, 0, len(dsnaps)*len(qsnaps))
+	for d := range dsnaps {
+		for q := range qsnaps {
+			pairs = append(pairs, pair{d, q})
+		}
+	}
+	parts := make([]join.Result, len(pairs))
+	errs := make([]error, len(pairs))
+	run := func(i int, runner join.Runner) {
+		pr := pairs[i]
+		dsnap, qsnap := dsnaps[pr.d], qsnaps[pr.q]
+		res, err := perShard[pr.d].Join(dsnap.fs, qsnap.fs, sp.S, sp.CS(),
+			join.Opts{Unsigned: unsigned, TopK: engineK, Runner: runner})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		// Translate local row indices into record-ID space; the merge
+		// below then operates on globally comparable matches.
+		keep := res.Matches[:0]
+		for _, m := range res.Matches {
+			m.PIdx = dsnap.ids[m.PIdx]
+			m.QIdx = qsnap.ids[m.QIdx]
+			if req.ExcludeSelf && m.PIdx == m.QIdx {
+				continue
+			}
+			keep = append(keep, m)
+		}
+		res.Matches = keep
+		parts[i] = res
+	}
+	if len(pairs) == 1 {
+		// A single shard pair cannot fan out, so the engine itself may
+		// spread Q-tiles over the pool with the blocking executor.
+		run(0, s.pool)
+	} else {
+		// Pair-level fan-out holds pool slots, so the per-pair Q-tile
+		// runner must never block on the same pool — the borrowing
+		// executor soaks up whatever slots the pair fan-out leaves
+		// idle (few pairs on a wide pool) and degrades to inline when
+		// there are none.
+		s.pool.ForEach(len(pairs), func(i int) { run(i, s.pool.Borrowing()) })
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := join.MergePerQuery(parts, req.TopK)
+	s.joins.Add(1)
+	resp := &JoinResponse{
+		Engine:   eng.Name(),
+		TopK:     req.TopK,
+		Pairs:    make([]JoinPair, len(merged.Matches)),
+		Compared: merged.Compared,
+		TookMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for i, m := range merged.Matches {
+		resp.Pairs[i] = JoinPair{DataID: m.PIdx, QueryID: m.QIdx, Value: m.Value}
+	}
+	return resp, nil
+}
+
+// selfJoinRequest resolves a request into the self-join of name:
+// both sides the same collection, identity pairs excluded. It is the
+// single definition of the self-join policy, shared by the
+// programmatic API and the HTTP route.
+func selfJoinRequest(name string, req JoinRequest) JoinRequest {
+	req.Data, req.Queries = name, name
+	req.ExcludeSelf = true
+	return req
+}
+
+// SelfJoin joins a collection with itself, excluding identity pairs.
+func (s *Server) SelfJoin(name string, req JoinRequest) (*JoinResponse, error) {
+	return s.Join(selfJoinRequest(name, req))
+}

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// bruteJoin computes the expected served join in record-ID space: for
+// each query record, the k best data records (1 for threshold mode) at
+// value ≥ cs, under the canonical (query ID asc; value desc; data ID
+// asc) ordering, optionally excluding identity pairs.
+func bruteJoin(data, queries []store.Record, cs float64, unsigned bool, k int, excludeSelf bool) []JoinPair {
+	if k <= 0 {
+		k = 1
+	}
+	var out []JoinPair
+	qs := append([]store.Record(nil), queries...)
+	sort.Slice(qs, func(a, b int) bool { return qs[a].ID < qs[b].ID })
+	for _, q := range qs {
+		var cands []JoinPair
+		for _, p := range data {
+			if excludeSelf && p.ID == q.ID {
+				continue
+			}
+			v := vec.Dot(p.Vec, q.Vec)
+			if unsigned && v < 0 {
+				v = -v
+			}
+			if v >= cs {
+				cands = append(cands, JoinPair{DataID: p.ID, QueryID: q.ID, Value: v})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].Value != cands[b].Value {
+				return cands[a].Value > cands[b].Value
+			}
+			return cands[a].DataID < cands[b].DataID
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		out = append(out, cands...)
+	}
+	return out
+}
+
+func samePairs(t *testing.T, label string, want, got []JoinPair) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d pairs, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: pair %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// joinWorkload ingests two collections with scattered record IDs (so
+// the ID→shard partition is exercised) and returns their records.
+func joinWorkload(t *testing.T, s *Server, nd, nq, d int, seed uint64) (data, queries []store.Record) {
+	t.Helper()
+	rng := xrand.New(seed)
+	data = make([]store.Record, nd)
+	for i := range data {
+		data[i] = store.Record{ID: i*3 + 1, Vec: vec.Vector(rng.UnitVec(d))}
+	}
+	queries = make([]store.Record, nq)
+	for i := range queries {
+		queries[i] = store.Record{ID: i * 7, Vec: vec.Vector(rng.UnitVec(d))}
+	}
+	// Plant strong partners for a few queries.
+	for i := 0; i < nq; i += 3 {
+		data[(i*5)%nd].Vec = vec.Scaled(queries[i].Vec.Clone(), 0.97)
+	}
+	if _, _, err := s.Ingest("data", nil, 0, data); err != nil {
+		t.Fatalf("ingest data: %v", err)
+	}
+	if _, _, err := s.Ingest("queries", nil, 0, queries); err != nil {
+		t.Fatalf("ingest queries: %v", err)
+	}
+	return data, queries
+}
+
+// TestServedJoinMatchesBruteForce drives Server.Join across engines,
+// modes and variants on multi-shard collections and compares the pair
+// lists against the record-space brute force.
+func TestServedJoinMatchesBruteForce(t *testing.T) {
+	s := New(Config{DefaultShards: 4})
+	defer s.Close()
+	data, queries := joinWorkload(t, s, 90, 30, 8, 21)
+	for _, engine := range []string{"exact", "normpruned"} {
+		for _, unsigned := range []bool{false, true} {
+			for _, topk := range []int{0, 3} {
+				variant := "signed"
+				if unsigned {
+					variant = "unsigned"
+				}
+				label := fmt.Sprintf("%s/%s/topk=%d", engine, variant, topk)
+				resp, err := s.Join(JoinRequest{
+					Data: "data", Queries: "queries",
+					Engine: engine, Variant: variant, S: 0.6, TopK: topk,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				want := bruteJoin(data, queries, 0.6, unsigned, topk, false)
+				samePairs(t, label, want, resp.Pairs)
+				if resp.Compared != int64(len(data))*int64(len(queries)) && engine == "exact" {
+					t.Fatalf("%s: compared %d, want %d", label, resp.Compared, len(data)*len(queries))
+				}
+			}
+		}
+	}
+}
+
+// TestJoinPathEndpoint exercises POST /collections/{a}/join/{b} end to
+// end: {a} is the data side, {b} the queries side.
+func TestJoinPathEndpoint(t *testing.T) {
+	s := New(Config{DefaultShards: 3})
+	defer s.Close()
+	data, queries := joinWorkload(t, s, 60, 20, 8, 5)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	var jr JoinResponse
+	if code := doJSON(t, ts, http.MethodPost, "/collections/data/join/queries",
+		JoinRequest{S: 0.55, TopK: 2}, &jr); code != http.StatusOK {
+		t.Fatalf("join status %d", code)
+	}
+	want := bruteJoin(data, queries, 0.55, false, 2, false)
+	samePairs(t, "path join", want, jr.Pairs)
+	if jr.Engine != "tiled" || jr.TopK != 2 {
+		t.Fatalf("response metadata %+v", jr)
+	}
+
+	// Unknown collections are 404s, bad parameters 400s.
+	if code := doJSON(t, ts, http.MethodPost, "/collections/nope/join/queries",
+		JoinRequest{S: 0.5}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown data collection status %d", code)
+	}
+	if code := doJSON(t, ts, http.MethodPost, "/collections/data/join/nope",
+		JoinRequest{S: 0.5}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown queries collection status %d", code)
+	}
+	if code := doJSON(t, ts, http.MethodPost, "/collections/data/join/queries",
+		JoinRequest{S: -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative s status %d", code)
+	}
+	if code := doJSON(t, ts, http.MethodPost, "/collections/data/join/queries",
+		JoinRequest{S: 0.5, Engine: "warp"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown engine status %d", code)
+	}
+	if code := doJSON(t, ts, http.MethodPost, "/collections/data/join/queries",
+		JoinRequest{S: 0.5, TopK: -2}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative topk status %d", code)
+	}
+	// The legacy body-addressed route: omitting the collection names is
+	// a malformed request (400), not a missing resource (404).
+	if code := doJSON(t, ts, http.MethodPost, "/join",
+		JoinRequest{S: 0.5}, nil); code != http.StatusBadRequest {
+		t.Fatalf("nameless /join status %d, want 400", code)
+	}
+	if code := doJSON(t, ts, http.MethodPost, "/join",
+		JoinRequest{Data: "data", Queries: "ghost", S: 0.5}, nil); code != http.StatusNotFound {
+		t.Fatalf("/join with unknown queries status %d, want 404", code)
+	}
+}
+
+// TestSelfJoinEndpoint checks POST /collections/{name}/join: identity
+// pairs are excluded, and each query still gets its best other-record
+// partner — not dropped outright when its own vector wins the argmax.
+func TestSelfJoinEndpoint(t *testing.T) {
+	s := New(Config{DefaultShards: 4})
+	defer s.Close()
+	rng := xrand.New(33)
+	const n, d = 80, 8
+	recs := make([]store.Record, n)
+	for i := range recs {
+		recs[i] = store.Record{ID: i, Vec: vec.Vector(rng.UnitVec(d))}
+	}
+	// Mutual near-duplicates: 10 pairs at inner product ≈ 0.98.
+	for i := 0; i < 20; i += 2 {
+		recs[i+1].Vec = vec.Scaled(recs[i].Vec.Clone(), 0.98)
+	}
+	if _, _, err := s.Ingest("c", nil, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	var jr JoinResponse
+	if code := doJSON(t, ts, http.MethodPost, "/collections/c/join",
+		JoinRequest{S: 0.9}, &jr); code != http.StatusOK {
+		t.Fatalf("self-join status %d", code)
+	}
+	want := bruteJoin(recs, recs, 0.9, false, 0, true)
+	samePairs(t, "self join", want, jr.Pairs)
+	if len(jr.Pairs) < 20 {
+		t.Fatalf("self-join found %d pairs, want ≥ 20 planted", len(jr.Pairs))
+	}
+	for _, p := range jr.Pairs {
+		if p.DataID == p.QueryID {
+			t.Fatalf("identity pair %+v reported", p)
+		}
+	}
+
+	// The sketch engine is top-1 by construction and cannot over-fetch
+	// past the identity pair — self-joins through it must be rejected,
+	// not silently emptied.
+	if code := doJSON(t, ts, http.MethodPost, "/collections/c/join",
+		JoinRequest{S: 0.9, Engine: "sketch", Variant: "unsigned"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("sketch self-join status %d, want 400", code)
+	}
+
+	// The two-collection path with the same name keeps identity pairs
+	// unless exclude_self is set in the body.
+	if code := doJSON(t, ts, http.MethodPost, "/collections/c/join/c",
+		JoinRequest{S: 0.9}, &jr); code != http.StatusOK {
+		t.Fatalf("c join c status %d", code)
+	}
+	// Every record's argmax is itself (unit self-product 1.0), except
+	// the 10 scaled duplicates whose original beats their shrunk self
+	// (0.98 > 0.98²).
+	identity := 0
+	for _, p := range jr.Pairs {
+		if p.DataID == p.QueryID {
+			identity++
+		}
+	}
+	if want := n - 10; identity != want {
+		t.Fatalf("c join c reported %d identity pairs, want %d", identity, want)
+	}
+}
+
+// TestServedJoinLSHRecall runs the LSH engine through the server on a
+// planted workload and requires high recall against the exact engine.
+func TestServedJoinLSHRecall(t *testing.T) {
+	s := New(Config{DefaultShards: 2})
+	defer s.Close()
+	_, _ = joinWorkload(t, s, 200, 24, 16, 55)
+	exact, err := s.Join(JoinRequest{Data: "data", Queries: "queries", S: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lshResp, err := s.Join(JoinRequest{
+		Data: "data", Queries: "queries",
+		Engine: "lsh", S: 0.9, C: 0.5, K: 6, L: 24, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make(map[int]bool, len(lshResp.Pairs))
+	for _, p := range lshResp.Pairs {
+		matched[p.QueryID] = true
+	}
+	hit := 0
+	for _, p := range exact.Pairs {
+		if matched[p.QueryID] {
+			hit++
+		}
+	}
+	if len(exact.Pairs) == 0 {
+		t.Fatal("exact join found nothing — workload broken")
+	}
+	if recall := float64(hit) / float64(len(exact.Pairs)); recall < 0.9 {
+		t.Fatalf("served LSH recall %v too low", recall)
+	}
+	if lshResp.Compared >= exact.Compared {
+		t.Fatalf("LSH compared %d, exact %d — not subquadratic", lshResp.Compared, exact.Compared)
+	}
+}
+
+// TestConcurrentJoinIngest hammers joins (API and HTTP paths) while an
+// ingester appends to both collections, under -race in CI. Joins run
+// against immutable shard snapshots, so every reported pair must be
+// internally consistent: value exactly e_{id mod d}-structured like the
+// ingest, and pair counts monotone over snapshot growth are not
+// required — only that no join errors or torn reads occur.
+func TestConcurrentJoinIngest(t *testing.T) {
+	const (
+		d       = 8
+		batches = 20
+		batch   = 25
+		joiners = 3
+	)
+	s := New(Config{DefaultShards: 4})
+	defer s.Close()
+	mkRec := func(i int) store.Record {
+		v := vec.New(d)
+		v[i%d] = float64(i%9) + 1
+		return store.Record{ID: i, Vec: v}
+	}
+	seed := make([]store.Record, batch)
+	for i := range seed {
+		seed[i] = mkRec(i)
+	}
+	if _, _, err := s.Ingest("a", nil, 0, seed); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Ingest("b", nil, 0, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, joiners+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for bi := 1; bi < batches; bi++ {
+			recs := make([]store.Record, batch)
+			for i := range recs {
+				recs[i] = mkRec(bi*batch + i)
+			}
+			name := "a"
+			if bi%2 == 0 {
+				name = "b"
+			}
+			if _, _, err := s.Ingest(name, nil, 0, recs); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < joiners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			engines := []string{"exact", "normpruned"}
+			for !stop.Load() {
+				resp, err := s.Join(JoinRequest{
+					Data: "a", Queries: "b",
+					Engine: engines[w%len(engines)], S: 1, TopK: w % 3,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, p := range resp.Pairs {
+					// Every vector is (m)·e_{id mod d} with m = id%9+1 ∈
+					// [1, 9]; any defined pair value must be a product of
+					// two such magnitudes on a shared axis.
+					if p.Value < 1 || p.Value > 81 {
+						errs <- fmt.Errorf("torn pair %+v", p)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is the batch executor: a bounded parallel-for over task
@@ -44,19 +45,84 @@ func (p *Pool) TryAcquire() bool {
 // Release returns a slot claimed by TryAcquire.
 func (p *Pool) Release() { <-p.sem }
 
+// Borrowing returns an executor that spreads tasks over worker slots
+// claimed non-blockingly from the pool (TryAcquire), always keeping
+// the calling goroutine as one participant. Unlike ForEach it can
+// safely run *inside* a pool task: when the pool is saturated it
+// simply degrades to inline execution instead of deadlocking, so it
+// is the executor to hand to nested parallel work (e.g. the Q-tile
+// fan-out of one shard-pair join running under the pair-level
+// ForEach).
+func (p *Pool) Borrowing() *BorrowingExecutor { return &BorrowingExecutor{pool: p} }
+
+// BorrowingExecutor is the non-blocking nested-parallelism executor
+// returned by Pool.Borrowing. It satisfies the serving and join
+// layers' parallel-for contracts.
+type BorrowingExecutor struct{ pool *Pool }
+
+// ForEach invokes fn(i) for every i in [0, n), running inline plus on
+// however many workers it could borrow without blocking. Slots are
+// released before returning.
+func (b *BorrowingExecutor) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	extras := 0
+	for extras < n-1 && b.pool.TryAcquire() {
+		extras++
+	}
+	if extras == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extras)
+	for w := 0; w < extras; w++ {
+		go func() {
+			defer func() {
+				b.pool.Release()
+				wg.Done()
+			}()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
 // ForEach invokes fn(i) for every i in [0, n) and blocks until all
 // calls return. At most Workers tasks run at once across every
 // concurrent ForEach on the pool; the feeding goroutine blocks while
 // the pool is saturated, which back-pressures oversized requests.
 // Tasks must not themselves call ForEach on the same pool (slots are
-// held for a task's full duration, so nesting can deadlock).
+// held for a task's full duration, so nesting can deadlock); use
+// Borrowing for nested parallelism.
 func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if n == 1 || cap(p.sem) == 1 {
+		// Inline, but still holding a slot per task: the budget must
+		// stay honest for concurrent requests and for Borrowing
+		// executors watching for idle slots — a free slot here would
+		// let a nested borrower run a second scan on a pool sized for
+		// one.
 		for i := 0; i < n; i++ {
+			p.sem <- struct{}{}
 			fn(i)
+			<-p.sem
 		}
 		return
 	}

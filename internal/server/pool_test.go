@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolForEachRunsEveryTask(t *testing.T) {
+	p := NewPool(4)
+	var hits [100]atomic.Int32
+	p.ForEach(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestBorrowingExecutor pins the nested-parallelism contract: every
+// task runs exactly once, slots are returned afterwards, and a
+// saturated pool degrades to inline execution instead of blocking.
+func TestBorrowingExecutor(t *testing.T) {
+	p := NewPool(3)
+	var hits [50]atomic.Int32
+	p.Borrowing().ForEach(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+	// All borrowed slots must be back: a full blocking ForEach still
+	// completes.
+	p.ForEach(3, func(int) {})
+
+	// Saturate the pool, then borrow: must run inline, not block.
+	for i := 0; i < p.Workers(); i++ {
+		if !p.TryAcquire() {
+			t.Fatal("could not saturate pool")
+		}
+	}
+	var ran atomic.Int32
+	p.Borrowing().ForEach(10, func(int) { ran.Add(1) })
+	if ran.Load() != 10 {
+		t.Fatalf("saturated borrowing ran %d of 10 tasks", ran.Load())
+	}
+	for i := 0; i < p.Workers(); i++ {
+		p.Release()
+	}
+
+	// Nested inside a pool task (the shard-pair join shape): must not
+	// deadlock and must cover every index.
+	var nested atomic.Int32
+	p.ForEach(p.Workers(), func(int) {
+		p.Borrowing().ForEach(8, func(int) { nested.Add(1) })
+	})
+	if want := int32(p.Workers() * 8); nested.Load() != want {
+		t.Fatalf("nested borrowing ran %d of %d tasks", nested.Load(), want)
+	}
+}
+
+// TestBorrowingHonorsSingleWorkerBudget pins the worker-budget
+// invariant on a 1-worker pool: ForEach's inline path holds the slot,
+// so a nested borrower cannot run a second concurrent task.
+func TestBorrowingHonorsSingleWorkerBudget(t *testing.T) {
+	p := NewPool(1)
+	var concurrent, peak atomic.Int32
+	p.ForEach(4, func(int) {
+		p.Borrowing().ForEach(6, func(int) {
+			cur := concurrent.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			concurrent.Add(-1)
+		})
+	})
+	if got := peak.Load(); got > 1 {
+		t.Fatalf("1-worker pool reached %d concurrent tasks", got)
+	}
+}

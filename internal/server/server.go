@@ -7,8 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/lsh"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -192,124 +190,6 @@ func (s *Server) Search(name string, queries []vec.Vector, k int, unsigned bool)
 		s.pool.ForEach(len(queries), func(i int) { one(i, nil) })
 	}
 	return out, nil
-}
-
-// JoinRequest asks for an approximate (cs, s) join: for each query
-// vector in the Queries collection, report a partner from the Data
-// collection per Definition 1.
-type JoinRequest struct {
-	// Data and Queries name the two collections (P and Q).
-	Data    string `json:"data"`
-	Queries string `json:"queries"`
-	// Engine is "exact", "lsh" or "sketch" (default "exact").
-	Engine string `json:"engine,omitempty"`
-	// Variant is "signed" (default) or "unsigned".
-	Variant string `json:"variant,omitempty"`
-	// S is the promise threshold, C the approximation factor
-	// (default 1).
-	S float64 `json:"s"`
-	C float64 `json:"c,omitempty"`
-	// K, L shape the LSH banding (defaults 8, 16); Kappa, Copies the
-	// sketch engine (defaults 2, 9).
-	K      int     `json:"k,omitempty"`
-	L      int     `json:"l,omitempty"`
-	Kappa  float64 `json:"kappa,omitempty"`
-	Copies int     `json:"copies,omitempty"`
-	Seed   uint64  `json:"seed,omitempty"`
-}
-
-// JoinPair is one reported pair, in record-ID space.
-type JoinPair struct {
-	DataID  int     `json:"data_id"`
-	QueryID int     `json:"query_id"`
-	Value   float64 `json:"value"`
-}
-
-// JoinResponse is the join outcome.
-type JoinResponse struct {
-	Engine   string     `json:"engine"`
-	Pairs    []JoinPair `json:"pairs"`
-	Compared int64      `json:"compared"`
-	TookMS   float64    `json:"took_ms"`
-}
-
-// Join runs the requested join over current snapshots of the two
-// collections and maps matches back to record IDs.
-func (s *Server) Join(req JoinRequest) (*JoinResponse, error) {
-	dataCol, ok := s.Collection(req.Data)
-	if !ok {
-		return nil, fmt.Errorf("server: unknown data collection %q", req.Data)
-	}
-	queryCol, ok := s.Collection(req.Queries)
-	if !ok {
-		return nil, fmt.Errorf("server: unknown queries collection %q", req.Queries)
-	}
-	sp := core.Spec{S: req.S, C: req.C}
-	if sp.C == 0 {
-		sp.C = 1
-	}
-	switch req.Variant {
-	case "", "signed":
-		sp.Variant = core.Signed
-	case "unsigned":
-		sp.Variant = core.Unsigned
-	default:
-		return nil, fmt.Errorf("server: unknown variant %q", req.Variant)
-	}
-	if err := sp.Validate(); err != nil {
-		return nil, err
-	}
-	engine, err := joinEngine(req)
-	if err != nil {
-		return nil, err
-	}
-	dataRel, _ := dataCol.Relation()
-	queryRel, _ := queryCol.Relation()
-	if len(dataRel.Recs) == 0 || len(queryRel.Recs) == 0 {
-		return nil, fmt.Errorf("server: join requires non-empty collections")
-	}
-	if dataRel.Dim != queryRel.Dim {
-		return nil, fmt.Errorf("server: dimension mismatch: %q has %d, %q has %d",
-			req.Data, dataRel.Dim, req.Queries, queryRel.Dim)
-	}
-	start := time.Now()
-	res, err := engine.Join(dataRel.Vectors(), queryRel.Vectors(), sp)
-	if err != nil {
-		return nil, err
-	}
-	s.joins.Add(1)
-	resp := &JoinResponse{
-		Engine:   engine.Name(),
-		Pairs:    make([]JoinPair, len(res.Matches)),
-		Compared: res.Compared,
-		TookMS:   float64(time.Since(start)) / float64(time.Millisecond),
-	}
-	for i, m := range res.Matches {
-		resp.Pairs[i] = JoinPair{
-			DataID:  dataRel.Recs[m.PIdx].ID,
-			QueryID: queryRel.Recs[m.QIdx].ID,
-			Value:   m.Value,
-		}
-	}
-	return resp, nil
-}
-
-// joinEngine builds the core engine for a join request.
-func joinEngine(req JoinRequest) (core.Engine, error) {
-	switch req.Engine {
-	case "", "exact":
-		return core.Exact{}, nil
-	case "lsh":
-		k, l := defaultBanding(req.K, req.L)
-		return core.LSH{
-			NewFamily: func(d int) (lsh.Family, error) { return lsh.NewHyperplane(d) },
-			K:         k, L: l, Seed: req.Seed,
-		}, nil
-	case "sketch":
-		kappa, copies := defaultSketch(req.Kappa, req.Copies)
-		return core.Sketch{Kappa: kappa, Copies: copies, Seed: req.Seed}, nil
-	}
-	return nil, fmt.Errorf("server: unknown join engine %q", req.Engine)
 }
 
 // Stats snapshots the whole server for /stats.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/flat"
@@ -30,6 +31,18 @@ type shardSnap struct {
 	ids   []int
 	fs    *flat.Store
 	index ShardIndex
+
+	nsOnce sync.Once
+	ns     *flat.NormSorted
+}
+
+// normSorted lazily builds — once per snapshot, the store being
+// immutable — the descending-norm view used by norm-pruned joins, so
+// a join fan-out reuses one build across every query-shard pairing
+// and across requests until the next ingest.
+func (sn *shardSnap) normSorted() *flat.NormSorted {
+	sn.nsOnce.Do(func() { sn.ns = flat.NewNormSorted(sn.fs) })
+	return sn.ns
 }
 
 func newShard(id int, seed uint64) *shard {

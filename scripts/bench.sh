@@ -13,10 +13,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
-FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat}"
+OUT="${1:-BENCH_3.json}"
+FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat|BenchmarkJoin}"
 TIME="${BENCH_TIME:-200ms}"
-PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/}"
+PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/ ./internal/join/}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
