@@ -1,0 +1,97 @@
+// Command benchcmp compares two BENCH_*.json files produced by
+// scripts/bench.sh and prints a benchstat-style delta table: time and
+// allocations per op, old vs new, with the relative change. It is
+// report-only — regressions are flagged in the output but the exit
+// code stays zero, so CI and bench.sh can surface the comparison
+// without gating on a noisy box.
+//
+// Usage:
+//
+//	benchcmp OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type benchFile struct {
+	Commit     string  `json:"commit"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// delta renders the old→new relative change, flagging slowdowns above
+// 10% (likely real even on a noisy box) with a trailing '!'.
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	pct := (new - old) / old * 100
+	mark := ""
+	if pct > 10 {
+		mark = " !"
+	}
+	return fmt.Sprintf("%+.1f%%%s", pct, mark)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+	if len(os.Args) != 3 {
+		log.Fatalf("usage: benchcmp OLD.json NEW.json")
+	}
+	oldF, err := load(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	newF, err := load(os.Args[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldBy := make(map[string]entry, len(oldF.Benchmarks))
+	for _, e := range oldF.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	fmt.Printf("benchcmp %s (%s) -> %s (%s)\n", os.Args[1], oldF.Commit, os.Args[2], newF.Commit)
+	fmt.Printf("%-46s %14s %14s %10s %18s\n", "benchmark", "old ns/op", "new ns/op", "time", "allocs old->new")
+	for _, e := range newF.Benchmarks {
+		o, ok := oldBy[e.Name]
+		if !ok {
+			fmt.Printf("%-46s %14s %14.0f %10s\n", e.Name, "(new)", e.NsPerOp, "")
+			continue
+		}
+		allocs := ""
+		if o.AllocsPerOp != nil && e.AllocsPerOp != nil {
+			allocs = fmt.Sprintf("%.0f -> %.0f (%s)", *o.AllocsPerOp, *e.AllocsPerOp, delta(*o.AllocsPerOp, *e.AllocsPerOp))
+		}
+		fmt.Printf("%-46s %14.0f %14.0f %10s %18s\n", e.Name, o.NsPerOp, e.NsPerOp, delta(o.NsPerOp, e.NsPerOp), allocs)
+		delete(oldBy, e.Name)
+	}
+	for _, e := range oldF.Benchmarks {
+		if _, gone := oldBy[e.Name]; gone {
+			fmt.Printf("%-46s %14.0f %14s %10s\n", e.Name, e.NsPerOp, "(gone)", "")
+		}
+	}
+}

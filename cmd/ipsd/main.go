@@ -2,10 +2,12 @@
 //
 // Usage:
 //
-//	ipsd [-addr :7070] [-shards 4] [-cache 4096] [-workers 0]
+//	ipsd [-addr :7070] [-shards 4] [-cache 4096] [-workers 0] [-pprof addr]
 //
 // Collections are created lazily by the first PUT /collections/{name};
-// see the README for the JSON API and a curl quickstart.
+// see the README for the JSON API and a curl quickstart. -pprof serves
+// net/http/pprof on a separate listener (e.g. -pprof localhost:6060)
+// so profiles never share a port with — or leak onto — the public API.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,7 +31,23 @@ func main() {
 	cache := flag.Int("cache", 4096, "query cache capacity (negative disables)")
 	workers := flag.Int("workers", 0, "batch executor workers (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "hashing seed")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("ipsd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("ipsd: pprof: %v", err)
+			}
+		}()
+	}
 
 	srv := server.New(server.Config{
 		DefaultShards: *shards,

@@ -28,9 +28,52 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mips"
 	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/vec"
 	"repro/internal/xrand"
 )
+
+// routeTracker accumulates client-observed latencies per route label
+// and client-side allocation counters per workload phase, reported as
+// p50/p95/p99 at exit. The workload issues requests serially, so no
+// locking is needed.
+type routeTracker struct {
+	order  []string
+	byName map[string][]float64 // milliseconds
+	mem    runtime.MemStats
+}
+
+func newRouteTracker() *routeTracker {
+	return &routeTracker{byName: map[string][]float64{}}
+}
+
+// observe records one request's wall time under the route label.
+func (tr *routeTracker) observe(route string, d time.Duration) {
+	if _, ok := tr.byName[route]; !ok {
+		tr.order = append(tr.order, route)
+	}
+	tr.byName[route] = append(tr.byName[route], float64(d)/float64(time.Millisecond))
+}
+
+// phaseAllocs returns the process-wide (mallocs, bytes) delta since
+// the previous call. Against a remote -addr this is the loadgen's own
+// encode/decode cost (a proxy for wire-level garbage per phase); in
+// the default in-process mode it includes the server's work too.
+func (tr *routeTracker) phaseAllocs() (uint64, uint64) {
+	prevM, prevB := tr.mem.Mallocs, tr.mem.TotalAlloc
+	runtime.ReadMemStats(&tr.mem)
+	return tr.mem.Mallocs - prevM, tr.mem.TotalAlloc - prevB
+}
+
+// report prints per-route request counts and latency percentiles.
+func (tr *routeTracker) report() {
+	fmt.Printf("per-route latency (client-observed):\n")
+	for _, route := range tr.order {
+		ms := tr.byName[route]
+		fmt.Printf("  %-38s n=%-5d p50=%.3fms p95=%.3fms p99=%.3fms\n",
+			route, len(ms), stats.Quantile(ms, 0.50), stats.Quantile(ms, 0.95), stats.Quantile(ms, 0.99))
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "", "server address (empty = run an in-process server)")
@@ -75,6 +118,14 @@ func main() {
 
 	client := &http.Client{Timeout: 5 * time.Minute}
 	collection := "bench"
+	tr := newRouteTracker()
+	timed := func(route, method, url string, body, out any) error {
+		t0 := time.Now()
+		err := call(client, method, url, body, out)
+		tr.observe(route, time.Since(t0))
+		return err
+	}
+	tr.phaseAllocs() // baseline the client-side allocation counters
 
 	// Ingest in chunks.
 	ingestStart := time.Now()
@@ -94,13 +145,16 @@ func main() {
 			Records: recs,
 		}
 		var resp server.IngestResponse
-		if err := call(client, http.MethodPut, base+"/collections/"+collection, req, &resp); err != nil {
+		if err := timed("PUT /collections/{name}", http.MethodPut, base+"/collections/"+collection, req, &resp); err != nil {
 			log.Fatalf("loadgen: ingest [%d,%d): %v", lo, hi, err)
 		}
 	}
 	ingestDur := time.Since(ingestStart)
 	fmt.Printf("ingested %d vectors in %v (%.0f vec/s) across %d shards (index=%s)\n",
 		*n, ingestDur.Round(time.Millisecond), float64(*n)/ingestDur.Seconds(), *shards, *index)
+	if m, b := tr.phaseAllocs(); true {
+		fmt.Printf("  process allocs during ingest: %d mallocs, %.1f MB\n", m, float64(b)/(1<<20))
+	}
 
 	// Batched searches.
 	type batchTiming struct {
@@ -121,7 +175,8 @@ func main() {
 		}
 		var resp server.SearchResponse
 		t0 := time.Now()
-		err := call(client, http.MethodPost, base+"/collections/"+collection+"/search",
+		err := timed("POST /collections/{name}/search", http.MethodPost,
+			base+"/collections/"+collection+"/search",
 			server.SearchRequest{Queries: queries, K: *k}, &resp)
 		if err != nil {
 			log.Fatalf("loadgen: search [%d,%d): %v", lo, hi, err)
@@ -138,9 +193,13 @@ func main() {
 			float64(bt.dur)/float64(time.Millisecond)/float64(bt.queries))
 	}
 
+	if m, b := tr.phaseAllocs(); true {
+		fmt.Printf("  process allocs during search: %d mallocs, %.1f MB\n", m, float64(b)/(1<<20))
+	}
+
 	// Server-side stats.
 	var st server.Stats
-	if err := call(client, http.MethodGet, base+"/stats", nil, &st); err != nil {
+	if err := timed("GET /stats", http.MethodGet, base+"/stats", nil, &st); err != nil {
 		log.Fatalf("loadgen: stats: %v", err)
 	}
 	cs := st.Collections[collection]
@@ -151,6 +210,7 @@ func main() {
 	}
 	fmt.Printf("cache: size=%d hits=%d misses=%d invalidations=%d\n",
 		st.Cache.Size, st.Cache.Hits, st.Cache.Misses, st.Cache.Invalidations)
+	tr.report()
 
 	if !*verify {
 		return

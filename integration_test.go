@@ -170,3 +170,32 @@ func TestIntegration_NormRangeOnLatentFactors(t *testing.T) {
 		t.Fatalf("norm-range index acceptable on only %v of queries", frac)
 	}
 }
+
+// TestFlatTopKMultiExport checks the public batch entry point: the
+// multi-query sweep must answer exactly like per-query FlatTopK.
+func TestFlatTopKMultiExport(t *testing.T) {
+	data := []Vector{{1, 0}, {0, 1}, {0.5, 0.5}, {1, 0}, {0, 0}}
+	s, err := NewFlatStore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Vector{{1, 0}, {0, 2}, {0, 0}, {-1, 1}}
+	multi, err := FlatTopKMulti(s, queries, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		single, err := FlatTopK(s, q, 3, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(multi[i]) != len(single) {
+			t.Fatalf("query %d: multi %v != single %v", i, multi[i], single)
+		}
+		for r := range single {
+			if multi[i][r] != single[r] {
+				t.Fatalf("query %d rank %d: multi %v != single %v", i, r, multi[i], single)
+			}
+		}
+	}
+}

@@ -66,3 +66,59 @@ func BenchmarkFlatTopK(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFlatDotTile measures the multi-query tile kernel against
+// repeated single-query sweeps: one iteration scores 8 queries over
+// the full store (ns/op ÷ 8 is the per-query sweep cost; compare with
+// BenchmarkFlatDotBatch). d=16/d=8 exercise the AVX2 micro-kernels
+// when present, d=24 the generic pair kernel.
+func BenchmarkFlatDotTile(b *testing.B) {
+	for _, d := range []int{8, 16, 24} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			rng := xrand.New(1)
+			n, nq := 20000, 8
+			s, err := FromVectors(randomVecs(rng, n, d))
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs, err := FromVectors(randomVecs(rng, nq, d))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]float64, nq*blockRows)
+			b.SetBytes(int64(n * d * 8)) // one data sweep serves all 8 queries
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for lo := 0; lo < n; lo += blockRows {
+					hi := min(lo+blockRows, n)
+					s.dotTile(qs, 0, nq, lo, hi, out[:nq*(hi-lo)])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlatTopKMulti measures the full multi-query top-k driver:
+// one iteration answers 256 top-10 queries over a 20k-row store
+// (ns/op ÷ 256 compares against BenchmarkFlatTopK/flat).
+func BenchmarkFlatTopKMulti(b *testing.B) {
+	rng := xrand.New(2)
+	n, d, nq := 20000, 16, 256
+	s, err := FromVectors(randomVecs(rng, n, d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := FromVectors(randomVecs(rng, nq, d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := GetTileScratch()
+	defer PutTileScratch(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		accs := sc.Accs(nq, 10)
+		if err := s.TopKMultiInto(qs, 0, nq, false, accs, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

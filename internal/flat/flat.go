@@ -70,6 +70,20 @@ func FromVectors(vs []vec.Vector) (*Store, error) {
 // Len returns the number of rows.
 func (s *Store) Len() int { return len(s.norms) }
 
+// ResetDim empties the store in place, adopting dimension d while
+// keeping the backing capacity, so pooled stores (e.g. per-request
+// query batches) reach a zero-allocation steady state. Existing row
+// views become invalid.
+func (s *Store) ResetDim(d int) error {
+	if d <= 0 {
+		return fmt.Errorf("flat: dimension %d must be positive", d)
+	}
+	s.dim = d
+	s.data = s.data[:0]
+	s.norms = s.norms[:0]
+	return nil
+}
+
 // Dim returns the row dimension.
 func (s *Store) Dim() int { return s.dim }
 
@@ -210,6 +224,15 @@ func (s *Store) dotRange(q vec.Vector, lo, hi int, out []float64) {
 		dotRange16(data, q, lo, hi, out)
 		return
 	}
+	dotRangeGeneric(data, d, q, lo, hi, out)
+}
+
+// dotRangeGeneric is the any-dimension kernel body shared by the
+// single-query scan and the multi-query tile fallback: 4-way lanes
+// (i mod 4) with the scalar tail folded into lane 0, partial sums
+// combined as (s0+s1)+(s2+s3).
+func dotRangeGeneric(data []float64, d int, q []float64, lo, hi int, out []float64) {
+	q = q[:d:d]
 	for r := lo; r < hi; r++ {
 		off := r * d
 		row := data[off : off+d : off+d]
@@ -339,27 +362,69 @@ func (a *Acc) Full() bool { return len(a.hits) == a.k }
 // a. perm maps physical to original row indexes; nil means the block was
 // scanned in ascending index order, which allows the stronger skip:
 // once full, a tie at the threshold always loses to the smaller index
-// already held. With a permutation a tie may carry a smaller original
-// index, so only strictly-worse scores can be skipped. This is the
-// single copy of the top-k bookkeeping both scan orders share.
+// already held (so v <= thr skips in one compare). With a permutation a
+// tie may carry a smaller original index, so only strictly-worse scores
+// can be skipped. This is the single copy of the top-k bookkeeping both
+// scan orders share; the loops are specialised on the loop-invariant
+// (full, unsigned, perm) flags because the skip compare runs once per
+// scanned row — the hottest non-kernel instruction in the scan. NaN
+// scores fail every skip compare and are rejected by Offer, exactly as
+// in the unspecialised form.
 func offerScores(a *Acc, buf []float64, base int, unsigned bool, perm []int) {
-	thr := a.Threshold()
-	full := a.Full()
-	for r := range buf {
+	r := 0
+	for ; r < len(buf) && !a.Full(); r++ {
 		v := buf[r]
 		if unsigned && v < 0 {
 			v = -v
-		}
-		if full && (v < thr || (v == thr && perm == nil)) {
-			continue
 		}
 		idx := base + r
 		if perm != nil {
 			idx = perm[idx]
 		}
 		a.Offer(idx, v)
-		thr = a.Threshold()
-		full = a.Full()
+	}
+	if r == len(buf) {
+		return
+	}
+	// Full from here on (hits are never removed, so Full is sticky).
+	thr := a.Threshold()
+	switch {
+	case perm == nil && !unsigned:
+		for ; r < len(buf); r++ {
+			if v := buf[r]; !(v <= thr) {
+				a.Offer(base+r, v)
+				thr = a.Threshold()
+			}
+		}
+	case perm == nil:
+		for ; r < len(buf); r++ {
+			v := buf[r]
+			if v < 0 {
+				v = -v
+			}
+			if !(v <= thr) {
+				a.Offer(base+r, v)
+				thr = a.Threshold()
+			}
+		}
+	case !unsigned:
+		for ; r < len(buf); r++ {
+			if v := buf[r]; !(v < thr) {
+				a.Offer(perm[base+r], v)
+				thr = a.Threshold()
+			}
+		}
+	default:
+		for ; r < len(buf); r++ {
+			v := buf[r]
+			if v < 0 {
+				v = -v
+			}
+			if !(v < thr) {
+				a.Offer(perm[base+r], v)
+				thr = a.Threshold()
+			}
+		}
 	}
 }
 

@@ -95,3 +95,107 @@ func FuzzDotBatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDotTile drives the multi-query tile kernels (the AVX2 d=8/d=16
+// micro-kernels when available, plus the pure-Go pair kernels and the
+// generic path) against the single-query kernel: every cell of the
+// tile must match DotRange bit for bit, and TopKMulti must agree with
+// per-query TopK. Corpus bytes decode as (d, nq, row data, queries).
+func FuzzDotTile(f *testing.F) {
+	mk := func(d, nq byte, vals ...float64) []byte {
+		b := []byte{d, nq}
+		for _, v := range vals {
+			var w [8]byte
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			b = append(b, w[:]...)
+		}
+		return b
+	}
+	f.Add(mk(2, 1, 1, 2, 3, 4, 5, 6))
+	f.Add(mk(8, 4,
+		1, 2, 3, 4, 5, 6, 7, 8, -1, -2, -3, -4, -5, -6, -7, -8,
+		1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0,
+		1, 0, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1,
+		2, 2, 2, 2, 2, 2, 2, 2))
+	f.Add(mk(16, 5,
+		1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6, 7, -7, 8, -8,
+		1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+		0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		d := int(raw[0]%24) + 1
+		nq := int(raw[1]%9) + 1
+		raw = raw[2:]
+		vals := make([]float64, 0, len(raw)/8)
+		for len(raw) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[:8]))
+			raw = raw[8:]
+			if math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				v = 0 // keep magnitudes sane; NaN stays (the kernels must cope)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) < (nq+1)*d {
+			return
+		}
+		qvals := vals[:nq*d]
+		rows := vals[nq*d:]
+		n := len(rows) / d
+		if n == 0 {
+			return
+		}
+		qvecs := make([]vec.Vector, nq)
+		for j := range qvecs {
+			qvecs[j] = vec.Vector(qvals[j*d : (j+1)*d])
+		}
+		vs := make([]vec.Vector, n)
+		for i := range vs {
+			vs[i] = vec.Vector(rows[i*d : (i+1)*d])
+		}
+		s, err := FromVectors(vs)
+		if err != nil {
+			t.Fatalf("FromVectors: %v", err)
+		}
+		qs, err := FromVectors(qvecs)
+		if err != nil {
+			t.Fatalf("FromVectors(queries): %v", err)
+		}
+		out := make([]float64, nq*n)
+		if err := s.DotTile(qs, 0, nq, 0, n, out); err != nil {
+			t.Fatalf("DotTile: %v", err)
+		}
+		want := make([]float64, n)
+		for j := 0; j < nq; j++ {
+			if err := s.DotRange(qs.Row(j), 0, n, want); err != nil {
+				t.Fatalf("DotRange: %v", err)
+			}
+			for r := 0; r < n; r++ {
+				got := out[j*n+r]
+				if got != want[r] && !(math.IsNaN(got) && math.IsNaN(want[r])) {
+					t.Fatalf("d=%d nq=%d query %d row %d: DotTile=%g DotRange=%g", d, nq, j, r, got, want[r])
+				}
+			}
+		}
+		k := n%3 + 1
+		multi, err := s.TopKMulti(qs, k, false)
+		if err != nil {
+			t.Fatalf("TopKMulti: %v", err)
+		}
+		for j := range qvecs {
+			single, err := s.TopK(qs.Row(j), k, false, 1)
+			if err != nil {
+				t.Fatalf("TopK: %v", err)
+			}
+			if len(multi[j]) != len(single) {
+				t.Fatalf("query %d: multi %v != single %v", j, multi[j], single)
+			}
+			for i := range single {
+				if multi[j][i] != single[i] {
+					t.Fatalf("query %d: multi %v != single %v", j, multi[j], single)
+				}
+			}
+		}
+	})
+}

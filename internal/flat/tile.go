@@ -1,0 +1,405 @@
+// Multi-query (GEMM-style) scan kernels. The single-query kernels in
+// flat.go block the *data* dimension; the tile kernels here block the
+// *query* dimension as well: DotTile scores a tile of up to maxTileQ
+// query rows against a block of data rows in one pass, so each data row
+// loaded from memory is amortized across the whole query tile, and the
+// d=8/d=16 specializations run as register-blocked AVX2 micro-kernels
+// (4 queries × 2 rows per iteration) on amd64.
+//
+// Every score stays bit-identical to the single-query kernels: the
+// per-(row, query) accumulation is the same 4-lane split (lane i mod 4)
+// combined as (s0+s1)+(s2+s3), which a 4-wide SIMD vertical
+// multiply/add reproduces exactly — lane k of the vector accumulator
+// *is* s_k — and the horizontal reduction performs the identical
+// (s0+s1)+(s2+s3) additions. No FMA is used (fused rounding would
+// break the equivalence). The tile equivalence grid and FuzzDotTile
+// pin this down.
+//
+// TopKMulti drives the tile kernel over one data sweep, maintaining a
+// per-query accumulator; the NormSorted variant applies the same
+// per-query Cauchy–Schwarz block bound as the single-query scan, so
+// hits *and* scanned counts match the single-query path exactly.
+package flat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// maxTileQ is the query-tile width of the multi-query drivers: dots for
+// up to maxTileQ queries are materialised per data block before the
+// top-k bookkeeping runs. Two quads of the 4-query micro-kernel; at
+// blockRows=256 the score tile is 16 KiB, leaving the data block
+// cache-resident.
+const maxTileQ = 8
+
+// Reset reconfigures the accumulator to keep the best k hits, dropping
+// any accumulated state but keeping the backing storage, so pooled
+// accumulators reach a zero-allocation steady state.
+func (a *Acc) Reset(k int) {
+	a.k = k
+	a.hits = a.hits[:0]
+}
+
+// TileScratch holds the reusable buffers of the multi-query drivers
+// (the score tile, liveness flags, and on-demand accumulators). A
+// zero value is ready to use; Get/PutTileScratch recycle instances
+// through a package pool so steady-state batch serving allocates
+// nothing per request.
+type TileScratch struct {
+	buf  []float64
+	done []bool
+	accs []Acc
+}
+
+var tileScratchPool = sync.Pool{New: func() any { return new(TileScratch) }}
+
+// GetTileScratch takes a scratch arena from the package pool.
+func GetTileScratch() *TileScratch { return tileScratchPool.Get().(*TileScratch) }
+
+// PutTileScratch returns a scratch arena to the package pool. The
+// caller must no longer hold views into it (Acc hits included).
+func PutTileScratch(sc *TileScratch) { tileScratchPool.Put(sc) }
+
+// tileBuf returns the score-tile buffer (maxTileQ × blockRows).
+func (sc *TileScratch) tileBuf() []float64 {
+	if cap(sc.buf) < maxTileQ*blockRows {
+		sc.buf = make([]float64, maxTileQ*blockRows)
+	}
+	return sc.buf[:maxTileQ*blockRows]
+}
+
+// doneBuf returns a cleared n-slot liveness buffer.
+func (sc *TileScratch) doneBuf(n int) []bool {
+	if cap(sc.done) < n {
+		sc.done = make([]bool, n)
+	}
+	d := sc.done[:n]
+	for i := range d {
+		d[i] = false
+	}
+	return d
+}
+
+// Accs returns n accumulators, each reset to keep k hits. The slice
+// and the accumulators' storage are owned by the scratch and reused
+// across calls.
+func (sc *TileScratch) Accs(n, k int) []Acc {
+	if cap(sc.accs) < n {
+		accs := make([]Acc, n)
+		copy(accs, sc.accs)
+		sc.accs = accs
+	}
+	accs := sc.accs[:n]
+	for i := range accs {
+		accs[i].Reset(k)
+	}
+	return accs
+}
+
+// DotTile fills out with the Q×B score tile of query rows [qlo, qhi)
+// of qs against data rows [plo, phi): out[j*(phi-plo)+r] =
+// row(plo+r)ᵀ·qs.Row(qlo+j). The tile is computed in one pass over the
+// data block — each data row load is shared by every query of the tile
+// — and every score is bit-identical to Dot/DotRange on the same
+// operands. out must have length (qhi-qlo)·(phi-plo).
+func (s *Store) DotTile(qs *Store, qlo, qhi, plo, phi int, out []float64) error {
+	if qs.dim != s.dim {
+		return fmt.Errorf("flat: DotTile query dimension %d, store has %d", qs.dim, s.dim)
+	}
+	if qlo < 0 || qhi > qs.Len() || qlo > qhi {
+		return fmt.Errorf("flat: DotTile queries [%d, %d) out of [0, %d)", qlo, qhi, qs.Len())
+	}
+	if plo < 0 || phi > s.Len() || plo > phi {
+		return fmt.Errorf("flat: DotTile rows [%d, %d) out of [0, %d)", plo, phi, s.Len())
+	}
+	if len(out) != (qhi-qlo)*(phi-plo) {
+		return fmt.Errorf("flat: DotTile out length %d, want %d", len(out), (qhi-qlo)*(phi-plo))
+	}
+	s.dotTile(qs, qlo, qhi, plo, phi, out)
+	return nil
+}
+
+// dotTile is the unchecked tile kernel dispatch. Query quads run
+// through the AVX2 micro-kernels when available (d=8/d=16); leftovers
+// and other dimensions run the pure-Go kernels, which share the exact
+// accumulation chains, so the split is invisible in the results.
+func (s *Store) dotTile(qs *Store, qlo, qhi, plo, phi int, out []float64) {
+	d := s.dim
+	nb := phi - plo
+	if nb <= 0 || qhi-qlo <= 0 {
+		return
+	}
+	j := qlo
+	switch d {
+	case 16:
+		if useDotTileAsm {
+			for ; j+4 <= qhi; j += 4 {
+				o := (j - qlo) * nb
+				dotTile16x4(s.data[plo*16:phi*16], qs.data[j*16:(j+4)*16], out[o:o+4*nb])
+			}
+		}
+		for ; j+2 <= qhi; j += 2 {
+			o := (j - qlo) * nb
+			dotTile16x2(s.data, qs.Row(j), qs.Row(j+1), plo, phi, out[o:o+nb], out[o+nb:o+2*nb])
+		}
+		if j < qhi {
+			dotRange16(s.data, qs.Row(j), plo, phi, out[(j-qlo)*nb:(j-qlo+1)*nb])
+		}
+	case 8:
+		if useDotTileAsm {
+			for ; j+4 <= qhi; j += 4 {
+				o := (j - qlo) * nb
+				dotTile8x4(s.data[plo*8:phi*8], qs.data[j*8:(j+4)*8], out[o:o+4*nb])
+			}
+		}
+		for ; j+2 <= qhi; j += 2 {
+			o := (j - qlo) * nb
+			dotTile8x2(s.data, qs.Row(j), qs.Row(j+1), plo, phi, out[o:o+nb], out[o+nb:o+2*nb])
+		}
+		if j < qhi {
+			dotRange8(s.data, qs.Row(j), plo, phi, out[(j-qlo)*nb:(j-qlo+1)*nb])
+		}
+	default:
+		for ; j+2 <= qhi; j += 2 {
+			o := (j - qlo) * nb
+			dotTileGeneric2(s.data, d, qs.Row(j), qs.Row(j+1), plo, phi, out[o:o+nb], out[o+nb:o+2*nb])
+		}
+		if j < qhi {
+			dotRangeGeneric(s.data, d, qs.Row(j), plo, phi, out[(j-qlo)*nb:(j-qlo+1)*nb])
+		}
+	}
+}
+
+// dotTile16x2 is the pure-Go 2-query d=16 kernel: one row load feeds
+// both queries' accumulator chains, each chain identical to
+// dotRange16's per-row expression.
+func dotTile16x2(data []float64, u, v []float64, lo, hi int, out0, out1 []float64) {
+	u = u[:16:16]
+	v = v[:16:16]
+	for r := lo; r < hi; r++ {
+		a := data[r*16 : r*16+16 : r*16+16]
+		u0 := ((a[0]*u[0] + a[4]*u[4]) + a[8]*u[8]) + a[12]*u[12]
+		u1 := ((a[1]*u[1] + a[5]*u[5]) + a[9]*u[9]) + a[13]*u[13]
+		u2 := ((a[2]*u[2] + a[6]*u[6]) + a[10]*u[10]) + a[14]*u[14]
+		u3 := ((a[3]*u[3] + a[7]*u[7]) + a[11]*u[11]) + a[15]*u[15]
+		v0 := ((a[0]*v[0] + a[4]*v[4]) + a[8]*v[8]) + a[12]*v[12]
+		v1 := ((a[1]*v[1] + a[5]*v[5]) + a[9]*v[9]) + a[13]*v[13]
+		v2 := ((a[2]*v[2] + a[6]*v[6]) + a[10]*v[10]) + a[14]*v[14]
+		v3 := ((a[3]*v[3] + a[7]*v[7]) + a[11]*v[11]) + a[15]*v[15]
+		out0[r-lo] = (u0 + u1) + (u2 + u3)
+		out1[r-lo] = (v0 + v1) + (v2 + v3)
+	}
+}
+
+// dotTile8x2 is the pure-Go 2-query d=8 kernel (dotRange8's chains).
+func dotTile8x2(data []float64, u, v []float64, lo, hi int, out0, out1 []float64) {
+	u = u[:8:8]
+	v = v[:8:8]
+	for r := lo; r < hi; r++ {
+		a := data[r*8 : r*8+8 : r*8+8]
+		u0 := a[0]*u[0] + a[4]*u[4]
+		u1 := a[1]*u[1] + a[5]*u[5]
+		u2 := a[2]*u[2] + a[6]*u[6]
+		u3 := a[3]*u[3] + a[7]*u[7]
+		v0 := a[0]*v[0] + a[4]*v[4]
+		v1 := a[1]*v[1] + a[5]*v[5]
+		v2 := a[2]*v[2] + a[6]*v[6]
+		v3 := a[3]*v[3] + a[7]*v[7]
+		out0[r-lo] = (u0 + u1) + (u2 + u3)
+		out1[r-lo] = (v0 + v1) + (v2 + v3)
+	}
+}
+
+// dotTileGeneric2 is the pure-Go 2-query any-dimension kernel
+// (dotRangeGeneric's chains, tail folded into lane 0).
+func dotTileGeneric2(data []float64, d int, u, v []float64, lo, hi int, out0, out1 []float64) {
+	u = u[:d:d]
+	v = v[:d:d]
+	for r := lo; r < hi; r++ {
+		off := r * d
+		row := data[off : off+d : off+d]
+		var u0, u1, u2, u3, v0, v1, v2, v3 float64
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			a, b, c, e := row[i], row[i+1], row[i+2], row[i+3]
+			u0 += a * u[i]
+			u1 += b * u[i+1]
+			u2 += c * u[i+2]
+			u3 += e * u[i+3]
+			v0 += a * v[i]
+			v1 += b * v[i+1]
+			v2 += c * v[i+2]
+			v3 += e * v[i+3]
+		}
+		for ; i < d; i++ {
+			u0 += row[i] * u[i]
+			v0 += row[i] * v[i]
+		}
+		out0[r-lo] = (u0 + u1) + (u2 + u3)
+		out1[r-lo] = (v0 + v1) + (v2 + v3)
+	}
+}
+
+// checkMulti validates the shared TopKMultiInto contract.
+func (s *Store) checkMulti(qs *Store, qlo, qhi int, accs []Acc) error {
+	if qs == nil {
+		return fmt.Errorf("flat: nil query store")
+	}
+	if qs.dim != s.dim {
+		return fmt.Errorf("flat: query dimension %d, store has %d", qs.dim, s.dim)
+	}
+	if qlo < 0 || qhi > qs.Len() || qlo > qhi {
+		return fmt.Errorf("flat: queries [%d, %d) out of [0, %d)", qlo, qhi, qs.Len())
+	}
+	if len(accs) != qhi-qlo {
+		return fmt.Errorf("flat: %d accumulators for %d queries", len(accs), qhi-qlo)
+	}
+	for i := range accs {
+		if accs[i].k <= 0 {
+			return fmt.Errorf("flat: accumulator %d has k=%d, must be positive", i, accs[i].k)
+		}
+	}
+	return nil
+}
+
+// TopKMultiInto answers one top-k query per row of qs[qlo:qhi] in a
+// single sweep of the store, accumulating into accs (accs[j] serves
+// query qlo+j and must be Reset to the desired k). Blocks are visited
+// in the same order and offered through the same bookkeeping as the
+// single-query TopK, so accs[j].Hits() is bit-identical — ordering,
+// tie-breaks and NaN rejection included — to TopK(qs.Row(qlo+j), k,
+// unsigned, 1). It allocates nothing: the score tile lives in sc.
+func (s *Store) TopKMultiInto(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, sc *TileScratch) error {
+	if err := s.checkMulti(qs, qlo, qhi, accs); err != nil {
+		return err
+	}
+	n := s.Len()
+	buf := sc.tileBuf()
+	for start := 0; start < n; start += blockRows {
+		end := min(start+blockRows, n)
+		nb := end - start
+		for g := qlo; g < qhi; g += maxTileQ {
+			gh := min(g+maxTileQ, qhi)
+			s.dotTile(qs, g, gh, start, end, buf)
+			for j := g; j < gh; j++ {
+				offerScores(&accs[j-qlo], buf[(j-g)*nb:(j-g+1)*nb], start, unsigned, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// TopKMulti answers a top-k query for every row of qs over one data
+// sweep, returning per-query hit lists (bit-identical to per-query
+// TopK with workers=1). It is the allocating convenience wrapper
+// around TopKMultiInto.
+func (s *Store) TopKMulti(qs *Store, k int, unsigned bool) ([][]Hit, error) {
+	if qs == nil {
+		return nil, fmt.Errorf("flat: nil query store")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("flat: k=%d must be positive", k)
+	}
+	nq := qs.Len()
+	accs := make([]Acc, nq)
+	for j := range accs {
+		accs[j].Reset(k)
+	}
+	sc := GetTileScratch()
+	defer PutTileScratch(sc)
+	if err := s.TopKMultiInto(qs, 0, nq, unsigned, accs, sc); err != nil {
+		return nil, err
+	}
+	out := make([][]Hit, nq)
+	for j := range accs {
+		hits := accs[j].Hits()
+		out[j] = make([]Hit, len(hits))
+		copy(out[j], hits)
+	}
+	return out, nil
+}
+
+// TopKMultiInto is the multi-query early-terminating scan: one
+// descending-norm sweep serving every query of qs[qlo:qhi], with the
+// per-query Cauchy–Schwarz block bound applied exactly as in the
+// single-query NormSorted.TopK — a query goes inactive at the first
+// block whose leading norm cannot displace its k-th best hit, and only
+// still-live queries are scored against a block (contiguous live runs
+// feed the tile kernel). Hits (original row indexes) and the per-query
+// scanned counts (accumulated into scanned[j] when non-nil) are
+// bit-identical to the single-query scan.
+func (ns *NormSorted) TopKMultiInto(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, scanned []int, sc *TileScratch) error {
+	s := ns.store
+	if err := s.checkMulti(qs, qlo, qhi, accs); err != nil {
+		return err
+	}
+	qn := qhi - qlo
+	if scanned != nil && len(scanned) != qn {
+		return fmt.Errorf("flat: %d scanned slots for %d queries", len(scanned), qn)
+	}
+	n := s.Len()
+	buf := sc.tileBuf()
+	done := sc.doneBuf(qn)
+	live := qn
+	for start := 0; start < n && live > 0; start += blockRows {
+		lead := s.norms[start]
+		end := min(start+blockRows, n)
+		nb := end - start
+		for j := 0; j < qn; j++ {
+			if !done[j] && accs[j].Full() && lead*qs.Norm(qlo+j) < accs[j].Threshold() {
+				done[j] = true
+				live--
+			}
+		}
+		for j := 0; j < qn; {
+			if done[j] {
+				j++
+				continue
+			}
+			r := j + 1
+			for r < qn && !done[r] && r-j < maxTileQ {
+				r++
+			}
+			s.dotTile(qs, qlo+j, qlo+r, start, end, buf)
+			for jj := j; jj < r; jj++ {
+				offerScores(&accs[jj], buf[(jj-j)*nb:(jj-j+1)*nb], start, unsigned, ns.perm)
+				if scanned != nil {
+					scanned[jj] += nb
+				}
+			}
+			j = r
+		}
+	}
+	return nil
+}
+
+// TopKMulti is the allocating convenience wrapper: per-query hit lists
+// plus per-query evaluated-row counts, bit-identical to per-query
+// NormSorted.TopK.
+func (ns *NormSorted) TopKMulti(qs *Store, k int, unsigned bool) ([][]Hit, []int, error) {
+	if qs == nil {
+		return nil, nil, fmt.Errorf("flat: nil query store")
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("flat: k=%d must be positive", k)
+	}
+	nq := qs.Len()
+	accs := make([]Acc, nq)
+	for j := range accs {
+		accs[j].Reset(k)
+	}
+	scanned := make([]int, nq)
+	sc := GetTileScratch()
+	defer PutTileScratch(sc)
+	if err := ns.TopKMultiInto(qs, 0, nq, unsigned, accs, scanned, sc); err != nil {
+		return nil, nil, err
+	}
+	out := make([][]Hit, nq)
+	for j := range accs {
+		hits := accs[j].Hits()
+		out[j] = make([]Hit, len(hits))
+		copy(out[j], hits)
+	}
+	return out, scanned, nil
+}

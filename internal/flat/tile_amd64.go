@@ -1,0 +1,30 @@
+//go:build amd64
+
+package flat
+
+// useDotTileAsm gates the AVX2 multi-query micro-kernels. It is a
+// variable (not a constant) so the tile tests can force the pure-Go
+// kernels and prove both paths produce bit-identical scores.
+var useDotTileAsm = x86HasAVX2()
+
+// dotTile16x4 scores 4 contiguous query rows (q, 4×16 floats) against
+// nr = len(p)/16 contiguous data rows, writing out[j*nr+r] =
+// p_row(r)·q_row(j). The register blocking is 4 queries × 2 rows: each
+// loop iteration loads two data rows once and reuses them across all
+// four queries' accumulator chains. Scores are bit-identical to
+// dotRange16: the 4-wide vertical multiply/add keeps lane k equal to
+// the scalar kernel's s_k, and the horizontal reduction adds them as
+// (s0+s1)+(s2+s3) with plain (unfused) IEEE operations.
+//
+//go:noescape
+func dotTile16x4(p, q, out []float64)
+
+// dotTile8x4 is the d=8 variant (4 queries × 2 rows, dotRange8's
+// accumulation chains).
+//
+//go:noescape
+func dotTile8x4(p, q, out []float64)
+
+// x86HasAVX2 reports whether the CPU and OS support AVX2 (CPUID leaf 7
+// EBX bit 5, plus OSXSAVE with YMM state enabled via XGETBV).
+func x86HasAVX2() bool

@@ -1,0 +1,340 @@
+package flat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// forEachKernelPath runs fn under every available kernel dispatch: the
+// pure-Go tile kernels always, and the AVX2 micro-kernels when the
+// machine has them. Both must produce bit-identical results.
+func forEachKernelPath(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	saved := useDotTileAsm
+	defer func() { useDotTileAsm = saved }()
+	useDotTileAsm = false
+	t.Run("go", fn)
+	if saved {
+		useDotTileAsm = true
+		t.Run("asm", fn)
+	}
+}
+
+// sameScore treats two NaNs as equal (payloads may differ between the
+// scalar and SIMD reduction orders; both are rejected by Acc anyway).
+func sameScore(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestDotTileMatchesDotRange pins the tile kernel's bit-identity
+// contract: every (row, query) cell of the tile must equal the
+// single-query kernel's score on the same operands, across dimensions
+// that exercise the d=8/d=16 micro-kernels (quads plus remainders) and
+// the generic path.
+func TestDotTileMatchesDotRange(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		rng := xrand.New(11)
+		for _, d := range []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 24, 33} {
+			for _, n := range []int{1, 2, 3, 5, 255, 256, 257} {
+				s, err := FromVectors(randomVecs(rng, n, d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, nq := range []int{1, 2, 3, 4, 5, 7, 8, 9} {
+					qs, err := FromVectors(randomVecs(rng, nq, d))
+					if err != nil {
+						t.Fatal(err)
+					}
+					plo, phi := 0, n
+					if n > 4 {
+						plo, phi = 1, n-2 // unaligned block offsets
+					}
+					nb := phi - plo
+					out := make([]float64, nq*nb)
+					if err := s.DotTile(qs, 0, nq, plo, phi, out); err != nil {
+						t.Fatalf("d=%d n=%d nq=%d: DotTile: %v", d, n, nq, err)
+					}
+					want := make([]float64, nb)
+					for j := 0; j < nq; j++ {
+						if err := s.DotRange(qs.Row(j), plo, phi, want); err != nil {
+							t.Fatal(err)
+						}
+						for r := 0; r < nb; r++ {
+							if got := out[j*nb+r]; !sameScore(got, want[r]) {
+								t.Fatalf("d=%d n=%d nq=%d query %d row %d: tile %v, single %v (must be bit-identical)",
+									d, n, nq, j, plo+r, got, want[r])
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestDotTileErrors checks the validated wrapper's failure modes.
+func TestDotTileErrors(t *testing.T) {
+	s, _ := FromVectors([]vec.Vector{{1, 2}, {3, 4}})
+	qs, _ := FromVectors([]vec.Vector{{1, 2}})
+	q3, _ := FromVectors([]vec.Vector{{1, 2, 3}})
+	out := make([]float64, 2)
+	if err := s.DotTile(q3, 0, 1, 0, 2, out); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := s.DotTile(qs, 0, 2, 0, 2, out); err == nil {
+		t.Fatal("query range out of bounds accepted")
+	}
+	if err := s.DotTile(qs, 0, 1, 0, 3, out); err == nil {
+		t.Fatal("row range out of bounds accepted")
+	}
+	if err := s.DotTile(qs, 0, 1, 0, 2, out[:1]); err == nil {
+		t.Fatal("short out accepted")
+	}
+	if err := s.DotTile(qs, 0, 1, 0, 2, out); err != nil {
+		t.Fatalf("valid DotTile rejected: %v", err)
+	}
+}
+
+// saltedVecs builds the adversarial data set: random rows plus exact
+// duplicates, zero rows, and a sign-flipped copy, forcing ties that
+// only the canonical (score, index) ordering resolves.
+func saltedVecs(rng *xrand.RNG, n, d int) []vec.Vector {
+	vs := randomVecs(rng, n, d)
+	dup := vs[rng.Intn(len(vs))].Clone()
+	return append(vs, dup, dup.Clone(), vec.New(d), vec.New(d), vec.Neg(dup))
+}
+
+// tileGrid builds an adversarial query set: random rows plus exact
+// duplicates of data rows (maximal ties), a zero query, and a NaN
+// query (every score NaN, so the accumulators must reject everything).
+func tileGrid(rng *xrand.RNG, vs []vec.Vector, nq, d int) []vec.Vector {
+	qs := make([]vec.Vector, 0, nq+3)
+	for i := 0; i < nq; i++ {
+		qs = append(qs, vec.Vector(rng.NormalVec(d)))
+	}
+	qs = append(qs, vs[rng.Intn(len(vs))].Clone(), vec.New(d))
+	nan := vec.New(d)
+	nan[rng.Intn(d)] = math.NaN()
+	qs = append(qs, nan)
+	return qs
+}
+
+// TestTopKMultiMatchesTopK is the multi-query equivalence grid: over
+// randomized n/d/k/q (with duplicated rows, zero rows, zero queries
+// and NaN queries), TopKMulti must be bit-identical to the per-query
+// single-query scan — hits, ordering, tie-breaks, NaN rejection.
+func TestTopKMultiMatchesTopK(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		for _, tc := range []struct{ n, d, k, q int }{
+			{1, 16, 1, 1},
+			{7, 3, 2, 5},
+			{300, 8, 5, 11},
+			{513, 16, 10, 9},
+			{1000, 16, 3, 17},
+			{700, 24, 7, 6},
+			{260, 1, 4, 4},
+		} {
+			for seed := uint64(0); seed < 2; seed++ {
+				rng := xrand.New(1 + seed*997 + uint64(tc.n*31+tc.d*7+tc.k))
+				vs := saltedVecs(rng, tc.n, tc.d)
+				s, err := FromVectors(vs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				queries := tileGrid(rng, vs, tc.q, tc.d)
+				qs, err := FromVectors(queries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, unsigned := range []bool{false, true} {
+					multi, err := s.TopKMulti(qs, tc.k, unsigned)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j, q := range queries {
+						want, err := s.TopK(q, tc.k, unsigned, 1)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !hitsEqual(multi[j], want) {
+							t.Fatalf("n=%d d=%d k=%d unsigned=%v query %d: multi %v != single %v",
+								tc.n, tc.d, tc.k, unsigned, j, multi[j], want)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestNormSortedTopKMultiMatchesTopK does the same for the
+// early-terminating descending-norm scan, including the per-query
+// scanned counts (the multi sweep must prune exactly like the
+// single-query bound, never more, never less).
+func TestNormSortedTopKMultiMatchesTopK(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		for _, tc := range []struct{ n, d, k, q int }{
+			{300, 16, 5, 9},
+			{1000, 8, 3, 13},
+			{2048, 16, 10, 7},
+			{700, 24, 2, 5},
+		} {
+			rng := xrand.New(uint64(tc.n*131 + tc.d*17 + tc.k))
+			vs := saltedVecs(rng, tc.n, tc.d)
+			// Skew some norms so the bound actually prunes.
+			for i := 0; i < 6; i++ {
+				vec.Scale(vs[rng.Intn(len(vs))], 40)
+			}
+			s, err := FromVectors(vs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ns := NewNormSorted(s)
+			queries := tileGrid(rng, vs, tc.q, tc.d)
+			qs, err := FromVectors(queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, unsigned := range []bool{false, true} {
+				multi, scanned, err := ns.TopKMulti(qs, tc.k, unsigned)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pruned := false
+				for j, q := range queries {
+					want, wantScanned, err := ns.TopK(q, tc.k, unsigned)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !hitsEqual(multi[j], want) {
+						t.Fatalf("n=%d d=%d k=%d unsigned=%v query %d: multi %v != single %v",
+							tc.n, tc.d, tc.k, unsigned, j, multi[j], want)
+					}
+					if scanned[j] != wantScanned {
+						t.Fatalf("n=%d d=%d k=%d unsigned=%v query %d: multi scanned %d, single %d",
+							tc.n, tc.d, tc.k, unsigned, j, scanned[j], wantScanned)
+					}
+					if wantScanned < s.Len() {
+						pruned = true
+					}
+				}
+				if !pruned {
+					t.Fatalf("n=%d d=%d: norm bound never pruned any query", tc.n, tc.d)
+				}
+			}
+		}
+	})
+}
+
+// TestTopKMultiInputValidation checks the Into variants' contracts.
+func TestTopKMultiInputValidation(t *testing.T) {
+	s, _ := FromVectors([]vec.Vector{{1, 2}, {3, 4}})
+	qs, _ := FromVectors([]vec.Vector{{1, 0}, {0, 1}})
+	sc := GetTileScratch()
+	defer PutTileScratch(sc)
+	if err := s.TopKMultiInto(nil, 0, 0, false, nil, sc); err == nil {
+		t.Fatal("nil query store accepted")
+	}
+	if err := s.TopKMultiInto(qs, 0, 3, false, make([]Acc, 3), sc); err == nil {
+		t.Fatal("query range out of bounds accepted")
+	}
+	if err := s.TopKMultiInto(qs, 0, 2, false, make([]Acc, 1), sc); err == nil {
+		t.Fatal("accumulator count mismatch accepted")
+	}
+	accs := sc.Accs(2, 0)
+	if err := s.TopKMultiInto(qs, 0, 2, false, accs, sc); err == nil {
+		t.Fatal("k=0 accumulators accepted")
+	}
+	if _, err := s.TopKMulti(qs, 0, false); err == nil {
+		t.Fatal("TopKMulti k=0 accepted")
+	}
+	q3, _ := FromVectors([]vec.Vector{{1, 2, 3}})
+	if _, err := s.TopKMulti(q3, 1, false); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	ns := NewNormSorted(s)
+	if err := ns.TopKMultiInto(qs, 0, 2, false, sc.Accs(2, 1), make([]int, 1), sc); err == nil {
+		t.Fatal("scanned length mismatch accepted")
+	}
+}
+
+// TestAccReset pins the reuse semantics pooled accumulators rely on.
+func TestAccReset(t *testing.T) {
+	a := NewAcc(2)
+	a.Offer(0, 5)
+	a.Offer(1, 7)
+	a.Reset(3)
+	if len(a.Hits()) != 0 {
+		t.Fatalf("reset left %d hits", len(a.Hits()))
+	}
+	a.Offer(4, 1)
+	a.Offer(2, 1)
+	a.Offer(3, 9)
+	a.Offer(5, 0.5)
+	hits := a.Hits()
+	want := []Hit{{Index: 3, Score: 9}, {Index: 2, Score: 1}, {Index: 4, Score: 1}}
+	if !hitsEqual(hits, want) {
+		t.Fatalf("after reset: %v, want %v", hits, want)
+	}
+}
+
+// TestTileKernelAllocs is the zero-allocation contract of the flat
+// kernels: with a warm scratch and warm accumulators, DotTile and both
+// TopKMultiInto drivers must allocate nothing.
+func TestTileKernelAllocs(t *testing.T) {
+	rng := xrand.New(21)
+	n, d, nq, k := 1500, 16, 9, 10
+	s, err := FromVectors(randomVecs(rng, n, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNormSorted(s)
+	qs, err := FromVectors(randomVecs(rng, nq, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := GetTileScratch()
+	defer PutTileScratch(sc)
+	out := make([]float64, nq*256)
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := s.DotTile(qs, 0, nq, 0, 256, out); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("DotTile allocates %v per run, want 0", allocs)
+	}
+
+	// Warm the accumulators once so their hit storage reaches capacity.
+	accs := sc.Accs(nq, k)
+	if err := s.TopKMultiInto(qs, 0, nq, false, accs, sc); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		accs := sc.Accs(nq, k)
+		if err := s.TopKMultiInto(qs, 0, nq, false, accs, sc); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("TopKMultiInto allocates %v per run, want 0", allocs)
+	}
+
+	scanned := make([]int, nq)
+	if err := ns.TopKMultiInto(qs, 0, nq, false, sc.Accs(nq, k), scanned, sc); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		for i := range scanned {
+			scanned[i] = 0
+		}
+		accs := sc.Accs(nq, k)
+		if err := ns.TopKMultiInto(qs, 0, nq, false, accs, scanned, sc); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("NormSorted.TopKMultiInto allocates %v per run, want 0", allocs)
+	}
+}

@@ -28,7 +28,16 @@ const (
 	// handed to a Runner, and the number of queries that reuse one
 	// loaded P-tile.
 	tileQRows = 64
+	// tileQGroup is the width of one multi-query micro-kernel pass
+	// (flat.DotTile): the P-tile is scored against tileQGroup queries
+	// per kernel call, so each P-row load is amortized across the
+	// group. At 8×256 the score tile stays within 16 KiB.
+	tileQGroup = 8
 )
+
+// scoreTile is the per-task score buffer of the tiled kernels: one
+// tileQGroup × tilePRows block of dots, stack-allocated per Q-tile.
+type scoreTile [tileQGroup * tilePRows]float64
 
 // Runner executes n independent tasks, possibly in parallel, returning
 // only once all of them have completed. *server.Pool satisfies it, so
@@ -167,27 +176,32 @@ func tiledBest(P, Q *flat.Store, qlo, qhi int, cs float64, unsigned bool, out *R
 		best[j] = -1
 		bv[j] = math.Inf(-1)
 	}
-	var buf [tilePRows]float64
+	var buf scoreTile
 	for plo := 0; plo < n; plo += tilePRows {
 		phi := min(plo+tilePRows, n)
 		nb := phi - plo
-		for j := 0; j < nq; j++ {
-			// The P-tile stays cache-resident across the whole Q-tile.
-			_ = P.DotRange(Q.Row(qlo+j), plo, phi, buf[:nb])
-			b, v := best[j], bv[j]
-			for r := 0; r < nb; r++ {
-				d := buf[r]
-				if math.IsNaN(d) {
-					continue
+		for g := 0; g < nq; g += tileQGroup {
+			gh := min(g+tileQGroup, nq)
+			// One micro-kernel pass scores the whole query group
+			// against the cache-resident P-tile.
+			_ = P.DotTile(Q, qlo+g, qlo+gh, plo, phi, buf[:(gh-g)*nb])
+			for j := g; j < gh; j++ {
+				scores := buf[(j-g)*nb : (j-g+1)*nb]
+				b, v := best[j], bv[j]
+				for r := 0; r < nb; r++ {
+					d := scores[r]
+					if math.IsNaN(d) {
+						continue
+					}
+					if unsigned && d < 0 {
+						d = -d
+					}
+					if b == -1 || d > v {
+						b, v = plo+r, d
+					}
 				}
-				if unsigned && d < 0 {
-					d = -d
-				}
-				if b == -1 || d > v {
-					b, v = plo+r, d
-				}
+				best[j], bv[j] = b, v
 			}
-			best[j], bv[j] = b, v
 		}
 	}
 	out.Compared = int64(n) * int64(nq)
@@ -207,19 +221,23 @@ func tiledTopK(P, Q *flat.Store, qlo, qhi int, cs float64, unsigned bool, k int,
 	for j := range accs {
 		accs[j] = flat.NewAcc(k)
 	}
-	var buf [tilePRows]float64
+	var buf scoreTile
 	for plo := 0; plo < n; plo += tilePRows {
 		phi := min(plo+tilePRows, n)
 		nb := phi - plo
-		for j := 0; j < nq; j++ {
-			_ = P.DotRange(Q.Row(qlo+j), plo, phi, buf[:nb])
-			acc := &accs[j]
-			for r := 0; r < nb; r++ {
-				v := buf[r]
-				if unsigned && v < 0 {
-					v = -v
+		for g := 0; g < nq; g += tileQGroup {
+			gh := min(g+tileQGroup, nq)
+			_ = P.DotTile(Q, qlo+g, qlo+gh, plo, phi, buf[:(gh-g)*nb])
+			for j := g; j < gh; j++ {
+				scores := buf[(j-g)*nb : (j-g+1)*nb]
+				acc := &accs[j]
+				for r := 0; r < nb; r++ {
+					v := scores[r]
+					if unsigned && v < 0 {
+						v = -v
+					}
+					acc.Offer(plo+r, v)
 				}
-				acc.Offer(plo+r, v)
 			}
 		}
 	}
@@ -322,12 +340,16 @@ func normPrunedBest(rs *flat.Store, perm []int, Q *flat.Store, qlo, qhi int, cs 
 		bv[j] = math.Inf(-1)
 	}
 	live := nq
-	var buf [tilePRows]float64
+	var buf scoreTile
 	var compared int64
 	for plo := 0; plo < n && live > 0; plo += tilePRows {
 		lead := rs.Norm(plo)
 		phi := min(plo+tilePRows, n)
 		nb := phi - plo
+		// The per-tile Cauchy–Schwarz bound is evaluated per query of
+		// the tile first (same rule and same point in the scan as the
+		// single-query path); contiguous still-live runs then feed the
+		// multi-query micro-kernel, so dead queries cost nothing.
 		for j := 0; j < nq; j++ {
 			if done[j] {
 				continue
@@ -339,24 +361,37 @@ func normPrunedBest(rs *flat.Store, perm []int, Q *flat.Store, qlo, qhi int, cs 
 			if lead*Q.Norm(qlo+j) < stop {
 				done[j] = true
 				live--
+			}
+		}
+		for j := 0; j < nq; {
+			if done[j] {
+				j++
 				continue
 			}
-			_ = rs.DotRange(Q.Row(qlo+j), plo, phi, buf[:nb])
-			compared += int64(nb)
-			b, v := best[j], bv[j]
-			for r := 0; r < nb; r++ {
-				d := buf[r]
-				if math.IsNaN(d) {
-					continue
-				}
-				if unsigned && d < 0 {
-					d = -d
-				}
-				if orig := perm[plo+r]; b == -1 || d > v || (d == v && orig < b) {
-					b, v = orig, d
-				}
+			g := j + 1
+			for g < nq && !done[g] && g-j < tileQGroup {
+				g++
 			}
-			best[j], bv[j] = b, v
+			_ = rs.DotTile(Q, qlo+j, qlo+g, plo, phi, buf[:(g-j)*nb])
+			compared += int64(nb) * int64(g-j)
+			for jj := j; jj < g; jj++ {
+				scores := buf[(jj-j)*nb : (jj-j+1)*nb]
+				b, v := best[jj], bv[jj]
+				for r := 0; r < nb; r++ {
+					d := scores[r]
+					if math.IsNaN(d) {
+						continue
+					}
+					if unsigned && d < 0 {
+						d = -d
+					}
+					if orig := perm[plo+r]; b == -1 || d > v || (d == v && orig < b) {
+						b, v = orig, d
+					}
+				}
+				best[jj], bv[jj] = b, v
+			}
+			j = g
 		}
 	}
 	out.Compared = compared
@@ -378,7 +413,7 @@ func normPrunedTopK(rs *flat.Store, perm []int, Q *flat.Store, qlo, qhi int, cs 
 		accs[j] = flat.NewAcc(k)
 	}
 	live := nq
-	var buf [tilePRows]float64
+	var buf scoreTile
 	var compared int64
 	for plo := 0; plo < n && live > 0; plo += tilePRows {
 		lead := rs.Norm(plo)
@@ -396,17 +431,31 @@ func normPrunedTopK(rs *flat.Store, perm []int, Q *flat.Store, qlo, qhi int, cs 
 			if lead*Q.Norm(qlo+j) < stop {
 				done[j] = true
 				live--
+			}
+		}
+		for j := 0; j < nq; {
+			if done[j] {
+				j++
 				continue
 			}
-			_ = rs.DotRange(Q.Row(qlo+j), plo, phi, buf[:nb])
-			compared += int64(nb)
-			for r := 0; r < nb; r++ {
-				v := buf[r]
-				if unsigned && v < 0 {
-					v = -v
-				}
-				acc.Offer(perm[plo+r], v)
+			g := j + 1
+			for g < nq && !done[g] && g-j < tileQGroup {
+				g++
 			}
+			_ = rs.DotTile(Q, qlo+j, qlo+g, plo, phi, buf[:(g-j)*nb])
+			compared += int64(nb) * int64(g-j)
+			for jj := j; jj < g; jj++ {
+				scores := buf[(jj-j)*nb : (jj-j+1)*nb]
+				acc := &accs[jj]
+				for r := 0; r < nb; r++ {
+					v := scores[r]
+					if unsigned && v < 0 {
+						v = -v
+					}
+					acc.Offer(perm[plo+r], v)
+				}
+			}
+			j = g
 		}
 	}
 	out.Compared = compared

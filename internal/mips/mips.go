@@ -83,6 +83,63 @@ func (np *FlatNormPruned) Query(q vec.Vector) (Result, error) {
 	return res, nil
 }
 
+// queryStore packs a query batch into a columnar store so the
+// multi-query tile kernels can amortize every data-row load across the
+// batch.
+func queryStore(qs []vec.Vector) (*flat.Store, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("mips: empty query batch")
+	}
+	return flat.FromVectors(qs)
+}
+
+// FlatLinearScanBatch answers one exact MIPS query per element of qs
+// over a single sweep of the store, through the register-blocked
+// multi-query kernel. Each answer is bit-identical to
+// FlatLinearScan(fs, qs[i]) — and therefore to LinearScan on the row
+// slices — at a fraction of the per-query memory traffic.
+func FlatLinearScanBatch(fs *flat.Store, qs []vec.Vector) ([]Result, error) {
+	qstore, err := queryStore(qs)
+	if err != nil {
+		return nil, err
+	}
+	hits, err := fs.TopKMulti(qstore, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(qs))
+	for i, h := range hits {
+		out[i] = Result{Index: -1, Scanned: fs.Len()}
+		if len(h) > 0 {
+			out[i].Index, out[i].Value = h[0].Index, h[0].Score
+		}
+	}
+	return out, nil
+}
+
+// QueryBatch answers one exact MIPS query per element of qs in a
+// single descending-norm sweep, with the Cauchy–Schwarz bound applied
+// per query exactly as in Query: answers and per-query scanned counts
+// are bit-identical to calling Query per element.
+func (np *FlatNormPruned) QueryBatch(qs []vec.Vector) ([]Result, error) {
+	qstore, err := queryStore(qs)
+	if err != nil {
+		return nil, err
+	}
+	hits, scanned, err := np.ns.TopKMulti(qstore, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(qs))
+	for i, h := range hits {
+		out[i] = Result{Index: -1, Scanned: scanned[i]}
+		if len(h) > 0 {
+			out[i].Index, out[i].Value = h[0].Index, h[0].Score
+		}
+	}
+	return out, nil
+}
+
 // NormPruned is the descending-norm scan: data is sorted by ‖p‖ once;
 // a query walks the list from the largest norm and stops as soon as
 // ‖p‖·‖q‖ — an upper bound on every remaining inner product — cannot

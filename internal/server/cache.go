@@ -41,6 +41,10 @@ func newQueryCache(capacity int) *queryCache {
 	}
 }
 
+// enabled reports whether the cache memoizes at all; the serving layer
+// skips key construction entirely when it does not.
+func (c *queryCache) enabled() bool { return c.cap > 0 }
+
 // cacheKey serializes a search identity to an exact binary key.
 func cacheKey(collection string, version uint64, k int, unsigned bool, q vec.Vector) string {
 	buf := make([]byte, 0, len(collection)+1+17+8*len(q))

@@ -211,3 +211,122 @@ func TestSingleShardParallelScanMatchesExact(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestBatchSearchMatchesPerQuery pins the tiled batch executor to the
+// per-query path: for every index kind, a batch answer (multi-query
+// tile sweep over the shard snapshots) must be identical — hits,
+// ordering, scores, per-query errors — to issuing each query alone,
+// including wrong-dimension queries mixed into the batch and enough
+// queries to span several tiles.
+func TestBatchSearchMatchesPerQuery(t *testing.T) {
+	for _, kind := range []string{KindExact, KindNormScan, KindALSH, KindSketch} {
+		for _, shards := range []int{1, 4} {
+			rng := xrand.New(uint64(len(kind)*1009 + shards))
+			data := adversarial(rng, 400, 16)
+			// alsh expects unit-ball data; scale in place.
+			scale := 0.0
+			for _, v := range data {
+				if n := vec.Norm(v); n > scale {
+					scale = n
+				}
+			}
+			for _, v := range data {
+				vec.Scale(v, 1/scale)
+			}
+			s := New(Config{DefaultShards: shards, CacheCapacity: -1})
+			if _, _, err := s.Ingest("c", &IndexSpec{Kind: kind}, shards, records(data, 0)); err != nil {
+				t.Fatal(err)
+			}
+			unsigned := kind == KindSketch // sketch serves unsigned only
+			queries := make([]vec.Vector, 0, searchTileQ+20)
+			for i := 0; i < searchTileQ+17; i++ {
+				queries = append(queries, vec.Vector(rng.NormalVec(16)))
+			}
+			queries = append(queries, vec.New(16))                  // all-ties query
+			queries = append(queries, data[7].Clone())              // exact-row query
+			queries = append(queries, vec.Vector(rng.NormalVec(9))) // wrong dimension
+			batch, err := s.Search("c", queries, 5, unsigned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range queries {
+				single, err := s.Search("c", []vec.Vector{q}, 5, unsigned)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := fmt.Sprintf("kind=%s shards=%d query=%d", kind, shards, i)
+				if (batch[i].Err == nil) != (single[0].Err == nil) {
+					t.Fatalf("%s: batch err %v, single err %v", ctx, batch[i].Err, single[0].Err)
+				}
+				if batch[i].Err != nil {
+					if batch[i].Err.Error() != single[0].Err.Error() {
+						t.Fatalf("%s: batch err %q, single err %q", ctx, batch[i].Err, single[0].Err)
+					}
+					continue
+				}
+				if len(batch[i].Hits) != len(single[0].Hits) {
+					t.Fatalf("%s: batch %v != single %v", ctx, batch[i].Hits, single[0].Hits)
+				}
+				for r := range single[0].Hits {
+					if batch[i].Hits[r] != single[0].Hits[r] {
+						t.Fatalf("%s rank %d: batch %v != single %v (must be bit-identical)",
+							ctx, r, batch[i].Hits, single[0].Hits)
+					}
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestBatchSearchCaching checks the batch executor's cache interplay:
+// a repeated batch is served from the LRU with identical hits, and the
+// k<=0 rejection matches the per-query path.
+func TestBatchSearchCaching(t *testing.T) {
+	rng := xrand.New(99)
+	data := adversarial(rng, 200, 8)
+	s := New(Config{DefaultShards: 2})
+	defer s.Close()
+	if _, _, err := s.Ingest("c", nil, 0, records(data, 0)); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]vec.Vector, 40)
+	for i := range queries {
+		queries[i] = vec.Vector(rng.NormalVec(8))
+	}
+	first, err := s.Search("c", queries, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].Err != nil || first[i].Cached {
+			t.Fatalf("query %d: err=%v cached=%v on cold cache", i, first[i].Err, first[i].Cached)
+		}
+	}
+	second, err := s.Search("c", queries, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Fatalf("query %d not served from cache", i)
+		}
+		if len(second[i].Hits) != len(first[i].Hits) {
+			t.Fatalf("query %d: cached hits differ", i)
+		}
+		for r := range first[i].Hits {
+			if second[i].Hits[r] != first[i].Hits[r] {
+				t.Fatalf("query %d rank %d: cached hit differs", i, r)
+			}
+		}
+	}
+	bad, err := s.Search("c", queries, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bad {
+		if bad[i].Err == nil {
+			t.Fatalf("query %d: k=0 accepted by batch path", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/store"
@@ -257,24 +258,36 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// writeJSON encodes into a buffer first: once WriteHeader has fired, an
-// encoder error (e.g. a non-finite float that slipped past the handler
-// checks) could not be reported, and the client would see a truncated
-// 200. Buffering turns that into a clean 500 with a structured body.
+// jsonBufPool recycles response buffers so steady-state serving does
+// not allocate (and regrow) an encoder buffer per response. Buffers
+// that ballooned on a huge response are dropped rather than pooled.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledJSONBuf = 1 << 20
+
+// writeJSON encodes into a pooled buffer first: once WriteHeader has
+// fired, an encoder error (e.g. a non-finite float that slipped past
+// the handler checks) could not be reported, and the client would see
+// a truncated 200. Buffering turns that into a clean 500 with a
+// structured body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
 		buf.Reset()
 		status = http.StatusInternalServerError
-		_ = json.NewEncoder(&buf).Encode(map[string]string{
+		_ = json.NewEncoder(buf).Encode(map[string]string{
 			"error": fmt.Sprintf("encoding response: %v", err),
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledJSONBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {

@@ -146,10 +146,28 @@ func buildShardIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64) (ShardInd
 	return nil, fmt.Errorf("server: unknown index kind %q", spec.Kind)
 }
 
+// batchIndex is implemented by indexes whose scan can serve a whole
+// query tile in one data sweep through the register-blocked
+// multi-query kernels: accs[j] receives the top-k hits (local row
+// indices, canonical order) for query row qlo+j of qs, bit-identical
+// to TopK(qs.Row(qlo+j), k, unsigned, 1). The batch executor tiles
+// incoming queries per shard snapshot and dispatches through this
+// interface; engines without a columnar sweep (alsh, sketch) fall back
+// to per-query TopK.
+type batchIndex interface {
+	topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error
+}
+
 // emptyIndex serves a shard that holds no vectors yet.
 type emptyIndex struct{}
 
 func (emptyIndex) TopK(vec.Vector, int, bool, int) ([]Hit, error) { return nil, nil }
+
+// topKMulti implements batchIndex: no rows, so every accumulator stays
+// empty, exactly like the per-query path.
+func (emptyIndex) topKMulti(*flat.Store, int, int, bool, []flat.Acc, *flat.TileScratch) error {
+	return nil
+}
 
 // flatHits converts flat scan hits into serving-layer hits.
 func flatHits(hs []flat.Hit) []Hit {
@@ -183,6 +201,12 @@ func (ix exactIndex) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hi
 
 func (ix exactIndex) maxScanWorkers() int { return ix.fs.MaxScanWorkers() }
 
+// topKMulti implements batchIndex via the store's one-sweep
+// multi-query driver.
+func (ix exactIndex) topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
+	return ix.fs.TopKMultiInto(qs, qlo, qhi, unsigned, accs, sc)
+}
+
 // normScanIndex is the exact top-k variant of mips.NormPruned over the
 // norm-sorted columnar view: row-blocks are visited in decreasing-norm
 // order and the scan stops at the first block whose Cauchy–Schwarz
@@ -196,6 +220,12 @@ func (ix normScanIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, 
 		return nil, err
 	}
 	return flatHits(hs), nil
+}
+
+// topKMulti implements batchIndex: one descending-norm sweep serves
+// the whole tile, the Cauchy–Schwarz bound applied per query.
+func (ix normScanIndex) topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
+	return ix.ns.TopKMultiInto(qs, qlo, qhi, unsigned, accs, nil, sc)
 }
 
 // alshIndex is the §4.1 structure (SIMPLE map + hyperplane banding):

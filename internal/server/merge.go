@@ -1,7 +1,5 @@
 package server
 
-import "container/heap"
-
 // mergeTopK combines per-shard top-k lists — each already ordered by
 // (score descending, ID ascending) — into the global top-k under the
 // same ordering, via a k-way heap merge: the heap holds one cursor per
@@ -10,25 +8,40 @@ func mergeTopK(lists [][]Hit, k int) []Hit {
 	if k <= 0 {
 		return nil
 	}
-	h := make(mergeHeap, 0, len(lists))
+	scratch := make(mergeHeap, 0, len(lists))
+	return mergeTopKInto(lists, k, make([]Hit, 0, k), &scratch)
+}
+
+// mergeTopKInto is the allocation-free core of mergeTopK: merged hits
+// are appended to dst and the cursor heap's backing array is recycled
+// through scratch. dst must have spare capacity for k more entries if
+// the caller needs previously returned slices to stay stable. The
+// appended portion is returned. The heap operations are hand-rolled
+// (no container/heap) so nothing is boxed through an interface.
+func mergeTopKInto(lists [][]Hit, k int, dst []Hit, scratch *mergeHeap) []Hit {
+	h := (*scratch)[:0]
 	for _, l := range lists {
 		if len(l) > 0 {
 			h = append(h, mergeCursor{list: l})
 		}
 	}
-	heap.Init(&h)
-	out := make([]Hit, 0, k)
-	for len(h) > 0 && len(out) < k {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	base := len(dst)
+	for len(h) > 0 && len(dst)-base < k {
 		c := &h[0]
-		out = append(out, c.list[c.pos])
+		dst = append(dst, c.list[c.pos])
 		c.pos++
 		if c.pos == len(c.list) {
-			heap.Pop(&h)
-		} else {
-			heap.Fix(&h, 0)
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
 		}
+		h.siftDown(0)
 	}
-	return out
+	*scratch = h[:0]
+	return dst[base:]
 }
 
 // mergeCursor walks one shard's hit list.
@@ -39,9 +52,9 @@ type mergeCursor struct {
 
 type mergeHeap []mergeCursor
 
-func (h mergeHeap) Len() int { return len(h) }
-
-func (h mergeHeap) Less(a, b int) bool {
+// less orders cursors by their head hit under the canonical
+// (score descending, ID ascending) ordering.
+func (h mergeHeap) less(a, b int) bool {
 	x, y := h[a].list[h[a].pos], h[b].list[h[b].pos]
 	if x.Score != y.Score {
 		return x.Score > y.Score
@@ -49,14 +62,21 @@ func (h mergeHeap) Less(a, b int) bool {
 	return x.ID < y.ID
 }
 
-func (h mergeHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-
-func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeCursor)) }
-
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// siftDown restores the heap property below i.
+func (h mergeHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }

@@ -153,10 +153,13 @@ type SearchResult struct {
 }
 
 // Search answers a batch of top-k queries against the named collection.
-// Single queries fan out across the shards on the worker pool; batches
-// run one query per worker so a 1k-query request saturates every core.
-// Results are served from / stored into the LRU cache keyed by the
-// collection version observed at entry.
+// A single query fans out across the shards on the worker pool; a
+// batch is tiled — cache misses are packed into one columnar query
+// store, the pool fans out per query tile, and every tile sweeps each
+// shard snapshot once through the register-blocked multi-query kernels
+// (see batch.go), answering each query bit-identically to the
+// per-query path. Results are served from / stored into the LRU cache
+// keyed by the collection version observed at entry.
 func (s *Server) Search(name string, queries []vec.Vector, k int, unsigned bool) ([]SearchResult, error) {
 	c, ok := s.Collection(name)
 	if !ok {
@@ -165,31 +168,40 @@ func (s *Server) Search(name string, queries []vec.Vector, k int, unsigned bool)
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("server: empty query batch")
 	}
-	version := c.Version()
 	out := make([]SearchResult, len(queries))
-	one := func(i int, fanPool *Pool) {
-		qstart := time.Now()
-		key := cacheKey(name, version, k, unsigned, queries[i])
+	if len(queries) == 1 {
+		s.searchSingle(c, name, queries[0], k, unsigned, &out[0])
+	} else {
+		s.searchBatch(c, name, queries, k, unsigned, out)
+	}
+	return out, nil
+}
+
+// searchSingle is the one-query path: shard fan-out on the pool, LRU
+// in front (key construction skipped entirely when caching is off).
+func (s *Server) searchSingle(c *Collection, name string, q vec.Vector, k int, unsigned bool, res *SearchResult) {
+	qstart := time.Now()
+	var key string
+	if cacheOn := s.cache.enabled(); cacheOn {
+		key = cacheKey(name, c.Version(), k, unsigned, q)
 		if hits, ok := s.cache.get(key); ok {
-			out[i] = SearchResult{Hits: hits, Cached: true}
+			*res = SearchResult{Hits: hits, Cached: true}
 			c.lat.observe(time.Since(qstart))
 			return
 		}
-		hits, err := c.SearchOne(fanPool, queries[i], k, unsigned)
-		if err != nil {
-			out[i] = SearchResult{Err: err}
-			return
-		}
-		s.cache.put(name, key, hits)
-		out[i] = SearchResult{Hits: hits}
-		c.lat.observe(time.Since(qstart))
-	}
-	if len(queries) == 1 {
-		one(0, s.pool)
 	} else {
-		s.pool.ForEach(len(queries), func(i int) { one(i, nil) })
+		key = ""
 	}
-	return out, nil
+	hits, err := c.SearchOne(s.pool, q, k, unsigned)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	if key != "" {
+		s.cache.put(name, key, hits)
+	}
+	*res = SearchResult{Hits: hits}
+	c.lat.observe(time.Since(qstart))
 }
 
 // Stats snapshots the whole server for /stats.

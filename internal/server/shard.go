@@ -1,7 +1,8 @@
 package server
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -157,13 +158,25 @@ func (s *shard) topK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, er
 	for i, h := range local {
 		out[i] = Hit{ID: snap.ids[h.ID], Score: h.Score}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].ID < out[b].ID
-	})
+	sortHitsCanonical(out)
 	return out, nil
+}
+
+// sortHitsCanonical sorts hits into the canonical (score descending,
+// ID ascending) order without allocating (slices.SortFunc, unlike
+// sort.Slice, needs no reflection). All (score, ID) keys within one
+// shard are distinct — IDs are unique — so the non-stable sort is
+// deterministic.
+func sortHitsCanonical(hs []Hit) {
+	slices.SortFunc(hs, func(a, b Hit) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
 }
 
 // size returns the current record count.

@@ -310,6 +310,20 @@ func FlatTopK(s *FlatStore, q Vector, k int, unsigned bool, workers int) ([]Flat
 	return s.TopK(q, k, unsigned, workers)
 }
 
+// FlatTopKMulti answers one exact top-k query per row of queries over a
+// single sweep of the store, through the register-blocked multi-query
+// (GEMM-style) tile kernels: each data row loaded from memory is
+// scored against a whole query tile, so a batch runs at a fraction of
+// the per-query cost of FlatTopK while every answer stays bit-identical
+// to it (ordering, tie-breaks, and NaN rejection included).
+func FlatTopKMulti(s *FlatStore, queries []Vector, k int, unsigned bool) ([][]FlatHit, error) {
+	qs, err := flat.FromVectors(queries)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopKMulti(qs, k, unsigned)
+}
+
 // NormRangeMIPS is the norm-banded variant of the §4.1 index: data is
 // partitioned into geometric norm ranges, each with its own ALSH, which
 // keeps equation (3)'s exponent strong under skewed norms.

@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_3.json}"
+OUT="${1:-BENCH_4.json}"
 FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat|BenchmarkJoin}"
 TIME="${BENCH_TIME:-200ms}"
 PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/ ./internal/join/}"
@@ -40,3 +40,10 @@ END { print "\n  ]\n}" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Report-only regression comparison against the most recent previous
+# BENCH_*.json (benchstat-style; never gates).
+PREV="$(ls BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort -V | tail -1 || true)"
+if [ -n "${PREV:-}" ]; then
+    go run ./cmd/benchcmp "$PREV" "$OUT" || true
+fi
