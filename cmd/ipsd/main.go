@@ -3,11 +3,22 @@
 // Usage:
 //
 //	ipsd [-addr :7070] [-shards 4] [-cache 4096] [-workers 0] [-pprof addr]
+//	     [-data dir] [-fsync always|interval|never] [-fsync-interval 100ms]
+//	     [-checkpoint-bytes 67108864]
 //
 // Collections are created lazily by the first PUT /collections/{name};
 // see the README for the JSON API and a curl quickstart. -pprof serves
 // net/http/pprof on a separate listener (e.g. -pprof localhost:6060)
 // so profiles never share a port with — or leak onto — the public API.
+//
+// With -data, every collection is durable: ingests are written to a
+// per-collection WAL before they are acknowledged (per the -fsync
+// policy), the WAL is compacted into columnar segment snapshots once
+// it exceeds -checkpoint-bytes, and a restart recovers every
+// collection from its manifest, newest valid segment and WAL tail.
+// SIGINT/SIGTERM trigger a graceful shutdown: the HTTP listener stops
+// accepting, in-flight requests drain, and the WALs are flushed and
+// fsynced before the process exits.
 package main
 
 import (
@@ -32,6 +43,10 @@ func main() {
 	workers := flag.Int("workers", 0, "batch executor workers (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "hashing seed")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+	dataDir := flag.String("data", "", "data directory for durable collections (empty = in-memory only)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
+	ckptBytes := flag.Int64("checkpoint-bytes", 64<<20, "WAL bytes before compacting into a segment snapshot")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -49,13 +64,29 @@ func main() {
 		}()
 	}
 
-	srv := server.New(server.Config{
-		DefaultShards: *shards,
-		CacheCapacity: *cache,
-		Workers:       *workers,
-		Seed:          *seed,
+	srv, err := server.Open(server.Config{
+		DefaultShards:   *shards,
+		CacheCapacity:   *cache,
+		Workers:         *workers,
+		Seed:            *seed,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncEvery,
+		CheckpointBytes: *ckptBytes,
 	})
-	defer srv.Close()
+	if err != nil {
+		log.Fatalf("ipsd: %v", err)
+	}
+	if *dataDir != "" {
+		total := 0
+		for _, name := range srv.Collections() {
+			if c, ok := srv.Collection(name); ok {
+				total += c.Len()
+			}
+		}
+		log.Printf("ipsd: recovered %d collections (%d records) from %s (fsync=%s)",
+			len(srv.Collections()), total, *dataDir, *fsync)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -68,9 +99,11 @@ func main() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Println("ipsd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s := <-sig
+		log.Printf("ipsd: %v: shutting down", s)
+		// Stop accepting and drain in-flight requests (which also
+		// quiesces the worker pool and any durable ingests)...
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("ipsd: shutdown: %v", err)
@@ -83,4 +116,11 @@ func main() {
 		log.Fatalf("ipsd: %v", err)
 	}
 	<-done
+	// ...then flush and fsync every collection's WAL so the final
+	// acknowledged writes are durable even under -fsync interval/never.
+	if err := srv.Close(); err != nil {
+		log.Printf("ipsd: close: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("ipsd: wal flushed, bye")
 }

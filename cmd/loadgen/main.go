@@ -8,6 +8,17 @@
 //	loadgen -n 100000 -q 1000 -shards 4 -k 10
 //
 // is a self-contained end-to-end acceptance run.
+//
+// -mixed switches to an ingest-heavy mixed workload: -ingest-workers
+// goroutines PUT ingest chunks concurrently while a searcher goroutine
+// fires batched queries at the moving collection — the shape that
+// exercises WAL/ingest-lock contention on a durable server. The final
+// verified search pass still runs once ingest has quiesced.
+//
+// -skip-ingest assumes the server already holds the workload (e.g.
+// after a restart recovered it from its data directory) and goes
+// straight to the verified search pass: together with -seed this makes
+// a kill/restart cycle checkable end to end.
 package main
 
 import (
@@ -35,9 +46,10 @@ import (
 
 // routeTracker accumulates client-observed latencies per route label
 // and client-side allocation counters per workload phase, reported as
-// p50/p95/p99 at exit. The workload issues requests serially, so no
-// locking is needed.
+// p50/p95/p99 at exit. The -mixed workload issues requests from
+// several goroutines, so observations are mutex-guarded.
 type routeTracker struct {
+	mu     sync.Mutex
 	order  []string
 	byName map[string][]float64 // milliseconds
 	mem    runtime.MemStats
@@ -49,6 +61,8 @@ func newRouteTracker() *routeTracker {
 
 // observe records one request's wall time under the route label.
 func (tr *routeTracker) observe(route string, d time.Duration) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
 	if _, ok := tr.byName[route]; !ok {
 		tr.order = append(tr.order, route)
 	}
@@ -88,7 +102,13 @@ func main() {
 	sigma := flag.Float64("sigma", 0.5, "latent-factor popularity skew")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	verify := flag.Bool("verify", true, "check sharded results against a local exact scan")
+	mixed := flag.Bool("mixed", false, "ingest-heavy mixed workload: concurrent ingest chunks + searches against the moving collection")
+	ingestWorkers := flag.Int("ingest-workers", 4, "concurrent ingest requests in -mixed mode")
+	skipIngest := flag.Bool("skip-ingest", false, "skip ingest; verify the server's existing data (e.g. after a restart)")
 	flag.Parse()
+	if *mixed && *skipIngest {
+		log.Fatal("loadgen: -mixed and -skip-ingest are mutually exclusive")
+	}
 
 	base := *addr
 	if base == "" {
@@ -127,13 +147,7 @@ func main() {
 	}
 	tr.phaseAllocs() // baseline the client-side allocation counters
 
-	// Ingest in chunks.
-	ingestStart := time.Now()
-	for lo := 0; lo < *n; lo += *chunk {
-		hi := lo + *chunk
-		if hi > *n {
-			hi = *n
-		}
+	ingestChunk := func(lo, hi int) error {
 		recs := make([]server.RecordJSON, hi-lo)
 		for i := lo; i < hi; i++ {
 			id := i
@@ -145,15 +159,117 @@ func main() {
 			Records: recs,
 		}
 		var resp server.IngestResponse
-		if err := timed("PUT /collections/{name}", http.MethodPut, base+"/collections/"+collection, req, &resp); err != nil {
-			log.Fatalf("loadgen: ingest [%d,%d): %v", lo, hi, err)
-		}
+		return timed("PUT /collections/{name}", http.MethodPut, base+"/collections/"+collection, req, &resp)
 	}
-	ingestDur := time.Since(ingestStart)
-	fmt.Printf("ingested %d vectors in %v (%.0f vec/s) across %d shards (index=%s)\n",
-		*n, ingestDur.Round(time.Millisecond), float64(*n)/ingestDur.Seconds(), *shards, *index)
-	if m, b := tr.phaseAllocs(); true {
-		fmt.Printf("  process allocs during ingest: %d mallocs, %.1f MB\n", m, float64(b)/(1<<20))
+
+	switch {
+	case *skipIngest:
+		// The server is expected to already hold the workload (a
+		// restarted durable ipsd); check the record count matches
+		// before trusting the search comparison below.
+		var st server.Stats
+		if err := timed("GET /stats", http.MethodGet, base+"/stats", nil, &st); err != nil {
+			log.Fatalf("loadgen: stats: %v", err)
+		}
+		cs, ok := st.Collections[collection]
+		if !ok || cs.Records != *n {
+			log.Fatalf("loadgen: -skip-ingest: server has %d records in %q, want %d", cs.Records, collection, *n)
+		}
+		fmt.Printf("skipping ingest: server already holds %d records in %q\n", cs.Records, collection)
+
+	case *mixed:
+		// Ingest-heavy mixed workload: ingest chunks race each other
+		// (server-side they serialize on the collection's ingest lock
+		// and WAL) while a searcher hammers the moving collection.
+		type span struct{ lo, hi int }
+		var chunks []span
+		for lo := 0; lo < *n; lo += *chunk {
+			hi := lo + *chunk
+			if hi > *n {
+				hi = *n
+			}
+			chunks = append(chunks, span{lo, hi})
+		}
+		// Create the collection up front (empty ingest) so concurrent
+		// first-chunk races cannot fight over the index spec.
+		if err := ingestChunk(0, 0); err != nil {
+			log.Fatalf("loadgen: mixed: create: %v", err)
+		}
+		var next atomic.Int64
+		var liveSearches atomic.Int64
+		ingestDone := make(chan struct{})
+		var searchWG sync.WaitGroup
+		searchWG.Add(1)
+		go func() {
+			defer searchWG.Done()
+			qb := min(*batch, *q)
+			queries := make([][]float64, qb)
+			for i := range queries {
+				queries[i] = lf.Users[i]
+			}
+			for {
+				select {
+				case <-ingestDone:
+					return
+				default:
+				}
+				var resp server.SearchResponse
+				err := timed("POST /collections/{name}/search (mixed)", http.MethodPost,
+					base+"/collections/"+collection+"/search",
+					server.SearchRequest{Queries: queries, K: *k}, &resp)
+				if err != nil {
+					log.Fatalf("loadgen: mixed search: %v", err)
+				}
+				liveSearches.Add(int64(qb))
+			}
+		}()
+		ingestStart := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < *ingestWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= len(chunks) {
+						return
+					}
+					c := chunks[ci]
+					if err := ingestChunk(c.lo, c.hi); err != nil {
+						log.Fatalf("loadgen: mixed ingest [%d,%d): %v", c.lo, c.hi, err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		ingestDur := time.Since(ingestStart)
+		close(ingestDone)
+		searchWG.Wait()
+		fmt.Printf("mixed: ingested %d vectors in %v (%.0f vec/s, %d ingest workers) with %d live queries alongside (index=%s)\n",
+			*n, ingestDur.Round(time.Millisecond), float64(*n)/ingestDur.Seconds(),
+			*ingestWorkers, liveSearches.Load(), *index)
+		if m, b := tr.phaseAllocs(); true {
+			fmt.Printf("  process allocs during mixed phase: %d mallocs, %.1f MB\n", m, float64(b)/(1<<20))
+		}
+
+	default:
+		// Ingest in chunks.
+		ingestStart := time.Now()
+		for lo := 0; lo < *n; lo += *chunk {
+			hi := lo + *chunk
+			if hi > *n {
+				hi = *n
+			}
+			if err := ingestChunk(lo, hi); err != nil {
+				log.Fatalf("loadgen: ingest [%d,%d): %v", lo, hi, err)
+			}
+		}
+		ingestDur := time.Since(ingestStart)
+		fmt.Printf("ingested %d vectors in %v (%.0f vec/s) across %d shards (index=%s)\n",
+			*n, ingestDur.Round(time.Millisecond), float64(*n)/ingestDur.Seconds(), *shards, *index)
+		if m, b := tr.phaseAllocs(); true {
+			fmt.Printf("  process allocs during ingest: %d mallocs, %.1f MB\n", m, float64(b)/(1<<20))
+		}
 	}
 
 	// Batched searches.

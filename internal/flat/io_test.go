@@ -1,0 +1,75 @@
+package flat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestBlockRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{0, 1}, {1, 1}, {3, 8}, {17, 5}} {
+		s, err := New(tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tc.n; i++ {
+			v := make(vec.Vector, tc.d)
+			for j := range v {
+				v[j] = float64(i)*1.5 - float64(j)/3
+			}
+			if i == 0 && tc.d > 1 {
+				v[0], v[1] = math.Inf(-1), -0.0
+			}
+			if err := s.Append(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		enc := s.AppendBinary(nil)
+		if len(enc) != s.EncodedSize() {
+			t.Fatalf("n=%d d=%d: encoded %d bytes, EncodedSize says %d", tc.n, tc.d, len(enc), s.EncodedSize())
+		}
+		// Decoding consumes exactly the block even with trailing bytes.
+		got, consumed, err := DecodeStore(append(enc, 0xAA, 0xBB))
+		if err != nil {
+			t.Fatalf("n=%d d=%d: decode: %v", tc.n, tc.d, err)
+		}
+		if consumed != len(enc) {
+			t.Fatalf("consumed %d, want %d", consumed, len(enc))
+		}
+		if got.Dim() != tc.d || got.Len() != tc.n {
+			t.Fatalf("decoded %dx%d, want %dx%d", got.Len(), got.Dim(), tc.n, tc.d)
+		}
+		for i := 0; i < tc.n; i++ {
+			a, b := s.Row(i), got.Row(i)
+			for j := range a {
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					t.Fatalf("row %d elem %d: %v != %v", i, j, a[j], b[j])
+				}
+			}
+			if math.Float64bits(s.Norm(i)) != math.Float64bits(got.Norm(i)) {
+				t.Fatalf("row %d norm differs: %v != %v", i, s.Norm(i), got.Norm(i))
+			}
+		}
+	}
+}
+
+func TestDecodeStoreRejectsDamage(t *testing.T) {
+	s, _ := New(4)
+	for i := 0; i < 6; i++ {
+		s.Append(vec.Vector{float64(i), 1, 2, 3})
+	}
+	enc := s.AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeStore(enc[:cut]); err == nil {
+			t.Fatalf("cut=%d: accepted truncated block", cut)
+		}
+	}
+	for off := 0; off < len(enc); off++ {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x04
+		if _, _, err := DecodeStore(bad); err == nil {
+			t.Fatalf("off=%d: accepted corrupt block", off)
+		}
+	}
+}

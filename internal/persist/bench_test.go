@@ -1,0 +1,145 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// benchRecords builds n random d-dimensional records.
+func benchRecords(n, d int, seed uint64) []store.Record {
+	rng := xrand.New(seed)
+	recs := make([]store.Record, n)
+	for i := range recs {
+		v := make(vec.Vector, d)
+		for j := range v {
+			v[j] = rng.Normal()
+		}
+		recs[i] = store.Record{ID: i, Vec: v}
+	}
+	return recs
+}
+
+// BenchmarkWALAppend measures one-batch WAL appends under each fsync
+// policy (1000 records × 16 dims per batch, the loadgen chunk shape
+// scaled down).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, mode := range []FsyncMode{FsyncNever, FsyncInterval, FsyncAlways} {
+		b.Run("fsync="+mode.String(), func(b *testing.B) {
+			dir := b.TempDir()
+			pol := testPolicy(mode)
+			pol.CheckpointBytes = 1 << 40 // never checkpoint during the bench
+			l := mustCreateB(b, dir, pol)
+			defer l.Close()
+			recs := benchRecords(1000, 16, 1)
+			bytesPer := int64(len(encodeBatch(nil, 1, recs)) + frameHeaderSize)
+			b.SetBytes(bytesPer)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustCreateB(b *testing.B, dir string, pol Policy) *Log {
+	b.Helper()
+	l, err := Create(dir, Manifest{Name: "bench", Shards: 4}, pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkSegmentWrite measures checkpoint segment serialization
+// (encode + atomic write) for a 100k×16 collection.
+func BenchmarkSegmentWrite(b *testing.B) {
+	recs := benchRecords(100_000, 16, 2)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := writeSegment(dir, uint64(i+1), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecover measures a full boot-time recovery — the number the
+// README quotes for restart cost — across WAL-only, segment-only and
+// mixed layouts of a 100k×16 collection.
+func BenchmarkRecover(b *testing.B) {
+	const n, d = 100_000, 16
+	recs := benchRecords(n, d, 3)
+	layouts := []struct {
+		name  string
+		build func(b *testing.B, dir string)
+	}{
+		{"wal-tail", func(b *testing.B, dir string) {
+			l := mustCreateB(b, dir, testPolicy(FsyncNever))
+			for lo := 0; lo < n; lo += 20_000 {
+				if _, err := l.Append(recs[lo : lo+20_000]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"segment", func(b *testing.B, dir string) {
+			l := mustCreateB(b, dir, testPolicy(FsyncNever))
+			for lo := 0; lo < n; lo += 20_000 {
+				if _, err := l.Append(recs[lo : lo+20_000]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := l.Checkpoint(func() ([]store.Record, uint64) { return recs, l.LastSeq() }); err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"segment+tail", func(b *testing.B, dir string) {
+			l := mustCreateB(b, dir, testPolicy(FsyncNever))
+			half := n / 2
+			if _, err := l.Append(recs[:half]); err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Checkpoint(func() ([]store.Record, uint64) { return recs[:half], l.LastSeq() }); err != nil {
+				b.Fatal(err)
+			}
+			for lo := half; lo < n; lo += 10_000 {
+				if _, err := l.Append(recs[lo : lo+10_000]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}},
+	}
+	for _, lay := range layouts {
+		b.Run(fmt.Sprintf("layout=%s/n=%d", lay.name, n), func(b *testing.B) {
+			dir := b.TempDir()
+			lay.build(b, dir)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l, rec, err := Open(dir, testPolicy(FsyncNever))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rec.Recs) != n {
+					b.Fatalf("recovered %d records, want %d", len(rec.Recs), n)
+				}
+				if err := l.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,316 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// copyDir clones a collection directory into a fresh temp dir, so each
+// simulated crash mutates its own copy.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("unexpected subdirectory %s", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// buildCrashFixture writes nBatches batches and returns the closed
+// directory plus the batches and the active WAL file name.
+func buildCrashFixture(t *testing.T, nBatches, recsPer, dim int) (string, [][]store.Record, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	batches := make([][]store.Record, nBatches)
+	for i := range batches {
+		batches[i] = testBatch(i*100, recsPer, dim)
+		if _, err := l.Append(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	active := l.active
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, batches, active
+}
+
+// TestCrashTruncateEveryOffset is the mid-append kill harness: the WAL
+// is cut at every byte offset of the last frame (simulating a crash at
+// that exact point of the write) and recovery must yield exactly the
+// longest durable prefix — every complete earlier batch, the last one
+// only once its final byte is on disk — and reopen appendable.
+func TestCrashTruncateEveryOffset(t *testing.T) {
+	const nBatches = 3
+	dir, batches, active := buildCrashFixture(t, nBatches, 4, 5)
+	walPath := filepath.Join(dir, active)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the last frame's start by rescanning.
+	sc := scanWAL(full)
+	if sc.err != nil || len(sc.batches) != nBatches {
+		t.Fatalf("fixture scan: err=%v batches=%d", sc.err, len(sc.batches))
+	}
+	lastStart := sc.batches[nBatches-2].end
+	if int64(len(full)) != sc.batches[nBatches-1].end {
+		t.Fatalf("fixture has trailing bytes")
+	}
+
+	for cut := lastStart; cut <= int64(len(full)); cut++ {
+		crashed := copyDir(t, dir)
+		if err := os.Truncate(filepath.Join(crashed, active), cut); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(crashed, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		want := batches[:nBatches-1]
+		wantSeq := uint64(nBatches - 1)
+		if cut == int64(len(full)) {
+			want = batches
+			wantSeq = nBatches
+		}
+		if rec.LastSeq != wantSeq {
+			t.Fatalf("cut=%d: LastSeq %d, want %d", cut, rec.LastSeq, wantSeq)
+		}
+		checkRecovered(t, rec, want...)
+		// The torn tail must be gone: appending and reopening again
+		// yields prefix + new batch.
+		extra := testBatch(9000, 2, 5)
+		if seq, err := l.Append(extra); err != nil || seq != wantSeq+1 {
+			t.Fatalf("cut=%d: append after recovery: seq=%d err=%v", cut, seq, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, rec2, err := Open(crashed, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		checkRecovered(t, rec2, append(append([][]store.Record{}, want...), extra)...)
+	}
+}
+
+// TestCrashBitFlips flips one byte at a spread of WAL offsets: recovery
+// must stop before the damaged frame and never surface corrupt records.
+func TestCrashBitFlips(t *testing.T) {
+	const nBatches = 3
+	dir, batches, active := buildCrashFixture(t, nBatches, 3, 4)
+	walPath := filepath.Join(dir, active)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scanWAL(full)
+	frameStart := func(i int) int64 {
+		if i == 0 {
+			return int64(len(walMagic))
+		}
+		return sc.batches[i-1].end
+	}
+	for off := int64(0); off < int64(len(full)); off += 5 {
+		crashed := copyDir(t, dir)
+		p := filepath.Join(crashed, active)
+		data := append([]byte(nil), full...)
+		data[off] ^= 0x10
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rec, err := Open(crashed, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatalf("off=%d: open: %v", off, err)
+		}
+		// The damaged byte lives in some frame i (or the magic):
+		// everything before that frame must be recovered, nothing from
+		// it or after. (A flip inside a frame's length field can only
+		// shrink/grow the claimed frame, which breaks its checksum or
+		// truncates — either way the prefix property holds.)
+		hurt := 0
+		if off >= int64(len(walMagic)) {
+			hurt = nBatches
+			for i := 0; i < nBatches; i++ {
+				if off >= frameStart(i) && off < sc.batches[i].end {
+					hurt = i
+					break
+				}
+			}
+		}
+		checkRecovered(t, rec, batches[:hurt]...)
+	}
+}
+
+// TestCrashTornSegmentFallsBack corrupts the newest segment while the
+// WAL still holds every frame (the state a crash leaves when it dies
+// after the segment rename but before anything is deleted — or when
+// the rename itself tore). Recovery must ignore the bad segment and
+// rebuild everything from the WAL (or an older good segment).
+func TestCrashTornSegmentFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	var all []store.Record
+	for i := 0; i < 3; i++ {
+		b := testBatch(i*10, 4, 3)
+		all = append(all, b...)
+		if _, err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write a segment covering everything but keep the WAL by writing
+	// it directly instead of going through Checkpoint.
+	if _, err := writeSegment(dir, 3, all); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"bit-flip", func(d []byte) []byte { d[len(d)/2] ^= 0x01; return d }},
+		{"truncated", func(d []byte) []byte { return d[:len(d)*2/3] }},
+		{"empty", func(d []byte) []byte { return nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			crashed := copyDir(t, dir)
+			p := filepath.Join(crashed, segName(3))
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l2, rec, err := Open(crashed, testPolicy(FsyncNever))
+			if err != nil {
+				t.Fatalf("open with torn segment: %v", err)
+			}
+			defer l2.Close()
+			if rec.LastSeq != 3 {
+				t.Fatalf("LastSeq %d, want 3", rec.LastSeq)
+			}
+			checkRecovered(t, rec, all)
+		})
+	}
+}
+
+// TestCrashMidCheckpointLeftoverTemp simulates dying while the segment
+// temp file was being written: the .tmp must be ignored and the WAL
+// replayed as usual.
+func TestCrashMidCheckpointLeftoverTemp(t *testing.T) {
+	dir, batches, _ := buildCrashFixture(t, 2, 3, 3)
+	junk := []byte("partial segment write")
+	if err := os.WriteFile(filepath.Join(dir, segName(2)+tmpSuffix), junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(dir, testPolicy(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	checkRecovered(t, rec, batches...)
+}
+
+// TestGapRefusesOpen: when the WAL frames that a (now corrupt) segment
+// covered are already deleted, recovery cannot reconstruct the durable
+// prefix — Open must refuse loudly instead of silently truncating away
+// the still-valid newer tail (which would destroy the evidence an
+// operator needs to restore the segment from backup).
+func TestGapRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	var all []store.Record
+	for i := 0; i < 3; i++ {
+		b := testBatch(i*10, 3, 4)
+		all = append(all, b...)
+		if _, err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint compacts frames 1..3 into segment-3 and deletes the
+	// old WAL; frame 4 then lands in the fresh WAL.
+	if err := l.Checkpoint(func() ([]store.Record, uint64) { return all, l.LastSeq() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testBatch(100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the only segment: batches 1..3 are now unrecoverable and
+	// the WAL starts at frame 4 — an unbridgeable gap.
+	p := filepath.Join(dir, segName(3))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := dirSnapshot(t, dir)
+	if _, _, err := Open(dir, testPolicy(FsyncNever)); err == nil {
+		t.Fatal("Open succeeded despite an unbridgeable WAL gap")
+	}
+	// Nothing on disk may have been modified by the refused open.
+	if after := dirSnapshot(t, dir); !reflect.DeepEqual(before, after) {
+		t.Fatalf("refused Open modified the directory:\n before %v\n after  %v", before, after)
+	}
+}
+
+// dirSnapshot maps file name -> size for every file in dir.
+func dirSnapshot(t *testing.T, dir string) map[string]int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int64, len(entries))
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = info.Size()
+	}
+	return out
+}
+
+// TestRecoveredPrefixNeverRegresses: recovery after recovery (no new
+// writes) must be idempotent.
+func TestRecoverIdempotent(t *testing.T) {
+	dir, batches, _ := buildCrashFixture(t, 3, 2, 4)
+	for i := 0; i < 3; i++ {
+		l, rec, err := Open(dir, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		checkRecovered(t, rec, batches...)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

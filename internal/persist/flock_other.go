@@ -1,0 +1,12 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// Non-unix platforms get no advisory lock: correctness still holds
+// for a single server process per data dir, which the deployment docs
+// require anyway.
+func lockDir(string) (*os.File, error) { return nil, nil }
+
+func unlockDir(*os.File) error { return nil }

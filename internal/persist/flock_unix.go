@@ -1,0 +1,35 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking advisory lock on the
+// collection directory (via a "lock" file inside it), so two server
+// processes can never append to — or truncate — the same WAL. The
+// lock dies with the process, so a kill -9 never wedges a restart.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the lock (also released implicitly at process
+// exit).
+func unlockDir(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	return f.Close()
+}

@@ -1,0 +1,316 @@
+package persist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func testPolicy(mode FsyncMode) Policy {
+	return Policy{Mode: mode, Interval: 5 * time.Millisecond, CheckpointBytes: 1 << 20}
+}
+
+func mustCreate(t *testing.T, dir string, pol Policy) *Log {
+	t.Helper()
+	l, err := Create(dir, Manifest{Name: "c", Shards: 4, Index: json.RawMessage(`{"kind":"exact"}`)}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// checkRecovered asserts rec holds exactly the given batches, in order.
+func checkRecovered(t *testing.T, rec *Recovered, batches ...[]store.Record) {
+	t.Helper()
+	var want []store.Record
+	for _, b := range batches {
+		want = append(want, b...)
+	}
+	if len(rec.Recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Recs), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(rec.Recs[i], want[i]) {
+			t.Fatalf("recovered record %d differs:\n got  %+v\n want %+v", i, rec.Recs[i], want[i])
+		}
+	}
+}
+
+func TestLogAppendReopen(t *testing.T) {
+	for _, mode := range []FsyncMode{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustCreate(t, dir, testPolicy(mode))
+			b1, b2 := testBatch(0, 5, 3), testBatch(5, 4, 3)
+			if seq, err := l.Append(b1); err != nil || seq != 1 {
+				t.Fatalf("append 1: seq=%d err=%v", seq, err)
+			}
+			if seq, err := l.Append(b2); err != nil || seq != 2 {
+				t.Fatalf("append 2: seq=%d err=%v", seq, err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, rec, err := Open(dir, testPolicy(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if rec.Manifest.Name != "c" || rec.Manifest.Shards != 4 {
+				t.Fatalf("manifest %+v", rec.Manifest)
+			}
+			if rec.LastSeq != 2 {
+				t.Fatalf("LastSeq %d, want 2", rec.LastSeq)
+			}
+			checkRecovered(t, rec, b1, b2)
+
+			// Appends continue the sequence after reopen.
+			if seq, err := l2.Append(testBatch(9, 1, 3)); err != nil || seq != 3 {
+				t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
+			}
+		})
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	l.Close()
+	if _, err := Create(dir, Manifest{Name: "c2"}, testPolicy(FsyncNever)); err == nil {
+		t.Fatal("Create over an existing collection directory succeeded")
+	}
+}
+
+// TestDirectoryLockExcludesSecondOpener: two Logs must never share a
+// directory — the second opener fails fast instead of truncating the
+// first one's active WAL.
+func TestDirectoryLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	defer l.Close()
+	if _, _, err := Open(dir, testPolicy(FsyncNever)); err == nil {
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+	if _, err := Create(dir, Manifest{Name: "c2"}, testPolicy(FsyncNever)); err == nil {
+		t.Fatal("Create over a locked directory succeeded")
+	}
+	// After Close the directory is reopenable.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(dir, testPolicy(FsyncNever))
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	l2.Close()
+}
+
+// TestCreateScrubsLeftovers: a manifest-less directory holding stale
+// WAL/segment files (the debris of an interrupted removal) must be
+// scrubbed by Create — a stale high-seq segment adopted into the new
+// collection would shadow every new WAL frame at recovery.
+func TestCreateScrubsLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	old := testBatch(0, 3, 4)
+	if _, err := l.Append(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(func() ([]store.Record, uint64) { return old, l.LastSeq() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the interrupted removal: manifest gone, segment + WAL
+	// left behind.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustCreate(t, dir, testPolicy(FsyncNever))
+	fresh := testBatch(100, 2, 4)
+	if seq, err := l2.Append(fresh); err != nil || seq != 1 {
+		t.Fatalf("append into re-created dir: seq=%d err=%v", seq, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, rec, err := Open(dir, testPolicy(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	// Only the fresh batch — nothing from the dropped incarnation.
+	checkRecovered(t, rec, fresh)
+}
+
+func TestCheckpointCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	var all []store.Record
+	for i := 0; i < 5; i++ {
+		b := testBatch(i*10, 6, 4)
+		all = append(all, b...)
+		if _, err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapshot := func() ([]store.Record, uint64) { return all, l.LastSeq() }
+	if err := l.Checkpoint(snapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	// One segment at seq 5, exactly one (fresh) WAL file.
+	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil || len(segs) != 1 || segs[0] != 5 {
+		t.Fatalf("segments %v err=%v, want [5]", segs, err)
+	}
+	wals, err := listSeqFiles(dir, walPrefix, walSuffix)
+	if err != nil || len(wals) != 1 || wals[0] != 6 {
+		t.Fatalf("wals %v err=%v, want [6]", wals, err)
+	}
+	if got := l.WALBytes(); got != int64(len(walMagic)) {
+		t.Fatalf("active wal %d bytes after checkpoint, want %d", got, len(walMagic))
+	}
+
+	// Appends after the checkpoint extend the new WAL; recovery stitches
+	// segment + tail together.
+	tail := testBatch(90, 3, 4)
+	if seq, err := l.Append(tail); err != nil || seq != 6 {
+		t.Fatalf("append after checkpoint: seq=%d err=%v", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, testPolicy(FsyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastSeq != 6 {
+		t.Fatalf("LastSeq %d, want 6", rec.LastSeq)
+	}
+	checkRecovered(t, rec, all, tail)
+}
+
+func TestMaybeCheckpointThreshold(t *testing.T) {
+	dir := t.TempDir()
+	pol := testPolicy(FsyncNever)
+	pol.CheckpointBytes = 512
+	l := mustCreate(t, dir, pol)
+	var all []store.Record
+	snapshot := func() ([]store.Record, uint64) { return all, l.LastSeq() }
+
+	if l.MaybeCheckpoint(snapshot) {
+		t.Fatal("checkpoint started on an empty log")
+	}
+	b := testBatch(0, 20, 8)
+	all = append(all, b...)
+	if _, err := l.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if !l.MaybeCheckpoint(snapshot) {
+		t.Fatalf("checkpoint did not start at %d wal bytes (threshold %d)", l.WALBytes(), pol.CheckpointBytes)
+	}
+	// Wait for the background checkpoint to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+		if err == nil && len(segs) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("segment never appeared (segs=%v err=%v)", segs, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for l.ckptBusy.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	if l.MaybeCheckpoint(snapshot) {
+		t.Fatal("checkpoint restarted below threshold")
+	}
+	l.Close()
+}
+
+func TestSegmentRetention(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	var all []store.Record
+	snapshot := func() ([]store.Record, uint64) { return all, l.LastSeq() }
+	for i := 0; i < 4; i++ {
+		b := testBatch(i*10, 2, 3)
+		all = append(all, b...)
+		if _, err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Checkpoint(snapshot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0] != 3 || segs[1] != 4 {
+		t.Fatalf("retained segments %v, want [3 4]", segs)
+	}
+	l.Close()
+}
+
+func TestRemoveDeletesDirectory(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "col")
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	if _, err := l.Append(testBatch(0, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("directory still present: %v", err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := l.Append(testBatch(0, 1, 2)); err == nil {
+		t.Fatal("append on closed log succeeded")
+	}
+}
+
+func TestIntervalSyncerFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncInterval))
+	if _, err := l.Append(testBatch(0, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		dirty := l.dirty
+		l.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}

@@ -1,0 +1,242 @@
+// Package persist is the durable storage subsystem behind the serving
+// layer: a per-collection write-ahead log plus immutable columnar
+// segment snapshots, so a restarted server recovers every acknowledged
+// write by loading the newest valid segment and replaying the WAL tail.
+//
+// On-disk layout of one collection directory:
+//
+//	manifest.json            collection name, shard count, index spec
+//	segment-<seq>.seg        immutable snapshot of records 1..seq
+//	wal-<first>.log          frames with sequence numbers >= first
+//
+// The WAL is a sequence of length+CRC32C framed record batches; exactly
+// one WAL file is active at a time (older ones exist only transiently
+// while a checkpoint is compacting them into a segment). A checkpoint
+// rotates the WAL, writes a segment covering every published record,
+// and deletes the rotated files, so recovery cost stays bounded by the
+// checkpoint threshold rather than the collection's lifetime.
+//
+// Recovery semantics: the newest segment whose checksum verifies is
+// loaded, then WAL frames with sequence numbers above the segment's are
+// replayed in order until the first truncated, corrupt, or
+// out-of-sequence frame. Everything after that point is discarded (the
+// active WAL is truncated back to the last good frame), so the store
+// always reopens to the longest durable prefix of acknowledged writes
+// and never serves corrupt data.
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FsyncMode selects when WAL appends are made durable.
+type FsyncMode int
+
+const (
+	// FsyncInterval (the default) fsyncs the WAL on a background timer:
+	// a crash loses at most the last Interval of acknowledged writes.
+	FsyncInterval FsyncMode = iota
+	// FsyncAlways fsyncs before every append returns: an acknowledged
+	// write survives any crash.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS page cache: a clean process
+	// exit (including kill -9) loses nothing, a power failure may lose
+	// everything since the last checkpoint or rotation.
+	FsyncNever
+)
+
+// String returns the flag spelling of the mode.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsyncMode parses the -fsync flag spelling ("" = interval).
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "", "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("persist: unknown fsync mode %q (want always, interval or never)", s)
+}
+
+// Policy configures a Log's durability/compaction behavior. Zero
+// values select defaults.
+type Policy struct {
+	// Mode is the WAL fsync policy (default FsyncInterval).
+	Mode FsyncMode
+	// Interval is the background fsync period for FsyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// CheckpointBytes is the WAL size above which MaybeCheckpoint
+	// compacts the log into a segment (default 64 MiB).
+	CheckpointBytes int64
+}
+
+func (p *Policy) withDefaults() {
+	if p.Interval <= 0 {
+		p.Interval = 100 * time.Millisecond
+	}
+	if p.CheckpointBytes <= 0 {
+		p.CheckpointBytes = 64 << 20
+	}
+}
+
+// Manifest describes a persisted collection. Index is an opaque blob
+// owned by the serving layer (its IndexSpec JSON), so persist stays
+// independent of the index engines. Seed pins the collection's hashing
+// seed so a recovered collection rebuilds its (approximate) indexes
+// exactly as the original did, regardless of recovery order.
+type Manifest struct {
+	Name   string          `json:"name"`
+	Shards int             `json:"shards"`
+	Seed   uint64          `json:"seed,omitempty"`
+	Index  json.RawMessage `json:"index,omitempty"`
+}
+
+const (
+	manifestName = "manifest.json"
+	lockName     = "lock"
+)
+
+var errClosed = errors.New("persist: log is closed")
+
+const (
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+	segPrefix  = "segment-"
+	segSuffix  = ".seg"
+	tmpSuffix  = ".tmp"
+	seqNameFmt = "%020d"
+)
+
+func walName(firstSeq uint64) string {
+	return walPrefix + fmt.Sprintf(seqNameFmt, firstSeq) + walSuffix
+}
+
+func segName(seq uint64) string {
+	return segPrefix + fmt.Sprintf(seqNameFmt, seq) + segSuffix
+}
+
+// parseSeqName extracts the sequence number from a wal/segment file
+// name of the given shape.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSeqFiles returns the sequence numbers of every well-formed
+// prefix/suffix file in dir, ascending.
+func listSeqFiles(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeqName(e.Name(), prefix, suffix); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// writeFileAtomic writes name in dir via a temp file + fsync + rename +
+// directory fsync, so a crash leaves either the old file (or nothing)
+// or the complete new one — never a partial write under the real name.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames/creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeManifest persists the manifest atomically.
+func writeManifest(dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, manifestName, append(data, '\n'))
+}
+
+// ReadManifest loads a collection directory's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("persist: %s: bad manifest: %w", dir, err)
+	}
+	return m, nil
+}
+
+// HasManifest reports whether dir looks like a persisted collection.
+func HasManifest(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}

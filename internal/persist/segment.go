@@ -1,0 +1,203 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/flat"
+	"repro/internal/store"
+)
+
+// Segment file format (all little-endian):
+//
+//	magic   [8]byte "IPSSEG1\n"
+//	format  uint32  (currently 1)
+//	seq     uint64  WAL sequence covered: the segment holds every
+//	                record of batches 1..seq
+//	count   uint64  record count
+//	ids     count × int64
+//	vecs    flat.Store binary block (omitted when count == 0) — the
+//	                columnar dim/count header, raw little-endian float64
+//	                rows and block checksum from flat.AppendBinary
+//	attrs   uint32 nWith, then nWith × (uint64 recIndex, uint32 n,
+//	                n × (key, value) length-prefixed strings)
+//	crc     uint32  CRC-32C of everything after the magic
+//
+// Segments are written to a temp file, fsynced, renamed into place and
+// the directory fsynced, so a crash mid-checkpoint leaves at most an
+// ignored .tmp file; a rename that still manages to surface a torn
+// segment is caught by the trailing checksum and the loader falls back
+// to the next-older segment (plus whatever WAL frames remain).
+
+var segMagic = [8]byte{'I', 'P', 'S', 'S', 'E', 'G', '1', '\n'}
+
+const segFormat = 1
+
+// encodeSegment builds the full segment file image for (seq, recs).
+// All records must share one dimension (they come from one relation).
+func encodeSegment(seq uint64, recs []store.Record) ([]byte, error) {
+	var fs *flat.Store
+	if len(recs) > 0 {
+		var err error
+		if fs, err = flat.New(len(recs[0].Vec)); err != nil {
+			return nil, fmt.Errorf("persist: segment: %w", err)
+		}
+		for i, r := range recs {
+			if err := fs.Append(r.Vec); err != nil {
+				return nil, fmt.Errorf("persist: segment record %d: %w", i, err)
+			}
+		}
+	}
+	size := 8 + 4 + 8 + 8 + len(recs)*8 + 4
+	if fs != nil {
+		size += fs.EncodedSize()
+	}
+	buf := make([]byte, 0, size+64)
+	buf = append(buf, segMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, segFormat)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ID))
+	}
+	if fs != nil {
+		buf = fs.AppendBinary(buf)
+	}
+	nWith := 0
+	for _, r := range recs {
+		if len(r.Attrs) > 0 {
+			nWith++
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nWith))
+	for i, r := range recs {
+		if len(r.Attrs) == 0 {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(i))
+		buf = appendAttrs(buf, r.Attrs)
+	}
+	crc := crc32.Checksum(buf[8:], castagnoli)
+	return binary.LittleEndian.AppendUint32(buf, crc), nil
+}
+
+func appendAttrs(buf []byte, attrs map[string]string) []byte {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	// Canonical order, matching the WAL encoding.
+	sort.Strings(keys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		buf = appendString(buf, attrs[k])
+	}
+	return buf
+}
+
+// decodeSegment parses and verifies a whole segment file image,
+// returning the covered WAL sequence and the records. Record vectors
+// are row views into one contiguous decoded flat.Store — no per-row
+// copies.
+func decodeSegment(data []byte) (seq uint64, recs []store.Record, err error) {
+	if len(data) < 8+4+8+8+4 {
+		return 0, nil, fmt.Errorf("persist: segment truncated: %d bytes", len(data))
+	}
+	if [8]byte(data[:8]) != segMagic {
+		return 0, nil, fmt.Errorf("persist: bad segment magic %q", data[:8])
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[8:len(data)-4], castagnoli); got != want {
+		return 0, nil, fmt.Errorf("persist: segment checksum mismatch: %08x != %08x", got, want)
+	}
+	rest := data[8 : len(data)-4]
+	format := binary.LittleEndian.Uint32(rest)
+	if format != segFormat {
+		return 0, nil, fmt.Errorf("persist: unsupported segment format %d", format)
+	}
+	seq = binary.LittleEndian.Uint64(rest[4:])
+	count := binary.LittleEndian.Uint64(rest[12:])
+	rest = rest[20:]
+	if uint64(len(rest))/8 < count {
+		return 0, nil, fmt.Errorf("persist: segment claims %d records in %d bytes", count, len(rest))
+	}
+	recs = make([]store.Record, count)
+	for i := range recs {
+		recs[i].ID = int(int64(binary.LittleEndian.Uint64(rest[i*8:])))
+	}
+	rest = rest[int(count)*8:]
+	if count > 0 {
+		fs, n, err := flat.DecodeStore(rest)
+		if err != nil {
+			return 0, nil, fmt.Errorf("persist: segment vectors: %w", err)
+		}
+		if uint64(fs.Len()) != count {
+			return 0, nil, fmt.Errorf("persist: segment vector block has %d rows, want %d", fs.Len(), count)
+		}
+		for i := range recs {
+			recs[i].Vec = fs.Row(i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) < 4 {
+		return 0, nil, fmt.Errorf("persist: segment attrs truncated")
+	}
+	nWith := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	for a := uint32(0); a < nWith; a++ {
+		if len(rest) < 12 {
+			return 0, nil, fmt.Errorf("persist: segment attr entry %d truncated", a)
+		}
+		idx := binary.LittleEndian.Uint64(rest)
+		n := binary.LittleEndian.Uint32(rest[8:])
+		rest = rest[12:]
+		if idx >= count {
+			return 0, nil, fmt.Errorf("persist: segment attr entry %d targets record %d of %d", a, idx, count)
+		}
+		if uint64(n) > uint64(len(rest))/8 {
+			return 0, nil, fmt.Errorf("persist: segment attr entry %d claims %d attrs", a, n)
+		}
+		attrs := make(map[string]string, n)
+		for j := uint32(0); j < n; j++ {
+			var k, v string
+			if k, rest, err = takeString(rest); err != nil {
+				return 0, nil, fmt.Errorf("persist: segment attr entry %d key: %w", a, err)
+			}
+			if v, rest, err = takeString(rest); err != nil {
+				return 0, nil, fmt.Errorf("persist: segment attr entry %d value: %w", a, err)
+			}
+			attrs[k] = v
+		}
+		recs[idx].Attrs = attrs
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("persist: %d trailing segment bytes", len(rest))
+	}
+	return seq, recs, nil
+}
+
+// writeSegment atomically writes segment-<seq>.seg in dir, returning
+// the segment's byte size.
+func writeSegment(dir string, seq uint64, recs []store.Record) (int64, error) {
+	data, err := encodeSegment(seq, recs)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), writeFileAtomic(dir, segName(seq), data)
+}
+
+// readSegment loads and verifies one segment file, also reporting its
+// byte size (which feeds the scaled checkpoint threshold).
+func readSegment(dir string, seq uint64) (uint64, []store.Record, int64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, segName(seq)))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	seg, recs, err := decodeSegment(data)
+	return seg, recs, int64(len(data)), err
+}

@@ -1,0 +1,90 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100} {
+		recs := testBatch(1000, n, 8)
+		data, err := encodeSegment(77, recs)
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		seq, got, err := decodeSegment(data)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if seq != 77 {
+			t.Fatalf("n=%d: seq %d, want 77", n, seq)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("n=%d: %d records, want %d", n, len(got), len(recs))
+		}
+		for i := range recs {
+			if !recordsEqual(recs[i], got[i]) {
+				t.Fatalf("n=%d: record %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestSegmentRejectsCorruption(t *testing.T) {
+	recs := testBatch(0, 20, 6)
+	data, err := encodeSegment(5, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at a spread of offsets.
+	for cut := 0; cut < len(data); cut += 13 {
+		if _, _, err := decodeSegment(data[:cut]); err == nil {
+			t.Fatalf("cut=%d: decode accepted truncated segment", cut)
+		}
+	}
+	// Bit flips at a spread of offsets (covering header, ids, floats,
+	// attrs and the trailing checksum itself).
+	for off := 0; off < len(data); off += 11 {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if _, _, err := decodeSegment(bad); err == nil {
+			t.Fatalf("off=%d: decode accepted corrupt segment", off)
+		}
+	}
+}
+
+func TestSegmentWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	recs := testBatch(50, 30, 4)
+	if _, err := writeSegment(dir, 9, recs); err != nil {
+		t.Fatal(err)
+	}
+	// The temp file must be gone, the real file present.
+	if _, err := os.Stat(filepath.Join(dir, segName(9)+tmpSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("temp segment file left behind: %v", err)
+	}
+	seq, got, size, err := readSegment(dir, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Fatalf("segment size %d", size)
+	}
+	if seq != 9 || len(got) != len(recs) {
+		t.Fatalf("read back seq=%d n=%d", seq, len(got))
+	}
+	for i := range recs {
+		if !recordsEqual(recs[i], got[i]) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestSegmentRejectsMixedDimensions(t *testing.T) {
+	recs := testBatch(0, 2, 4)
+	recs[1].Vec = recs[1].Vec[:3]
+	if _, err := encodeSegment(1, recs); err == nil {
+		t.Fatal("encode accepted mixed dimensions")
+	}
+}

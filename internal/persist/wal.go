@@ -1,0 +1,250 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// WAL file format (all little-endian):
+//
+//	magic   [8]byte "IPSWAL1\n"
+//	frames  ...
+//
+// One frame carries one ingest batch:
+//
+//	length  uint32  payload byte count
+//	crc     uint32  CRC-32C (Castagnoli) of the payload
+//	payload:
+//	  seq    uint64  batch sequence number (1-based, consecutive)
+//	  nrecs  uint32
+//	  nrecs × record:
+//	    id      int64
+//	    dim     uint32
+//	    nattrs  uint32
+//	    nattrs × (key, value)   each uint32 length + bytes, keys sorted
+//	    dim × float64           raw IEEE-754 bits
+//
+// Attribute keys are sorted at encode time so the encoding is
+// canonical: the same batch always produces the same bytes, which the
+// crash-recovery tests rely on when comparing durable prefixes.
+
+var walMagic = [8]byte{'I', 'P', 'S', 'W', 'A', 'L', '1', '\n'}
+
+const (
+	frameHeaderSize = 8 // u32 length + u32 crc
+	// maxFrameBytes bounds a single frame so a corrupt length field
+	// cannot drive a giant allocation. 1 GiB comfortably exceeds any
+	// real ingest batch.
+	maxFrameBytes = 1 << 30
+)
+
+// Truncation vs corruption: a truncated tail is the expected shape of
+// a crash mid-append and recovery silently stops there; anything else
+// (bad magic, checksum mismatch, malformed payload, sequence gap) is
+// reported so callers can surface it.
+var (
+	errTruncated = errors.New("persist: wal frame truncated")
+	errCorrupt   = errors.New("persist: wal frame corrupt")
+)
+
+// encodeBatch appends the canonical payload encoding of (seq, recs) to
+// buf and returns the extended slice.
+func encodeBatch(buf []byte, seq uint64, recs []store.Record) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	var keys []string
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Vec)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Attrs)))
+		if len(r.Attrs) > 0 {
+			keys = keys[:0]
+			for k := range r.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				buf = appendString(buf, k)
+				buf = appendString(buf, r.Attrs[k])
+			}
+		}
+		for _, v := range r.Vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// decodeBatch parses a frame payload. Every length field is validated
+// against the remaining input before any allocation.
+func decodeBatch(payload []byte) (seq uint64, recs []store.Record, err error) {
+	rest := payload
+	if len(rest) < 12 {
+		return 0, nil, fmt.Errorf("%w: payload header", errCorrupt)
+	}
+	seq = binary.LittleEndian.Uint64(rest)
+	nrecs := binary.LittleEndian.Uint32(rest[8:])
+	rest = rest[12:]
+	// A record costs at least 16 bytes (id + dim + nattrs), so a
+	// nrecs claim beyond len(rest)/16 is corrupt, not an allocation.
+	if uint64(nrecs) > uint64(len(rest))/16 {
+		return 0, nil, fmt.Errorf("%w: %d records in %d payload bytes", errCorrupt, nrecs, len(rest))
+	}
+	recs = make([]store.Record, nrecs)
+	for i := range recs {
+		if len(rest) < 16 {
+			return 0, nil, fmt.Errorf("%w: record %d header", errCorrupt, i)
+		}
+		recs[i].ID = int(int64(binary.LittleEndian.Uint64(rest)))
+		dim := binary.LittleEndian.Uint32(rest[8:])
+		nattrs := binary.LittleEndian.Uint32(rest[12:])
+		rest = rest[16:]
+		if nattrs > 0 {
+			// Each attribute costs at least 8 bytes of length fields.
+			if uint64(nattrs) > uint64(len(rest))/8 {
+				return 0, nil, fmt.Errorf("%w: record %d claims %d attrs", errCorrupt, i, nattrs)
+			}
+			attrs := make(map[string]string, nattrs)
+			for a := uint32(0); a < nattrs; a++ {
+				var k, v string
+				if k, rest, err = takeString(rest); err != nil {
+					return 0, nil, fmt.Errorf("%w: record %d attr key", errCorrupt, i)
+				}
+				if v, rest, err = takeString(rest); err != nil {
+					return 0, nil, fmt.Errorf("%w: record %d attr value", errCorrupt, i)
+				}
+				attrs[k] = v
+			}
+			recs[i].Attrs = attrs
+		}
+		if uint64(dim) > uint64(len(rest))/8 {
+			return 0, nil, fmt.Errorf("%w: record %d claims dimension %d with %d bytes left",
+				errCorrupt, i, dim, len(rest))
+		}
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(rest[j*8:]))
+		}
+		rest = rest[int(dim)*8:]
+		recs[i].Vec = v
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing payload bytes", errCorrupt, len(rest))
+	}
+	return seq, recs, nil
+}
+
+func takeString(rest []byte) (string, []byte, error) {
+	if len(rest) < 4 {
+		return "", nil, errCorrupt
+	}
+	n := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(n) > uint64(len(rest)) {
+		return "", nil, errCorrupt
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// appendFrame wraps an already-encoded payload (buf[payloadStart:]) in
+// a frame header written into buf[payloadStart-frameHeaderSize:].
+// Callers reserve the header bytes before encoding the payload so the
+// whole frame lands in one contiguous write.
+func finishFrame(buf []byte, payloadStart int) ([]byte, error) {
+	payload := buf[payloadStart:]
+	if len(payload) > maxFrameBytes {
+		return nil, fmt.Errorf("persist: frame payload %d bytes exceeds limit %d", len(payload), maxFrameBytes)
+	}
+	hdr := buf[payloadStart-frameHeaderSize:]
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// decodeFrame parses one frame from the front of data, returning the
+// payload view (aliasing data) and the total frame size. errTruncated
+// means data ends mid-frame; errCorrupt means the frame is framed but
+// fails its checksum or claims an impossible length.
+func decodeFrame(data []byte) (payload []byte, n int, err error) {
+	if len(data) < frameHeaderSize {
+		return nil, 0, errTruncated
+	}
+	length := binary.LittleEndian.Uint32(data)
+	if length > maxFrameBytes {
+		return nil, 0, fmt.Errorf("%w: frame length %d", errCorrupt, length)
+	}
+	want := binary.LittleEndian.Uint32(data[4:8])
+	total := frameHeaderSize + int(length)
+	if len(data) < total {
+		return nil, 0, errTruncated
+	}
+	payload = data[frameHeaderSize:total]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("%w: checksum %08x != %08x", errCorrupt, got, want)
+	}
+	return payload, total, nil
+}
+
+// walScan is the result of scanning one WAL file's bytes.
+type walScan struct {
+	// magicOK reports whether the file header parsed; when false the
+	// file must be rewritten from scratch before appending.
+	magicOK bool
+	// batches holds every decoded (seq, recs) frame in file order;
+	// each carries the byte offset just past its frame so recovery can
+	// truncate precisely after the last frame it accepts.
+	batches []walBatch
+	// err is the reason scanning stopped early (nil if the whole file
+	// parsed; errTruncated for a clean torn tail).
+	err error
+}
+
+type walBatch struct {
+	seq  uint64
+	recs []store.Record
+	end  int64 // offset just past this frame
+}
+
+// scanWAL decodes as many frames as possible from a WAL file image.
+func scanWAL(data []byte) walScan {
+	if len(data) < len(walMagic) || [8]byte(data[:8]) != walMagic {
+		err := errCorrupt
+		if len(data) < len(walMagic) {
+			err = errTruncated
+		}
+		return walScan{err: fmt.Errorf("%w: wal magic", err)}
+	}
+	sc := walScan{magicOK: true}
+	offset := int64(len(walMagic))
+	rest := data[len(walMagic):]
+	for len(rest) > 0 {
+		payload, n, err := decodeFrame(rest)
+		if err != nil {
+			sc.err = err
+			return sc
+		}
+		seq, recs, err := decodeBatch(payload)
+		if err != nil {
+			sc.err = err
+			return sc
+		}
+		offset += int64(n)
+		sc.batches = append(sc.batches, walBatch{seq: seq, recs: recs, end: offset})
+		rest = rest[n:]
+	}
+	return sc
+}

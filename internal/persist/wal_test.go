@@ -1,0 +1,170 @@
+package persist
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// testBatch builds a deterministic batch with IDs, attrs on some
+// records, and awkward float values.
+func testBatch(base, n, dim int) []store.Record {
+	recs := make([]store.Record, n)
+	for i := range recs {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = float64(base+i)*0.25 - float64(j)*1e-3
+		}
+		if i == 0 {
+			v[0] = math.Inf(1)
+			if dim > 1 {
+				v[1] = -0.0
+			}
+		}
+		recs[i] = store.Record{ID: base + i, Vec: v}
+		if i%3 == 0 {
+			recs[i].Attrs = map[string]string{"kind": "test", "i": string(rune('a' + i%26))}
+		}
+	}
+	return recs
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7} {
+		recs := testBatch(100, n, 5)
+		payload := encodeBatch(nil, 42, recs)
+		seq, got, err := decodeBatch(payload)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if seq != 42 {
+			t.Fatalf("n=%d: seq %d, want 42", n, seq)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("n=%d: %d records, want %d", n, len(got), len(recs))
+		}
+		for i := range recs {
+			if !recordsEqual(recs[i], got[i]) {
+				t.Fatalf("n=%d: record %d differs:\n got  %+v\n want %+v", n, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+// recordsEqual compares bit-identically (NaN-safe, -0 vs +0 distinct).
+func recordsEqual(a, b store.Record) bool {
+	if a.ID != b.ID || len(a.Vec) != len(b.Vec) {
+		return false
+	}
+	for i := range a.Vec {
+		if math.Float64bits(a.Vec[i]) != math.Float64bits(b.Vec[i]) {
+			return false
+		}
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for k, v := range a.Attrs {
+		if b.Attrs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeBatchCanonical(t *testing.T) {
+	recs := []store.Record{{
+		ID:    1,
+		Vec:   vec.Vector{1, 2},
+		Attrs: map[string]string{"b": "2", "a": "1", "c": "3"},
+	}}
+	first := encodeBatch(nil, 1, recs)
+	for i := 0; i < 20; i++ {
+		if got := encodeBatch(nil, 1, recs); !reflect.DeepEqual(got, first) {
+			t.Fatalf("encoding is not canonical across runs")
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	recs := testBatch(0, 4, 3)
+	buf := make([]byte, frameHeaderSize)
+	buf = encodeBatch(buf, 7, recs)
+	buf, err := finishFrame(buf, frameHeaderSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, n, err := decodeFrame(buf)
+	if err != nil {
+		t.Fatalf("decodeFrame: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("frame size %d, want %d", n, len(buf))
+	}
+	if seq, _, err := decodeBatch(payload); err != nil || seq != 7 {
+		t.Fatalf("payload decode: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestDecodeFrameTruncatedAndCorrupt(t *testing.T) {
+	buf := make([]byte, frameHeaderSize)
+	buf = encodeBatch(buf, 1, testBatch(0, 2, 4))
+	buf, err := finishFrame(buf, frameHeaderSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix is a truncation, not corruption.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := decodeFrame(buf[:cut]); err == nil {
+			t.Fatalf("cut=%d: decode succeeded on truncated frame", cut)
+		}
+	}
+	// A flipped payload byte must fail the checksum.
+	for off := frameHeaderSize; off < len(buf); off += 7 {
+		bad := append([]byte(nil), buf...)
+		bad[off] ^= 0x40
+		if _, _, err := decodeFrame(bad); err == nil {
+			t.Fatalf("off=%d: decode accepted corrupt payload", off)
+		}
+	}
+}
+
+func TestScanWALStopsAtBadFrame(t *testing.T) {
+	var data []byte
+	data = append(data, walMagic[:]...)
+	frameEnds := []int64{}
+	for i := 0; i < 3; i++ {
+		start := len(data)
+		f := make([]byte, frameHeaderSize)
+		f = encodeBatch(f, uint64(i+1), testBatch(i*10, 2, 3))
+		f, err := finishFrame(f, frameHeaderSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, f...)
+		frameEnds = append(frameEnds, int64(start+len(f)))
+	}
+	sc := scanWAL(data)
+	if sc.err != nil || len(sc.batches) != 3 {
+		t.Fatalf("clean scan: err=%v batches=%d", sc.err, len(sc.batches))
+	}
+	for i, b := range sc.batches {
+		if b.end != frameEnds[i] {
+			t.Fatalf("batch %d end %d, want %d", i, b.end, frameEnds[i])
+		}
+	}
+
+	// Corrupt the second frame: scan keeps frame 1 only.
+	bad := append([]byte(nil), data...)
+	bad[frameEnds[0]+frameHeaderSize+2] ^= 0xff
+	sc = scanWAL(bad)
+	if sc.err == nil {
+		t.Fatal("scan of corrupt wal reported no error")
+	}
+	if len(sc.batches) != 1 || sc.batches[0].seq != 1 {
+		t.Fatalf("corrupt scan kept %d batches", len(sc.batches))
+	}
+}

@@ -101,7 +101,7 @@ func (s *Server) searchBatch(c *Collection, name string, queries []vec.Vector, k
 	for i := range queries {
 		if cacheOn {
 			qstart := time.Now()
-			key := cacheKey(name, version, k, unsigned, queries[i])
+			key := cacheKey(name, c.gen, version, k, unsigned, queries[i])
 			if hits, ok := s.cache.get(key); ok {
 				out[i] = SearchResult{Hits: hits, Cached: true}
 				c.lat.observe(time.Since(qstart))

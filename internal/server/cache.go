@@ -45,11 +45,17 @@ func newQueryCache(capacity int) *queryCache {
 // skips key construction entirely when it does not.
 func (c *queryCache) enabled() bool { return c.cap > 0 }
 
-// cacheKey serializes a search identity to an exact binary key.
-func cacheKey(collection string, version uint64, k int, unsigned bool, q vec.Vector) string {
-	buf := make([]byte, 0, len(collection)+1+17+8*len(q))
+// cacheKey serializes a search identity to an exact binary key. gen is
+// the collection incarnation (unique per created/recovered Collection
+// within this server's life): a dropped-and-recreated collection
+// restarts versions at 0, so without it an in-flight put racing the
+// drop's invalidate could strand an old-incarnation entry that a
+// same-name successor would later serve.
+func cacheKey(collection string, gen, version uint64, k int, unsigned bool, q vec.Vector) string {
+	buf := make([]byte, 0, len(collection)+1+25+8*len(q))
 	buf = append(buf, collection...)
 	buf = append(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
 	buf = binary.LittleEndian.AppendUint64(buf, version)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
 	if unsigned {

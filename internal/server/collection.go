@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/persist"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -12,20 +13,65 @@ import (
 // Collection is a named, sharded vector set. The source of truth is a
 // store.Versioned relation (immutable snapshots, used by the join
 // endpoint and /stats); serving happens against per-shard indexes that
-// are rebuilt on the shard-owner goroutines at ingest time.
+// are rebuilt on the shard-owner goroutines at ingest time. When the
+// server is durable, every ingest batch is appended to the
+// collection's write-ahead log before it becomes visible, and a
+// background checkpoint compacts the log into segment snapshots.
 type Collection struct {
 	name   string
 	spec   IndexSpec
 	rel    *store.Versioned
 	shards []*shard
+	// gen is the collection's incarnation number, unique within the
+	// owning server's lifetime; it namespaces cache keys so entries
+	// from a dropped collection can never serve a same-name successor.
+	gen uint64
 
 	ingestMu sync.Mutex
 	seenIDs  map[int]struct{}
 	nextID   int
 	closed   bool
+	log      *persist.Log // nil on an in-memory server
 
 	queries atomic.Int64
 	lat     *latencyRing
+}
+
+// attachLog makes later ingests durable through lg. It is called once,
+// before the collection starts serving ingests (at creation, or after
+// boot-time replay so recovered records are not re-appended).
+func (c *Collection) attachLog(lg *persist.Log) {
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	c.log = lg
+}
+
+// closeLog flushes and closes the WAL, if any. Callers hold the
+// server's collection map lock only; the log serializes internally.
+func (c *Collection) closeLog() error {
+	if c.log == nil {
+		return nil
+	}
+	return c.log.Close()
+}
+
+// removeLog closes the WAL and deletes the collection's data
+// directory, if any.
+func (c *Collection) removeLog() error {
+	if c.log == nil {
+		return nil
+	}
+	return c.log.Remove()
+}
+
+// persistSnapshot is the checkpointer's coherent view: taking ingestMu
+// means no ingest is mid-flight, so the relation's records correspond
+// exactly to the WAL prefix through LastSeq.
+func (c *Collection) persistSnapshot() ([]store.Record, uint64) {
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	rel, _ := c.rel.Snapshot()
+	return rel.Recs, c.log.LastSeq()
 }
 
 func newCollection(name string, spec IndexSpec, nshards int, seed uint64) (*Collection, error) {
@@ -90,7 +136,7 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
 	if c.closed {
-		return 0, fmt.Errorf("server: collection %q is closed", c.name)
+		return 0, fmt.Errorf("%w: collection %q is closed", ErrUnavailable, c.name)
 	}
 
 	// Validate dimensions before touching any state; ingestMu
@@ -165,6 +211,18 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 		}
 	}
 
+	// Write-ahead: the batch must be durable (per the fsync policy)
+	// before any of it becomes visible, so a crash can never lose a
+	// write that a reader — or the ingest response — has observed. A
+	// WAL failure aborts the ingest with no trace, same as an index
+	// build failure.
+	if c.log != nil {
+		if _, err := c.log.Append(assigned); err != nil {
+			rollback()
+			return 0, fmt.Errorf("%w: collection %q: wal append: %w", ErrUnavailable, c.name, err)
+		}
+	}
+
 	// Phase 2: publish — shard snapshots first, the version-bumping
 	// relation append last. Ordering matters for the query cache: the
 	// version may only advance once every shard already serves data at
@@ -182,6 +240,12 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 		// Unreachable: CheckAppend vetted this batch under ingestMu.
 		rollback()
 		return 0, fmt.Errorf("server: collection %q: append after commit: %w", c.name, err)
+	}
+	if c.log != nil {
+		// Compact the WAL into a segment snapshot once its tail
+		// outgrows the threshold. Runs in the background; the snapshot
+		// callback re-takes ingestMu for a coherent view.
+		c.log.MaybeCheckpoint(c.persistSnapshot)
 	}
 	return version, nil
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 // NewHandler wires the server's HTTP/JSON API:
 //
 //	PUT  /collections/{name}          bulk ingest (creates on first use)
+//	DELETE /collections/{name}        drop the collection and its data dir
 //	POST /collections/{name}/search   top-k MIPS, single or batched
 //	POST /collections/{a}/join/{b}    (cs, s) join: {a} is the data
 //	                                  collection P, {b} the queries Q
@@ -28,6 +30,7 @@ import (
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /collections/{name}", s.handleIngest)
+	mux.HandleFunc("DELETE /collections/{name}", s.handleDrop)
 	mux.HandleFunc("POST /collections/{name}/search", s.handleSearch)
 	mux.HandleFunc("POST /collections/{a}/join/{b}", s.handleJoinPath)
 	mux.HandleFunc("POST /collections/{name}/join", s.handleSelfJoin)
@@ -98,7 +101,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	version, invalidated, err := s.Ingest(name, req.Index, req.Shards, recs)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		// Server faults (WAL/disk failure, shutdown, concurrent drop)
+		// are retryable 503s; everything else really is a malformed
+		// request (bad dimension, duplicate ID, spec mismatch).
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
 		return
 	}
 	total := len(recs)
@@ -243,6 +253,30 @@ func (s *Server) serveJoin(w http.ResponseWriter, req JoinRequest) {
 	}
 	if resp.Pairs == nil {
 		resp.Pairs = []JoinPair{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DropResponse reports a DELETE /collections/{name}. Dropped is true
+// whenever the collection was removed from serving; Warning carries a
+// data-directory cleanup failure (the drop itself still happened — a
+// retry would 404 — so this is not reported as an error status).
+type DropResponse struct {
+	Collection string `json:"collection"`
+	Dropped    bool   `json:"dropped"`
+	Warning    string `json:"warning,omitempty"`
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	found, err := s.Drop(name)
+	if !found {
+		httpError(w, http.StatusNotFound, fmt.Errorf("server: unknown collection %q", name))
+		return
+	}
+	resp := DropResponse{Collection: name, Dropped: true}
+	if err != nil {
+		resp.Warning = fmt.Sprintf("data directory cleanup: %v", err)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

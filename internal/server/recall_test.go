@@ -48,7 +48,7 @@ func recallWorkload(seed uint64) (items, queries []vec.Vector) {
 func recallServer(t *testing.T, kind string, items []vec.Vector) *Server {
 	t.Helper()
 	s := New(Config{DefaultShards: 2, CacheCapacity: -1})
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { s.Close() })
 	if _, _, err := s.Ingest("items", &IndexSpec{Kind: kind}, 2, records(items, 0)); err != nil {
 		t.Fatalf("ingest %s: %v", kind, err)
 	}

@@ -1,12 +1,20 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -23,6 +31,22 @@ type Config struct {
 	Workers int
 	// Seed derives per-collection and per-shard hashing seeds.
 	Seed uint64
+
+	// DataDir enables durability: every collection gets a directory
+	// under it holding a manifest, a write-ahead log and segment
+	// snapshots (see internal/persist). Empty keeps the server purely
+	// in-memory. Use Open — not New — for a durable server, so
+	// existing collections are recovered before serving starts.
+	DataDir string
+	// Fsync is the WAL fsync policy: "always", "interval" (default)
+	// or "never".
+	Fsync string
+	// FsyncInterval is the background fsync period for the "interval"
+	// policy (default 100ms).
+	FsyncInterval time.Duration
+	// CheckpointBytes is the WAL size above which a collection's log
+	// is compacted into a segment snapshot (default 64 MiB).
+	CheckpointBytes int64
 }
 
 func (c *Config) defaults() {
@@ -34,12 +58,44 @@ func (c *Config) defaults() {
 	}
 }
 
+// persistPolicy translates the config's durability knobs. The fsync
+// mode string must have been validated (Open does; New falls back to
+// the default interval mode on a bad string).
+func (c *Config) persistPolicy() persist.Policy {
+	mode, _ := persist.ParseFsyncMode(c.Fsync)
+	return persist.Policy{
+		Mode:            mode,
+		Interval:        c.FsyncInterval,
+		CheckpointBytes: c.CheckpointBytes,
+	}
+}
+
+// ErrUnavailable marks failures that are the server's fault — a WAL
+// or disk error, shutdown in progress, or a concurrent drop — rather
+// than a malformed request. The HTTP layer maps it to 503 so clients
+// and load balancers retry instead of treating it as a 4xx.
+var ErrUnavailable = errors.New("server unavailable")
+
 // Server owns the collections, the shared worker pool and the query
 // cache. It is safe for concurrent use.
 type Server struct {
-	cfg    Config
-	mu     sync.RWMutex
-	cols   map[string]*Collection
+	cfg  Config
+	mu   sync.RWMutex
+	cols map[string]*Collection
+	// dropping holds names whose Drop is tearing down state outside
+	// s.mu; EnsureCollection refuses them so a racing re-create cannot
+	// build a fresh data directory that the in-flight Drop then
+	// deletes out from under it.
+	dropping map[string]struct{}
+	// creating holds names being built outside s.mu (collection
+	// construction fsyncs the manifest and WAL on a durable server,
+	// which must not stall unrelated requests); the channel closes
+	// when the attempt finishes, successfully or not.
+	creating map[string]chan struct{}
+	// created counts creation attempts, feeding per-collection seeds.
+	created int
+	// gens hands out collection incarnation numbers for cache keys.
+	gens   atomic.Uint64
 	closed bool
 	cache  *queryCache
 	pool   *Pool
@@ -47,29 +103,207 @@ type Server struct {
 	start  time.Time
 }
 
-// New creates a server.
+// New creates a server. For a durable server (Config.DataDir set) use
+// Open instead, so collections persisted by earlier runs are recovered
+// before anything is served.
 func New(cfg Config) *Server {
 	cfg.defaults()
 	return &Server{
-		cfg:   cfg,
-		cols:  make(map[string]*Collection),
-		cache: newQueryCache(cfg.CacheCapacity),
-		pool:  NewPool(cfg.Workers),
-		start: time.Now(),
+		cfg:      cfg,
+		cols:     make(map[string]*Collection),
+		dropping: make(map[string]struct{}),
+		creating: make(map[string]chan struct{}),
+		cache:    newQueryCache(cfg.CacheCapacity),
+		pool:     NewPool(cfg.Workers),
+		start:    time.Now(),
 	}
 }
 
-// Close stops every collection's shard goroutines and marks the
-// server closed: later EnsureCollection/Ingest calls fail instead of
-// silently respawning collections whose goroutines nothing would ever
-// stop. Existing collection handles stay searchable (final snapshots).
-func (s *Server) Close() {
+// Open creates a server and, when cfg.DataDir is set, recovers every
+// collection persisted under it: for each collection directory the
+// newest valid segment snapshot is loaded, the WAL tail replayed, the
+// index rebuilt from the manifest's spec, and the log reopened so new
+// ingests append to it. Boot fails — rather than silently serving a
+// subset — if any collection directory cannot be recovered.
+func Open(cfg Config) (*Server, error) {
+	if _, err := persist.ParseFsyncMode(cfg.Fsync); err != nil {
+		return nil, err
+	}
+	s := New(cfg)
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	if err := s.recoverDataDir(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// seedStride spaces per-collection hashing seeds.
+const seedStride = 0x100000001b3
+
+// collectionSeed derives the hashing seed for the ordinal-th created
+// collection. Durable collections persist the result in their manifest
+// so recovery rebuilds approximate (alsh/sketch) indexes with the
+// original seed no matter what order the data dir enumerates in.
+func (s *Server) collectionSeed(ordinal int) uint64 {
+	return s.cfg.Seed + uint64(ordinal)*seedStride
+}
+
+// noteRecoveredSeed advances the creation counter past a recovered
+// manifest's seed, so collections created after this boot never reuse
+// a seed a recovered collection pinned (collections dropped in earlier
+// lives leave ordinal holes the naive count would refill). Callers
+// hold s.mu.
+func (s *Server) noteRecoveredSeed(seed uint64) {
+	s.created++
+	if diff := seed - s.cfg.Seed; diff%seedStride == 0 {
+		if ordinal := int(diff / seedStride); ordinal+1 > s.created {
+			s.created = ordinal + 1
+		}
+	}
+}
+
+// recoverDataDir rebuilds all collections from cfg.DataDir.
+func (s *Server) recoverDataDir() error {
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.cfg.DataDir, e.Name())
+		if !persist.HasManifest(dir) {
+			continue
+		}
+		lg, rec, err := persist.Open(dir, s.cfg.persistPolicy())
+		if err != nil {
+			return fmt.Errorf("server: recovering %s: %w", dir, err)
+		}
+		if err := s.adoptRecovered(lg, rec); err != nil {
+			lg.Close()
+			return fmt.Errorf("server: recovering %s: %w", dir, err)
+		}
+	}
+	return nil
+}
+
+// adoptRecovered builds one collection from a recovered log: create it
+// under the manifest's spec/shards, replay the recovered records as a
+// single batch (the log is attached only afterwards, so the replay
+// does not re-append to the WAL), then attach the log for new ingests.
+func (s *Server) adoptRecovered(lg *persist.Log, rec *persist.Recovered) error {
+	var spec IndexSpec
+	if len(rec.Manifest.Index) > 0 {
+		if err := json.Unmarshal(rec.Manifest.Index, &spec); err != nil {
+			return fmt.Errorf("manifest index spec: %w", err)
+		}
+	}
+	name := rec.Manifest.Name
+	if name == "" {
+		return fmt.Errorf("manifest has no collection name")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: closed")
+	}
+	if _, ok := s.cols[name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("collection %q recovered twice", name)
+	}
+	// The manifest pins the seed the collection was created with, so
+	// alsh/sketch shard indexes hash identically across restarts even
+	// though recovery enumerates the data dir in name order.
+	c, err := newCollection(name, spec, rec.Manifest.Shards, rec.Manifest.Seed)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	c.gen = s.gens.Add(1)
+	s.noteRecoveredSeed(rec.Manifest.Seed)
+	s.cols[name] = c
+	s.mu.Unlock()
+	if len(rec.Recs) > 0 {
+		if _, err := c.Ingest(rec.Recs); err != nil {
+			return fmt.Errorf("replaying %d records: %w", len(rec.Recs), err)
+		}
+	}
+	c.attachLog(lg)
+	return nil
+}
+
+// Close stops every collection's shard goroutines, flushes and closes
+// their write-ahead logs, and marks the server closed: later
+// EnsureCollection/Ingest calls fail instead of silently respawning
+// collections whose goroutines nothing would ever stop. Existing
+// collection handles stay searchable (final snapshots). The first log
+// flush/close error is returned.
+func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	var first error
 	for _, c := range s.cols {
 		c.close()
+		if err := c.closeLog(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
+}
+
+// Drop removes the named collection: it disappears from the map (new
+// requests 404), its shard goroutines stop, and its data directory —
+// WAL, segments, manifest — is deleted. In-flight searches holding the
+// collection keep reading its final immutable snapshots. The returned
+// bool reports whether the collection existed.
+func (s *Server) Drop(name string) (bool, error) {
+	s.mu.Lock()
+	c, ok := s.cols[name]
+	if ok {
+		delete(s.cols, name)
+		// Block re-creation until the teardown below (which runs
+		// outside s.mu) has finished deleting the data directory, so
+		// a racing PUT cannot build a fresh directory that this Drop
+		// then destroys.
+		s.dropping[name] = struct{}{}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(s.dropping, name)
+		s.mu.Unlock()
+	}()
+	// Dropping must invalidate cached results: a successor collection
+	// with the same name restarts versions at 0, which would otherwise
+	// revive stale entries keyed under the old life's versions.
+	s.cache.invalidate(name)
+	c.close()
+	return true, c.removeLog()
+}
+
+// safeDirName matches collection names that can be used verbatim as a
+// directory name. Anything else (path separators, "..", control
+// bytes…) is mapped through a hash; the manifest carries the real name
+// so recovery never depends on the directory spelling.
+var safeDirName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,200}$`)
+
+func collectionDirName(name string) string {
+	if safeDirName.MatchString(name) {
+		return name
+	}
+	sum := sha256.Sum256([]byte(name))
+	return "x-" + hex.EncodeToString(sum[:16])
 }
 
 // Collection returns the named collection, if it exists.
@@ -100,33 +334,112 @@ func (s *Server) EnsureCollection(name string, spec *IndexSpec, shards int) (*Co
 	if name == "" {
 		return nil, fmt.Errorf("server: empty collection name")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("server: closed")
-	}
-	if c, ok := s.cols[name]; ok {
-		if spec != nil && *spec != c.spec {
-			return nil, fmt.Errorf("server: collection %q already exists with index %q", name, c.spec.kind())
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: server is closed", ErrUnavailable)
 		}
-		if shards != 0 && shards != len(c.shards) {
-			return nil, fmt.Errorf("server: collection %q already exists with %d shards", name, len(c.shards))
+		if c, ok := s.cols[name]; ok {
+			s.mu.Unlock()
+			if spec != nil && *spec != c.spec {
+				return nil, fmt.Errorf("server: collection %q already exists with index %q", name, c.spec.kind())
+			}
+			if shards != 0 && shards != len(c.shards) {
+				return nil, fmt.Errorf("server: collection %q already exists with %d shards", name, len(c.shards))
+			}
+			return c, nil
 		}
+		if _, busy := s.dropping[name]; busy {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: collection %q is being dropped; retry", ErrUnavailable, name)
+		}
+		if ch, busy := s.creating[name]; busy {
+			// Another request is building this collection; wait for it
+			// and re-check (it may have succeeded or failed).
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.creating[name] = ch
+		s.created++
+		seed := s.collectionSeed(s.created - 1)
+		s.mu.Unlock()
+
+		// Construction runs outside s.mu: on a durable server it
+		// fsyncs the manifest and the fresh WAL, which must not stall
+		// requests against other collections. The reservation above
+		// keeps this single-flight per name.
+		c, err := s.buildCollection(name, specOrDefault(spec), shardsOrDefault(shards, s.cfg.DefaultShards), seed)
+
+		s.mu.Lock()
+		delete(s.creating, name)
+		close(ch)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if s.closed {
+			s.mu.Unlock()
+			// Lost the race with Close: tear the never-published
+			// collection down (no records were acknowledged, so
+			// removing its fresh data dir loses nothing).
+			c.close()
+			c.removeLog()
+			return nil, fmt.Errorf("%w: server is closed", ErrUnavailable)
+		}
+		s.cols[name] = c
+		s.mu.Unlock()
 		return c, nil
 	}
-	var sp IndexSpec
+}
+
+func specOrDefault(spec *IndexSpec) IndexSpec {
 	if spec != nil {
-		sp = *spec
+		return *spec
 	}
+	return IndexSpec{}
+}
+
+func shardsOrDefault(shards, def int) int {
 	if shards == 0 {
-		shards = s.cfg.DefaultShards
+		return def
 	}
-	c, err := newCollection(name, sp, shards, s.cfg.Seed+uint64(len(s.cols))*0x100000001b3)
+	return shards
+}
+
+// buildCollection constructs a collection and (on a durable server)
+// its data directory. On any failure nothing is left running: the
+// shard-owner goroutines newCollection spawned are stopped.
+func (s *Server) buildCollection(name string, spec IndexSpec, shards int, seed uint64) (*Collection, error) {
+	c, err := newCollection(name, spec, shards, seed)
 	if err != nil {
 		return nil, err
 	}
-	s.cols[name] = c
+	c.gen = s.gens.Add(1)
+	if s.cfg.DataDir != "" {
+		lg, err := s.createLog(name, spec, shards, seed)
+		if err != nil {
+			c.close()
+			return nil, fmt.Errorf("%w: collection %q: %w", ErrUnavailable, name, err)
+		}
+		c.attachLog(lg)
+	}
 	return c, nil
+}
+
+// createLog initializes a new collection's data directory.
+func (s *Server) createLog(name string, sp IndexSpec, shards int, seed uint64) (*persist.Log, error) {
+	specJSON, err := json.Marshal(sp)
+	if err != nil {
+		return nil, err
+	}
+	return persist.Create(
+		filepath.Join(s.cfg.DataDir, collectionDirName(name)),
+		persist.Manifest{Name: name, Shards: shards, Seed: seed, Index: specJSON},
+		s.cfg.persistPolicy(),
+	)
 }
 
 // Ingest appends records into the named collection (creating it on
@@ -183,7 +496,7 @@ func (s *Server) searchSingle(c *Collection, name string, q vec.Vector, k int, u
 	qstart := time.Now()
 	var key string
 	if cacheOn := s.cache.enabled(); cacheOn {
-		key = cacheKey(name, c.Version(), k, unsigned, q)
+		key = cacheKey(name, c.gen, c.Version(), k, unsigned, q)
 		if hits, ok := s.cache.get(key); ok {
 			*res = SearchResult{Hits: hits, Cached: true}
 			c.lat.observe(time.Since(qstart))

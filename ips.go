@@ -403,10 +403,21 @@ type ServerJoinResponse = server.JoinResponse
 type Record = store.Record
 
 // NewServer creates a serving core; see ServerConfig for defaults.
+// For a durable server (ServerConfig.DataDir set) use OpenServer so
+// persisted collections are recovered before serving starts.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
+// OpenServer creates a serving core and, when cfg.DataDir is set,
+// recovers every persisted collection (manifest + newest valid segment
+// snapshot + WAL tail replay) before returning. Ingests into a durable
+// server append to a per-collection write-ahead log — under the
+// configured fsync policy — before they become visible, and the log is
+// compacted into columnar segment snapshots in the background.
+func OpenServer(cfg ServerConfig) (*Server, error) { return server.Open(cfg) }
+
 // NewServerHandler wires a Server's HTTP/JSON API (PUT
-// /collections/{name}, POST /collections/{name}/search, POST
-// /collections/{a}/join/{b}, POST /collections/{name}/join (self-join),
-// POST /join, GET /healthz, GET /stats).
+// /collections/{name}, DELETE /collections/{name}, POST
+// /collections/{name}/search, POST /collections/{a}/join/{b}, POST
+// /collections/{name}/join (self-join), POST /join, GET /healthz,
+// GET /stats).
 func NewServerHandler(s *Server) http.Handler { return server.NewHandler(s) }

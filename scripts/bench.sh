@@ -13,10 +13,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
-FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat|BenchmarkJoin}"
+OUT="${1:-BENCH_5.json}"
+FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat|BenchmarkJoin|BenchmarkWAL|BenchmarkSegment|BenchmarkRecover}"
 TIME="${BENCH_TIME:-200ms}"
-PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/ ./internal/join/}"
+PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/ ./internal/join/ ./internal/persist/}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

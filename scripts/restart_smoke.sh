@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Restart-cycle smoke test for the durable storage subsystem:
+#
+#   1. start ipsd with a data directory (-fsync always, so every
+#      acknowledged ingest is durable against kill -9)
+#   2. ingest 100k vectors through loadgen and verify the sharded
+#      answers against a local exact scan
+#   3. kill -9 the server mid-flight state (no graceful shutdown)
+#   4. restart ipsd on the same data directory
+#   5. re-run loadgen with -skip-ingest: the recovered collection must
+#      hold all 100k records and answer every query identically to the
+#      pre-kill exact scan
+#
+# Usage: scripts/restart_smoke.sh [n] [q]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-100000}"
+Q="${2:-200}"
+ADDR="127.0.0.1:7177"
+DATA="$(mktemp -d)"
+BIN="$(mktemp -d)"
+PID=""
+trap '[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true; rm -rf "$DATA" "$BIN"' EXIT
+
+go build -o "$BIN/ipsd" ./cmd/ipsd
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "restart_smoke: server never became healthy" >&2
+    exit 1
+}
+
+echo "=== starting ipsd -data $DATA -fsync always"
+"$BIN/ipsd" -addr "$ADDR" -data "$DATA" -fsync always &
+PID=$!
+wait_healthy
+
+echo "=== ingesting $N vectors + verifying against local exact scan"
+"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4
+
+echo "=== kill -9 $PID (no graceful shutdown)"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+echo "=== restarting ipsd on the same data directory"
+"$BIN/ipsd" -addr "$ADDR" -data "$DATA" -fsync always &
+PID=$!
+wait_healthy
+
+echo "=== verifying recovered data answers identically (no re-ingest)"
+"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -skip-ingest
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+echo "=== restart smoke OK: $N records survived kill -9 bit-identically"
