@@ -1,20 +1,27 @@
 // Command benchcmp compares two BENCH_*.json files produced by
 // scripts/bench.sh and prints a benchstat-style delta table: time and
-// allocations per op, old vs new, with the relative change. It is
-// report-only — regressions are flagged in the output but the exit
-// code stays zero, so CI and bench.sh can surface the comparison
+// allocations per op, old vs new, with the relative change. By default
+// it is report-only — regressions are flagged in the output but the
+// exit code stays zero, so CI and bench.sh can surface the comparison
 // without gating on a noisy box.
+//
+// With -gate it becomes an enforcing check: the exit code is non-zero
+// if any benchmark (optionally restricted by -match) got slower than
+// the given percentage. CI uses this to fail a change that regresses
+// the flat scan rate with zero tombstones by more than 10%.
 //
 // Usage:
 //
-//	benchcmp OLD.json NEW.json
+//	benchcmp [-gate pct] [-match regexp] OLD.json NEW.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"regexp"
 )
 
 type benchFile struct {
@@ -59,14 +66,24 @@ func delta(old, new float64) string {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchcmp: ")
-	if len(os.Args) != 3 {
-		log.Fatalf("usage: benchcmp OLD.json NEW.json")
+	gate := flag.Float64("gate", 0, "exit non-zero if a matched benchmark's ns/op regresses more than this percent (0 = report only)")
+	match := flag.String("match", "", "regexp restricting which benchmarks -gate applies to (default: all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatalf("usage: benchcmp [-gate pct] [-match regexp] OLD.json NEW.json")
 	}
-	oldF, err := load(os.Args[1])
+	var matchRE *regexp.Regexp
+	if *match != "" {
+		var err error
+		if matchRE, err = regexp.Compile(*match); err != nil {
+			log.Fatalf("-match: %v", err)
+		}
+	}
+	oldF, err := load(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	newF, err := load(os.Args[2])
+	newF, err := load(flag.Arg(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,8 +91,10 @@ func main() {
 	for _, e := range oldF.Benchmarks {
 		oldBy[e.Name] = e
 	}
-	fmt.Printf("benchcmp %s (%s) -> %s (%s)\n", os.Args[1], oldF.Commit, os.Args[2], newF.Commit)
+	fmt.Printf("benchcmp %s (%s) -> %s (%s)\n", flag.Arg(0), oldF.Commit, flag.Arg(1), newF.Commit)
 	fmt.Printf("%-46s %14s %14s %10s %18s\n", "benchmark", "old ns/op", "new ns/op", "time", "allocs old->new")
+	var gated, compared int
+	var offenders []string
 	for _, e := range newF.Benchmarks {
 		o, ok := oldBy[e.Name]
 		if !ok {
@@ -88,10 +107,29 @@ func main() {
 		}
 		fmt.Printf("%-46s %14.0f %14.0f %10s %18s\n", e.Name, o.NsPerOp, e.NsPerOp, delta(o.NsPerOp, e.NsPerOp), allocs)
 		delete(oldBy, e.Name)
+		if *gate > 0 && (matchRE == nil || matchRE.MatchString(e.Name)) && o.NsPerOp > 0 {
+			compared++
+			if pct := (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; pct > *gate {
+				gated++
+				offenders = append(offenders, fmt.Sprintf("%s: %+.1f%%", e.Name, pct))
+			}
+		}
 	}
 	for _, e := range oldF.Benchmarks {
 		if _, gone := oldBy[e.Name]; gone {
 			fmt.Printf("%-46s %14.0f %14s %10s\n", e.Name, e.NsPerOp, "(gone)", "")
 		}
+	}
+	if *gate > 0 {
+		if compared == 0 {
+			log.Fatalf("-gate %.0f: no benchmarks matched %q in both files", *gate, *match)
+		}
+		if gated > 0 {
+			for _, off := range offenders {
+				log.Printf("regression over %.0f%%: %s", *gate, off)
+			}
+			log.Fatalf("%d/%d gated benchmarks regressed more than %.0f%%", gated, compared, *gate)
+		}
+		fmt.Printf("gate ok: %d benchmarks within %.0f%%\n", compared, *gate)
 	}
 }

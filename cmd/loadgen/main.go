@@ -12,8 +12,14 @@
 // -mixed switches to an ingest-heavy mixed workload: -ingest-workers
 // goroutines PUT ingest chunks concurrently while a searcher goroutine
 // fires batched queries at the moving collection — the shape that
-// exercises WAL/ingest-lock contention on a durable server. The final
-// verified search pass still runs once ingest has quiesced.
+// exercises WAL/ingest-lock contention on a durable server. Once the
+// ingest quiesces, -mutate-ops batches of upserts and deletes over
+// Zipf-skewed record ids hammer the collection (searches still
+// running), exercising tombstoned scans, cache invalidation and
+// background compaction; loadgen tracks every mutation it issued and
+// the final verified search pass checks the server's answers against
+// the tracker's live set, so a hit on a deleted id or a stale vector
+// fails the run.
 //
 // -skip-ingest assumes the server already holds the workload (e.g.
 // after a restart recovered it from its data directory) and goes
@@ -104,10 +110,16 @@ func main() {
 	verify := flag.Bool("verify", true, "check sharded results against a local exact scan")
 	mixed := flag.Bool("mixed", false, "ingest-heavy mixed workload: concurrent ingest chunks + searches against the moving collection")
 	ingestWorkers := flag.Int("ingest-workers", 4, "concurrent ingest requests in -mixed mode")
+	mutateOps := flag.Int("mutate-ops", 300, "upsert/delete batches after the -mixed ingest (0 disables)")
+	mutatePass := flag.Int("mutate-pass", 0, "after a plain ingest, apply this many deterministic upsert/delete batches; -skip-ingest recomputes the same pass locally, so a restarted server is verified against the post-mutation state")
+	zipfA := flag.Float64("zipf", 1.1, "Zipf exponent for mutated record ids")
 	skipIngest := flag.Bool("skip-ingest", false, "skip ingest; verify the server's existing data (e.g. after a restart)")
 	flag.Parse()
 	if *mixed && *skipIngest {
 		log.Fatal("loadgen: -mixed and -skip-ingest are mutually exclusive")
+	}
+	if *mixed && *mutatePass > 0 {
+		log.Fatal("loadgen: -mutate-pass applies to the plain workload; -mixed has its own mutation storm (-mutate-ops)")
 	}
 
 	base := *addr
@@ -162,6 +174,37 @@ func main() {
 		return timed("PUT /collections/{name}", http.MethodPut, base+"/collections/"+collection, req, &resp)
 	}
 
+	// mutatedLive, when non-nil, is the tracker's view of the collection
+	// after a mutation phase: mutatedLive[id] is the record's current
+	// vector, nil if deleted. The verification pass then runs against
+	// this instead of the pristine workload.
+	var mutatedLive [][]float64
+	applyOverlay := func(overlay map[int][]float64) {
+		mutatedLive = make([][]float64, *n)
+		for id := range mutatedLive {
+			mutatedLive[id] = lf.Items[id]
+		}
+		for id, v := range overlay {
+			mutatedLive[id] = v // nil marks a delete
+		}
+	}
+
+	// The deterministic mutation pass is derived entirely from the
+	// flags, so a -skip-ingest run against a restarted server recomputes
+	// the exact state the mutating run left on disk.
+	var passPlan []mutOp
+	expectedRecords := *n
+	if *mutatePass > 0 {
+		var overlay map[int][]float64
+		passPlan, overlay = mutationPlan(*seed+0xfeed, *n, *d, *mutatePass, *zipfA)
+		for _, v := range overlay {
+			if v == nil {
+				expectedRecords--
+			}
+		}
+		applyOverlay(overlay)
+	}
+
 	switch {
 	case *skipIngest:
 		// The server is expected to already hold the workload (a
@@ -172,8 +215,8 @@ func main() {
 			log.Fatalf("loadgen: stats: %v", err)
 		}
 		cs, ok := st.Collections[collection]
-		if !ok || cs.Records != *n {
-			log.Fatalf("loadgen: -skip-ingest: server has %d records in %q, want %d", cs.Records, collection, *n)
+		if !ok || cs.Records != expectedRecords {
+			log.Fatalf("loadgen: -skip-ingest: server has %d records in %q, want %d", cs.Records, collection, expectedRecords)
 		}
 		fmt.Printf("skipping ingest: server already holds %d records in %q\n", cs.Records, collection)
 
@@ -243,6 +286,92 @@ func main() {
 		}
 		wg.Wait()
 		ingestDur := time.Since(ingestStart)
+
+		// Mutation storm: upsert/delete batches over Zipf-skewed ids
+		// while the searcher keeps running. Workers own disjoint id
+		// stripes (id ≡ w mod workers), so each id's mutation order is
+		// the issuing worker's program order and the tracker's final
+		// state is exact despite the concurrency.
+		var upserted, deleted int64
+		if *mutateOps > 0 {
+			W := *ingestWorkers
+			if W > *mutateOps {
+				W = *mutateOps
+			}
+			stripes := make([]map[int][]float64, W)
+			mutStart := time.Now()
+			var mwg sync.WaitGroup
+			for w := 0; w < W; w++ {
+				mwg.Add(1)
+				go func(w int) {
+					defer mwg.Done()
+					stripe := map[int][]float64{}
+					stripes[w] = stripe
+					mrng := xrand.New(*seed + 0x5eed + uint64(w))
+					stripeN := (*n - w + W - 1) / W // ids w, w+W, w+2W, … below n
+					if stripeN <= 0 {
+						return
+					}
+					zipf := xrand.NewZipf(mrng, stripeN, *zipfA)
+					ops := *mutateOps / W
+					if w < *mutateOps%W {
+						ops++
+					}
+					for op := 0; op < ops; op++ {
+						// Draw a batch of distinct skewed ids; the draw cap
+						// keeps heavy skew from stalling on duplicates.
+						want := 1 + mrng.Intn(16)
+						batch := map[int]struct{}{}
+						for tries := 0; len(batch) < want && tries < 200; tries++ {
+							batch[zipf.Draw()*W+w] = struct{}{}
+						}
+						if mrng.Float64() < 0.55 {
+							recs := make([]server.RecordJSON, 0, len(batch))
+							for id := range batch {
+								id := id
+								v := mrng.NormalVec(*d)
+								recs = append(recs, server.RecordJSON{ID: &id, Vec: v})
+								stripe[id] = v
+							}
+							var resp server.UpsertResponse
+							if err := timed("POST /collections/{name}/vectors", http.MethodPost,
+								base+"/collections/"+collection+"/vectors",
+								server.IngestRequest{Records: recs}, &resp); err != nil {
+								log.Fatalf("loadgen: mixed upsert: %v", err)
+							}
+							atomic.AddInt64(&upserted, int64(len(recs)))
+						} else {
+							ids := make([]int, 0, len(batch))
+							for id := range batch {
+								ids = append(ids, id)
+								stripe[id] = nil
+							}
+							var resp server.DeleteVectorsResponse
+							if err := timed("POST /collections/{name}/vectors/delete", http.MethodPost,
+								base+"/collections/"+collection+"/vectors/delete",
+								server.DeleteVectorsRequest{IDs: ids}, &resp); err != nil {
+								log.Fatalf("loadgen: mixed delete: %v", err)
+							}
+							atomic.AddInt64(&deleted, int64(len(ids)))
+						}
+					}
+				}(w)
+			}
+			mwg.Wait()
+			mutDur := time.Since(mutStart)
+			mutatedLive = make([][]float64, *n)
+			for id := range mutatedLive {
+				mutatedLive[id] = lf.Items[id]
+			}
+			for _, stripe := range stripes {
+				for id, v := range stripe {
+					mutatedLive[id] = v // nil marks a delete
+				}
+			}
+			fmt.Printf("mixed: %d mutation batches (%d upserts, %d deletes, zipf a=%g) in %v\n",
+				*mutateOps, upserted, deleted, *zipfA, mutDur.Round(time.Millisecond))
+		}
+
 		close(ingestDone)
 		searchWG.Wait()
 		fmt.Printf("mixed: ingested %d vectors in %v (%.0f vec/s, %d ingest workers) with %d live queries alongside (index=%s)\n",
@@ -269,6 +398,34 @@ func main() {
 			*n, ingestDur.Round(time.Millisecond), float64(*n)/ingestDur.Seconds(), *shards, *index)
 		if m, b := tr.phaseAllocs(); true {
 			fmt.Printf("  process allocs during ingest: %d mallocs, %.1f MB\n", m, float64(b)/(1<<20))
+		}
+
+		// Deterministic mutation pass: replay the precomputed plan so
+		// the durable state matches what -skip-ingest will recompute.
+		if len(passPlan) > 0 {
+			mutStart := time.Now()
+			var up, del int
+			for _, op := range passPlan {
+				if op.recs != nil {
+					var resp server.UpsertResponse
+					if err := timed("POST /collections/{name}/vectors", http.MethodPost,
+						base+"/collections/"+collection+"/vectors",
+						server.IngestRequest{Records: op.recs}, &resp); err != nil {
+						log.Fatalf("loadgen: mutate-pass upsert: %v", err)
+					}
+					up += len(op.recs)
+				} else {
+					var resp server.DeleteVectorsResponse
+					if err := timed("POST /collections/{name}/vectors/delete", http.MethodPost,
+						base+"/collections/"+collection+"/vectors/delete",
+						server.DeleteVectorsRequest{IDs: op.ids}, &resp); err != nil {
+						log.Fatalf("loadgen: mutate-pass delete: %v", err)
+					}
+					del += len(op.ids)
+				}
+			}
+			fmt.Printf("mutation pass: %d batches (%d upserts, %d delete requests) in %v\n",
+				len(passPlan), up, del, time.Since(mutStart).Round(time.Millisecond))
 		}
 	}
 
@@ -319,21 +476,45 @@ func main() {
 		log.Fatalf("loadgen: stats: %v", err)
 	}
 	cs := st.Collections[collection]
-	fmt.Printf("server stats: records=%d version=%d queries=%d latency p50=%.3fms p90=%.3fms p99=%.3fms\n",
-		cs.Records, cs.Version, cs.Queries, cs.Latency.P50, cs.Latency.P90, cs.Latency.P99)
+	fmt.Printf("server stats: records=%d tombstoned=%d compactions=%d version=%d queries=%d latency p50=%.3fms p90=%.3fms p99=%.3fms\n",
+		cs.Records, cs.Tombstoned, cs.Compactions, cs.Version, cs.Queries,
+		cs.Latency.P50, cs.Latency.P90, cs.Latency.P99)
 	for _, sh := range cs.Shards {
-		fmt.Printf("  shard %d: %d records, %d queries\n", sh.ID, sh.Records, sh.Queries)
+		fmt.Printf("  shard %d: %d records (%d live, %d tombstoned), %d queries\n",
+			sh.ID, sh.Records, sh.Live, sh.Tombstoned, sh.Queries)
 	}
 	fmt.Printf("cache: size=%d hits=%d misses=%d invalidations=%d\n",
 		st.Cache.Size, st.Cache.Hits, st.Cache.Misses, st.Cache.Invalidations)
 	tr.report()
+
+	// The tracker's live set and the server's must agree exactly: the
+	// count here, the content via the verified search pass below.
+	verifyIDs, verifyItems := make([]int, 0, *n), make([]vec.Vector, 0, *n)
+	if mutatedLive != nil {
+		for id, v := range mutatedLive {
+			if v != nil {
+				verifyIDs = append(verifyIDs, id)
+				verifyItems = append(verifyItems, v)
+			}
+		}
+		if cs.Records != len(verifyIDs) {
+			log.Fatalf("loadgen: FAILED: server holds %d live records, tracker says %d", cs.Records, len(verifyIDs))
+		}
+		fmt.Printf("live-set count matches tracker: %d records after mutations\n", len(verifyIDs))
+	} else {
+		for id, v := range lf.Items {
+			verifyIDs = append(verifyIDs, id)
+			verifyItems = append(verifyItems, v)
+		}
+	}
 
 	if !*verify {
 		return
 	}
 
 	// Verify: sharded answers must be identical to the unsharded exact
-	// scan (single-shard ground truth computed locally).
+	// scan (single-shard ground truth computed locally over the live
+	// set — after a mutation storm, the tracker's view of it).
 	fmt.Printf("verifying against local exact scan...\n")
 	var mismatches atomic.Int64
 	var wg sync.WaitGroup
@@ -348,7 +529,7 @@ func main() {
 				if qi >= *q {
 					return
 				}
-				want := exactTopK(lf.Items, lf.Users[qi], *k)
+				want := exactTopK(verifyIDs, verifyItems, lf.Users[qi], *k)
 				got := results[qi]
 				ok := len(got) == len(want)
 				if ok {
@@ -360,9 +541,9 @@ func main() {
 					}
 				}
 				// Top-1 must also agree with the mips package baseline.
-				if ok && len(got) > 0 {
-					ls := mips.LinearScan(lf.Items, lf.Users[qi])
-					if got[0].ID != ls.Index || got[0].Score != ls.Value {
+				if ok && len(got) > 0 && len(verifyItems) > 0 {
+					ls := mips.LinearScan(verifyItems, lf.Users[qi])
+					if got[0].ID != verifyIDs[ls.Index] || got[0].Score != ls.Value {
 						ok = false
 					}
 				}
@@ -382,16 +563,66 @@ func main() {
 	fmt.Printf("verified: all %d sharded top-%d answers identical to the single-shard exact scan\n", *q, *k)
 }
 
+// mutOp is one precomputed mutation batch: recs non-nil for an
+// upsert, ids for a delete.
+type mutOp struct {
+	recs []server.RecordJSON
+	ids  []int
+}
+
+// mutationPlan deterministically derives a sequence of upsert/delete
+// batches over Zipf-skewed ids, plus the overlay they leave behind
+// (id → current vector, nil = deleted). Both the mutating run and the
+// later -skip-ingest verification recompute the identical plan from
+// the flags alone, which is what makes a kill/restart cycle checkable
+// end to end. Batch ids are sorted before the per-id vectors are
+// drawn, so map iteration order cannot perturb the RNG stream.
+func mutationPlan(seed uint64, n, d, ops int, a float64) ([]mutOp, map[int][]float64) {
+	rng := xrand.New(seed)
+	zipf := xrand.NewZipf(rng, n, a)
+	overlay := map[int][]float64{}
+	plan := make([]mutOp, 0, ops)
+	for op := 0; op < ops; op++ {
+		want := 1 + rng.Intn(16)
+		batch := map[int]struct{}{}
+		for tries := 0; len(batch) < want && tries < 200; tries++ {
+			batch[zipf.Draw()] = struct{}{}
+		}
+		ids := make([]int, 0, len(batch))
+		for id := range batch {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		if rng.Float64() < 0.55 {
+			recs := make([]server.RecordJSON, len(ids))
+			for i, id := range ids {
+				id := id
+				v := rng.NormalVec(d)
+				recs[i] = server.RecordJSON{ID: &id, Vec: v}
+				overlay[id] = v
+			}
+			plan = append(plan, mutOp{recs: recs})
+		} else {
+			for _, id := range ids {
+				overlay[id] = nil
+			}
+			plan = append(plan, mutOp{ids: ids})
+		}
+	}
+	return plan, overlay
+}
+
 // exactTopK is the unsharded ground truth with the server's canonical
-// ordering (score descending, ID ascending on ties).
-func exactTopK(items []vec.Vector, q vec.Vector, k int) []server.Hit {
+// ordering (score descending, ID ascending on ties); ids[i] is the
+// record id of items[i], in ascending order.
+func exactTopK(ids []int, items []vec.Vector, q vec.Vector, k int) []server.Hit {
 	hits := make([]server.Hit, 0, k+1)
 	for i, p := range items {
 		v := vec.Dot(p, q)
 		if len(hits) == k && v < hits[k-1].Score {
 			continue
 		}
-		hits = append(hits, server.Hit{ID: i, Score: v})
+		hits = append(hits, server.Hit{ID: ids[i], Score: v})
 		sort.Slice(hits, func(a, b int) bool {
 			if hits[a].Score != hits[b].Score {
 				return hits[a].Score > hits[b].Score

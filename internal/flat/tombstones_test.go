@@ -1,0 +1,283 @@
+package flat
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// killRandom tombstones each of n rows with probability frac and
+// returns the set plus the live index list.
+func killRandom(rng *xrand.RNG, n int, frac float64) (*Tombstones, []int) {
+	t := NewTombstones(n)
+	var live []int
+	for i := 0; i < n; i++ {
+		if rng.Float64() < frac {
+			t.Kill(i)
+		} else {
+			live = append(live, i)
+		}
+	}
+	return t, live
+}
+
+// naiveTopKMasked is the reference model: score every live row with
+// the scalar kernel and keep the canonical top k.
+func naiveTopKMasked(s *Store, q vec.Vector, k int, unsigned bool, dead *Tombstones) []Hit {
+	a := NewAcc(k)
+	for i := 0; i < s.Len(); i++ {
+		if dead.Dead(i) {
+			continue
+		}
+		v := s.Dot(i, q)
+		if unsigned && v < 0 {
+			v = -v
+		}
+		a.Offer(i, v)
+	}
+	return a.Hits()
+}
+
+func TestTombstonesBasics(t *testing.T) {
+	var nilT *Tombstones
+	if nilT.Len() != 0 || nilT.Count() != 0 || nilT.Dead(3) || nilT.DeadIn(0, 100) != 0 {
+		t.Fatal("nil Tombstones is not all-live")
+	}
+	ts := nilT.Grow(10)
+	if ts.Len() != 10 || ts.Count() != 0 {
+		t.Fatalf("Grow(nil, 10) = len %d count %d", ts.Len(), ts.Count())
+	}
+	ts.Kill(3)
+	ts.Kill(3)
+	ts.Kill(7)
+	if ts.Count() != 2 || !ts.Dead(3) || !ts.Dead(7) || ts.Dead(4) {
+		t.Fatalf("after kills: count %d", ts.Count())
+	}
+	big := ts.Grow(20)
+	if big.Len() != 20 || big.Count() != 2 || !big.Dead(3) || big.Dead(15) {
+		t.Fatal("Grow did not preserve dead bits")
+	}
+	big.Kill(15)
+	if ts.Dead(15) || ts.Count() != 2 {
+		t.Fatal("Grow shares storage with its source")
+	}
+}
+
+func TestTombstonesDeadIn(t *testing.T) {
+	rng := xrand.New(7)
+	n := 1000
+	ts, _ := killRandom(rng, n, 0.3)
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo) + 1
+		want := 0
+		for i := lo; i < hi; i++ {
+			if ts.Dead(i) {
+				want++
+			}
+		}
+		if got := ts.DeadIn(lo, hi); got != want {
+			t.Fatalf("DeadIn(%d, %d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+	if got := ts.DeadIn(0, n); got != ts.Count() {
+		t.Fatalf("DeadIn full range %d != Count %d", got, ts.Count())
+	}
+}
+
+func TestTombstonesGather(t *testing.T) {
+	rng := xrand.New(9)
+	n := 300
+	ts, _ := killRandom(rng, n, 0.4)
+	perm := rng.Perm(n)
+	g := ts.Gather(perm)
+	if g.Count() != ts.Count() {
+		t.Fatalf("Gather count %d != %d", g.Count(), ts.Count())
+	}
+	for i, p := range perm {
+		if g.Dead(i) != ts.Dead(p) {
+			t.Fatalf("Gather bit %d: got %v, want Dead(%d)=%v", i, g.Dead(i), p, ts.Dead(p))
+		}
+	}
+	var nilT *Tombstones
+	if nilT.Gather(perm) != nil {
+		t.Fatal("Gather(nil) should stay nil")
+	}
+}
+
+func TestTopKMaskedMatchesReference(t *testing.T) {
+	rng := xrand.New(21)
+	for _, n := range []int{1, 50, 700, 5000} {
+		s, err := FromVectors(randomVecs(rng, n, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns := NewNormSorted(s)
+		for _, frac := range []float64{0, 0.05, 0.5, 0.95, 1} {
+			dead, live := killRandom(rng.Split(uint64(1)), n, frac)
+			pdead := dead.Gather(ns.Perm())
+			for _, unsigned := range []bool{false, true} {
+				for trial := 0; trial < 4; trial++ {
+					q := vec.Vector(rng.NormalVec(24))
+					k := 1 + rng.Intn(12)
+					want := naiveTopKMasked(s, q, k, unsigned, dead)
+					if len(want) > len(live) {
+						t.Fatalf("reference returned %d hits for %d live rows", len(want), len(live))
+					}
+					for _, workers := range []int{1, 4} {
+						got, err := s.TopKMasked(q, k, unsigned, workers, dead)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !hitsEqual(got, want) {
+							t.Fatalf("n=%d frac=%v unsigned=%v workers=%d: masked %v, want %v",
+								n, frac, unsigned, workers, got, want)
+						}
+					}
+					nsGot, _, err := ns.TopKMasked(q, k, unsigned, pdead)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !hitsEqual(nsGot, want) {
+						t.Fatalf("n=%d frac=%v unsigned=%v: norm-sorted masked %v, want %v",
+							n, frac, unsigned, nsGot, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKMaskedZeroDeadDelegates(t *testing.T) {
+	rng := xrand.New(5)
+	s, _ := FromVectors(randomVecs(rng, 400, 8))
+	q := vec.Vector(rng.NormalVec(8))
+	base, err := s.TopK(q, 5, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dead := range []*Tombstones{nil, NewTombstones(400)} {
+		got, err := s.TopKMasked(q, 5, false, 1, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hitsEqual(got, base) {
+			t.Fatalf("zero-dead masked scan diverged: %v vs %v", got, base)
+		}
+	}
+	if _, err := s.TopKMasked(q, 5, false, 1, NewTombstones(3)); err == nil {
+		t.Fatal("mismatched tombstone length accepted")
+	}
+}
+
+func TestTopKMultiMaskedMatchesSingle(t *testing.T) {
+	rng := xrand.New(33)
+	n, d, nq := 3000, 16, 13
+	s, _ := FromVectors(randomVecs(rng, n, d))
+	ns := NewNormSorted(s)
+	qs, _ := FromVectors(randomVecs(rng, nq, d))
+	for _, frac := range []float64{0.02, 0.5, 0.9} {
+		dead, _ := killRandom(rng.Split(uint64(1)), n, frac)
+		pdead := dead.Gather(ns.Perm())
+		for _, unsigned := range []bool{false, true} {
+			k := 1 + rng.Intn(8)
+			sc := GetTileScratch()
+			accs := sc.Accs(nq, k)
+			if err := s.TopKMultiMaskedInto(qs, 0, nq, unsigned, accs, sc, dead); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < nq; j++ {
+				want, err := s.TopKMasked(qs.Row(j), k, unsigned, 1, dead)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !hitsEqual(accs[j].Hits(), want) {
+					t.Fatalf("flat multi frac=%v unsigned=%v q=%d: %v, want %v",
+						frac, unsigned, j, accs[j].Hits(), want)
+				}
+			}
+			accs = sc.Accs(nq, k)
+			scanned := make([]int, nq)
+			if err := ns.TopKMultiMaskedInto(qs, 0, nq, unsigned, accs, scanned, sc, pdead); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < nq; j++ {
+				want, wantScanned, err := ns.TopKMasked(qs.Row(j), k, unsigned, pdead)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !hitsEqual(accs[j].Hits(), want) {
+					t.Fatalf("ns multi frac=%v unsigned=%v q=%d: %v, want %v",
+						frac, unsigned, j, accs[j].Hits(), want)
+				}
+				if scanned[j] != wantScanned {
+					t.Fatalf("ns multi q=%d scanned %d, want %d", j, scanned[j], wantScanned)
+				}
+			}
+			PutTileScratch(sc)
+		}
+	}
+}
+
+// killClustered tombstones the first frac of rows — the shape upserts
+// produce (old rows die in ingest order), and the shape block skipping
+// is designed for.
+func killClustered(n int, frac float64) *Tombstones {
+	t := NewTombstones(n)
+	for i := 0; i < int(float64(n)*frac); i++ {
+		t.Kill(i)
+	}
+	return t
+}
+
+// scoreThenFilter is the strawman the tentpole benchmarks against:
+// scan everything with the unmasked kernel asking for extra results,
+// then drop tombstoned hits.
+func scoreThenFilter(s *Store, q vec.Vector, k int, dead *Tombstones) []Hit {
+	raw, err := s.TopK(q, k+dead.Count(), false, 1)
+	if err != nil {
+		panic(err)
+	}
+	out := raw[:0]
+	for _, h := range raw {
+		if !dead.Dead(h.Index) {
+			out = append(out, h)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkTopKMasked(b *testing.B) {
+	rng := xrand.New(42)
+	n, d, k := 1<<16, 32, 10
+	s, _ := FromVectors(randomVecs(rng, n, d))
+	q := vec.Vector(rng.NormalVec(d))
+	for _, bench := range []struct {
+		name string
+		dead *Tombstones
+	}{
+		{"dead0", nil},
+		{"dead50-clustered", killClustered(n, 0.5)},
+		{"dead50-scattered", func() *Tombstones { t, _ := killRandom(xrand.New(1), n, 0.5); return t }()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(int64((n - bench.dead.Count()) * d * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := s.TopKMasked(q, k, false, 1, bench.dead); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("dead50-scorethenfilter", func(b *testing.B) {
+		dead := killClustered(n, 0.5)
+		b.SetBytes(int64(n / 2 * d * 8))
+		for i := 0; i < b.N; i++ {
+			scoreThenFilter(s, q, k, dead)
+		}
+	})
+}

@@ -35,7 +35,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			l := mustCreateB(b, dir, pol)
 			defer l.Close()
 			recs := benchRecords(1000, 16, 1)
-			bytesPer := int64(len(encodeBatch(nil, 1, recs)) + frameHeaderSize)
+			bytesPer := int64(len(encodeBatch(nil, 1, opAppend, recs)) + frameHeaderSize)
 			b.SetBytes(bytesPer)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

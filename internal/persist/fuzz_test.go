@@ -14,16 +14,29 @@ import (
 // re-decode to the same records (the decoder is a left inverse of the
 // canonical encoder).
 func FuzzWALDecode(f *testing.F) {
-	// Seed with well-formed WAL images of varying shape.
-	for _, recs := range [][]store.Record{
-		nil,
-		{{ID: 1, Vec: vec.Vector{1, 2, 3}}},
-		{{ID: -7, Vec: vec.Vector{0.5}, Attrs: map[string]string{"a": "b", "": ""}},
-			{ID: 1 << 40, Vec: vec.Vector{}}},
+	// Seed with well-formed WAL images of varying shape, one per op.
+	for _, seed := range []struct {
+		op   uint32
+		recs []store.Record
+		ids  []int
+	}{
+		{op: opAppend},
+		{op: opAppend, recs: []store.Record{{ID: 1, Vec: vec.Vector{1, 2, 3}}}},
+		{op: opAppend, recs: []store.Record{
+			{ID: -7, Vec: vec.Vector{0.5}, Attrs: map[string]string{"a": "b", "": ""}},
+			{ID: 1 << 40, Vec: vec.Vector{}}}},
+		{op: opUpsert, recs: []store.Record{{ID: 3, Vec: vec.Vector{-1}},
+			{ID: 3, Vec: vec.Vector{2}}}},
+		{op: opDelete},
+		{op: opDelete, ids: []int{0, -9, 1 << 50, 0}},
 	} {
 		img := append([]byte(nil), walMagic[:]...)
 		frame := make([]byte, frameHeaderSize)
-		frame = encodeBatch(frame, 1, recs)
+		if seed.op == opDelete {
+			frame = encodeDelete(frame, 1, seed.ids)
+		} else {
+			frame = encodeBatch(frame, 1, seed.op, seed.recs)
+		}
 		frame, err := finishFrame(frame, frameHeaderSize)
 		if err != nil {
 			f.Fatal(err)
@@ -37,20 +50,36 @@ func FuzzWALDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc := scanWAL(data)
 		for _, b := range sc.batches {
+			if b.op > opDelete {
+				t.Fatalf("accepted unknown op %d", b.op)
+			}
+			if b.op == opDelete && b.recs != nil || b.op != opDelete && b.ids != nil {
+				t.Fatalf("op %d decoded the wrong payload kind", b.op)
+			}
 			// Round-trip: accepted batches re-encode canonically and
-			// decode back to identical records.
-			re := encodeBatch(nil, b.seq, b.recs)
-			seq2, recs2, err := decodeBatch(re)
+			// decode back to identical payloads.
+			var re []byte
+			if b.op == opDelete {
+				re = encodeDelete(nil, b.seq, b.ids)
+			} else {
+				re = encodeBatch(nil, b.seq, b.op, b.recs)
+			}
+			b2, err := decodeBatch(re)
 			if err != nil {
 				t.Fatalf("re-decode of accepted batch failed: %v", err)
 			}
-			if seq2 != b.seq || len(recs2) != len(b.recs) {
-				t.Fatalf("round-trip changed shape: seq %d->%d, n %d->%d",
-					b.seq, seq2, len(b.recs), len(recs2))
+			if b2.seq != b.seq || b2.op != b.op || len(b2.recs) != len(b.recs) || len(b2.ids) != len(b.ids) {
+				t.Fatalf("round-trip changed shape: seq %d->%d, op %d->%d, n %d->%d, ids %d->%d",
+					b.seq, b2.seq, b.op, b2.op, len(b.recs), len(b2.recs), len(b.ids), len(b2.ids))
 			}
-			for i := range recs2 {
-				if !recordsEqual(b.recs[i], recs2[i]) {
+			for i := range b2.recs {
+				if !recordsEqual(b.recs[i], b2.recs[i]) {
 					t.Fatalf("round-trip changed record %d", i)
+				}
+			}
+			for i := range b2.ids {
+				if b.ids[i] != b2.ids[i] {
+					t.Fatalf("round-trip changed delete id %d", i)
 				}
 			}
 		}

@@ -196,6 +196,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 		return fail(err)
 	}
 	lastSeq := segSeq
+	state := newReplayState(recs)
 	appendTo := ""        // WAL file new appends should extend
 	appendOff := int64(0) // truncation point within appendTo
 
@@ -235,7 +236,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 					dir, b.seq, lastSeq))
 			}
 			if b.seq > segSeq {
-				recs = append(recs, b.recs...)
+				state.apply(b)
 				lastSeq = b.seq
 			}
 			// Frames at or below segSeq are already compacted into the
@@ -264,7 +265,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 		return fail(err)
 	}
 	l.startSyncer()
-	return l, &Recovered{Manifest: m, Recs: recs, LastSeq: lastSeq}, nil
+	return l, &Recovered{Manifest: m, Recs: state.finish(), LastSeq: lastSeq}, nil
 }
 
 // reopenWAL opens an existing WAL file for appending, truncating any
@@ -311,6 +312,29 @@ func (l *Log) reopenWAL(name string, goodOffset int64) error {
 // log refuses further appends so the in-memory state can never run
 // ahead of a broken disk.
 func (l *Log) Append(recs []store.Record) (uint64, error) {
+	return l.appendFrame(func(buf []byte, seq uint64) []byte {
+		return encodeBatch(buf, seq, opAppend, recs)
+	})
+}
+
+// AppendUpsert writes one insert-or-replace batch as a single upsert
+// frame, with Append's durability contract.
+func (l *Log) AppendUpsert(recs []store.Record) (uint64, error) {
+	return l.appendFrame(func(buf []byte, seq uint64) []byte {
+		return encodeBatch(buf, seq, opUpsert, recs)
+	})
+}
+
+// AppendDelete writes one id-removal batch as a single delete frame,
+// with Append's durability contract.
+func (l *Log) AppendDelete(ids []int) (uint64, error) {
+	return l.appendFrame(func(buf []byte, seq uint64) []byte {
+		return encodeDelete(buf, seq, ids)
+	})
+}
+
+// appendFrame writes one frame whose payload encode appends to buf.
+func (l *Log) appendFrame(encode func(buf []byte, seq uint64) []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -321,7 +345,7 @@ func (l *Log) Append(recs []store.Record) (uint64, error) {
 	}
 	seq := l.lastSeq + 1
 	buf := append(l.buf[:0], make([]byte, frameHeaderSize)...)
-	buf = encodeBatch(buf, seq, recs)
+	buf = encode(buf, seq)
 	buf, err := finishFrame(buf, frameHeaderSize)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,265 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// walOp is one logical mutation in a test scenario, mirrored into both
+// the log under test and the reference model.
+type walOp struct {
+	op   uint32
+	recs []store.Record
+	ids  []int
+}
+
+// applyModel replays ops through the documented replay semantics:
+// upsert-in-place for live ids, append otherwise, delete is a no-op on
+// unknown ids. The model is the oracle the recovery assertions use.
+func applyModel(live []store.Record, ops ...walOp) []store.Record {
+	out := append([]store.Record(nil), live...)
+	find := func(id int) int {
+		for i, r := range out {
+			if r.ID == id {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, o := range ops {
+		switch o.op {
+		case opAppend, opUpsert:
+			for _, r := range o.recs {
+				if p := find(r.ID); p >= 0 {
+					out[p] = r
+				} else {
+					out = append(out, r)
+				}
+			}
+		case opDelete:
+			for _, id := range o.ids {
+				if p := find(id); p >= 0 {
+					out = append(out[:p], out[p+1:]...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// appendOp writes one walOp through the public Log API.
+func appendOp(t *testing.T, l *Log, o walOp) uint64 {
+	t.Helper()
+	var seq uint64
+	var err error
+	switch o.op {
+	case opAppend:
+		seq, err = l.Append(o.recs)
+	case opUpsert:
+		seq, err = l.AppendUpsert(o.recs)
+	case opDelete:
+		seq, err = l.AppendDelete(o.ids)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func rec(id int, base float64) store.Record {
+	return store.Record{ID: id, Vec: vec.Vector{base, base + 1, base + 2}}
+}
+
+// mutationOps is the shared scenario: inserts, an upsert mixing
+// replace and insert, deletes including an id never seen and an id
+// already upserted.
+func mutationOps() []walOp {
+	return []walOp{
+		{op: opAppend, recs: []store.Record{rec(1, 10), rec(2, 20), rec(3, 30)}},
+		{op: opUpsert, recs: []store.Record{rec(2, 200), rec(4, 40)}},
+		{op: opDelete, ids: []int{3, 777}},
+		{op: opUpsert, recs: []store.Record{rec(3, 300)}},
+		{op: opDelete, ids: []int{1}},
+	}
+}
+
+func TestMutationReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncAlways))
+	ops := mutationOps()
+	for _, o := range ops {
+		appendOp(t, l, o)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := applyModel(nil, ops...)
+	for i := 0; i < 3; i++ { // repeated recovery must be idempotent
+		l2, rcv, err := Open(dir, testPolicy(FsyncAlways))
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if rcv.LastSeq != uint64(len(ops)) {
+			t.Fatalf("LastSeq %d, want %d", rcv.LastSeq, len(ops))
+		}
+		checkRecovered(t, rcv, want)
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMutationReplaySegmentOverlap checkpoints mid-scenario while the
+// WAL keeps every frame: replay must skip the frames the segment
+// covers rather than double-applying upserts and deletes.
+func TestMutationReplaySegmentOverlap(t *testing.T) {
+	ops := mutationOps()
+	for split := 1; split < len(ops); split++ {
+		dir := t.TempDir()
+		l := mustCreate(t, dir, testPolicy(FsyncNever))
+		for _, o := range ops {
+			appendOp(t, l, o)
+		}
+		// Segment materializes the live set after ops[:split]; the WAL
+		// still holds all frames (written directly, like a crash between
+		// segment rename and WAL cleanup).
+		if _, err := writeSegment(dir, uint64(split), applyModel(nil, ops[:split]...)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, rcv, err := Open(dir, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatalf("split=%d: %v", split, err)
+		}
+		checkRecovered(t, rcv, applyModel(nil, ops...))
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashTornMutationFrames cuts the WAL at every byte offset of the
+// mutation frames: recovery must materialize exactly the ops whose
+// frames are fully durable.
+func TestCrashTornMutationFrames(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncNever))
+	ops := mutationOps()
+	for _, o := range ops {
+		appendOp(t, l, o)
+	}
+	active := l.active
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, active))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scanWAL(full)
+	if sc.err != nil || len(sc.batches) != len(ops) {
+		t.Fatalf("fixture scan: err=%v batches=%d", sc.err, len(sc.batches))
+	}
+	for cut := int64(len(walMagic)); cut <= int64(len(full)); cut++ {
+		crashed := copyDir(t, dir)
+		if err := os.Truncate(filepath.Join(crashed, active), cut); err != nil {
+			t.Fatal(err)
+		}
+		durable := 0
+		for durable < len(ops) && sc.batches[durable].end <= cut {
+			durable++
+		}
+		l2, rcv, err := Open(crashed, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		if rcv.LastSeq != uint64(durable) {
+			t.Fatalf("cut=%d: LastSeq %d, want %d", cut, rcv.LastSeq, durable)
+		}
+		checkRecovered(t, rcv, applyModel(nil, ops[:durable]...))
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUpsertCrashReingestIdempotent is the retry path: an upsert frame
+// tears mid-write, the client re-sends it after recovery, and the final
+// state must equal the never-crashed run — including when the original
+// frame survived intact (duplicate application).
+func TestUpsertCrashReingestIdempotent(t *testing.T) {
+	base := []store.Record{rec(1, 10), rec(2, 20)}
+	up := walOp{op: opUpsert, recs: []store.Record{rec(2, 200), rec(5, 50)}}
+	want := applyModel(base, up)
+	for _, tear := range []int{0, 10, -1} { // full tear, partial frame, intact
+		dir := t.TempDir()
+		l := mustCreate(t, dir, testPolicy(FsyncNever))
+		if _, err := l.Append(base); err != nil {
+			t.Fatal(err)
+		}
+		tail := l.walBytes
+		appendOp(t, l, up)
+		active := l.active
+		full := l.walBytes
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cut := full
+		if tear >= 0 {
+			cut = tail + int64(tear)
+		}
+		if err := os.Truncate(filepath.Join(dir, active), cut); err != nil {
+			t.Fatal(err)
+		}
+		l2, _, err := Open(dir, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendOp(t, l2, up) // client retries
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, rcv, err := Open(dir, testPolicy(FsyncNever))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecovered(t, rcv, want)
+	}
+}
+
+func TestDeleteFrameRoundTrip(t *testing.T) {
+	for _, ids := range [][]int{nil, {7}, {0, -3, 1 << 45, 7, 7}} {
+		payload := encodeDelete(nil, 9, ids)
+		b, err := decodeBatch(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.seq != 9 || b.op != opDelete || len(b.ids) != len(ids) {
+			t.Fatalf("decoded seq=%d op=%d n=%d", b.seq, b.op, len(b.ids))
+		}
+		for i := range ids {
+			if b.ids[i] != ids[i] {
+				t.Fatalf("id %d: %d != %d", i, b.ids[i], ids[i])
+			}
+		}
+	}
+}
+
+func TestDecodeBatchRejectsBadOps(t *testing.T) {
+	// Unknown op code.
+	bad := encodeBatch(nil, 1, 7, nil)
+	if _, err := decodeBatch(bad); err == nil {
+		t.Fatal("accepted op 7")
+	}
+	// Delete frame whose id count disagrees with the payload size.
+	short := encodeDelete(nil, 1, []int{1, 2, 3})
+	if _, err := decodeBatch(short[:len(short)-8]); err == nil {
+		t.Fatal("accepted short delete payload")
+	}
+}

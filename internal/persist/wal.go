@@ -17,25 +17,44 @@ import (
 //	magic   [8]byte "IPSWAL1\n"
 //	frames  ...
 //
-// One frame carries one ingest batch:
+// One frame carries one mutation batch:
 //
 //	length  uint32  payload byte count
 //	crc     uint32  CRC-32C (Castagnoli) of the payload
 //	payload:
 //	  seq    uint64  batch sequence number (1-based, consecutive)
-//	  nrecs  uint32
-//	  nrecs × record:
+//	  meta   uint32  op in the top 4 bits, record/id count below
+//	  append/upsert (op 0 / 1): count × record:
 //	    id      int64
 //	    dim     uint32
 //	    nattrs  uint32
 //	    nattrs × (key, value)   each uint32 length + bytes, keys sorted
 //	    dim × float64           raw IEEE-754 bits
+//	  delete (op 2): count × id int64
+//
+// Op 0 is the original append frame, so every WAL written before
+// mutations existed still decodes: its meta word's top bits are zero.
+// Replay applies ops in sequence order with upsert semantics — append
+// and upsert replace an id that is already live and insert it
+// otherwise, delete of an unknown id is a no-op — so re-replaying a
+// prefix (segment overlap) or re-ingesting a batch after a crash
+// converges to the same live set.
 //
 // Attribute keys are sorted at encode time so the encoding is
 // canonical: the same batch always produces the same bytes, which the
 // crash-recovery tests rely on when comparing durable prefixes.
 
 var walMagic = [8]byte{'I', 'P', 'S', 'W', 'A', 'L', '1', '\n'}
+
+// Frame op codes, carried in the top bits of the payload meta word.
+const (
+	opAppend = 0 // insert records (pre-mutation encoding)
+	opUpsert = 1 // insert-or-replace records by id
+	opDelete = 2 // remove ids
+
+	opShift   = 28
+	countMask = 1<<opShift - 1
+)
 
 const (
 	frameHeaderSize = 8 // u32 length + u32 crc
@@ -54,11 +73,11 @@ var (
 	errCorrupt   = errors.New("persist: wal frame corrupt")
 )
 
-// encodeBatch appends the canonical payload encoding of (seq, recs) to
-// buf and returns the extended slice.
-func encodeBatch(buf []byte, seq uint64, recs []store.Record) []byte {
+// encodeBatch appends the canonical payload encoding of an append or
+// upsert frame (seq, op, recs) to buf and returns the extended slice.
+func encodeBatch(buf []byte, seq uint64, op uint32, recs []store.Record) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	buf = binary.LittleEndian.AppendUint32(buf, op<<opShift|uint32(len(recs)))
 	var keys []string
 	for _, r := range recs {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ID))
@@ -87,25 +106,53 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// decodeBatch parses a frame payload. Every length field is validated
-// against the remaining input before any allocation.
-func decodeBatch(payload []byte) (seq uint64, recs []store.Record, err error) {
+// encodeDelete appends the canonical payload encoding of a delete
+// frame (seq, ids) to buf and returns the extended slice.
+func encodeDelete(buf []byte, seq uint64, ids []int) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, opDelete<<opShift|uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
+	}
+	return buf
+}
+
+// decodeBatch parses a frame payload into a walBatch (end is left for
+// the caller). Every length field is validated against the remaining
+// input before any allocation.
+func decodeBatch(payload []byte) (b walBatch, err error) {
 	rest := payload
 	if len(rest) < 12 {
-		return 0, nil, fmt.Errorf("%w: payload header", errCorrupt)
+		return b, fmt.Errorf("%w: payload header", errCorrupt)
 	}
-	seq = binary.LittleEndian.Uint64(rest)
-	nrecs := binary.LittleEndian.Uint32(rest[8:])
+	b.seq = binary.LittleEndian.Uint64(rest)
+	meta := binary.LittleEndian.Uint32(rest[8:])
+	b.op = meta >> opShift
+	count := meta & countMask
 	rest = rest[12:]
-	// A record costs at least 16 bytes (id + dim + nattrs), so a
-	// nrecs claim beyond len(rest)/16 is corrupt, not an allocation.
-	if uint64(nrecs) > uint64(len(rest))/16 {
-		return 0, nil, fmt.Errorf("%w: %d records in %d payload bytes", errCorrupt, nrecs, len(rest))
+	switch b.op {
+	case opAppend, opUpsert:
+	case opDelete:
+		if uint64(count)*8 != uint64(len(rest)) {
+			return b, fmt.Errorf("%w: %d delete ids in %d payload bytes", errCorrupt, count, len(rest))
+		}
+		b.ids = make([]int, count)
+		for i := range b.ids {
+			b.ids[i] = int(int64(binary.LittleEndian.Uint64(rest[i*8:])))
+		}
+		return b, nil
+	default:
+		return b, fmt.Errorf("%w: unknown frame op %d", errCorrupt, b.op)
 	}
-	recs = make([]store.Record, nrecs)
+	// A record costs at least 16 bytes (id + dim + nattrs), so a
+	// count claim beyond len(rest)/16 is corrupt, not an allocation.
+	if uint64(count) > uint64(len(rest))/16 {
+		return b, fmt.Errorf("%w: %d records in %d payload bytes", errCorrupt, count, len(rest))
+	}
+	recs := make([]store.Record, count)
 	for i := range recs {
 		if len(rest) < 16 {
-			return 0, nil, fmt.Errorf("%w: record %d header", errCorrupt, i)
+			return b, fmt.Errorf("%w: record %d header", errCorrupt, i)
 		}
 		recs[i].ID = int(int64(binary.LittleEndian.Uint64(rest)))
 		dim := binary.LittleEndian.Uint32(rest[8:])
@@ -114,23 +161,23 @@ func decodeBatch(payload []byte) (seq uint64, recs []store.Record, err error) {
 		if nattrs > 0 {
 			// Each attribute costs at least 8 bytes of length fields.
 			if uint64(nattrs) > uint64(len(rest))/8 {
-				return 0, nil, fmt.Errorf("%w: record %d claims %d attrs", errCorrupt, i, nattrs)
+				return b, fmt.Errorf("%w: record %d claims %d attrs", errCorrupt, i, nattrs)
 			}
 			attrs := make(map[string]string, nattrs)
 			for a := uint32(0); a < nattrs; a++ {
 				var k, v string
 				if k, rest, err = takeString(rest); err != nil {
-					return 0, nil, fmt.Errorf("%w: record %d attr key", errCorrupt, i)
+					return b, fmt.Errorf("%w: record %d attr key", errCorrupt, i)
 				}
 				if v, rest, err = takeString(rest); err != nil {
-					return 0, nil, fmt.Errorf("%w: record %d attr value", errCorrupt, i)
+					return b, fmt.Errorf("%w: record %d attr value", errCorrupt, i)
 				}
 				attrs[k] = v
 			}
 			recs[i].Attrs = attrs
 		}
 		if uint64(dim) > uint64(len(rest))/8 {
-			return 0, nil, fmt.Errorf("%w: record %d claims dimension %d with %d bytes left",
+			return b, fmt.Errorf("%w: record %d claims dimension %d with %d bytes left",
 				errCorrupt, i, dim, len(rest))
 		}
 		v := make(vec.Vector, dim)
@@ -141,9 +188,10 @@ func decodeBatch(payload []byte) (seq uint64, recs []store.Record, err error) {
 		recs[i].Vec = v
 	}
 	if len(rest) != 0 {
-		return 0, nil, fmt.Errorf("%w: %d trailing payload bytes", errCorrupt, len(rest))
+		return b, fmt.Errorf("%w: %d trailing payload bytes", errCorrupt, len(rest))
 	}
-	return seq, recs, nil
+	b.recs = recs
+	return b, nil
 }
 
 func takeString(rest []byte) (string, []byte, error) {
@@ -215,8 +263,110 @@ type walScan struct {
 
 type walBatch struct {
 	seq  uint64
-	recs []store.Record
-	end  int64 // offset just past this frame
+	op   uint32
+	recs []store.Record // append/upsert payload
+	ids  []int          // delete payload
+	end  int64          // offset just past this frame
+}
+
+// replayState materializes the live record set while WAL frames are
+// replayed over a segment base. Upserts of a live id replace it in
+// place (matching the serving layer's relation semantics), upserts of
+// an unknown or deleted id append, deletes mark the slot dead; finish
+// compacts the survivors in order. Applying the same frame twice
+// converges, which is what makes segment-overlapping replay and
+// crash-then-reingest idempotent.
+//
+// The id→slot map is lazy: until the first delete frame, record frames
+// are accumulated without any per-record bookkeeping, and index
+// reconstructs the exact eager state from the accumulated rows (first
+// live occurrence keeps the slot, later occurrences replace it in
+// place). A mutation-free log — the common restart — replays with no
+// map at all, which keeps recovery at its pre-mutation cost.
+type replayState struct {
+	rows    []store.Record
+	live    []bool      // nil while pos is nil (everything provisionally live)
+	pos     map[int]int // id → newest live slot in rows; nil until indexed
+	dead    int
+	applied bool // a WAL frame landed on top of the base
+}
+
+// newReplayState adopts base (the segment's records) without copying;
+// the caller hands over ownership.
+func newReplayState(base []store.Record) *replayState {
+	return &replayState{rows: base}
+}
+
+// index builds pos/live from the accumulated rows by replaying them
+// with upsert semantics, exactly as eager tracking would have: a
+// duplicate id replaces the record at its first live slot and the
+// later slot dies, so slot order is preserved.
+func (st *replayState) index() {
+	if st.pos != nil {
+		return
+	}
+	st.pos = make(map[int]int, len(st.rows))
+	st.live = make([]bool, len(st.rows))
+	for i, r := range st.rows {
+		if p, ok := st.pos[r.ID]; ok && st.live[p] {
+			st.rows[p] = r
+			st.dead++
+			continue
+		}
+		st.pos[r.ID] = i
+		st.live[i] = true
+	}
+}
+
+func (st *replayState) apply(b walBatch) {
+	st.applied = true
+	switch b.op {
+	case opAppend, opUpsert:
+		if st.pos == nil {
+			// No delete seen yet: defer replace resolution to index.
+			st.rows = append(st.rows, b.recs...)
+			return
+		}
+		for _, r := range b.recs {
+			if p, ok := st.pos[r.ID]; ok && st.live[p] {
+				st.rows[p] = r
+				continue
+			}
+			st.pos[r.ID] = len(st.rows)
+			st.rows = append(st.rows, r)
+			st.live = append(st.live, true)
+		}
+	case opDelete:
+		st.index()
+		for _, id := range b.ids {
+			if p, ok := st.pos[id]; ok && st.live[p] {
+				st.live[p] = false
+				st.dead++
+			}
+		}
+	}
+}
+
+// finish returns the live records in slot order. It resolves any
+// still-deferred duplicate appends/upserts first; a segment-only
+// recovery (no WAL frames replayed) skips that entirely, since a
+// segment is written from the live relation and cannot hold
+// duplicates.
+func (st *replayState) finish() []store.Record {
+	if !st.applied && st.pos == nil {
+		return st.rows
+	}
+	st.index()
+	if st.dead == 0 {
+		return st.rows
+	}
+	out := st.rows[:0]
+	for i, r := range st.rows {
+		if st.live[i] {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // scanWAL decodes as many frames as possible from a WAL file image.
@@ -237,13 +387,14 @@ func scanWAL(data []byte) walScan {
 			sc.err = err
 			return sc
 		}
-		seq, recs, err := decodeBatch(payload)
+		b, err := decodeBatch(payload)
 		if err != nil {
 			sc.err = err
 			return sc
 		}
 		offset += int64(n)
-		sc.batches = append(sc.batches, walBatch{seq: seq, recs: recs, end: offset})
+		b.end = offset
+		sc.batches = append(sc.batches, b)
 		rest = rest[n:]
 	}
 	return sc

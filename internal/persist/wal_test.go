@@ -35,13 +35,17 @@ func testBatch(base, n, dim int) []store.Record {
 func TestBatchRoundTrip(t *testing.T) {
 	for _, n := range []int{0, 1, 7} {
 		recs := testBatch(100, n, 5)
-		payload := encodeBatch(nil, 42, recs)
-		seq, got, err := decodeBatch(payload)
+		payload := encodeBatch(nil, 42, opAppend, recs)
+		b, err := decodeBatch(payload)
 		if err != nil {
 			t.Fatalf("n=%d: decode: %v", n, err)
 		}
-		if seq != 42 {
-			t.Fatalf("n=%d: seq %d, want 42", n, seq)
+		got := b.recs
+		if b.seq != 42 {
+			t.Fatalf("n=%d: seq %d, want 42", n, b.seq)
+		}
+		if b.op != opAppend {
+			t.Fatalf("n=%d: op %d, want append", n, b.op)
 		}
 		if len(got) != len(recs) {
 			t.Fatalf("n=%d: %d records, want %d", n, len(got), len(recs))
@@ -81,9 +85,9 @@ func TestEncodeBatchCanonical(t *testing.T) {
 		Vec:   vec.Vector{1, 2},
 		Attrs: map[string]string{"b": "2", "a": "1", "c": "3"},
 	}}
-	first := encodeBatch(nil, 1, recs)
+	first := encodeBatch(nil, 1, opAppend, recs)
 	for i := 0; i < 20; i++ {
-		if got := encodeBatch(nil, 1, recs); !reflect.DeepEqual(got, first) {
+		if got := encodeBatch(nil, 1, opAppend, recs); !reflect.DeepEqual(got, first) {
 			t.Fatalf("encoding is not canonical across runs")
 		}
 	}
@@ -92,7 +96,7 @@ func TestEncodeBatchCanonical(t *testing.T) {
 func TestFrameRoundTrip(t *testing.T) {
 	recs := testBatch(0, 4, 3)
 	buf := make([]byte, frameHeaderSize)
-	buf = encodeBatch(buf, 7, recs)
+	buf = encodeBatch(buf, 7, opAppend, recs)
 	buf, err := finishFrame(buf, frameHeaderSize)
 	if err != nil {
 		t.Fatal(err)
@@ -104,14 +108,14 @@ func TestFrameRoundTrip(t *testing.T) {
 	if n != len(buf) {
 		t.Fatalf("frame size %d, want %d", n, len(buf))
 	}
-	if seq, _, err := decodeBatch(payload); err != nil || seq != 7 {
-		t.Fatalf("payload decode: seq=%d err=%v", seq, err)
+	if b, err := decodeBatch(payload); err != nil || b.seq != 7 {
+		t.Fatalf("payload decode: seq=%d err=%v", b.seq, err)
 	}
 }
 
 func TestDecodeFrameTruncatedAndCorrupt(t *testing.T) {
 	buf := make([]byte, frameHeaderSize)
-	buf = encodeBatch(buf, 1, testBatch(0, 2, 4))
+	buf = encodeBatch(buf, 1, opAppend, testBatch(0, 2, 4))
 	buf, err := finishFrame(buf, frameHeaderSize)
 	if err != nil {
 		t.Fatal(err)
@@ -139,7 +143,7 @@ func TestScanWALStopsAtBadFrame(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		start := len(data)
 		f := make([]byte, frameHeaderSize)
-		f = encodeBatch(f, uint64(i+1), testBatch(i*10, 2, 3))
+		f = encodeBatch(f, uint64(i+1), opAppend, testBatch(i*10, 2, 3))
 		f, err := finishFrame(f, frameHeaderSize)
 		if err != nil {
 			t.Fatal(err)

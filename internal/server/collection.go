@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 
@@ -28,14 +29,34 @@ type Collection struct {
 	gen uint64
 
 	ingestMu sync.Mutex
-	seenIDs  map[int]struct{}
-	nextID   int
-	closed   bool
-	log      *persist.Log // nil on an in-memory server
+	// seenIDs is the currently-live ID set: deletes remove from it, so
+	// AutoID assignment may reuse an ID after its record is deleted.
+	seenIDs map[int]struct{}
+	nextID  int
+	closed  bool
+	log     *persist.Log // nil on an in-memory server
+
+	// compactFrac and compactMin gate background compaction: it runs
+	// when tombstoned rows reach compactMin and the given fraction of
+	// all rows. compacting is the single-flight latch; compactions
+	// counts completed runs for /stats.
+	compactFrac float64
+	compactMin  int
+	compacting  atomic.Bool
+	compactions atomic.Int64
 
 	queries atomic.Int64
 	lat     *latencyRing
 }
+
+// Default compaction trigger: rewrite a collection's shards once a
+// quarter of the rows are tombstones, but never churn over a handful
+// of dead rows — rebuilding indexes costs more than scanning past
+// them until the dead set has real size.
+const (
+	defaultCompactFraction = 0.25
+	defaultCompactMinDead  = 1024
+)
 
 // attachLog makes later ingests durable through lg. It is called once,
 // before the collection starts serving ingests (at creation, or after
@@ -82,12 +103,14 @@ func newCollection(name string, spec IndexSpec, nshards int, seed uint64) (*Coll
 		return nil, fmt.Errorf("server: collection %q: shard count %d must be positive", name, nshards)
 	}
 	c := &Collection{
-		name:    name,
-		spec:    spec,
-		rel:     store.NewVersioned(name),
-		shards:  make([]*shard, nshards),
-		seenIDs: make(map[int]struct{}),
-		lat:     newLatencyRing(),
+		name:        name,
+		spec:        spec,
+		rel:         store.NewVersioned(name),
+		shards:      make([]*shard, nshards),
+		seenIDs:     make(map[int]struct{}),
+		compactFrac: defaultCompactFraction,
+		compactMin:  defaultCompactMinDead,
+		lat:         newLatencyRing(),
 	}
 	for i := range c.shards {
 		c.shards[i] = newShard(i, seed+uint64(i)*0x9e3779b97f4a7c15+1)
@@ -253,6 +276,267 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 // AutoID marks a record whose ID the collection assigns at ingest.
 const AutoID = -1 << 62
 
+// Upsert inserts or replaces records by ID: a live ID gets its vector
+// and attributes overwritten, an unknown (or deleted) ID is inserted.
+// Every record must carry an explicit ID — AutoID has nothing to
+// address — and a batch must not name the same ID twice (the intended
+// final state would be ambiguous). Replacement tombstones the old row
+// in its shard and appends the new one, so the change is one WAL
+// frame, one index rebuild per touched shard, and one atomic snapshot
+// swap; the space held by replaced rows is reclaimed by background
+// compaction. All-or-nothing like Ingest. Returns the new version.
+func (c *Collection) Upsert(recs []store.Record) (uint64, error) {
+	if len(recs) == 0 {
+		return c.rel.Version(), nil
+	}
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	if c.closed {
+		return 0, fmt.Errorf("%w: collection %q is closed", ErrUnavailable, c.name)
+	}
+	if err := c.rel.CheckAppend(recs); err != nil {
+		return 0, err
+	}
+	inBatch := make(map[int]struct{}, len(recs))
+	for _, r := range recs {
+		if r.ID == AutoID {
+			return 0, fmt.Errorf("server: collection %q: upsert requires explicit record IDs", c.name)
+		}
+		if _, dup := inBatch[r.ID]; dup {
+			return 0, fmt.Errorf("server: collection %q: duplicate record ID %d in upsert batch", c.name, r.ID)
+		}
+		inBatch[r.ID] = struct{}{}
+	}
+
+	// Reserve IDs that are new to the collection; a failed batch
+	// releases exactly those (IDs that were already live stay live).
+	reserved := make([]int, 0, len(recs))
+	for _, r := range recs {
+		if _, ok := c.seenIDs[r.ID]; !ok {
+			c.seenIDs[r.ID] = struct{}{}
+			reserved = append(reserved, r.ID)
+		}
+	}
+	rollback := func() {
+		for _, id := range reserved {
+			delete(c.seenIDs, id)
+		}
+	}
+
+	ids := make(map[int][]int)
+	vs := make(map[int][]vec.Vector)
+	for _, r := range recs {
+		si := c.shardFor(r.ID)
+		ids[si] = append(ids[si], r.ID)
+		vs[si] = append(vs[si], r.Vec)
+	}
+
+	snaps := make([]*shardSnap, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for si := range ids {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			snaps[si], errs[si] = c.shards[si].prepareUpsert(c.spec, ids[si], vs[si])
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			rollback()
+			return 0, fmt.Errorf("server: collection %q: index build: %w", c.name, err)
+		}
+	}
+
+	if c.log != nil {
+		if _, err := c.log.AppendUpsert(recs); err != nil {
+			rollback()
+			return 0, fmt.Errorf("%w: collection %q: wal append: %w", ErrUnavailable, c.name, err)
+		}
+	}
+
+	for si, snap := range snaps {
+		if snap != nil {
+			c.shards[si].commit(snap)
+		}
+	}
+	version, err := c.rel.Mutate(recs, nil)
+	if err != nil {
+		// Unreachable: CheckAppend vetted this batch under ingestMu.
+		rollback()
+		return 0, fmt.Errorf("server: collection %q: mutate after commit: %w", c.name, err)
+	}
+	if c.log != nil {
+		c.log.MaybeCheckpoint(c.persistSnapshot)
+	}
+	c.maybeCompact()
+	return version, nil
+}
+
+// Delete removes records by ID. Unknown IDs are no-ops (the count of
+// actually-removed records is returned alongside the version, which
+// only advances when something was removed). The rows are tombstoned
+// — scans skip them block-wise immediately — and their space is
+// reclaimed by background compaction.
+func (c *Collection) Delete(ids []int) (uint64, int, error) {
+	if len(ids) == 0 {
+		return c.rel.Version(), 0, nil
+	}
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	if c.closed {
+		return 0, 0, fmt.Errorf("%w: collection %q is closed", ErrUnavailable, c.name)
+	}
+	// Keep only IDs that are currently live, deduplicated, in request
+	// order: the WAL frame then records exactly what changed.
+	present := make([]int, 0, len(ids))
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if _, ok := c.seenIDs[id]; ok {
+			present = append(present, id)
+		}
+	}
+	if len(present) == 0 {
+		return c.rel.Version(), 0, nil
+	}
+
+	byShard := make(map[int][]int)
+	for _, id := range present {
+		si := c.shardFor(id)
+		byShard[si] = append(byShard[si], id)
+	}
+	snaps := make([]*shardSnap, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for si := range byShard {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			snaps[si], _, errs[si] = c.shards[si].prepareDelete(byShard[si])
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, fmt.Errorf("server: collection %q: delete: %w", c.name, err)
+		}
+	}
+
+	if c.log != nil {
+		if _, err := c.log.AppendDelete(present); err != nil {
+			return 0, 0, fmt.Errorf("%w: collection %q: wal append: %w", ErrUnavailable, c.name, err)
+		}
+	}
+
+	for si, snap := range snaps {
+		if snap != nil {
+			c.shards[si].commit(snap)
+		}
+	}
+	del := make(map[int]struct{}, len(present))
+	for _, id := range present {
+		del[id] = struct{}{}
+		delete(c.seenIDs, id)
+	}
+	version, err := c.rel.Mutate(nil, del)
+	if err != nil {
+		// Unreachable: Mutate without upserts cannot fail validation.
+		return 0, 0, fmt.Errorf("server: collection %q: mutate after commit: %w", c.name, err)
+	}
+	if c.log != nil {
+		c.log.MaybeCheckpoint(c.persistSnapshot)
+	}
+	c.maybeCompact()
+	return version, len(present), nil
+}
+
+// deadTotal sums tombstoned and total rows across the shards.
+func (c *Collection) deadTotal() (dead, rows int) {
+	for _, sh := range c.shards {
+		sn := sh.snap.Load()
+		dead += sn.dead.Count()
+		if sn.fs != nil {
+			rows += sn.fs.Len()
+		}
+	}
+	return dead, rows
+}
+
+// maybeCompact starts a background compaction when tombstoned rows
+// exceed the trigger (compactMin dead rows and compactFrac of all
+// rows) and none is already running. Reports whether one was started.
+func (c *Collection) maybeCompact() bool {
+	if c.compactFrac < 0 {
+		return false
+	}
+	dead, rows := c.deadTotal()
+	if dead < c.compactMin || dead == 0 || float64(dead) < c.compactFrac*float64(rows) {
+		return false
+	}
+	if !c.compacting.CompareAndSwap(false, true) {
+		return false
+	}
+	go func() {
+		defer c.compacting.Store(false)
+		if err := c.compact(); err != nil {
+			log.Printf("server: collection %q: compaction: %v", c.name, err)
+		}
+	}()
+	return true
+}
+
+// compact rewrites every tombstone-carrying shard to live rows only —
+// fresh contiguous store, rebuilt index, no bitmap — and then
+// checkpoints the WAL into a segment, so the on-disk state is rewritten
+// without the deleted rows too. Searches never block: they keep
+// reading the old snapshots until the atomic swap. Writers are held
+// out (ingestMu) during the rebuild, exactly like an ingest of
+// comparable size.
+func (c *Collection) compact() error {
+	c.ingestMu.Lock()
+	if c.closed {
+		c.ingestMu.Unlock()
+		return nil
+	}
+	snaps := make([]*shardSnap, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for si := range c.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			snaps[si], errs[si] = c.shards[si].prepareCompact(c.spec)
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			c.ingestMu.Unlock()
+			return err
+		}
+	}
+	for si, snap := range snaps {
+		if snap != nil {
+			c.shards[si].commit(snap)
+		}
+	}
+	c.ingestMu.Unlock()
+	c.compactions.Add(1)
+	// The segment write reuses the checkpointer's rotate/retain
+	// machinery; persistSnapshot re-takes ingestMu itself, which is why
+	// the lock must be released first. The relation holds only live
+	// records, so the new segment sheds every tombstoned row.
+	if c.log != nil {
+		return c.log.Checkpoint(c.persistSnapshot)
+	}
+	return nil
+}
+
 // SearchOne answers a single top-k query. When pool is non-nil the
 // shard fan-out runs on the worker pool; for a single-shard collection
 // any worker slots that are idle right now are borrowed (non-blocking,
@@ -322,16 +606,28 @@ func (c *Collection) SearchOne(pool *Pool, q vec.Vector, k int, unsigned bool) (
 func (c *Collection) statsSnapshot() CollectionStats {
 	rel, version := c.rel.Snapshot()
 	cs := CollectionStats{
-		Dim:     rel.Dim,
-		Records: len(rel.Recs),
-		Version: version,
-		Index:   c.spec.kind(),
-		Queries: c.queries.Load(),
-		Latency: c.lat.summary(),
-		Shards:  make([]ShardStats, len(c.shards)),
+		Dim:         rel.Dim,
+		Records:     len(rel.Recs),
+		Compactions: c.compactions.Load(),
+		Compacting:  c.compacting.Load(),
+		Version:     version,
+		Index:       c.spec.kind(),
+		Queries:     c.queries.Load(),
+		Latency:     c.lat.summary(),
+		Shards:      make([]ShardStats, len(c.shards)),
 	}
 	for i, sh := range c.shards {
-		cs.Shards[i] = ShardStats{ID: i, Records: sh.size(), Queries: sh.queries.Load()}
+		sn := sh.snap.Load()
+		dead := sn.dead.Count()
+		size := sh.size()
+		cs.Shards[i] = ShardStats{
+			ID:         i,
+			Records:    size,
+			Live:       size - dead,
+			Tombstoned: dead,
+			Queries:    sh.queries.Load(),
+		}
+		cs.Tombstoned += dead
 	}
 	return cs
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -18,6 +19,10 @@ import (
 //
 //	PUT  /collections/{name}          bulk ingest (creates on first use)
 //	DELETE /collections/{name}        drop the collection and its data dir
+//	PUT  /collections/{name}/vectors/{id}    upsert one record by ID
+//	DELETE /collections/{name}/vectors/{id}  delete one record by ID
+//	POST /collections/{name}/vectors         batch upsert (explicit IDs)
+//	POST /collections/{name}/vectors/delete  batch delete by ID list
 //	POST /collections/{name}/search   top-k MIPS, single or batched
 //	POST /collections/{a}/join/{b}    (cs, s) join: {a} is the data
 //	                                  collection P, {b} the queries Q
@@ -31,6 +36,10 @@ func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /collections/{name}", s.handleIngest)
 	mux.HandleFunc("DELETE /collections/{name}", s.handleDrop)
+	mux.HandleFunc("PUT /collections/{name}/vectors/{id}", s.handleUpsertOne)
+	mux.HandleFunc("DELETE /collections/{name}/vectors/{id}", s.handleDeleteOne)
+	mux.HandleFunc("POST /collections/{name}/vectors", s.handleUpsertBatch)
+	mux.HandleFunc("POST /collections/{name}/vectors/delete", s.handleDeleteBatch)
 	mux.HandleFunc("POST /collections/{name}/search", s.handleSearch)
 	mux.HandleFunc("POST /collections/{a}/join/{b}", s.handleJoinPath)
 	mux.HandleFunc("POST /collections/{name}/join", s.handleSelfJoin)
@@ -190,6 +199,172 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Results = lists
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// UpsertResponse reports an upsert outcome. Records is the live count
+// after the batch (replacements don't grow it, inserts do).
+type UpsertResponse struct {
+	Collection  string `json:"collection"`
+	Upserted    int    `json:"upserted"`
+	Records     int    `json:"records"`
+	Version     uint64 `json:"version"`
+	Invalidated int    `json:"invalidated"`
+}
+
+// DeleteVectorsRequest is the POST /collections/{name}/vectors/delete
+// body.
+type DeleteVectorsRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// DeleteVectorsResponse reports a delete outcome. Deleted counts the
+// records actually removed (unknown IDs are no-ops); Records is the
+// live count afterwards.
+type DeleteVectorsResponse struct {
+	Collection  string `json:"collection"`
+	Deleted     int    `json:"deleted"`
+	Records     int    `json:"records"`
+	Version     uint64 `json:"version"`
+	Invalidated int    `json:"invalidated"`
+}
+
+// mutationStatus maps an upsert/delete failure to its HTTP status.
+func mutationStatus(err error) int {
+	if errors.Is(err, ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// serveUpsert runs an upsert batch and writes the response; shared by
+// the single-record and batch routes.
+func (s *Server) serveUpsert(w http.ResponseWriter, name string, spec *IndexSpec, shards int, recs []store.Record) {
+	version, invalidated, err := s.Upsert(name, spec, shards, recs)
+	if err != nil {
+		httpError(w, mutationStatus(err), err)
+		return
+	}
+	total := len(recs)
+	if c, ok := s.Collection(name); ok {
+		total = c.Len()
+	}
+	writeJSON(w, http.StatusOK, UpsertResponse{
+		Collection:  name,
+		Upserted:    len(recs),
+		Records:     total,
+		Version:     version,
+		Invalidated: invalidated,
+	})
+}
+
+// handleUpsertOne serves PUT /collections/{name}/vectors/{id}: insert
+// or replace a single record. The body is a RecordJSON; a body "id"
+// must agree with the path.
+func (s *Server) handleUpsertOne(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("record id: %w", err))
+		return
+	}
+	var rj RecordJSON
+	if err := json.NewDecoder(r.Body).Decode(&rj); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if rj.ID != nil && *rj.ID != id {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("body id %d disagrees with path id %d", *rj.ID, id))
+		return
+	}
+	s.serveUpsert(w, name, nil, 0, []store.Record{{ID: id, Vec: vec.Vector(rj.Vec), Attrs: rj.Attrs}})
+}
+
+// handleUpsertBatch serves POST /collections/{name}/vectors: an
+// IngestRequest-shaped body whose records must all carry explicit IDs.
+func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	recs := make([]store.Record, len(req.Records))
+	for i, rj := range req.Records {
+		if rj.ID == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: upsert requires an id", i))
+			return
+		}
+		recs[i] = store.Record{ID: *rj.ID, Vec: vec.Vector(rj.Vec), Attrs: rj.Attrs}
+	}
+	s.serveUpsert(w, name, req.Index, req.Shards, recs)
+}
+
+// handleDeleteOne serves DELETE /collections/{name}/vectors/{id}. An
+// ID that is not live (never ingested, or already deleted) is a 404.
+func (s *Server) handleDeleteOne(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("record id: %w", err))
+		return
+	}
+	version, deleted, invalidated, err := s.Delete(name, []int{id})
+	if err != nil {
+		status := mutationStatus(err)
+		if _, ok := s.Collection(name); !ok {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	if deleted == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("server: collection %q has no record %d", name, id))
+		return
+	}
+	total := 0
+	if c, ok := s.Collection(name); ok {
+		total = c.Len()
+	}
+	writeJSON(w, http.StatusOK, DeleteVectorsResponse{
+		Collection:  name,
+		Deleted:     deleted,
+		Records:     total,
+		Version:     version,
+		Invalidated: invalidated,
+	})
+}
+
+// handleDeleteBatch serves POST /collections/{name}/vectors/delete.
+// Unknown IDs are no-ops, so the route is idempotent; Deleted reports
+// how many records the call actually removed.
+func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req DeleteVectorsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	version, deleted, invalidated, err := s.Delete(name, req.IDs)
+	if err != nil {
+		status := mutationStatus(err)
+		if _, ok := s.Collection(name); !ok {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	total := 0
+	if c, ok := s.Collection(name); ok {
+		total = c.Len()
+	}
+	writeJSON(w, http.StatusOK, DeleteVectorsResponse{
+		Collection:  name,
+		Deleted:     deleted,
+		Records:     total,
+		Version:     version,
+		Invalidated: invalidated,
+	})
 }
 
 // handleJoin serves the body-addressed POST /join route.

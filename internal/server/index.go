@@ -146,6 +146,18 @@ func buildShardIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64) (ShardInd
 	return nil, fmt.Errorf("server: unknown index kind %q", spec.Kind)
 }
 
+// deadMasker is implemented by engines that can serve the live-rows
+// view of their shard after deletions. withDead returns an index
+// answering exactly as if the store held only the rows dead does not
+// mark — same local row indices, canonical ordering — with dead given
+// in the store's original row space. Calling withDead on an
+// already-masked index replaces its dead set (each engine rebuilds its
+// view from its own immutable structures), so delete publication never
+// needs the unmasked original.
+type deadMasker interface {
+	withDead(dead *flat.Tombstones) ShardIndex
+}
+
 // batchIndex is implemented by indexes whose scan can serve a whole
 // query tile in one data sweep through the register-blocked
 // multi-query kernels: accs[j] receives the top-k hits (local row
@@ -162,6 +174,8 @@ type batchIndex interface {
 type emptyIndex struct{}
 
 func (emptyIndex) TopK(vec.Vector, int, bool, int) ([]Hit, error) { return nil, nil }
+
+func (ix emptyIndex) withDead(*flat.Tombstones) ShardIndex { return ix }
 
 // topKMulti implements batchIndex: no rows, so every accumulator stays
 // empty, exactly like the per-query path.
@@ -188,11 +202,17 @@ type parallelScanner interface {
 // exactIndex is the Θ(nd) full scan — the ground-truth engine and the
 // default for collections that must return exact answers. It runs the
 // blocked columnar kernel, splitting the scan across workers goroutines
-// for large shards.
-type exactIndex struct{ fs *flat.Store }
+// for large shards. dead (nil until the first delete) restricts the
+// scan to live rows; the masked kernels delegate straight to the
+// unmasked ones when it is empty, so the mutation path costs nothing
+// on a collection that never deletes.
+type exactIndex struct {
+	fs   *flat.Store
+	dead *flat.Tombstones
+}
 
 func (ix exactIndex) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
-	hs, err := ix.fs.TopK(q, k, unsigned, workers)
+	hs, err := ix.fs.TopKMasked(q, k, unsigned, workers, ix.dead)
 	if err != nil {
 		return nil, err
 	}
@@ -201,10 +221,14 @@ func (ix exactIndex) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hi
 
 func (ix exactIndex) maxScanWorkers() int { return ix.fs.MaxScanWorkers() }
 
+func (ix exactIndex) withDead(dead *flat.Tombstones) ShardIndex {
+	return exactIndex{fs: ix.fs, dead: dead}
+}
+
 // topKMulti implements batchIndex via the store's one-sweep
 // multi-query driver.
 func (ix exactIndex) topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
-	return ix.fs.TopKMultiInto(qs, qlo, qhi, unsigned, accs, sc)
+	return ix.fs.TopKMultiMaskedInto(qs, qlo, qhi, unsigned, accs, sc, ix.dead)
 }
 
 // normScanIndex is the exact top-k variant of mips.NormPruned over the
@@ -212,29 +236,40 @@ func (ix exactIndex) topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs
 // order and the scan stops at the first block whose Cauchy–Schwarz
 // bound ‖p‖·‖q‖ — which also bounds |pᵀq| — cannot displace the k-th
 // best hit.
-type normScanIndex struct{ ns *flat.NormSorted }
+type normScanIndex struct {
+	ns *flat.NormSorted
+	// dead lives in the norm-sorted physical row order (withDead
+	// pre-permutes once per delete publication, so the scan never pays
+	// a per-row indirection).
+	dead *flat.Tombstones
+}
 
 func (ix normScanIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
-	hs, _, err := ix.ns.TopK(q, k, unsigned)
+	hs, _, err := ix.ns.TopKMasked(q, k, unsigned, ix.dead)
 	if err != nil {
 		return nil, err
 	}
 	return flatHits(hs), nil
 }
 
+func (ix normScanIndex) withDead(dead *flat.Tombstones) ShardIndex {
+	return normScanIndex{ns: ix.ns, dead: dead.Gather(ix.ns.Perm())}
+}
+
 // topKMulti implements batchIndex: one descending-norm sweep serves
 // the whole tile, the Cauchy–Schwarz bound applied per query.
 func (ix normScanIndex) topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
-	return ix.ns.TopKMultiInto(qs, qlo, qhi, unsigned, accs, nil, sc)
+	return ix.ns.TopKMultiMaskedInto(qs, qlo, qhi, unsigned, accs, nil, sc, ix.dead)
 }
 
 // alshIndex is the §4.1 structure (SIMPLE map + hyperplane banding):
 // approximate candidates from the index, exact scores verified through
 // the shard's columnar store.
 type alshIndex struct {
-	fs *flat.Store
-	ix *lsh.Index
-	u  float64
+	fs   *flat.Store
+	ix   *lsh.Index
+	u    float64
+	dead *flat.Tombstones
 }
 
 func newALSHIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64) (*alshIndex, error) {
@@ -274,6 +309,9 @@ func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, err
 	}
 	acc := flat.NewAcc(k)
 	score := func(pi int) {
+		if ix.dead.Dead(pi) {
+			return
+		}
 		v := ix.fs.Dot(pi, q)
 		if unsigned && v < 0 {
 			v = -v
@@ -296,12 +334,23 @@ func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, err
 	return flatHits(acc.Hits()), nil
 }
 
+func (ix *alshIndex) withDead(dead *flat.Tombstones) ShardIndex {
+	return &alshIndex{fs: ix.fs, ix: ix.ix, u: ix.u, dead: dead}
+}
+
 // sketchIndex answers via the §4.3 trie recoverer (unsigned only,
 // top-1 by construction); the recovered candidate's score is
-// re-verified against the columnar store.
+// re-verified against the columnar store. A tombstoned recovery yields
+// no hit — the sketch has no second candidate — so recall degrades on
+// deleted rows until compaction rebuilds the recoverer over live rows.
 type sketchIndex struct {
-	rec *sketch.Recoverer
-	fs  *flat.Store
+	rec  *sketch.Recoverer
+	fs   *flat.Store
+	dead *flat.Tombstones
+}
+
+func (ix sketchIndex) withDead(dead *flat.Tombstones) ShardIndex {
+	return sketchIndex{rec: ix.rec, fs: ix.fs, dead: dead}
 }
 
 func (ix sketchIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
@@ -314,7 +363,7 @@ func (ix sketchIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, er
 	// The recoverer's score is already the exact |pᵀq| over this
 	// shard's store rows (bit-identical to fs.Dot — shared kernel).
 	idx, v := ix.rec.Query(q)
-	if idx < 0 {
+	if idx < 0 || ix.dead.Dead(idx) {
 		return nil, nil
 	}
 	return []Hit{{ID: idx, Score: v}}, nil

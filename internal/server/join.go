@@ -108,12 +108,16 @@ func joinSpec(req JoinRequest) (core.Spec, error) {
 }
 
 // shardSnaps returns the collection's current non-empty shard
-// snapshots. Each snapshot is immutable, so a join scans it safely
-// while ingests publish newer ones.
+// snapshots as live views: a shard carrying tombstones contributes a
+// compacted copy holding only its live rows, so the join engines —
+// which sweep whole columnar stores and know nothing of deletions —
+// can never report a deleted record. Each snapshot is immutable, so a
+// join scans it safely while ingests publish newer ones.
 func (c *Collection) shardSnaps() []*shardSnap {
 	snaps := make([]*shardSnap, 0, len(c.shards))
 	for _, sh := range c.shards {
-		if snap := sh.snap.Load(); snap.fs != nil && snap.fs.Len() > 0 {
+		snap := sh.snap.Load().liveView()
+		if snap.fs != nil && snap.fs.Len() > 0 {
 			snaps = append(snaps, snap)
 		}
 	}

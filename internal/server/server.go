@@ -47,6 +47,14 @@ type Config struct {
 	// CheckpointBytes is the WAL size above which a collection's log
 	// is compacted into a segment snapshot (default 64 MiB).
 	CheckpointBytes int64
+
+	// CompactFraction triggers background compaction of a collection
+	// once tombstoned rows exceed this fraction of all rows (default
+	// 0.25; negative disables compaction).
+	CompactFraction float64
+	// CompactMinDead is the minimum tombstone count before compaction
+	// is considered at all (default 1024; negative means any count).
+	CompactMinDead int
 }
 
 func (c *Config) defaults() {
@@ -227,6 +235,7 @@ func (s *Server) adoptRecovered(lg *persist.Log, rec *persist.Recovered) error {
 		return err
 	}
 	c.gen = s.gens.Add(1)
+	s.configureCompaction(c)
 	s.noteRecoveredSeed(rec.Manifest.Seed)
 	s.cols[name] = c
 	s.mu.Unlock()
@@ -395,6 +404,19 @@ func (s *Server) EnsureCollection(name string, spec *IndexSpec, shards int) (*Co
 	}
 }
 
+// configureCompaction applies the server's compaction knobs to a
+// freshly built collection (both the create and the recovery path).
+func (s *Server) configureCompaction(c *Collection) {
+	if s.cfg.CompactFraction != 0 {
+		c.compactFrac = s.cfg.CompactFraction
+	}
+	if s.cfg.CompactMinDead > 0 {
+		c.compactMin = s.cfg.CompactMinDead
+	} else if s.cfg.CompactMinDead < 0 {
+		c.compactMin = 0
+	}
+}
+
 func specOrDefault(spec *IndexSpec) IndexSpec {
 	if spec != nil {
 		return *spec
@@ -418,6 +440,7 @@ func (s *Server) buildCollection(name string, spec IndexSpec, shards int, seed u
 		return nil, err
 	}
 	c.gen = s.gens.Add(1)
+	s.configureCompaction(c)
 	if s.cfg.DataDir != "" {
 		lg, err := s.createLog(name, spec, shards, seed)
 		if err != nil {
@@ -456,6 +479,40 @@ func (s *Server) Ingest(name string, spec *IndexSpec, shards int, recs []store.R
 		return 0, 0, err
 	}
 	return version, s.cache.invalidate(name), nil
+}
+
+// Upsert inserts or replaces records by ID in the named collection
+// (creating it on first use), then invalidates the collection's cached
+// query results — a cached hit list may contain a record this batch
+// just replaced. Returns the new version and the number of cache
+// entries dropped.
+func (s *Server) Upsert(name string, spec *IndexSpec, shards int, recs []store.Record) (version uint64, invalidated int, err error) {
+	c, err := s.EnsureCollection(name, spec, shards)
+	if err != nil {
+		return 0, 0, err
+	}
+	version, err = c.Upsert(recs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return version, s.cache.invalidate(name), nil
+}
+
+// Delete removes records by ID from the named collection and
+// invalidates its cached query results, so a cached hit can never
+// return a tombstoned ID. Unknown IDs are no-ops; deleted reports how
+// many records were actually removed. Deleting from an unknown
+// collection is an error.
+func (s *Server) Delete(name string, ids []int) (version uint64, deleted, invalidated int, err error) {
+	c, ok := s.Collection(name)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("server: unknown collection %q", name)
+	}
+	version, deleted, err = c.Delete(ids)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return version, deleted, s.cache.invalidate(name), nil
 }
 
 // SearchResult is one query's outcome within a batch.

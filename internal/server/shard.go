@@ -2,6 +2,7 @@ package server
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -28,13 +29,44 @@ type shard struct {
 // vector store, and the index built over the store (local row i ↔
 // global ID ids[i]). Snapshots are never mutated after publication, so
 // readers holding one can scan the store without synchronization.
+//
+// Mutations extend the triple: rows maps a global ID to its local row,
+// and dead marks tombstoned rows (nil until the first delete — the
+// zero-tombstone fast paths key off that). An upsert tombstones the
+// old row and appends the new one, so rows always points at the
+// newest; a rows entry whose row is dead means the ID is not live
+// (delete publication shares the map instead of copying it). rows is
+// lazy — see rowIndex — so append-only shards never build or copy it.
 type shardSnap struct {
 	ids   []int
 	fs    *flat.Store
 	index ShardIndex
+	rows  map[int]int
+	dead  *flat.Tombstones
 
 	nsOnce sync.Once
 	ns     *flat.NormSorted
+
+	liveOnce sync.Once
+	live     *shardSnap
+}
+
+// rowIndex returns the id→row map, deriving it from ids on first use.
+// ids can hold an id twice after an upsert (the tombstoned old row and
+// the appended newest one); in-order iteration makes the last
+// occurrence win, which is the newest row — the same invariant the
+// eager updates below maintain. Accessed only on the shard's owner
+// goroutine, so the lazy build needs no synchronization; append-only
+// shards never pay for the map at all.
+func (sn *shardSnap) rowIndex() map[int]int {
+	if sn.rows == nil && len(sn.ids) > 0 {
+		rows := make(map[int]int, len(sn.ids))
+		for i, id := range sn.ids {
+			rows[id] = i
+		}
+		sn.rows = rows
+	}
+	return sn.rows
 }
 
 // normSorted lazily builds — once per snapshot, the store being
@@ -44,6 +76,40 @@ type shardSnap struct {
 func (sn *shardSnap) normSorted() *flat.NormSorted {
 	sn.nsOnce.Do(func() { sn.ns = flat.NewNormSorted(sn.fs) })
 	return sn.ns
+}
+
+// liveView returns a snapshot holding only the live rows — what the
+// join engines iterate, so a join can never emit a tombstoned row.
+// With no tombstones it is the snapshot itself (free); otherwise a
+// compacted (ids, fs) pair is built once per snapshot and cached, so
+// the cost is paid by the first join after a delete, not per request.
+// The view carries no serving index (joins build their own structures
+// over fs) and no rows/dead bookkeeping — it is read-only.
+func (sn *shardSnap) liveView() *shardSnap {
+	if sn.dead.Count() == 0 {
+		return sn
+	}
+	sn.liveOnce.Do(func() {
+		nfs, err := flat.New(sn.fs.Dim())
+		if err != nil {
+			// Unreachable: sn.fs exists, so its dim is positive.
+			sn.live = &shardSnap{index: emptyIndex{}}
+			return
+		}
+		ids := make([]int, 0, sn.fs.Len()-sn.dead.Count())
+		for i := 0; i < sn.fs.Len(); i++ {
+			if sn.dead.Dead(i) {
+				continue
+			}
+			if err := nfs.Append(sn.fs.Row(i)); err != nil {
+				sn.live = &shardSnap{index: emptyIndex{}}
+				return
+			}
+			ids = append(ids, sn.ids[i])
+		}
+		sn.live = &shardSnap{ids: ids, fs: nfs, index: emptyIndex{}}
+	})
+	return sn.live
 }
 
 func newShard(id int, seed uint64) *shard {
@@ -90,17 +156,195 @@ func (s *shard) prepare(spec IndexSpec, ids []int, vs []vec.Vector) (*shardSnap,
 		nids := make([]int, 0, len(old.ids)+len(ids))
 		nids = append(nids, old.ids...)
 		nids = append(nids, ids...)
+		// Extend the row index incrementally only when the shard has
+		// already materialized one (i.e. it has seen mutations);
+		// append-only shards keep rows nil and never copy a map here.
+		var rows map[int]int
+		if old.rows != nil {
+			rows = make(map[int]int, len(old.rows)+len(ids))
+			for id, r := range old.rows {
+				rows[id] = r
+			}
+			for i, id := range ids {
+				rows[id] = len(old.ids) + i
+			}
+		}
 		nfs, err := appendStore(old.fs, vs)
 		if err != nil {
 			resc <- result{err: err}
 			return
+		}
+		var dead *flat.Tombstones
+		if old.dead.Count() > 0 {
+			dead = old.dead.Grow(nfs.Len())
+		}
+		index, err := buildMaskedIndex(spec, nfs, s.seed, dead)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		resc <- result{snap: &shardSnap{ids: nids, fs: nfs, index: index, rows: rows, dead: dead}}
+	}
+	r := <-resc
+	return r.snap, r.err
+}
+
+// buildMaskedIndex builds the shard index and restricts it to live
+// rows when the shard carries tombstones.
+func buildMaskedIndex(spec IndexSpec, fs *flat.Store, seed uint64, dead *flat.Tombstones) (ShardIndex, error) {
+	index, err := buildShardIndex(spec, fs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return maskIndex(index, dead)
+}
+
+// maskIndex applies a tombstone set to an index (no-op when empty).
+func maskIndex(index ShardIndex, dead *flat.Tombstones) (ShardIndex, error) {
+	if dead.Count() == 0 {
+		return index, nil
+	}
+	dm, ok := index.(deadMasker)
+	if !ok {
+		return nil, fmt.Errorf("server: index %T does not support deletions", index)
+	}
+	return dm.withDead(dead), nil
+}
+
+// prepareUpsert builds — but does not publish — the snapshot that
+// results from insert-or-replace of (ids, vs): replaced IDs have their
+// old row tombstoned and every record lands in a fresh appended row,
+// so the store stays append-only and the index rebuild is uniform with
+// ingest. Runs on the owner goroutine; the caller commits.
+func (s *shard) prepareUpsert(spec IndexSpec, ids []int, vs []vec.Vector) (*shardSnap, error) {
+	type result struct {
+		snap *shardSnap
+		err  error
+	}
+	resc := make(chan result, 1)
+	s.ops <- func() {
+		old := s.snap.Load()
+		base := 0
+		if old.fs != nil {
+			base = old.fs.Len()
+		}
+		nids := make([]int, 0, len(old.ids)+len(ids))
+		nids = append(nids, old.ids...)
+		nids = append(nids, ids...)
+		orows := old.rowIndex()
+		rows := make(map[int]int, len(orows)+len(ids))
+		for id, r := range orows {
+			rows[id] = r
+		}
+		nfs, err := appendStore(old.fs, vs)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		dead := old.dead.Grow(nfs.Len())
+		for i, id := range ids {
+			if r, ok := rows[id]; ok && !dead.Dead(r) {
+				dead.Kill(r)
+			}
+			rows[id] = base + i
+		}
+		if dead.Count() == 0 {
+			dead = nil // keep the zero-tombstone fast paths
+		}
+		index, err := buildMaskedIndex(spec, nfs, s.seed, dead)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		resc <- result{snap: &shardSnap{ids: nids, fs: nfs, index: index, rows: rows, dead: dead}}
+	}
+	r := <-resc
+	return r.snap, r.err
+}
+
+// prepareDelete builds — but does not publish — the snapshot with the
+// given IDs tombstoned, returning how many were live. A delete-only
+// snapshot is cheap: it shares the store, id slice and rows map with
+// the old one; only the bitmap is copied and the index re-masked.
+// IDs that are unknown or already dead are no-ops. Returns (nil, 0)
+// when nothing changed so the caller can skip the commit.
+func (s *shard) prepareDelete(ids []int) (*shardSnap, int, error) {
+	type result struct {
+		snap    *shardSnap
+		removed int
+		err     error
+	}
+	resc := make(chan result, 1)
+	s.ops <- func() {
+		old := s.snap.Load()
+		if old.fs == nil {
+			resc <- result{}
+			return
+		}
+		dead := old.dead.Grow(old.fs.Len())
+		rows := old.rowIndex()
+		removed := 0
+		for _, id := range ids {
+			if r, ok := rows[id]; ok && !dead.Dead(r) {
+				dead.Kill(r)
+				removed++
+			}
+		}
+		if removed == 0 {
+			resc <- result{}
+			return
+		}
+		index, err := maskIndex(old.index, dead)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		resc <- result{snap: &shardSnap{ids: old.ids, fs: old.fs, index: index, rows: rows, dead: dead}, removed: removed}
+	}
+	r := <-resc
+	return r.snap, r.removed, r.err
+}
+
+// prepareCompact builds — but does not publish — the fully-compacted
+// snapshot: live rows repacked into a fresh contiguous store, a fresh
+// rows map, no tombstones, and the index rebuilt over the compact
+// store. Returns nil when the shard has no tombstones.
+func (s *shard) prepareCompact(spec IndexSpec) (*shardSnap, error) {
+	type result struct {
+		snap *shardSnap
+		err  error
+	}
+	resc := make(chan result, 1)
+	s.ops <- func() {
+		old := s.snap.Load()
+		if old.dead.Count() == 0 {
+			resc <- result{}
+			return
+		}
+		nfs, err := flat.New(old.fs.Dim())
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		nids := make([]int, 0, old.fs.Len()-old.dead.Count())
+		rows := make(map[int]int, old.fs.Len()-old.dead.Count())
+		for i := 0; i < old.fs.Len(); i++ {
+			if old.dead.Dead(i) {
+				continue
+			}
+			if err := nfs.Append(old.fs.Row(i)); err != nil {
+				resc <- result{err: err}
+				return
+			}
+			rows[old.ids[i]] = len(nids)
+			nids = append(nids, old.ids[i])
 		}
 		index, err := buildShardIndex(spec, nfs, s.seed)
 		if err != nil {
 			resc <- result{err: err}
 			return
 		}
-		resc <- result{snap: &shardSnap{ids: nids, fs: nfs, index: index}}
+		resc <- result{snap: &shardSnap{ids: nids, fs: nfs, index: index, rows: rows}}
 	}
 	r := <-resc
 	return r.snap, r.err

@@ -69,22 +69,30 @@ func (r *latencyRing) summary() LatencyStats {
 	return LatencyStats{P50: qs[0], P90: qs[1], P99: qs[2]}
 }
 
-// ShardStats describes one shard in /stats.
+// ShardStats describes one shard in /stats. Records counts physical
+// rows (live + tombstoned); Live and Tombstoned break it down.
 type ShardStats struct {
-	ID      int   `json:"id"`
-	Records int   `json:"records"`
-	Queries int64 `json:"queries"`
+	ID         int   `json:"id"`
+	Records    int   `json:"records"`
+	Live       int   `json:"live"`
+	Tombstoned int   `json:"tombstoned"`
+	Queries    int64 `json:"queries"`
 }
 
-// CollectionStats describes one collection in /stats.
+// CollectionStats describes one collection in /stats. Records is the
+// live count (the relation holds live rows only); Tombstoned counts
+// deleted-but-not-yet-compacted rows still occupying shard storage.
 type CollectionStats struct {
-	Dim     int          `json:"dim"`
-	Records int          `json:"records"`
-	Version uint64       `json:"version"`
-	Index   string       `json:"index"`
-	Queries int64        `json:"queries"`
-	Latency LatencyStats `json:"latency"`
-	Shards  []ShardStats `json:"shards"`
+	Dim         int          `json:"dim"`
+	Records     int          `json:"records"`
+	Tombstoned  int          `json:"tombstoned"`
+	Compactions int64        `json:"compactions"`
+	Compacting  bool         `json:"compacting"`
+	Version     uint64       `json:"version"`
+	Index       string       `json:"index"`
+	Queries     int64        `json:"queries"`
+	Latency     LatencyStats `json:"latency"`
+	Shards      []ShardStats `json:"shards"`
 }
 
 // CacheStats describes the query cache in /stats.

@@ -95,6 +95,58 @@ func (v *Versioned) Append(recs []Record) (uint64, error) {
 	return old.version + 1, nil
 }
 
+// Mutate publishes a new snapshot with deletes removed and upserts
+// applied — a live record with a matching ID is replaced in place
+// (keeping its position), unmatched upserts are appended in batch
+// order — and returns the new version. Upserts are validated against
+// the current dimension, which is retained even if every record is
+// deleted so later writes stay dimension-checked. An upsert and a
+// delete of the same ID must not be combined in one call (the relative
+// order would be ambiguous); callers issue them as separate mutations.
+func (v *Versioned) Mutate(upserts []Record, deletes map[int]struct{}) (uint64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	old := v.current.Load()
+	if len(upserts) == 0 && len(deletes) == 0 {
+		return old.version, nil
+	}
+	dim := old.rel.Dim
+	if len(upserts) > 0 {
+		var err error
+		if dim, err = validateAppend(v.name, old.rel, upserts); err != nil {
+			return 0, err
+		}
+	}
+	up := make(map[int]int, len(upserts))
+	for i, r := range upserts {
+		up[r.ID] = i
+	}
+	used := make([]bool, len(upserts))
+	next := &Relation{
+		Name: v.name,
+		Dim:  dim,
+		Recs: make([]Record, 0, len(old.rel.Recs)+len(upserts)),
+	}
+	for _, r := range old.rel.Recs {
+		if _, del := deletes[r.ID]; del {
+			continue
+		}
+		if i, ok := up[r.ID]; ok {
+			next.Recs = append(next.Recs, upserts[i])
+			used[i] = true
+			continue
+		}
+		next.Recs = append(next.Recs, r)
+	}
+	for i, r := range upserts {
+		if !used[i] {
+			next.Recs = append(next.Recs, r)
+		}
+	}
+	v.current.Store(&versionedSnap{rel: next, version: old.version + 1})
+	return old.version + 1, nil
+}
+
 // Snapshot returns the current immutable relation and its version.
 // Callers must not mutate the returned record slice.
 func (v *Versioned) Snapshot() (*Relation, uint64) {

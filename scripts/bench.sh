@@ -13,8 +13,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
-FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat|BenchmarkJoin|BenchmarkWAL|BenchmarkSegment|BenchmarkRecover}"
+OUT="${1:-BENCH_6.json}"
+FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat|BenchmarkTopKMasked|BenchmarkJoin|BenchmarkWAL|BenchmarkSegment|BenchmarkRecover}"
 TIME="${BENCH_TIME:-200ms}"
 PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/ ./internal/join/ ./internal/persist/}"
 

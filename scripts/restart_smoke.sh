@@ -2,22 +2,27 @@
 # Restart-cycle smoke test for the durable storage subsystem:
 #
 #   1. start ipsd with a data directory (-fsync always, so every
-#      acknowledged ingest is durable against kill -9)
-#   2. ingest 100k vectors through loadgen and verify the sharded
-#      answers against a local exact scan
+#      acknowledged write is durable against kill -9)
+#   2. ingest 100k vectors through loadgen, then apply a deterministic
+#      pass of upsert/delete batches (replaced vectors, tombstones) and
+#      verify the sharded answers against a local exact scan over the
+#      post-mutation live set
 #   3. kill -9 the server mid-flight state (no graceful shutdown)
 #   4. restart ipsd on the same data directory
-#   5. re-run loadgen with -skip-ingest: the recovered collection must
-#      hold all 100k records and answer every query identically to the
-#      pre-kill exact scan
+#   5. re-run loadgen with -skip-ingest: it recomputes the same
+#      mutation pass locally, so the recovered collection must hold
+#      exactly the post-mutation live set — upserts applied, deletes
+#      gone — and answer every query bit-identically to the pre-kill
+#      exact scan
 #
-# Usage: scripts/restart_smoke.sh [n] [q]
+# Usage: scripts/restart_smoke.sh [n] [q] [mutate_ops]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 N="${1:-100000}"
 Q="${2:-200}"
+MUTATE="${3:-150}"
 ADDR="127.0.0.1:7177"
 DATA="$(mktemp -d)"
 BIN="$(mktemp -d)"
@@ -43,8 +48,8 @@ echo "=== starting ipsd -data $DATA -fsync always"
 PID=$!
 wait_healthy
 
-echo "=== ingesting $N vectors + verifying against local exact scan"
-"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4
+echo "=== ingesting $N vectors + $MUTATE upsert/delete batches + verifying against local exact scan"
+"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -mutate-pass "$MUTATE"
 
 echo "=== kill -9 $PID (no graceful shutdown)"
 kill -9 "$PID"
@@ -55,9 +60,9 @@ echo "=== restarting ipsd on the same data directory"
 PID=$!
 wait_healthy
 
-echo "=== verifying recovered data answers identically (no re-ingest)"
-"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -skip-ingest
+echo "=== verifying recovered data answers identically (no re-ingest, mutation pass recomputed locally)"
+"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -skip-ingest -mutate-pass "$MUTATE"
 
 kill "$PID"
 wait "$PID" 2>/dev/null || true
-echo "=== restart smoke OK: $N records survived kill -9 bit-identically"
+echo "=== restart smoke OK: post-mutation live set survived kill -9 bit-identically"
