@@ -5,6 +5,9 @@
 //	ipsd [-addr :7070] [-shards 4] [-cache 4096] [-workers 0] [-pprof addr]
 //	     [-data dir] [-fsync always|interval|never] [-fsync-interval 100ms]
 //	     [-checkpoint-bytes 67108864]
+//	     [-default-timeout 0] [-max-inflight 0] [-max-queue 0]
+//	     [-max-body-bytes 33554432]
+//	     [-read-timeout 30s] [-write-timeout 60s] [-idle-timeout 2m]
 //
 // Collections are created lazily by the first PUT /collections/{name};
 // see the README for the JSON API and a curl quickstart. -pprof serves
@@ -47,6 +50,13 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
 	ckptBytes := flag.Int64("checkpoint-bytes", 64<<20, "WAL bytes before compacting into a segment snapshot")
+	defaultTimeout := flag.Duration("default-timeout", 0, "deadline for queries that carry no timeout_ms (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing queries per collection (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "queries allowed to wait for an admission slot before shedding with 429 (negative = unbounded)")
+	maxBody := flag.Int64("max-body-bytes", 32<<20, "request body cap on mutating routes (negative disables)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (0 disables)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -73,6 +83,10 @@ func main() {
 		Fsync:           *fsync,
 		FsyncInterval:   *fsyncEvery,
 		CheckpointBytes: *ckptBytes,
+		DefaultTimeout:  *defaultTimeout,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		MaxBodyBytes:    *maxBody,
 	})
 	if err != nil {
 		log.Fatalf("ipsd: %v", err)
@@ -92,6 +106,9 @@ func main() {
 		Addr:              *addr,
 		Handler:           server.NewHandler(srv),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	done := make(chan struct{})

@@ -114,7 +114,29 @@ func main() {
 	mutatePass := flag.Int("mutate-pass", 0, "after a plain ingest, apply this many deterministic upsert/delete batches; -skip-ingest recomputes the same pass locally, so a restarted server is verified against the post-mutation state")
 	zipfA := flag.Float64("zipf", 1.1, "Zipf exponent for mutated record ids")
 	skipIngest := flag.Bool("skip-ingest", false, "skip ingest; verify the server's existing data (e.g. after a restart)")
+	slo := flag.Bool("slo", false, "SLO mode: status-aware multi-tenant traffic with an overload phase (see slo.go)")
+	sloSteady := flag.Duration("slo-steady", 5*time.Second, "steady-phase duration in -slo mode")
+	sloOverload := flag.Duration("slo-overload", 5*time.Second, "overload-phase duration in -slo mode")
+	sloClients := flag.Int("slo-clients", 4, "steady-phase concurrent clients in -slo mode")
+	sloOverloadClients := flag.Int("slo-overload-clients", 64, "extra clients during the overload phase")
+	sloTenants := flag.Int("slo-tenants", 4, "tenant collections in -slo mode (Zipf-skewed traffic)")
+	sloTimeoutMS := flag.Int("slo-timeout-ms", 200, "timeout_ms attached to every -slo search")
+	sloMaxInflight := flag.Int("slo-max-inflight", 4, "in-process server per-collection admission cap in -slo mode")
+	sloMaxQueue := flag.Int("slo-max-queue", 8, "in-process server admission queue depth in -slo mode")
+	sloReportPath := flag.String("slo-report", "", "write the JSON SLO report to this file")
+	sloRequireShed := flag.Bool("slo-require-shed", false, "fail unless the overload phase saw 429s with Retry-After")
 	flag.Parse()
+	if *slo {
+		os.Exit(runSLO(sloFlags{
+			addr: *addr, n: *n, d: *d, k: *k,
+			index: *index, shards: *shards, seed: *seed,
+			tenants: *sloTenants, zipfA: *zipfA, timeoutMS: *sloTimeoutMS,
+			steady: *sloSteady, overload: *sloOverload,
+			clients: *sloClients, overloadClients: *sloOverloadClients,
+			maxInflight: *sloMaxInflight, maxQueue: *sloMaxQueue,
+			report: *sloReportPath, requireShed: *sloRequireShed,
+		}))
+	}
 	if *mixed && *skipIngest {
 		log.Fatal("loadgen: -mixed and -skip-ingest are mutually exclusive")
 	}

@@ -1,0 +1,141 @@
+// Context-aware entry points for the scan drivers. Serving layers with
+// request deadlines call these; the drivers poll ctx.Done() once per
+// blockRows row-block, so a cancelled scan stops within one block
+// (~blockRows dot products) of the cancellation instead of pinning a
+// worker for the rest of the sweep.
+//
+// The never-cancelled case costs nothing: a nil or non-cancellable
+// context (context.Background, context.TODO) yields a nil done channel
+// and the drivers run the exact historical unchecked loops — the
+// benchmarked fast path is unchanged byte for byte.
+//
+// On cancellation the entry points return ctx's error
+// (context.DeadlineExceeded or context.Canceled); any partially
+// accumulated hits are discarded, never returned, so completed calls
+// remain bit-identical to their context-free twins.
+package flat
+
+import (
+	"context"
+
+	"repro/internal/vec"
+)
+
+// doneOf returns ctx's cancellation channel, or nil when ctx can never
+// be cancelled, which keeps every driver on the unchecked fast path.
+func doneOf(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// stopErr reports why a scan stopped. The done channel only fires once
+// ctx is cancelled, so Err is non-nil then; the Canceled fallback
+// guards against a misbehaving custom context.
+func stopErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// TopKCtx is TopK with cancellation: identical results when ctx never
+// fires, ctx's error (and no hits) when it does.
+func (s *Store) TopKCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	hits, stopped, err := s.topKDone(q, k, unsigned, workers, doneOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	if stopped {
+		return nil, stopErr(ctx)
+	}
+	return hits, nil
+}
+
+// TopKMaskedCtx is TopKMasked with cancellation.
+func (s *Store) TopKMaskedCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, dead *Tombstones) ([]Hit, error) {
+	hits, stopped, err := s.topKMaskedDone(q, k, unsigned, workers, dead, doneOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	if stopped {
+		return nil, stopErr(ctx)
+	}
+	return hits, nil
+}
+
+// TopKCtx is NormSorted.TopK with cancellation. scanned still reports
+// the rows evaluated before the scan was abandoned.
+func (ns *NormSorted) TopKCtx(ctx context.Context, q vec.Vector, k int, unsigned bool) ([]Hit, int, error) {
+	hits, scanned, stopped, err := ns.topKDone(q, k, unsigned, doneOf(ctx))
+	if err != nil {
+		return nil, scanned, err
+	}
+	if stopped {
+		return nil, scanned, stopErr(ctx)
+	}
+	return hits, scanned, nil
+}
+
+// TopKMaskedCtx is NormSorted.TopKMasked with cancellation.
+func (ns *NormSorted) TopKMaskedCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, dead *Tombstones) ([]Hit, int, error) {
+	hits, scanned, stopped, err := ns.topKMaskedDone(q, k, unsigned, dead, doneOf(ctx))
+	if err != nil {
+		return nil, scanned, err
+	}
+	if stopped {
+		return nil, scanned, stopErr(ctx)
+	}
+	return hits, scanned, nil
+}
+
+// TopKMultiIntoCtx is TopKMultiInto with cancellation. On cancellation
+// accs hold partial state and must be Reset before reuse.
+func (s *Store) TopKMultiIntoCtx(ctx context.Context, qs *Store, qlo, qhi int, unsigned bool, accs []Acc, sc *TileScratch) error {
+	stopped, err := s.topKMultiDone(qs, qlo, qhi, unsigned, accs, sc, doneOf(ctx))
+	if err != nil {
+		return err
+	}
+	if stopped {
+		return stopErr(ctx)
+	}
+	return nil
+}
+
+// TopKMultiMaskedIntoCtx is TopKMultiMaskedInto with cancellation.
+func (s *Store) TopKMultiMaskedIntoCtx(ctx context.Context, qs *Store, qlo, qhi int, unsigned bool, accs []Acc, sc *TileScratch, dead *Tombstones) error {
+	stopped, err := s.topKMultiMaskedDone(qs, qlo, qhi, unsigned, accs, sc, dead, doneOf(ctx))
+	if err != nil {
+		return err
+	}
+	if stopped {
+		return stopErr(ctx)
+	}
+	return nil
+}
+
+// TopKMultiIntoCtx is NormSorted.TopKMultiInto with cancellation.
+func (ns *NormSorted) TopKMultiIntoCtx(ctx context.Context, qs *Store, qlo, qhi int, unsigned bool, accs []Acc, scanned []int, sc *TileScratch) error {
+	stopped, err := ns.topKMultiDone(qs, qlo, qhi, unsigned, accs, scanned, sc, doneOf(ctx))
+	if err != nil {
+		return err
+	}
+	if stopped {
+		return stopErr(ctx)
+	}
+	return nil
+}
+
+// TopKMultiMaskedIntoCtx is NormSorted.TopKMultiMaskedInto with
+// cancellation.
+func (ns *NormSorted) TopKMultiMaskedIntoCtx(ctx context.Context, qs *Store, qlo, qhi int, unsigned bool, accs []Acc, scanned []int, sc *TileScratch, dead *Tombstones) error {
+	stopped, err := ns.topKMultiMaskedDone(qs, qlo, qhi, unsigned, accs, scanned, sc, dead, doneOf(ctx))
+	if err != nil {
+		return err
+	}
+	if stopped {
+		return stopErr(ctx)
+	}
+	return nil
+}

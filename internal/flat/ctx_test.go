@@ -1,0 +1,195 @@
+package flat
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestTopKCtxIdentical pins the zero-cost contract: with a background
+// (never-cancellable) context every Ctx entry point must return
+// results bit-identical to its context-free twin, for both the flat
+// and norm-sorted drivers, masked and unmasked, serial and parallel.
+func TestTopKCtxIdentical(t *testing.T) {
+	rng := xrand.New(5)
+	s, err := FromVectors(randomVecs(rng, 700, 9))
+	if err != nil {
+		t.Fatalf("FromVectors: %v", err)
+	}
+	ns := NewNormSorted(s)
+	dead := NewTombstones(s.Len())
+	for i := 0; i < s.Len(); i += 7 {
+		dead.Kill(i)
+	}
+	q := vec.Vector(rng.NormalVec(9))
+	ctx := context.Background()
+
+	for _, workers := range []int{1, 4} {
+		base, err := s.TopK(q, 10, false, workers)
+		if err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+		got, err := s.TopKCtx(ctx, q, 10, false, workers)
+		if err != nil {
+			t.Fatalf("TopKCtx: %v", err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d hits via ctx, %d without", workers, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d hit %d: ctx %+v, plain %+v", workers, i, got[i], base[i])
+			}
+		}
+
+		mbase, _ := s.TopKMasked(q, 10, false, workers, dead)
+		mgot, err := s.TopKMaskedCtx(ctx, q, 10, false, workers, dead)
+		if err != nil {
+			t.Fatalf("TopKMaskedCtx: %v", err)
+		}
+		for i := range mgot {
+			if mgot[i] != mbase[i] {
+				t.Fatalf("masked workers=%d hit %d: ctx %+v, plain %+v", workers, i, mgot[i], mbase[i])
+			}
+		}
+	}
+
+	nbase, nscanned, _ := ns.TopK(q, 10, false)
+	ngot, gscanned, err := ns.TopKCtx(ctx, q, 10, false)
+	if err != nil {
+		t.Fatalf("NormSorted.TopKCtx: %v", err)
+	}
+	if gscanned != nscanned || len(ngot) != len(nbase) {
+		t.Fatalf("normscan ctx scanned %d/%d hits %d/%d", gscanned, nscanned, len(ngot), len(nbase))
+	}
+	for i := range ngot {
+		if ngot[i] != nbase[i] {
+			t.Fatalf("normscan hit %d: ctx %+v, plain %+v", i, ngot[i], nbase[i])
+		}
+	}
+}
+
+// TestTopKCtxCancelled pins the cancellation contract: an already
+// cancelled context yields the context error and no hits from every
+// entry point — partial accumulations are never returned.
+func TestTopKCtxCancelled(t *testing.T) {
+	rng := xrand.New(6)
+	s, err := FromVectors(randomVecs(rng, 3000, 6))
+	if err != nil {
+		t.Fatalf("FromVectors: %v", err)
+	}
+	ns := NewNormSorted(s)
+	dead := NewTombstones(s.Len())
+	q := vec.Vector(rng.NormalVec(6))
+	ctx := cancelledCtx()
+
+	if hits, err := s.TopKCtx(ctx, q, 5, false, 1); !errors.Is(err, context.Canceled) || hits != nil {
+		t.Fatalf("TopKCtx cancelled: hits=%v err=%v", hits, err)
+	}
+	if hits, err := s.TopKCtx(ctx, q, 5, false, 4); !errors.Is(err, context.Canceled) || hits != nil {
+		t.Fatalf("TopKCtx cancelled parallel: hits=%v err=%v", hits, err)
+	}
+	if hits, err := s.TopKMaskedCtx(ctx, q, 5, false, 1, dead); !errors.Is(err, context.Canceled) || hits != nil {
+		t.Fatalf("TopKMaskedCtx cancelled: hits=%v err=%v", hits, err)
+	}
+	if hits, _, err := ns.TopKCtx(ctx, q, 5, false); !errors.Is(err, context.Canceled) || hits != nil {
+		t.Fatalf("NormSorted.TopKCtx cancelled: hits=%v err=%v", hits, err)
+	}
+	if hits, _, err := ns.TopKMaskedCtx(ctx, q, 5, false, dead); !errors.Is(err, context.Canceled) || hits != nil {
+		t.Fatalf("NormSorted.TopKMaskedCtx cancelled: hits=%v err=%v", hits, err)
+	}
+
+	qs, _ := FromVectors(randomVecs(rng, 8, 6))
+	accs := make([]Acc, 8)
+	for i := range accs {
+		accs[i] = NewAcc(5)
+	}
+	var sc TileScratch
+	if err := s.TopKMultiIntoCtx(ctx, qs, 0, 8, false, accs, &sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKMultiIntoCtx cancelled: err=%v", err)
+	}
+	if err := s.TopKMultiMaskedIntoCtx(ctx, qs, 0, 8, false, accs, &sc, dead); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKMultiMaskedIntoCtx cancelled: err=%v", err)
+	}
+	scanned := make([]int, 8)
+	if err := ns.TopKMultiIntoCtx(ctx, qs, 0, 8, false, accs, scanned, &sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NormSorted.TopKMultiIntoCtx cancelled: err=%v", err)
+	}
+	if err := ns.TopKMultiMaskedIntoCtx(ctx, qs, 0, 8, false, accs, scanned, &sc, dead); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NormSorted.TopKMultiMaskedIntoCtx cancelled: err=%v", err)
+	}
+}
+
+// TestTopKCtxMidScan cancels a context while a long scan is running
+// and checks the driver gives up within the deadline's neighbourhood
+// rather than finishing the sweep: the block-boundary polls must
+// actually fire.
+func TestTopKCtxMidScan(t *testing.T) {
+	rng := xrand.New(7)
+	s, err := FromVectors(randomVecs(rng, 200000, 12))
+	if err != nil {
+		t.Fatalf("FromVectors: %v", err)
+	}
+	q := vec.Vector(rng.NormalVec(12))
+
+	// Grow the store until one serial sweep takes long enough that a
+	// sleep-then-cancel lands mid-scan instead of after it; scheduling
+	// jitter on a loaded machine makes sub-millisecond targets flaky.
+	baseline := time.Duration(0)
+	for grow := 0; grow < 6; grow++ {
+		start := time.Now()
+		if _, err := s.TopK(q, 5, false, 1); err != nil {
+			t.Fatalf("baseline TopK: %v", err)
+		}
+		baseline = time.Since(start)
+		if baseline >= 20*time.Millisecond {
+			break
+		}
+		if err := s.AppendAll(randomVecs(rng, s.Len(), 12)); err != nil {
+			t.Fatalf("growing store: %v", err)
+		}
+	}
+	if baseline < 20*time.Millisecond {
+		t.Skipf("scan too fast to cancel mid-flight (baseline %v at n=%d)", baseline, s.Len())
+	}
+
+	for attempt := 0; attempt < 5; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(baseline / 4)
+			cancel()
+		}()
+		start := time.Now()
+		hits, err := s.TopKCtx(ctx, q, 5, false, 1)
+		took := time.Since(start)
+		cancel()
+		if err == nil {
+			// The sweep beat the cancel goroutine this round (possible
+			// under scheduler jitter); try again.
+			continue
+		}
+		if !errors.Is(err, context.Canceled) || hits != nil {
+			t.Fatalf("mid-scan cancel: hits=%v err=%v", hits, err)
+		}
+		// A Canceled return by itself proves a block-boundary poll fired
+		// mid-sweep (an unpolled scan would have completed with hits).
+		// The loose bound just catches a driver that somehow kept
+		// scanning long after the poll.
+		if took > 2*baseline {
+			t.Fatalf("cancelled scan took %v against a %v baseline", took, baseline)
+		}
+		t.Logf("baseline %v (n=%d), cancelled after ~%v, returned in %v", baseline, s.Len(), baseline/4, took)
+		return
+	}
+	t.Fatal("scan completed before cancellation on every attempt")
+}

@@ -432,10 +432,20 @@ func offerScores(a *Acc, buf []float64, base int, unsigned bool, perm []int) {
 // ascending order, offering into a. Scores are materialised blockRows
 // at a time; the dense buffer pass only calls offer for candidates that
 // can actually enter, so the common row costs one multiply-add chain
-// and one compare.
-func (s *Store) scanBlocks(q vec.Vector, lo, hi int, unsigned bool, a *Acc) {
+// and one compare. done, when non-nil, is polled once per block; a
+// closed channel abandons the scan and reports true (the accumulator is
+// then partial and must be discarded). A nil done keeps the loop free
+// of the poll entirely.
+func (s *Store) scanBlocks(q vec.Vector, lo, hi int, unsigned bool, a *Acc, done <-chan struct{}) bool {
 	var buf [blockRows]float64
 	for start := lo; start < hi; start += blockRows {
+		if done != nil {
+			select {
+			case <-done:
+				return true
+			default:
+			}
+		}
 		end := start + blockRows
 		if end > hi {
 			end = hi
@@ -444,6 +454,7 @@ func (s *Store) scanBlocks(q vec.Vector, lo, hi int, unsigned bool, a *Acc) {
 		s.dotRange(q, start, end, buf[:nb])
 		offerScores(a, buf[:nb], start, unsigned, nil)
 	}
+	return false
 }
 
 // MaxScanWorkers returns the largest workers value TopK can actually
@@ -463,11 +474,19 @@ func (s *Store) CanParallelScan() bool { return s.MaxScanWorkers() >= 2 }
 // because per-chunk accumulators are merged under the same canonical
 // ordering.
 func (s *Store) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	hits, _, err := s.topKDone(q, k, unsigned, workers, nil)
+	return hits, err
+}
+
+// topKDone is the TopK driver: done == nil runs the historical unchecked
+// scan; otherwise the block loop polls done and a true second return
+// means the scan was abandoned (hits are nil).
+func (s *Store) topKDone(q vec.Vector, k int, unsigned bool, workers int, done <-chan struct{}) ([]Hit, bool, error) {
 	if err := s.checkQuery(q); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("flat: k=%d must be positive", k)
+		return nil, false, fmt.Errorf("flat: k=%d must be positive", k)
 	}
 	n := s.Len()
 	if workers > n/minParallelRows {
@@ -475,11 +494,14 @@ func (s *Store) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, er
 	}
 	if workers <= 1 {
 		a := NewAcc(k)
-		s.scanBlocks(q, 0, n, unsigned, &a)
-		return a.Hits(), nil
+		if s.scanBlocks(q, 0, n, unsigned, &a, done) {
+			return nil, true, nil
+		}
+		return a.Hits(), false, nil
 	}
 	chunk := (n + workers - 1) / workers
 	accs := make([]Acc, workers)
+	stopped := make([]bool, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -493,17 +515,22 @@ func (s *Store) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, er
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			accs[w] = NewAcc(k)
-			s.scanBlocks(q, lo, hi, unsigned, &accs[w])
+			stopped[w] = s.scanBlocks(q, lo, hi, unsigned, &accs[w], done)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, st := range stopped {
+		if st {
+			return nil, true, nil
+		}
+	}
 	merged := NewAcc(k)
 	for w := range accs {
 		for _, h := range accs[w].Hits() {
 			merged.Offer(h.Index, h.Score)
 		}
 	}
-	return merged.Hits(), nil
+	return merged.Hits(), false, nil
 }
 
 // NormSorted is a descending-norm view of a Store for early-terminating
@@ -581,12 +608,19 @@ func (ns *NormSorted) Perm() []int { return ns.perm }
 // block's leading (largest) norm, no later row can enter and the scan
 // stops. Exactness does not depend on the bound — it only saves work.
 func (ns *NormSorted) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, int, error) {
+	hits, scanned, _, err := ns.topKDone(q, k, unsigned, nil)
+	return hits, scanned, err
+}
+
+// topKDone is the NormSorted.TopK driver with the optional per-block
+// done poll (nil done keeps the historical unchecked loop).
+func (ns *NormSorted) topKDone(q vec.Vector, k int, unsigned bool, done <-chan struct{}) ([]Hit, int, bool, error) {
 	s := ns.store
 	if err := s.checkQuery(q); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if k <= 0 {
-		return nil, 0, fmt.Errorf("flat: k=%d must be positive", k)
+		return nil, 0, false, fmt.Errorf("flat: k=%d must be positive", k)
 	}
 	qn := vec.Norm(q)
 	n := s.Len()
@@ -594,6 +628,13 @@ func (ns *NormSorted) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, int, erro
 	scanned := 0
 	var buf [blockRows]float64
 	for start := 0; start < n; start += blockRows {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, scanned, true, nil
+			default:
+			}
+		}
 		if a.Full() && s.norms[start]*qn < a.Threshold() {
 			break // every remaining row is dominated by the bound
 		}
@@ -606,5 +647,5 @@ func (ns *NormSorted) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, int, erro
 		scanned += nb
 		offerScores(&a, buf[:nb], start, unsigned, ns.perm)
 	}
-	return a.Hits(), scanned, nil
+	return a.Hits(), scanned, false, nil
 }

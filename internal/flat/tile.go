@@ -271,12 +271,28 @@ func (s *Store) checkMulti(qs *Store, qlo, qhi int, accs []Acc) error {
 // tie-breaks and NaN rejection included — to TopK(qs.Row(qlo+j), k,
 // unsigned, 1). It allocates nothing: the score tile lives in sc.
 func (s *Store) TopKMultiInto(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, sc *TileScratch) error {
+	_, err := s.topKMultiDone(qs, qlo, qhi, unsigned, accs, sc, nil)
+	return err
+}
+
+// topKMultiDone is the multi-query driver with the optional per-block
+// done poll (nil done keeps the historical unchecked loop). A true
+// first return means the sweep was abandoned and accs hold partial,
+// unusable state.
+func (s *Store) topKMultiDone(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, sc *TileScratch, done <-chan struct{}) (bool, error) {
 	if err := s.checkMulti(qs, qlo, qhi, accs); err != nil {
-		return err
+		return false, err
 	}
 	n := s.Len()
 	buf := sc.tileBuf()
 	for start := 0; start < n; start += blockRows {
+		if done != nil {
+			select {
+			case <-done:
+				return true, nil
+			default:
+			}
+		}
 		end := min(start+blockRows, n)
 		nb := end - start
 		for g := qlo; g < qhi; g += maxTileQ {
@@ -287,7 +303,7 @@ func (s *Store) TopKMultiInto(qs *Store, qlo, qhi int, unsigned bool, accs []Acc
 			}
 		}
 	}
-	return nil
+	return false, nil
 }
 
 // TopKMulti answers a top-k query for every row of qs over one data
@@ -330,19 +346,34 @@ func (s *Store) TopKMulti(qs *Store, k int, unsigned bool) ([][]Hit, error) {
 // scanned counts (accumulated into scanned[j] when non-nil) are
 // bit-identical to the single-query scan.
 func (ns *NormSorted) TopKMultiInto(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, scanned []int, sc *TileScratch) error {
+	_, err := ns.topKMultiDone(qs, qlo, qhi, unsigned, accs, scanned, sc, nil)
+	return err
+}
+
+// topKMultiDone is the multi-query descending-norm driver with the
+// optional per-block stop poll (nil stop keeps the historical
+// unchecked loop).
+func (ns *NormSorted) topKMultiDone(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, scanned []int, sc *TileScratch, stop <-chan struct{}) (bool, error) {
 	s := ns.store
 	if err := s.checkMulti(qs, qlo, qhi, accs); err != nil {
-		return err
+		return false, err
 	}
 	qn := qhi - qlo
 	if scanned != nil && len(scanned) != qn {
-		return fmt.Errorf("flat: %d scanned slots for %d queries", len(scanned), qn)
+		return false, fmt.Errorf("flat: %d scanned slots for %d queries", len(scanned), qn)
 	}
 	n := s.Len()
 	buf := sc.tileBuf()
 	done := sc.doneBuf(qn)
 	live := qn
 	for start := 0; start < n && live > 0; start += blockRows {
+		if stop != nil {
+			select {
+			case <-stop:
+				return true, nil
+			default:
+			}
+		}
 		lead := s.norms[start]
 		end := min(start+blockRows, n)
 		nb := end - start
@@ -371,7 +402,7 @@ func (ns *NormSorted) TopKMultiInto(qs *Store, qlo, qhi int, unsigned bool, accs
 			j = r
 		}
 	}
-	return nil
+	return false, nil
 }
 
 // TopKMulti is the allocating convenience wrapper: per-query hit lists

@@ -160,9 +160,16 @@ func offerScoresMasked(a *Acc, buf []float64, base int, unsigned bool, perm []in
 // are skipped before the dot kernel runs, fully-live blocks take the
 // unmasked bookkeeping, and mixed blocks score every row but offer only
 // the live ones.
-func (s *Store) scanBlocksMasked(q vec.Vector, lo, hi int, unsigned bool, a *Acc, dead *Tombstones) {
+func (s *Store) scanBlocksMasked(q vec.Vector, lo, hi int, unsigned bool, a *Acc, dead *Tombstones, done <-chan struct{}) bool {
 	var buf [blockRows]float64
 	for start := lo; start < hi; start += blockRows {
+		if done != nil {
+			select {
+			case <-done:
+				return true
+			default:
+			}
+		}
 		end := start + blockRows
 		if end > hi {
 			end = hi
@@ -179,6 +186,7 @@ func (s *Store) scanBlocksMasked(q vec.Vector, lo, hi int, unsigned bool, a *Acc
 			offerScoresMasked(a, buf[:nb], start, unsigned, nil, dead)
 		}
 	}
+	return false
 }
 
 // checkMask validates a tombstone set against the store's row count.
@@ -194,17 +202,24 @@ func (s *Store) checkMask(dead *Tombstones) error {
 // store holding only the live rows (with this store's row indexes). A
 // nil or empty dead set takes exactly the TopK path.
 func (s *Store) TopKMasked(q vec.Vector, k int, unsigned bool, workers int, dead *Tombstones) ([]Hit, error) {
+	hits, _, err := s.topKMaskedDone(q, k, unsigned, workers, dead, nil)
+	return hits, err
+}
+
+// topKMaskedDone is the TopKMasked driver with the optional per-block
+// done poll (nil done keeps the historical unchecked loops).
+func (s *Store) topKMaskedDone(q vec.Vector, k int, unsigned bool, workers int, dead *Tombstones, done <-chan struct{}) ([]Hit, bool, error) {
 	if err := s.checkMask(dead); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if dead.Count() == 0 {
-		return s.TopK(q, k, unsigned, workers)
+		return s.topKDone(q, k, unsigned, workers, done)
 	}
 	if err := s.checkQuery(q); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("flat: k=%d must be positive", k)
+		return nil, false, fmt.Errorf("flat: k=%d must be positive", k)
 	}
 	n := s.Len()
 	if workers > n/minParallelRows {
@@ -212,11 +227,14 @@ func (s *Store) TopKMasked(q vec.Vector, k int, unsigned bool, workers int, dead
 	}
 	if workers <= 1 {
 		a := NewAcc(k)
-		s.scanBlocksMasked(q, 0, n, unsigned, &a, dead)
-		return a.Hits(), nil
+		if s.scanBlocksMasked(q, 0, n, unsigned, &a, dead, done) {
+			return nil, true, nil
+		}
+		return a.Hits(), false, nil
 	}
 	chunk := (n + workers - 1) / workers
 	accs := make([]Acc, workers)
+	stopped := make([]bool, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -230,17 +248,22 @@ func (s *Store) TopKMasked(q vec.Vector, k int, unsigned bool, workers int, dead
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			accs[w] = NewAcc(k)
-			s.scanBlocksMasked(q, lo, hi, unsigned, &accs[w], dead)
+			stopped[w] = s.scanBlocksMasked(q, lo, hi, unsigned, &accs[w], dead, done)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, st := range stopped {
+		if st {
+			return nil, true, nil
+		}
+	}
 	merged := NewAcc(k)
 	for w := range accs {
 		for _, h := range accs[w].Hits() {
 			merged.Offer(h.Index, h.Score)
 		}
 	}
-	return merged.Hits(), nil
+	return merged.Hits(), false, nil
 }
 
 // TopKMasked is the masked descending-norm scan. dead lives in the
@@ -252,18 +275,25 @@ func (s *Store) TopKMasked(q vec.Vector, k int, unsigned bool, workers int, dead
 // reference would discard too. scanned counts rows whose dot was
 // evaluated; rows of fully-dead skipped blocks are not evaluated.
 func (ns *NormSorted) TopKMasked(q vec.Vector, k int, unsigned bool, dead *Tombstones) ([]Hit, int, error) {
+	hits, scanned, _, err := ns.topKMaskedDone(q, k, unsigned, dead, nil)
+	return hits, scanned, err
+}
+
+// topKMaskedDone is the NormSorted.TopKMasked driver with the optional
+// per-block done poll (nil done keeps the historical unchecked loop).
+func (ns *NormSorted) topKMaskedDone(q vec.Vector, k int, unsigned bool, dead *Tombstones, done <-chan struct{}) ([]Hit, int, bool, error) {
 	s := ns.store
 	if err := s.checkMask(dead); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if dead.Count() == 0 {
-		return ns.TopK(q, k, unsigned)
+		return ns.topKDone(q, k, unsigned, done)
 	}
 	if err := s.checkQuery(q); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if k <= 0 {
-		return nil, 0, fmt.Errorf("flat: k=%d must be positive", k)
+		return nil, 0, false, fmt.Errorf("flat: k=%d must be positive", k)
 	}
 	qn := vec.Norm(q)
 	n := s.Len()
@@ -271,6 +301,13 @@ func (ns *NormSorted) TopKMasked(q vec.Vector, k int, unsigned bool, dead *Tombs
 	scanned := 0
 	var buf [blockRows]float64
 	for start := 0; start < n; start += blockRows {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, scanned, true, nil
+			default:
+			}
+		}
 		if a.Full() && s.norms[start]*qn < a.Threshold() {
 			break
 		}
@@ -291,7 +328,7 @@ func (ns *NormSorted) TopKMasked(q vec.Vector, k int, unsigned bool, dead *Tombs
 			offerScoresMasked(&a, buf[:nb], start, unsigned, ns.perm, dead)
 		}
 	}
-	return a.Hits(), scanned, nil
+	return a.Hits(), scanned, false, nil
 }
 
 // TopKMultiMaskedInto is the masked multi-query sweep: accs[j] receives
@@ -299,18 +336,33 @@ func (ns *NormSorted) TopKMasked(q vec.Vector, k int, unsigned bool, dead *Tombs
 // TopKMasked(qs.Row(qlo+j), k, unsigned, 1, dead). Fully-dead blocks
 // are skipped before the tile kernel runs.
 func (s *Store) TopKMultiMaskedInto(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, sc *TileScratch, dead *Tombstones) error {
+	_, err := s.topKMultiMaskedDone(qs, qlo, qhi, unsigned, accs, sc, dead, nil)
+	return err
+}
+
+// topKMultiMaskedDone is the masked multi-query driver with the
+// optional per-block done poll (nil done keeps the historical
+// unchecked loop).
+func (s *Store) topKMultiMaskedDone(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, sc *TileScratch, dead *Tombstones, done <-chan struct{}) (bool, error) {
 	if err := s.checkMask(dead); err != nil {
-		return err
+		return false, err
 	}
 	if dead.Count() == 0 {
-		return s.TopKMultiInto(qs, qlo, qhi, unsigned, accs, sc)
+		return s.topKMultiDone(qs, qlo, qhi, unsigned, accs, sc, done)
 	}
 	if err := s.checkMulti(qs, qlo, qhi, accs); err != nil {
-		return err
+		return false, err
 	}
 	n := s.Len()
 	buf := sc.tileBuf()
 	for start := 0; start < n; start += blockRows {
+		if done != nil {
+			select {
+			case <-done:
+				return true, nil
+			default:
+			}
+		}
 		end := min(start+blockRows, n)
 		nb := end - start
 		nd := dead.DeadIn(start, end)
@@ -329,32 +381,47 @@ func (s *Store) TopKMultiMaskedInto(qs *Store, qlo, qhi int, unsigned bool, accs
 			}
 		}
 	}
-	return nil
+	return false, nil
 }
 
 // TopKMultiMaskedInto is the masked multi-query descending-norm sweep
 // (dead in physical order, as in TopKMasked): hits and scanned counts
 // are bit-identical to the single-query masked scan per query.
 func (ns *NormSorted) TopKMultiMaskedInto(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, scanned []int, sc *TileScratch, dead *Tombstones) error {
+	_, err := ns.topKMultiMaskedDone(qs, qlo, qhi, unsigned, accs, scanned, sc, dead, nil)
+	return err
+}
+
+// topKMultiMaskedDone is the masked multi-query descending-norm driver
+// with the optional per-block stop poll (nil stop keeps the historical
+// unchecked loop).
+func (ns *NormSorted) topKMultiMaskedDone(qs *Store, qlo, qhi int, unsigned bool, accs []Acc, scanned []int, sc *TileScratch, dead *Tombstones, stop <-chan struct{}) (bool, error) {
 	s := ns.store
 	if err := s.checkMask(dead); err != nil {
-		return err
+		return false, err
 	}
 	if dead.Count() == 0 {
-		return ns.TopKMultiInto(qs, qlo, qhi, unsigned, accs, scanned, sc)
+		return ns.topKMultiDone(qs, qlo, qhi, unsigned, accs, scanned, sc, stop)
 	}
 	if err := s.checkMulti(qs, qlo, qhi, accs); err != nil {
-		return err
+		return false, err
 	}
 	qn := qhi - qlo
 	if scanned != nil && len(scanned) != qn {
-		return fmt.Errorf("flat: %d scanned slots for %d queries", len(scanned), qn)
+		return false, fmt.Errorf("flat: %d scanned slots for %d queries", len(scanned), qn)
 	}
 	n := s.Len()
 	buf := sc.tileBuf()
 	done := sc.doneBuf(qn)
 	live := qn
 	for start := 0; start < n && live > 0; start += blockRows {
+		if stop != nil {
+			select {
+			case <-stop:
+				return true, nil
+			default:
+			}
+		}
 		lead := s.norms[start]
 		end := min(start+blockRows, n)
 		nb := end - start
@@ -391,5 +458,5 @@ func (ns *NormSorted) TopKMultiMaskedInto(qs *Store, qlo, qhi int, unsigned bool
 			j = r
 		}
 	}
-	return nil
+	return false, nil
 }

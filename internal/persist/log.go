@@ -35,6 +35,10 @@ type Log struct {
 	dirty    bool  // unsynced appends (interval/never modes)
 	failed   error // sticky write/sync failure: all later appends fail
 	closed   bool
+	// dirtySince is when the oldest currently-unsynced append landed;
+	// zero while clean. FsyncLag exposes it so operators can watch the
+	// window of acknowledged-but-not-yet-durable writes.
+	dirtySince time.Time
 
 	// ckptBusy gives MaybeCheckpoint its non-blocking single-flight
 	// skip; ckptMu serializes the checkpoint body itself and lets
@@ -361,6 +365,9 @@ func (l *Log) appendFrame(encode func(buf []byte, seq uint64) []byte) (uint64, e
 			return 0, err
 		}
 	} else {
+		if !l.dirty {
+			l.dirtySince = time.Now()
+		}
 		l.dirty = true
 	}
 	l.lastSeq = seq
@@ -407,7 +414,22 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	l.dirty = false
+	l.dirtySince = time.Time{}
 	return nil
+}
+
+// FsyncLag returns how long the oldest acknowledged-but-unsynced
+// append has been waiting for an fsync, or zero when everything
+// acknowledged is durable. Under FsyncAlways it is always zero; under
+// the interval policy it normally stays below Policy.Interval — a
+// growing lag means the disk is not keeping up.
+func (l *Log) FsyncLag() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty || l.dirtySince.IsZero() {
+		return 0
+	}
+	return time.Since(l.dirtySince)
 }
 
 // LastSeq returns the sequence number of the last appended batch.

@@ -17,6 +17,7 @@ package server
 // merge combines the shard lists.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -89,7 +90,10 @@ func grow[T any](s []T, n int) []T {
 // searchBatch answers a multi-query request. out[i] receives query
 // i's result; cached answers are resolved inline, the misses are
 // packed into one columnar store and fanned out per tile on the pool.
-func (s *Server) searchBatch(c *Collection, name string, queries []vec.Vector, k int, unsigned bool, out []SearchResult) {
+// ctx propagates into every tile's scan; queries whose tile was
+// cancelled (mid-scan or before it started) carry the context error
+// and are never cached.
+func (s *Server) searchBatch(ctx context.Context, c *Collection, name string, queries []vec.Vector, k int, unsigned bool, out []SearchResult) {
 	version := c.Version()
 	cacheOn := s.cache.enabled()
 	bs := getBatchState()
@@ -104,7 +108,7 @@ func (s *Server) searchBatch(c *Collection, name string, queries []vec.Vector, k
 			key := cacheKey(name, c.gen, version, k, unsigned, queries[i])
 			if hits, ok := s.cache.get(key); ok {
 				out[i] = SearchResult{Hits: hits, Cached: true}
-				c.lat.observe(time.Since(qstart))
+				c.observeLatency(time.Since(qstart))
 				continue
 			}
 			keys = append(keys, key)
@@ -163,7 +167,7 @@ func (s *Server) searchBatch(c *Collection, name string, queries []vec.Vector, k
 				s.cache.put(name, vkeys[vi], empty)
 			}
 			out[i] = SearchResult{Hits: empty}
-			c.lat.observe(time.Since(start))
+			c.observeLatency(time.Since(start))
 		}
 		return
 	}
@@ -181,16 +185,35 @@ func (s *Server) searchBatch(c *Collection, name string, queries []vec.Vector, k
 	}
 
 	tiles := (len(valid) + searchTileQ - 1) / searchTileQ
-	s.pool.ForEach(tiles, func(t int) {
-		s.searchTile(c, name, queries, bs, t, k, unsigned, cacheOn, out)
+	// tileDone marks tiles whose task ran to completion; when the
+	// cancellable fan-out stops feeding, the queries of never-started
+	// tiles must still get an answer (the context error) rather than a
+	// zero SearchResult.
+	tileDone := make([]bool, tiles)
+	feedErr := s.pool.ForEachCtx(ctx, tiles, func(t int) {
+		s.searchTile(ctx, c, name, queries, bs, t, k, unsigned, cacheOn, out)
+		tileDone[t] = true
 	})
+	if feedErr != nil {
+		for t, done := range tileDone {
+			if done {
+				continue
+			}
+			tlo := t * searchTileQ
+			thi := min(tlo+searchTileQ, len(valid))
+			for _, i := range valid[tlo:thi] {
+				out[i] = SearchResult{Err: feedErr}
+				c.countTimeout(feedErr)
+			}
+		}
+	}
 }
 
 // searchTile runs one query tile against every shard snapshot and
 // merges the per-shard lists. It allocates only the result hits that
 // escape to the caller (one arena per task, or exact per-query slices
 // when they must outlive the request inside the cache).
-func (s *Server) searchTile(c *Collection, name string, queries []vec.Vector, bs *batchState, t, k int, unsigned bool, cacheOn bool, out []SearchResult) {
+func (s *Server) searchTile(ctx context.Context, c *Collection, name string, queries []vec.Vector, bs *batchState, t, k int, unsigned bool, cacheOn bool, out []SearchResult) {
 	valid, snaps, qst := bs.miss, bs.snaps, bs.qstore
 	tlo := t * searchTileQ
 	thi := min(tlo+searchTileQ, len(valid))
@@ -215,7 +238,7 @@ func (s *Server) searchTile(c *Collection, name string, queries []vec.Vector, bs
 	for si, snap := range snaps {
 		if bi, ok := snap.index.(batchIndex); ok {
 			accs := ts.tile.Accs(tn, k)
-			if err := bi.topKMulti(qst, tlo, thi, unsigned, accs, &ts.tile); err != nil {
+			if err := bi.topKMulti(ctx, qst, tlo, thi, unsigned, accs, &ts.tile); err != nil {
 				for j := 0; j < tn; j++ {
 					if ts.qerrs[j] == nil {
 						ts.qerrs[j] = err
@@ -238,7 +261,7 @@ func (s *Server) searchTile(c *Collection, name string, queries []vec.Vector, bs
 		// Candidate-based engines (alsh, sketch) answer per query,
 		// exactly like the old executor (workers=1).
 		for j := 0; j < tn; j++ {
-			local, err := snap.index.TopK(vec.Vector(queries[valid[tlo+j]]), k, unsigned, 1)
+			local, err := snap.index.TopK(ctx, vec.Vector(queries[valid[tlo+j]]), k, unsigned, 1)
 			if err != nil {
 				if ts.qerrs[j] == nil {
 					ts.qerrs[j] = err
@@ -268,6 +291,7 @@ func (s *Server) searchTile(c *Collection, name string, queries []vec.Vector, bs
 		i := valid[tlo+j]
 		if ts.qerrs[j] != nil {
 			out[i] = SearchResult{Err: ts.qerrs[j]}
+			c.countTimeout(ts.qerrs[j])
 			continue
 		}
 		for si := 0; si < nsh; si++ {
@@ -282,6 +306,6 @@ func (s *Server) searchTile(c *Collection, name string, queries []vec.Vector, bs
 			arena = arena[:len(arena)+len(hits)]
 		}
 		out[i] = SearchResult{Hits: hits}
-		c.lat.observe(time.Since(start))
+		c.observeLatency(time.Since(start))
 	}
 }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/persist"
 	"repro/internal/store"
@@ -47,6 +49,15 @@ type Collection struct {
 
 	queries atomic.Int64
 	lat     *latencyRing
+	// hist is the cumulative fixed-bucket query latency histogram
+	// behind /metrics (the ring above serves /stats' windowed
+	// percentiles; Prometheus wants monotone counters it can rate()).
+	hist *latencyHist
+	// timeouts counts queries abandoned because their deadline fired
+	// mid-scan (or before it started).
+	timeouts atomic.Int64
+	// adm is the per-collection admission gate; nil means unlimited.
+	adm *gate
 }
 
 // Default compaction trigger: rewrite a collection's shards once a
@@ -111,6 +122,7 @@ func newCollection(name string, spec IndexSpec, nshards int, seed uint64) (*Coll
 		compactFrac: defaultCompactFraction,
 		compactMin:  defaultCompactMinDead,
 		lat:         newLatencyRing(),
+		hist:        newLatencyHist(),
 	}
 	for i := range c.shards {
 		c.shards[i] = newShard(i, seed+uint64(i)*0x9e3779b97f4a7c15+1)
@@ -537,6 +549,26 @@ func (c *Collection) compact() error {
 	return nil
 }
 
+// walFsyncLag reports the collection WAL's fsync lag for /metrics;
+// zero for an in-memory collection.
+func (c *Collection) walFsyncLag() time.Duration {
+	c.ingestMu.Lock()
+	lg := c.log
+	c.ingestMu.Unlock()
+	if lg == nil {
+		return 0
+	}
+	return lg.FsyncLag()
+}
+
+// observeLatency records one served query's wall time in both latency
+// sinks: the windowed ring behind /stats and the cumulative histogram
+// behind /metrics.
+func (c *Collection) observeLatency(d time.Duration) {
+	c.lat.observe(d)
+	c.hist.observe(d)
+}
+
 // SearchOne answers a single top-k query. When pool is non-nil the
 // shard fan-out runs on the worker pool; for a single-shard collection
 // any worker slots that are idle right now are borrowed (non-blocking,
@@ -546,9 +578,19 @@ func (c *Collection) compact() error {
 // When pool is nil (the batch executor path, where parallelism already
 // comes from concurrent queries) shards are scanned serially on the
 // calling goroutine.
-func (c *Collection) SearchOne(pool *Pool, q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+//
+// ctx carries the request deadline; the shard scans poll it per row
+// block, so a cancelled query stops within one block and the first
+// ctx error is returned. A nil ctx means no deadline.
+func (c *Collection) SearchOne(ctx context.Context, pool *Pool, q vec.Vector, k int, unsigned bool) ([]Hit, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("server: k=%d must be positive", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rel, _ := c.rel.Snapshot()
 	if rel.Dim != 0 && len(q) != rel.Dim {
@@ -585,12 +627,24 @@ func (c *Collection) SearchOne(pool *Pool, q vec.Vector, k int, unsigned bool) (
 		workers = 1 + extras
 	}
 	scan := func(i int) {
-		lists[i], errs[i] = c.shards[i].topK(q, k, unsigned, workers)
+		lists[i], errs[i] = c.shards[i].topK(ctx, q, k, unsigned, workers)
 	}
+	var feedErr error
 	if pool != nil && len(c.shards) > 1 {
-		pool.ForEach(len(c.shards), scan)
+		feedErr = pool.ForEachCtx(ctx, len(c.shards), scan)
 	} else {
+		done := doneChan(ctx)
 		for i := range c.shards {
+			if done != nil {
+				select {
+				case <-done:
+					feedErr = ctx.Err()
+				default:
+				}
+				if feedErr != nil {
+					break
+				}
+			}
 			scan(i)
 		}
 	}
@@ -599,7 +653,19 @@ func (c *Collection) SearchOne(pool *Pool, q vec.Vector, k int, unsigned bool) (
 			return nil, err
 		}
 	}
+	if feedErr != nil {
+		return nil, feedErr
+	}
 	return mergeTopK(lists, k), nil
+}
+
+// doneChan returns ctx's cancellation channel, or nil when ctx is nil
+// or can never fire.
+func doneChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // statsSnapshot renders the collection for /stats.

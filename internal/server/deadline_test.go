@@ -1,0 +1,578 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// waitPoolIdle asserts every scan-pool slot has been released: a
+// cancelled request that leaked a slot (or a goroutine still holding
+// one) would leave len(sem) > 0 forever.
+func waitPoolIdle(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(s.pool.sem) == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("pool not idle: %d/%d slots still held", len(s.pool.sem), cap(s.pool.sem))
+}
+
+// seedKind builds a collection of the given index kind with unsigned
+// data (so the sketch engine is usable) and returns the query set.
+func seedKind(t *testing.T, s *Server, name, kind string, n, d, nq int) []vec.Vector {
+	t.Helper()
+	rng := xrand.New(77)
+	items := dataset.Gaussian(rng, n, d, true)
+	queries := dataset.Gaussian(rng, nq, d, true)
+	recs := make([]store.Record, len(items))
+	for i, v := range items {
+		recs[i] = store.Record{ID: i, Vec: v}
+	}
+	spec := &IndexSpec{Kind: kind}
+	if kind == KindSketch {
+		spec.Kappa = 2
+		spec.Copies = 9
+	}
+	if _, _, err := s.Ingest(name, spec, 3, recs); err != nil {
+		t.Fatalf("ingest %s: %v", kind, err)
+	}
+	return queries
+}
+
+// expiredCtx returns a context whose deadline has already fired.
+func expiredCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestDeadlineMatrix drives every index kind through single and
+// batched searches under three deadline regimes: already expired
+// (every result must carry a context error), generous (results must be
+// bit-identical to the no-deadline answers), and absent (the baseline).
+// After each cancelled run the scan pool must drain back to idle.
+func TestDeadlineMatrix(t *testing.T) {
+	for _, kind := range []string{KindExact, KindNormScan, KindALSH, KindSketch} {
+		t.Run(kind, func(t *testing.T) {
+			s := New(Config{DefaultShards: 3, CacheCapacity: -1})
+			defer s.Close()
+			queries := seedKind(t, s, "m", kind, 400, 16, 24)
+
+			base, err := s.Search("m", queries, 5, true)
+			if err != nil {
+				t.Fatalf("baseline search: %v", err)
+			}
+			for i, r := range base {
+				if r.Err != nil {
+					t.Fatalf("baseline query %d: %v", i, r.Err)
+				}
+			}
+
+			// Generous deadline: bit-identical to the baseline.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			gen, err := s.SearchCtx(ctx, "m", queries, 5, true)
+			cancel()
+			if err != nil {
+				t.Fatalf("generous-deadline search: %v", err)
+			}
+			for i := range gen {
+				if gen[i].Err != nil {
+					t.Fatalf("generous-deadline query %d: %v", i, gen[i].Err)
+				}
+				if len(gen[i].Hits) != len(base[i].Hits) {
+					t.Fatalf("query %d: %d hits with deadline, %d without", i, len(gen[i].Hits), len(base[i].Hits))
+				}
+				for j := range gen[i].Hits {
+					if gen[i].Hits[j] != base[i].Hits[j] {
+						t.Fatalf("query %d hit %d: %+v with deadline, %+v without",
+							i, j, gen[i].Hits[j], base[i].Hits[j])
+					}
+				}
+			}
+
+			// Expired deadline, single query (SearchOne path).
+			res, err := s.SearchCtx(expiredCtx(), "m", queries[:1], 5, true)
+			if err != nil {
+				t.Fatalf("expired single: top-level %v", err)
+			}
+			if !errors.Is(res[0].Err, context.Canceled) && !errors.Is(res[0].Err, context.DeadlineExceeded) {
+				t.Fatalf("expired single: err = %v, want a context error", res[0].Err)
+			}
+			if res[0].Hits != nil {
+				t.Fatalf("expired single returned %d hits", len(res[0].Hits))
+			}
+
+			// Expired deadline, batch (tile pipeline path).
+			res, err = s.SearchCtx(expiredCtx(), "m", queries, 5, true)
+			if err != nil {
+				t.Fatalf("expired batch: top-level %v", err)
+			}
+			for i, r := range res {
+				if !errors.Is(r.Err, context.Canceled) && !errors.Is(r.Err, context.DeadlineExceeded) {
+					t.Fatalf("expired batch query %d: err = %v, want a context error", i, r.Err)
+				}
+			}
+			waitPoolIdle(t, s)
+
+			// The timeout counter saw every cancelled query.
+			c, _ := s.Collection("m")
+			if got := c.timeouts.Load(); got < int64(1+len(queries)) {
+				t.Fatalf("timeouts counter = %d, want >= %d", got, 1+len(queries))
+			}
+		})
+	}
+}
+
+// TestJoinDeadline pins cancellation through the join path: an expired
+// context fails with a context error on every engine, a generous one
+// matches the no-deadline join exactly, and the pool drains either way.
+func TestJoinDeadline(t *testing.T) {
+	s := New(Config{DefaultShards: 2, CacheCapacity: -1})
+	defer s.Close()
+	seedKind(t, s, "p", KindExact, 300, 12, 1)
+	seedKind(t, s, "q", KindExact, 60, 12, 1)
+
+	for _, engine := range []string{"exact", "normpruned", "lsh"} {
+		t.Run(engine, func(t *testing.T) {
+			req := JoinRequest{Data: "p", Queries: "q", Engine: engine, S: 0.3, Variant: "unsigned"}
+			base, err := s.Join(req)
+			if err != nil {
+				t.Fatalf("baseline join: %v", err)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			gen, err := s.JoinCtx(ctx, req)
+			cancel()
+			if err != nil {
+				t.Fatalf("generous-deadline join: %v", err)
+			}
+			if gen.Pairs == nil || len(gen.Pairs) != len(base.Pairs) {
+				t.Fatalf("join with deadline found %d pairs, baseline %d", len(gen.Pairs), len(base.Pairs))
+			}
+
+			if _, err := s.JoinCtx(expiredCtx(), req); !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("expired join: err = %v, want a context error", err)
+			}
+			waitPoolIdle(t, s)
+		})
+	}
+}
+
+// TestHTTPDeadline504 is the acceptance scenario: a short-deadline
+// search against a collection whose full scan takes much longer must
+// come back 504 quickly — in a fraction of the scan time — and free
+// its pool slot. Batched searches and joins expire the same way.
+func TestHTTPDeadline504(t *testing.T) {
+	s := New(Config{DefaultShards: 1, CacheCapacity: -1, Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	rng := xrand.New(9)
+	const n, d = 1 << 17, 32
+	var q []float64
+
+	// Grow the collection until a full scan takes well over the 2ms
+	// deadline; a fixed size would be flaky across kernel speeds.
+	var baseline time.Duration
+	for grow, next := 0, 0; grow < 4; grow++ {
+		items := dataset.Gaussian(rng, n, d, true)
+		recs := make([]store.Record, len(items))
+		for i, v := range items {
+			recs[i] = store.Record{ID: next + i, Vec: v}
+		}
+		next += len(items)
+		if _, _, err := s.Ingest("big", &IndexSpec{Kind: KindExact}, 1, recs); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if q == nil {
+			q = items[0]
+		}
+		start := time.Now()
+		if code := doJSON(t, ts, http.MethodPost, "/collections/big/search",
+			SearchRequest{Q: q, K: 3, Unsigned: true}, nil); code != http.StatusOK {
+			t.Fatalf("baseline status %d", code)
+		}
+		baseline = time.Since(start)
+		if baseline >= 25*time.Millisecond {
+			break
+		}
+	}
+	if baseline < 10*time.Millisecond {
+		t.Skipf("scan too fast to expire a 2ms deadline (baseline %v)", baseline)
+	}
+
+	// The 2ms-deadline run must 504 without riding out the scan.
+	var e map[string]string
+	start := time.Now()
+	code := doJSON(t, ts, http.MethodPost, "/collections/big/search",
+		SearchRequest{Q: q, K: 3, Unsigned: true, TimeoutMS: 2}, &e)
+	took := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline search status %d (%v), want 504", code, e)
+	}
+	if baseline > 40*time.Millisecond && took > baseline/2 {
+		t.Fatalf("deadline search took %v against a %v scan; cancellation did not cut it short", took, baseline)
+	}
+	t.Logf("baseline scan %v, 2ms-deadline response %v", baseline, took)
+
+	// Batch path expires too.
+	if code := doJSON(t, ts, http.MethodPost, "/collections/big/search",
+		SearchRequest{Queries: [][]float64{q, q}, K: 3, Unsigned: true, TimeoutMS: 2}, &e); code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline batch status %d (%v), want 504", code, e)
+	}
+
+	waitPoolIdle(t, s)
+}
+
+// TestCancelledQueryDoesNotPoisonCache is the regression for the
+// cache-poisoning hazard: a query abandoned mid-scan must not store
+// its partial (empty) result under the query's cache key. The same
+// query re-run without a deadline must compute fresh, correct hits —
+// and only then become cache-served.
+func TestCancelledQueryDoesNotPoisonCache(t *testing.T) {
+	s := New(Config{DefaultShards: 2, CacheCapacity: 128})
+	defer s.Close()
+	queries := seedKind(t, s, "m", KindExact, 300, 8, 8)
+
+	// Cancelled single query: must error, must not cache.
+	res, err := s.SearchCtx(expiredCtx(), "m", queries[:1], 3, true)
+	if err != nil || res[0].Err == nil {
+		t.Fatalf("cancelled query: err=%v res.Err=%v", err, res[0].Err)
+	}
+	fresh, err := s.Search("m", queries[:1], 3, true)
+	if err != nil || fresh[0].Err != nil {
+		t.Fatalf("post-cancel query: err=%v res.Err=%v", err, fresh[0].Err)
+	}
+	if fresh[0].Cached {
+		t.Fatal("post-cancel query was served from cache: the cancelled run poisoned it")
+	}
+	if len(fresh[0].Hits) != 3 {
+		t.Fatalf("post-cancel query returned %d hits, want 3", len(fresh[0].Hits))
+	}
+	again, _ := s.Search("m", queries[:1], 3, true)
+	if !again[0].Cached {
+		t.Fatal("repeat query not cache-served; completed results should populate the cache")
+	}
+	for i := range again[0].Hits {
+		if again[0].Hits[i] != fresh[0].Hits[i] {
+			t.Fatalf("cached hit %d = %+v, computed %+v", i, again[0].Hits[i], fresh[0].Hits[i])
+		}
+	}
+
+	// Same contract for the batch pipeline.
+	if _, err := s.SearchCtx(expiredCtx(), "m", queries, 3, true); err != nil {
+		t.Fatalf("cancelled batch: %v", err)
+	}
+	batch, err := s.Search("m", queries, 3, true)
+	if err != nil {
+		t.Fatalf("post-cancel batch: %v", err)
+	}
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("post-cancel batch query %d: %v", i, r.Err)
+		}
+		if i > 0 && r.Cached {
+			// queries[0] was legitimately cached above; the rest must
+			// have been computed fresh, not replayed from a poisoned
+			// entry.
+			t.Fatalf("post-cancel batch query %d claims cached", i)
+		}
+	}
+}
+
+// TestAdmissionShedsWith429 pins the overload contract end to end: with
+// both execution slots and queue occupied, a search is shed with 429
+// and a Retry-After hint, an admission-failed query never reaches the
+// cache, and once the slot frees the same request serves normally.
+func TestAdmissionShedsWith429(t *testing.T) {
+	s := New(Config{DefaultShards: 1, CacheCapacity: 128, MaxInflight: 1, MaxQueue: 0})
+	defer s.Close()
+	queries := seedKind(t, s, "m", KindExact, 100, 8, 2)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	c, _ := s.Collection("m")
+	if err := c.adm.enter(context.Background()); err != nil {
+		t.Fatalf("occupying the admission slot: %v", err)
+	}
+
+	body := strings.NewReader(fmt.Sprintf(`{"q":%s,"k":1,"unsigned":true}`, jsonVec(queries[0])))
+	resp, err := ts.Client().Post(ts.URL+"/collections/m/search", "application/json", body)
+	if err != nil {
+		t.Fatalf("shed request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated search status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+
+	// The shed query must not have cached anything.
+	c.adm.exit()
+	var ok SearchResponse
+	if code := doJSON(t, ts, http.MethodPost, "/collections/m/search",
+		SearchRequest{Q: queries[0], K: 1, Unsigned: true}, &ok); code != http.StatusOK {
+		t.Fatalf("post-shed search status %d", code)
+	}
+	if ok.Cached != 0 {
+		t.Fatal("post-shed search was cache-served; the shed query should never have reached the cache")
+	}
+	if _, _, shed := c.adm.snapshot(); shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", shed)
+	}
+}
+
+func jsonVec(v vec.Vector) string {
+	parts := make([]string, len(v))
+	for i, f := range v {
+		parts[i] = fmt.Sprintf("%g", f)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// TestGate unit-tests the admission gate itself: slot accounting,
+// immediate shedding on a full queue, queued waiters admitted in turn,
+// and waiters abandoning the queue when their context fires.
+func TestGate(t *testing.T) {
+	g := newGate(1, 0)
+	if err := g.enter(context.Background()); err != nil {
+		t.Fatalf("first enter: %v", err)
+	}
+	if err := g.enter(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second enter = %v, want ErrOverloaded", err)
+	}
+	if inflight, _, shed := g.snapshot(); inflight != 1 || shed != 1 {
+		t.Fatalf("snapshot inflight=%d shed=%d, want 1, 1", inflight, shed)
+	}
+	g.exit()
+	if err := g.enter(context.Background()); err != nil {
+		t.Fatalf("enter after exit: %v", err)
+	}
+	g.exit()
+
+	// With queue room, a waiter blocks until the slot frees.
+	g = newGate(1, 4)
+	if err := g.enter(context.Background()); err != nil {
+		t.Fatalf("enter: %v", err)
+	}
+	admitted := make(chan error, 1)
+	go func() { admitted <- g.enter(context.Background()) }()
+	select {
+	case err := <-admitted:
+		t.Fatalf("waiter admitted while the slot was held: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.exit()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.exit()
+
+	// A queued waiter whose deadline fires gives up with the ctx error.
+	g = newGate(1, 4)
+	if err := g.enter(context.Background()); err != nil {
+		t.Fatalf("enter: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.enter(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter = %v, want DeadlineExceeded", err)
+	}
+	g.exit()
+	if inflight, queued, _ := g.snapshot(); inflight != 0 || queued != 0 {
+		t.Fatalf("final snapshot inflight=%d queued=%d, want 0, 0", inflight, queued)
+	}
+
+	// nil gate admits everything.
+	var nilGate *gate
+	if err := nilGate.enter(context.Background()); err != nil {
+		t.Fatalf("nil gate enter: %v", err)
+	}
+	nilGate.exit()
+}
+
+// TestForEachCtx pins the cancellable feed: a nil context runs every
+// task, a pre-cancelled one runs none, and a mid-run cancellation
+// stops feeding while letting started tasks finish — with every slot
+// released afterwards.
+func TestForEachCtx(t *testing.T) {
+	p := NewPool(2)
+
+	var ran atomic.Int64
+	if err := p.ForEachCtx(nil, 16, func(int) { ran.Add(1) }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("nil ctx ran %d/16 tasks", ran.Load())
+	}
+
+	ran.Store(0)
+	if err := p.ForEachCtx(expiredCtx(), 16, func(int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx: err = %v, want Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("expired ctx still ran %d tasks", ran.Load())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran.Store(0)
+	err := p.ForEachCtx(ctx, 64, func(i int) {
+		if i == 1 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		ran.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v, want Canceled", err)
+	}
+	if n := ran.Load(); n == 0 || n == 64 {
+		t.Fatalf("mid-run cancel ran %d/64 tasks; want some but not all", n)
+	}
+	if len(p.sem) != 0 {
+		t.Fatalf("%d slots still held after cancelled ForEachCtx", len(p.sem))
+	}
+}
+
+// TestHTTPBodyLimit413 pins the request-body cap: an ingest larger
+// than Config.MaxBodyBytes is rejected with a structured 413 and the
+// collection is untouched, while a small body still lands.
+func TestHTTPBodyLimit413(t *testing.T) {
+	s := New(Config{DefaultShards: 1, MaxBodyBytes: 2 << 10})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	rng := xrand.New(3)
+	items := dataset.Gaussian(rng, 200, 16, false)
+	recs := make([]RecordJSON, len(items))
+	for i, v := range items {
+		id := i
+		recs[i] = RecordJSON{ID: &id, Vec: v}
+	}
+	var e map[string]string
+	if code := doJSON(t, ts, http.MethodPut, "/collections/c",
+		IngestRequest{Records: recs}, &e); code != http.StatusRequestEntityTooLarge || e["error"] == "" {
+		t.Fatalf("oversized ingest: status %d, error %q; want structured 413", code, e["error"])
+	}
+	if _, ok := s.Collection("c"); ok {
+		if c, _ := s.Collection("c"); c.Len() != 0 {
+			t.Fatalf("rejected ingest left %d records behind", c.Len())
+		}
+	}
+	if code := doJSON(t, ts, http.MethodPut, "/collections/c",
+		IngestRequest{Records: recs[:2]}, nil); code != http.StatusOK {
+		t.Fatalf("small ingest after 413: status %d", code)
+	}
+}
+
+// TestMetricsEndpoint exercises GET /metrics: the Prometheus text
+// content type, per-route HTTP histograms and status counts, and the
+// per-collection query/admission/timeout series, all reflecting the
+// traffic the test just generated.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{DefaultShards: 2, CacheCapacity: 64, MaxInflight: 1, MaxQueue: 0})
+	defer s.Close()
+	queries := seedKind(t, s, "met", KindExact, 200, 8, 4)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// Traffic: two identical searches (second is a cache hit), one
+	// expired-deadline search (timeout counter), one shed search (429).
+	for i := 0; i < 2; i++ {
+		if code := doJSON(t, ts, http.MethodPost, "/collections/met/search",
+			SearchRequest{Q: queries[0], K: 2, Unsigned: true}, nil); code != http.StatusOK {
+			t.Fatalf("search %d status %d", i, code)
+		}
+	}
+	c, _ := s.Collection("met")
+	if _, err := s.SearchCtx(expiredCtx(), "met", []vec.Vector{queries[1]}, 2, true); err != nil {
+		t.Fatalf("expired search: %v", err)
+	}
+	if err := c.adm.enter(context.Background()); err != nil {
+		t.Fatalf("occupying slot: %v", err)
+	}
+	doJSON(t, ts, http.MethodPost, "/collections/met/search",
+		SearchRequest{Q: queries[2], K: 2, Unsigned: true}, nil)
+	c.adm.exit()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	page := string(raw)
+	for _, want := range []string{
+		"ipsd_uptime_seconds ",
+		"ipsd_pool_workers ",
+		"ipsd_cache_hits_total 1",
+		"ipsd_http_inflight ",
+		`ipsd_http_requests_total{route="search",code="2xx"} 2`,
+		`ipsd_http_requests_total{route="search",code="4xx"} 1`,
+		`ipsd_http_request_duration_seconds_bucket{route="search",le="+Inf"}`,
+		`ipsd_http_request_duration_seconds_count{route="search"}`,
+		`ipsd_collection_records{collection="met"} 200`,
+		`ipsd_queries_total{collection="met"}`,
+		`ipsd_query_timeouts_total{collection="met"} 1`,
+		`ipsd_admission_shed_total{collection="met"} 1`,
+		`ipsd_admission_inflight{collection="met"} 0`,
+		`ipsd_wal_fsync_lag_seconds{collection="met"} 0`,
+		`ipsd_query_duration_seconds_bucket{collection="met",le="+Inf"}`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics page:\n%s", page)
+	}
+
+	// Histogram buckets must be cumulative (monotone non-decreasing).
+	var last int64 = -1
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, `ipsd_http_request_duration_seconds_bucket{route="search"`) {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("parsing bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = n
+	}
+	if last < 3 {
+		t.Fatalf("search route histogram count = %d, want >= 3", last)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,21 +33,140 @@ import (
 //	                                  named in the request body)
 //	GET  /healthz                     liveness
 //	GET  /stats                       shard sizes, query counts, latency
+//	GET  /metrics                     Prometheus text exposition
+//
+// Every route is instrumented (per-route latency histogram + status
+// counts, served at /metrics), and mutating routes cap their request
+// body at Config.MaxBodyBytes (default 32 MiB; oversized bodies get a
+// structured 413).
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /collections/{name}", s.handleIngest)
-	mux.HandleFunc("DELETE /collections/{name}", s.handleDrop)
-	mux.HandleFunc("PUT /collections/{name}/vectors/{id}", s.handleUpsertOne)
-	mux.HandleFunc("DELETE /collections/{name}/vectors/{id}", s.handleDeleteOne)
-	mux.HandleFunc("POST /collections/{name}/vectors", s.handleUpsertBatch)
-	mux.HandleFunc("POST /collections/{name}/vectors/delete", s.handleDeleteBatch)
-	mux.HandleFunc("POST /collections/{name}/search", s.handleSearch)
-	mux.HandleFunc("POST /collections/{a}/join/{b}", s.handleJoinPath)
-	mux.HandleFunc("POST /collections/{name}/join", s.handleSelfJoin)
-	mux.HandleFunc("POST /join", s.handleJoin)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	hm := newHTTPMetrics()
+	maxBody := s.cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = defaultMaxBodyBytes
+	}
+	route := func(pattern, label string, h http.HandlerFunc, limited bool) {
+		if limited && maxBody > 0 {
+			h = limitBody(maxBody, h)
+		}
+		mux.HandleFunc(pattern, instrument(hm, label, h))
+	}
+	route("PUT /collections/{name}", "ingest", s.handleIngest, true)
+	route("DELETE /collections/{name}", "drop", s.handleDrop, false)
+	route("PUT /collections/{name}/vectors/{id}", "upsert_one", s.handleUpsertOne, true)
+	route("DELETE /collections/{name}/vectors/{id}", "delete_one", s.handleDeleteOne, false)
+	route("POST /collections/{name}/vectors", "upsert_batch", s.handleUpsertBatch, true)
+	route("POST /collections/{name}/vectors/delete", "delete_batch", s.handleDeleteBatch, true)
+	route("POST /collections/{name}/search", "search", s.handleSearch, false)
+	route("POST /collections/{a}/join/{b}", "join", s.handleJoinPath, false)
+	route("POST /collections/{name}/join", "join", s.handleSelfJoin, false)
+	route("POST /join", "join", s.handleJoin, false)
+	route("GET /healthz", "healthz", s.handleHealthz, false)
+	route("GET /stats", "stats", s.handleStats, false)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.handleMetrics(hm, w, r)
+	})
 	return mux
+}
+
+// defaultMaxBodyBytes caps mutating request bodies when the config
+// leaves Config.MaxBodyBytes zero.
+const defaultMaxBodyBytes = 32 << 20
+
+// limitBody wraps a handler so its request body reads past max fail
+// with *http.MaxBytesError (surfaced as a 413 by bodyError).
+func limitBody(max int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, max)
+		h(w, r)
+	}
+}
+
+// statusRecorder captures the status a handler wrote so the metrics
+// middleware can count it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-route metrics: latency
+// histogram, status-class counters, and the server-wide in-flight
+// gauge.
+func instrument(hm *httpMetrics, label string, h http.HandlerFunc) http.HandlerFunc {
+	rm := hm.register(label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		hm.inflight.Add(1)
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		rm.observe(sr.status, time.Since(start))
+		hm.inflight.Add(-1)
+	}
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(hm *httpMetrics, w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s, hm)
+}
+
+// requestCtx derives the query's working context from the HTTP request:
+// the client's timeout_ms wins when positive (even when longer than
+// the server default), otherwise Config.DefaultTimeout applies; zero
+// both ways leaves only the connection's own cancellation. The cancel
+// func must always be called.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// queryStatus maps a search/join failure to its HTTP status: shed
+// queries are 429 (retryable now), deadline/cancellation 504, server
+// faults 503, everything else a plain 400.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// queryError writes a search/join failure, attaching Retry-After to
+// shed (429) responses so well-behaved clients back off.
+func queryError(w http.ResponseWriter, err error) {
+	status := queryStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, status, err)
+}
+
+// bodyError writes a request-body decode failure: 413 when the body
+// limiter tripped, 400 otherwise.
+func bodyError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	httpError(w, status, fmt.Errorf("decoding body: %w", err))
 }
 
 // RecordJSON is a record on the wire. A missing "id" asks the server
@@ -82,6 +202,10 @@ type SearchRequest struct {
 	Queries  [][]float64 `json:"queries,omitempty"`
 	K        int         `json:"k,omitempty"` // default 1
 	Unsigned bool        `json:"unsigned,omitempty"`
+	// TimeoutMS is the client's deadline for the whole request in
+	// milliseconds; it overrides the server's default timeout (in both
+	// directions). Zero means use the default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // SearchResponse reports search hits: Matches for a single query,
@@ -97,7 +221,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
 	recs := make([]store.Record, len(req.Records))
@@ -137,7 +261,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
 	single := len(req.Q) > 0
@@ -157,21 +281,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range queries {
 		qs[i] = vec.Vector(q)
 	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
 	start := time.Now()
-	results, err := s.Search(name, qs, k, req.Unsigned)
+	results, err := s.SearchCtx(ctx, name, qs, k, req.Unsigned)
 	if err != nil {
-		status := http.StatusBadRequest
 		if _, ok := s.Collection(name); !ok {
-			status = http.StatusNotFound
+			httpError(w, http.StatusNotFound, err)
+			return
 		}
-		httpError(w, status, err)
+		queryError(w, err)
 		return
 	}
 	resp := SearchResponse{TookMS: float64(time.Since(start)) / float64(time.Millisecond)}
 	lists := make([][]Hit, len(results))
 	for i, res := range results {
 		if res.Err != nil {
-			httpError(w, http.StatusBadRequest, res.Err)
+			queryError(w, res.Err)
 			return
 		}
 		for _, h := range res.Hits {
@@ -269,7 +395,7 @@ func (s *Server) handleUpsertOne(w http.ResponseWriter, r *http.Request) {
 	}
 	var rj RecordJSON
 	if err := json.NewDecoder(r.Body).Decode(&rj); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
 	if rj.ID != nil && *rj.ID != id {
@@ -286,7 +412,7 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
 	recs := make([]store.Record, len(req.Records))
@@ -342,7 +468,7 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req DeleteVectorsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
 	version, deleted, invalidated, err := s.Delete(name, req.IDs)
@@ -371,10 +497,10 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
-	s.serveJoin(w, req)
+	s.serveJoin(w, r, req)
 }
 
 // handleJoinPath serves POST /collections/{a}/join/{b}: {a} is the data
@@ -384,12 +510,12 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJoinPath(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
 	req.Data = r.PathValue("a")
 	req.Queries = r.PathValue("b")
-	s.serveJoin(w, req)
+	s.serveJoin(w, r, req)
 }
 
 // handleSelfJoin serves POST /collections/{name}/join: a self-join of
@@ -397,26 +523,30 @@ func (s *Server) handleJoinPath(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		bodyError(w, err)
 		return
 	}
-	s.serveJoin(w, selfJoinRequest(r.PathValue("name"), req))
+	s.serveJoin(w, r, selfJoinRequest(r.PathValue("name"), req))
 }
 
 // serveJoin runs a resolved join request and writes the response. A
-// named-but-unknown collection maps to 404; every other rejection —
-// including a body that omits the collection names on the legacy
-// /join route — stays a 400.
-func (s *Server) serveJoin(w http.ResponseWriter, req JoinRequest) {
-	resp, err := s.Join(req)
+// named-but-unknown collection maps to 404; shed joins 429, expired
+// ones 504; every other rejection — including a body that omits the
+// collection names on the legacy /join route — stays a 400.
+func (s *Server) serveJoin(w http.ResponseWriter, r *http.Request, req JoinRequest) {
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := s.JoinCtx(ctx, req)
 	if err != nil {
-		status := http.StatusBadRequest
 		if _, ok := s.Collection(req.Data); !ok && req.Data != "" {
-			status = http.StatusNotFound
-		} else if _, ok := s.Collection(req.Queries); !ok && req.Queries != "" {
-			status = http.StatusNotFound
+			httpError(w, http.StatusNotFound, err)
+			return
 		}
-		httpError(w, status, err)
+		if _, ok := s.Collection(req.Queries); !ok && req.Queries != "" {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		queryError(w, err)
 		return
 	}
 	for _, p := range resp.Pairs {

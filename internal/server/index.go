@@ -10,6 +10,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -36,8 +37,12 @@ type Hit struct {
 type ShardIndex interface {
 	// TopK returns up to k hits for q; unsigned ranks by |pᵀq|.
 	// workers > 1 permits the engine to parallelize its scan across
-	// that many goroutines (engines may ignore the hint).
-	TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error)
+	// that many goroutines (engines may ignore the hint). ctx carries
+	// the request deadline: engines backed by the flat drivers abandon
+	// the scan within one row-block of cancellation and return ctx's
+	// error; a never-cancelled ctx costs nothing (the drivers keep
+	// their unchecked fast path).
+	TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error)
 }
 
 // IndexSpec selects and parameterizes the per-shard index engine. The
@@ -167,19 +172,21 @@ type deadMasker interface {
 // interface; engines without a columnar sweep (alsh, sketch) fall back
 // to per-query TopK.
 type batchIndex interface {
-	topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error
+	topKMulti(ctx context.Context, qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error
 }
 
 // emptyIndex serves a shard that holds no vectors yet.
 type emptyIndex struct{}
 
-func (emptyIndex) TopK(vec.Vector, int, bool, int) ([]Hit, error) { return nil, nil }
+func (emptyIndex) TopK(context.Context, vec.Vector, int, bool, int) ([]Hit, error) {
+	return nil, nil
+}
 
 func (ix emptyIndex) withDead(*flat.Tombstones) ShardIndex { return ix }
 
 // topKMulti implements batchIndex: no rows, so every accumulator stays
 // empty, exactly like the per-query path.
-func (emptyIndex) topKMulti(*flat.Store, int, int, bool, []flat.Acc, *flat.TileScratch) error {
+func (emptyIndex) topKMulti(context.Context, *flat.Store, int, int, bool, []flat.Acc, *flat.TileScratch) error {
 	return nil
 }
 
@@ -211,8 +218,8 @@ type exactIndex struct {
 	dead *flat.Tombstones
 }
 
-func (ix exactIndex) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
-	hs, err := ix.fs.TopKMasked(q, k, unsigned, workers, ix.dead)
+func (ix exactIndex) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	hs, err := ix.fs.TopKMaskedCtx(ctx, q, k, unsigned, workers, ix.dead)
 	if err != nil {
 		return nil, err
 	}
@@ -227,8 +234,8 @@ func (ix exactIndex) withDead(dead *flat.Tombstones) ShardIndex {
 
 // topKMulti implements batchIndex via the store's one-sweep
 // multi-query driver.
-func (ix exactIndex) topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
-	return ix.fs.TopKMultiMaskedInto(qs, qlo, qhi, unsigned, accs, sc, ix.dead)
+func (ix exactIndex) topKMulti(ctx context.Context, qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
+	return ix.fs.TopKMultiMaskedIntoCtx(ctx, qs, qlo, qhi, unsigned, accs, sc, ix.dead)
 }
 
 // normScanIndex is the exact top-k variant of mips.NormPruned over the
@@ -244,8 +251,8 @@ type normScanIndex struct {
 	dead *flat.Tombstones
 }
 
-func (ix normScanIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
-	hs, _, err := ix.ns.TopKMasked(q, k, unsigned, ix.dead)
+func (ix normScanIndex) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+	hs, _, err := ix.ns.TopKMaskedCtx(ctx, q, k, unsigned, ix.dead)
 	if err != nil {
 		return nil, err
 	}
@@ -258,8 +265,8 @@ func (ix normScanIndex) withDead(dead *flat.Tombstones) ShardIndex {
 
 // topKMulti implements batchIndex: one descending-norm sweep serves
 // the whole tile, the Cauchy–Schwarz bound applied per query.
-func (ix normScanIndex) topKMulti(qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
-	return ix.ns.TopKMultiMaskedInto(qs, qlo, qhi, unsigned, accs, nil, sc, ix.dead)
+func (ix normScanIndex) topKMulti(ctx context.Context, qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
+	return ix.ns.TopKMultiMaskedIntoCtx(ctx, qs, qlo, qhi, unsigned, accs, nil, sc, ix.dead)
 }
 
 // alshIndex is the §4.1 structure (SIMPLE map + hyperplane banding):
@@ -299,16 +306,37 @@ func newALSHIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64) (*alshIndex,
 	return &alshIndex{fs: fs, ix: ix, u: u}, nil
 }
 
-func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+func (ix *alshIndex) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
 	if len(q) != ix.fs.Dim() {
 		return nil, fmt.Errorf("server: query dimension %d, index has %d", len(q), ix.fs.Dim())
+	}
+	// Candidate scoring is cheap per row but the candidate set is
+	// unbounded; poll the deadline at entry and periodically through the
+	// verification loop (a nil Done keeps the loop poll-free).
+	done := ctx.Done()
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	probe := q
 	if n := vec.Norm(q); n > ix.u {
 		probe = vec.Scaled(q, (1-1e-12)*ix.u/n)
 	}
 	acc := flat.NewAcc(k)
+	scored := 0
+	var stopped bool
 	score := func(pi int) {
+		if done != nil {
+			if scored++; scored&1023 == 0 {
+				select {
+				case <-done:
+					stopped = true
+					return
+				default:
+				}
+			}
+		}
 		if ix.dead.Dead(pi) {
 			return
 		}
@@ -320,16 +348,25 @@ func (ix *alshIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, err
 	}
 	seen := make(map[int]bool)
 	for _, pi := range ix.ix.Candidates(probe) {
+		if stopped {
+			return nil, ctx.Err()
+		}
 		seen[pi] = true
 		score(pi)
 	}
 	if unsigned {
 		// The paper's unsigned reduction: probe −q too.
 		for _, pi := range ix.ix.Candidates(vec.Neg(probe)) {
+			if stopped {
+				return nil, ctx.Err()
+			}
 			if !seen[pi] {
 				score(pi)
 			}
 		}
+	}
+	if stopped {
+		return nil, ctx.Err()
 	}
 	return flatHits(acc.Hits()), nil
 }
@@ -353,7 +390,10 @@ func (ix sketchIndex) withDead(dead *flat.Tombstones) ShardIndex {
 	return sketchIndex{rec: ix.rec, fs: ix.fs, dead: dead}
 }
 
-func (ix sketchIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+func (ix sketchIndex) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !unsigned {
 		return nil, fmt.Errorf("server: sketch index answers unsigned queries only")
 	}
@@ -391,7 +431,10 @@ func FromSearchBuilder(b core.SearchBuilder, P []vec.Vector, sp core.Spec) (Shar
 	return searcherIndex{s: s, sp: sp}, nil
 }
 
-func (ix searcherIndex) TopK(q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+func (ix searcherIndex) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp := ix.sp
 	if unsigned {
 		sp.Variant = core.Unsigned

@@ -10,6 +10,7 @@ package server
 // reports up to k pairs per query.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,6 +51,9 @@ type JoinRequest struct {
 	Kappa  float64 `json:"kappa,omitempty"`
 	Copies int     `json:"copies,omitempty"`
 	Seed   uint64  `json:"seed,omitempty"`
+	// TimeoutMS is the client's deadline in milliseconds, overriding
+	// the server default (zero means use the default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // JoinPair is one reported pair, in record-ID space.
@@ -124,11 +128,52 @@ func (c *Collection) shardSnaps() []*shardSnap {
 	return snaps
 }
 
+// ctxJoinRunner wraps a join.Runner so every Q-tile observes the
+// request context: once ctx fires, remaining tiles are skipped (their
+// partials are discarded anyway — JoinCtx returns the context error).
+type ctxJoinRunner struct {
+	done  <-chan struct{}
+	inner join.Runner
+}
+
+func (r ctxJoinRunner) ForEach(n int, fn func(i int)) {
+	r.inner.ForEach(n, func(i int) {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		fn(i)
+	})
+}
+
+// joinRunner returns inner wrapped with per-tile ctx checks, or inner
+// itself when ctx can never fire (keeping the historical zero-check
+// path).
+func joinRunner(ctx context.Context, inner join.Runner) join.Runner {
+	done := doneChan(ctx)
+	if done == nil {
+		return inner
+	}
+	return ctxJoinRunner{done: done, inner: inner}
+}
+
 // Join runs the requested join over current shard snapshots of the two
 // collections and maps matches back to record IDs. The exact engines
 // accept at c·s like the approximate ones (c = 1 recovers the strict
 // exact join), so the same request shape drives every engine.
 func (s *Server) Join(req JoinRequest) (*JoinResponse, error) {
+	return s.JoinCtx(context.Background(), req)
+}
+
+// JoinCtx is Join with a request context: the join is one admission
+// unit against the data collection's gate, the pair fan-out stops
+// feeding once ctx fires, and each pair's Q-tile runner skips
+// remaining tiles. A cancelled join returns ctx's error and no pairs.
+func (s *Server) JoinCtx(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dataCol, ok := s.Collection(req.Data)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown data collection %q", req.Data)
@@ -148,6 +193,10 @@ func (s *Server) Join(req JoinRequest) (*JoinResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := dataCol.adm.enter(ctx); err != nil {
+		return nil, err
+	}
+	defer dataCol.adm.exit()
 	dsnaps := dataCol.shardSnaps()
 	qsnaps := queryCol.shardSnaps()
 	if len(dsnaps) == 0 || len(qsnaps) == 0 {
@@ -235,22 +284,34 @@ func (s *Server) Join(req JoinRequest) (*JoinResponse, error) {
 		res.Matches = keep
 		parts[i] = res
 	}
+	var feedErr error
 	if len(pairs) == 1 {
 		// A single shard pair cannot fan out, so the engine itself may
 		// spread Q-tiles over the pool with the blocking executor.
-		run(0, s.pool)
+		run(0, joinRunner(ctx, s.pool))
 	} else {
 		// Pair-level fan-out holds pool slots, so the per-pair Q-tile
 		// runner must never block on the same pool — the borrowing
 		// executor soaks up whatever slots the pair fan-out leaves
 		// idle (few pairs on a wide pool) and degrades to inline when
 		// there are none.
-		s.pool.ForEach(len(pairs), func(i int) { run(i, s.pool.Borrowing()) })
+		feedErr = s.pool.ForEachCtx(ctx, len(pairs), func(i int) {
+			run(i, joinRunner(ctx, s.pool.Borrowing()))
+		})
 	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if feedErr == nil {
+		// Pairs that ran with skipped Q-tiles hold partial match sets;
+		// the post-run check catches a cancellation the feed never saw.
+		feedErr = ctx.Err()
+	}
+	if feedErr != nil {
+		dataCol.countTimeout(feedErr)
+		return nil, feedErr
 	}
 	merged := join.MergePerQuery(parts, req.TopK)
 	s.joins.Add(1)
@@ -280,4 +341,9 @@ func selfJoinRequest(name string, req JoinRequest) JoinRequest {
 // SelfJoin joins a collection with itself, excluding identity pairs.
 func (s *Server) SelfJoin(name string, req JoinRequest) (*JoinResponse, error) {
 	return s.Join(selfJoinRequest(name, req))
+}
+
+// SelfJoinCtx is SelfJoin with a request context (see JoinCtx).
+func (s *Server) SelfJoinCtx(ctx context.Context, name string, req JoinRequest) (*JoinResponse, error) {
+	return s.JoinCtx(ctx, selfJoinRequest(name, req))
 }

@@ -1,0 +1,240 @@
+// Prometheus-text metrics for ipsd, hand-rolled: the exposition format
+// is a dozen lines of fmt, which is cheaper than a client library and
+// keeps the module dependency-free. Everything here is lock-free on
+// the hot path — observations touch only atomics — and the /metrics
+// handler assembles the page from counter loads, so scraping never
+// contends with serving.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets are the latency histogram upper bounds in seconds,
+// spanning cache hits (sub-millisecond) through multi-second overload
+// tails. The last implicit bucket is +Inf.
+var histBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latencyHist is a fixed-bucket cumulative histogram in the Prometheus
+// style: per-bucket counts plus a running sum, all atomics, so observe
+// costs a branchy search over 14 bounds and two atomic adds.
+type latencyHist struct {
+	counts [len(histBuckets) + 1]atomic.Int64 // +1: the +Inf bucket
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+func newLatencyHist() *latencyHist { return &latencyHist{} }
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := sort.SearchFloat64s(histBuckets[:], s)
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// writeProm renders the histogram as a Prometheus histogram metric
+// with the given (possibly empty) label set. labels must already be
+// rendered ("route=\"search\"") or empty.
+func (h *latencyHist) writeProm(w io.Writer, name, labels string) {
+	sep, end := "{", "}"
+	if labels != "" {
+		sep, end = "{"+labels+",", "}"
+	}
+	cum := int64(0)
+	for i, ub := range histBuckets[:] {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=\"%s\"%s %d\n", name, sep, formatBound(ub), end, cum)
+	}
+	cum += h.counts[len(histBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"%s %d\n", name, sep, end, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal form, no exponent for this range.
+func formatBound(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", f), "0"), ".")
+}
+
+// promLabel escapes a label value per the exposition format (backslash,
+// double quote, newline).
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// routeMetrics is one HTTP route's counters: a latency histogram plus
+// per-status-class request counts.
+type routeMetrics struct {
+	route    string
+	hist     *latencyHist
+	statuses [6]atomic.Int64 // index status/100: [2]=2xx … [5]=5xx
+}
+
+func (rm *routeMetrics) observe(status int, d time.Duration) {
+	rm.hist.observe(d)
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 5
+	}
+	rm.statuses[class].Add(1)
+}
+
+// httpMetrics aggregates per-route request metrics. Routes are
+// registered once at mux construction, so the map is effectively
+// read-only after startup; the mutex only guards registration.
+type httpMetrics struct {
+	mu     sync.Mutex
+	routes []*routeMetrics
+	// inflight counts requests currently inside any instrumented
+	// handler.
+	inflight atomic.Int64
+}
+
+func newHTTPMetrics() *httpMetrics { return &httpMetrics{} }
+
+// register creates (or returns) the metrics slot for a route label.
+func (m *httpMetrics) register(route string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rm := range m.routes {
+		if rm.route == route {
+			return rm
+		}
+	}
+	rm := &routeMetrics{route: route, hist: newLatencyHist()}
+	m.routes = append(m.routes, rm)
+	return rm
+}
+
+// snapshotRoutes returns the registered routes sorted by label for
+// stable exposition order.
+func (m *httpMetrics) snapshotRoutes() []*routeMetrics {
+	m.mu.Lock()
+	rs := make([]*routeMetrics, len(m.routes))
+	copy(rs, m.routes)
+	m.mu.Unlock()
+	sort.Slice(rs, func(i, j int) bool { return rs[i].route < rs[j].route })
+	return rs
+}
+
+// writeMetrics renders the whole /metrics page: server-wide gauges,
+// per-route HTTP histograms and status counts, and per-collection
+// query/admission/durability series.
+func writeMetrics(w io.Writer, s *Server, hm *httpMetrics) {
+	fmt.Fprintf(w, "# HELP ipsd_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "ipsd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP ipsd_pool_workers Scan pool capacity.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_pool_workers gauge\n")
+	fmt.Fprintf(w, "ipsd_pool_workers %d\n", s.pool.Workers())
+	fmt.Fprintf(w, "# HELP ipsd_pool_in_use Scan pool slots currently held.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_pool_in_use gauge\n")
+	fmt.Fprintf(w, "ipsd_pool_in_use %d\n", len(s.pool.sem))
+
+	fmt.Fprintf(w, "# HELP ipsd_cache_hits_total Query cache hits.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "ipsd_cache_hits_total %d\n", s.cache.hits.Load())
+	fmt.Fprintf(w, "# HELP ipsd_cache_misses_total Query cache misses.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "ipsd_cache_misses_total %d\n", s.cache.misses.Load())
+	fmt.Fprintf(w, "# HELP ipsd_cache_invalidations_total Query cache entries dropped by writes.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_cache_invalidations_total counter\n")
+	fmt.Fprintf(w, "ipsd_cache_invalidations_total %d\n", s.cache.invalidations.Load())
+	fmt.Fprintf(w, "# HELP ipsd_cache_size Query cache entries resident.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_cache_size gauge\n")
+	fmt.Fprintf(w, "ipsd_cache_size %d\n", s.cache.len())
+
+	fmt.Fprintf(w, "# HELP ipsd_joins_total Join requests served.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_joins_total counter\n")
+	fmt.Fprintf(w, "ipsd_joins_total %d\n", s.joins.Load())
+
+	if hm != nil {
+		fmt.Fprintf(w, "# HELP ipsd_http_inflight HTTP requests currently being served.\n")
+		fmt.Fprintf(w, "# TYPE ipsd_http_inflight gauge\n")
+		fmt.Fprintf(w, "ipsd_http_inflight %d\n", hm.inflight.Load())
+		routes := hm.snapshotRoutes()
+		fmt.Fprintf(w, "# HELP ipsd_http_requests_total HTTP requests by route and status class.\n")
+		fmt.Fprintf(w, "# TYPE ipsd_http_requests_total counter\n")
+		for _, rm := range routes {
+			for class := 1; class <= 5; class++ {
+				if n := rm.statuses[class].Load(); n > 0 {
+					fmt.Fprintf(w, "ipsd_http_requests_total{route=%q,code=\"%dxx\"} %d\n",
+						promLabel(rm.route), class, n)
+				}
+			}
+		}
+		fmt.Fprintf(w, "# HELP ipsd_http_request_duration_seconds HTTP request latency by route.\n")
+		fmt.Fprintf(w, "# TYPE ipsd_http_request_duration_seconds histogram\n")
+		for _, rm := range routes {
+			rm.hist.writeProm(w, "ipsd_http_request_duration_seconds",
+				fmt.Sprintf("route=%q", promLabel(rm.route)))
+		}
+	}
+
+	s.mu.RLock()
+	names := make([]string, 0, len(s.cols))
+	cols := make(map[string]*Collection, len(s.cols))
+	for n, c := range s.cols {
+		names = append(names, n)
+		cols[n] = c
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	if len(names) == 0 {
+		return
+	}
+
+	emit := func(name, typ, help string, val func(c *Collection) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{collection=%q} %s\n", name, promLabel(n), val(cols[n]))
+		}
+	}
+	emit("ipsd_collection_records", "gauge", "Live plus tombstoned rows per collection.",
+		func(c *Collection) string { _, rows := c.deadTotal(); return fmt.Sprintf("%d", rows) })
+	emit("ipsd_collection_tombstones", "gauge", "Tombstoned rows awaiting compaction.",
+		func(c *Collection) string { dead, _ := c.deadTotal(); return fmt.Sprintf("%d", dead) })
+	emit("ipsd_compactions_total", "counter", "Completed background compactions.",
+		func(c *Collection) string { return fmt.Sprintf("%d", c.compactions.Load()) })
+	emit("ipsd_queries_total", "counter", "Queries executed (cache misses reaching the scan layer).",
+		func(c *Collection) string { return fmt.Sprintf("%d", c.queries.Load()) })
+	emit("ipsd_query_timeouts_total", "counter", "Queries abandoned because their deadline fired.",
+		func(c *Collection) string { return fmt.Sprintf("%d", c.timeouts.Load()) })
+	emit("ipsd_admission_inflight", "gauge", "Queries currently admitted past the gate.",
+		func(c *Collection) string { inflight, _, _ := c.adm.snapshot(); return fmt.Sprintf("%d", inflight) })
+	emit("ipsd_admission_queued", "gauge", "Queries waiting for an admission slot.",
+		func(c *Collection) string { _, queued, _ := c.adm.snapshot(); return fmt.Sprintf("%d", queued) })
+	emit("ipsd_admission_shed_total", "counter", "Queries rejected with 429 by the admission gate.",
+		func(c *Collection) string { _, _, shed := c.adm.snapshot(); return fmt.Sprintf("%d", shed) })
+	emit("ipsd_wal_fsync_lag_seconds", "gauge", "Age of the oldest acknowledged-but-unsynced WAL append.",
+		func(c *Collection) string { return fmt.Sprintf("%g", c.walFsyncLag().Seconds()) })
+
+	fmt.Fprintf(w, "# HELP ipsd_query_duration_seconds Served query latency per collection.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_query_duration_seconds histogram\n")
+	for _, n := range names {
+		cols[n].hist.writeProm(w, "ipsd_query_duration_seconds",
+			fmt.Sprintf("collection=%q", promLabel(n)))
+	}
+}

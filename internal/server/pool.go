@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -139,4 +140,71 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cancellation: the feeding loop stops
+// submitting tasks once ctx is cancelled (the cancellable feed also
+// means a request queued behind a saturated pool stops waiting for a
+// slot the moment its deadline fires, releasing nothing it never
+// held). Tasks already started always run to completion — fn itself is
+// expected to observe ctx — and every claimed slot is released before
+// return. Returns ctx.Err() when any task was skipped, nil when all n
+// ran. A nil or never-cancellable ctx takes exactly the ForEach path.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done == nil {
+		p.ForEach(n, fn)
+		return nil
+	}
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 || cap(p.sem) == 1 {
+		for i := 0; i < n; i++ {
+			// The explicit Err check makes an already-expired context
+			// deterministic (select picks randomly among ready cases, so
+			// without it one task could still sneak through).
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			select {
+			case <-done:
+				return ctx.Err()
+			case p.sem <- struct{}{}:
+			}
+			fn(i)
+			<-p.sem
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var err error
+	for i := 0; i < n; i++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		var acquired bool
+		select {
+		case <-done:
+		case p.sem <- struct{}{}:
+			acquired = true
+		}
+		if !acquired {
+			err = ctx.Err()
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return err
 }

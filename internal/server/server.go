@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -55,6 +56,21 @@ type Config struct {
 	// CompactMinDead is the minimum tombstone count before compaction
 	// is considered at all (default 1024; negative means any count).
 	CompactMinDead int
+
+	// DefaultTimeout bounds queries that arrive without their own
+	// deadline (zero means unbounded). Requests carrying an explicit
+	// timeout_ms use that instead, even when longer.
+	DefaultTimeout time.Duration
+	// MaxInflight caps concurrently executing queries per collection;
+	// zero or negative disables admission control.
+	MaxInflight int
+	// MaxQueue caps queries waiting for an admission slot once
+	// MaxInflight are running; beyond it queries are shed with
+	// ErrOverloaded (HTTP 429). Negative means an unbounded queue.
+	MaxQueue int
+	// MaxBodyBytes caps HTTP request bodies on mutating endpoints
+	// (default 32 MiB; negative disables the limit).
+	MaxBodyBytes int64
 }
 
 func (c *Config) defaults() {
@@ -404,8 +420,9 @@ func (s *Server) EnsureCollection(name string, spec *IndexSpec, shards int) (*Co
 	}
 }
 
-// configureCompaction applies the server's compaction knobs to a
-// freshly built collection (both the create and the recovery path).
+// configureCompaction applies the server's compaction and admission
+// knobs to a freshly built collection (both the create and the
+// recovery path).
 func (s *Server) configureCompaction(c *Collection) {
 	if s.cfg.CompactFraction != 0 {
 		c.compactFrac = s.cfg.CompactFraction
@@ -415,6 +432,7 @@ func (s *Server) configureCompaction(c *Collection) {
 	} else if s.cfg.CompactMinDead < 0 {
 		c.compactMin = 0
 	}
+	c.adm = newGate(s.cfg.MaxInflight, s.cfg.MaxQueue)
 }
 
 func specOrDefault(spec *IndexSpec) IndexSpec {
@@ -531,6 +549,17 @@ type SearchResult struct {
 // per-query path. Results are served from / stored into the LRU cache
 // keyed by the collection version observed at entry.
 func (s *Server) Search(name string, queries []vec.Vector, k int, unsigned bool) ([]SearchResult, error) {
+	return s.SearchCtx(context.Background(), name, queries, k, unsigned)
+}
+
+// SearchCtx is Search with a request context: the whole batch is one
+// admission unit against the collection's gate (ErrOverloaded when
+// shed), and ctx's deadline/cancellation propagates through the pool
+// into the block-level scan kernels, so an expired query stops within
+// one row block. Queries abandoned mid-scan carry ctx's error in
+// their SearchResult.Err; a pre-admission failure is returned as the
+// call error instead.
+func (s *Server) SearchCtx(ctx context.Context, name string, queries []vec.Vector, k int, unsigned bool) ([]SearchResult, error) {
 	c, ok := s.Collection(name)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown collection %q", name)
@@ -538,32 +567,48 @@ func (s *Server) Search(name string, queries []vec.Vector, k int, unsigned bool)
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("server: empty query batch")
 	}
+	if err := c.adm.enter(ctx); err != nil {
+		return nil, err
+	}
+	defer c.adm.exit()
 	out := make([]SearchResult, len(queries))
 	if len(queries) == 1 {
-		s.searchSingle(c, name, queries[0], k, unsigned, &out[0])
+		s.searchSingle(ctx, c, name, queries[0], k, unsigned, &out[0])
 	} else {
-		s.searchBatch(c, name, queries, k, unsigned, out)
+		s.searchBatch(ctx, c, name, queries, k, unsigned, out)
 	}
 	return out, nil
 }
 
+// countTimeout bumps the collection's deadline-miss counter when err
+// is a context error.
+func (c *Collection) countTimeout(err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		c.timeouts.Add(1)
+	}
+}
+
 // searchSingle is the one-query path: shard fan-out on the pool, LRU
 // in front (key construction skipped entirely when caching is off).
-func (s *Server) searchSingle(c *Collection, name string, q vec.Vector, k int, unsigned bool, res *SearchResult) {
+func (s *Server) searchSingle(ctx context.Context, c *Collection, name string, q vec.Vector, k int, unsigned bool, res *SearchResult) {
 	qstart := time.Now()
 	var key string
 	if cacheOn := s.cache.enabled(); cacheOn {
 		key = cacheKey(name, c.gen, c.Version(), k, unsigned, q)
 		if hits, ok := s.cache.get(key); ok {
 			*res = SearchResult{Hits: hits, Cached: true}
-			c.lat.observe(time.Since(qstart))
+			c.observeLatency(time.Since(qstart))
 			return
 		}
 	} else {
 		key = ""
 	}
-	hits, err := c.SearchOne(s.pool, q, k, unsigned)
+	hits, err := c.SearchOne(ctx, s.pool, q, k, unsigned)
 	if err != nil {
+		// A cancelled scan returns partial garbage-free state but no
+		// hits; nothing is cached, so the next identical query runs
+		// fresh rather than inheriting a poisoned entry.
+		c.countTimeout(err)
 		res.Err = err
 		return
 	}
@@ -571,7 +616,7 @@ func (s *Server) searchSingle(c *Collection, name string, q vec.Vector, k int, u
 		s.cache.put(name, key, hits)
 	}
 	*res = SearchResult{Hits: hits}
-	c.lat.observe(time.Since(qstart))
+	c.observeLatency(time.Since(qstart))
 }
 
 // Stats snapshots the whole server for /stats.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -332,7 +333,7 @@ func TestShardPrepareFailureLeavesSnapshot(t *testing.T) {
 	if sh.size() != 1 {
 		t.Fatalf("failed prepare changed shard size to %d", sh.size())
 	}
-	hits, err := sh.topK(vec.Vector{1, 0}, 1, false, 1)
+	hits, err := sh.topK(context.Background(), vec.Vector{1, 0}, 1, false, 1)
 	if err != nil || len(hits) != 1 || hits[0].ID != 0 {
 		t.Fatalf("shard unusable after failed prepare: hits=%v err=%v", hits, err)
 	}
@@ -354,7 +355,7 @@ func TestIngestAfterCloseFailsCleanly(t *testing.T) {
 		t.Fatal("ingest on closed server succeeded")
 	}
 	// Reads keep working against the final snapshots.
-	if hits, err := col.SearchOne(nil, vec.Vector{1}, 1, false); err != nil || len(hits) != 1 {
+	if hits, err := col.SearchOne(context.Background(), nil, vec.Vector{1}, 1, false); err != nil || len(hits) != 1 {
 		t.Fatalf("search on closed collection: hits=%v err=%v", hits, err)
 	}
 }
@@ -414,7 +415,7 @@ func TestSearcherIndexAdapter(t *testing.T) {
 		t.Fatalf("FromSearchBuilder: %v", err)
 	}
 	q := vec.Normalized(data[17])
-	hits, err := ix.TopK(q, 1, false, 1)
+	hits, err := ix.TopK(context.Background(), q, 1, false, 1)
 	if err != nil {
 		t.Fatalf("TopK: %v", err)
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -391,10 +392,10 @@ func (s *shard) commit(snap *shardSnap) {
 // the canonical (score descending, global ID ascending) order so the
 // k-way merge's tie-breaking is exact even when the ID-to-shard
 // assignment does not preserve ID order within a shard.
-func (s *shard) topK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+func (s *shard) topK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
 	snap := s.snap.Load()
 	s.queries.Add(1)
-	local, err := snap.index.TopK(q, k, unsigned, workers)
+	local, err := snap.index.TopK(ctx, q, k, unsigned, workers)
 	if err != nil {
 		return nil, err
 	}
