@@ -33,6 +33,7 @@ type entry struct {
 	Name        string   `json:"name"`
 	Iterations  int64    `json:"iterations"`
 	NsPerOp     float64  `json:"ns_per_op"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
@@ -92,18 +93,24 @@ func main() {
 		oldBy[e.Name] = e
 	}
 	fmt.Printf("benchcmp %s (%s) -> %s (%s)\n", flag.Arg(0), oldF.Commit, flag.Arg(1), newF.Commit)
-	fmt.Printf("%-46s %14s %14s %10s %18s\n", "benchmark", "old ns/op", "new ns/op", "time", "allocs old->new")
+	fmt.Printf("%-46s %14s %14s %10s %18s\n", "benchmark", "old ns/op", "new ns/op", "time", "allocs|MB/s old->new")
 	var gated, compared int
 	var offenders []string
 	for _, e := range newF.Benchmarks {
 		o, ok := oldBy[e.Name]
 		if !ok {
-			fmt.Printf("%-46s %14s %14.0f %10s\n", e.Name, "(new)", e.NsPerOp, "")
+			mbs := ""
+			if e.MBPerS != nil {
+				mbs = fmt.Sprintf("%.0f MB/s", *e.MBPerS)
+			}
+			fmt.Printf("%-46s %14s %14.0f %10s %18s\n", e.Name, "(new)", e.NsPerOp, "", mbs)
 			continue
 		}
 		allocs := ""
 		if o.AllocsPerOp != nil && e.AllocsPerOp != nil {
 			allocs = fmt.Sprintf("%.0f -> %.0f (%s)", *o.AllocsPerOp, *e.AllocsPerOp, delta(*o.AllocsPerOp, *e.AllocsPerOp))
+		} else if o.MBPerS != nil && e.MBPerS != nil {
+			allocs = fmt.Sprintf("%.0f -> %.0f MB/s", *o.MBPerS, *e.MBPerS)
 		}
 		fmt.Printf("%-46s %14.0f %14.0f %10s %18s\n", e.Name, o.NsPerOp, e.NsPerOp, delta(o.NsPerOp, e.NsPerOp), allocs)
 		delete(oldBy, e.Name)

@@ -6,7 +6,7 @@
 //	     [-data dir] [-fsync always|interval|never] [-fsync-interval 100ms]
 //	     [-checkpoint-bytes 67108864]
 //	     [-default-timeout 0] [-max-inflight 0] [-max-queue 0]
-//	     [-max-body-bytes 33554432]
+//	     [-max-body-bytes 33554432] [-rerank-overfetch 4]
 //	     [-read-timeout 30s] [-write-timeout 60s] [-idle-timeout 2m]
 //
 // Collections are created lazily by the first PUT /collections/{name};
@@ -19,6 +19,12 @@
 // policy), the WAL is compacted into columnar segment snapshots once
 // it exceeds -checkpoint-bytes, and a restart recovers every
 // collection from its manifest, newest valid segment and WAL tail.
+//
+// Collections created with "precision": "f32" or "int8" store a
+// quantized scan copy alongside the exact f64 rows; -rerank-overfetch
+// sets the server-wide candidate multiplier used when re-ranking
+// quantized results through the f64 store (a collection's own
+// "overfetch" spec field takes priority).
 // SIGINT/SIGTERM trigger a graceful shutdown: the HTTP listener stops
 // accepting, in-flight requests drain, and the WALs are flushed and
 // fsynced before the process exits.
@@ -54,6 +60,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing queries per collection (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "queries allowed to wait for an admission slot before shedding with 429 (negative = unbounded)")
 	maxBody := flag.Int64("max-body-bytes", 32<<20, "request body cap on mutating routes (negative disables)")
+	rerankOverfetch := flag.Int("rerank-overfetch", 0, "candidate multiplier for quantized-tier re-ranking (0 = built-in default)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout (0 disables)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (0 disables)")
@@ -87,6 +94,7 @@ func main() {
 		MaxInflight:     *maxInflight,
 		MaxQueue:        *maxQueue,
 		MaxBodyBytes:    *maxBody,
+		RerankOverfetch: *rerankOverfetch,
 	})
 	if err != nil {
 		log.Fatalf("ipsd: %v", err)

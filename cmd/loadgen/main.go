@@ -21,6 +21,12 @@
 // the tracker's live set, so a hit on a deleted id or a stale vector
 // fails the run.
 //
+// -precision selects the collection's storage tier: f32 rounds the
+// local ground truth to binary32 and forces re-ranking, so the verified
+// pass still demands bit-identical f64 answers; int8 relaxes the check
+// to a recall@k ≥ 0.99 floor while requiring every returned score to be
+// the exact f64 inner product (the server always re-ranks int8).
+//
 // -skip-ingest assumes the server already holds the workload (e.g.
 // after a restart recovered it from its data directory) and goes
 // straight to the verified search pass: together with -seed this makes
@@ -105,6 +111,8 @@ func main() {
 	chunk := flag.Int("chunk", 20000, "records per ingest request")
 	shards := flag.Int("shards", 4, "shards for the collection")
 	index := flag.String("index", "exact", "index kind: exact | normscan | alsh | sketch")
+	precision := flag.String("precision", "f64", "collection storage precision: f64 | f32 | int8")
+	rerank := flag.Bool("rerank", false, "re-rank candidates through the exact f64 store (implied for f32/int8 verification)")
 	sigma := flag.Float64("sigma", 0.5, "latent-factor popularity skew")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	verify := flag.Bool("verify", true, "check sharded results against a local exact scan")
@@ -126,10 +134,25 @@ func main() {
 	sloReportPath := flag.String("slo-report", "", "write the JSON SLO report to this file")
 	sloRequireShed := flag.Bool("slo-require-shed", false, "fail unless the overload phase saw 429s with Retry-After")
 	flag.Parse()
+	switch *precision {
+	case server.PrecisionF64, server.PrecisionF32, server.PrecisionI8:
+	default:
+		log.Fatalf("loadgen: unknown -precision %q (want f64, f32 or int8)", *precision)
+	}
+	// The spec omits the default precision so requests (and durable
+	// manifests) stay byte-identical to pre-precision runs; re-ranking
+	// is forced on for f32 so the verification below can demand exact
+	// f64 answers (int8 always re-ranks server-side).
+	specPrecision := *precision
+	if specPrecision == server.PrecisionF64 {
+		specPrecision = ""
+	}
+	doRerank := *rerank || *precision != server.PrecisionF64
 	if *slo {
 		os.Exit(runSLO(sloFlags{
 			addr: *addr, n: *n, d: *d, k: *k,
 			index: *index, shards: *shards, seed: *seed,
+			precision: specPrecision, rerank: doRerank,
 			tenants: *sloTenants, zipfA: *zipfA, timeoutMS: *sloTimeoutMS,
 			steady: *sloSteady, overload: *sloOverload,
 			clients: *sloClients, overloadClients: *sloOverloadClients,
@@ -169,6 +192,14 @@ func main() {
 	fmt.Printf("generating latent-factor workload: n=%d q=%d d=%d sigma=%g\n", *n, *q, *d, *sigma)
 	lf := dataset.NewLatentFactor(rng, *n, *q, *d, *sigma)
 	lf.ScaleItemsToUnitBall()
+	// An f32 collection rounds every ingested vector to binary32, so the
+	// local ground truth must be computed over the same rounded rows.
+	round := *precision == server.PrecisionF32
+	if round {
+		for _, v := range lf.Items {
+			roundVec32(v)
+		}
+	}
 
 	client := &http.Client{Timeout: 5 * time.Minute}
 	collection := "bench"
@@ -188,7 +219,7 @@ func main() {
 			recs[i-lo] = server.RecordJSON{ID: &id, Vec: lf.Items[i]}
 		}
 		req := server.IngestRequest{
-			Index:   &server.IndexSpec{Kind: *index},
+			Index:   &server.IndexSpec{Kind: *index, Precision: specPrecision},
 			Shards:  *shards,
 			Records: recs,
 		}
@@ -218,7 +249,7 @@ func main() {
 	expectedRecords := *n
 	if *mutatePass > 0 {
 		var overlay map[int][]float64
-		passPlan, overlay = mutationPlan(*seed+0xfeed, *n, *d, *mutatePass, *zipfA)
+		passPlan, overlay = mutationPlan(*seed+0xfeed, *n, *d, *mutatePass, *zipfA, round)
 		for _, v := range overlay {
 			if v == nil {
 				expectedRecords--
@@ -281,7 +312,7 @@ func main() {
 				var resp server.SearchResponse
 				err := timed("POST /collections/{name}/search (mixed)", http.MethodPost,
 					base+"/collections/"+collection+"/search",
-					server.SearchRequest{Queries: queries, K: *k}, &resp)
+					server.SearchRequest{Queries: queries, K: *k, Rerank: doRerank}, &resp)
 				if err != nil {
 					log.Fatalf("loadgen: mixed search: %v", err)
 				}
@@ -352,6 +383,9 @@ func main() {
 							for id := range batch {
 								id := id
 								v := mrng.NormalVec(*d)
+								if round {
+									roundVec32(v)
+								}
 								recs = append(recs, server.RecordJSON{ID: &id, Vec: v})
 								stripe[id] = v
 							}
@@ -472,7 +506,7 @@ func main() {
 		t0 := time.Now()
 		err := timed("POST /collections/{name}/search", http.MethodPost,
 			base+"/collections/"+collection+"/search",
-			server.SearchRequest{Queries: queries, K: *k}, &resp)
+			server.SearchRequest{Queries: queries, K: *k, Rerank: doRerank}, &resp)
 		if err != nil {
 			log.Fatalf("loadgen: search [%d,%d): %v", lo, hi, err)
 		}
@@ -534,11 +568,28 @@ func main() {
 		return
 	}
 
-	// Verify: sharded answers must be identical to the unsharded exact
-	// scan (single-shard ground truth computed locally over the live
-	// set — after a mutation storm, the tracker's view of it).
-	fmt.Printf("verifying against local exact scan...\n")
+	// Verify: for f64 — and for f32, whose re-ranked answers must equal
+	// the f64 scan over the rounded rows — the sharded answers must be
+	// identical to the unsharded exact scan (single-shard ground truth
+	// computed locally over the live set; after a mutation storm, the
+	// tracker's view of it). int8 answers are re-ranked candidates, so
+	// the check is relaxed to a recall floor — but every returned score
+	// must still be the exact f64 inner product of the live record.
+	fmt.Printf("verifying against local exact scan (precision=%s)...\n", *precision)
+	liveVec := func(id int) []float64 {
+		if mutatedLive != nil {
+			if id < 0 || id >= len(mutatedLive) {
+				return nil
+			}
+			return mutatedLive[id]
+		}
+		if id < 0 || id >= len(lf.Items) {
+			return nil
+		}
+		return lf.Items[id]
+	}
 	var mismatches atomic.Int64
+	var recallHit, recallTotal atomic.Int64
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	var next atomic.Int64
@@ -553,6 +604,32 @@ func main() {
 				}
 				want := exactTopK(verifyIDs, verifyItems, lf.Users[qi], *k)
 				got := results[qi]
+				if *precision == server.PrecisionI8 {
+					wantIDs := make(map[int]struct{}, len(want))
+					for _, h := range want {
+						wantIDs[h.ID] = struct{}{}
+					}
+					hit := 0
+					ok := true
+					for _, h := range got {
+						if _, in := wantIDs[h.ID]; in {
+							hit++
+						}
+						v := liveVec(h.ID)
+						if v == nil || h.Score != vec.Dot(v, lf.Users[qi]) {
+							ok = false // deleted id served, or non-exact score
+							break
+						}
+					}
+					recallHit.Add(int64(hit))
+					recallTotal.Add(int64(len(want)))
+					if !ok {
+						if mismatches.Add(1) <= 3 {
+							log.Printf("loadgen: query %d: int8 answer has a stale id or inexact score:\n  got  %v", qi, got)
+						}
+					}
+					continue
+				}
 				ok := len(got) == len(want)
 				if ok {
 					for i := range want {
@@ -582,7 +659,25 @@ func main() {
 		log.Printf("loadgen: FAILED: %d/%d queries differ from the exact scan", m, *q)
 		os.Exit(1)
 	}
+	if *precision == server.PrecisionI8 {
+		recall := float64(recallHit.Load()) / float64(recallTotal.Load())
+		if recall < 0.99 {
+			log.Printf("loadgen: FAILED: int8 recall@%d %.4f < 0.99", *k, recall)
+			os.Exit(1)
+		}
+		fmt.Printf("verified: int8 recall@%d %.4f ≥ 0.99 over %d queries; every returned score is the exact f64 inner product\n",
+			*k, recall, *q)
+		return
+	}
 	fmt.Printf("verified: all %d sharded top-%d answers identical to the single-shard exact scan\n", *q, *k)
+}
+
+// roundVec32 rounds v to binary32 in place, mirroring what an f32
+// collection does at ingest.
+func roundVec32(v []float64) {
+	for i, x := range v {
+		v[i] = float64(float32(x))
+	}
 }
 
 // mutOp is one precomputed mutation batch: recs non-nil for an
@@ -599,7 +694,7 @@ type mutOp struct {
 // the flags alone, which is what makes a kill/restart cycle checkable
 // end to end. Batch ids are sorted before the per-id vectors are
 // drawn, so map iteration order cannot perturb the RNG stream.
-func mutationPlan(seed uint64, n, d, ops int, a float64) ([]mutOp, map[int][]float64) {
+func mutationPlan(seed uint64, n, d, ops int, a float64, round bool) ([]mutOp, map[int][]float64) {
 	rng := xrand.New(seed)
 	zipf := xrand.NewZipf(rng, n, a)
 	overlay := map[int][]float64{}
@@ -620,6 +715,9 @@ func mutationPlan(seed uint64, n, d, ops int, a float64) ([]mutOp, map[int][]flo
 			for i, id := range ids {
 				id := id
 				v := rng.NormalVec(d)
+				if round {
+					roundVec32(v)
+				}
 				recs[i] = server.RecordJSON{ID: &id, Vec: v}
 				overlay[id] = v
 			}

@@ -43,6 +43,8 @@ type sloFlags struct {
 	addr            string
 	n, d, k         int
 	index           string
+	precision       string // "" = f64
+	rerank          bool
 	shards          int
 	seed            uint64
 	tenants         int
@@ -215,7 +217,7 @@ func runSLO(f sloFlags) int {
 				id := i
 				recs[i-lo] = server.RecordJSON{ID: &id, Vec: lf.Items[t*nPer+i]}
 			}
-			req := server.IngestRequest{Index: &server.IndexSpec{Kind: f.index}, Shards: f.shards, Records: recs}
+			req := server.IngestRequest{Index: &server.IndexSpec{Kind: f.index, Precision: f.precision}, Shards: f.shards, Records: recs}
 			status, _, err := sloCall(client, http.MethodPut, base+"/collections/"+tenant(t), req)
 			if err != nil || status != http.StatusOK {
 				log.Fatalf("loadgen: slo seed tenant %d: status=%d err=%v", t, status, err)
@@ -257,7 +259,7 @@ func runSLO(f sloFlags) int {
 				route = "search"
 				q := lf.Users[wrng.Intn(len(lf.Users))]
 				status, ra, err = sloCall(client, http.MethodPost, col+"/search",
-					server.SearchRequest{Q: q, K: f.k, TimeoutMS: f.timeoutMS})
+					server.SearchRequest{Q: q, K: f.k, TimeoutMS: f.timeoutMS, Rerank: f.rerank})
 			case r < 0.85: // batched search
 				route = "search_batch"
 				qs := make([][]float64, 16)
@@ -265,7 +267,7 @@ func runSLO(f sloFlags) int {
 					qs[i] = lf.Users[wrng.Intn(len(lf.Users))]
 				}
 				status, ra, err = sloCall(client, http.MethodPost, col+"/search",
-					server.SearchRequest{Queries: qs, K: f.k, TimeoutMS: f.timeoutMS})
+					server.SearchRequest{Queries: qs, K: f.k, TimeoutMS: f.timeoutMS, Rerank: f.rerank})
 			case r < 0.95: // upsert a handful of hot ids
 				route = "upsert"
 				nrec := 1 + wrng.Intn(4)

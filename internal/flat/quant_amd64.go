@@ -1,0 +1,36 @@
+//go:build amd64
+
+package flat
+
+// useQuantAsm gates the AVX2 quantized-store range kernels (f32 at
+// twice the f64 tile kernels' lanes, int8 via VPMADDWD). A variable —
+// not a constant — so the quant tests can force the pure-Go chains and
+// prove both paths produce bit-identical scores.
+var useQuantAsm = x86HasAVX2()
+
+// dot32Range16 scores len(out) contiguous d=16 float32 rows of p
+// against the single query q (16 floats, loaded once), widening each
+// result to float64. Bit-identical to dot32Range16Go: 8 float32 lanes
+// (VMULPS/VADDPS), t_i = s_i + s_{i+4} (VEXTRACTF128+VADDPS), then
+// (t0+t1)+(t2+t3) via VHADDPS×2 and a single VCVTSS2SD.
+//
+//go:noescape
+func dot32Range16(p, q []float32, out []float64)
+
+// dot32Range8 is the d=8 variant: one 8-lane multiply per row, the
+// shared 8→4→1 reduction.
+//
+//go:noescape
+func dot32Range8(p, q []float32, out []float64)
+
+// dotI8Range16 scores len(out) contiguous d=16 int8 rows of p against
+// the int16-widened query codes q (16 values, loaded once) and
+// dequantizes in-register: VPMOVSXBW sign-extends a row, VPMADDWD forms
+// exact int32 pair sums, a VPHADDD tree totals four rows at a time, and
+// VCVTDQ2PD+VMULPD widen the exact int32 dots and apply the combined
+// scale. Integer accumulation is order free and float64(int32) is
+// exact, so the single multiply matches the scalar loop's
+// float64(acc)·combined bit for bit.
+//
+//go:noescape
+func dotI8Range16(p []int8, q []int16, combined float64, out []float64)

@@ -1,0 +1,209 @@
+// AVX2 quantized-store range kernels. See quant_amd64.go for the
+// contracts. Like the f64 tile kernels, the float32 kernels avoid FMA
+// so every multiply and add is a separately rounded IEEE operation;
+// the 8-lane vector accumulator matches the Go kernel's s_0..s_7, the
+// in-register fold VEXTRACTF128+VADDPS reproduces t_i = s_i + s_{i+4},
+// and the VHADDPS pair computes (t0+t1)+(t2+t3) before one VCVTSS2SD
+// widens the score (IEEE addition is commutative for the values
+// involved). The int8 kernel is exact int32 arithmetic throughout, so
+// no ordering contract is needed at all.
+
+#include "textflag.h"
+
+// func dot32Range16(p, q []float32, out []float64)
+//
+// len(out) rows of 16 float32 each; q holds one query row of 16,
+// loaded once into Y8 (dims 0..7) and Y9 (dims 8..15). Main loop
+// processes 2 rows with independent accumulator chains.
+TEXT ·dot32Range16(SB), NOSPLIT, $0-72
+	MOVQ p_base+0(FP), DI
+	MOVQ q_base+24(FP), SI
+	MOVQ out_base+48(FP), R9
+	MOVQ out_len+56(FP), CX
+
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+
+loop2_32x16:
+	CMPQ CX, $2
+	JL   tail32x16
+
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	VMULPS  Y8, Y0, Y0
+	VMULPS  Y9, Y1, Y1
+	VMULPS  Y8, Y2, Y2
+	VMULPS  Y9, Y3, Y3
+	VADDPS  Y1, Y0, Y0
+	VADDPS  Y3, Y2, Y2
+
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VCVTSS2SD    X0, X0, X0
+	MOVSD        X0, (R9)
+
+	VEXTRACTF128 $1, Y2, X3
+	VADDPS       X3, X2, X2
+	VHADDPS      X2, X2, X2
+	VHADDPS      X2, X2, X2
+	VCVTSS2SD    X2, X2, X2
+	MOVSD        X2, 8(R9)
+
+	ADDQ $128, DI
+	ADDQ $16, R9
+	SUBQ $2, CX
+	JMP  loop2_32x16
+
+tail32x16:
+	TESTQ CX, CX
+	JZ    done32x16
+
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMULPS  Y8, Y0, Y0
+	VMULPS  Y9, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VCVTSS2SD    X0, X0, X0
+	MOVSD        X0, (R9)
+
+done32x16:
+	VZEROUPPER
+	RET
+
+// func dot32Range8(p, q []float32, out []float64)
+//
+// d=8 variant: one YMM row load and multiply, same reduction.
+TEXT ·dot32Range8(SB), NOSPLIT, $0-72
+	MOVQ p_base+0(FP), DI
+	MOVQ q_base+24(FP), SI
+	MOVQ out_base+48(FP), R9
+	MOVQ out_len+56(FP), CX
+
+	VMOVUPS (SI), Y8
+
+loop2_32x8:
+	CMPQ CX, $2
+	JL   tail32x8
+
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y2
+	VMULPS  Y8, Y0, Y0
+	VMULPS  Y8, Y2, Y2
+
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VCVTSS2SD    X0, X0, X0
+	MOVSD        X0, (R9)
+
+	VEXTRACTF128 $1, Y2, X3
+	VADDPS       X3, X2, X2
+	VHADDPS      X2, X2, X2
+	VHADDPS      X2, X2, X2
+	VCVTSS2SD    X2, X2, X2
+	MOVSD        X2, 8(R9)
+
+	ADDQ $64, DI
+	ADDQ $16, R9
+	SUBQ $2, CX
+	JMP  loop2_32x8
+
+tail32x8:
+	TESTQ CX, CX
+	JZ    done32x8
+
+	VMOVUPS (DI), Y0
+	VMULPS  Y8, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VCVTSS2SD    X0, X0, X0
+	MOVSD        X0, (R9)
+
+done32x8:
+	VZEROUPPER
+	RET
+
+// func dotI8Range16(p []int8, q []int16, combined float64, out []float64)
+//
+// len(out) rows of 16 int8 each; q holds the int16-widened query codes
+// (16 values = one YMM), loaded once into Y8; combined = scale·qscale
+// is broadcast once into Y9. The main loop totals FOUR rows per pass:
+// VPMOVSXBW sign-extends each row, VPMADDWD forms 8 exact int32 pair
+// sums (products are ≤ 127², row totals ≤ 16·127² — no overflow), a
+// three-VPHADDD tree plus one cross-lane VPADDD collapses the four
+// rows to [d0 d1 d2 d3], and VCVTDQ2PD/VMULPD dequantize all four with
+// one rounding each — identical to the scalar float64(acc)·combined.
+TEXT ·dotI8Range16(SB), NOSPLIT, $0-80
+	MOVQ p_base+0(FP), DI
+	MOVQ q_base+24(FP), SI
+	MOVQ out_base+56(FP), R9
+	MOVQ out_len+64(FP), CX
+
+	VMOVDQU      (SI), Y8
+	VBROADCASTSD combined+48(FP), Y9
+
+loop4_i8:
+	CMPQ CX, $4
+	JL   tail_i8
+
+	VPMOVSXBW (DI), Y0
+	VPMOVSXBW 16(DI), Y1
+	VPMOVSXBW 32(DI), Y2
+	VPMOVSXBW 48(DI), Y3
+	VPMADDWD  Y8, Y0, Y0
+	VPMADDWD  Y8, Y1, Y1
+	VPMADDWD  Y8, Y2, Y2
+	VPMADDWD  Y8, Y3, Y3
+
+	// [r0:01 r0:23 r1:01 r1:23 | r0:45 r0:67 r1:45 r1:67] and rows 2,3.
+	VPHADDD Y1, Y0, Y0
+	VPHADDD Y3, Y2, Y2
+
+	// [r0:0-3 r1:0-3 r2:0-3 r3:0-3 | r0:4-7 r1:4-7 r2:4-7 r3:4-7]
+	VPHADDD Y2, Y0, Y0
+
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+
+	VCVTDQ2PD X0, Y0
+	VMULPD    Y9, Y0, Y0
+	VMOVUPD   Y0, (R9)
+
+	ADDQ $64, DI
+	ADDQ $32, R9
+	SUBQ $4, CX
+	JMP  loop4_i8
+
+tail_i8:
+	TESTQ CX, CX
+	JZ    done_i8
+
+	VPMOVSXBW (DI), Y0
+	VPMADDWD  Y8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPHADDD      X0, X0, X0
+	VPHADDD      X0, X0, X0
+	VCVTDQ2PD    X0, X0
+	VMULSD       X9, X0, X0
+	MOVSD        X0, (R9)
+
+	ADDQ $16, DI
+	ADDQ $8, R9
+	DECQ CX
+	JMP  tail_i8
+
+done_i8:
+	VZEROUPPER
+	RET

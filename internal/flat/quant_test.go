@@ -1,0 +1,698 @@
+package flat
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// withQuantAsm runs fn under both settings of the asm dispatch gate
+// (when the asm kernels exist at all), restoring the ambient value.
+func withQuantAsm(t *testing.T, fn func(t *testing.T, asm bool)) {
+	saved := useQuantAsm
+	defer func() { useQuantAsm = saved }()
+	useQuantAsm = false
+	t.Run("go", func(t *testing.T) { fn(t, false) })
+	if !saved {
+		return
+	}
+	useQuantAsm = true
+	t.Run("asm", func(t *testing.T) { fn(t, true) })
+}
+
+// topKFromScores is an independent reference top-k: full sort by
+// (effective score descending, index ascending), truncated to k.
+func topKFromScores(scores []float64, k int, unsigned bool) []Hit {
+	hits := make([]Hit, len(scores))
+	for i, v := range scores {
+		if unsigned && v < 0 {
+			v = -v
+		}
+		hits[i] = Hit{Index: i, Score: v}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Index < hits[j].Index
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+func sameHits(a, b []Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStore32AsmMatchesGo proves the AVX2 f32 kernels and the pure-Go
+// chains produce bit-identical widened scores for the dimensions that
+// have asm twins.
+func TestStore32AsmMatchesGo(t *testing.T) {
+	if !useQuantAsm {
+		t.Skip("no asm kernels on this machine")
+	}
+	saved := useQuantAsm
+	defer func() { useQuantAsm = saved }()
+	rng := xrand.New(7)
+	for _, d := range []int{8, 16} {
+		// Odd row counts exercise the 1-row asm tails.
+		for _, n := range []int{1, 2, 3, 257, 1000} {
+			fs, err := FromVectors(randomVecs(rng, n, d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewStore32(fs)
+			q := vec.Vector(rng.NormalVec(d))
+			want := make([]float64, n)
+			got := make([]float64, n)
+			useQuantAsm = false
+			if err := s.DotRange(q, 0, n, want); err != nil {
+				t.Fatal(err)
+			}
+			useQuantAsm = true
+			if err := s.DotRange(q, 0, n, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("d=%d n=%d row %d: asm %v (%x) != go %v (%x)",
+						d, n, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+				}
+			}
+			// Sub-range calls must see the same rows.
+			if n >= 3 {
+				sub := make([]float64, n-2)
+				if err := s.DotRange(q, 1, n-1, sub); err != nil {
+					t.Fatal(err)
+				}
+				for i := range sub {
+					if math.Float64bits(sub[i]) != math.Float64bits(want[i+1]) {
+						t.Fatalf("d=%d n=%d sub-range row %d mismatch", d, n, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStoreI8AsmMatchesGo is the int8 twin: exact integer accumulation
+// means the kernels must agree bit for bit, including across the
+// blockRows chunking of long ranges.
+func TestStoreI8AsmMatchesGo(t *testing.T) {
+	if !useQuantAsm {
+		t.Skip("no asm kernels on this machine")
+	}
+	saved := useQuantAsm
+	defer func() { useQuantAsm = saved }()
+	rng := xrand.New(8)
+	for _, n := range []int{1, 2, 3, 255, 256, 257, 1000} {
+		fs, err := FromVectors(randomVecs(rng, n, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStoreI8(fs)
+		q := vec.Vector(rng.NormalVec(16))
+		want := make([]float64, n)
+		got := make([]float64, n)
+		useQuantAsm = false
+		if err := s.DotRange(q, 0, n, want); err != nil {
+			t.Fatal(err)
+		}
+		useQuantAsm = true
+		if err := s.DotRange(q, 0, n, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d row %d: asm %v != go %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStore32Accuracy bounds the f32 tier's score error against the
+// exact f64 kernel: relative to ‖p‖·‖q‖ the error must stay within the
+// d-scaled epsilon the NormSorted32 bound assumes.
+func TestStore32Accuracy(t *testing.T) {
+	rng := xrand.New(9)
+	for _, d := range []int{5, 8, 16, 24} {
+		n := 500
+		vs := randomVecs(rng, n, d)
+		fs, err := FromVectors(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStore32(fs)
+		q := vec.Vector(rng.NormalVec(d))
+		exact := make([]float64, n)
+		approx := make([]float64, n)
+		if err := fs.DotRange(q, 0, n, exact); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DotRange(q, 0, n, approx); err != nil {
+			t.Fatal(err)
+		}
+		qn := vec.Norm(q)
+		for i := range exact {
+			tol := (f32BoundFudge(d) - 1) * fs.Norm(i) * qn
+			if diff := math.Abs(exact[i] - approx[i]); diff > tol {
+				t.Fatalf("d=%d row %d: f32 %v vs f64 %v (diff %g > tol %g)",
+					d, i, approx[i], exact[i], diff, tol)
+			}
+		}
+	}
+}
+
+// TestStore32TopKMatchesReference checks the full scan family — signed
+// and unsigned, serial and parallel, masked and unmasked — against the
+// sort-everything reference over the same f32 scores.
+func TestStore32TopKMatchesReference(t *testing.T) {
+	withQuantAsm(t, func(t *testing.T, asm bool) {
+		rng := xrand.New(10)
+		for _, d := range []int{7, 8, 16} {
+			n := 9000
+			fs, err := FromVectors(randomVecs(rng, n, d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewStore32(fs)
+			dead := NewTombstones(n)
+			for i := 0; i < n; i += 17 {
+				dead.Kill(i)
+			}
+			for _, unsigned := range []bool{false, true} {
+				q := vec.Vector(rng.NormalVec(d))
+				scores := make([]float64, n)
+				if err := s.DotRange(q, 0, n, scores); err != nil {
+					t.Fatal(err)
+				}
+				want := topKFromScores(scores, 25, unsigned)
+				for _, workers := range []int{1, 2} {
+					got, err := s.TopK(q, 25, unsigned, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameHits(got, want) {
+						t.Fatalf("d=%d unsigned=%v workers=%d: TopK %v != reference %v",
+							d, unsigned, workers, got, want)
+					}
+				}
+				// Masked: reference drops dead rows.
+				live := make([]float64, 0, n)
+				liveIdx := make([]int, 0, n)
+				for i, v := range scores {
+					if !dead.Dead(i) {
+						live = append(live, v)
+						liveIdx = append(liveIdx, i)
+					}
+				}
+				wantMasked := topKFromScores(live, 25, unsigned)
+				for i := range wantMasked {
+					wantMasked[i].Index = liveIdx[wantMasked[i].Index]
+				}
+				gotMasked, err := s.TopKMasked(q, 25, unsigned, 2, dead)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameHits(gotMasked, wantMasked) {
+					t.Fatalf("d=%d unsigned=%v: TopKMasked %v != reference %v",
+						d, unsigned, gotMasked, wantMasked)
+				}
+			}
+		}
+	})
+}
+
+// TestNormSorted32MatchesFlat proves the inflated Cauchy–Schwarz bound
+// never prunes a row the flat f32 scan would have kept: the early-exit
+// scan and the full scan agree exactly, masked and unmasked, signed and
+// unsigned.
+func TestNormSorted32MatchesFlat(t *testing.T) {
+	rng := xrand.New(11)
+	for _, d := range []int{8, 16, 24} {
+		n := 6000
+		fs, err := FromVectors(randomVecs(rng, n, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStore32(fs)
+		ns := NewNormSorted32(s)
+		deadOrig := NewTombstones(n)
+		for i := 0; i < n; i += 13 {
+			deadOrig.Kill(i)
+		}
+		deadPhys := deadOrig.Gather(ns.Perm())
+		for _, unsigned := range []bool{false, true} {
+			for trial := 0; trial < 5; trial++ {
+				q := vec.Vector(rng.NormalVec(d))
+				want, err := s.TopK(q, 10, unsigned, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, scanned, err := ns.TopK(q, 10, unsigned)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameHits(got, want) {
+					t.Fatalf("d=%d unsigned=%v: normsorted %v != flat %v", d, unsigned, got, want)
+				}
+				if scanned < len(got) || scanned > n {
+					t.Fatalf("scanned=%d out of range", scanned)
+				}
+				wantMasked, err := s.TopKMasked(q, 10, unsigned, 1, deadOrig)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotMasked, _, err := ns.TopKMasked(q, 10, unsigned, deadPhys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameHits(gotMasked, wantMasked) {
+					t.Fatalf("d=%d unsigned=%v masked: normsorted %v != flat %v",
+						d, unsigned, gotMasked, wantMasked)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreI8TopKMatchesReference checks the int8 scan family against
+// the sort-everything reference over the dequantized scores.
+func TestStoreI8TopKMatchesReference(t *testing.T) {
+	withQuantAsm(t, func(t *testing.T, asm bool) {
+		rng := xrand.New(12)
+		for _, d := range []int{7, 16} {
+			n := 9000
+			fs, err := FromVectors(randomVecs(rng, n, d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewStoreI8(fs)
+			dead := NewTombstones(n)
+			for i := 0; i < n; i += 11 {
+				dead.Kill(i)
+			}
+			for _, unsigned := range []bool{false, true} {
+				q := vec.Vector(rng.NormalVec(d))
+				scores := make([]float64, n)
+				if err := s.DotRange(q, 0, n, scores); err != nil {
+					t.Fatal(err)
+				}
+				want := topKFromScores(scores, 25, unsigned)
+				for _, workers := range []int{1, 2} {
+					got, err := s.TopK(q, 25, unsigned, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameHits(got, want) {
+						t.Fatalf("d=%d unsigned=%v workers=%d: TopK != reference", d, unsigned, workers)
+					}
+				}
+				gotMasked, err := s.TopKMasked(q, 25, unsigned, 1, dead)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range gotMasked {
+					if dead.Dead(h.Index) {
+						t.Fatalf("masked scan returned dead row %d", h.Index)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestStoreI8Quantization pins down the symmetric scheme's properties:
+// determinism under rebuild, bounded per-element error, saturation of
+// non-finite inputs, and the zero-store degenerate case.
+func TestStoreI8Quantization(t *testing.T) {
+	rng := xrand.New(13)
+	fs, err := FromVectors(randomVecs(rng, 300, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStoreI8(fs)
+	if s2 := NewStoreI8(fs); !s.Equal(s2) {
+		t.Fatal("requantizing the same store changed codes or scale")
+	}
+	// Per-element reconstruction error is at most scale/2.
+	for i := 0; i < fs.Len(); i++ {
+		row := fs.Row(i)
+		for j, c := range s.Row(i) {
+			back := float64(c) * s.scale
+			if diff := math.Abs(back - row[j]); diff > s.scale/2+1e-12 {
+				t.Fatalf("row %d dim %d: dequantized %v vs %v (err %g > scale/2 %g)",
+					i, j, back, row[j], diff, s.scale/2)
+			}
+		}
+	}
+	// Candidate quality: int8 top-50 must contain the exact top-10 for
+	// a well-conditioned workload (this is the overfetch the serving
+	// layer relies on before re-ranking).
+	for trial := 0; trial < 20; trial++ {
+		q := vec.Vector(rng.NormalVec(16))
+		exact, err := fs.TopK(q, 10, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands, err := s.TopK(q, 50, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := map[int]bool{}
+		for _, h := range cands {
+			have[h.Index] = true
+		}
+		missed := 0
+		for _, h := range exact {
+			if !have[h.Index] {
+				missed++
+			}
+		}
+		if missed > 1 {
+			t.Fatalf("trial %d: int8 top-50 missed %d of exact top-10", trial, missed)
+		}
+	}
+	// Degenerate stores.
+	zero, err := FromVectors([]vec.Vector{{0, 0, 0}, {0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs := NewStoreI8(zero)
+	if zs.Scale() != 0 {
+		t.Fatalf("all-zero store scale = %v, want 0", zs.Scale())
+	}
+	if hits, err := zs.TopK(vec.Vector{1, 2, 3}, 1, false, 1); err != nil || len(hits) != 1 || hits[0].Score != 0 {
+		t.Fatalf("zero-store TopK = %v, %v", hits, err)
+	}
+	if quantizeI8(math.NaN(), 1) != 0 {
+		t.Fatal("NaN must quantize to 0")
+	}
+	if quantizeI8(math.Inf(1), 1) != 127 || quantizeI8(math.Inf(-1), 1) != -127 {
+		t.Fatal("infinities must saturate")
+	}
+}
+
+// TestQuantTopKCtx checks the cancellation plumbing for both quantized
+// stores: a live context changes nothing, a cancelled one returns its
+// error and no hits.
+func TestQuantTopKCtx(t *testing.T) {
+	rng := xrand.New(14)
+	fs, err := FromVectors(randomVecs(rng, 5000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.Vector(rng.NormalVec(16))
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	s32 := NewStore32(fs)
+	want32, err := s32.TopK(q, 5, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got32, err := s32.TopKCtx(context.Background(), q, 5, false, 2)
+	if err != nil || !sameHits(got32, want32) {
+		t.Fatalf("live ctx changed f32 answers: %v, %v", got32, err)
+	}
+	if _, err := s32.TopKCtx(cancelled, q, 5, false, 2); err != context.Canceled {
+		t.Fatalf("cancelled f32 scan: err = %v, want context.Canceled", err)
+	}
+	ns := NewNormSorted32(s32)
+	if _, _, err := ns.TopKCtx(cancelled, q, 5, false); err != context.Canceled {
+		t.Fatalf("cancelled normsorted32 scan: err = %v", err)
+	}
+
+	s8 := NewStoreI8(fs)
+	want8, err := s8.TopK(q, 5, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got8, err := s8.TopKCtx(context.Background(), q, 5, false, 2)
+	if err != nil || !sameHits(got8, want8) {
+		t.Fatalf("live ctx changed int8 answers: %v, %v", got8, err)
+	}
+	if _, err := s8.TopKCtx(cancelled, q, 5, false, 2); err != context.Canceled {
+		t.Fatalf("cancelled int8 scan: err = %v", err)
+	}
+}
+
+// TestStore32RoundTrip checks NewStore32/ToStore and the FLATBLK2 codec:
+// encode → decode must reproduce data, norms and shape bit for bit.
+func TestStore32RoundTrip(t *testing.T) {
+	rng := xrand.New(15)
+	for _, n := range []int{0, 1, 37} {
+		fs, err := FromVectors(randomVecs(rng, n, 16))
+		if err != nil && n > 0 {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			fs, err = New(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := NewStore32(fs)
+		buf := s.AppendBinary(nil)
+		if len(buf) != s.EncodedSize() {
+			t.Fatalf("n=%d: encoded %d bytes, EncodedSize says %d", n, len(buf), s.EncodedSize())
+		}
+		dec, used, err := DecodeStore32(buf)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if used != len(buf) {
+			t.Fatalf("n=%d: consumed %d of %d bytes", n, used, len(buf))
+		}
+		if dec.Len() != s.Len() || dec.Dim() != s.Dim() {
+			t.Fatalf("n=%d: shape (%d,%d) != (%d,%d)", n, dec.Len(), dec.Dim(), s.Len(), s.Dim())
+		}
+		for i := range s.data {
+			if math.Float32bits(dec.data[i]) != math.Float32bits(s.data[i]) {
+				t.Fatalf("n=%d: data[%d] mismatch", n, i)
+			}
+		}
+		for i := range s.norms {
+			if math.Float64bits(dec.norms[i]) != math.Float64bits(s.norms[i]) {
+				t.Fatalf("n=%d: norm[%d] mismatch", n, i)
+			}
+		}
+		// The f32 ingest path rounds before storing, so widening round
+		// trips losslessly through ToStore.
+		wide, err := dec.ToStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := NewStore32(wide)
+		for i := range s.data {
+			if math.Float32bits(back.data[i]) != math.Float32bits(s.data[i]) {
+				t.Fatalf("n=%d: ToStore round trip changed data[%d]", n, i)
+			}
+		}
+	}
+}
+
+// TestStoreI8RoundTrip checks the FLATBLK3 codec, including the scale.
+func TestStoreI8RoundTrip(t *testing.T) {
+	rng := xrand.New(16)
+	fs, err := FromVectors(randomVecs(rng, 37, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStoreI8(fs)
+	buf := s.AppendBinary(nil)
+	if len(buf) != s.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), s.EncodedSize())
+	}
+	dec, used, err := DecodeStoreI8(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", used, len(buf))
+	}
+	if !dec.Equal(s) {
+		t.Fatal("decoded store differs from encoded")
+	}
+}
+
+// TestQuantCodecCorruption flips every byte of valid encodings: each
+// mutation must fail decoding (almost always the checksum) and never
+// panic or yield a store silently.
+func TestQuantCodecCorruption(t *testing.T) {
+	rng := xrand.New(17)
+	fs, err := FromVectors(randomVecs(rng, 5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf32 := NewStore32(fs).AppendBinary(nil)
+	buf8 := NewStoreI8(fs).AppendBinary(nil)
+	for i := range buf32 {
+		mut := append([]byte(nil), buf32...)
+		mut[i] ^= 0x40
+		if _, _, err := DecodeStore32(mut); err == nil {
+			t.Fatalf("f32: flipping byte %d went undetected", i)
+		}
+	}
+	for i := range buf8 {
+		mut := append([]byte(nil), buf8...)
+		mut[i] ^= 0x40
+		if _, _, err := DecodeStoreI8(mut); err == nil {
+			t.Fatalf("int8: flipping byte %d went undetected", i)
+		}
+	}
+	// Truncations of every length must error cleanly too.
+	for i := 0; i < len(buf32); i++ {
+		if _, _, err := DecodeStore32(buf32[:i]); err == nil {
+			t.Fatalf("f32: truncation to %d bytes went undetected", i)
+		}
+	}
+	for i := 0; i < len(buf8); i++ {
+		if _, _, err := DecodeStoreI8(buf8[:i]); err == nil {
+			t.Fatalf("int8: truncation to %d bytes went undetected", i)
+		}
+	}
+}
+
+// FuzzStore32Decode feeds arbitrary bytes to the FLATBLK2 decoder: it
+// must never panic, and anything it accepts must re-encode to an
+// equivalent store.
+func FuzzStore32Decode(f *testing.F) {
+	rng := xrand.New(18)
+	fs, _ := FromVectors(randomVecs(rng, 3, 8))
+	f.Add(NewStore32(fs).AppendBinary(nil))
+	empty, _ := New(4)
+	f.Add(NewStore32(empty).AppendBinary(nil))
+	f.Add([]byte("FLATBLK2garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, used, err := DecodeStore32(data)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", used, len(data))
+		}
+		re := s.AppendBinary(nil)
+		s2, _, err := DecodeStore32(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.Len() != s.Len() || s2.Dim() != s.Dim() {
+			t.Fatalf("re-decode changed shape")
+		}
+		for i := range s.data {
+			if math.Float32bits(s2.data[i]) != math.Float32bits(s.data[i]) {
+				t.Fatalf("re-decode changed data[%d]", i)
+			}
+		}
+	})
+}
+
+// FuzzInt8Decode is the FLATBLK3 twin.
+func FuzzInt8Decode(f *testing.F) {
+	rng := xrand.New(19)
+	fs, _ := FromVectors(randomVecs(rng, 3, 8))
+	f.Add(NewStoreI8(fs).AppendBinary(nil))
+	f.Add([]byte("FLATBLK3garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, used, err := DecodeStoreI8(data)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", used, len(data))
+		}
+		re := s.AppendBinary(nil)
+		s2, _, err := DecodeStoreI8(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !s2.Equal(s) {
+			t.Fatalf("re-decode changed store")
+		}
+	})
+}
+
+// BenchmarkFlatTopKTier measures the 100k-row top-10 scan per precision
+// tier. SetBytes records the *logical* f64 working set for every tier,
+// so reported MB/s ratios equal wall-clock speedups (the ISSUE's
+// bytes-per-second framing). The rerank variants include the full
+// candidate-then-verify cost the serving layer pays: an overfetched
+// quantized scan plus exact f64 re-scoring of the survivors.
+func BenchmarkFlatTopKTier(b *testing.B) {
+	rng := xrand.New(20)
+	n, d, k, overfetch := 100000, 16, 10, 4
+	fs, err := FromVectors(randomVecs(rng, n, d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s32 := NewStore32(fs)
+	s8 := NewStoreI8(fs)
+	q := vec.Vector(rng.NormalVec(d))
+	logical := int64(n * d * 8)
+	rerank := func(hits []Hit) []Hit {
+		var one [1]float64
+		for i, h := range hits {
+			if err := fs.DotRange(q, h.Index, h.Index+1, one[:]); err != nil {
+				b.Fatal(err)
+			}
+			hits[i].Score = one[0]
+		}
+		a := NewAcc(k)
+		for _, h := range hits {
+			a.Offer(h.Index, h.Score)
+		}
+		return a.Hits()
+	}
+	b.Run(fmt.Sprintf("f64/n=%d", n), func(b *testing.B) {
+		b.SetBytes(logical)
+		for i := 0; i < b.N; i++ {
+			if _, err := fs.TopK(q, k, false, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("f32/n=%d", n), func(b *testing.B) {
+		b.SetBytes(logical)
+		for i := 0; i < b.N; i++ {
+			if _, err := s32.TopK(q, k, false, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("f32rerank/n=%d", n), func(b *testing.B) {
+		b.SetBytes(logical)
+		for i := 0; i < b.N; i++ {
+			hits, err := s32.TopK(q, k*overfetch, false, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rerank(hits)
+		}
+	})
+	b.Run(fmt.Sprintf("int8rerank/n=%d", n), func(b *testing.B) {
+		b.SetBytes(logical)
+		for i := 0; i < b.N; i++ {
+			hits, err := s8.TopK(q, k*overfetch, false, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rerank(hits)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Quantized speed tier 2: int8 columnar storage under per-store
+// symmetric quantization. Every element is coded as
+// round(x / scale) clamped to [-127, 127] with scale = max|x|/127 over
+// the whole store, so codes are sign-symmetric (no zero-point) and the
+// decoder can verify a stored scale by recomputation. Queries are
+// quantized per scan against their own max|q|/127 scale and widened to
+// int16, so the d=16 AVX2 kernel is one sign-extension plus one
+// VPMADDWD per row; accumulation is exact int32 arithmetic — order
+// free — which makes the Go fallback trivially bit-identical to the
+// asm. A code score widens as float64(acc) · (scale·qscale).
+//
+// Int8 scores are approximations with per-element error ≤ scale/2 on
+// each side; the serving layer treats them as candidates only and
+// always re-ranks the survivors through the retained f64 store, the
+// same candidate-then-verify shape as internal/sketch.MaxDot.
+package flat
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// StoreI8 is an append-frozen int8 copy of a Store: row i occupies
+// codes[i*dim : (i+1)*dim]; scale is the shared dequantization factor.
+type StoreI8 struct {
+	dim   int
+	codes []int8
+	scale float64
+}
+
+// NewStoreI8 quantizes s under the symmetric scheme. The scale is a
+// max over all elements — order independent — so rebuilding the store
+// from the same rows in any layout (e.g. after recovery replay or
+// compaction) reproduces the identical scale and codes.
+func NewStoreI8(s *Store) *StoreI8 {
+	maxAbs := 0.0
+	for _, x := range s.data {
+		if a := math.Abs(x); a > maxAbs && !math.IsInf(a, 0) {
+			maxAbs = a
+		}
+	}
+	q := &StoreI8{
+		dim:   s.dim,
+		codes: make([]int8, len(s.data)),
+		scale: maxAbs / 127,
+	}
+	for i, x := range s.data {
+		q.codes[i] = quantizeI8(x, q.scale)
+	}
+	return q
+}
+
+// quantizeI8 codes one element: nearest integer multiple of scale,
+// clamped to the symmetric range. A zero scale (all-zero store) codes
+// everything as 0; non-finite inputs saturate deterministically.
+func quantizeI8(x, scale float64) int8 {
+	if scale == 0 {
+		return 0
+	}
+	v := math.Round(x / scale)
+	switch {
+	case v > 127:
+		return 127
+	case v < -127:
+		return -127
+	case math.IsNaN(v):
+		return 0
+	}
+	return int8(v)
+}
+
+// quantizeQueryI8 codes a query against its own symmetric scale,
+// widening the codes to int16 for the VPMADDWD kernel. A zero (or
+// non-finite-only) query yields scale 0 and all-zero codes, matching
+// the exact all-zero dot.
+func quantizeQueryI8(q vec.Vector) ([]int16, float64) {
+	maxAbs := 0.0
+	for _, x := range q {
+		if a := math.Abs(x); a > maxAbs && !math.IsInf(a, 0) {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	qc := make([]int16, len(q))
+	for i, x := range q {
+		qc[i] = int16(quantizeI8(x, scale))
+	}
+	return qc, scale
+}
+
+// Len returns the number of rows.
+func (s *StoreI8) Len() int {
+	if s.dim == 0 {
+		return 0
+	}
+	return len(s.codes) / s.dim
+}
+
+// Dim returns the row dimension.
+func (s *StoreI8) Dim() int { return s.dim }
+
+// Scale returns the shared dequantization factor (max|x|/127).
+func (s *StoreI8) Scale() float64 { return s.scale }
+
+// Row returns row i's codes as a view aliasing the backing array.
+// Callers must not mutate it.
+func (s *StoreI8) Row(i int) []int8 {
+	return s.codes[i*s.dim : (i+1)*s.dim : (i+1)*s.dim]
+}
+
+// Equal reports whether two quantized stores are bit-identical
+// (dimension, scale and every code). The segment decoder uses it to
+// prove a decoded store matches requantization of the decoded f64
+// truth rows.
+func (s *StoreI8) Equal(o *StoreI8) bool {
+	if s.dim != o.dim || len(s.codes) != len(o.codes) ||
+		math.Float64bits(s.scale) != math.Float64bits(o.scale) {
+		return false
+	}
+	for i, c := range s.codes {
+		if o.codes[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *StoreI8) checkQuery(q vec.Vector) error {
+	if len(q) != s.dim {
+		return fmt.Errorf("flat: query dimension %d, store has %d", len(q), s.dim)
+	}
+	return nil
+}
+
+func (s *StoreI8) checkMask(dead *Tombstones) error {
+	if dead != nil && dead.Len() != s.Len() {
+		return fmt.Errorf("flat: tombstones cover %d rows, store has %d", dead.Len(), s.Len())
+	}
+	return nil
+}
+
+// DotRange fills out[0:hi-lo] with approximate dequantized dots of rows
+// [lo, hi) against q. Exported for the equivalence tests.
+func (s *StoreI8) DotRange(q vec.Vector, lo, hi int, out []float64) error {
+	if err := s.checkQuery(q); err != nil {
+		return err
+	}
+	if lo < 0 || hi > s.Len() || lo > hi {
+		return fmt.Errorf("flat: DotRange [%d, %d) out of [0, %d)", lo, hi, s.Len())
+	}
+	if len(out) != hi-lo {
+		return fmt.Errorf("flat: DotRange out length %d, want %d", len(out), hi-lo)
+	}
+	qc, qscale := quantizeQueryI8(q)
+	s.dotRange(qc, s.scale*qscale, lo, hi, out)
+	return nil
+}
+
+// dotRange fills out with float64(Σ code·qcode) · combined for rows
+// [lo, hi). Accumulation is exact int32 arithmetic (|code·qcode| ≤
+// 127², so any practical dimension fits), which is order independent —
+// the AVX2 kernel's pairwise VPMADDWD sums equal the scalar loop
+// exactly, no accumulation-chain contract needed.
+func (s *StoreI8) dotRange(qc []int16, combined float64, lo, hi int, out []float64) {
+	if s.dim == 16 && useQuantAsm {
+		dotI8Range16(s.codes[lo*16:hi*16], qc, combined, out[:hi-lo])
+		return
+	}
+	d := s.dim
+	qc = qc[:d:d]
+	for r := lo; r < hi; r++ {
+		off := r * d
+		row := s.codes[off : off+d : off+d]
+		var a0, a1, a2, a3 int32
+		j := 0
+		for ; j+4 <= d; j += 4 {
+			a0 += int32(row[j]) * int32(qc[j])
+			a1 += int32(row[j+1]) * int32(qc[j+1])
+			a2 += int32(row[j+2]) * int32(qc[j+2])
+			a3 += int32(row[j+3]) * int32(qc[j+3])
+		}
+		for ; j < d; j++ {
+			a0 += int32(row[j]) * int32(qc[j])
+		}
+		out[r-lo] = float64(a0+a1+a2+a3) * combined
+	}
+}
+
+// MaxScanWorkers mirrors Store.MaxScanWorkers for the int8 view.
+func (s *StoreI8) MaxScanWorkers() int { return s.Len() / minParallelRows }
+
+// CanParallelScan reports whether TopK's workers hint can split this
+// store's scan at all.
+func (s *StoreI8) CanParallelScan() bool { return s.MaxScanWorkers() >= 2 }
+
+// TopK returns up to k hits for q under the canonical ordering over
+// the dequantized approximate scores. Callers needing exact scores
+// re-rank the hits through the f64 store they quantized from.
+func (s *StoreI8) TopK(q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	return s.TopKMasked(q, k, unsigned, workers, nil)
+}
+
+// TopKMasked is TopK restricted to live rows (nil or empty dead takes
+// exactly the TopK path).
+func (s *StoreI8) TopKMasked(q vec.Vector, k int, unsigned bool, workers int, dead *Tombstones) ([]Hit, error) {
+	hits, _, err := s.topKMaskedDone(q, k, unsigned, workers, dead, nil)
+	return hits, err
+}
+
+// TopKCtx is TopK with cancellation.
+func (s *StoreI8) TopKCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	return s.TopKMaskedCtx(ctx, q, k, unsigned, workers, nil)
+}
+
+// TopKMaskedCtx is TopKMasked with cancellation.
+func (s *StoreI8) TopKMaskedCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, dead *Tombstones) ([]Hit, error) {
+	hits, stopped, err := s.topKMaskedDone(q, k, unsigned, workers, dead, doneOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	if stopped {
+		return nil, stopErr(ctx)
+	}
+	return hits, nil
+}
+
+func (s *StoreI8) topKMaskedDone(q vec.Vector, k int, unsigned bool, workers int, dead *Tombstones, done <-chan struct{}) ([]Hit, bool, error) {
+	if err := s.checkMask(dead); err != nil {
+		return nil, false, err
+	}
+	if err := s.checkQuery(q); err != nil {
+		return nil, false, err
+	}
+	qc, qscale := quantizeQueryI8(q)
+	combined := s.scale * qscale
+	score := func(lo, hi int, out []float64) { s.dotRange(qc, combined, lo, hi, out) }
+	return scoredTopKDone(s.Len(), k, workers, unsigned, score, dead, done)
+}

@@ -178,7 +178,7 @@ func TestCrashTornSegmentFallsBack(t *testing.T) {
 	}
 	// Write a segment covering everything but keep the WAL by writing
 	// it directly instead of going through Checkpoint.
-	if _, err := writeSegment(dir, 3, all); err != nil {
+	if _, err := writeSegment(dir, 3, all, PrecisionF64); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {

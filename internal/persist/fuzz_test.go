@@ -89,7 +89,7 @@ func FuzzWALDecode(f *testing.F) {
 // FuzzSegmentDecode: same robustness contract for the segment loader.
 func FuzzSegmentDecode(f *testing.F) {
 	for _, n := range []int{0, 3} {
-		data, err := encodeSegment(uint64(n), testBatch(0, n, 4))
+		data, err := encodeSegment(uint64(n), testBatch(0, n, 4), PrecisionF64)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func FuzzSegmentDecode(f *testing.F) {
 		// with identical records. (Byte-level identity would be too
 		// strict: a crafted input can carry unsorted or duplicate attr
 		// keys that the canonical encoder collapses.)
-		re, err := encodeSegment(seq, recs)
+		re, err := encodeSegment(seq, recs, PrecisionF64)
 		if err != nil {
 			t.Fatalf("re-encode of accepted segment failed: %v", err)
 		}

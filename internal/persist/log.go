@@ -27,6 +27,10 @@ type Log struct {
 	buf      []byte   // frame scratch, reused across appends
 	lastSeq  uint64
 	walBytes int64
+	// prec selects the segment payload encoding (zero value = f64, the
+	// legacy format-1 layout). The owning collection sets it right after
+	// Create/Open, before the first checkpoint can run.
+	prec Precision
 	// segBytes is the newest segment's size. A checkpoint rewrites the
 	// whole collection, so the trigger scales with it (see
 	// ShouldCheckpoint) to keep write amplification bounded instead of
@@ -432,6 +436,16 @@ func (l *Log) FsyncLag() time.Duration {
 	return time.Since(l.dirtySince)
 }
 
+// SetPrecision selects the storage precision for segments this log
+// writes from now on. Decoding is self-describing (the segment header
+// carries the precision), so changing it never invalidates existing
+// segments — but the serving layer keeps it fixed per collection.
+func (l *Log) SetPrecision(p Precision) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.prec = p
+}
+
 // LastSeq returns the sequence number of the last appended batch.
 func (l *Log) LastSeq() uint64 {
 	l.mu.Lock()
@@ -522,6 +536,7 @@ func (l *Log) Checkpoint(snapshot func() ([]store.Record, uint64)) error {
 		return err
 	}
 	active := l.active
+	prec := l.prec
 	l.mu.Unlock()
 
 	// snapshot acquires the owner's ingest lock, so it observes every
@@ -541,7 +556,7 @@ func (l *Log) Checkpoint(snapshot func() ([]store.Record, uint64)) error {
 		return errClosed
 	}
 	l.mu.Unlock()
-	n, err := writeSegment(l.dir, seq, recs)
+	n, err := writeSegment(l.dir, seq, recs, prec)
 	if err != nil {
 		return err
 	}

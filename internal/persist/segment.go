@@ -15,17 +15,34 @@ import (
 // Segment file format (all little-endian):
 //
 //	magic   [8]byte "IPSSEG1\n"
-//	format  uint32  (currently 1)
+//	format  uint32  (1 or 2)
+//	prec    byte    format 2 only: storage precision (0 f64, 1 f32,
+//	                2 int8)
 //	seq     uint64  WAL sequence covered: the segment holds every
 //	                record of batches 1..seq
 //	count   uint64  record count
 //	ids     count × int64
-//	vecs    flat.Store binary block (omitted when count == 0) — the
+//	vecs    vector payload (omitted when count == 0), by precision:
+//	                f64 — one flat.Store binary block (FLATBLK1): the
 //	                columnar dim/count header, raw little-endian float64
-//	                rows and block checksum from flat.AppendBinary
+//	                rows and block checksum from flat.AppendBinary;
+//	                f32 — one flat.Store32 block (FLATBLK2), lossless
+//	                because the f32 ingest path rounds vectors to
+//	                binary32 before they reach the WAL;
+//	                int8 — the FLATBLK1 f64 truth block (re-ranking
+//	                needs the exact rows) followed by the FLATBLK3 code
+//	                block carrying the quantization scale. The decoder
+//	                requantizes the truth rows and insists on
+//	                bit-identical codes and scale, so a restart provably
+//	                reconstructs the same quantized index it lost.
 //	attrs   uint32 nWith, then nWith × (uint64 recIndex, uint32 n,
 //	                n × (key, value) length-prefixed strings)
 //	crc     uint32  CRC-32C of everything after the magic
+//
+// f64 collections keep writing format 1 — byte-identical to every
+// segment written before precisions existed — so existing data
+// directories open unchanged and new f64 directories stay readable by
+// older builds. Only f32/int8 collections emit format 2.
 //
 // Segments are written to a temp file, fsynced, renamed into place and
 // the directory fsynced, so a crash mid-checkpoint leaves at most an
@@ -35,14 +52,59 @@ import (
 
 var segMagic = [8]byte{'I', 'P', 'S', 'S', 'E', 'G', '1', '\n'}
 
-const segFormat = 1
+const (
+	segFormat   = 1
+	segFormatV2 = 2
+)
 
-// encodeSegment builds the full segment file image for (seq, recs).
-// All records must share one dimension (they come from one relation).
-func encodeSegment(seq uint64, recs []store.Record) ([]byte, error) {
+// Precision names a collection's vector storage tier. It rides in the
+// server's index spec (and therefore the manifest) and selects the
+// segment payload encoding above.
+type Precision string
+
+const (
+	PrecisionF64 Precision = "f64"
+	PrecisionF32 Precision = "f32"
+	PrecisionI8  Precision = "int8"
+)
+
+// precCode maps a precision to its format-2 header byte. The zero
+// Precision ("") counts as f64 so callers that never opted in keep the
+// legacy behavior everywhere.
+func precCode(p Precision) (byte, error) {
+	switch p {
+	case "", PrecisionF64:
+		return 0, nil
+	case PrecisionF32:
+		return 1, nil
+	case PrecisionI8:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("persist: unknown precision %q", p)
+}
+
+func precFromCode(b byte) (Precision, error) {
+	switch b {
+	case 0:
+		return PrecisionF64, nil
+	case 1:
+		return PrecisionF32, nil
+	case 2:
+		return PrecisionI8, nil
+	}
+	return "", fmt.Errorf("persist: unknown segment precision code %d", b)
+}
+
+// encodeSegment builds the full segment file image for (seq, recs) at
+// the given storage precision. All records must share one dimension
+// (they come from one relation).
+func encodeSegment(seq uint64, recs []store.Record, prec Precision) ([]byte, error) {
+	code, err := precCode(prec)
+	if err != nil {
+		return nil, err
+	}
 	var fs *flat.Store
 	if len(recs) > 0 {
-		var err error
 		if fs, err = flat.New(len(recs[0].Vec)); err != nil {
 			return nil, fmt.Errorf("persist: segment: %w", err)
 		}
@@ -52,20 +114,33 @@ func encodeSegment(seq uint64, recs []store.Record) ([]byte, error) {
 			}
 		}
 	}
-	size := 8 + 4 + 8 + 8 + len(recs)*8 + 4
+	size := 8 + 4 + 1 + 8 + 8 + len(recs)*8 + 4
 	if fs != nil {
-		size += fs.EncodedSize()
+		size += fs.EncodedSize() * 2
 	}
 	buf := make([]byte, 0, size+64)
 	buf = append(buf, segMagic[:]...)
-	buf = binary.LittleEndian.AppendUint32(buf, segFormat)
+	if code == 0 {
+		buf = binary.LittleEndian.AppendUint32(buf, segFormat)
+	} else {
+		buf = binary.LittleEndian.AppendUint32(buf, segFormatV2)
+		buf = append(buf, code)
+	}
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(recs)))
 	for _, r := range recs {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ID))
 	}
 	if fs != nil {
-		buf = fs.AppendBinary(buf)
+		switch code {
+		case 0:
+			buf = fs.AppendBinary(buf)
+		case 1:
+			buf = flat.NewStore32(fs).AppendBinary(buf)
+		case 2:
+			buf = fs.AppendBinary(buf)
+			buf = flat.NewStoreI8(fs).AppendBinary(buf)
+		}
 	}
 	nWith := 0
 	for _, r := range recs {
@@ -117,12 +192,22 @@ func decodeSegment(data []byte) (seq uint64, recs []store.Record, err error) {
 	}
 	rest := data[8 : len(data)-4]
 	format := binary.LittleEndian.Uint32(rest)
-	if format != segFormat {
+	rest = rest[4:]
+	prec := PrecisionF64
+	if format == segFormatV2 {
+		if len(rest) < 1+8+8 {
+			return 0, nil, fmt.Errorf("persist: v2 segment header truncated")
+		}
+		if prec, err = precFromCode(rest[0]); err != nil {
+			return 0, nil, err
+		}
+		rest = rest[1:]
+	} else if format != segFormat {
 		return 0, nil, fmt.Errorf("persist: unsupported segment format %d", format)
 	}
-	seq = binary.LittleEndian.Uint64(rest[4:])
-	count := binary.LittleEndian.Uint64(rest[12:])
-	rest = rest[20:]
+	seq = binary.LittleEndian.Uint64(rest)
+	count := binary.LittleEndian.Uint64(rest[8:])
+	rest = rest[16:]
 	if uint64(len(rest))/8 < count {
 		return 0, nil, fmt.Errorf("persist: segment claims %d records in %d bytes", count, len(rest))
 	}
@@ -132,9 +217,22 @@ func decodeSegment(data []byte) (seq uint64, recs []store.Record, err error) {
 	}
 	rest = rest[int(count)*8:]
 	if count > 0 {
-		fs, n, err := flat.DecodeStore(rest)
-		if err != nil {
-			return 0, nil, fmt.Errorf("persist: segment vectors: %w", err)
+		var fs *flat.Store
+		var n int
+		switch prec {
+		case PrecisionF32:
+			s32, n32, err := flat.DecodeStore32(rest)
+			if err != nil {
+				return 0, nil, fmt.Errorf("persist: segment f32 vectors: %w", err)
+			}
+			if fs, err = s32.ToStore(); err != nil {
+				return 0, nil, fmt.Errorf("persist: segment f32 vectors: %w", err)
+			}
+			n = n32
+		default:
+			if fs, n, err = flat.DecodeStore(rest); err != nil {
+				return 0, nil, fmt.Errorf("persist: segment vectors: %w", err)
+			}
 		}
 		if uint64(fs.Len()) != count {
 			return 0, nil, fmt.Errorf("persist: segment vector block has %d rows, want %d", fs.Len(), count)
@@ -143,6 +241,20 @@ func decodeSegment(data []byte) (seq uint64, recs []store.Record, err error) {
 			recs[i].Vec = fs.Row(i)
 		}
 		rest = rest[n:]
+		if prec == PrecisionI8 {
+			// The code block is redundant with requantizing the truth
+			// rows — which is exactly why it is worth carrying: decoding
+			// proves the deterministic scale survives a crash/restart
+			// cycle bit for bit.
+			codes, n8, err := flat.DecodeStoreI8(rest)
+			if err != nil {
+				return 0, nil, fmt.Errorf("persist: segment int8 codes: %w", err)
+			}
+			if !codes.Equal(flat.NewStoreI8(fs)) {
+				return 0, nil, fmt.Errorf("persist: segment int8 codes do not requantize from the stored vectors")
+			}
+			rest = rest[n8:]
+		}
 	}
 	if len(rest) < 4 {
 		return 0, nil, fmt.Errorf("persist: segment attrs truncated")
@@ -183,8 +295,8 @@ func decodeSegment(data []byte) (seq uint64, recs []store.Record, err error) {
 
 // writeSegment atomically writes segment-<seq>.seg in dir, returning
 // the segment's byte size.
-func writeSegment(dir string, seq uint64, recs []store.Record) (int64, error) {
-	data, err := encodeSegment(seq, recs)
+func writeSegment(dir string, seq uint64, recs []store.Record, prec Precision) (int64, error) {
+	data, err := encodeSegment(seq, recs, prec)
 	if err != nil {
 		return 0, err
 	}

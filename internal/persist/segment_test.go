@@ -9,7 +9,7 @@ import (
 func TestSegmentRoundTrip(t *testing.T) {
 	for _, n := range []int{0, 1, 100} {
 		recs := testBatch(1000, n, 8)
-		data, err := encodeSegment(77, recs)
+		data, err := encodeSegment(77, recs, PrecisionF64)
 		if err != nil {
 			t.Fatalf("n=%d: encode: %v", n, err)
 		}
@@ -33,7 +33,7 @@ func TestSegmentRoundTrip(t *testing.T) {
 
 func TestSegmentRejectsCorruption(t *testing.T) {
 	recs := testBatch(0, 20, 6)
-	data, err := encodeSegment(5, recs)
+	data, err := encodeSegment(5, recs, PrecisionF64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestSegmentRejectsCorruption(t *testing.T) {
 func TestSegmentWriteReadFile(t *testing.T) {
 	dir := t.TempDir()
 	recs := testBatch(50, 30, 4)
-	if _, err := writeSegment(dir, 9, recs); err != nil {
+	if _, err := writeSegment(dir, 9, recs, PrecisionF64); err != nil {
 		t.Fatal(err)
 	}
 	// The temp file must be gone, the real file present.
@@ -84,7 +84,7 @@ func TestSegmentWriteReadFile(t *testing.T) {
 func TestSegmentRejectsMixedDimensions(t *testing.T) {
 	recs := testBatch(0, 2, 4)
 	recs[1].Vec = recs[1].Vec[:3]
-	if _, err := encodeSegment(1, recs); err == nil {
+	if _, err := encodeSegment(1, recs, PrecisionF64); err == nil {
 		t.Fatal("encode accepted mixed dimensions")
 	}
 }

@@ -93,7 +93,8 @@ func grow[T any](s []T, n int) []T {
 // ctx propagates into every tile's scan; queries whose tile was
 // cancelled (mid-scan or before it started) carry the context error
 // and are never cached.
-func (s *Server) searchBatch(ctx context.Context, c *Collection, name string, queries []vec.Vector, k int, unsigned bool, out []SearchResult) {
+func (s *Server) searchBatch(ctx context.Context, c *Collection, name string, queries []vec.Vector, opts SearchOpts, out []SearchResult) {
+	k, unsigned := opts.K, opts.Unsigned
 	version := c.Version()
 	cacheOn := s.cache.enabled()
 	bs := getBatchState()
@@ -105,7 +106,7 @@ func (s *Server) searchBatch(ctx context.Context, c *Collection, name string, qu
 	for i := range queries {
 		if cacheOn {
 			qstart := time.Now()
-			key := cacheKey(name, c.gen, version, k, unsigned, queries[i])
+			key := cacheKey(name, c.gen, version, k, unsigned, opts.Rerank, queries[i])
 			if hits, ok := s.cache.get(key); ok {
 				out[i] = SearchResult{Hits: hits, Cached: true}
 				c.observeLatency(time.Since(qstart))
@@ -191,7 +192,7 @@ func (s *Server) searchBatch(ctx context.Context, c *Collection, name string, qu
 	// zero SearchResult.
 	tileDone := make([]bool, tiles)
 	feedErr := s.pool.ForEachCtx(ctx, tiles, func(t int) {
-		s.searchTile(ctx, c, name, queries, bs, t, k, unsigned, cacheOn, out)
+		s.searchTile(ctx, c, name, queries, bs, t, opts, cacheOn, out)
 		tileDone[t] = true
 	})
 	if feedErr != nil {
@@ -213,7 +214,8 @@ func (s *Server) searchBatch(ctx context.Context, c *Collection, name string, qu
 // merges the per-shard lists. It allocates only the result hits that
 // escape to the caller (one arena per task, or exact per-query slices
 // when they must outlive the request inside the cache).
-func (s *Server) searchTile(ctx context.Context, c *Collection, name string, queries []vec.Vector, bs *batchState, t, k int, unsigned bool, cacheOn bool, out []SearchResult) {
+func (s *Server) searchTile(ctx context.Context, c *Collection, name string, queries []vec.Vector, bs *batchState, t int, opts SearchOpts, cacheOn bool, out []SearchResult) {
+	k, unsigned := opts.K, opts.Unsigned
 	valid, snaps, qst := bs.miss, bs.snaps, bs.qstore
 	tlo := t * searchTileQ
 	thi := min(tlo+searchTileQ, len(valid))
@@ -258,10 +260,13 @@ func (s *Server) searchTile(ctx context.Context, c *Collection, name string, que
 			}
 			continue
 		}
-		// Candidate-based engines (alsh, sketch) answer per query,
-		// exactly like the old executor (workers=1).
+		// Engines without a one-sweep tile kernel — candidate-based
+		// (alsh, sketch) and the quantized tiers — answer per query,
+		// exactly like the old executor (workers=1). indexTopK routes
+		// re-rank requests identically to the single-query path, so a
+		// batched rerank query is bit-identical to its solo twin.
 		for j := 0; j < tn; j++ {
-			local, err := snap.index.TopK(ctx, vec.Vector(queries[valid[tlo+j]]), k, unsigned, 1)
+			local, err := indexTopK(ctx, snap.index, vec.Vector(queries[valid[tlo+j]]), k, unsigned, 1, opts.Rerank)
 			if err != nil {
 				if ts.qerrs[j] == nil {
 					ts.qerrs[j] = err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,8 +72,11 @@ const (
 
 // attachLog makes later ingests durable through lg. It is called once,
 // before the collection starts serving ingests (at creation, or after
-// boot-time replay so recovered records are not re-appended).
+// boot-time replay so recovered records are not re-appended). The
+// collection's storage precision is stamped onto the log here so every
+// checkpoint segment carries the matching payload encoding.
 func (c *Collection) attachLog(lg *persist.Log) {
+	lg.SetPrecision(persist.Precision(c.spec.precision()))
 	c.ingestMu.Lock()
 	defer c.ingestMu.Unlock()
 	c.log = lg
@@ -106,12 +110,21 @@ func (c *Collection) persistSnapshot() ([]store.Record, uint64) {
 	return rel.Recs, c.log.LastSeq()
 }
 
-func newCollection(name string, spec IndexSpec, nshards int, seed uint64) (*Collection, error) {
+func newCollection(name string, spec IndexSpec, nshards int, seed uint64, overfetch int) (*Collection, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if nshards <= 0 {
 		return nil, fmt.Errorf("server: collection %q: shard count %d must be positive", name, nshards)
+	}
+	// The spec's own overfetch wins (and is part of the persisted spec,
+	// so it survives recovery); otherwise the server-resolved default
+	// passed in applies.
+	if spec.Overfetch > 0 {
+		overfetch = spec.Overfetch
+	}
+	if overfetch <= 0 {
+		overfetch = defaultOverfetch
 	}
 	c := &Collection{
 		name:        name,
@@ -125,7 +138,7 @@ func newCollection(name string, spec IndexSpec, nshards int, seed uint64) (*Coll
 		hist:        newLatencyHist(),
 	}
 	for i := range c.shards {
-		c.shards[i] = newShard(i, seed+uint64(i)*0x9e3779b97f4a7c15+1)
+		c.shards[i] = newShard(i, seed+uint64(i)*0x9e3779b97f4a7c15+1, overfetch)
 	}
 	return c, nil
 }
@@ -185,6 +198,15 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 	// batch's reservations.
 	assigned := make([]store.Record, len(recs))
 	copy(assigned, recs)
+	if c.spec.precision() == PrecisionF32 {
+		// Round to binary32 before anything durable or visible sees the
+		// batch: the WAL, the relation, the shard stores and the segment
+		// snapshots then all hold the identical rounded rows, which is
+		// what makes the f32 segment encoding lossless.
+		if err := roundRecords32(c.name, assigned); err != nil {
+			return 0, err
+		}
+	}
 	reserved := make([]int, 0, len(assigned))
 	rollback := func() {
 		for _, id := range reserved {
@@ -288,6 +310,28 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 // AutoID marks a record whose ID the collection assigns at ingest.
 const AutoID = -1 << 62
 
+// roundRecords32 rewrites every record's vector (into fresh slices —
+// the caller's records may alias request data) with its elements
+// rounded to binary32, the invariant the f32 storage tier maintains
+// end to end. A finite element whose rounding overflows to ±Inf is
+// rejected: it would silently change the score semantics rather than
+// just the precision.
+func roundRecords32(name string, recs []store.Record) error {
+	for i := range recs {
+		v := make([]float64, len(recs[i].Vec))
+		for j, x := range recs[i].Vec {
+			r := float64(float32(x))
+			if math.IsInf(r, 0) && !math.IsInf(x, 0) {
+				return fmt.Errorf("server: collection %q: record %d element %d (%g) overflows float32",
+					name, i, j, x)
+			}
+			v[j] = r
+		}
+		recs[i].Vec = v
+	}
+	return nil
+}
+
 // Upsert inserts or replaces records by ID: a live ID gets its vector
 // and attributes overwritten, an unknown (or deleted) ID is inserted.
 // Every record must carry an explicit ID — AutoID has nothing to
@@ -308,6 +352,16 @@ func (c *Collection) Upsert(recs []store.Record) (uint64, error) {
 	}
 	if err := c.rel.CheckAppend(recs); err != nil {
 		return 0, err
+	}
+	if c.spec.precision() == PrecisionF32 {
+		// Same binary32 rounding as Ingest, on a private copy (the
+		// caller keeps its slices).
+		rounded := make([]store.Record, len(recs))
+		copy(rounded, recs)
+		if err := roundRecords32(c.name, rounded); err != nil {
+			return 0, err
+		}
+		recs = rounded
 	}
 	inBatch := make(map[int]struct{}, len(recs))
 	for _, r := range recs {
@@ -583,6 +637,13 @@ func (c *Collection) observeLatency(d time.Duration) {
 // block, so a cancelled query stops within one block and the first
 // ctx error is returned. A nil ctx means no deadline.
 func (c *Collection) SearchOne(ctx context.Context, pool *Pool, q vec.Vector, k int, unsigned bool) ([]Hit, error) {
+	return c.searchOne(ctx, pool, q, k, unsigned, false)
+}
+
+// searchOne is SearchOne plus the rerank flag: on an f32 collection it
+// routes every shard through the exact re-rank pipeline (int8 shards
+// re-rank unconditionally; exact engines ignore the flag).
+func (c *Collection) searchOne(ctx context.Context, pool *Pool, q vec.Vector, k int, unsigned bool, rerank bool) ([]Hit, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("server: k=%d must be positive", k)
 	}
@@ -627,7 +688,7 @@ func (c *Collection) SearchOne(ctx context.Context, pool *Pool, q vec.Vector, k 
 		workers = 1 + extras
 	}
 	scan := func(i int) {
-		lists[i], errs[i] = c.shards[i].topK(ctx, q, k, unsigned, workers)
+		lists[i], errs[i] = c.shards[i].topK(ctx, q, k, unsigned, workers, rerank)
 	}
 	var feedErr error
 	if pool != nil && len(c.shards) > 1 {
@@ -668,6 +729,30 @@ func doneChan(ctx context.Context) <-chan struct{} {
 	return ctx.Done()
 }
 
+// vectorBytes reports the resident vector payload per storage
+// precision, computed arithmetically from physical shard rows (live +
+// tombstoned): every collection retains the f64 truth rows; quantized
+// tiers additionally hold their compact copy.
+func (c *Collection) vectorBytes() map[string]int64 {
+	rows := 0
+	dim := 0
+	for _, sh := range c.shards {
+		if sn := sh.snap.Load(); sn.fs != nil {
+			rows += sn.fs.Len()
+			dim = sn.fs.Dim()
+		}
+	}
+	elems := int64(rows) * int64(dim)
+	vb := map[string]int64{PrecisionF64: elems * 8}
+	switch c.spec.precision() {
+	case PrecisionF32:
+		vb[PrecisionF32] = elems * 4
+	case PrecisionI8:
+		vb[PrecisionI8] = elems
+	}
+	return vb
+}
+
 // statsSnapshot renders the collection for /stats.
 func (c *Collection) statsSnapshot() CollectionStats {
 	rel, version := c.rel.Snapshot()
@@ -678,6 +763,8 @@ func (c *Collection) statsSnapshot() CollectionStats {
 		Compacting:  c.compacting.Load(),
 		Version:     version,
 		Index:       c.spec.kind(),
+		Precision:   c.spec.precision(),
+		VectorBytes: c.vectorBytes(),
 		Queries:     c.queries.Load(),
 		Latency:     c.lat.summary(),
 		Shards:      make([]ShardStats, len(c.shards)),

@@ -202,6 +202,9 @@ type SearchRequest struct {
 	Queries  [][]float64 `json:"queries,omitempty"`
 	K        int         `json:"k,omitempty"` // default 1
 	Unsigned bool        `json:"unsigned,omitempty"`
+	// Rerank asks a quantized (f32) collection for exact re-ranked
+	// scores; int8 collections always re-rank, f64 ones ignore it.
+	Rerank bool `json:"rerank,omitempty"`
 	// TimeoutMS is the client's deadline for the whole request in
 	// milliseconds; it overrides the server's default timeout (in both
 	// directions). Zero means use the default.
@@ -284,7 +287,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	results, err := s.SearchCtx(ctx, name, qs, k, req.Unsigned)
+	results, err := s.SearchWithOpts(ctx, name, qs, SearchOpts{K: k, Unsigned: req.Unsigned, Rerank: req.Rerank})
 	if err != nil {
 		if _, ok := s.Collection(name); !ok {
 			httpError(w, http.StatusNotFound, err)

@@ -59,6 +59,18 @@ type IndexSpec struct {
 	Kappa  float64 `json:"kappa,omitempty"`
 	Copies int     `json:"copies,omitempty"`
 	Seed   uint64  `json:"seed,omitempty"`
+	// Precision selects the vector storage tier: "f64" (the default;
+	// exact scores), "f32" (half the scan bytes, f32-accurate scores,
+	// opt-in exact re-rank per query), or "int8" (an eighth of the scan
+	// bytes; approximate candidates always re-ranked through the
+	// retained f64 rows, so answers stay exact). f32 supports the exact
+	// and normscan kinds, int8 the exact kind only; alsh and sketch are
+	// f64-only (they already verify candidates against the f64 store).
+	Precision string `json:"precision,omitempty"`
+	// Overfetch widens re-ranked candidate sets: a re-ranked query
+	// fetches k·Overfetch quantized candidates before exact re-scoring
+	// (default 4, via Config.RerankOverfetch).
+	Overfetch int `json:"overfetch,omitempty"`
 }
 
 // Validate checks that the spec names a registered engine and that
@@ -81,6 +93,28 @@ func (s IndexSpec) Validate() error {
 	if s.Kappa < 0 {
 		return fmt.Errorf("server: index %q: negative kappa %v", s.kind(), s.Kappa)
 	}
+	switch s.precision() {
+	case PrecisionF64:
+	case PrecisionF32:
+		if k := s.kind(); k != KindExact && k != KindNormScan {
+			return fmt.Errorf("server: precision %q supports index kinds %s and %s, not %q",
+				PrecisionF32, KindExact, KindNormScan, k)
+		}
+	case PrecisionI8:
+		if k := s.kind(); k != KindExact {
+			return fmt.Errorf("server: precision %q supports index kind %s only, not %q",
+				PrecisionI8, KindExact, k)
+		}
+	default:
+		return fmt.Errorf("server: unknown precision %q (want %s, %s or %s)",
+			s.Precision, PrecisionF64, PrecisionF32, PrecisionI8)
+	}
+	if s.Overfetch < 0 {
+		return fmt.Errorf("server: negative rerank overfetch %d", s.Overfetch)
+	}
+	if s.Overfetch > maxOverfetch {
+		return fmt.Errorf("server: rerank overfetch %d exceeds the cap %d", s.Overfetch, maxOverfetch)
+	}
 	return nil
 }
 
@@ -98,6 +132,31 @@ const (
 	KindNormScan = "normscan"
 	KindALSH     = "alsh"
 	KindSketch   = "sketch"
+)
+
+// The registered storage precisions (IndexSpec.Precision).
+const (
+	PrecisionF64 = "f64"
+	PrecisionF32 = "f32"
+	PrecisionI8  = "int8"
+)
+
+// precision returns the effective storage precision (defaulting to
+// f64, the tier every collection used before precisions existed).
+func (s IndexSpec) precision() string {
+	if s.Precision == "" {
+		return PrecisionF64
+	}
+	return s.Precision
+}
+
+// Overfetch bounds: re-ranking k·overfetch candidates costs
+// O(k·overfetch·d) exact flops per query, so the cap keeps a
+// misconfigured spec from turning every query into a near-full exact
+// scan through the scalar (non-blocked) re-rank path.
+const (
+	defaultOverfetch = 4
+	maxOverfetch     = 1024
 )
 
 // defaultBanding resolves zero LSH banding parameters to the repo-wide
@@ -129,14 +188,26 @@ func defaultSketch(kappa float64, copies int) (float64, int) {
 // independently. Candidate-based engines (alsh, sketch) index row views
 // of the store — slice headers into the contiguous backing array, no
 // float copies — and verify candidates through the store's kernel.
-func buildShardIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64) (ShardIndex, error) {
+// Quantized precisions (f32, int8) build their compact view from fs at
+// index-build time and retain fs itself as the exact re-rank truth;
+// overfetch scales their re-ranked candidate sets.
+func buildShardIndex(spec IndexSpec, fs *flat.Store, shardSeed uint64, overfetch int) (ShardIndex, error) {
 	if fs == nil || fs.Len() == 0 {
 		return emptyIndex{}, nil
 	}
 	switch spec.kind() {
 	case KindExact:
+		switch spec.precision() {
+		case PrecisionF32:
+			return exact32Index{fs: fs, s32: flat.NewStore32(fs), overfetch: overfetch}, nil
+		case PrecisionI8:
+			return exactI8Index{fs: fs, i8: flat.NewStoreI8(fs), overfetch: overfetch}, nil
+		}
 		return exactIndex{fs: fs}, nil
 	case KindNormScan:
+		if spec.precision() == PrecisionF32 {
+			return normScan32Index{fs: fs, ns: flat.NewNormSorted32(flat.NewStore32(fs)), overfetch: overfetch}, nil
+		}
 		return normScanIndex{ns: flat.NewNormSorted(fs)}, nil
 	case KindALSH:
 		return newALSHIndex(spec, fs, shardSeed)
@@ -236,6 +307,150 @@ func (ix exactIndex) withDead(dead *flat.Tombstones) ShardIndex {
 // multi-query driver.
 func (ix exactIndex) topKMulti(ctx context.Context, qs *flat.Store, qlo, qhi int, unsigned bool, accs []flat.Acc, sc *flat.TileScratch) error {
 	return ix.fs.TopKMultiMaskedIntoCtx(ctx, qs, qlo, qhi, unsigned, accs, sc, ix.dead)
+}
+
+// rerankIndex is implemented by engines that can widen their candidate
+// set and re-score it through retained exact (f64) rows: TopKRerank
+// answers like TopK but with scores bit-identical to the f64 exact
+// scan's — same hits, same canonical order — as long as the quantized
+// candidate set covered the true top k (guaranteed-approximate, exact
+// once overfetch covers the quantization error). int8 engines re-rank
+// unconditionally (their raw scores are too coarse to serve); for f32
+// engines re-ranking is the per-query opt-in behind SearchOpts.Rerank.
+type rerankIndex interface {
+	TopKRerank(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error)
+}
+
+// overfetchK widens k by the overfetch factor, saturating instead of
+// overflowing on absurd k.
+func overfetchK(k, overfetch int) int {
+	if overfetch <= 1 {
+		return k
+	}
+	if k > int(^uint(0)>>1)/overfetch {
+		return k
+	}
+	return k * overfetch
+}
+
+// rerankHits re-scores quantized candidates (local row indices) through
+// the exact f64 store and returns the top k under the canonical
+// ordering. Scores come from the same DotRange kernel as the exact
+// scan, so a candidate set that covers the true top k yields answers
+// bit-identical to exactIndex. The candidate set is at most
+// k·overfetch rows, so the loop needs no ctx polling beyond the entry
+// check its callers already performed.
+func rerankHits(fs *flat.Store, q vec.Vector, cands []Hit, k int, unsigned bool) ([]Hit, error) {
+	acc := flat.NewAcc(k)
+	var out [1]float64
+	for _, h := range cands {
+		if err := fs.DotRange(q, h.ID, h.ID+1, out[:]); err != nil {
+			return nil, err
+		}
+		v := out[0]
+		if unsigned && v < 0 {
+			v = -v
+		}
+		acc.Offer(h.ID, v)
+	}
+	return flatHits(acc.Hits()), nil
+}
+
+// exact32Index is the f32 full scan: half the bytes per row of
+// exactIndex, f32-accurate scores, with the exact f64 rows retained for
+// the opt-in re-rank path.
+type exact32Index struct {
+	fs        *flat.Store
+	s32       *flat.Store32
+	dead      *flat.Tombstones
+	overfetch int
+}
+
+func (ix exact32Index) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	hs, err := ix.s32.TopKMaskedCtx(ctx, q, k, unsigned, workers, ix.dead)
+	if err != nil {
+		return nil, err
+	}
+	return flatHits(hs), nil
+}
+
+func (ix exact32Index) TopKRerank(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	cands, err := ix.TopK(ctx, q, overfetchK(k, ix.overfetch), unsigned, workers)
+	if err != nil {
+		return nil, err
+	}
+	return rerankHits(ix.fs, q, cands, k, unsigned)
+}
+
+func (ix exact32Index) maxScanWorkers() int { return ix.s32.MaxScanWorkers() }
+
+func (ix exact32Index) withDead(dead *flat.Tombstones) ShardIndex {
+	return exact32Index{fs: ix.fs, s32: ix.s32, dead: dead, overfetch: ix.overfetch}
+}
+
+// normScan32Index is the f32 norm-pruned scan: descending-norm f32 rows
+// with the epsilon-inflated Cauchy–Schwarz early exit (see
+// flat.NormSorted32), plus the retained f64 rows for re-ranking.
+// Returned hits already carry original row indices (the view maps them
+// back through its permutation).
+type normScan32Index struct {
+	fs *flat.Store
+	ns *flat.NormSorted32
+	// dead lives in the view's physical row order, like normScanIndex.
+	dead      *flat.Tombstones
+	overfetch int
+}
+
+func (ix normScan32Index) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, _ int) ([]Hit, error) {
+	hs, _, err := ix.ns.TopKMaskedCtx(ctx, q, k, unsigned, ix.dead)
+	if err != nil {
+		return nil, err
+	}
+	return flatHits(hs), nil
+}
+
+func (ix normScan32Index) TopKRerank(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	cands, err := ix.TopK(ctx, q, overfetchK(k, ix.overfetch), unsigned, workers)
+	if err != nil {
+		return nil, err
+	}
+	return rerankHits(ix.fs, q, cands, k, unsigned)
+}
+
+func (ix normScan32Index) withDead(dead *flat.Tombstones) ShardIndex {
+	return normScan32Index{fs: ix.fs, ns: ix.ns, dead: dead.Gather(ix.ns.Perm()), overfetch: ix.overfetch}
+}
+
+// exactI8Index is the int8 tier: an eighth of the scan bytes, scores
+// from exact int32 accumulation over symmetric codes. Raw int8 scores
+// are candidates only — TopK itself fetches k·overfetch candidates and
+// re-ranks them through the retained f64 rows, so this engine never
+// serves an approximate score (the same candidate-then-verify guarantee
+// alsh and sketch carry).
+type exactI8Index struct {
+	fs        *flat.Store
+	i8        *flat.StoreI8
+	dead      *flat.Tombstones
+	overfetch int
+}
+
+func (ix exactI8Index) TopK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	hs, err := ix.i8.TopKMaskedCtx(ctx, q, overfetchK(k, ix.overfetch), unsigned, workers, ix.dead)
+	if err != nil {
+		return nil, err
+	}
+	return rerankHits(ix.fs, q, flatHits(hs), k, unsigned)
+}
+
+// TopKRerank is TopK: the int8 tier always re-ranks.
+func (ix exactI8Index) TopKRerank(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+	return ix.TopK(ctx, q, k, unsigned, workers)
+}
+
+func (ix exactI8Index) maxScanWorkers() int { return ix.i8.MaxScanWorkers() }
+
+func (ix exactI8Index) withDead(dead *flat.Tombstones) ShardIndex {
+	return exactI8Index{fs: ix.fs, i8: ix.i8, dead: dead, overfetch: ix.overfetch}
 }
 
 // normScanIndex is the exact top-k variant of mips.NormPruned over the

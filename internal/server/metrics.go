@@ -231,6 +231,24 @@ func writeMetrics(w io.Writer, s *Server, hm *httpMetrics) {
 	emit("ipsd_wal_fsync_lag_seconds", "gauge", "Age of the oldest acknowledged-but-unsynced WAL append.",
 		func(c *Collection) string { return fmt.Sprintf("%g", c.walFsyncLag().Seconds()) })
 
+	// Vector residency is multi-series per collection (one series per
+	// storage precision), so it cannot ride the single-series emit
+	// helper above.
+	fmt.Fprintf(w, "# HELP ipsd_collection_vector_bytes Resident vector payload bytes by storage precision.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_collection_vector_bytes gauge\n")
+	for _, n := range names {
+		vb := cols[n].vectorBytes()
+		precs := make([]string, 0, len(vb))
+		for p := range vb {
+			precs = append(precs, p)
+		}
+		sort.Strings(precs)
+		for _, p := range precs {
+			fmt.Fprintf(w, "ipsd_collection_vector_bytes{collection=%q,precision=%q} %d\n",
+				promLabel(n), p, vb[p])
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP ipsd_query_duration_seconds Served query latency per collection.\n")
 	fmt.Fprintf(w, "# TYPE ipsd_query_duration_seconds histogram\n")
 	for _, n := range names {

@@ -1,0 +1,479 @@
+package server
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// The precision-tier grid: every quantized tier must track the f64
+// exact scan on the planted latent-factor workload, and the re-rank
+// pipeline must reproduce f64 answers bit for bit. f32 comparisons run
+// against an f64 reference fed the *pre-rounded* vectors (the f32
+// ingest path rounds to binary32, so that is the ground truth an f32
+// collection can possibly agree with); int8 comparisons run against
+// the raw vectors (the int8 tier retains them exactly).
+
+// round32 rounds one vector to binary32 per element.
+func round32(v vec.Vector) vec.Vector {
+	out := make(vec.Vector, len(v))
+	for i, x := range v {
+		out[i] = float64(float32(x))
+	}
+	return out
+}
+
+func round32All(vs []vec.Vector) []vec.Vector {
+	out := make([]vec.Vector, len(vs))
+	for i, v := range vs {
+		out[i] = round32(v)
+	}
+	return out
+}
+
+// tierServer builds a single-purpose server over items with the given
+// spec (cache off, 2 shards, so the merge path is exercised).
+func tierServer(t *testing.T, spec IndexSpec, items []vec.Vector) *Server {
+	t.Helper()
+	s := New(Config{DefaultShards: 2, CacheCapacity: -1})
+	t.Cleanup(func() { s.Close() })
+	if _, _, err := s.Ingest("items", &spec, 2, records(items, 0)); err != nil {
+		t.Fatalf("ingest %q/%q: %v", spec.kind(), spec.precision(), err)
+	}
+	return s
+}
+
+// searchOpts answers every query one at a time under opts.
+func searchOpts(t *testing.T, s *Server, queries []vec.Vector, opts SearchOpts) [][]Hit {
+	t.Helper()
+	out := make([][]Hit, len(queries))
+	for i, q := range queries {
+		res, err := s.SearchWithOpts(context.Background(), "items", []vec.Vector{q}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Err != nil {
+			t.Fatal(res[0].Err)
+		}
+		out[i] = res[0].Hits
+	}
+	return out
+}
+
+// setRecall returns the fraction of reference hits present in got,
+// aggregated over all queries.
+func setRecall(got, want [][]Hit) float64 {
+	hit, total := 0, 0
+	for i := range want {
+		ids := make(map[int]bool, len(got[i]))
+		for _, h := range got[i] {
+			ids[h.ID] = true
+		}
+		for _, h := range want[i] {
+			total++
+			if ids[h.ID] {
+				hit++
+			}
+		}
+	}
+	return float64(hit) / float64(total)
+}
+
+// sameHitsBitExact requires identical IDs, order, and score bits.
+func sameHitsBitExact(got, want [][]Hit) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range want[i] {
+			if got[i][j].ID != want[i][j].ID ||
+				math.Float64bits(got[i][j].Score) != math.Float64bits(want[i][j].Score) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPrecisionTierEquivalence is the tier grid on the latent-factor
+// workload: raw f32 set recall ≥ 0.999; f32+rerank bit-identical to
+// the f64 scan over the rounded vectors (both kinds, both variants);
+// int8 (always re-ranked) recall@10 ≥ 0.99 with every shared hit's
+// score bit-identical to f64's.
+func TestPrecisionTierEquivalence(t *testing.T) {
+	items, queries := recallWorkload(424242)
+	rounded := round32All(items)
+	const k = 10
+
+	refRaw := tierServer(t, IndexSpec{Kind: KindExact}, items)
+	refRound := tierServer(t, IndexSpec{Kind: KindExact}, rounded)
+	f32exact := tierServer(t, IndexSpec{Kind: KindExact, Precision: PrecisionF32}, items)
+	f32norm := tierServer(t, IndexSpec{Kind: KindNormScan, Precision: PrecisionF32}, items)
+	i8 := tierServer(t, IndexSpec{Kind: KindExact, Precision: PrecisionI8}, items)
+
+	for _, unsigned := range []bool{false, true} {
+		raw := SearchOpts{K: k, Unsigned: unsigned}
+		rr := SearchOpts{K: k, Unsigned: unsigned, Rerank: true}
+		wantRaw := searchOpts(t, refRaw, queries, raw)
+		wantRound := searchOpts(t, refRound, queries, raw)
+
+		// Raw f32 scores: approximate, but the hit sets must be nearly
+		// identical to the rounded-f64 reference.
+		for name, s := range map[string]*Server{"exact": f32exact, "normscan": f32norm} {
+			got := searchOpts(t, s, queries, raw)
+			if r := setRecall(got, wantRound); r < 0.999 {
+				t.Errorf("unsigned=%v f32/%s raw set recall %.4f < 0.999", unsigned, name, r)
+			}
+			// Re-ranked: bit-identical to the f64 scan of the rounded rows.
+			if got := searchOpts(t, s, queries, rr); !sameHitsBitExact(got, wantRound) {
+				t.Errorf("unsigned=%v f32/%s rerank results differ from f64 over rounded vectors", unsigned, name)
+			}
+		}
+
+		// int8 always re-ranks; recall floor plus bit-exact scores on
+		// every hit shared with the f64 list.
+		got := searchOpts(t, i8, queries, raw)
+		if r := setRecall(got, wantRaw); r < 0.99 {
+			t.Errorf("unsigned=%v int8 recall@%d %.4f < 0.99", unsigned, k, r)
+		}
+		for i := range wantRaw {
+			scores := make(map[int]uint64, len(wantRaw[i]))
+			for _, h := range wantRaw[i] {
+				scores[h.ID] = math.Float64bits(h.Score)
+			}
+			for _, h := range got[i] {
+				if bits, ok := scores[h.ID]; ok && bits != math.Float64bits(h.Score) {
+					t.Fatalf("unsigned=%v query %d: int8 re-ranked score for %d not bit-identical to f64",
+						unsigned, i, h.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestPrecisionTierBatchMatchesSingle: the batch executor's per-query
+// fallback must answer quantized (and re-ranked) queries bit-identically
+// to the single-query path.
+func TestPrecisionTierBatchMatchesSingle(t *testing.T) {
+	items, queries := recallWorkload(777)
+	queries = queries[:64]
+	const k = 5
+	for _, spec := range []IndexSpec{
+		{Kind: KindExact, Precision: PrecisionF32},
+		{Kind: KindNormScan, Precision: PrecisionF32},
+		{Kind: KindExact, Precision: PrecisionI8},
+	} {
+		s := tierServer(t, spec, items)
+		for _, rerank := range []bool{false, true} {
+			opts := SearchOpts{K: k, Unsigned: true, Rerank: rerank}
+			want := searchOpts(t, s, queries, opts)
+			res, err := s.SearchWithOpts(context.Background(), "items", queries, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([][]Hit, len(res))
+			for i, r := range res {
+				if r.Err != nil {
+					t.Fatal(r.Err)
+				}
+				got[i] = r.Hits
+			}
+			if !sameHitsBitExact(got, want) {
+				t.Fatalf("%s/%s rerank=%v: batch results differ from single-query path",
+					spec.kind(), spec.precision(), rerank)
+			}
+		}
+	}
+}
+
+// TestPrecisionTierMutations runs deletes and upserts through the
+// quantized tiers: tombstoned IDs must vanish from every tier's
+// answers, and f32+rerank must stay bit-identical to an f64 reference
+// collection fed the identical (pre-rounded) mutations.
+func TestPrecisionTierMutations(t *testing.T) {
+	items, queries := recallWorkload(1357)
+	rounded := round32All(items)
+	queries = queries[:48]
+	const k = 10
+
+	ref := tierServer(t, IndexSpec{Kind: KindExact}, rounded)
+	tiers := map[string]*Server{
+		"f32/exact":    tierServer(t, IndexSpec{Kind: KindExact, Precision: PrecisionF32}, items),
+		"f32/normscan": tierServer(t, IndexSpec{Kind: KindNormScan, Precision: PrecisionF32}, items),
+		"int8/exact":   tierServer(t, IndexSpec{Kind: KindExact, Precision: PrecisionI8}, items),
+	}
+
+	// Delete every 7th record, then upsert every 11th with a fresh
+	// vector (rounded copies go to the reference so the ground truth
+	// matches what the f32 tier stores).
+	var del []int
+	for id := 0; id < len(items); id += 7 {
+		del = append(del, id)
+	}
+	var ups []store.Record
+	for id := 5; id < len(items); id += 11 {
+		nv := vec.Scaled(items[id%len(items)], -0.5)
+		ups = append(ups, store.Record{ID: id, Vec: nv})
+	}
+	apply := func(s *Server, recs []store.Record) {
+		if _, _, _, err := s.Delete("items", del); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Upsert("items", nil, 0, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refUps := make([]store.Record, len(ups))
+	for i, r := range ups {
+		refUps[i] = store.Record{ID: r.ID, Vec: round32(r.Vec)}
+	}
+	apply(ref, refUps)
+	for _, s := range tiers {
+		apply(s, ups)
+	}
+
+	deleted := make(map[int]bool, len(del))
+	for _, id := range del {
+		deleted[id] = true
+	}
+	for _, r := range ups {
+		delete(deleted, r.ID)
+	}
+	want := searchOpts(t, ref, queries, SearchOpts{K: k, Unsigned: true, Rerank: true})
+	for name, s := range tiers {
+		got := searchOpts(t, s, queries, SearchOpts{K: k, Unsigned: true, Rerank: true})
+		for i := range got {
+			for _, h := range got[i] {
+				if deleted[h.ID] {
+					t.Fatalf("%s: tombstoned ID %d served after delete", name, h.ID)
+				}
+			}
+		}
+		if strings.HasPrefix(name, "f32") {
+			if !sameHitsBitExact(got, want) {
+				t.Errorf("%s: post-mutation rerank results differ from f64 reference", name)
+			}
+		} else if r := setRecall(got, want); r < 0.99 {
+			t.Errorf("%s: post-mutation recall %.4f < 0.99", name, r)
+		}
+	}
+}
+
+// TestPrecisionTierContextCancel: a pre-cancelled context must surface
+// context.Canceled through every tier's scan path.
+func TestPrecisionTierContextCancel(t *testing.T) {
+	items, queries := recallWorkload(97)
+	for _, spec := range []IndexSpec{
+		{Kind: KindExact, Precision: PrecisionF32},
+		{Kind: KindNormScan, Precision: PrecisionF32},
+		{Kind: KindExact, Precision: PrecisionI8},
+	} {
+		s := tierServer(t, spec, items)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := s.SearchWithOpts(ctx, "items", queries[:1], SearchOpts{K: 3, Rerank: true})
+		if err == nil && (len(res) == 0 || res[0].Err == nil) {
+			t.Fatalf("%s/%s: cancelled context did not stop the search", spec.kind(), spec.precision())
+		}
+	}
+}
+
+// TestPrecisionSpecValidation pins the spec surface: precisions bind to
+// their supported kinds, junk precisions and out-of-range overfetch are
+// rejected, and a precision mismatch on an existing collection fails
+// EnsureCollection like any other spec mismatch.
+func TestPrecisionSpecValidation(t *testing.T) {
+	bad := []IndexSpec{
+		{Kind: KindALSH, Precision: PrecisionF32},
+		{Kind: KindSketch, Precision: PrecisionF32},
+		{Kind: KindNormScan, Precision: PrecisionI8},
+		{Kind: KindALSH, Precision: PrecisionI8},
+		{Precision: "f16"},
+		{Overfetch: -1},
+		{Overfetch: maxOverfetch + 1},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %+v validated", spec)
+		}
+	}
+	good := []IndexSpec{
+		{},
+		{Precision: PrecisionF64, Overfetch: 16},
+		{Kind: KindExact, Precision: PrecisionF32},
+		{Kind: KindNormScan, Precision: PrecisionF32},
+		{Kind: KindExact, Precision: PrecisionI8, Overfetch: maxOverfetch},
+		{Kind: KindALSH}, // f64 default stays valid for every kind
+	}
+	for _, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("spec %+v rejected: %v", spec, err)
+		}
+	}
+
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.EnsureCollection("c", &IndexSpec{Kind: KindExact, Precision: PrecisionF32}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnsureCollection("c", &IndexSpec{Kind: KindExact, Precision: PrecisionI8}, 0); err == nil {
+		t.Fatal("precision mismatch accepted on existing collection")
+	}
+}
+
+// TestF32IngestRounding: an f32 collection's visible records are the
+// binary32 roundings of what was ingested (WAL, relation and shards all
+// share them), and a finite element that overflows float32 is rejected.
+func TestF32IngestRounding(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	v := vec.Vector{0.1, 1e-42, 3.3333333333333}
+	if _, _, err := s.Ingest("c", &IndexSpec{Precision: PrecisionF32}, 1, []store.Record{{ID: 1, Vec: v}}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Collection("c")
+	rel, _ := c.Relation()
+	for j, x := range rel.Recs[0].Vec {
+		if math.Float64bits(x) != math.Float64bits(float64(float32(v[j]))) {
+			t.Fatalf("element %d stored as %v, want binary32 rounding of %v", j, x, v[j])
+		}
+	}
+	// The caller's slice must not have been rewritten in place.
+	if v[2] != 3.3333333333333 {
+		t.Fatal("ingest mutated the caller's vector")
+	}
+	if _, _, err := s.Ingest("c", nil, 0, []store.Record{{ID: 2, Vec: vec.Vector{1e300, 0, 0}}}); err == nil {
+		t.Fatal("float32 overflow accepted into an f32 collection")
+	}
+	if _, _, err := s.Upsert("c", nil, 0, []store.Record{{ID: 1, Vec: vec.Vector{0, 1e-320, 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ = c.Relation()
+	for _, r := range rel.Recs {
+		if r.ID == 1 && r.Vec[1] != 0 {
+			t.Fatalf("upsert stored %v, want the binary32 rounding 0", r.Vec[1])
+		}
+	}
+}
+
+// TestPrecisionStatsAndMetrics: /stats carries the precision and the
+// per-tier resident vector bytes, and /metrics exposes the same as a
+// labeled gauge.
+func TestPrecisionStatsAndMetrics(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	const n, d = 40, 8
+	recs := randRecords(n, d, 11)
+	if _, _, err := s.Ingest("qi8", &IndexSpec{Precision: PrecisionI8}, 2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Ingest("qf32", &IndexSpec{Precision: PrecisionF32}, 2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Ingest("plain", nil, 2, recs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	elems := int64(n * d)
+	check := func(name, prec string, want map[string]int64) {
+		cs, ok := st.Collections[name]
+		if !ok {
+			t.Fatalf("no stats for %q", name)
+		}
+		if cs.Precision != prec {
+			t.Errorf("%s precision %q, want %q", name, cs.Precision, prec)
+		}
+		if !reflect.DeepEqual(cs.VectorBytes, want) {
+			t.Errorf("%s vector bytes %v, want %v", name, cs.VectorBytes, want)
+		}
+	}
+	check("plain", PrecisionF64, map[string]int64{PrecisionF64: elems * 8})
+	check("qf32", PrecisionF32, map[string]int64{PrecisionF64: elems * 8, PrecisionF32: elems * 4})
+	check("qi8", PrecisionI8, map[string]int64{PrecisionF64: elems * 8, PrecisionI8: elems})
+
+	var sb strings.Builder
+	writeMetrics(&sb, s, nil)
+	page := sb.String()
+	for _, want := range []string{
+		`ipsd_collection_vector_bytes{collection="qi8",precision="int8"} ` + itoa(elems),
+		`ipsd_collection_vector_bytes{collection="qf32",precision="f32"} ` + itoa(elems*4),
+		`ipsd_collection_vector_bytes{collection="plain",precision="f64"} ` + itoa(elems*8),
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	return strconv.FormatInt(v, 10)
+}
+
+// TestInt8CrashRecoveryIdenticalAnswers is the int8 durability
+// contract: after a simulated kill -9 (directory copied out from under
+// a live fsync=always server, checkpointing after every batch so both
+// the segment and WAL-replay paths run), the recovered collection must
+// serve post-rerank answers bit-identical to the original's — which
+// requires the quantization scale to reconstruct exactly.
+func TestInt8CrashRecoveryIdenticalAnswers(t *testing.T) {
+	dir := t.TempDir()
+	const n, d, q, k = 2000, 8, 25, 5
+	recs := randRecords(n, d, 21)
+	queries := randQueries(q, d, 22)
+
+	cfg := durableConfig(dir)
+	cfg.CheckpointBytes = 1 // checkpoint after every batch: segments carry the codes
+	s1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &IndexSpec{Kind: KindExact, Precision: PrecisionI8}
+	for lo := 0; lo < n; lo += 500 {
+		hi := min(lo+500, n)
+		if _, _, err := s1.Ingest("col", spec, 2, recs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make([][]Hit, len(queries))
+	for i, qv := range queries {
+		res, err := s1.SearchWithOpts(context.Background(), "col", []vec.Vector{qv}, SearchOpts{K: k, Unsigned: true})
+		if err != nil || res[0].Err != nil {
+			t.Fatal(err, res[0].Err)
+		}
+		want[i] = res[0].Hits
+	}
+
+	crashed := t.TempDir()
+	copyTree(t, dir, crashed)
+	cfg2 := durableConfig(crashed)
+	s2, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c, _ := s2.Collection("col")
+	if c.Spec().Precision != PrecisionI8 {
+		t.Fatalf("recovered precision %q", c.Spec().Precision)
+	}
+	got := make([][]Hit, len(queries))
+	for i, qv := range queries {
+		res, err := s2.SearchWithOpts(context.Background(), "col", []vec.Vector{qv}, SearchOpts{K: k, Unsigned: true})
+		if err != nil || res[0].Err != nil {
+			t.Fatal(err, res[0].Err)
+		}
+		got[i] = res[0].Hits
+	}
+	if !sameHitsBitExact(got, want) {
+		t.Fatal("int8 answers differ after crash recovery")
+	}
+	s1.Close()
+}

@@ -71,6 +71,13 @@ type Config struct {
 	// MaxBodyBytes caps HTTP request bodies on mutating endpoints
 	// (default 32 MiB; negative disables the limit).
 	MaxBodyBytes int64
+
+	// RerankOverfetch is the default candidate-widening factor for
+	// re-ranked queries on quantized (f32/int8) collections: a re-ranked
+	// query fetches k·overfetch quantized candidates and re-scores them
+	// through the exact f64 rows (default 4). A collection spec's own
+	// Overfetch overrides it.
+	RerankOverfetch int
 }
 
 func (c *Config) defaults() {
@@ -245,7 +252,7 @@ func (s *Server) adoptRecovered(lg *persist.Log, rec *persist.Recovered) error {
 	// The manifest pins the seed the collection was created with, so
 	// alsh/sketch shard indexes hash identically across restarts even
 	// though recovery enumerates the data dir in name order.
-	c, err := newCollection(name, spec, rec.Manifest.Shards, rec.Manifest.Seed)
+	c, err := newCollection(name, spec, rec.Manifest.Shards, rec.Manifest.Seed, s.cfg.RerankOverfetch)
 	if err != nil {
 		s.mu.Unlock()
 		return err
@@ -453,7 +460,7 @@ func shardsOrDefault(shards, def int) int {
 // its data directory. On any failure nothing is left running: the
 // shard-owner goroutines newCollection spawned are stopped.
 func (s *Server) buildCollection(name string, spec IndexSpec, shards int, seed uint64) (*Collection, error) {
-	c, err := newCollection(name, spec, shards, seed)
+	c, err := newCollection(name, spec, shards, seed, s.cfg.RerankOverfetch)
 	if err != nil {
 		return nil, err
 	}
@@ -560,6 +567,28 @@ func (s *Server) Search(name string, queries []vec.Vector, k int, unsigned bool)
 // their SearchResult.Err; a pre-admission failure is returned as the
 // call error instead.
 func (s *Server) SearchCtx(ctx context.Context, name string, queries []vec.Vector, k int, unsigned bool) ([]SearchResult, error) {
+	return s.SearchWithOpts(ctx, name, queries, SearchOpts{K: k, Unsigned: unsigned})
+}
+
+// SearchOpts carries one search request's parameters beyond the query
+// vectors themselves.
+type SearchOpts struct {
+	// K is the number of hits per query (must be positive).
+	K int
+	// Unsigned ranks by |pᵀq| instead of pᵀq.
+	Unsigned bool
+	// Rerank asks f32 collections for exact scores: each shard widens
+	// its quantized candidate set by the collection's overfetch factor
+	// and re-scores it through the retained f64 rows, making the answer
+	// bit-identical to an f64 exact scan whenever the candidate set
+	// covers the true top k. int8 collections re-rank unconditionally;
+	// on exact (f64) engines the flag is a no-op.
+	Rerank bool
+}
+
+// SearchWithOpts is SearchCtx with the full option set (notably the
+// exact re-rank flag for quantized collections).
+func (s *Server) SearchWithOpts(ctx context.Context, name string, queries []vec.Vector, opts SearchOpts) ([]SearchResult, error) {
 	c, ok := s.Collection(name)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown collection %q", name)
@@ -573,9 +602,9 @@ func (s *Server) SearchCtx(ctx context.Context, name string, queries []vec.Vecto
 	defer c.adm.exit()
 	out := make([]SearchResult, len(queries))
 	if len(queries) == 1 {
-		s.searchSingle(ctx, c, name, queries[0], k, unsigned, &out[0])
+		s.searchSingle(ctx, c, name, queries[0], opts, &out[0])
 	} else {
-		s.searchBatch(ctx, c, name, queries, k, unsigned, out)
+		s.searchBatch(ctx, c, name, queries, opts, out)
 	}
 	return out, nil
 }
@@ -590,11 +619,12 @@ func (c *Collection) countTimeout(err error) {
 
 // searchSingle is the one-query path: shard fan-out on the pool, LRU
 // in front (key construction skipped entirely when caching is off).
-func (s *Server) searchSingle(ctx context.Context, c *Collection, name string, q vec.Vector, k int, unsigned bool, res *SearchResult) {
+func (s *Server) searchSingle(ctx context.Context, c *Collection, name string, q vec.Vector, opts SearchOpts, res *SearchResult) {
+	k, unsigned := opts.K, opts.Unsigned
 	qstart := time.Now()
 	var key string
 	if cacheOn := s.cache.enabled(); cacheOn {
-		key = cacheKey(name, c.gen, c.Version(), k, unsigned, q)
+		key = cacheKey(name, c.gen, c.Version(), k, unsigned, opts.Rerank, q)
 		if hits, ok := s.cache.get(key); ok {
 			*res = SearchResult{Hits: hits, Cached: true}
 			c.observeLatency(time.Since(qstart))
@@ -603,7 +633,7 @@ func (s *Server) searchSingle(ctx context.Context, c *Collection, name string, q
 	} else {
 		key = ""
 	}
-	hits, err := c.SearchOne(ctx, s.pool, q, k, unsigned)
+	hits, err := c.searchOne(ctx, s.pool, q, k, unsigned, opts.Rerank)
 	if err != nil {
 		// A cancelled scan returns partial garbage-free state but no
 		// hits; nothing is cached, so the next identical query runs

@@ -18,12 +18,15 @@ import (
 // readers see a consistent (ids, vectors, index) triple through a
 // single atomic snapshot pointer and never block on writers.
 type shard struct {
-	id      int
-	seed    uint64
-	snap    atomic.Pointer[shardSnap]
-	ops     chan func()
-	done    chan struct{}
-	queries atomic.Int64
+	id   int
+	seed uint64
+	// overfetch is the resolved candidate-widening factor for re-ranked
+	// queries on quantized indexes; fixed at collection construction.
+	overfetch int
+	snap      atomic.Pointer[shardSnap]
+	ops       chan func()
+	done      chan struct{}
+	queries   atomic.Int64
 }
 
 // shardSnap is an immutable shard state: the id slice, the columnar
@@ -113,12 +116,13 @@ func (sn *shardSnap) liveView() *shardSnap {
 	return sn.live
 }
 
-func newShard(id int, seed uint64) *shard {
+func newShard(id int, seed uint64, overfetch int) *shard {
 	s := &shard{
-		id:   id,
-		seed: seed,
-		ops:  make(chan func()),
-		done: make(chan struct{}),
+		id:        id,
+		seed:      seed,
+		overfetch: overfetch,
+		ops:       make(chan func()),
+		done:      make(chan struct{}),
 	}
 	s.snap.Store(&shardSnap{index: emptyIndex{}})
 	go s.loop()
@@ -179,7 +183,7 @@ func (s *shard) prepare(spec IndexSpec, ids []int, vs []vec.Vector) (*shardSnap,
 		if old.dead.Count() > 0 {
 			dead = old.dead.Grow(nfs.Len())
 		}
-		index, err := buildMaskedIndex(spec, nfs, s.seed, dead)
+		index, err := buildMaskedIndex(spec, nfs, s.seed, s.overfetch, dead)
 		if err != nil {
 			resc <- result{err: err}
 			return
@@ -192,8 +196,8 @@ func (s *shard) prepare(spec IndexSpec, ids []int, vs []vec.Vector) (*shardSnap,
 
 // buildMaskedIndex builds the shard index and restricts it to live
 // rows when the shard carries tombstones.
-func buildMaskedIndex(spec IndexSpec, fs *flat.Store, seed uint64, dead *flat.Tombstones) (ShardIndex, error) {
-	index, err := buildShardIndex(spec, fs, seed)
+func buildMaskedIndex(spec IndexSpec, fs *flat.Store, seed uint64, overfetch int, dead *flat.Tombstones) (ShardIndex, error) {
+	index, err := buildShardIndex(spec, fs, seed, overfetch)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +256,7 @@ func (s *shard) prepareUpsert(spec IndexSpec, ids []int, vs []vec.Vector) (*shar
 		if dead.Count() == 0 {
 			dead = nil // keep the zero-tombstone fast paths
 		}
-		index, err := buildMaskedIndex(spec, nfs, s.seed, dead)
+		index, err := buildMaskedIndex(spec, nfs, s.seed, s.overfetch, dead)
 		if err != nil {
 			resc <- result{err: err}
 			return
@@ -340,7 +344,7 @@ func (s *shard) prepareCompact(spec IndexSpec) (*shardSnap, error) {
 			rows[old.ids[i]] = len(nids)
 			nids = append(nids, old.ids[i])
 		}
-		index, err := buildShardIndex(spec, nfs, s.seed)
+		index, err := buildShardIndex(spec, nfs, s.seed, s.overfetch)
 		if err != nil {
 			resc <- result{err: err}
 			return
@@ -388,14 +392,16 @@ func (s *shard) commit(snap *shardSnap) {
 
 // topK answers a query against the current snapshot, translating local
 // hit indices to global record IDs. workers is the intra-shard scan
-// parallelism hint passed through to the index. The returned list keeps
-// the canonical (score descending, global ID ascending) order so the
-// k-way merge's tie-breaking is exact even when the ID-to-shard
-// assignment does not preserve ID order within a shard.
-func (s *shard) topK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int) ([]Hit, error) {
+// parallelism hint passed through to the index. rerank asks engines
+// that support it (f32 quantized) for exact re-ranked scores; engines
+// without the capability — including those already exact — ignore it.
+// The returned list keeps the canonical (score descending, global ID
+// ascending) order so the k-way merge's tie-breaking is exact even when
+// the ID-to-shard assignment does not preserve ID order within a shard.
+func (s *shard) topK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, rerank bool) ([]Hit, error) {
 	snap := s.snap.Load()
 	s.queries.Add(1)
-	local, err := snap.index.TopK(ctx, q, k, unsigned, workers)
+	local, err := indexTopK(ctx, snap.index, q, k, unsigned, workers, rerank)
 	if err != nil {
 		return nil, err
 	}
@@ -405,6 +411,19 @@ func (s *shard) topK(ctx context.Context, q vec.Vector, k int, unsigned bool, wo
 	}
 	sortHitsCanonical(out)
 	return out, nil
+}
+
+// indexTopK dispatches one query to an index, routing through the
+// exact re-rank pipeline when asked for and available. Shared by the
+// per-query shard path and the batch executor's per-query fallback, so
+// both honor rerank identically.
+func indexTopK(ctx context.Context, index ShardIndex, q vec.Vector, k int, unsigned bool, workers int, rerank bool) ([]Hit, error) {
+	if rerank {
+		if ri, ok := index.(rerankIndex); ok {
+			return ri.TopKRerank(ctx, q, k, unsigned, workers)
+		}
+	}
+	return index.TopK(ctx, q, k, unsigned, workers)
 }
 
 // sortHitsCanonical sorts hits into the canonical (score descending,

@@ -83,16 +83,22 @@ type ShardStats struct {
 // live count (the relation holds live rows only); Tombstoned counts
 // deleted-but-not-yet-compacted rows still occupying shard storage.
 type CollectionStats struct {
-	Dim         int          `json:"dim"`
-	Records     int          `json:"records"`
-	Tombstoned  int          `json:"tombstoned"`
-	Compactions int64        `json:"compactions"`
-	Compacting  bool         `json:"compacting"`
-	Version     uint64       `json:"version"`
-	Index       string       `json:"index"`
-	Queries     int64        `json:"queries"`
-	Latency     LatencyStats `json:"latency"`
-	Shards      []ShardStats `json:"shards"`
+	Dim         int    `json:"dim"`
+	Records     int    `json:"records"`
+	Tombstoned  int    `json:"tombstoned"`
+	Compactions int64  `json:"compactions"`
+	Compacting  bool   `json:"compacting"`
+	Version     uint64 `json:"version"`
+	Index       string `json:"index"`
+	Precision   string `json:"precision"`
+	// VectorBytes is the resident vector payload by storage precision:
+	// the f64 truth rows every collection retains, plus the quantized
+	// copy (f32 or int8) when the collection runs a compact tier.
+	// Counts cover physical rows (live + tombstoned).
+	VectorBytes map[string]int64 `json:"vector_bytes"`
+	Queries     int64            `json:"queries"`
+	Latency     LatencyStats     `json:"latency"`
+	Shards      []ShardStats     `json:"shards"`
 }
 
 // CacheStats describes the query cache in /stats.

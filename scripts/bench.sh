@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_8.json}"
 FILTER="${BENCH_FILTER:-BenchmarkServer|BenchmarkMergeTopK|BenchmarkFlat|BenchmarkTopKMasked|BenchmarkJoin|BenchmarkWAL|BenchmarkSegment|BenchmarkRecover}"
 TIME="${BENCH_TIME:-200ms}"
 PKGS="${BENCH_PKGS:-./internal/server/ ./internal/flat/ ./internal/join/ ./internal/persist/}"
@@ -31,6 +31,7 @@ BEGIN { print "{"; printf "  \"commit\": \"%s\",\n  \"benchmarks\": [\n", commit
     name = $1; sub(/-[0-9]+$/, "", name)
     printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
     for (i = 4; i < NF; i++) {
+        if ($(i+1) == "MB/s")      printf ", \"mb_per_s\": %s", $i
         if ($(i+1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
         if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
     }

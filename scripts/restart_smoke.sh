@@ -15,7 +15,12 @@
 #      gone — and answer every query bit-identically to the pre-kill
 #      exact scan
 #
-# Usage: scripts/restart_smoke.sh [n] [q] [mutate_ops]
+# Usage: scripts/restart_smoke.sh [n] [q] [mutate_ops] [precision]
+#
+# With precision=int8 (or f32) the cycle runs against a quantized
+# collection: the restart must recover the quantization scales exactly
+# from the WAL/segments, or the re-ranked answers drift and the
+# -skip-ingest verification fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +28,7 @@ cd "$(dirname "$0")/.."
 N="${1:-100000}"
 Q="${2:-200}"
 MUTATE="${3:-150}"
+PRECISION="${4:-f64}"
 ADDR="127.0.0.1:7177"
 DATA="$(mktemp -d)"
 BIN="$(mktemp -d)"
@@ -48,8 +54,8 @@ echo "=== starting ipsd -data $DATA -fsync always"
 PID=$!
 wait_healthy
 
-echo "=== ingesting $N vectors + $MUTATE upsert/delete batches + verifying against local exact scan"
-"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -mutate-pass "$MUTATE"
+echo "=== ingesting $N vectors (precision=$PRECISION) + $MUTATE upsert/delete batches + verifying against local exact scan"
+"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -precision "$PRECISION" -mutate-pass "$MUTATE"
 
 echo "=== kill -9 $PID (no graceful shutdown)"
 kill -9 "$PID"
@@ -61,7 +67,7 @@ PID=$!
 wait_healthy
 
 echo "=== verifying recovered data answers identically (no re-ingest, mutation pass recomputed locally)"
-"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -skip-ingest -mutate-pass "$MUTATE"
+"$BIN/loadgen" -addr "$ADDR" -n "$N" -q "$Q" -d 16 -k 10 -shards 4 -precision "$PRECISION" -skip-ingest -mutate-pass "$MUTATE"
 
 kill "$PID"
 wait "$PID" 2>/dev/null || true
