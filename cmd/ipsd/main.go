@@ -7,7 +7,9 @@
 //	     [-checkpoint-bytes 67108864]
 //	     [-default-timeout 0] [-max-inflight 0] [-max-queue 0]
 //	     [-max-body-bytes 33554432] [-rerank-overfetch 4]
+//	     [-recover strict|quarantine] [-scrub-interval 0]
 //	     [-read-timeout 30s] [-write-timeout 60s] [-idle-timeout 2m]
+//	     [-fault-ops ...] [-fault-rate p] [-fault-count n] [-fault-seed s]
 //
 // Collections are created lazily by the first PUT /collections/{name};
 // see the README for the JSON API and a curl quickstart. -pprof serves
@@ -39,9 +41,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/errfs"
 	"repro/internal/server"
 )
 
@@ -61,6 +65,14 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "queries allowed to wait for an admission slot before shedding with 429 (negative = unbounded)")
 	maxBody := flag.Int64("max-body-bytes", 32<<20, "request body cap on mutating routes (negative disables)")
 	rerankOverfetch := flag.Int("rerank-overfetch", 0, "candidate multiplier for quantized-tier re-ranking (0 = built-in default)")
+	recoverMode := flag.String("recover", "strict", "boot behavior when a collection fails recovery: strict (fail the boot) | quarantine (serve it as 503, directory untouched)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background segment integrity scrub period per collection (0 disables)")
+	faultOps := flag.String("fault-ops", "", "CHAOS: comma-separated fs operation classes to fault (write,sync,rename,...); empty disables injection")
+	faultRate := flag.Float64("fault-rate", 0, "CHAOS: per-call fault probability for -fault-ops (0 = every eligible call)")
+	faultCount := flag.Int("fault-count", 0, "CHAOS: faults to inject per op class before the schedule heals (0 = unlimited)")
+	faultAfter := flag.Int("fault-after", 0, "CHAOS: let this many matching calls through before faults may fire")
+	faultSeed := flag.Uint64("fault-seed", 1, "CHAOS: seed for the probabilistic fault schedule (reproducible runs)")
+	faultPath := flag.String("fault-path", "", "CHAOS: only fault paths containing this substring")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout (0 disables)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (0 disables)")
@@ -81,6 +93,31 @@ func main() {
 		}()
 	}
 
+	// -fault-ops turns the production filesystem into a seeded fault
+	// injector: the chaos smoke runs a real ipsd process against a
+	// finite, reproducible schedule of disk faults and then verifies
+	// reads stayed clean and the collections healed.
+	var fsys errfs.FS
+	if *faultOps != "" {
+		faulty := errfs.NewFaulty(nil, *faultSeed)
+		for _, spelling := range strings.Split(*faultOps, ",") {
+			op, err := errfs.ParseOp(strings.TrimSpace(spelling))
+			if err != nil {
+				log.Fatalf("ipsd: -fault-ops: %v", err)
+			}
+			faulty.Inject(errfs.Rule{
+				Op:    op,
+				Path:  *faultPath,
+				After: *faultAfter,
+				Count: *faultCount,
+				Prob:  *faultRate,
+			})
+		}
+		log.Printf("ipsd: CHAOS fault injection armed: ops=%s rate=%g count=%d after=%d seed=%d path=%q",
+			*faultOps, *faultRate, *faultCount, *faultAfter, *faultSeed, *faultPath)
+		fsys = faulty
+	}
+
 	srv, err := server.Open(server.Config{
 		DefaultShards:   *shards,
 		CacheCapacity:   *cache,
@@ -90,6 +127,9 @@ func main() {
 		Fsync:           *fsync,
 		FsyncInterval:   *fsyncEvery,
 		CheckpointBytes: *ckptBytes,
+		RecoverMode:     *recoverMode,
+		ScrubInterval:   *scrubInterval,
+		FS:              fsys,
 		DefaultTimeout:  *defaultTimeout,
 		MaxInflight:     *maxInflight,
 		MaxQueue:        *maxQueue,

@@ -38,6 +38,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -122,6 +123,7 @@ func main() {
 	mutatePass := flag.Int("mutate-pass", 0, "after a plain ingest, apply this many deterministic upsert/delete batches; -skip-ingest recomputes the same pass locally, so a restarted server is verified against the post-mutation state")
 	zipfA := flag.Float64("zipf", 1.1, "Zipf exponent for mutated record ids")
 	skipIngest := flag.Bool("skip-ingest", false, "skip ingest; verify the server's existing data (e.g. after a restart)")
+	retries := flag.Int("retries", 0, "client-side retries per request on 429/503, with capped exponential backoff + jitter honoring Retry-After (0 disables)")
 	slo := flag.Bool("slo", false, "SLO mode: status-aware multi-tenant traffic with an overload phase (see slo.go)")
 	sloSteady := flag.Duration("slo-steady", 5*time.Second, "steady-phase duration in -slo mode")
 	sloOverload := flag.Duration("slo-overload", 5*time.Second, "overload-phase duration in -slo mode")
@@ -134,6 +136,7 @@ func main() {
 	sloReportPath := flag.String("slo-report", "", "write the JSON SLO report to this file")
 	sloRequireShed := flag.Bool("slo-require-shed", false, "fail unless the overload phase saw 429s with Retry-After")
 	flag.Parse()
+	retryMax = *retries
 	switch *precision {
 	case server.PrecisionF64, server.PrecisionF32, server.PrecisionI8:
 	default:
@@ -542,6 +545,10 @@ func main() {
 	fmt.Printf("cache: size=%d hits=%d misses=%d invalidations=%d\n",
 		st.Cache.Size, st.Cache.Hits, st.Cache.Misses, st.Cache.Invalidations)
 	tr.report()
+	if retryMax > 0 {
+		fmt.Printf("client retries: %d issued (429/503, backoff capped at %v, Retry-After honored)\n",
+			retriesIssued.Load(), retryMaxBackoff)
+	}
 
 	// The tracker's live set and the server's must agree exactly: the
 	// count here, the content via the verified search pass below.
@@ -757,36 +764,49 @@ func exactTopK(ids []int, items []vec.Vector, q vec.Vector, k int) []server.Hit 
 }
 
 // call performs one JSON round-trip, decoding an {"error": ...} body
-// into a Go error.
+// into a Go error. With -retries > 0 the transient statuses (429/503)
+// are absorbed with capped exponential backoff + jitter, honoring the
+// server's Retry-After hint, before the final status is reported.
 func call(client *http.Client, method, url string, body, out any) error {
-	var buf bytes.Buffer
+	var payload []byte
 	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
 			return err
 		}
 	}
-	req, err := http.NewRequest(method, url, &buf)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
+		if err != nil {
+			return err
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		if e.Error == "" {
-			e.Error = resp.Status
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
 		}
-		return fmt.Errorf("%s %s: %s", method, url, e.Error)
+		if retryableStatus(resp.StatusCode) && attempt < retryMax {
+			ra := resp.Header.Get("Retry-After")
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			retriesIssued.Add(1)
+			time.Sleep(retryDelay(attempt+1, ra))
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			if e.Error == "" {
+				e.Error = resp.Status
+			}
+			return fmt.Errorf("%s %s: %s", method, url, e.Error)
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
 	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	return nil
 }

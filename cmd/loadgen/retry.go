@@ -1,0 +1,60 @@
+package main
+
+// Client-side retry for the transient status classes. ipsd answers
+// 429 when admission control sheds a query and 503 when a collection
+// is degraded, quarantined or closing — both carry a Retry-After hint
+// and both are expected to clear on their own (a freed slot, a
+// background repair). With -retries > 0 the loadgen client absorbs
+// them with capped exponential backoff plus full jitter instead of
+// failing the run, which is how a production client should consume a
+// server that degrades deliberately.
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	retryBaseBackoff = 25 * time.Millisecond
+	retryMaxBackoff  = 2 * time.Second
+)
+
+// retryMax is the -retries flag: additional attempts allowed per
+// request after a retryable status. Zero disables client retry.
+var retryMax int
+
+// retriesIssued counts retry attempts actually sent, across both the
+// plain workload (reported at exit) and -slo mode (in the report).
+var retriesIssued atomic.Int64
+
+// retryableStatus reports whether a response is worth retrying: 429
+// (shed) and 503 (unavailable) are transient by the server's contract;
+// everything else is either success or a request the client got wrong.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryDelay is the sleep before retry n (1-based): capped exponential
+// backoff with full jitter — uniform over (0, cap] so synchronized
+// clients spread out instead of retrying in lockstep — raised to the
+// server's Retry-After hint when one was sent and larger.
+func retryDelay(n int, retryAfter string) time.Duration {
+	backoff := retryBaseBackoff
+	for i := 1; i < n && backoff < retryMaxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > retryMaxBackoff {
+		backoff = retryMaxBackoff
+	}
+	d := time.Duration(rand.Int63n(int64(backoff))) + time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	return d
+}

@@ -96,8 +96,12 @@ type sloReport struct {
 	DeadlineMissRate float64         `json:"deadline_miss_rate"` // both phases
 	Routes           []sloRouteStats `json:"routes"`
 	RetryAfterSeen   bool            `json:"retry_after_seen"`
-	Pass             bool            `json:"pass"`
-	Failures         []string        `json:"failures,omitempty"`
+	// RetryMax echoes -retries; Retries counts retry attempts the
+	// client actually issued on 429/503 across both phases.
+	RetryMax int      `json:"retry_max"`
+	Retries  int64    `json:"retries"`
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
 }
 
 // sloTracker accumulates classified responses and latencies from many
@@ -146,26 +150,39 @@ func (t *sloTracker) observe(route string, status int, gotRetryAfter bool, d tim
 
 // sloCall runs one JSON request and returns the status code without
 // treating non-2xx as an error; the body is drained so connections are
-// reused.
+// reused. With -retries > 0 the transient statuses (429/503) are
+// retried with capped exponential backoff + jitter, honoring the
+// server's Retry-After hint; only the final attempt's status is
+// returned (and classified by the tracker), so a retried-away shed
+// counts as served — which is exactly the client experience the
+// report should grade.
 func sloCall(client *http.Client, method, url string, body any) (status int, retryAfter bool, err error) {
-	var buf bytes.Buffer
+	var payload []byte
 	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		if payload, err = json.Marshal(body); err != nil {
 			return 0, false, err
 		}
 	}
-	req, err := http.NewRequest(method, url, &buf)
-	if err != nil {
-		return 0, false, err
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
+		if err != nil {
+			return 0, false, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, false, err
+		}
+		ra := resp.Header.Get("Retry-After")
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if retryableStatus(resp.StatusCode) && attempt < retryMax {
+			retriesIssued.Add(1)
+			time.Sleep(retryDelay(attempt+1, ra))
+			continue
+		}
+		return resp.StatusCode, ra != "", nil
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, false, err
-	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, resp.Header.Get("Retry-After") != "", nil
 }
 
 // runSLO is the -slo entry point. It returns the process exit code.
@@ -315,6 +332,8 @@ func runSLO(f sloFlags) int {
 		Steady:         tr.counts[0],
 		Overload:       tr.counts[1],
 		RetryAfterSeen: tr.retryAfter.Load(),
+		RetryMax:       retryMax,
+		Retries:        retriesIssued.Load(),
 	}
 	if tot := rep.Overload.total(); tot > 0 {
 		rep.ShedRate = float64(rep.Overload.Shed) / float64(tot)
@@ -369,8 +388,8 @@ func runSLO(f sloFlags) int {
 		rep.Overload.Served, rep.Overload.Shed, rep.Overload.Deadline,
 		rep.Overload.ClientErr, rep.Overload.ServerErr, rep.Overload.Transport,
 		100*rep.ShedRate)
-	fmt.Printf("  deadline miss rate: %.2f%%  retry-after seen: %v\n",
-		100*rep.DeadlineMissRate, rep.RetryAfterSeen)
+	fmt.Printf("  deadline miss rate: %.2f%%  retry-after seen: %v  client retries: %d (max %d/request)\n",
+		100*rep.DeadlineMissRate, rep.RetryAfterSeen, rep.Retries, rep.RetryMax)
 	for _, rs := range rep.Routes {
 		fmt.Printf("  %-14s n=%-6d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 			rs.Route, rs.N, rs.P50MS, rs.P95MS, rs.P99MS, rs.MaxMS)

@@ -1,0 +1,396 @@
+// Package errfs is the filesystem seam under the persist layer: a
+// minimal FS interface covering exactly the operations the WAL and
+// segment machinery perform, a zero-cost passthrough to the real OS,
+// and a fault-injecting implementation for tests and chaos harnesses.
+//
+// Faults are declared as rules — matched per operation and per path
+// substring, optionally after N clean calls, for a bounded count, or
+// probabilistically from a seeded generator — so a test can script "the
+// 3rd fsync of this collection's WAL fails with EIO" or a chaos run can
+// ask for "2% of all writes fail with ENOSPC until 25 faults have
+// fired". Beyond plain error returns, rules can inject short writes
+// (half the buffer lands, then ENOSPC) and torn renames (the
+// destination is left holding a torn prefix of the source while the
+// call reports failure — the post-crash state of a non-atomic rename),
+// which is what exercises the recovery fallback paths for real.
+package errfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// File is the writable-file surface the persist layer needs from an
+// open WAL or temp file.
+type File interface {
+	io.Writer
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the persist layer performs all its I/O
+// through. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(name string, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(name string) error
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory so renames/creates within it are
+	// durable.
+	SyncDir(name string) error
+}
+
+// OS is the production filesystem: every call passes straight through
+// to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(name string) error                  { return os.RemoveAll(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Op names one FS operation class for rule matching.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpReadDir  Op = "readdir"
+	OpMkdir    Op = "mkdir"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpStat     Op = "stat"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ParseOp validates a flag spelling of an operation class.
+func ParseOp(s string) (Op, error) {
+	switch op := Op(s); op {
+	case OpOpen, OpRead, OpReadDir, OpMkdir, OpRename, OpRemove,
+		OpStat, OpWrite, OpSync, OpTruncate, OpSyncDir:
+		return op, nil
+	}
+	return "", fmt.Errorf("errfs: unknown operation %q", s)
+}
+
+// Kind selects how a matched rule manifests.
+type Kind int
+
+const (
+	// KindErr fails the call with Rule.Err (default EIO) and no side
+	// effect.
+	KindErr Kind = iota
+	// KindShortWrite (writes only) persists the first half of the
+	// buffer, then fails with Rule.Err (default ENOSPC) — the classic
+	// torn-append shape.
+	KindShortWrite
+	// KindTornRename (renames only) leaves the destination holding a
+	// torn prefix of the source while the call reports Rule.Err: the
+	// observable post-crash state of a non-atomic rename.
+	KindTornRename
+)
+
+// Rule is one fault-injection clause. The zero value of every matching
+// field means "any".
+type Rule struct {
+	// Op restricts the rule to one operation class ("" matches all).
+	Op Op
+	// Path is a substring the operation's path must contain ("" matches
+	// all). Matching is against the full path as the caller spelled it.
+	Path string
+	// After lets this many matching calls through before the rule can
+	// fire.
+	After int
+	// Count bounds how many faults the rule injects (0 = unlimited).
+	Count int
+	// Prob, when positive, fires the rule on each eligible call with
+	// this probability, drawn from the Faulty's seeded generator;
+	// zero fires deterministically on every eligible call.
+	Prob float64
+	// Kind selects the failure shape (default KindErr).
+	Kind Kind
+	// Err is the injected error (default EIO; ENOSPC for short writes).
+	Err error
+}
+
+type ruleState struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// Faulty wraps an inner FS (usually OS, over a test temp dir) and
+// injects faults per the installed rules. All real I/O that the rules
+// let through hits the inner FS, so recovery code paths exercise real
+// files.
+type Faulty struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*ruleState
+	rng      uint64
+	byOp     map[Op]int64
+	injected atomic.Int64
+}
+
+// NewFaulty wraps inner with a fault injector whose probabilistic rules
+// draw from a generator seeded with seed (so a chaos schedule is
+// reproducible).
+func NewFaulty(inner FS, seed uint64) *Faulty {
+	if inner == nil {
+		inner = OS
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Faulty{inner: inner, rng: seed, byOp: make(map[Op]int64)}
+}
+
+// Inject appends rules to the schedule. Rules are evaluated in
+// installation order; the first match fires.
+func (f *Faulty) Inject(rules ...Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range rules {
+		f.rules = append(f.rules, &ruleState{Rule: r})
+	}
+}
+
+// Clear drops every installed rule (the faults "heal").
+func (f *Faulty) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected reports how many faults have fired in total.
+func (f *Faulty) Injected() int64 { return f.injected.Load() }
+
+// InjectedFor reports how many faults have fired for one operation
+// class.
+func (f *Faulty) InjectedFor(op Op) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.byOp[op]
+}
+
+// rand returns the next [0,1) draw from the seeded xorshift64* stream.
+// Callers hold mu.
+func (f *Faulty) rand() float64 {
+	x := f.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	f.rng = x
+	return float64((x*0x2545f4914f6cdd1d)>>11) / float64(1<<53)
+}
+
+type fault struct {
+	kind Kind
+	err  error
+}
+
+// check consults the rules for (op, path) and returns the fault to
+// inject, or nil to let the call through.
+func (f *Faulty) check(op Op, path string) *fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && f.rand() >= r.Prob {
+			continue
+		}
+		r.fired++
+		f.injected.Add(1)
+		f.byOp[op]++
+		err := r.Err
+		if err == nil {
+			if r.Kind == KindShortWrite {
+				err = syscall.ENOSPC
+			} else {
+				err = syscall.EIO
+			}
+		}
+		return &fault{kind: r.Kind, err: err}
+	}
+	return nil
+}
+
+func pathErr(op string, path string, err error) error {
+	return &os.PathError{Op: op, Path: path, Err: err}
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if ft := f.check(OpOpen, name); ft != nil {
+		return nil, pathErr("open", name, ft.err)
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, name: name, inner: inner}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if ft := f.check(OpRead, name); ft != nil {
+		return nil, pathErr("read", name, ft.err)
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]os.DirEntry, error) {
+	if ft := f.check(OpReadDir, name); ft != nil {
+		return nil, pathErr("readdir", name, ft.err)
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Faulty) MkdirAll(name string, perm os.FileMode) error {
+	if ft := f.check(OpMkdir, name); ft != nil {
+		return pathErr("mkdir", name, ft.err)
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if ft := f.check(OpRename, newpath); ft != nil {
+		if ft.kind == KindTornRename {
+			// Leave the destination holding a torn prefix of the source —
+			// what a crash through a non-atomic rename exposes — while
+			// still reporting failure to the caller. The source survives,
+			// so retry/fallback paths see the same world a real recovery
+			// would.
+			if data, rerr := f.inner.ReadFile(oldpath); rerr == nil {
+				if g, cerr := f.inner.OpenFile(newpath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644); cerr == nil {
+					_, _ = g.Write(data[:len(data)/2])
+					_ = g.Sync()
+					_ = g.Close()
+				}
+			}
+		}
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: ft.err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if ft := f.check(OpRemove, name); ft != nil {
+		return pathErr("remove", name, ft.err)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) RemoveAll(name string) error {
+	if ft := f.check(OpRemove, name); ft != nil {
+		return pathErr("removeall", name, ft.err)
+	}
+	return f.inner.RemoveAll(name)
+}
+
+func (f *Faulty) Stat(name string) (os.FileInfo, error) {
+	if ft := f.check(OpStat, name); ft != nil {
+		return nil, pathErr("stat", name, ft.err)
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Faulty) SyncDir(name string) error {
+	if ft := f.check(OpSyncDir, name); ft != nil {
+		return pathErr("syncdir", name, ft.err)
+	}
+	return f.inner.SyncDir(name)
+}
+
+// faultyFile routes per-file operations back through the injector so
+// rules can target writes/syncs on an already-open WAL.
+type faultyFile struct {
+	fs    *Faulty
+	name  string
+	inner File
+}
+
+func (w *faultyFile) Write(p []byte) (int, error) {
+	if ft := w.fs.check(OpWrite, w.name); ft != nil {
+		if ft.kind == KindShortWrite && len(p) > 0 {
+			n, werr := w.inner.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, pathErr("write", w.name, ft.err)
+		}
+		return 0, pathErr("write", w.name, ft.err)
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	return w.inner.Seek(offset, whence)
+}
+
+func (w *faultyFile) Truncate(size int64) error {
+	if ft := w.fs.check(OpTruncate, w.name); ft != nil {
+		return pathErr("truncate", w.name, ft.err)
+	}
+	return w.inner.Truncate(size)
+}
+
+func (w *faultyFile) Sync() error {
+	if ft := w.fs.check(OpSync, w.name); ft != nil {
+		return pathErr("sync", w.name, ft.err)
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultyFile) Close() error { return w.inner.Close() }

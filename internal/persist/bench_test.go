@@ -2,6 +2,7 @@ package persist
 
 import (
 	"fmt"
+	"repro/internal/errfs"
 	"testing"
 
 	"repro/internal/store"
@@ -63,7 +64,7 @@ func BenchmarkSegmentWrite(b *testing.B) {
 	dir := b.TempDir()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := writeSegment(dir, uint64(i+1), recs, PrecisionF64); err != nil {
+		if _, err := writeSegment(errfs.OS, dir, uint64(i+1), recs, PrecisionF64); err != nil {
 			b.Fatal(err)
 		}
 	}

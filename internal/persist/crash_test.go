@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"repro/internal/errfs"
 	"testing"
 
 	"repro/internal/store"
@@ -178,7 +179,7 @@ func TestCrashTornSegmentFallsBack(t *testing.T) {
 	}
 	// Write a segment covering everything but keep the WAL by writing
 	// it directly instead of going through Checkpoint.
-	if _, err := writeSegment(dir, 3, all, PrecisionF64); err != nil {
+	if _, err := writeSegment(errfs.OS, dir, 3, all, PrecisionF64); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {

@@ -1,0 +1,290 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/errfs"
+	"repro/internal/store"
+)
+
+// faultyPolicy is testPolicy routed through a fault injector.
+func faultyPolicy(mode FsyncMode, f *errfs.Faulty) Policy {
+	pol := testPolicy(mode)
+	pol.FS = f
+	return pol
+}
+
+// TestSyncFaultLatchesAndRepairs drives the full degrade/repair cycle
+// at the log layer: a WAL fsync failure latches the log (appends fail
+// fast, the fault hook fires), Repair with the fault still present is
+// refused, and Repair after the fault heals rotates to a fresh WAL and
+// serves appends again — with recovery seeing exactly the acknowledged
+// batches, never the rejected one.
+func TestSyncFaultLatchesAndRepairs(t *testing.T) {
+	dir := t.TempDir()
+	f := errfs.NewFaulty(nil, 1)
+	l := mustCreate(t, dir, faultyPolicy(FsyncAlways, f))
+
+	b1, b2, b3 := testBatch(0, 4, 3), testBatch(4, 4, 3), testBatch(8, 4, 3)
+	if _, err := l.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+
+	hookErr := make(chan error, 8)
+	l.SetFaultHook(func(err error) { hookErr <- err })
+	f.Inject(errfs.Rule{Op: errfs.OpSync, Path: "wal-"})
+
+	if _, err := l.Append(b2); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append under sync fault: %v, want EIO", err)
+	}
+	select {
+	case err := <-hookErr:
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("fault hook got %v, want EIO", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fault hook never fired")
+	}
+	if l.Failed() == nil {
+		t.Fatal("log did not latch the sync failure")
+	}
+	// Latched: the next append fails fast without touching the disk.
+	if _, err := l.Append(b3); err == nil {
+		t.Fatal("append on a latched log succeeded")
+	}
+	// Repair needs a working disk: with the fault still injected the
+	// latch must stay set (clearing it would un-prove the torn tail).
+	if err := l.Repair(); err == nil {
+		t.Fatal("Repair succeeded while the disk still faults syncs")
+	}
+	if l.Failed() == nil {
+		t.Fatal("failed Repair cleared the latch")
+	}
+
+	f.Clear()
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair after faults healed: %v", err)
+	}
+	if l.Failed() != nil {
+		t.Fatalf("latch still set after successful Repair: %v", l.Failed())
+	}
+	if _, err := l.Append(b3); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees the acknowledged batches and only those: b2 was
+	// reported rejected, so it must not resurrect.
+	_, rec, err := Open(dir, testPolicy(FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecovered(t, rec, b1, b3)
+}
+
+// TestENOSPCMidCheckpoint is the satellite scenario: a checkpoint's
+// segment write dies half-way with ENOSPC. The torn temp file must
+// never shadow the previous good segment, recovery must reproduce the
+// exact pre-fault state plus the acknowledged WAL tail, and once the
+// "disk" heals a later checkpoint must succeed.
+func TestENOSPCMidCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	f := errfs.NewFaulty(nil, 1)
+	l := mustCreate(t, dir, faultyPolicy(FsyncAlways, f))
+
+	b1, b2 := testBatch(0, 6, 3), testBatch(6, 6, 3)
+	if _, err := l.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	// A first, clean checkpoint: segment 1 on disk.
+	if err := l.Checkpoint(func() ([]store.Record, uint64) { return b1, 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Half the segment lands, then ENOSPC. The write goes to the .tmp
+	// path, so the torn bytes never carry the segment name.
+	f.Inject(errfs.Rule{Op: errfs.OpWrite, Path: segPrefix, Kind: errfs.KindShortWrite, Count: 1})
+	snap := func() ([]store.Record, uint64) { return append(append([]store.Record{}, b1...), b2...), 2 }
+	if err := l.Checkpoint(snap); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("checkpoint under ENOSPC: %v, want ENOSPC", err)
+	}
+	// The failed checkpoint already rotated the WAL; the append path is
+	// not latched — only segment writing broke.
+	if l.Failed() != nil {
+		t.Fatalf("segment-write failure latched the append path: %v", l.Failed())
+	}
+
+	// The old segment is still the newest *valid* one and recovery from
+	// a copy of the directory reproduces b1+b2 exactly.
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatalf("good segment gone after failed checkpoint: %v", err)
+	}
+	copyDir := t.TempDir()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(copyDir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2, rec, err := Open(copyDir, testPolicy(FsyncAlways))
+	if err != nil {
+		t.Fatalf("recovery after torn checkpoint: %v", err)
+	}
+	checkRecovered(t, rec, b1, b2)
+	l2.Close()
+
+	// Healed: the retried checkpoint writes a complete segment 2 and a
+	// scrub pass over the directory comes back clean.
+	f.Clear()
+	if err := l.Checkpoint(snap); err != nil {
+		t.Fatalf("checkpoint after heal: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatalf("healed checkpoint left no segment 2: %v", err)
+	}
+	if n, err := l.ScrubSegments(); err != nil || n == 0 {
+		t.Fatalf("scrub after heal: checked=%d err=%v", n, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubDetectsCorruptionAndDropsSuperseded: flipping one byte in a
+// retained segment turns the scrub red; DropCorruptSegments removes it
+// only when a newer valid segment supersedes it, and never touches the
+// newest one.
+func TestScrubDetectsCorruptionAndDropsSuperseded(t *testing.T) {
+	dir := t.TempDir()
+	l := mustCreate(t, dir, testPolicy(FsyncAlways))
+	defer l.Close()
+
+	b1, b2 := testBatch(0, 5, 3), testBatch(5, 5, 3)
+	if _, err := l.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(func() ([]store.Record, uint64) { return b1, 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	both := append(append([]store.Record{}, b1...), b2...)
+	if err := l.Checkpoint(func() ([]store.Record, uint64) { return both, 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := l.ScrubSegments(); err != nil || n != 2 {
+		t.Fatalf("clean scrub: checked=%d err=%v, want 2 segments", n, err)
+	}
+
+	// Corrupt the older segment (1): scrub reports it, drop removes it
+	// because segment 2 verifies.
+	seg1 := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg1, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ScrubSegments(); err == nil {
+		t.Fatal("scrub missed a corrupt segment")
+	}
+	removed, err := l.DropCorruptSegments()
+	if err != nil || removed != 1 {
+		t.Fatalf("DropCorruptSegments: removed=%d err=%v, want 1", removed, err)
+	}
+	if _, err := os.Stat(seg1); !os.IsNotExist(err) {
+		t.Fatalf("corrupt superseded segment still on disk: %v", err)
+	}
+	if n, err := l.ScrubSegments(); err != nil || n != 1 {
+		t.Fatalf("scrub after drop: checked=%d err=%v", n, err)
+	}
+
+	// Corrupt the newest segment: drop must refuse (recovery's fallback
+	// chain owns that case), scrub keeps flagging it.
+	seg2 := filepath.Join(dir, segName(2))
+	data, err = os.ReadFile(seg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if removed, _ := l.DropCorruptSegments(); removed != 0 {
+		t.Fatalf("DropCorruptSegments removed the newest segment (%d removed)", removed)
+	}
+	if _, err := os.Stat(seg2); err != nil {
+		t.Fatal("newest segment vanished")
+	}
+	if _, err := l.ScrubSegments(); err == nil {
+		t.Fatal("scrub passed a corrupt newest segment")
+	}
+}
+
+// TestTornRenameOnSegmentPublish: the rename that publishes a segment
+// dies leaving a torn destination. Recovery must fall back past the
+// garbage file to the previous good segment + WAL and reproduce every
+// acknowledged batch.
+func TestTornRenameOnSegmentPublish(t *testing.T) {
+	dir := t.TempDir()
+	f := errfs.NewFaulty(nil, 1)
+	l := mustCreate(t, dir, faultyPolicy(FsyncAlways, f))
+
+	b1, b2 := testBatch(0, 6, 3), testBatch(6, 6, 3)
+	if _, err := l.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(func() ([]store.Record, uint64) { return b1, 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	f.Inject(errfs.Rule{Op: errfs.OpRename, Path: segPrefix, Kind: errfs.KindTornRename, Count: 1})
+	snap := func() ([]store.Record, uint64) { return append(append([]store.Record{}, b1...), b2...), 2 }
+	if err := l.Checkpoint(snap); err == nil {
+		t.Fatal("checkpoint with torn publish rename succeeded")
+	}
+	// The torn destination fails its CRC, so recovery must skip it.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, testPolicy(FsyncAlways))
+	if err != nil {
+		t.Fatalf("recovery after torn segment publish: %v", err)
+	}
+	defer l2.Close()
+	checkRecovered(t, rec, b1, b2)
+	// And the torn file is droppable once a valid newer segment exists.
+	if err := l2.Checkpoint(snap); err != nil {
+		t.Fatalf("checkpoint on recovered log: %v", err)
+	}
+	if _, err := l2.ScrubSegments(); err != nil {
+		if _, derr := l2.DropCorruptSegments(); derr != nil {
+			t.Fatalf("drop after torn publish: %v", derr)
+		}
+		if _, err := l2.ScrubSegments(); err != nil {
+			t.Fatalf("scrub still red after drop: %v", err)
+		}
+	}
+}

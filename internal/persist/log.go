@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/errfs"
 	"repro/internal/store"
 )
 
@@ -20,11 +22,14 @@ import (
 type Log struct {
 	dir string
 	pol Policy
+	// fs is the filesystem every operation goes through (pol.FS after
+	// defaulting): the real OS in production, a fault injector in tests.
+	fs errfs.FS
 
 	mu       sync.Mutex
-	f        *os.File // active WAL file
-	active   string   // base name of f
-	buf      []byte   // frame scratch, reused across appends
+	f        errfs.File // active WAL file
+	active   string     // base name of f
+	buf      []byte     // frame scratch, reused across appends
 	lastSeq  uint64
 	walBytes int64
 	// prec selects the segment payload encoding (zero value = f64, the
@@ -59,6 +64,12 @@ type Log struct {
 	// draining during a restart) can never truncate or interleave
 	// writes into the active WAL.
 	lock *os.File
+
+	// faultHook, when set (SetFaultHook), is invoked on its own
+	// goroutine whenever a failure latches or a background checkpoint
+	// fails — the serving layer's signal to degrade the collection
+	// instead of discovering the breakage on the next mutation.
+	faultHook atomic.Value // func(error)
 }
 
 // Recovered is what Open rebuilt from disk.
@@ -76,7 +87,7 @@ type Recovered struct {
 // WAL. It refuses a directory that already holds a collection.
 func Create(dir string, m Manifest, pol Policy) (*Log, error) {
 	pol.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := pol.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	lock, err := lockDir(dir)
@@ -96,18 +107,18 @@ func Create(dir string, m Manifest, pol Policy) (*Log, error) {
 	// high-seq segment adopted into a fresh collection would shadow
 	// every new WAL frame at recovery — serving the dropped
 	// collection's data — so scrub leftovers before creating.
-	if err := removeLogFiles(dir); err != nil {
+	if err := removeLogFiles(pol.FS, dir); err != nil {
 		return fail(err)
 	}
-	if err := writeManifest(dir, m); err != nil {
+	if err := writeManifest(pol.FS, dir, m); err != nil {
 		return fail(err)
 	}
-	l := &Log{dir: dir, pol: pol, lock: lock}
+	l := &Log{dir: dir, pol: pol, fs: pol.FS, lock: lock}
 	if err := l.startWAL(1); err != nil {
 		// Don't leave a manifest behind: it would make every retry of
 		// this collection name fail with "already holds a collection"
 		// even after the (possibly transient) cause clears.
-		if rerr := os.Remove(filepath.Join(dir, manifestName)); rerr != nil {
+		if rerr := pol.FS.Remove(filepath.Join(dir, manifestName)); rerr != nil {
 			log.Printf("persist: %s: removing manifest after failed create: %v", dir, rerr)
 		}
 		return fail(err)
@@ -121,7 +132,7 @@ func Create(dir string, m Manifest, pol Policy) (*Log, error) {
 // exclusive access.
 func (l *Log) startWAL(firstSeq uint64) error {
 	name := walName(firstSeq)
-	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -139,7 +150,7 @@ func (l *Log) startWAL(firstSeq uint64) error {
 		f.Close()
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -159,7 +170,7 @@ func (l *Log) startWAL(firstSeq uint64) error {
 // verification.
 func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 	pol.withDefaults()
-	m, err := ReadManifest(dir)
+	m, err := readManifest(pol.FS, dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,7 +189,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 
 	// Newest valid segment wins; older ones are fallbacks kept for
 	// exactly this case (a torn newest segment).
-	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	segs, err := listSeqFiles(pol.FS, dir, segPrefix, segSuffix)
 	if err != nil {
 		return fail(err)
 	}
@@ -188,7 +199,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 		recs     []store.Record
 	)
 	for i := len(segs) - 1; i >= 0; i-- {
-		seq, srecs, n, err := readSegment(dir, segs[i])
+		seq, srecs, n, err := readSegment(pol.FS, dir, segs[i])
 		if err != nil {
 			log.Printf("persist: %s: skipping segment %d: %v", dir, segs[i], err)
 			continue
@@ -199,7 +210,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 
 	// Replay WAL files in order. Frames at or below segSeq are already
 	// covered by the segment; above it they must arrive consecutively.
-	wals, err := listSeqFiles(dir, walPrefix, walSuffix)
+	wals, err := listSeqFiles(pol.FS, dir, walPrefix, walSuffix)
 	if err != nil {
 		return fail(err)
 	}
@@ -222,7 +233,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 				"persist: %s: wal %s starts at sequence %d but only %d is recovered (a covering segment is missing or corrupt)",
 				dir, name, first, lastSeq))
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		data, err := pol.FS.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return fail(err)
 		}
@@ -264,7 +275,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 		appendTo, appendOff = name, good
 	}
 
-	l := &Log{dir: dir, pol: pol, lastSeq: lastSeq, segBytes: segBytes, lock: lock}
+	l := &Log{dir: dir, pol: pol, fs: pol.FS, lastSeq: lastSeq, segBytes: segBytes, lock: lock}
 	if appendTo == "" {
 		if err := l.startWAL(lastSeq + 1); err != nil {
 			return fail(err)
@@ -280,7 +291,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 // torn or corrupt tail (everything past goodOffset).
 func (l *Log) reopenWAL(name string, goodOffset int64) error {
 	path := filepath.Join(l.dir, name)
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -346,7 +357,7 @@ func (l *Log) appendFrame(encode func(buf []byte, seq uint64) []byte) (uint64, e
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, errClosed
+		return 0, ErrClosed
 	}
 	if l.failed != nil {
 		return 0, fmt.Errorf("persist: log failed earlier: %w", l.failed)
@@ -386,6 +397,7 @@ func (l *Log) appendFrame(encode func(buf []byte, seq uint64) []byte) (uint64, e
 // batch silently resurrect at the next recovery. Callers hold mu.
 func (l *Log) fail(err error) {
 	l.failed = err
+	l.notifyFault(err)
 	if terr := l.f.Truncate(l.walBytes); terr != nil {
 		log.Printf("persist: %s: truncating torn append: %v", l.dir, terr)
 		return
@@ -393,6 +405,29 @@ func (l *Log) fail(err error) {
 	if _, serr := l.f.Seek(l.walBytes, 0); serr != nil {
 		log.Printf("persist: %s: seeking after torn append: %v", l.dir, serr)
 	}
+}
+
+// SetFaultHook installs fn to be called — on a fresh goroutine, so no
+// lock ordering binds the callee — whenever a write/sync failure
+// latches or a background checkpoint fails. Install it before the log
+// starts serving appends.
+func (l *Log) SetFaultHook(fn func(error)) {
+	l.faultHook.Store(fn)
+}
+
+// notifyFault fans a failure out to the fault hook. Safe to call with
+// mu held (the hook runs on its own goroutine).
+func (l *Log) notifyFault(err error) {
+	if h, ok := l.faultHook.Load().(func(error)); ok && h != nil {
+		go h(err)
+	}
+}
+
+// Failed reports the latched write/sync failure, if any.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // Sync forces any buffered appends to disk (used at shutdown and by
@@ -415,8 +450,59 @@ func (l *Log) syncLocked() error {
 	}
 	if err := l.f.Sync(); err != nil {
 		l.failed = err
+		l.notifyFault(err)
 		return err
 	}
+	l.dirty = false
+	l.dirtySince = time.Time{}
+	return nil
+}
+
+// Repair attempts to clear a latched write/sync failure so the log can
+// accept appends again: it provably removes any torn frame beyond the
+// committed prefix (truncate + seek + sync of the active file — each
+// must succeed, or a complete-but-rejected frame could resurrect at
+// recovery), then rotates to a fresh WAL file, leaving the committed
+// frames behind in the old one. Returns nil when the latch is clear;
+// a non-nil error means the disk is still refusing writes and the
+// caller should back off and retry.
+func (l *Log) Repair() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed == nil {
+		return nil
+	}
+	if l.f == nil {
+		return l.failed
+	}
+	if err := l.f.Truncate(l.walBytes); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(l.walBytes, 0); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	// Rotation gives appends a fresh file — the safe choice after an
+	// EIO that may be pinned to bad blocks under the old one. The old
+	// file keeps frames <= lastSeq and the new file's name pins its
+	// first frame to lastSeq+1, exactly like a checkpoint rotation, so
+	// recovery replays them in order. A failed rotation leaves the
+	// (now provably clean) old file active and the latch set.
+	old := l.f
+	if err := l.startWAL(l.lastSeq + 1); err != nil {
+		return err
+	}
+	if old != l.f {
+		if err := old.Close(); err != nil {
+			log.Printf("persist: %s: closing rotated wal after repair: %v", l.dir, err)
+		}
+	}
+	l.failed = nil
 	l.dirty = false
 	l.dirtySince = time.Time{}
 	return nil
@@ -491,8 +577,13 @@ func (l *Log) MaybeCheckpoint(snapshot func() ([]store.Record, uint64)) bool {
 	}
 	go func() {
 		defer l.ckptBusy.Store(false)
-		if err := l.Checkpoint(snapshot); err != nil {
+		if err := l.Checkpoint(snapshot); err != nil && !errors.Is(err, ErrClosed) {
 			log.Printf("persist: %s: checkpoint: %v", l.dir, err)
+			// A background checkpoint failure may not have latched the
+			// append path (e.g. the segment write ran out of disk), but
+			// the collection's durability contract is broken either way;
+			// the hook lets the serving layer degrade it.
+			l.notifyFault(err)
 		}
 	}()
 	return true
@@ -509,7 +600,7 @@ func (l *Log) Checkpoint(snapshot func() ([]store.Record, uint64)) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return errClosed
+		return ErrClosed
 	}
 	if l.failed != nil {
 		err := l.failed
@@ -522,16 +613,19 @@ func (l *Log) Checkpoint(snapshot func() ([]store.Record, uint64)) error {
 	// sequences the segment happens to cover.
 	if err := l.f.Sync(); err != nil {
 		l.failed = err
+		l.notifyFault(err)
 		l.mu.Unlock()
 		return err
 	}
 	if err := l.f.Close(); err != nil {
 		l.failed = err
+		l.notifyFault(err)
 		l.mu.Unlock()
 		return err
 	}
 	if err := l.startWAL(l.lastSeq + 1); err != nil {
 		l.failed = err
+		l.notifyFault(err)
 		l.mu.Unlock()
 		return err
 	}
@@ -553,10 +647,10 @@ func (l *Log) Checkpoint(snapshot func() ([]store.Record, uint64)) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return errClosed
+		return ErrClosed
 	}
 	l.mu.Unlock()
-	n, err := writeSegment(l.dir, seq, recs, prec)
+	n, err := writeSegment(l.fs, l.dir, seq, recs, prec)
 	if err != nil {
 		return err
 	}
@@ -570,19 +664,19 @@ func (l *Log) Checkpoint(snapshot func() ([]store.Record, uint64)) error {
 // covered by the just-written segment) and prunes segments beyond the
 // two newest.
 func (l *Log) cleanup(active string) error {
-	wals, err := listSeqFiles(l.dir, walPrefix, walSuffix)
+	wals, err := listSeqFiles(l.fs, l.dir, walPrefix, walSuffix)
 	if err != nil {
 		return err
 	}
 	var first error
 	for _, w := range wals {
 		if name := walName(w); name != active {
-			if err := os.Remove(filepath.Join(l.dir, name)); err != nil && first == nil {
+			if err := l.fs.Remove(filepath.Join(l.dir, name)); err != nil && first == nil {
 				first = err
 			}
 		}
 	}
-	segs, err := listSeqFiles(l.dir, segPrefix, segSuffix)
+	segs, err := listSeqFiles(l.fs, l.dir, segPrefix, segSuffix)
 	if err != nil {
 		if first == nil {
 			first = err
@@ -590,11 +684,101 @@ func (l *Log) cleanup(active string) error {
 		return first
 	}
 	for i := 0; i+2 < len(segs); i++ {
-		if err := os.Remove(filepath.Join(l.dir, segName(segs[i]))); err != nil && first == nil {
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(segs[i]))); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// ScrubSegments re-reads every segment file and verifies its magic and
+// trailing whole-file CRC, reporting how many were checked and the
+// first mismatch. Segment files are immutable once renamed into place,
+// so a scrub mismatch means on-disk corruption (bit rot, torn rename
+// surfaced by a crashy filesystem) — the serving layer degrades the
+// collection on it. A file that vanishes mid-scrub was pruned by a
+// concurrent checkpoint and is skipped.
+func (l *Log) ScrubSegments() (checked int, err error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	l.mu.Unlock()
+	segs, err := listSeqFiles(l.fs, l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return 0, err
+	}
+	for _, seq := range segs {
+		data, err := l.fs.ReadFile(filepath.Join(l.dir, segName(seq)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return checked, err
+		}
+		if err := verifySegmentData(data); err != nil {
+			return checked, fmt.Errorf("persist: %s: segment %d: %w", l.dir, seq, err)
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// DropCorruptSegments removes segment files that fail verification and
+// are older than the newest valid segment — they are worthless as
+// recovery fallbacks (their checksum already refuses them) and keeping
+// them around keeps the scrubber red forever. The newest segment is
+// never removed here even when corrupt: recovery's fallback chain owns
+// that case. Serializes with checkpoints so a concurrent cleanup never
+// races the removals.
+func (l *Log) DropCorruptSegments() (removed int, err error) {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	l.mu.Unlock()
+	segs, err := listSeqFiles(l.fs, l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return 0, err
+	}
+	newestValid := -1
+	for i := len(segs) - 1; i >= 0; i-- {
+		data, rerr := l.fs.ReadFile(filepath.Join(l.dir, segName(segs[i])))
+		if rerr == nil && verifySegmentData(data) == nil {
+			newestValid = i
+			break
+		}
+	}
+	var first error
+	for i := 0; i < newestValid; i++ {
+		data, rerr := l.fs.ReadFile(filepath.Join(l.dir, segName(segs[i])))
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue
+			}
+			if first == nil {
+				first = rerr
+			}
+			continue
+		}
+		if verifySegmentData(data) == nil {
+			continue
+		}
+		log.Printf("persist: %s: dropping corrupt segment %d (superseded by segment %d)",
+			l.dir, segs[i], segs[newestValid])
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(segs[i]))); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, first
 }
 
 // startSyncer runs the background fsync loop for FsyncInterval.
@@ -608,15 +792,25 @@ func (l *Log) startSyncer() {
 		defer close(l.done)
 		t := time.NewTicker(l.pol.Interval)
 		defer t.Stop()
+		var lastErr string
 		for {
 			select {
 			case <-l.stop:
 				return
 			case <-t.C:
-				if err := l.Sync(); err != nil {
-					log.Printf("persist: %s: background fsync: %v", l.dir, err)
-					return
+				// Keep ticking through failures: Repair can clear the
+				// latch at any time and appends then need the interval
+				// fsync again. Log only on state change to avoid a
+				// 10Hz error spray while the latch is set.
+				err := l.Sync()
+				msg := ""
+				if err != nil {
+					msg = err.Error()
 				}
+				if msg != lastErr && msg != "" {
+					log.Printf("persist: %s: background fsync: %v", l.dir, err)
+				}
+				lastErr = msg
 			}
 		}
 	}()
@@ -668,7 +862,7 @@ func (l *Log) Close() error {
 // Remove closes the log and deletes the whole collection directory.
 func (l *Log) Remove() error {
 	err := l.Close()
-	if rerr := os.RemoveAll(l.dir); err == nil {
+	if rerr := l.fs.RemoveAll(l.dir); err == nil {
 		err = rerr
 	}
 	return err
@@ -678,8 +872,8 @@ func (l *Log) Remove() error {
 func (l *Log) Dir() string { return l.dir }
 
 // removeLogFiles deletes every WAL, segment and temp file in dir.
-func removeLogFiles(dir string) error {
-	entries, err := os.ReadDir(dir)
+func removeLogFiles(fsys errfs.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -691,7 +885,7 @@ func removeLogFiles(dir string) error {
 			continue
 		}
 		log.Printf("persist: %s: removing stale %s", dir, name)
-		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"repro/internal/errfs"
 	"testing"
 	"time"
 
@@ -167,11 +168,11 @@ func TestCheckpointCompactsWAL(t *testing.T) {
 	}
 
 	// One segment at seq 5, exactly one (fresh) WAL file.
-	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	segs, err := listSeqFiles(errfs.OS, dir, segPrefix, segSuffix)
 	if err != nil || len(segs) != 1 || segs[0] != 5 {
 		t.Fatalf("segments %v err=%v, want [5]", segs, err)
 	}
-	wals, err := listSeqFiles(dir, walPrefix, walSuffix)
+	wals, err := listSeqFiles(errfs.OS, dir, walPrefix, walSuffix)
 	if err != nil || len(wals) != 1 || wals[0] != 6 {
 		t.Fatalf("wals %v err=%v, want [6]", wals, err)
 	}
@@ -221,7 +222,7 @@ func TestMaybeCheckpointThreshold(t *testing.T) {
 	// Wait for the background checkpoint to land.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+		segs, err := listSeqFiles(errfs.OS, dir, segPrefix, segSuffix)
 		if err == nil && len(segs) == 1 {
 			break
 		}
@@ -254,7 +255,7 @@ func TestSegmentRetention(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	segs, err := listSeqFiles(errfs.OS, dir, segPrefix, segSuffix)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package persist
 import (
 	"os"
 	"path/filepath"
+	"repro/internal/errfs"
 	"testing"
 
 	"repro/internal/store"
@@ -127,7 +128,7 @@ func TestMutationReplaySegmentOverlap(t *testing.T) {
 		// Segment materializes the live set after ops[:split]; the WAL
 		// still holds all frames (written directly, like a crash between
 		// segment rename and WAL cleanup).
-		if _, err := writeSegment(dir, uint64(split), applyModel(nil, ops[:split]...), PrecisionF64); err != nil {
+		if _, err := writeSegment(errfs.OS, dir, uint64(split), applyModel(nil, ops[:split]...), PrecisionF64); err != nil {
 			t.Fatal(err)
 		}
 		if err := l.Close(); err != nil {

@@ -35,6 +35,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/errfs"
 )
 
 // FsyncMode selects when WAL appends are made durable.
@@ -89,6 +91,10 @@ type Policy struct {
 	// CheckpointBytes is the WAL size above which MaybeCheckpoint
 	// compacts the log into a segment (default 64 MiB).
 	CheckpointBytes int64
+	// FS routes every file operation the log performs. Nil means the
+	// real filesystem (errfs.OS); tests and chaos harnesses install an
+	// errfs.Faulty to inject disk faults without patching call sites.
+	FS errfs.FS
 }
 
 func (p *Policy) withDefaults() {
@@ -97,6 +103,9 @@ func (p *Policy) withDefaults() {
 	}
 	if p.CheckpointBytes <= 0 {
 		p.CheckpointBytes = 64 << 20
+	}
+	if p.FS == nil {
+		p.FS = errfs.OS
 	}
 }
 
@@ -117,7 +126,10 @@ const (
 	lockName     = "lock"
 )
 
-var errClosed = errors.New("persist: log is closed")
+// ErrClosed marks operations against a log that has been closed (e.g.
+// a background scrub or checkpoint racing a Drop). Callers use it to
+// tell shutdown races from real disk faults.
+var ErrClosed = errors.New("persist: log is closed")
 
 const (
 	walPrefix  = "wal-"
@@ -152,8 +164,8 @@ func parseSeqName(name, prefix, suffix string) (uint64, bool) {
 
 // listSeqFiles returns the sequence numbers of every well-formed
 // prefix/suffix file in dir, ascending.
-func listSeqFiles(dir, prefix, suffix string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSeqFiles(fsys errfs.FS, dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -173,58 +185,49 @@ func listSeqFiles(dir, prefix, suffix string) ([]uint64, error) {
 // writeFileAtomic writes name in dir via a temp file + fsync + rename +
 // directory fsync, so a crash leaves either the old file (or nothing)
 // or the complete new one — never a partial write under the real name.
-func writeFileAtomic(dir, name string, data []byte) error {
+func writeFileAtomic(fsys errfs.FS, dir, name string, data []byte) error {
 	tmp := filepath.Join(dir, name+tmpSuffix)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so renames/creates within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return fsys.SyncDir(dir)
 }
 
 // writeManifest persists the manifest atomically.
-func writeManifest(dir string, m Manifest) error {
+func writeManifest(fsys errfs.FS, dir string, m Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(dir, manifestName, append(data, '\n'))
+	return writeFileAtomic(fsys, dir, manifestName, append(data, '\n'))
 }
 
 // ReadManifest loads a collection directory's manifest.
 func ReadManifest(dir string) (Manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	return readManifest(errfs.OS, dir)
+}
+
+func readManifest(fsys errfs.FS, dir string) (Manifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return Manifest{}, err
 	}

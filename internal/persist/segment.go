@@ -4,10 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/errfs"
 	"repro/internal/flat"
 	"repro/internal/store"
 )
@@ -293,20 +293,37 @@ func decodeSegment(data []byte) (seq uint64, recs []store.Record, err error) {
 	return seq, recs, nil
 }
 
+// verifySegmentData checks a segment file image's magic and trailing
+// whole-file CRC without decoding the payload — the integrity scrubber's
+// cheap pass over immutable files.
+func verifySegmentData(data []byte) error {
+	if len(data) < 8+4+8+8+4 {
+		return fmt.Errorf("persist: segment truncated: %d bytes", len(data))
+	}
+	if [8]byte(data[:8]) != segMagic {
+		return fmt.Errorf("persist: bad segment magic %q", data[:8])
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[8:len(data)-4], castagnoli); got != want {
+		return fmt.Errorf("persist: segment checksum mismatch: %08x != %08x", got, want)
+	}
+	return nil
+}
+
 // writeSegment atomically writes segment-<seq>.seg in dir, returning
 // the segment's byte size.
-func writeSegment(dir string, seq uint64, recs []store.Record, prec Precision) (int64, error) {
+func writeSegment(fsys errfs.FS, dir string, seq uint64, recs []store.Record, prec Precision) (int64, error) {
 	data, err := encodeSegment(seq, recs, prec)
 	if err != nil {
 		return 0, err
 	}
-	return int64(len(data)), writeFileAtomic(dir, segName(seq), data)
+	return int64(len(data)), writeFileAtomic(fsys, dir, segName(seq), data)
 }
 
 // readSegment loads and verifies one segment file, also reporting its
 // byte size (which feeds the scaled checkpoint threshold).
-func readSegment(dir string, seq uint64) (uint64, []store.Record, int64, error) {
-	data, err := os.ReadFile(filepath.Join(dir, segName(seq)))
+func readSegment(fsys errfs.FS, dir string, seq uint64) (uint64, []store.Record, int64, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, segName(seq)))
 	if err != nil {
 		return 0, nil, 0, err
 	}

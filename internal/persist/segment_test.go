@@ -3,6 +3,7 @@ package persist
 import (
 	"os"
 	"path/filepath"
+	"repro/internal/errfs"
 	"testing"
 )
 
@@ -57,14 +58,14 @@ func TestSegmentRejectsCorruption(t *testing.T) {
 func TestSegmentWriteReadFile(t *testing.T) {
 	dir := t.TempDir()
 	recs := testBatch(50, 30, 4)
-	if _, err := writeSegment(dir, 9, recs, PrecisionF64); err != nil {
+	if _, err := writeSegment(errfs.OS, dir, 9, recs, PrecisionF64); err != nil {
 		t.Fatal(err)
 	}
 	// The temp file must be gone, the real file present.
 	if _, err := os.Stat(filepath.Join(dir, segName(9)+tmpSuffix)); !os.IsNotExist(err) {
 		t.Fatalf("temp segment file left behind: %v", err)
 	}
-	seq, got, size, err := readSegment(dir, 9)
+	seq, got, size, err := readSegment(errfs.OS, dir, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/errfs"
 	"repro/internal/persist"
 	"repro/internal/store"
 	"repro/internal/vec"
@@ -59,6 +60,26 @@ type Collection struct {
 	timeouts atomic.Int64
 	// adm is the per-collection admission gate; nil means unlimited.
 	adm *gate
+
+	// Failure-domain state (see health.go): health holds a HealthState,
+	// healthReason (under healthMu) the human-readable cause. repairing
+	// is the repair probe's single-flight latch; bg closes at shutdown
+	// to stop the probe and the scrubber.
+	health       atomic.Int32
+	healthMu     sync.Mutex
+	healthReason string
+	repairing    atomic.Bool
+	repairs      atomic.Int64
+	scrubs       atomic.Int64
+	scrubErrors  atomic.Int64
+	lastScrub    atomic.Int64 // unix seconds of the last completed scrub
+	scrubEvery   time.Duration
+	bg           chan struct{}
+	bgOnce       sync.Once
+	// quarDir and fsys let Drop delete a quarantined placeholder's data
+	// directory even though it never got a log attached.
+	quarDir string
+	fsys    errfs.FS
 }
 
 // Default compaction trigger: rewrite a collection's shards once a
@@ -77,9 +98,17 @@ const (
 // checkpoint segment carries the matching payload encoding.
 func (c *Collection) attachLog(lg *persist.Log) {
 	lg.SetPrecision(persist.Precision(c.spec.precision()))
+	// Any latched WAL failure or failed background checkpoint degrades
+	// this collection (read-only until the repair probe succeeds)
+	// instead of surfacing one mutation at a time. The hook runs on its
+	// own goroutine, so no lock ordering couples persist to the server.
+	lg.SetFaultHook(func(err error) {
+		c.degrade(fmt.Sprintf("wal/checkpoint fault: %v", err))
+	})
 	c.ingestMu.Lock()
-	defer c.ingestMu.Unlock()
 	c.log = lg
+	c.ingestMu.Unlock()
+	c.startScrubber()
 }
 
 // closeLog flushes and closes the WAL, if any. Callers hold the
@@ -92,12 +121,20 @@ func (c *Collection) closeLog() error {
 }
 
 // removeLog closes the WAL and deletes the collection's data
-// directory, if any.
+// directory, if any. A quarantined placeholder has no log but still
+// owns its (damaged) directory, which DELETE must be able to discard.
 func (c *Collection) removeLog() error {
-	if c.log == nil {
-		return nil
+	if c.log != nil {
+		return c.log.Remove()
 	}
-	return c.log.Remove()
+	if c.quarDir != "" {
+		fsys := c.fsys
+		if fsys == nil {
+			fsys = errfs.OS
+		}
+		return fsys.RemoveAll(c.quarDir)
+	}
+	return nil
 }
 
 // persistSnapshot is the checkpointer's coherent view: taking ingestMu
@@ -136,6 +173,7 @@ func newCollection(name string, spec IndexSpec, nshards int, seed uint64, overfe
 		compactMin:  defaultCompactMinDead,
 		lat:         newLatencyRing(),
 		hist:        newLatencyHist(),
+		bg:          make(chan struct{}),
 	}
 	for i := range c.shards {
 		c.shards[i] = newShard(i, seed+uint64(i)*0x9e3779b97f4a7c15+1, overfetch)
@@ -185,6 +223,9 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 	defer c.ingestMu.Unlock()
 	if c.closed {
 		return 0, fmt.Errorf("%w: collection %q is closed", ErrUnavailable, c.name)
+	}
+	if err := c.checkMutable(); err != nil {
+		return 0, err
 	}
 
 	// Validate dimensions before touching any state; ingestMu
@@ -350,6 +391,9 @@ func (c *Collection) Upsert(recs []store.Record) (uint64, error) {
 	if c.closed {
 		return 0, fmt.Errorf("%w: collection %q is closed", ErrUnavailable, c.name)
 	}
+	if err := c.checkMutable(); err != nil {
+		return 0, err
+	}
 	if err := c.rel.CheckAppend(recs); err != nil {
 		return 0, err
 	}
@@ -453,6 +497,9 @@ func (c *Collection) Delete(ids []int) (uint64, int, error) {
 	defer c.ingestMu.Unlock()
 	if c.closed {
 		return 0, 0, fmt.Errorf("%w: collection %q is closed", ErrUnavailable, c.name)
+	}
+	if err := c.checkMutable(); err != nil {
+		return 0, 0, err
 	}
 	// Keep only IDs that are currently live, deduplicated, in request
 	// order: the WAL frame then records exactly what changed.
@@ -647,6 +694,11 @@ func (c *Collection) searchOne(ctx context.Context, pool *Pool, q vec.Vector, k 
 	if k <= 0 {
 		return nil, fmt.Errorf("server: k=%d must be positive", k)
 	}
+	// Degraded collections keep serving reads from their last published
+	// snapshots; only quarantine — no trustworthy snapshot — blocks them.
+	if err := c.checkReadable(); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -756,18 +808,25 @@ func (c *Collection) vectorBytes() map[string]int64 {
 // statsSnapshot renders the collection for /stats.
 func (c *Collection) statsSnapshot() CollectionStats {
 	rel, version := c.rel.Snapshot()
+	health, reason := c.healthInfo()
 	cs := CollectionStats{
-		Dim:         rel.Dim,
-		Records:     len(rel.Recs),
-		Compactions: c.compactions.Load(),
-		Compacting:  c.compacting.Load(),
-		Version:     version,
-		Index:       c.spec.kind(),
-		Precision:   c.spec.precision(),
-		VectorBytes: c.vectorBytes(),
-		Queries:     c.queries.Load(),
-		Latency:     c.lat.summary(),
-		Shards:      make([]ShardStats, len(c.shards)),
+		Dim:           rel.Dim,
+		Records:       len(rel.Recs),
+		Compactions:   c.compactions.Load(),
+		Compacting:    c.compacting.Load(),
+		Version:       version,
+		Index:         c.spec.kind(),
+		Precision:     c.spec.precision(),
+		VectorBytes:   c.vectorBytes(),
+		Queries:       c.queries.Load(),
+		Latency:       c.lat.summary(),
+		Health:        health.String(),
+		HealthReason:  reason,
+		Repairs:       c.repairs.Load(),
+		Scrubs:        c.scrubs.Load(),
+		ScrubErrors:   c.scrubErrors.Load(),
+		LastScrubUnix: c.lastScrub.Load(),
+		Shards:        make([]ShardStats, len(c.shards)),
 	}
 	for i, sh := range c.shards {
 		sn := sh.snap.Load()
@@ -796,6 +855,11 @@ func (c *Collection) close() {
 		return
 	}
 	c.closed = true
+	// Stop the repair probe and the scrubber. Neither holds ingestMu
+	// while waiting on bg, so closing it under the lock cannot deadlock;
+	// an in-flight repair checkpoint finishes against the still-open log
+	// (closeLog/removeLog run after close and drain it on ckptMu).
+	c.bgOnce.Do(func() { close(c.bg) })
 	for _, sh := range c.shards {
 		sh.close()
 	}

@@ -31,7 +31,9 @@ import (
 //	                                  pairs excluded
 //	POST /join                        body-addressed join (data/queries
 //	                                  named in the request body)
-//	GET  /healthz                     liveness
+//	GET  /healthz                     liveness (503 once the server closes)
+//	GET  /readyz                      readiness (503 while any collection
+//	                                  is degraded or quarantined)
 //	GET  /stats                       shard sizes, query counts, latency
 //	GET  /metrics                     Prometheus text exposition
 //
@@ -63,6 +65,7 @@ func NewHandler(s *Server) http.Handler {
 	route("POST /collections/{name}/join", "join", s.handleSelfJoin, false)
 	route("POST /join", "join", s.handleJoin, false)
 	route("GET /healthz", "healthz", s.handleHealthz, false)
+	route("GET /readyz", "readyz", s.handleReadyz, false)
 	route("GET /stats", "stats", s.handleStats, false)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.handleMetrics(hm, w, r)
@@ -148,13 +151,21 @@ func queryStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-// queryError writes a search/join failure, attaching Retry-After to
-// shed (429) responses so well-behaved clients back off.
-func queryError(w http.ResponseWriter, err error) {
-	status := queryStatus(err)
-	if status == http.StatusTooManyRequests {
+// hintRetry attaches a Retry-After header to the retryable status
+// classes — 429 (shed) and 503 (degraded/closing/quarantined) — so
+// well-behaved clients back off instead of hammering a server that
+// already said "not now".
+func hintRetry(w http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
+}
+
+// queryError writes a search/join failure, attaching Retry-After to
+// the retryable (429/503) responses so well-behaved clients back off.
+func queryError(w http.ResponseWriter, err error) {
+	status := queryStatus(err)
+	hintRetry(w, status)
 	httpError(w, status, err)
 }
 
@@ -244,6 +255,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrUnavailable) {
 			status = http.StatusServiceUnavailable
 		}
+		hintRetry(w, status)
 		httpError(w, status, err)
 		return
 	}
@@ -370,7 +382,9 @@ func mutationStatus(err error) int {
 func (s *Server) serveUpsert(w http.ResponseWriter, name string, spec *IndexSpec, shards int, recs []store.Record) {
 	version, invalidated, err := s.Upsert(name, spec, shards, recs)
 	if err != nil {
-		httpError(w, mutationStatus(err), err)
+		status := mutationStatus(err)
+		hintRetry(w, status)
+		httpError(w, status, err)
 		return
 	}
 	total := len(recs)
@@ -444,6 +458,7 @@ func (s *Server) handleDeleteOne(w http.ResponseWriter, r *http.Request) {
 		if _, ok := s.Collection(name); !ok {
 			status = http.StatusNotFound
 		}
+		hintRetry(w, status)
 		httpError(w, status, err)
 		return
 	}
@@ -480,6 +495,7 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
 		if _, ok := s.Collection(name); !ok {
 			status = http.StatusNotFound
 		}
+		hintRetry(w, status)
 		httpError(w, status, err)
 		return
 	}
@@ -589,11 +605,35 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is liveness only: is this process able to serve HTTP
+// at all? A closed server says no (503) so orchestrators stop routing
+// to and eventually replace it; degraded/quarantined collections do
+// NOT fail liveness — restarting a process that is mid-repair would
+// only lose the repair progress. Readiness lives at /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "closed"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"collections": s.Collections(),
 	})
+}
+
+// handleReadyz is readiness: should a load balancer send traffic here?
+// Ready means open and every collection active; a degraded or
+// quarantined collection 503s with the offending collections named, so
+// traffic prefers replicas that can serve everything.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Readiness(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready",
+			"reason": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

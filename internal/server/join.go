@@ -193,6 +193,14 @@ func (s *Server) JoinCtx(ctx context.Context, req JoinRequest) (*JoinResponse, e
 	if err != nil {
 		return nil, err
 	}
+	// Joins are reads: degraded collections keep serving their last
+	// published snapshots, but quarantine on either side blocks.
+	if err := dataCol.checkReadable(); err != nil {
+		return nil, err
+	}
+	if err := queryCol.checkReadable(); err != nil {
+		return nil, err
+	}
 	if err := dataCol.adm.enter(ctx); err != nil {
 		return nil, err
 	}

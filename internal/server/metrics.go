@@ -230,6 +230,31 @@ func writeMetrics(w io.Writer, s *Server, hm *httpMetrics) {
 		func(c *Collection) string { _, _, shed := c.adm.snapshot(); return fmt.Sprintf("%d", shed) })
 	emit("ipsd_wal_fsync_lag_seconds", "gauge", "Age of the oldest acknowledged-but-unsynced WAL append.",
 		func(c *Collection) string { return fmt.Sprintf("%g", c.walFsyncLag().Seconds()) })
+	emit("ipsd_collection_repairs_total", "counter", "Successful background repairs (degraded back to active).",
+		func(c *Collection) string { return fmt.Sprintf("%d", c.repairs.Load()) })
+	emit("ipsd_collection_scrubs_total", "counter", "Completed integrity scrub passes over segment files.",
+		func(c *Collection) string { return fmt.Sprintf("%d", c.scrubs.Load()) })
+	emit("ipsd_collection_scrub_errors_total", "counter", "Scrub passes that found a corrupt segment.",
+		func(c *Collection) string { return fmt.Sprintf("%d", c.scrubErrors.Load()) })
+	emit("ipsd_collection_last_scrub_timestamp_seconds", "gauge", "Unix time of the last completed scrub pass (0 before the first).",
+		func(c *Collection) string { return fmt.Sprintf("%d", c.lastScrub.Load()) })
+
+	// Health is one series per (collection, state) pair, Kubernetes
+	// kube_pod_status_phase style: exactly one of the three is 1, so
+	// alerts can match on state by label instead of decoding an enum.
+	fmt.Fprintf(w, "# HELP ipsd_collection_health Collection failure-domain state (1 for the current state, 0 otherwise).\n")
+	fmt.Fprintf(w, "# TYPE ipsd_collection_health gauge\n")
+	for _, n := range names {
+		cur := cols[n].healthState()
+		for _, st := range healthStates {
+			v := 0
+			if st == cur {
+				v = 1
+			}
+			fmt.Fprintf(w, "ipsd_collection_health{collection=%q,state=%q} %d\n",
+				promLabel(n), st.String(), v)
+		}
+	}
 
 	// Vector residency is multi-series per collection (one series per
 	// storage precision), so it cannot ride the single-series emit

@@ -7,14 +7,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"log"
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/errfs"
 	"repro/internal/persist"
 	"repro/internal/store"
 	"repro/internal/vec"
@@ -48,6 +50,19 @@ type Config struct {
 	// CheckpointBytes is the WAL size above which a collection's log
 	// is compacted into a segment snapshot (default 64 MiB).
 	CheckpointBytes int64
+	// RecoverMode decides what a boot-time recovery failure does:
+	// "strict" (default) fails the whole boot; "quarantine" keeps
+	// booting and serves the damaged collection as a 503-with-reason
+	// placeholder, its data directory untouched.
+	RecoverMode string
+	// ScrubInterval is the per-collection background integrity
+	// scrubber's period (re-verify segment whole-file CRCs, degrade on
+	// mismatch). Zero disables scrubbing.
+	ScrubInterval time.Duration
+	// FS routes every filesystem operation the server and its
+	// collections perform. Nil means the real filesystem; tests and
+	// chaos harnesses install an errfs.Faulty to inject disk faults.
+	FS errfs.FS
 
 	// CompactFraction triggers background compaction of a collection
 	// once tombstoned rows exceed this fraction of all rows (default
@@ -98,7 +113,17 @@ func (c *Config) persistPolicy() persist.Policy {
 		Mode:            mode,
 		Interval:        c.FsyncInterval,
 		CheckpointBytes: c.CheckpointBytes,
+		FS:              c.FS,
 	}
+}
+
+// fsys returns the filesystem the server itself uses (data-dir
+// enumeration, quarantined-directory removal).
+func (s *Server) fsys() errfs.FS {
+	if s.cfg.FS != nil {
+		return s.cfg.FS
+	}
+	return errfs.OS
 }
 
 // ErrUnavailable marks failures that are the server's fault — a WAL
@@ -154,12 +179,20 @@ func New(cfg Config) *Server {
 // collection persisted under it: for each collection directory the
 // newest valid segment snapshot is loaded, the WAL tail replayed, the
 // index rebuilt from the manifest's spec, and the log reopened so new
-// ingests append to it. Boot fails — rather than silently serving a
-// subset — if any collection directory cannot be recovered.
+// ingests append to it. Under RecoverMode "strict" (the default) boot
+// fails — rather than silently serving a subset — if any collection
+// directory cannot be recovered; under "quarantine" the damaged
+// collection is served as a 503-with-reason placeholder, its directory
+// untouched, and the rest of the server boots normally.
 func Open(cfg Config) (*Server, error) {
 	if _, err := persist.ParseFsyncMode(cfg.Fsync); err != nil {
 		return nil, err
 	}
+	mode, err := ParseRecoverMode(cfg.RecoverMode)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RecoverMode = mode
 	s := New(cfg)
 	if cfg.DataDir == "" {
 		return s, nil
@@ -198,13 +231,14 @@ func (s *Server) noteRecoveredSeed(seed uint64) {
 
 // recoverDataDir rebuilds all collections from cfg.DataDir.
 func (s *Server) recoverDataDir() error {
-	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+	if err := s.fsys().MkdirAll(s.cfg.DataDir, 0o755); err != nil {
 		return err
 	}
-	entries, err := os.ReadDir(s.cfg.DataDir)
+	entries, err := s.fsys().ReadDir(s.cfg.DataDir)
 	if err != nil {
 		return err
 	}
+	quarantine := s.cfg.RecoverMode == RecoverQuarantine
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
@@ -215,14 +249,51 @@ func (s *Server) recoverDataDir() error {
 		}
 		lg, rec, err := persist.Open(dir, s.cfg.persistPolicy())
 		if err != nil {
+			if quarantine {
+				s.adoptQuarantined(dir, e.Name(), err)
+				continue
+			}
 			return fmt.Errorf("server: recovering %s: %w", dir, err)
 		}
 		if err := s.adoptRecovered(lg, rec); err != nil {
 			lg.Close()
+			if quarantine {
+				s.adoptQuarantined(dir, e.Name(), err)
+				continue
+			}
 			return fmt.Errorf("server: recovering %s: %w", dir, err)
 		}
 	}
 	return nil
+}
+
+// adoptQuarantined registers a 503-serving placeholder for a
+// collection directory that failed recovery. The directory is left
+// exactly as recovery found it (forensics, or a fixed binary/disk may
+// recover it on the next boot); only an explicit DELETE removes it.
+// The collection name comes from the manifest when it is readable,
+// else the directory name.
+func (s *Server) adoptQuarantined(dir, dirName string, cause error) {
+	name := dirName
+	if m, err := persist.ReadManifest(dir); err == nil && m.Name != "" {
+		name = m.Name
+	}
+	log.Printf("server: quarantining collection %q (%s): %v", name, dir, cause)
+	c := newQuarantined(name, dir, s.fsys(), cause.Error())
+	c.gen = s.gens.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.cols[name]; ok {
+		// Two directories claiming one collection name: keep the one
+		// that recovered (or quarantined) first, leave this directory on
+		// disk for the operator.
+		log.Printf("server: collection %q already registered; leaving %s unserved", name, dir)
+		return
+	}
+	s.cols[name] = c
 }
 
 // adoptRecovered builds one collection from a recovered log: create it
@@ -338,6 +409,45 @@ func collectionDirName(name string) string {
 	return "x-" + hex.EncodeToString(sum[:16])
 }
 
+// Closed reports whether Close has run: the liveness signal behind
+// /healthz (a closed server cannot serve, so it must stop advertising
+// itself as alive).
+func (s *Server) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Readiness reports whether the server should receive traffic: nil
+// when it is open and every collection is active. A degraded or
+// quarantined collection makes the whole process unready — a load
+// balancer should prefer replicas that can serve everything — while
+// /healthz stays green so the orchestrator does not restart a process
+// that is busy repairing itself.
+func (s *Server) Readiness() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("server is closed")
+	}
+	cols := make(map[string]*Collection, len(s.cols))
+	for n, c := range s.cols {
+		cols[n] = c
+	}
+	s.mu.RUnlock()
+	var unready []string
+	for n, c := range cols {
+		if st := c.healthState(); st != HealthActive {
+			unready = append(unready, fmt.Sprintf("%s (%s)", n, st))
+		}
+	}
+	if len(unready) == 0 {
+		return nil
+	}
+	sort.Strings(unready)
+	return fmt.Errorf("collections not active: %s", strings.Join(unready, ", "))
+}
+
 // Collection returns the named collection, if it exists.
 func (s *Server) Collection(name string) (*Collection, bool) {
 	s.mu.RLock()
@@ -374,6 +484,13 @@ func (s *Server) EnsureCollection(name string, spec *IndexSpec, shards int) (*Co
 		}
 		if c, ok := s.cols[name]; ok {
 			s.mu.Unlock()
+			if st, reason := c.healthInfo(); st == HealthQuarantined {
+				// The placeholder's zero spec must not be compared against
+				// the request's: the real spec lives in the unreadable
+				// directory. 503 (not 400/409) so the client knows this is
+				// the server's problem and a retry after repair can work.
+				return nil, fmt.Errorf("%w: collection %q is quarantined: %s", ErrUnavailable, name, reason)
+			}
 			if spec != nil && *spec != c.spec {
 				return nil, fmt.Errorf("server: collection %q already exists with index %q", name, c.spec.kind())
 			}
@@ -440,6 +557,8 @@ func (s *Server) configureCompaction(c *Collection) {
 		c.compactMin = 0
 	}
 	c.adm = newGate(s.cfg.MaxInflight, s.cfg.MaxQueue)
+	c.scrubEvery = s.cfg.ScrubInterval
+	c.fsys = s.fsys()
 }
 
 func specOrDefault(spec *IndexSpec) IndexSpec {

@@ -98,7 +98,19 @@ type CollectionStats struct {
 	VectorBytes map[string]int64 `json:"vector_bytes"`
 	Queries     int64            `json:"queries"`
 	Latency     LatencyStats     `json:"latency"`
-	Shards      []ShardStats     `json:"shards"`
+	// Health is the failure-domain state ("active", "degraded",
+	// "quarantined"); HealthReason the cause while not active.
+	Health       string `json:"health"`
+	HealthReason string `json:"health_reason,omitempty"`
+	// Repairs counts successful background repairs (degraded → active);
+	// Scrubs/ScrubErrors the integrity scrubber's passes and failures,
+	// LastScrubUnix the wall time of the last completed pass (0 until
+	// the first one).
+	Repairs       int64        `json:"repairs"`
+	Scrubs        int64        `json:"scrubs"`
+	ScrubErrors   int64        `json:"scrub_errors"`
+	LastScrubUnix int64        `json:"last_scrub_unix,omitempty"`
+	Shards        []ShardStats `json:"shards"`
 }
 
 // CacheStats describes the query cache in /stats.
