@@ -9,6 +9,8 @@
 //	     [-max-body-bytes 33554432] [-rerank-overfetch 4]
 //	     [-recover strict|quarantine] [-scrub-interval 0]
 //	     [-read-timeout 30s] [-write-timeout 60s] [-idle-timeout 2m]
+//	     [-trace] [-trace-buffer 32] [-slow-query-ms 0]
+//	     [-log-format text|json]
 //	     [-fault-ops ...] [-fault-rate p] [-fault-count n] [-fault-seed s]
 //
 // Collections are created lazily by the first PUT /collections/{name};
@@ -27,6 +29,15 @@
 // sets the server-wide candidate multiplier used when re-ranking
 // quantized results through the f64 store (a collection's own
 // "overfetch" spec field takes priority).
+//
+// -trace (on by default) gives every request a trace: W3C traceparent
+// headers are honored and echoed, per-stage timings feed the
+// ipsd_stage_seconds histograms, the last -trace-buffer traces per
+// route are browsable at /debug/requests and /debug/trace/{id}, and
+// requests slower than -slow-query-ms (0 disables) emit one structured
+// log line carrying the full span tree. -log-format json switches all
+// logging to one-JSON-object-per-line for machine ingestion.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the HTTP listener stops
 // accepting, in-flight requests drain, and the WALs are flushed and
 // fsynced before the process exits.
@@ -36,7 +47,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -67,6 +79,10 @@ func main() {
 	rerankOverfetch := flag.Int("rerank-overfetch", 0, "candidate multiplier for quantized-tier re-ranking (0 = built-in default)")
 	recoverMode := flag.String("recover", "strict", "boot behavior when a collection fails recovery: strict (fail the boot) | quarantine (serve it as 503, directory untouched)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background segment integrity scrub period per collection (0 disables)")
+	tracing := flag.Bool("trace", true, "per-request tracing: /debug/requests, /debug/trace/{id}, ipsd_stage_seconds")
+	traceBuffer := flag.Int("trace-buffer", 0, "finished traces kept per route for the debug endpoints (0 = built-in default)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log one structured line (with the full span tree) for requests slower than this; 0 disables")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	faultOps := flag.String("fault-ops", "", "CHAOS: comma-separated fs operation classes to fault (write,sync,rename,...); empty disables injection")
 	faultRate := flag.Float64("fault-rate", 0, "CHAOS: per-call fault probability for -fault-ops (0 = every eligible call)")
 	faultCount := flag.Int("fault-count", 0, "CHAOS: faults to inject per op class before the schedule heals (0 = unlimited)")
@@ -78,6 +94,15 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (0 disables)")
 	flag.Parse()
 
+	switch *logFormat {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text", "":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fatal(fmt.Errorf("-log-format: unknown format %q (want text or json)", *logFormat))
+	}
+
 	if *pprofAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -86,9 +111,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("ipsd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			slog.Info("ipsd: pprof serving", "url", "http://"+*pprofAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Printf("ipsd: pprof: %v", err)
+				slog.Error("ipsd: pprof", "error", err)
 			}
 		}()
 	}
@@ -103,7 +128,7 @@ func main() {
 		for _, spelling := range strings.Split(*faultOps, ",") {
 			op, err := errfs.ParseOp(strings.TrimSpace(spelling))
 			if err != nil {
-				log.Fatalf("ipsd: -fault-ops: %v", err)
+				fatal(fmt.Errorf("-fault-ops: %w", err))
 			}
 			faulty.Inject(errfs.Rule{
 				Op:    op,
@@ -113,8 +138,9 @@ func main() {
 				Prob:  *faultRate,
 			})
 		}
-		log.Printf("ipsd: CHAOS fault injection armed: ops=%s rate=%g count=%d after=%d seed=%d path=%q",
-			*faultOps, *faultRate, *faultCount, *faultAfter, *faultSeed, *faultPath)
+		slog.Warn("ipsd: CHAOS fault injection armed",
+			"ops", *faultOps, "rate", *faultRate, "count", *faultCount,
+			"after", *faultAfter, "seed", *faultSeed, "path", *faultPath)
 		fsys = faulty
 	}
 
@@ -135,9 +161,12 @@ func main() {
 		MaxQueue:        *maxQueue,
 		MaxBodyBytes:    *maxBody,
 		RerankOverfetch: *rerankOverfetch,
+		Tracing:         *tracing,
+		TraceBuffer:     *traceBuffer,
+		SlowQueryMS:     *slowQueryMS,
 	})
 	if err != nil {
-		log.Fatalf("ipsd: %v", err)
+		fatal(err)
 	}
 	if *dataDir != "" {
 		total := 0
@@ -146,8 +175,9 @@ func main() {
 				total += c.Len()
 			}
 		}
-		log.Printf("ipsd: recovered %d collections (%d records) from %s (fsync=%s)",
-			len(srv.Collections()), total, *dataDir, *fsync)
+		slog.Info("ipsd: recovered collections",
+			"collections", len(srv.Collections()), "records", total,
+			"data_dir", *dataDir, "fsync", *fsync)
 	}
 
 	hs := &http.Server{
@@ -165,27 +195,34 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		s := <-sig
-		log.Printf("ipsd: %v: shutting down", s)
+		slog.Info("ipsd: shutting down", "signal", s.String())
 		// Stop accepting and drain in-flight requests (which also
 		// quiesces the worker pool and any durable ingests)...
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("ipsd: shutdown: %v", err)
+			slog.Error("ipsd: shutdown", "error", err)
 		}
 	}()
 
-	log.Printf("ipsd: listening on %s (shards=%d cache=%d workers=%d)",
-		*addr, *shards, *cache, srv.Stats().Workers)
+	slog.Info("ipsd: listening", "addr", *addr, "shards", *shards,
+		"cache", *cache, "workers", srv.Stats().Workers, "trace", *tracing)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("ipsd: %v", err)
+		fatal(err)
 	}
 	<-done
 	// ...then flush and fsync every collection's WAL so the final
 	// acknowledged writes are durable even under -fsync interval/never.
 	if err := srv.Close(); err != nil {
-		log.Printf("ipsd: close: %v", err)
+		slog.Error("ipsd: close", "error", err)
 		os.Exit(1)
 	}
-	log.Printf("ipsd: wal flushed, bye")
+	slog.Info("ipsd: wal flushed, bye")
+}
+
+// fatal logs through the configured slog handler and exits nonzero,
+// the slog equivalent of log.Fatalf.
+func fatal(err error) {
+	slog.Error("ipsd: fatal", "error", err)
+	os.Exit(1)
 }

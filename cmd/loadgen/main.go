@@ -53,6 +53,7 @@ import (
 	"repro/internal/mips"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vec"
 	"repro/internal/xrand"
 )
@@ -764,9 +765,13 @@ func exactTopK(ids []int, items []vec.Vector, q vec.Vector, k int) []server.Hit 
 }
 
 // call performs one JSON round-trip, decoding an {"error": ...} body
-// into a Go error. With -retries > 0 the transient statuses (429/503)
-// are absorbed with capped exponential backoff + jitter, honoring the
-// server's Retry-After hint, before the final status is reported.
+// into a Go error. Every request carries a client-minted W3C
+// traceparent (one trace id per logical request, a fresh span id per
+// retry attempt), so a traced server stitches the loadgen's requests
+// into its /debug plane. With -retries > 0 the transient statuses
+// (429/503) are absorbed with capped exponential backoff + jitter,
+// honoring the server's Retry-After hint, before the final status is
+// reported.
 func call(client *http.Client, method, url string, body, out any) error {
 	var payload []byte
 	if body != nil {
@@ -775,12 +780,15 @@ func call(client *http.Client, method, url string, body, out any) error {
 			return err
 		}
 	}
+	traceID, _ := trace.NewIDs()
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		_, spanID := trace.NewIDs()
+		req.Header.Set("traceparent", trace.Format(traceID, spanID))
 		resp, err := client.Do(req)
 		if err != nil {
 			return err

@@ -35,6 +35,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -82,6 +83,11 @@ type sloRouteStats struct {
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
 	MaxMS float64 `json:"max_ms"`
+	// SlowestTraceIDs names the (up to) 5 slowest requests on this
+	// route, slowest first, by the trace id the client minted into the
+	// traceparent header — resolvable at the server's /debug/trace/{id}
+	// while they remain in its ring.
+	SlowestTraceIDs []string `json:"slowest_trace_ids,omitempty"`
 }
 
 // sloReport is the JSON artifact the CI smoke step uploads.
@@ -104,11 +110,18 @@ type sloReport struct {
 	Failures []string `json:"failures,omitempty"`
 }
 
+// sloObs is one classified request: its latency and the trace id the
+// client stamped into the traceparent header.
+type sloObs struct {
+	ms      float64
+	traceID string
+}
+
 // sloTracker accumulates classified responses and latencies from many
 // client goroutines.
 type sloTracker struct {
 	mu      sync.Mutex
-	byRoute map[string][]float64 // ms
+	byRoute map[string][]sloObs
 	order   []string
 
 	phase      atomic.Int32 // 0 steady, 1 overload
@@ -117,10 +130,10 @@ type sloTracker struct {
 }
 
 func newSLOTracker() *sloTracker {
-	return &sloTracker{byRoute: map[string][]float64{}}
+	return &sloTracker{byRoute: map[string][]sloObs{}}
 }
 
-func (t *sloTracker) observe(route string, status int, gotRetryAfter bool, d time.Duration, transportErr bool) {
+func (t *sloTracker) observe(route string, status int, gotRetryAfter bool, d time.Duration, transportErr bool, traceID string) {
 	p := t.phase.Load()
 	c := &t.counts[p]
 	switch {
@@ -144,34 +157,39 @@ func (t *sloTracker) observe(route string, status int, gotRetryAfter bool, d tim
 	if _, ok := t.byRoute[route]; !ok {
 		t.order = append(t.order, route)
 	}
-	t.byRoute[route] = append(t.byRoute[route], float64(d)/float64(time.Millisecond))
+	t.byRoute[route] = append(t.byRoute[route], sloObs{ms: float64(d) / float64(time.Millisecond), traceID: traceID})
 	t.mu.Unlock()
 }
 
 // sloCall runs one JSON request and returns the status code without
 // treating non-2xx as an error; the body is drained so connections are
-// reused. With -retries > 0 the transient statuses (429/503) are
-// retried with capped exponential backoff + jitter, honoring the
-// server's Retry-After hint; only the final attempt's status is
-// returned (and classified by the tracker), so a retried-away shed
-// counts as served — which is exactly the client experience the
-// report should grade.
-func sloCall(client *http.Client, method, url string, body any) (status int, retryAfter bool, err error) {
+// reused. Every request carries a client-minted traceparent (one trace
+// id per logical request, a fresh span id per retry attempt); the trace
+// id is returned so the report can name the slowest requests. With
+// -retries > 0 the transient statuses (429/503) are retried with capped
+// exponential backoff + jitter, honoring the server's Retry-After hint;
+// only the final attempt's status is returned (and classified by the
+// tracker), so a retried-away shed counts as served — which is exactly
+// the client experience the report should grade.
+func sloCall(client *http.Client, method, url string, body any) (status int, retryAfter bool, traceID string, err error) {
 	var payload []byte
 	if body != nil {
 		if payload, err = json.Marshal(body); err != nil {
-			return 0, false, err
+			return 0, false, "", err
 		}
 	}
+	traceID, _ = trace.NewIDs()
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
 		if err != nil {
-			return 0, false, err
+			return 0, false, traceID, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		_, spanID := trace.NewIDs()
+		req.Header.Set("traceparent", trace.Format(traceID, spanID))
 		resp, err := client.Do(req)
 		if err != nil {
-			return 0, false, err
+			return 0, false, traceID, err
 		}
 		ra := resp.Header.Get("Retry-After")
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -181,7 +199,7 @@ func sloCall(client *http.Client, method, url string, body any) (status int, ret
 			time.Sleep(retryDelay(attempt+1, ra))
 			continue
 		}
-		return resp.StatusCode, ra != "", nil
+		return resp.StatusCode, ra != "", traceID, nil
 	}
 }
 
@@ -235,7 +253,7 @@ func runSLO(f sloFlags) int {
 				recs[i-lo] = server.RecordJSON{ID: &id, Vec: lf.Items[t*nPer+i]}
 			}
 			req := server.IngestRequest{Index: &server.IndexSpec{Kind: f.index, Precision: f.precision}, Shards: f.shards, Records: recs}
-			status, _, err := sloCall(client, http.MethodPut, base+"/collections/"+tenant(t), req)
+			status, _, _, err := sloCall(client, http.MethodPut, base+"/collections/"+tenant(t), req)
 			if err != nil || status != http.StatusOK {
 				log.Fatalf("loadgen: slo seed tenant %d: status=%d err=%v", t, status, err)
 			}
@@ -268,6 +286,7 @@ func runSLO(f sloFlags) int {
 				route  string
 				status int
 				ra     bool
+				tid    string
 				err    error
 			)
 			t0 := time.Now()
@@ -275,7 +294,7 @@ func runSLO(f sloFlags) int {
 			case r < 0.55: // single search
 				route = "search"
 				q := lf.Users[wrng.Intn(len(lf.Users))]
-				status, ra, err = sloCall(client, http.MethodPost, col+"/search",
+				status, ra, tid, err = sloCall(client, http.MethodPost, col+"/search",
 					server.SearchRequest{Q: q, K: f.k, TimeoutMS: f.timeoutMS, Rerank: f.rerank})
 			case r < 0.85: // batched search
 				route = "search_batch"
@@ -283,7 +302,7 @@ func runSLO(f sloFlags) int {
 				for i := range qs {
 					qs[i] = lf.Users[wrng.Intn(len(lf.Users))]
 				}
-				status, ra, err = sloCall(client, http.MethodPost, col+"/search",
+				status, ra, tid, err = sloCall(client, http.MethodPost, col+"/search",
 					server.SearchRequest{Queries: qs, K: f.k, TimeoutMS: f.timeoutMS, Rerank: f.rerank})
 			case r < 0.95: // upsert a handful of hot ids
 				route = "upsert"
@@ -293,15 +312,15 @@ func runSLO(f sloFlags) int {
 					id := wrng.Intn(nPer)
 					recs[i] = server.RecordJSON{ID: &id, Vec: wrng.NormalVec(f.d)}
 				}
-				status, ra, err = sloCall(client, http.MethodPost, col+"/vectors",
+				status, ra, tid, err = sloCall(client, http.MethodPost, col+"/vectors",
 					server.IngestRequest{Records: recs})
 			default: // delete-then-reinsertable ids (unknown ids are no-ops)
 				route = "delete"
 				ids := []int{wrng.Intn(nPer)}
-				status, ra, err = sloCall(client, http.MethodPost, col+"/vectors/delete",
+				status, ra, tid, err = sloCall(client, http.MethodPost, col+"/vectors/delete",
 					server.DeleteVectorsRequest{IDs: ids})
 			}
-			tr.observe(route, status, ra, time.Since(t0), err != nil)
+			tr.observe(route, status, ra, time.Since(t0), err != nil, tid)
 		}
 	}
 
@@ -344,19 +363,37 @@ func runSLO(f sloFlags) int {
 	tr.mu.Lock()
 	sort.Strings(tr.order)
 	for _, route := range tr.order {
-		ms := tr.byRoute[route]
+		obs := tr.byRoute[route]
+		ms := make([]float64, len(obs))
+		for i, o := range obs {
+			ms[i] = o.ms
+		}
 		maxMS := 0.0
 		for _, v := range ms {
 			if v > maxMS {
 				maxMS = v
 			}
 		}
+		// The 5 slowest requests, slowest first, named by the trace id
+		// the client minted — the handle for /debug/trace/{id} and for
+		// grepping the server's slow-query log.
+		slowest := make([]sloObs, len(obs))
+		copy(slowest, obs)
+		sort.Slice(slowest, func(a, b int) bool { return slowest[a].ms > slowest[b].ms })
+		if len(slowest) > 5 {
+			slowest = slowest[:5]
+		}
+		slowIDs := make([]string, 0, len(slowest))
+		for _, o := range slowest {
+			slowIDs = append(slowIDs, o.traceID)
+		}
 		rep.Routes = append(rep.Routes, sloRouteStats{
 			Route: route, N: len(ms),
-			P50MS: stats.Quantile(ms, 0.50),
-			P95MS: stats.Quantile(ms, 0.95),
-			P99MS: stats.Quantile(ms, 0.99),
-			MaxMS: maxMS,
+			P50MS:           stats.Quantile(ms, 0.50),
+			P95MS:           stats.Quantile(ms, 0.95),
+			P99MS:           stats.Quantile(ms, 0.99),
+			MaxMS:           maxMS,
+			SlowestTraceIDs: slowIDs,
 		})
 	}
 	tr.mu.Unlock()
@@ -393,6 +430,9 @@ func runSLO(f sloFlags) int {
 	for _, rs := range rep.Routes {
 		fmt.Printf("  %-14s n=%-6d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 			rs.Route, rs.N, rs.P50MS, rs.P95MS, rs.P99MS, rs.MaxMS)
+		if len(rs.SlowestTraceIDs) > 0 {
+			fmt.Printf("    slowest trace ids: %v\n", rs.SlowestTraceIDs)
+		}
 	}
 
 	if f.report != "" {

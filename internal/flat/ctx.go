@@ -68,7 +68,7 @@ func (s *Store) TopKMaskedCtx(ctx context.Context, q vec.Vector, k int, unsigned
 // TopKCtx is NormSorted.TopK with cancellation. scanned still reports
 // the rows evaluated before the scan was abandoned.
 func (ns *NormSorted) TopKCtx(ctx context.Context, q vec.Vector, k int, unsigned bool) ([]Hit, int, error) {
-	hits, scanned, stopped, err := ns.topKDone(q, k, unsigned, doneOf(ctx))
+	hits, scanned, stopped, err := ns.topKDone(q, k, unsigned, doneOf(ctx), nil)
 	if err != nil {
 		return nil, scanned, err
 	}
@@ -80,7 +80,7 @@ func (ns *NormSorted) TopKCtx(ctx context.Context, q vec.Vector, k int, unsigned
 
 // TopKMaskedCtx is NormSorted.TopKMasked with cancellation.
 func (ns *NormSorted) TopKMaskedCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, dead *Tombstones) ([]Hit, int, error) {
-	hits, scanned, stopped, err := ns.topKMaskedDone(q, k, unsigned, dead, doneOf(ctx))
+	hits, scanned, stopped, err := ns.topKMaskedDone(q, k, unsigned, dead, doneOf(ctx), nil)
 	if err != nil {
 		return nil, scanned, err
 	}

@@ -1,0 +1,77 @@
+package flat
+
+import (
+	"context"
+
+	"repro/internal/vec"
+)
+
+// ScanStats counts the work one top-k scan actually performed, for the
+// serving layer's query-explain path. The counters mirror the drivers'
+// block triage exactly:
+//
+//   - ScannedRows: rows whose dot product the kernel evaluated.
+//   - PrunedBlocks: blocks never evaluated because the descending-norm
+//     Cauchy–Schwarz bound terminated the scan first (NormSorted only).
+//   - SkippedBlocks: blocks skipped wholesale because every row in them
+//     was tombstoned.
+//
+// The struct is filled by one serial scan at a time; the stats entry
+// points are not meant for the chunk-parallel Store drivers (those
+// report via MaskedScanProfile, whose answer is query-independent).
+type ScanStats struct {
+	ScannedRows   int
+	PrunedBlocks  int
+	SkippedBlocks int
+}
+
+// MaskedScanProfile reports what a blocked masked scan over n rows
+// does before looking at a single score: how many rows the dot kernel
+// evaluates and how many whole blocks the tombstone triage skips. The
+// Store drivers' skip decision depends only on the tombstone set — not
+// on the query — so the profile is exact for every Store.TopKMasked*
+// call over (n, dead) and costs a popcount sweep instead of a rescan.
+func MaskedScanProfile(n int, dead *Tombstones) (scannedRows, skippedBlocks int) {
+	if dead.Count() == 0 {
+		return n, 0
+	}
+	for start := 0; start < n; start += blockRows {
+		end := start + blockRows
+		if end > n {
+			end = n
+		}
+		nb := end - start
+		if dead.DeadIn(start, end) == nb {
+			skippedBlocks++
+			continue
+		}
+		scannedRows += nb
+	}
+	return scannedRows, skippedBlocks
+}
+
+// TopKStatsCtx is TopKCtx with scan accounting: identical hits, plus
+// stats (when non-nil) filled with the rows evaluated and the blocks
+// the norm bound pruned.
+func (ns *NormSorted) TopKStatsCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, stats *ScanStats) ([]Hit, int, error) {
+	hits, scanned, stopped, err := ns.topKDone(q, k, unsigned, doneOf(ctx), stats)
+	if err != nil {
+		return nil, scanned, err
+	}
+	if stopped {
+		return nil, scanned, stopErr(ctx)
+	}
+	return hits, scanned, nil
+}
+
+// TopKMaskedStatsCtx is TopKMaskedCtx with scan accounting.
+func (ns *NormSorted) TopKMaskedStatsCtx(ctx context.Context, q vec.Vector, k int, unsigned bool, dead *Tombstones, stats *ScanStats) ([]Hit, int, error) {
+	hits, scanned, stopped, err := ns.topKMaskedDone(q, k, unsigned, dead, doneOf(ctx), stats)
+	if err != nil {
+		return nil, scanned, err
+	}
+	if stopped {
+		return nil, scanned, stopErr(ctx)
+	}
+	return hits, scanned, nil
+}

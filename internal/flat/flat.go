@@ -608,13 +608,15 @@ func (ns *NormSorted) Perm() []int { return ns.perm }
 // block's leading (largest) norm, no later row can enter and the scan
 // stops. Exactness does not depend on the bound — it only saves work.
 func (ns *NormSorted) TopK(q vec.Vector, k int, unsigned bool) ([]Hit, int, error) {
-	hits, scanned, _, err := ns.topKDone(q, k, unsigned, nil)
+	hits, scanned, _, err := ns.topKDone(q, k, unsigned, nil, nil)
 	return hits, scanned, err
 }
 
 // topKDone is the NormSorted.TopK driver with the optional per-block
-// done poll (nil done keeps the historical unchecked loop).
-func (ns *NormSorted) topKDone(q vec.Vector, k int, unsigned bool, done <-chan struct{}) ([]Hit, int, bool, error) {
+// done poll (nil done keeps the historical unchecked loop). stats,
+// when non-nil, additionally receives the explain counters; the nil
+// case costs one predictable branch per block.
+func (ns *NormSorted) topKDone(q vec.Vector, k int, unsigned bool, done <-chan struct{}, stats *ScanStats) ([]Hit, int, bool, error) {
 	s := ns.store
 	if err := s.checkQuery(q); err != nil {
 		return nil, 0, false, err
@@ -636,6 +638,9 @@ func (ns *NormSorted) topKDone(q vec.Vector, k int, unsigned bool, done <-chan s
 			}
 		}
 		if a.Full() && s.norms[start]*qn < a.Threshold() {
+			if stats != nil {
+				stats.PrunedBlocks += (n - start + blockRows - 1) / blockRows
+			}
 			break // every remaining row is dominated by the bound
 		}
 		end := start + blockRows
@@ -646,6 +651,9 @@ func (ns *NormSorted) topKDone(q vec.Vector, k int, unsigned bool, done <-chan s
 		s.dotRange(q, start, end, buf[:nb])
 		scanned += nb
 		offerScores(&a, buf[:nb], start, unsigned, ns.perm)
+	}
+	if stats != nil {
+		stats.ScannedRows += scanned
 	}
 	return a.Hits(), scanned, false, nil
 }

@@ -275,19 +275,20 @@ func (s *Store) topKMaskedDone(q vec.Vector, k int, unsigned bool, workers int, 
 // reference would discard too. scanned counts rows whose dot was
 // evaluated; rows of fully-dead skipped blocks are not evaluated.
 func (ns *NormSorted) TopKMasked(q vec.Vector, k int, unsigned bool, dead *Tombstones) ([]Hit, int, error) {
-	hits, scanned, _, err := ns.topKMaskedDone(q, k, unsigned, dead, nil)
+	hits, scanned, _, err := ns.topKMaskedDone(q, k, unsigned, dead, nil, nil)
 	return hits, scanned, err
 }
 
 // topKMaskedDone is the NormSorted.TopKMasked driver with the optional
 // per-block done poll (nil done keeps the historical unchecked loop).
-func (ns *NormSorted) topKMaskedDone(q vec.Vector, k int, unsigned bool, dead *Tombstones, done <-chan struct{}) ([]Hit, int, bool, error) {
+// stats, when non-nil, additionally receives the explain counters.
+func (ns *NormSorted) topKMaskedDone(q vec.Vector, k int, unsigned bool, dead *Tombstones, done <-chan struct{}, stats *ScanStats) ([]Hit, int, bool, error) {
 	s := ns.store
 	if err := s.checkMask(dead); err != nil {
 		return nil, 0, false, err
 	}
 	if dead.Count() == 0 {
-		return ns.topKDone(q, k, unsigned, done)
+		return ns.topKDone(q, k, unsigned, done, stats)
 	}
 	if err := s.checkQuery(q); err != nil {
 		return nil, 0, false, err
@@ -309,6 +310,9 @@ func (ns *NormSorted) topKMaskedDone(q vec.Vector, k int, unsigned bool, dead *T
 			}
 		}
 		if a.Full() && s.norms[start]*qn < a.Threshold() {
+			if stats != nil {
+				stats.PrunedBlocks += (n - start + blockRows - 1) / blockRows
+			}
 			break
 		}
 		end := start + blockRows
@@ -318,6 +322,9 @@ func (ns *NormSorted) topKMaskedDone(q vec.Vector, k int, unsigned bool, dead *T
 		nb := end - start
 		nd := dead.DeadIn(start, end)
 		if nd == nb {
+			if stats != nil {
+				stats.SkippedBlocks++
+			}
 			continue
 		}
 		s.dotRange(q, start, end, buf[:nb])
@@ -327,6 +334,9 @@ func (ns *NormSorted) topKMaskedDone(q vec.Vector, k int, unsigned bool, dead *T
 		} else {
 			offerScoresMasked(&a, buf[:nb], start, unsigned, ns.perm, dead)
 		}
+	}
+	if stats != nil {
+		stats.ScannedRows += scanned
 	}
 	return a.Hits(), scanned, false, nil
 }

@@ -3,7 +3,7 @@ package persist
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -70,6 +70,12 @@ type Log struct {
 	// fails — the serving layer's signal to degrade the collection
 	// instead of discovering the breakage on the next mutation.
 	faultHook atomic.Value // func(error)
+
+	// observer, when set (SetObserver), receives the duration of every
+	// WAL fsync and completed checkpoint — the serving layer feeds them
+	// into its per-stage latency histograms. Synchronous and cheap:
+	// called with mu held, so implementations must only record.
+	observer atomic.Value // func(stage string, d time.Duration)
 }
 
 // Recovered is what Open rebuilt from disk.
@@ -119,7 +125,7 @@ func Create(dir string, m Manifest, pol Policy) (*Log, error) {
 		// this collection name fail with "already holds a collection"
 		// even after the (possibly transient) cause clears.
 		if rerr := pol.FS.Remove(filepath.Join(dir, manifestName)); rerr != nil {
-			log.Printf("persist: %s: removing manifest after failed create: %v", dir, rerr)
+			slog.Warn("persist: removing manifest after failed create", "dir", dir, "error", rerr)
 		}
 		return fail(err)
 	}
@@ -201,7 +207,7 @@ func Open(dir string, pol Policy) (*Log, *Recovered, error) {
 	for i := len(segs) - 1; i >= 0; i-- {
 		seq, srecs, n, err := readSegment(pol.FS, dir, segs[i])
 		if err != nil {
-			log.Printf("persist: %s: skipping segment %d: %v", dir, segs[i], err)
+			slog.Warn("persist: skipping unreadable segment", "dir", dir, "segment", segs[i], "error", err)
 			continue
 		}
 		segSeq, recs, segBytes = seq, srecs, n
@@ -375,7 +381,7 @@ func (l *Log) appendFrame(encode func(buf []byte, seq uint64) []byte) (uint64, e
 		return 0, err
 	}
 	if l.pol.Mode == FsyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.timedSync(); err != nil {
 			l.fail(err)
 			return 0, err
 		}
@@ -399,11 +405,11 @@ func (l *Log) fail(err error) {
 	l.failed = err
 	l.notifyFault(err)
 	if terr := l.f.Truncate(l.walBytes); terr != nil {
-		log.Printf("persist: %s: truncating torn append: %v", l.dir, terr)
+		slog.Error("persist: truncating torn append failed", "dir", l.dir, "error", terr)
 		return
 	}
 	if _, serr := l.f.Seek(l.walBytes, 0); serr != nil {
-		log.Printf("persist: %s: seeking after torn append: %v", l.dir, serr)
+		slog.Error("persist: seeking after torn append failed", "dir", l.dir, "error", serr)
 	}
 }
 
@@ -413,6 +419,31 @@ func (l *Log) fail(err error) {
 // starts serving appends.
 func (l *Log) SetFaultHook(fn func(error)) {
 	l.faultHook.Store(fn)
+}
+
+// SetObserver installs fn to receive the duration of every WAL fsync
+// ("wal_fsync") and completed checkpoint ("checkpoint"). fn is called
+// synchronously, possibly with the log's mutex held — it must only
+// record (an atomic histogram update) and return.
+func (l *Log) SetObserver(fn func(stage string, d time.Duration)) {
+	l.observer.Store(fn)
+}
+
+// observe reports one stage duration to the observer, if installed.
+func (l *Log) observe(stage string, d time.Duration) {
+	if fn, ok := l.observer.Load().(func(string, time.Duration)); ok && fn != nil {
+		fn(stage, d)
+	}
+}
+
+// timedSync runs l.f.Sync() and reports its duration to the observer.
+func (l *Log) timedSync() error {
+	start := time.Now()
+	err := l.f.Sync()
+	if err == nil {
+		l.observe("wal_fsync", time.Since(start))
+	}
+	return err
 }
 
 // notifyFault fans a failure out to the fault hook. Safe to call with
@@ -448,7 +479,7 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.timedSync(); err != nil {
 		l.failed = err
 		l.notifyFault(err)
 		return err
@@ -499,7 +530,7 @@ func (l *Log) Repair() error {
 	}
 	if old != l.f {
 		if err := old.Close(); err != nil {
-			log.Printf("persist: %s: closing rotated wal after repair: %v", l.dir, err)
+			slog.Warn("persist: closing rotated wal after repair failed", "dir", l.dir, "error", err)
 		}
 	}
 	l.failed = nil
@@ -578,7 +609,7 @@ func (l *Log) MaybeCheckpoint(snapshot func() ([]store.Record, uint64)) bool {
 	go func() {
 		defer l.ckptBusy.Store(false)
 		if err := l.Checkpoint(snapshot); err != nil && !errors.Is(err, ErrClosed) {
-			log.Printf("persist: %s: checkpoint: %v", l.dir, err)
+			slog.Error("persist: background checkpoint failed", "dir", l.dir, "error", err)
 			// A background checkpoint failure may not have latched the
 			// append path (e.g. the segment write ran out of disk), but
 			// the collection's durability contract is broken either way;
@@ -595,6 +626,15 @@ func (l *Log) MaybeCheckpoint(snapshot func() ([]store.Record, uint64)) bool {
 // all but the two newest segments. Concurrent checkpoints serialize
 // on ckptMu.
 func (l *Log) Checkpoint(snapshot func() ([]store.Record, uint64)) error {
+	start := time.Now()
+	err := l.checkpoint(snapshot)
+	if err == nil {
+		l.observe("checkpoint", time.Since(start))
+	}
+	return err
+}
+
+func (l *Log) checkpoint(snapshot func() ([]store.Record, uint64)) error {
 	l.ckptMu.Lock()
 	defer l.ckptMu.Unlock()
 	l.mu.Lock()
@@ -768,8 +808,7 @@ func (l *Log) DropCorruptSegments() (removed int, err error) {
 		if verifySegmentData(data) == nil {
 			continue
 		}
-		log.Printf("persist: %s: dropping corrupt segment %d (superseded by segment %d)",
-			l.dir, segs[i], segs[newestValid])
+		slog.Warn("persist: dropping corrupt segment", "dir", l.dir, "segment", segs[i], "superseded_by", segs[newestValid])
 		if err := l.fs.Remove(filepath.Join(l.dir, segName(segs[i]))); err != nil {
 			if first == nil {
 				first = err
@@ -808,7 +847,7 @@ func (l *Log) startSyncer() {
 					msg = err.Error()
 				}
 				if msg != lastErr && msg != "" {
-					log.Printf("persist: %s: background fsync: %v", l.dir, err)
+					slog.Error("persist: background fsync failed", "dir", l.dir, "error", err)
 				}
 				lastErr = msg
 			}
@@ -884,7 +923,7 @@ func removeLogFiles(fsys errfs.FS, dir string) error {
 		if !isWAL && !isSeg && !strings.HasSuffix(name, tmpSuffix) {
 			continue
 		}
-		log.Printf("persist: %s: removing stale %s", dir, name)
+		slog.Info("persist: removing stale file", "dir", dir, "file", name)
 		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 			return err
 		}

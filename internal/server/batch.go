@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/flat"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -191,10 +192,12 @@ func (s *Server) searchBatch(ctx context.Context, c *Collection, name string, qu
 	// tiles must still get an answer (the context error) rather than a
 	// zero SearchResult.
 	tileDone := make([]bool, tiles)
+	ssp := trace.FromContext(ctx).StartSpan("scan")
 	feedErr := s.pool.ForEachCtx(ctx, tiles, func(t int) {
 		s.searchTile(ctx, c, name, queries, bs, t, opts, cacheOn, out)
 		tileDone[t] = true
 	})
+	ssp.End()
 	if feedErr != nil {
 		for t, done := range tileDone {
 			if done {

@@ -3,7 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -12,6 +12,7 @@ import (
 	"repro/internal/errfs"
 	"repro/internal/persist"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -60,6 +61,10 @@ type Collection struct {
 	timeouts atomic.Int64
 	// adm is the per-collection admission gate; nil means unlimited.
 	adm *gate
+	// stageObs, when set by the owning server, receives per-stage
+	// durations (wal_append, wal_fsync, checkpoint) for the
+	// ipsd_stage_seconds histograms. Nil-safe via observeStage.
+	stageObs func(stage string, d time.Duration)
 
 	// Failure-domain state (see health.go): health holds a HealthState,
 	// healthReason (under healthMu) the human-readable cause. repairing
@@ -105,6 +110,10 @@ func (c *Collection) attachLog(lg *persist.Log) {
 	lg.SetFaultHook(func(err error) {
 		c.degrade(fmt.Sprintf("wal/checkpoint fault: %v", err))
 	})
+	// The log's observer feeds fsync and checkpoint durations into the
+	// per-stage histograms. It runs with the log's mutex held, and
+	// observeStage only touches atomics, honoring the record-only rule.
+	lg.SetObserver(c.observeStage)
 	c.ingestMu.Lock()
 	c.log = lg
 	c.ingestMu.Unlock()
@@ -315,10 +324,12 @@ func (c *Collection) Ingest(recs []store.Record) (uint64, error) {
 	// WAL failure aborts the ingest with no trace, same as an index
 	// build failure.
 	if c.log != nil {
+		wstart := time.Now()
 		if _, err := c.log.Append(assigned); err != nil {
 			rollback()
 			return 0, fmt.Errorf("%w: collection %q: wal append: %w", ErrUnavailable, c.name, err)
 		}
+		c.observeStage("wal_append", time.Since(wstart))
 	}
 
 	// Phase 2: publish — shard snapshots first, the version-bumping
@@ -460,10 +471,12 @@ func (c *Collection) Upsert(recs []store.Record) (uint64, error) {
 	}
 
 	if c.log != nil {
+		wstart := time.Now()
 		if _, err := c.log.AppendUpsert(recs); err != nil {
 			rollback()
 			return 0, fmt.Errorf("%w: collection %q: wal append: %w", ErrUnavailable, c.name, err)
 		}
+		c.observeStage("wal_append", time.Since(wstart))
 	}
 
 	for si, snap := range snaps {
@@ -541,9 +554,11 @@ func (c *Collection) Delete(ids []int) (uint64, int, error) {
 	}
 
 	if c.log != nil {
+		wstart := time.Now()
 		if _, err := c.log.AppendDelete(present); err != nil {
 			return 0, 0, fmt.Errorf("%w: collection %q: wal append: %w", ErrUnavailable, c.name, err)
 		}
+		c.observeStage("wal_append", time.Since(wstart))
 	}
 
 	for si, snap := range snaps {
@@ -597,7 +612,7 @@ func (c *Collection) maybeCompact() bool {
 	go func() {
 		defer c.compacting.Store(false)
 		if err := c.compact(); err != nil {
-			log.Printf("server: collection %q: compaction: %v", c.name, err)
+			slog.Error("server: compaction failed", "collection", c.name, "error", err)
 		}
 	}()
 	return true
@@ -670,6 +685,16 @@ func (c *Collection) observeLatency(d time.Duration) {
 	c.hist.observe(d)
 }
 
+// observeStage forwards one durability-stage duration (wal_append,
+// wal_fsync, checkpoint) to the server's per-stage histograms; a
+// collection without an owner drops it. Only touches atomics, so it is
+// safe under the persist log's mutex.
+func (c *Collection) observeStage(stage string, d time.Duration) {
+	if c.stageObs != nil {
+		c.stageObs(stage, d)
+	}
+}
+
 // SearchOne answers a single top-k query. When pool is non-nil the
 // shard fan-out runs on the worker pool; for a single-shard collection
 // any worker slots that are idle right now are borrowed (non-blocking,
@@ -684,13 +709,15 @@ func (c *Collection) observeLatency(d time.Duration) {
 // block, so a cancelled query stops within one block and the first
 // ctx error is returned. A nil ctx means no deadline.
 func (c *Collection) SearchOne(ctx context.Context, pool *Pool, q vec.Vector, k int, unsigned bool) ([]Hit, error) {
-	return c.searchOne(ctx, pool, q, k, unsigned, false)
+	return c.searchOne(ctx, pool, q, k, unsigned, false, nil)
 }
 
-// searchOne is SearchOne plus the rerank flag: on an f32 collection it
+// searchOne is SearchOne plus the rerank flag — on an f32 collection it
 // routes every shard through the exact re-rank pipeline (int8 shards
-// re-rank unconditionally; exact engines ignore the flag).
-func (c *Collection) searchOne(ctx context.Context, pool *Pool, q vec.Vector, k int, unsigned bool, rerank bool) ([]Hit, error) {
+// re-rank unconditionally; exact engines ignore the flag) — and the
+// explain slot: a non-nil ex must hold one ShardExplain per shard,
+// filled in place by the fan-out.
+func (c *Collection) searchOne(ctx context.Context, pool *Pool, q vec.Vector, k int, unsigned bool, rerank bool, ex []ShardExplain) ([]Hit, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("server: k=%d must be positive", k)
 	}
@@ -740,8 +767,14 @@ func (c *Collection) searchOne(ctx context.Context, pool *Pool, q vec.Vector, k 
 		workers = 1 + extras
 	}
 	scan := func(i int) {
-		lists[i], errs[i] = c.shards[i].topK(ctx, q, k, unsigned, workers, rerank)
+		var shx *ShardExplain
+		if ex != nil {
+			shx = &ex[i]
+		}
+		lists[i], errs[i] = c.shards[i].topK(ctx, q, k, unsigned, workers, rerank, shx)
 	}
+	tr := trace.FromContext(ctx)
+	ssp := tr.StartSpan("scan")
 	var feedErr error
 	if pool != nil && len(c.shards) > 1 {
 		feedErr = pool.ForEachCtx(ctx, len(c.shards), scan)
@@ -761,6 +794,7 @@ func (c *Collection) searchOne(ctx context.Context, pool *Pool, q vec.Vector, k 
 			scan(i)
 		}
 	}
+	ssp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -769,7 +803,10 @@ func (c *Collection) searchOne(ctx context.Context, pool *Pool, q vec.Vector, k 
 	if feedErr != nil {
 		return nil, feedErr
 	}
-	return mergeTopK(lists, k), nil
+	msp := tr.StartSpan("merge")
+	hits := mergeTopK(lists, k)
+	msp.End()
+	return hits, nil
 }
 
 // doneChan returns ctx's cancellation channel, or nil when ctx is nil

@@ -1,0 +1,180 @@
+package server
+
+// Query explain: the serving-layer face of the per-shard scan
+// accounting. A search request carrying explain:true gets, alongside
+// its hits, one ShardExplain per shard — rows actually scanned, blocks
+// the Cauchy–Schwarz bound pruned, blocks skipped as fully tombstoned,
+// re-rank candidate counts — plus per-stage timings lifted from the
+// request's trace. Engines opt in through the explainIndex interface;
+// engines without scan accounting (alsh, sketch) still report shard
+// size and timing through the generic fallback.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/flat"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+// ShardExplain is one shard's contribution to an explained query.
+type ShardExplain struct {
+	Shard   int `json:"shard"`
+	Records int `json:"records"`
+	Live    int `json:"live"`
+	// RowsScanned counts rows the scan kernel actually evaluated
+	// (candidate-based engines leave it zero — they never sweep).
+	RowsScanned int `json:"rows_scanned"`
+	// CSPrunedBlocks counts row blocks the norm-sorted scan's
+	// Cauchy–Schwarz bound cut off (normscan engines only).
+	CSPrunedBlocks int `json:"cs_pruned_blocks"`
+	// TombstoneSkippedBlocks counts row blocks skipped whole because
+	// every row in them was tombstoned.
+	TombstoneSkippedBlocks int `json:"tombstone_skipped_blocks"`
+	// RerankCandidates counts quantized candidates re-scored through
+	// the exact f64 rows (quantized tiers only).
+	RerankCandidates int   `json:"rerank_candidates"`
+	Micros           int64 `json:"micros"`
+}
+
+// QueryExplain is the explain:true payload of a search response.
+type QueryExplain struct {
+	TraceID    string `json:"trace_id,omitempty"`
+	Collection string `json:"collection"`
+	Index      string `json:"index"`
+	Precision  string `json:"precision"`
+	K          int    `json:"k"`
+	Rerank     bool   `json:"rerank"`
+	CacheHit   bool   `json:"cache_hit"`
+	// RowsScanned and RerankCandidates aggregate the per-shard counts.
+	RowsScanned      int `json:"rows_scanned"`
+	RerankCandidates int `json:"rerank_candidates"`
+	// StageMicros sums the request's closed trace spans by stage name
+	// (admission, cache, scan, merge, ...).
+	StageMicros map[string]int64 `json:"stage_micros,omitempty"`
+	Shards      []ShardExplain   `json:"shards,omitempty"`
+}
+
+// fill aggregates the per-shard detail into the query-level totals.
+func (qe *QueryExplain) fill(shards []ShardExplain) {
+	qe.Shards = shards
+	for i := range shards {
+		qe.RowsScanned += shards[i].RowsScanned
+		qe.RerankCandidates += shards[i].RerankCandidates
+	}
+}
+
+// stageMicros sums a trace's closed spans by name for the explain
+// payload; nil when the trace is nil or recorded nothing.
+func stageMicros(tr *trace.Trace) map[string]int64 {
+	var m map[string]int64
+	tr.SpanDurations(func(name string, d time.Duration) {
+		if m == nil {
+			m = make(map[string]int64)
+		}
+		m[name] += d.Microseconds()
+	})
+	return m
+}
+
+// explainIndex is implemented by engines that can account for their
+// scan work. topKExplain answers exactly like TopK (or TopKRerank when
+// rerank is set and the engine supports it) while filling ex's scan
+// counters; hits must stay bit-identical to the unexplained path.
+type explainIndex interface {
+	topKExplain(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, rerank bool, ex *ShardExplain) ([]Hit, error)
+}
+
+// indexTopKEx is indexTopK plus per-shard explain accounting. A nil ex
+// takes the plain path untouched; an engine without explainIndex
+// answers normally and leaves the scan counters zero.
+func indexTopKEx(ctx context.Context, index ShardIndex, q vec.Vector, k int, unsigned bool, workers int, rerank bool, ex *ShardExplain) ([]Hit, error) {
+	if ex != nil {
+		if ei, ok := index.(explainIndex); ok {
+			return ei.topKExplain(ctx, q, k, unsigned, workers, rerank, ex)
+		}
+	}
+	return indexTopK(ctx, index, q, k, unsigned, workers, rerank)
+}
+
+// topKExplain implements explainIndex for the f64 exact scan: the
+// masked sweep visits every block that is not fully tombstoned, so the
+// profile is query-independent.
+func (ix exactIndex) topKExplain(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, _ bool, ex *ShardExplain) ([]Hit, error) {
+	hs, err := ix.fs.TopKMaskedCtx(ctx, q, k, unsigned, workers, ix.dead)
+	if err != nil {
+		return nil, err
+	}
+	ex.RowsScanned, ex.TombstoneSkippedBlocks = flat.MaskedScanProfile(ix.fs.Len(), ix.dead)
+	return flatHits(hs), nil
+}
+
+// topKExplain implements explainIndex for the f32 exact scan,
+// accounting for the widened candidate fetch when re-ranking.
+func (ix exact32Index) topKExplain(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, rerank bool, ex *ShardExplain) ([]Hit, error) {
+	fetch := k
+	if rerank {
+		fetch = overfetchK(k, ix.overfetch)
+	}
+	hs, err := ix.s32.TopKMaskedCtx(ctx, q, fetch, unsigned, workers, ix.dead)
+	if err != nil {
+		return nil, err
+	}
+	ex.RowsScanned, ex.TombstoneSkippedBlocks = flat.MaskedScanProfile(ix.s32.Len(), ix.dead)
+	cands := flatHits(hs)
+	if !rerank {
+		return cands, nil
+	}
+	ex.RerankCandidates = len(cands)
+	return rerankHits(ix.fs, q, cands, k, unsigned)
+}
+
+// topKExplain implements explainIndex for the int8 tier, which always
+// re-ranks its widened candidate set.
+func (ix exactI8Index) topKExplain(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, _ bool, ex *ShardExplain) ([]Hit, error) {
+	hs, err := ix.i8.TopKMaskedCtx(ctx, q, overfetchK(k, ix.overfetch), unsigned, workers, ix.dead)
+	if err != nil {
+		return nil, err
+	}
+	ex.RowsScanned, ex.TombstoneSkippedBlocks = flat.MaskedScanProfile(ix.i8.Len(), ix.dead)
+	cands := flatHits(hs)
+	ex.RerankCandidates = len(cands)
+	return rerankHits(ix.fs, q, cands, k, unsigned)
+}
+
+// topKExplain implements explainIndex for the f64 norm-pruned scan:
+// the stats driver reports the real scanned/pruned/skipped partition
+// of the descending-norm sweep.
+func (ix normScanIndex) topKExplain(ctx context.Context, q vec.Vector, k int, unsigned bool, _ int, _ bool, ex *ShardExplain) ([]Hit, error) {
+	var stats flat.ScanStats
+	hs, _, err := ix.ns.TopKMaskedStatsCtx(ctx, q, k, unsigned, ix.dead, &stats)
+	if err != nil {
+		return nil, err
+	}
+	ex.RowsScanned = stats.ScannedRows
+	ex.CSPrunedBlocks = stats.PrunedBlocks
+	ex.TombstoneSkippedBlocks = stats.SkippedBlocks
+	return flatHits(hs), nil
+}
+
+// topKExplain implements explainIndex for the f32 norm-pruned scan.
+// The f32 driver reports rows scanned but not a block partition, so
+// only RowsScanned is filled.
+func (ix normScan32Index) topKExplain(ctx context.Context, q vec.Vector, k int, unsigned bool, _ int, rerank bool, ex *ShardExplain) ([]Hit, error) {
+	fetch := k
+	if rerank {
+		fetch = overfetchK(k, ix.overfetch)
+	}
+	hs, scanned, err := ix.ns.TopKMaskedCtx(ctx, q, fetch, unsigned, ix.dead)
+	if err != nil {
+		return nil, err
+	}
+	ex.RowsScanned = scanned
+	cands := flatHits(hs)
+	if !rerank {
+		return cands, nil
+	}
+	ex.RerankCandidates = len(cands)
+	return rerankHits(ix.fs, q, cands, k, unsigned)
+}

@@ -18,7 +18,7 @@ package server
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"time"
 
 	"repro/internal/errfs"
@@ -114,7 +114,7 @@ func (c *Collection) degrade(reason string) {
 	c.healthMu.Lock()
 	c.healthReason = reason
 	c.healthMu.Unlock()
-	log.Printf("server: collection %q degraded: %s", c.name, reason)
+	slog.Warn("server: collection degraded", "collection", c.name, "reason", reason)
 	c.startRepairProbe()
 }
 
@@ -126,7 +126,7 @@ func (c *Collection) activate() {
 	c.healthMu.Lock()
 	c.healthReason = ""
 	c.healthMu.Unlock()
-	log.Printf("server: collection %q repaired, serving mutations again", c.name)
+	slog.Info("server: collection repaired, serving mutations again", "collection", c.name)
 }
 
 // checkMutable gates the mutation paths: only an active collection
@@ -193,8 +193,8 @@ func (c *Collection) startRepairProbe() {
 				return
 			}
 			if msg := err.Error(); msg != lastErr {
-				log.Printf("server: collection %q: repair attempt failed (retrying in %v): %v",
-					c.name, backoff, err)
+				slog.Warn("server: repair attempt failed",
+					"collection", c.name, "retry_in", backoff.String(), "error", err)
 				lastErr = msg
 			}
 			if backoff *= 2; backoff > repairMaxBackoff {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -52,7 +53,7 @@ func NewHandler(s *Server) http.Handler {
 		if limited && maxBody > 0 {
 			h = limitBody(maxBody, h)
 		}
-		mux.HandleFunc(pattern, instrument(hm, label, h))
+		mux.HandleFunc(pattern, instrument(s, hm, label, h))
 	}
 	route("PUT /collections/{name}", "ingest", s.handleIngest, true)
 	route("DELETE /collections/{name}", "drop", s.handleDrop, false)
@@ -70,6 +71,11 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.handleMetrics(hm, w, r)
 	})
+	// The debug plane is deliberately outside instrument(): polling
+	// /debug/requests must not mint traces of itself or skew the
+	// per-route latency histograms.
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	return mux
 }
 
@@ -98,19 +104,92 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-route metrics: latency
-// histogram, status-class counters, and the server-wide in-flight
-// gauge.
-func instrument(hm *httpMetrics, label string, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with the per-route metrics — latency
+// histogram, status-class counters, the server-wide in-flight gauge —
+// and, when tracing is on, a per-request trace: W3C traceparent is
+// honored inbound and echoed outbound, the trace rides the request
+// context through every stage, and the finished trace lands in the
+// debug registry, the stage histograms, and (past the threshold) the
+// slow-query log. With tracing off the request path is exactly the
+// pre-tracing one: no trace allocation, no context wrapping.
+func instrument(s *Server, hm *httpMetrics, label string, h http.HandlerFunc) http.HandlerFunc {
 	rm := hm.register(label)
 	return func(w http.ResponseWriter, r *http.Request) {
 		hm.inflight.Add(1)
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(sr, r)
-		rm.observe(sr.status, time.Since(start))
+		if s.traces == nil {
+			h(sr, r)
+			rm.observe(sr.status, time.Since(start))
+			hm.inflight.Add(-1)
+			return
+		}
+		tr := trace.New(label, r.Header.Get("traceparent"))
+		w.Header().Set("Traceparent", tr.Traceparent())
+		s.traces.Start(tr)
+		h(sr, r.WithContext(trace.NewContext(r.Context(), tr)))
+		d := time.Since(start)
+		tr.Finish(sr.status, d)
+		s.traces.Finish(tr)
+		s.recordTrace(tr)
+		s.maybeLogSlow(tr)
+		rm.observe(sr.status, d)
 		hm.inflight.Add(-1)
 	}
+}
+
+// DebugRequests is the GET /debug/requests body: requests in flight
+// right now plus the most recent finished traces, grouped by route.
+type DebugRequests struct {
+	Active []trace.Exported            `json:"active"`
+	Recent map[string][]trace.Exported `json:"recent"`
+}
+
+// handleDebugRequests serves GET /debug/requests from the trace
+// registry: in-flight requests (oldest first — the stuck ones surface
+// at the top) and the per-route rings of recent traces (newest first).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	if s.traces == nil {
+		httpError(w, http.StatusNotFound, errTracingDisabled)
+		return
+	}
+	active := s.traces.Active()
+	resp := DebugRequests{
+		Active: make([]trace.Exported, 0, len(active)),
+		Recent: make(map[string][]trace.Exported),
+	}
+	for _, tr := range active {
+		resp.Active = append(resp.Active, tr.Export())
+	}
+	routes, byRoute := s.traces.Recent()
+	for _, route := range routes {
+		exps := make([]trace.Exported, 0, len(byRoute[route]))
+		for _, tr := range byRoute[route] {
+			exps = append(exps, tr.Export())
+		}
+		resp.Recent[route] = exps
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+var errTracingDisabled = errors.New("server: tracing is disabled")
+
+// handleDebugTrace serves GET /debug/trace/{id}: the full span tree of
+// one request, active or recently finished, by trace id (as reported in
+// slow-query log lines, explain output, and Traceparent response
+// headers).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		httpError(w, http.StatusNotFound, errTracingDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	tr := s.traces.Lookup(id)
+	if tr == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("server: no trace %q (buffer holds the most recent per route)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Export())
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text format.
@@ -220,6 +299,11 @@ type SearchRequest struct {
 	// milliseconds; it overrides the server's default timeout (in both
 	// directions). Zero means use the default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Explain asks for a per-shard execution breakdown (rows scanned,
+	// blocks pruned, rerank candidates, per-stage timings) alongside the
+	// hits. Single-query requests only; it works even when server-side
+	// tracing is disabled.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // SearchResponse reports search hits: Matches for a single query,
@@ -229,6 +313,8 @@ type SearchResponse struct {
 	Results [][]Hit `json:"results,omitempty"`
 	Cached  int     `json:"cached"`
 	TookMS  float64 `json:"took_ms"`
+	// Explain is present iff the request set "explain": true.
+	Explain *QueryExplain `json:"explain,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -284,6 +370,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("set exactly one of \"q\" and \"queries\""))
 		return
 	}
+	if req.Explain && !single {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("\"explain\" supports single-query requests only"))
+		return
+	}
 	k := req.K
 	if k == 0 {
 		k = 1
@@ -298,8 +388,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	if req.Explain && trace.FromContext(ctx) == nil {
+		// Explain wants stage timings even when server-side tracing is
+		// off: give this one request a private trace. It is never
+		// registered, so it costs nothing beyond the request itself.
+		ctx = trace.NewContext(ctx, trace.New("search", r.Header.Get("traceparent")))
+	}
 	start := time.Now()
-	results, err := s.SearchWithOpts(ctx, name, qs, SearchOpts{K: k, Unsigned: req.Unsigned, Rerank: req.Rerank})
+	results, err := s.SearchWithOpts(ctx, name, qs, SearchOpts{K: k, Unsigned: req.Unsigned, Rerank: req.Rerank, Explain: req.Explain})
 	if err != nil {
 		if _, ok := s.Collection(name); !ok {
 			httpError(w, http.StatusNotFound, err)
@@ -336,6 +432,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if single {
 		resp.Matches = lists[0]
+		if qe := results[0].Explain; qe != nil {
+			qe.StageMicros = stageMicros(trace.FromContext(ctx))
+			resp.Explain = qe
+		}
 	} else {
 		resp.Results = lists
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/join"
 	"repro/internal/lsh"
+	"repro/internal/trace"
 )
 
 // JoinRequest asks for an approximate (cs, s) join: for each query
@@ -201,8 +202,13 @@ func (s *Server) JoinCtx(ctx context.Context, req JoinRequest) (*JoinResponse, e
 	if err := queryCol.checkReadable(); err != nil {
 		return nil, err
 	}
-	if err := dataCol.adm.enter(ctx); err != nil {
-		return nil, err
+	tr := trace.FromContext(ctx)
+	tr.SetCollection(req.Data)
+	asp := tr.StartSpan("admission")
+	admErr := dataCol.adm.enter(ctx)
+	asp.End()
+	if admErr != nil {
+		return nil, admErr
 	}
 	defer dataCol.adm.exit()
 	dsnaps := dataCol.shardSnaps()
@@ -292,6 +298,7 @@ func (s *Server) JoinCtx(ctx context.Context, req JoinRequest) (*JoinResponse, e
 		res.Matches = keep
 		parts[i] = res
 	}
+	ssp := tr.StartSpan("scan")
 	var feedErr error
 	if len(pairs) == 1 {
 		// A single shard pair cannot fan out, so the engine itself may
@@ -307,6 +314,7 @@ func (s *Server) JoinCtx(ctx context.Context, req JoinRequest) (*JoinResponse, e
 			run(i, joinRunner(ctx, s.pool.Borrowing()))
 		})
 	}
+	ssp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -321,7 +329,9 @@ func (s *Server) JoinCtx(ctx context.Context, req JoinRequest) (*JoinResponse, e
 		dataCol.countTimeout(feedErr)
 		return nil, feedErr
 	}
+	msp := tr.StartSpan("merge")
 	merged := join.MergePerQuery(parts, req.TopK)
+	msp.End()
 	s.joins.Add(1)
 	resp := &JoinResponse{
 		Engine:   eng.Name(),

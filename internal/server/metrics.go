@@ -9,6 +9,8 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -81,6 +83,115 @@ func formatBound(f float64) string {
 func promLabel(v string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 	return r.Replace(v)
+}
+
+// stageCardinalityCap bounds the live (stage, collection) series count:
+// stage names are a small fixed set and collections are few, so the cap
+// is far above any sane deployment — it only guards against a pathological
+// churn of collection names growing the map without bound.
+const stageCardinalityCap = 512
+
+// stageMetrics holds the ipsd_stage_seconds{stage,collection}
+// histograms. The hot path (observe) takes a read lock and two atomic
+// adds; the write lock is only taken the first time a (stage,
+// collection) pair appears.
+type stageMetrics struct {
+	mu    sync.RWMutex
+	hists map[string]*stageHist // key: stage + "\x00" + collection
+}
+
+// stageHist is one (stage, collection) series.
+type stageHist struct {
+	stage      string
+	collection string
+	hist       *latencyHist
+}
+
+func newStageMetrics() *stageMetrics {
+	return &stageMetrics{hists: make(map[string]*stageHist)}
+}
+
+func (m *stageMetrics) observe(stage, collection string, d time.Duration) {
+	key := stage + "\x00" + collection
+	m.mu.RLock()
+	h, ok := m.hists[key]
+	m.mu.RUnlock()
+	if !ok {
+		m.mu.Lock()
+		h, ok = m.hists[key]
+		if !ok {
+			if len(m.hists) >= stageCardinalityCap {
+				m.mu.Unlock()
+				return
+			}
+			h = &stageHist{stage: stage, collection: collection, hist: newLatencyHist()}
+			m.hists[key] = h
+		}
+		m.mu.Unlock()
+	}
+	h.hist.observe(d)
+}
+
+// writeTo renders the stage histograms in stable (stage, collection)
+// order; a server that has observed nothing emits nothing.
+func (m *stageMetrics) writeTo(w io.Writer) {
+	m.mu.RLock()
+	hs := make([]*stageHist, 0, len(m.hists))
+	for _, h := range m.hists {
+		hs = append(hs, h)
+	}
+	m.mu.RUnlock()
+	if len(hs) == 0 {
+		return
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].stage != hs[j].stage {
+			return hs[i].stage < hs[j].stage
+		}
+		return hs[i].collection < hs[j].collection
+	})
+	fmt.Fprintf(w, "# HELP ipsd_stage_seconds Pipeline stage duration by stage and collection.\n")
+	fmt.Fprintf(w, "# TYPE ipsd_stage_seconds histogram\n")
+	for _, h := range hs {
+		h.hist.writeProm(w, "ipsd_stage_seconds",
+			fmt.Sprintf("stage=%q,collection=%q", promLabel(h.stage), promLabel(h.collection)))
+	}
+}
+
+// writeRuntimeMetrics emits the Go runtime gauges and the build-info
+// series, so dashboards can correlate serving latency with GC activity
+// and pin a scrape to a binary version.
+func writeRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines that currently exist.\n")
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_memstats_heap_alloc_bytes Heap bytes allocated and in use.\n")
+	fmt.Fprintf(w, "# TYPE go_memstats_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "go_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_memstats_heap_sys_bytes Heap bytes obtained from the OS.\n")
+	fmt.Fprintf(w, "# TYPE go_memstats_heap_sys_bytes gauge\n")
+	fmt.Fprintf(w, "go_memstats_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "go_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP ipsd_build_info Build metadata (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE ipsd_build_info gauge\n")
+	fmt.Fprintf(w, "ipsd_build_info{version=%q,go=%q} 1\n",
+		promLabel(buildVersion()), promLabel(runtime.Version()))
+}
+
+// buildVersion reports the main module's version as embedded by the Go
+// toolchain ("(devel)" for a plain go build).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // routeMetrics is one HTTP route's counters: a latency histogram plus
@@ -169,6 +280,9 @@ func writeMetrics(w io.Writer, s *Server, hm *httpMetrics) {
 	fmt.Fprintf(w, "# HELP ipsd_joins_total Join requests served.\n")
 	fmt.Fprintf(w, "# TYPE ipsd_joins_total counter\n")
 	fmt.Fprintf(w, "ipsd_joins_total %d\n", s.joins.Load())
+
+	writeRuntimeMetrics(w)
+	s.stages.writeTo(w)
 
 	if hm != nil {
 		fmt.Fprintf(w, "# HELP ipsd_http_inflight HTTP requests currently being served.\n")

@@ -7,7 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/errfs"
 	"repro/internal/persist"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -93,6 +94,21 @@ type Config struct {
 	// through the exact f64 rows (default 4). A collection spec's own
 	// Overfetch overrides it.
 	RerankOverfetch int
+
+	// Tracing enables the per-request tracing plane: every instrumented
+	// HTTP request gets a trace (adopting an incoming W3C traceparent),
+	// spans are recorded through the pipeline stages, finished traces
+	// land in the /debug/requests ring, and trace spans feed the
+	// ipsd_stage_seconds histograms. Off (the zero value) the request
+	// path carries a nil trace handle, which costs zero allocations.
+	Tracing bool
+	// TraceBuffer is how many finished traces each route's debug ring
+	// retains (default 32).
+	TraceBuffer int
+	// SlowQueryMS, when positive, logs one structured line — with the
+	// full span tree — for every traced request slower than this many
+	// milliseconds.
+	SlowQueryMS int
 }
 
 func (c *Config) defaults() {
@@ -157,6 +173,16 @@ type Server struct {
 	pool   *Pool
 	joins  atomic.Int64
 	start  time.Time
+	// traces is the debug-plane registry behind /debug/requests and
+	// /debug/trace/{id}; nil when Config.Tracing is off (the nil
+	// registry is inert, so call sites never branch).
+	traces *trace.Registry
+	// stages holds the ipsd_stage_seconds{stage,collection} histograms,
+	// fed from trace spans at request finish and from the persist
+	// observer (wal_append/wal_fsync/checkpoint, tracing or not).
+	stages *stageMetrics
+	// slowQuery is the slow-query log threshold (0 disables).
+	slowQuery time.Duration
 }
 
 // New creates a server. For a durable server (Config.DataDir set) use
@@ -164,15 +190,21 @@ type Server struct {
 // before anything is served.
 func New(cfg Config) *Server {
 	cfg.defaults()
-	return &Server{
-		cfg:      cfg,
-		cols:     make(map[string]*Collection),
-		dropping: make(map[string]struct{}),
-		creating: make(map[string]chan struct{}),
-		cache:    newQueryCache(cfg.CacheCapacity),
-		pool:     NewPool(cfg.Workers),
-		start:    time.Now(),
+	s := &Server{
+		cfg:       cfg,
+		cols:      make(map[string]*Collection),
+		dropping:  make(map[string]struct{}),
+		creating:  make(map[string]chan struct{}),
+		cache:     newQueryCache(cfg.CacheCapacity),
+		pool:      NewPool(cfg.Workers),
+		start:     time.Now(),
+		stages:    newStageMetrics(),
+		slowQuery: time.Duration(cfg.SlowQueryMS) * time.Millisecond,
 	}
+	if cfg.Tracing {
+		s.traces = trace.NewRegistry(cfg.TraceBuffer)
+	}
+	return s
 }
 
 // Open creates a server and, when cfg.DataDir is set, recovers every
@@ -278,7 +310,7 @@ func (s *Server) adoptQuarantined(dir, dirName string, cause error) {
 	if m, err := persist.ReadManifest(dir); err == nil && m.Name != "" {
 		name = m.Name
 	}
-	log.Printf("server: quarantining collection %q (%s): %v", name, dir, cause)
+	slog.Warn("server: quarantining collection", "collection", name, "dir", dir, "error", cause)
 	c := newQuarantined(name, dir, s.fsys(), cause.Error())
 	c.gen = s.gens.Add(1)
 	s.mu.Lock()
@@ -290,7 +322,7 @@ func (s *Server) adoptQuarantined(dir, dirName string, cause error) {
 		// Two directories claiming one collection name: keep the one
 		// that recovered (or quarantined) first, leave this directory on
 		// disk for the operator.
-		log.Printf("server: collection %q already registered; leaving %s unserved", name, dir)
+		slog.Warn("server: collection already registered; leaving directory unserved", "collection", name, "dir", dir)
 		return
 	}
 	s.cols[name] = c
@@ -559,6 +591,10 @@ func (s *Server) configureCompaction(c *Collection) {
 	c.adm = newGate(s.cfg.MaxInflight, s.cfg.MaxQueue)
 	c.scrubEvery = s.cfg.ScrubInterval
 	c.fsys = s.fsys()
+	name := c.name
+	c.stageObs = func(stage string, d time.Duration) {
+		s.stages.observe(stage, name, d)
+	}
 }
 
 func specOrDefault(spec *IndexSpec) IndexSpec {
@@ -664,6 +700,9 @@ type SearchResult struct {
 	Hits   []Hit
 	Cached bool
 	Err    error
+	// Explain carries the per-shard execution detail when the request
+	// asked for it (single-query requests only).
+	Explain *QueryExplain
 }
 
 // Search answers a batch of top-k queries against the named collection.
@@ -703,6 +742,11 @@ type SearchOpts struct {
 	// covers the true top k. int8 collections re-rank unconditionally;
 	// on exact (f64) engines the flag is a no-op.
 	Rerank bool
+	// Explain collects per-shard execution detail (rows scanned, blocks
+	// pruned or skipped, rerank candidates, timings) into
+	// SearchResult.Explain. Single-query requests only; the hits are
+	// bit-identical to an unexplained query.
+	Explain bool
 }
 
 // SearchWithOpts is SearchCtx with the full option set (notably the
@@ -715,7 +759,15 @@ func (s *Server) SearchWithOpts(ctx context.Context, name string, queries []vec.
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("server: empty query batch")
 	}
-	if err := c.adm.enter(ctx); err != nil {
+	if opts.Explain && len(queries) > 1 {
+		return nil, fmt.Errorf("server: explain supports single-query requests only")
+	}
+	tr := trace.FromContext(ctx)
+	tr.SetCollection(name)
+	asp := tr.StartSpan("admission")
+	err := c.adm.enter(ctx)
+	asp.End()
+	if err != nil {
 		return nil, err
 	}
 	defer c.adm.exit()
@@ -740,19 +792,42 @@ func (c *Collection) countTimeout(err error) {
 // in front (key construction skipped entirely when caching is off).
 func (s *Server) searchSingle(ctx context.Context, c *Collection, name string, q vec.Vector, opts SearchOpts, res *SearchResult) {
 	k, unsigned := opts.K, opts.Unsigned
+	tr := trace.FromContext(ctx)
+	var qe *QueryExplain
+	var shardsEx []ShardExplain
+	if opts.Explain {
+		qe = &QueryExplain{
+			TraceID:    tr.ID(),
+			Collection: name,
+			Index:      c.spec.kind(),
+			Precision:  c.spec.precision(),
+			K:          k,
+			// Rerank reports the effective behavior: int8 collections
+			// always re-rank through the exact f64 rows, whatever the
+			// request asked for.
+			Rerank: opts.Rerank || c.spec.precision() == PrecisionI8,
+		}
+		shardsEx = make([]ShardExplain, len(c.shards))
+	}
 	qstart := time.Now()
 	var key string
 	if cacheOn := s.cache.enabled(); cacheOn {
+		csp := tr.StartSpan("cache")
 		key = cacheKey(name, c.gen, c.Version(), k, unsigned, opts.Rerank, q)
-		if hits, ok := s.cache.get(key); ok {
-			*res = SearchResult{Hits: hits, Cached: true}
+		hits, ok := s.cache.get(key)
+		csp.End()
+		if ok {
+			if qe != nil {
+				qe.CacheHit = true
+			}
+			*res = SearchResult{Hits: hits, Cached: true, Explain: qe}
 			c.observeLatency(time.Since(qstart))
 			return
 		}
 	} else {
 		key = ""
 	}
-	hits, err := c.searchOne(ctx, s.pool, q, k, unsigned, opts.Rerank)
+	hits, err := c.searchOne(ctx, s.pool, q, k, unsigned, opts.Rerank, shardsEx)
 	if err != nil {
 		// A cancelled scan returns partial garbage-free state but no
 		// hits; nothing is cached, so the next identical query runs
@@ -764,8 +839,40 @@ func (s *Server) searchSingle(ctx context.Context, c *Collection, name string, q
 	if key != "" {
 		s.cache.put(name, key, hits)
 	}
-	*res = SearchResult{Hits: hits}
+	if qe != nil {
+		qe.fill(shardsEx)
+	}
+	*res = SearchResult{Hits: hits, Explain: qe}
 	c.observeLatency(time.Since(qstart))
+}
+
+// recordTrace feeds a finished trace's spans into the per-stage
+// histograms. Requests that never resolved a collection are skipped, so
+// the stage label cardinality stays bounded by (stages × collections).
+func (s *Server) recordTrace(tr *trace.Trace) {
+	col := tr.Collection()
+	if col == "" {
+		return
+	}
+	tr.SpanDurations(func(stage string, d time.Duration) {
+		s.stages.observe(stage, col, d)
+	})
+}
+
+// maybeLogSlow emits one structured slow-query line — the full exported
+// span tree included — when the finished trace overran the threshold.
+func (s *Server) maybeLogSlow(tr *trace.Trace) {
+	if s.slowQuery <= 0 || tr == nil || tr.Duration() < s.slowQuery {
+		return
+	}
+	e := tr.Export()
+	slog.Warn("slow request",
+		"trace_id", e.TraceID,
+		"route", e.Route,
+		"collection", e.Collection,
+		"status", e.Status,
+		"duration_micros", e.DurationUS,
+		"spans", e.Spans)
 }
 
 // Stats snapshots the whole server for /stats.

@@ -7,8 +7,10 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/flat"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -395,13 +397,25 @@ func (s *shard) commit(snap *shardSnap) {
 // parallelism hint passed through to the index. rerank asks engines
 // that support it (f32 quantized) for exact re-ranked scores; engines
 // without the capability — including those already exact — ignore it.
+// ex, when non-nil, receives this shard's explain accounting (see
+// explain.go); a traced request additionally gets one shard_scan span.
 // The returned list keeps the canonical (score descending, global ID
 // ascending) order so the k-way merge's tie-breaking is exact even when
 // the ID-to-shard assignment does not preserve ID order within a shard.
-func (s *shard) topK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, rerank bool) ([]Hit, error) {
+func (s *shard) topK(ctx context.Context, q vec.Vector, k int, unsigned bool, workers int, rerank bool, ex *ShardExplain) ([]Hit, error) {
 	snap := s.snap.Load()
 	s.queries.Add(1)
-	local, err := indexTopK(ctx, snap.index, q, k, unsigned, workers, rerank)
+	sp := trace.FromContext(ctx).StartSpan("shard_scan")
+	sp.SetInt("shard", int64(s.id))
+	defer sp.End()
+	var start time.Time
+	if ex != nil {
+		start = time.Now()
+		ex.Shard = s.id
+		ex.Records = len(snap.ids)
+		ex.Live = len(snap.ids) - snap.dead.Count()
+	}
+	local, err := indexTopKEx(ctx, snap.index, q, k, unsigned, workers, rerank, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -410,6 +424,10 @@ func (s *shard) topK(ctx context.Context, q vec.Vector, k int, unsigned bool, wo
 		out[i] = Hit{ID: snap.ids[h.ID], Score: h.Score}
 	}
 	sortHitsCanonical(out)
+	if ex != nil {
+		ex.Micros = time.Since(start).Microseconds()
+		sp.SetInt("rows_scanned", int64(ex.RowsScanned))
+	}
 	return out, nil
 }
 

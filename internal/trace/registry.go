@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is the debug plane's trace store: the set of currently
+// active traces plus a fixed-size ring of recently finished traces per
+// route (x/net/trace style). It is lock-cheap by construction — one
+// mutex acquisition when a request starts and one when it finishes,
+// never per span — so tracing's steady-state cost stays at two short
+// critical sections per request.
+//
+// A nil *Registry is valid and inert, mirroring the nil *Trace
+// contract.
+type Registry struct {
+	mu       sync.Mutex
+	perRoute int
+	active   map[string]*Trace
+	recent   map[string]*ring
+	routes   []string // insertion-ordered route labels
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer of finished traces.
+type ring struct {
+	buf  []*Trace
+	next int
+	n    int
+}
+
+func (r *ring) push(t *Trace) {
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// newest-first snapshot of the ring's contents.
+func (r *ring) snapshot() []*Trace {
+	out := make([]*Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// NewRegistry builds a registry keeping up to perRoute finished traces
+// per route (<= 0 selects the default of 32).
+func NewRegistry(perRoute int) *Registry {
+	if perRoute <= 0 {
+		perRoute = 32
+	}
+	return &Registry{
+		perRoute: perRoute,
+		active:   make(map[string]*Trace),
+		recent:   make(map[string]*ring),
+	}
+}
+
+// Start registers t as active.
+func (g *Registry) Start(t *Trace) {
+	if g == nil || t == nil {
+		return
+	}
+	g.mu.Lock()
+	g.active[t.traceID] = t
+	g.mu.Unlock()
+}
+
+// Finish moves t from the active set into its route's recent ring.
+func (g *Registry) Finish(t *Trace) {
+	if g == nil || t == nil {
+		return
+	}
+	g.mu.Lock()
+	delete(g.active, t.traceID)
+	r, ok := g.recent[t.route]
+	if !ok {
+		r = &ring{buf: make([]*Trace, g.perRoute)}
+		g.recent[t.route] = r
+		g.routes = append(g.routes, t.route)
+	}
+	r.push(t)
+	g.mu.Unlock()
+}
+
+// Lookup finds a trace by id among the active set and every recent
+// ring; nil when the id has aged out (or never existed).
+func (g *Registry) Lookup(id string) *Trace {
+	if g == nil || id == "" {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t, ok := g.active[id]; ok {
+		return t
+	}
+	for _, r := range g.recent {
+		for _, t := range r.buf {
+			if t != nil && t.traceID == id {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Active returns the in-flight traces, oldest first.
+func (g *Registry) Active() []*Trace {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	out := make([]*Trace, 0, len(g.active))
+	for _, t := range g.active {
+		out = append(out, t)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].start.Before(out[j].start) })
+	return out
+}
+
+// Recent returns every route label (sorted) with its finished traces,
+// newest first.
+func (g *Registry) Recent() (routes []string, byRoute map[string][]*Trace) {
+	if g == nil {
+		return nil, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	routes = append([]string(nil), g.routes...)
+	sort.Strings(routes)
+	byRoute = make(map[string][]*Trace, len(routes))
+	for _, route := range routes {
+		byRoute[route] = g.recent[route].snapshot()
+	}
+	return routes, byRoute
+}

@@ -1,0 +1,308 @@
+// Package trace is the dependency-free per-request tracing spine of
+// ipsd. A Trace is one request's execution record: a W3C trace id, the
+// wall-clock start, and a flat timeline of named spans with monotonic
+// offsets and durations plus integer attributes (rows scanned, blocks
+// pruned, rerank candidates, ...). Traces live in a Registry — an
+// active set plus a small per-route ring of recently finished requests
+// — backing the /debug/requests and /debug/trace/{id} endpoints, the
+// slow-query log, and the per-stage latency histograms.
+//
+// The nil *Trace is a valid, inert handle: every method no-ops on a
+// nil receiver without allocating, so call sites on the hot path thread
+// the handle unconditionally and the tracing-off build of a request is
+// byte-identical in behavior and zero-allocation (pinned by
+// TestDisabledTraceZeroAlloc).
+package trace
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Trace is one request's execution record. Create with New; a nil
+// *Trace is inert.
+type Trace struct {
+	traceID string // 32 lowercase hex chars
+	spanID  string // 16 lowercase hex chars, this process's root span
+	parent  string // parent span id from an incoming traceparent, "" if none
+	route   string
+	start   time.Time
+
+	mu         sync.Mutex
+	collection string
+	spans      []*Span
+	status     int
+	dur        time.Duration
+	done       bool
+}
+
+// Span is one named stage of a trace. A nil *Span is inert, so spans
+// started on a nil trace cost nothing to finish.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Duration // offset from the trace start
+	dur   time.Duration
+	attrs []Attr
+	done  bool
+}
+
+// Attr is one integer annotation on a span.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// New starts a trace for route. traceparent, when it is a valid W3C
+// header, donates the trace id (and records the caller's span id as
+// the parent); otherwise fresh random ids are generated.
+func New(route, traceparent string) *Trace {
+	tid, parent, ok := Parse(traceparent)
+	if !ok {
+		tid = randHex(16)
+		parent = ""
+	}
+	return &Trace{
+		traceID: tid,
+		spanID:  randHex(8),
+		parent:  parent,
+		route:   route,
+		start:   time.Now(),
+	}
+}
+
+// ID returns the 32-hex-char trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Route returns the route label the trace was started under.
+func (t *Trace) Route() string {
+	if t == nil {
+		return ""
+	}
+	return t.route
+}
+
+// Traceparent renders the outgoing W3C header value for this trace
+// ("" on nil).
+func (t *Trace) Traceparent() string {
+	if t == nil {
+		return ""
+	}
+	return Format(t.traceID, t.spanID)
+}
+
+// SetCollection tags the trace with the collection it ended up
+// touching; the per-stage histograms are keyed by it.
+func (t *Trace) SetCollection(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.collection = name
+	t.mu.Unlock()
+}
+
+// Collection returns the collection tag ("" on nil or untagged).
+func (t *Trace) Collection() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.collection
+}
+
+// StartSpan opens a named span at the current monotonic offset. Spans
+// may be opened from concurrent goroutines (per-shard scans); the
+// timeline stays consistent because offsets come from the trace's own
+// start. Returns nil — for free — on a nil trace.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, name: name, start: time.Since(t.start)}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// End closes the span, fixing its duration.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	d := time.Since(sp.tr.start) - sp.start
+	sp.tr.mu.Lock()
+	if !sp.done {
+		sp.done = true
+		sp.dur = d
+	}
+	sp.tr.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute to the span.
+func (sp *Span) SetInt(key string, val int64) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Val: val})
+	sp.tr.mu.Unlock()
+}
+
+// Finish seals the trace with its response status and total duration.
+// Idempotent; the first call wins.
+func (t *Trace) Finish(status int, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.status = status
+		t.dur = dur
+	}
+	t.mu.Unlock()
+}
+
+// Duration returns the sealed duration, or the live age of an
+// unfinished trace.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.dur
+	}
+	return time.Since(t.start)
+}
+
+// Exported is the JSON shape of a trace for /debug/trace/{id} and the
+// slow-query log.
+type Exported struct {
+	TraceID      string         `json:"trace_id"`
+	ParentSpanID string         `json:"parent_span_id,omitempty"`
+	Route        string         `json:"route"`
+	Collection   string         `json:"collection,omitempty"`
+	Start        time.Time      `json:"start"`
+	DurationUS   int64          `json:"duration_micros"`
+	Status       int            `json:"status,omitempty"`
+	Active       bool           `json:"active"`
+	Spans        []ExportedSpan `json:"spans"`
+}
+
+// ExportedSpan is one span in the exported timeline.
+type ExportedSpan struct {
+	Name    string           `json:"name"`
+	StartUS int64            `json:"start_micros"`
+	DurUS   int64            `json:"duration_micros"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Export snapshots the trace (safe concurrently with span recording on
+// an active trace). Returns the zero value on nil.
+func (t *Trace) Export() Exported {
+	if t == nil {
+		return Exported{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := Exported{
+		TraceID:      t.traceID,
+		ParentSpanID: t.parent,
+		Route:        t.route,
+		Collection:   t.collection,
+		Start:        t.start,
+		Status:       t.status,
+		Active:       !t.done,
+	}
+	if t.done {
+		e.DurationUS = t.dur.Microseconds()
+	} else {
+		e.DurationUS = time.Since(t.start).Microseconds()
+	}
+	e.Spans = make([]ExportedSpan, len(t.spans))
+	for i, sp := range t.spans {
+		es := ExportedSpan{
+			Name:    sp.name,
+			StartUS: sp.start.Microseconds(),
+			DurUS:   sp.dur.Microseconds(),
+		}
+		if len(sp.attrs) > 0 {
+			es.Attrs = make(map[string]int64, len(sp.attrs))
+			for _, a := range sp.attrs {
+				es.Attrs[a.Key] += a.Val
+			}
+		}
+		e.Spans[i] = es
+	}
+	return e
+}
+
+// SpanDurations invokes fn for every closed span with its name and
+// duration; the stage-histogram feeder uses it at finish time without
+// paying for a full export.
+func (t *Trace) SpanDurations(fn func(name string, d time.Duration)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.spans {
+		if sp.done {
+			fn(sp.name, sp.dur)
+		}
+	}
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The miss path
+// is a plain context-chain walk: no allocation, so hot paths call it
+// unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+const hexDigits = "0123456789abcdef"
+
+// randHex returns 2n lowercase hex chars of randomness, never all
+// zeros (the W3C spec reserves the all-zero id as invalid).
+func randHex(n int) string {
+	b := make([]byte, 2*n)
+	for {
+		zero := true
+		for i := 0; i < 2*n; i += 16 {
+			v := rand.Uint64()
+			if v != 0 {
+				zero = false
+			}
+			for j := i; j < i+16 && j < 2*n; j++ {
+				b[j] = hexDigits[v&0xf]
+				v >>= 4
+			}
+		}
+		if !zero {
+			return string(b)
+		}
+	}
+}

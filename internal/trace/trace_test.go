@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	tid := "4bf92f3577b34da6a3ce929d0e0e4736"
+	sid := "00f067aa0ba902b7"
+	good := "00-" + tid + "-" + sid + "-01"
+	gotTID, gotSID, ok := Parse(good)
+	if !ok || gotTID != tid || gotSID != sid {
+		t.Fatalf("Parse(%q) = %q, %q, %v", good, gotTID, gotSID, ok)
+	}
+	bad := []string{
+		"",
+		"00-" + tid + "-" + sid,            // truncated
+		"00-" + tid + "-" + sid + "-01-02", // extra field
+		"ff-" + tid + "-" + sid + "-01",    // forbidden version
+		"00-" + strings.Repeat("0", 32) + "-" + sid + "-01", // zero trace id
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.ToUpper(tid) + "-" + sid + "-01",    // uppercase hex
+		"00_" + tid + "-" + sid + "-01",                     // wrong separator
+	}
+	for _, h := range bad {
+		if _, _, ok := Parse(h); ok {
+			t.Errorf("Parse(%q) accepted a malformed header", h)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	tid, sid := NewIDs()
+	if len(tid) != 32 || len(sid) != 16 {
+		t.Fatalf("NewIDs lengths = %d, %d", len(tid), len(sid))
+	}
+	gotTID, gotSID, ok := Parse(Format(tid, sid))
+	if !ok || gotTID != tid || gotSID != sid {
+		t.Fatalf("round trip failed: %q %q %v", gotTID, gotSID, ok)
+	}
+}
+
+func TestTraceSpansAndExport(t *testing.T) {
+	tr := New("search", "")
+	tr.SetCollection("items")
+	sp := tr.StartSpan("scan")
+	sp.SetInt("rows", 128)
+	sp.SetInt("rows", 72) // attrs with one key accumulate
+	sp.End()
+	tr.Finish(200, 5*time.Millisecond)
+	tr.Finish(500, time.Hour) // first Finish wins
+
+	e := tr.Export()
+	if e.TraceID != tr.ID() || e.Route != "search" || e.Collection != "items" {
+		t.Fatalf("export header mismatch: %+v", e)
+	}
+	if e.Active || e.Status != 200 || e.DurationUS != 5000 {
+		t.Fatalf("export finish state mismatch: %+v", e)
+	}
+	if len(e.Spans) != 1 || e.Spans[0].Name != "scan" || e.Spans[0].Attrs["rows"] != 200 {
+		t.Fatalf("export spans mismatch: %+v", e.Spans)
+	}
+
+	var stages []string
+	tr.SpanDurations(func(name string, d time.Duration) { stages = append(stages, name) })
+	if len(stages) != 1 || stages[0] != "scan" {
+		t.Fatalf("SpanDurations visited %v", stages)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %v", got)
+	}
+	tr := New("x", "")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext lost the trace")
+	}
+}
+
+func TestTraceparentAdoptsIncomingID(t *testing.T) {
+	tid := "4bf92f3577b34da6a3ce929d0e0e4736"
+	tr := New("search", "00-"+tid+"-00f067aa0ba902b7-01")
+	if tr.ID() != tid {
+		t.Fatalf("trace did not adopt the incoming id: %q", tr.ID())
+	}
+	outTID, outSID, ok := Parse(tr.Traceparent())
+	if !ok || outTID != tid || outSID == "00f067aa0ba902b7" {
+		t.Fatalf("outgoing traceparent %q should keep the trace id and mint a new span id", tr.Traceparent())
+	}
+}
+
+func TestRegistryRingAndLookup(t *testing.T) {
+	g := NewRegistry(2)
+	var traces []*Trace
+	for i := 0; i < 3; i++ {
+		tr := New("search", "")
+		g.Start(tr)
+		traces = append(traces, tr)
+	}
+	if got := len(g.Active()); got != 3 {
+		t.Fatalf("active = %d, want 3", got)
+	}
+	for _, tr := range traces {
+		tr.Finish(200, time.Millisecond)
+		g.Finish(tr)
+	}
+	if got := len(g.Active()); got != 0 {
+		t.Fatalf("active after finish = %d, want 0", got)
+	}
+	routes, byRoute := g.Recent()
+	if len(routes) != 1 || routes[0] != "search" {
+		t.Fatalf("routes = %v", routes)
+	}
+	recent := byRoute["search"]
+	if len(recent) != 2 || recent[0] != traces[2] || recent[1] != traces[1] {
+		t.Fatalf("ring should hold the 2 newest traces newest-first")
+	}
+	if g.Lookup(traces[0].ID()) != nil {
+		t.Fatalf("oldest trace should have aged out of the ring")
+	}
+	if g.Lookup(traces[2].ID()) != traces[2] {
+		t.Fatalf("newest trace should resolve by id")
+	}
+}
+
+// TestDisabledTraceZeroAlloc pins the tracing-off contract: with no
+// trace in the context, every call the hot path makes — FromContext,
+// StartSpan, SetInt, End, SetCollection, Finish, registry updates —
+// must allocate nothing.
+func TestDisabledTraceZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	var g *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := FromContext(ctx)
+		g.Start(tr)
+		tr.SetCollection("items")
+		sp := tr.StartSpan("scan")
+		sp.SetInt("rows", 1)
+		sp.End()
+		tr.Finish(200, 0)
+		g.Finish(tr)
+		_ = tr.ID()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-trace hot path allocates %.1f per run, want 0", allocs)
+	}
+}

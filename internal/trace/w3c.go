@@ -1,0 +1,61 @@
+package trace
+
+// W3C Trace Context (traceparent) parsing and rendering. Only the
+// parts ipsd needs: version 00 headers of the exact canonical shape
+// version-traceid-parentid-flags with lowercase hex fields. Anything
+// else is rejected and the server starts a fresh trace — a malformed
+// header must never poison the debug plane.
+
+// Parse splits a traceparent header into its trace id and parent span
+// id. ok is false when the header is absent or malformed.
+func Parse(h string) (traceID, parentID string, ok bool) {
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags)
+	if len(h) != 55 {
+		return "", "", false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	version := h[0:2]
+	tid := h[3:35]
+	sid := h[36:52]
+	flags := h[53:55]
+	if !isHexLower(version) || !isHexLower(tid) || !isHexLower(sid) || !isHexLower(flags) {
+		return "", "", false
+	}
+	// Version ff is forbidden by the spec; the all-zero ids are invalid.
+	if version == "ff" || allZero(tid) || allZero(sid) {
+		return "", "", false
+	}
+	return tid, sid, true
+}
+
+// Format renders a version-00 sampled traceparent for the ids.
+func Format(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// NewIDs mints a random (trace id, span id) pair for clients that
+// originate a trace (cmd/loadgen).
+func NewIDs() (traceID, spanID string) {
+	return randHex(16), randHex(8)
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
